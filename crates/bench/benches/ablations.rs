@@ -1,0 +1,113 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **estimators** — Martinez vs Saltelli vs Jansen vs Sobol-1993: cost
+//!   per study (their numerical-stability comparison lives in
+//!   `melissa-sobol`'s tests; the paper picks Martinez, citing Baudin
+//!   et al. 2016);
+//! * **one-pass vs two-pass** — the iterative update against the classical
+//!   store-then-compute workflow it replaces (time; the `O(N)` vs `O(1)`
+//!   memory gap is the structural point);
+//! * **HWM buffering** — sender throughput vs buffer size with a slow
+//!   consumer (the ZeroMQ knob of paper Section 4.1.3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use melissa_sobol::design::PickFreeze;
+use melissa_sobol::testfn::{Ishigami, TestFunction};
+use melissa_sobol::{estimators, IterativeSobol};
+
+fn study_outputs(n: usize) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let f = Ishigami::default();
+    let design = PickFreeze::generate(n, &f.parameter_space(), 11);
+    let p = f.dim();
+    let mut ya = Vec::with_capacity(n);
+    let mut yb = Vec::with_capacity(n);
+    let mut yc = vec![Vec::with_capacity(n); p];
+    let mut groups = Vec::with_capacity(n);
+    for g in design.groups() {
+        let ys: Vec<f64> = g.rows().iter().map(|r| f.eval(r)).collect();
+        ya.push(ys[0]);
+        yb.push(ys[1]);
+        for k in 0..p {
+            yc[k].push(ys[2 + k]);
+        }
+        groups.push(ys);
+    }
+    (ya, yb, yc, groups)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let (ya, yb, yc, _) = study_outputs(4096);
+    let mut g = c.benchmark_group("ablation_estimators");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("martinez_first_order", |b| {
+        b.iter(|| estimators::martinez_first_order(black_box(&yb), black_box(&yc[0])))
+    });
+    g.bench_function("saltelli_first_order", |b| {
+        b.iter(|| estimators::saltelli_first_order(black_box(&ya), black_box(&yb), black_box(&yc[0])))
+    });
+    g.bench_function("jansen_first_order", |b| {
+        b.iter(|| estimators::jansen_first_order(black_box(&ya), black_box(&yb), black_box(&yc[0])))
+    });
+    g.bench_function("sobol1993_first_order", |b| {
+        b.iter(|| estimators::sobol1993_first_order(black_box(&ya), black_box(&yb), black_box(&yc[0])))
+    });
+    g.finish();
+}
+
+fn bench_one_pass_vs_two_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_twopass");
+    for n in [256usize, 2048] {
+        let (ya, yb, yc, groups) = study_outputs(n);
+        g.throughput(Throughput::Elements(n as u64));
+        // One-pass: fold in the groups as they "arrive" — O(1) memory.
+        g.bench_with_input(BenchmarkId::new("iterative_one_pass", n), &groups, |b, groups| {
+            b.iter(|| {
+                let mut acc = IterativeSobol::new(3);
+                for ys in groups {
+                    acc.update_group(black_box(ys));
+                }
+                black_box(acc.first_order_all())
+            })
+        });
+        // Two-pass: all outputs stored (O(N) memory), then estimated.
+        g.bench_with_input(BenchmarkId::new("batch_two_pass", n), &n, |b, _| {
+            b.iter(|| {
+                let s: Vec<f64> = (0..3)
+                    .map(|k| estimators::martinez_first_order(black_box(&yb), black_box(&yc[k])))
+                    .collect();
+                let _ = estimators::martinez_total_order(black_box(&ya), black_box(&yc[0]));
+                black_box(s)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hwm_buffers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_hwm");
+    g.sample_size(20);
+    for hwm in [1usize, 8, 64, 512] {
+        g.bench_with_input(BenchmarkId::new("producer_consumer", hwm), &hwm, |b, &hwm| {
+            b.iter(|| {
+                let (tx, rx) = melissa_transport::channel(hwm);
+                let consumer = std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while let Ok(frame) = rx.recv() {
+                        n += frame.len() as u64;
+                    }
+                    n
+                });
+                let payload = bytes::Bytes::from(vec![0u8; 4096]);
+                for _ in 0..256 {
+                    tx.send(payload.clone()).unwrap();
+                }
+                drop(tx);
+                black_box(consumer.join().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_one_pass_vs_two_pass, bench_hwm_buffers);
+criterion_main!(benches);

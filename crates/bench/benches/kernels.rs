@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the hot kernels: iterative statistics
+//! updates (the server's per-message work), Sobol' field updates, the
+//! wire codec and the solver step.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use melissa_sobol::UbiquitousSobol;
+use melissa_stats::{FieldMoments, OnlineCovariance, OnlineMoments};
+
+fn bench_scalar_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalar_updates");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("online_moments_update", |b| {
+        let mut acc = OnlineMoments::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            acc.update(black_box(x % 97.0));
+        });
+    });
+    g.bench_function("online_covariance_update", |b| {
+        let mut acc = OnlineCovariance::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            acc.update(black_box(x % 97.0), black_box(x % 89.0));
+        });
+    });
+    g.finish();
+}
+
+fn bench_field_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field_updates");
+    for cells in [1024usize, 16_384, 131_072] {
+        let sample: Vec<f64> = (0..cells).map(|i| (i as f64).sin()).collect();
+        g.throughput(Throughput::Elements(cells as u64));
+        g.bench_with_input(BenchmarkId::new("field_moments", cells), &cells, |b, _| {
+            let mut acc = FieldMoments::new(cells);
+            b.iter(|| acc.update(black_box(&sample)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sobol_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sobol_group_update");
+    let p = 6;
+    for cells in [1024usize, 16_384] {
+        let fields: Vec<Vec<f64>> = (0..p + 2)
+            .map(|r| (0..cells).map(|i| ((i + r * 31) as f64).cos()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+        // Throughput: one group update touches (p + 2) × cells values.
+        g.throughput(Throughput::Elements(((p + 2) * cells) as u64));
+        g.bench_with_input(BenchmarkId::new("ubiquitous_p6", cells), &cells, |b, _| {
+            let mut acc = UbiquitousSobol::new(p, cells);
+            b.iter(|| acc.update_group(black_box(&refs)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use melissa::protocol::Message;
+    let mut g = c.benchmark_group("wire_codec");
+    for cells in [1024usize, 16_384] {
+        let msg = Message::Data {
+            group_id: 7,
+            instance: 0,
+            role: 3,
+            timestep: 42,
+            start: 1000,
+            values: (0..cells).map(|i| i as f64).collect(),
+        };
+        g.throughput(Throughput::Bytes((cells * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", cells), &msg, |b, msg| {
+            b.iter(|| black_box(msg.encode()));
+        });
+        let frame = msg.encode();
+        g.bench_with_input(BenchmarkId::new("decode", cells), &frame, |b, frame| {
+            b.iter(|| Message::decode(black_box(frame)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_solver_step(c: &mut Criterion) {
+    use melissa_solver::injection::{InjectionParams, InletProfile};
+    use melissa_solver::transport::step_full;
+    use melissa_solver::UseCaseConfig;
+    let cfg = UseCaseConfig::default();
+    let mesh = cfg.mesh();
+    let flow = cfg.prerun();
+    let params = InjectionParams {
+        conc_upper: 1.0,
+        conc_lower: 1.0,
+        width_upper: 0.3,
+        width_lower: 0.3,
+        dur_upper: 1.0,
+        dur_lower: 1.0,
+    };
+    let inlet = InletProfile::new(params, cfg.ly, cfg.total_time);
+    let dt = flow.stable_dt(&mesh, cfg.diffusivity);
+    let c0 = mesh.zero_field();
+    let mut out = mesh.zero_field();
+
+    let mut g = c.benchmark_group("solver");
+    g.throughput(Throughput::Elements(mesh.n_cells() as u64));
+    g.bench_function("transport_step_8k_cells", |b| {
+        b.iter(|| {
+            step_full(&mesh, &flow, &inlet, cfg.diffusivity, dt, 0.1, black_box(&c0), &mut out)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scalar_updates,
+    bench_field_updates,
+    bench_sobol_updates,
+    bench_codec,
+    bench_solver_step
+);
+criterion_main!(benches);

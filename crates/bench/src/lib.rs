@@ -1,0 +1,38 @@
+//! # melissa-bench — experiment harnesses
+//!
+//! One binary per figure/table of the paper's evaluation (Section 5),
+//! plus Criterion micro-benchmarks in `benches/`:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig6` | Fig. 6a–6d: running groups/cores and group execution times for the 15- and 32-node server studies |
+//! | `table_scalars` | Sec. 5.3 scalars: wall times, CPU hours, server share, peaks, message rates, memory, data volume |
+//! | `fig7_sobol_maps` | Fig. 7: first-order Sobol' maps at timestep 80, with the Sec. 5.5 interpretation as assertions |
+//! | `fig8_variance_map` | Fig. 8: the variance map co-visualisation |
+//! | `fault_tolerance` | Sec. 5.4: checkpoint/restart costs, detection latencies, live fault drills |
+//! | `convergence_ci` | Sec. 3.4: confidence-interval convergence and coverage on analytic test functions |
+//!
+//! Run them with `cargo run -p melissa-bench --release --bin <name>`.
+//! Each prints a paper-vs-measured table; CSV series are written under
+//! `target/experiments/`.
+
+use std::path::PathBuf;
+
+/// Directory where harnesses drop their CSV/VTK outputs.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Formats a paper-vs-measured comparison row.
+pub fn row(label: &str, paper: &str, measured: &str) -> String {
+    format!("{label:<44} | {paper:>18} | {measured:>18}")
+}
+
+/// Prints the header of a paper-vs-measured table.
+pub fn table_header(title: &str) {
+    println!("\n=== {title} ===");
+    println!("{}", row("quantity", "paper", "measured/model"));
+    println!("{}", "-".repeat(88));
+}

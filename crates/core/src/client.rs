@@ -1,0 +1,203 @@
+//! Melissa client: the simulation-side API (paper Section 4.1.3).
+//!
+//! Melissa keeps intrusion into the simulation code minimal — three calls:
+//! [`GroupClient::connect`] (the *Initialise* function: dynamic connection
+//! and partition retrieval), [`GroupClient::send_timestep`] (the *Process*
+//! function: two-stage gather + N×M redistribution), and dropping the
+//! client (the *Finalize* function: disconnect).
+//!
+//! Stage 1 of the transfer (gathering each rank's chunk from the `p + 2`
+//! simulations onto the main simulation) is performed by the caller, who
+//! owns the simulations; stage 2 (slab-intersecting redistribution to the
+//! server workers) happens here.
+
+use std::time::Duration;
+
+use melissa_mesh::{CellRange, SlabPartition};
+use melissa_transport::registry::names;
+use melissa_transport::{Broker, FaultPolicy, FaultySender, KillSwitch};
+
+use crate::protocol::Message;
+
+/// Client-side connection failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server endpoint is not bound (server down or not yet up).
+    ServerUnavailable,
+    /// No `ConnectReply` within the timeout.
+    HandshakeTimeout,
+    /// A data send failed (server worker gone) or timed out on a full
+    /// buffer — the group treats this as its own failure and exits; the
+    /// launcher will restart it.
+    SendFailed,
+    /// The group's kill switch flipped mid-send.
+    Killed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::ServerUnavailable => write!(f, "server unavailable"),
+            ClientError::HandshakeTimeout => write!(f, "connection handshake timed out"),
+            ClientError::SendFailed => write!(f, "data send failed"),
+            ClientError::Killed => write!(f, "killed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected simulation-group client.
+#[derive(Debug)]
+pub struct GroupClient {
+    group_id: u64,
+    instance: u32,
+    partition: SlabPartition,
+    senders: Vec<FaultySender>,
+    send_timeout: Duration,
+    kill: KillSwitch,
+    /// Messages sent so far.
+    pub messages_sent: u64,
+    /// Payload bytes sent so far.
+    pub bytes_sent: u64,
+}
+
+impl GroupClient {
+    /// *Initialise*: binds a reply endpoint, asks the server main process
+    /// for partition information, then opens direct connections to every
+    /// server worker.
+    pub fn connect(
+        broker: &Broker,
+        group_id: u64,
+        instance: u32,
+        reply_hwm: usize,
+        timeout: Duration,
+        kill: KillSwitch,
+        fault: FaultPolicy,
+    ) -> Result<GroupClient, ClientError> {
+        let reply_name = names::group_reply(group_id, instance);
+        let reply_rx = broker.bind(&reply_name, reply_hwm.max(1));
+        let main_tx =
+            broker.connect(&names::server_main()).map_err(|_| ClientError::ServerUnavailable)?;
+        main_tx
+            .send(Message::ConnectRequest { group_id, instance }.encode())
+            .map_err(|_| ClientError::ServerUnavailable)?;
+
+        let reply = reply_rx.recv_timeout(timeout).map_err(|_| ClientError::HandshakeTimeout)?;
+        broker.unbind(&reply_name);
+        let (n_workers, n_cells) = match Message::decode(&reply) {
+            Ok(Message::ConnectReply { n_workers, n_cells, .. }) => (n_workers, n_cells),
+            _ => return Err(ClientError::HandshakeTimeout),
+        };
+
+        let partition = SlabPartition::new(n_cells as usize, n_workers as usize);
+        let mut senders = Vec::with_capacity(n_workers as usize);
+        for w in 0..n_workers as usize {
+            let tx = broker
+                .connect(&names::server_worker(w))
+                .map_err(|_| ClientError::ServerUnavailable)?;
+            senders.push(FaultySender::new(tx, fault.clone(), kill.clone()));
+        }
+        Ok(GroupClient {
+            group_id,
+            instance,
+            partition,
+            senders,
+            send_timeout: timeout,
+            kill,
+            messages_sent: 0,
+            bytes_sent: 0,
+        })
+    }
+
+    /// The group id this client serves.
+    pub fn group_id(&self) -> u64 {
+        self.group_id
+    }
+
+    /// The server's slab partition (for tests).
+    pub fn partition(&self) -> &SlabPartition {
+        &self.partition
+    }
+
+    /// *Process*, stage 2: redistributes one role's gathered rank chunks to
+    /// the server workers.  `chunks` are `(global range, values)` pairs as
+    /// produced by the solver's rank decomposition; each chunk is split
+    /// along the static slab intersections (paper Fig. 4).
+    pub fn send_timestep(
+        &mut self,
+        role: u16,
+        timestep: u32,
+        chunks: &[(CellRange, Vec<f64>)],
+    ) -> Result<(), ClientError> {
+        for (range, values) in chunks {
+            debug_assert_eq!(range.len, values.len());
+            for (worker, sub) in self.partition.redistribution(*range) {
+                if self.kill.is_killed() {
+                    return Err(ClientError::Killed);
+                }
+                let offset = sub.start - range.start;
+                let msg = Message::Data {
+                    group_id: self.group_id,
+                    instance: self.instance,
+                    role,
+                    timestep,
+                    start: sub.start as u64,
+                    values: values[offset..offset + sub.len].to_vec(),
+                };
+                let frame = msg.encode();
+                let bytes = (sub.len * 8) as u64;
+                self.senders[worker]
+                    .inner()
+                    .send_timeout(frame, self.send_timeout)
+                    .map_err(|_| ClientError::SendFailed)?;
+                self.messages_sent += 1;
+                self.bytes_sent += bytes;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Handshake and send paths are exercised end-to-end in the server
+    // integration tests; here we cover the failure modes that need no
+    // server.
+
+    #[test]
+    fn connect_without_server_fails_fast() {
+        let broker = Broker::new();
+        let err = GroupClient::connect(
+            &broker,
+            1,
+            0,
+            8,
+            Duration::from_millis(50),
+            KillSwitch::new(),
+            FaultPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClientError::ServerUnavailable));
+    }
+
+    #[test]
+    fn handshake_timeout_when_server_main_is_silent() {
+        let broker = Broker::new();
+        // Bind server/main but never answer.
+        let _main_rx = broker.bind(names::server_main(), 8);
+        let err = GroupClient::connect(
+            &broker,
+            1,
+            0,
+            8,
+            Duration::from_millis(50),
+            KillSwitch::new(),
+            FaultPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClientError::HandshakeTimeout));
+    }
+}

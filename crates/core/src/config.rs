@@ -1,0 +1,170 @@
+//! Study configuration: everything the launcher needs to run a complete
+//! in transit sensitivity analysis.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use melissa_solver::UseCaseConfig;
+
+/// Configuration of one Melissa study.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Number of simulation groups `n` (design rows).  The paper's study
+    /// uses 1000 groups of `p + 2 = 8` simulations.
+    pub n_groups: usize,
+    /// Solver/use-case configuration (mesh, physics, timesteps).
+    pub solver: UseCaseConfig,
+    /// Ranks per simulation (the paper runs each Code_Saturne instance on
+    /// 64 cores).
+    pub ranks_per_simulation: usize,
+    /// Number of parallel server worker processes.
+    pub server_workers: usize,
+    /// High-water mark (frames) of every data link.
+    pub hwm: usize,
+    /// Maximum simulation groups running concurrently (the stand-in for
+    /// the machine's node budget).
+    pub max_concurrent_groups: usize,
+    /// RNG seed for the pick-freeze design.
+    pub seed: u64,
+    /// Inter-message timeout after which the server declares a group
+    /// unfinished (paper Section 5.4 uses 300 s; scaled down for live
+    /// runs).
+    pub group_timeout: Duration,
+    /// Launcher-side server heartbeat timeout.
+    pub server_timeout: Duration,
+    /// Interval between server checkpoints (paper: 600 s).
+    pub checkpoint_interval: Duration,
+    /// Directory for checkpoint files.
+    pub checkpoint_dir: PathBuf,
+    /// Give up restarting a group after this many attempts
+    /// (paper Section 4.2.2).
+    pub max_group_retries: u32,
+    /// Optional convergence control: cancel remaining groups once the
+    /// widest 95 % CI over all tracked indices drops below this
+    /// (paper Sections 3.4 / 4.1.5).  `None` disables early stopping.
+    pub target_ci_width: Option<f64>,
+    /// Ignore Sobol' CIs on cells whose output variance is below this when
+    /// evaluating convergence (the paper's "no sense where Var(Y) ≈ 0").
+    pub ci_variance_floor: f64,
+    /// Hard wall limit on the whole study (safety net for tests; a real
+    /// deployment would use the batch system's walltime).
+    pub wall_limit: Duration,
+    /// Link-level fault policy applied to all group data links (message
+    /// drops / delays for fault experiments).
+    pub link_fault: melissa_transport::FaultPolicy,
+    /// Thresholds for per-cell exceedance-probability statistics (the
+    /// paper's "other iterative statistics", Section 4.1).
+    pub thresholds: Vec<f64>,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            n_groups: 50,
+            solver: UseCaseConfig::default(),
+            ranks_per_simulation: 4,
+            server_workers: 8,
+            hwm: 64,
+            max_concurrent_groups: 4,
+            seed: 2017,
+            group_timeout: Duration::from_secs(5),
+            server_timeout: Duration::from_secs(10),
+            checkpoint_interval: Duration::from_secs(60),
+            checkpoint_dir: std::env::temp_dir().join("melissa-checkpoints"),
+            max_group_retries: 3,
+            target_ci_width: None,
+            ci_variance_floor: 1e-12,
+            wall_limit: Duration::from_secs(600),
+            link_fault: melissa_transport::FaultPolicy::default(),
+            thresholds: vec![0.5],
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A minimal configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_groups: 8,
+            solver: UseCaseConfig::tiny(),
+            ranks_per_simulation: 2,
+            server_workers: 3,
+            hwm: 32,
+            max_concurrent_groups: 2,
+            group_timeout: Duration::from_millis(1500),
+            server_timeout: Duration::from_secs(5),
+            checkpoint_interval: Duration::from_secs(3600),
+            wall_limit: Duration::from_secs(120),
+            ..Self::default()
+        }
+    }
+
+    /// Number of simulations per group (`p + 2`, with `p = 6` for the tube
+    /// bundle use case).
+    pub fn group_size(&self) -> usize {
+        melissa_solver::injection::PARAM_NAMES.len() + 2
+    }
+
+    /// Total simulations in the study.
+    pub fn n_simulations(&self) -> usize {
+        self.n_groups * self.group_size()
+    }
+
+    /// Validates cross-field invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_groups == 0 {
+            return Err("study needs at least one group".into());
+        }
+        if self.server_workers == 0 {
+            return Err("server needs at least one worker".into());
+        }
+        if self.server_workers > self.solver.mesh().n_cells() {
+            return Err("more server workers than mesh cells".into());
+        }
+        if self.ranks_per_simulation == 0 || self.ranks_per_simulation > self.solver.ny {
+            return Err(format!(
+                "ranks_per_simulation must be in 1..={} (y rows)",
+                self.solver.ny
+            ));
+        }
+        if self.max_concurrent_groups == 0 {
+            return Err("need at least one concurrent group".into());
+        }
+        if self.hwm == 0 {
+            return Err("HWM must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        StudyConfig::default().validate().unwrap();
+        StudyConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn group_size_matches_paper() {
+        // Six parameters ⇒ groups of eight simulations (Section 5.2).
+        assert_eq!(StudyConfig::default().group_size(), 8);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = StudyConfig::tiny();
+        c.n_groups = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = StudyConfig::tiny();
+        c.ranks_per_simulation = 10_000;
+        assert!(c.validate().is_err());
+
+        let mut c = StudyConfig::tiny();
+        c.hwm = 0;
+        assert!(c.validate().is_err());
+    }
+}

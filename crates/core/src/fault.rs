@@ -1,0 +1,100 @@
+//! Deterministic fault-injection plans for fault-tolerance experiments
+//! (paper Section 5.4).
+//!
+//! A [`FaultPlan`] scripts the failures of one study run: which group
+//! instances crash at which timestep, which stall (stragglers), and when
+//! the server dies.  Faults target a specific *instance* so that the
+//! restarted instance of the same group runs clean — matching the paper's
+//! experiments where a killed group is resubmitted and completes.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A scripted group fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupFault {
+    /// The group process dies silently after sending timestep `at_timestep`
+    /// (the *unfinished group* case: the server has partial data).
+    CrashAfter {
+        /// Last timestep sent before dying.
+        at_timestep: u32,
+    },
+    /// The group dies before sending anything (the *zombie group* case:
+    /// the scheduler sees it running but the server never hears from it).
+    Zombie,
+    /// The group stalls for `pause` before each timestep from
+    /// `from_timestep` on (straggler).
+    Stall {
+        /// First slowed timestep.
+        from_timestep: u32,
+        /// Injected delay per timestep.
+        pause: Duration,
+    },
+}
+
+/// The complete fault script of a study run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Faults per (group id, instance).
+    group_faults: HashMap<(u64, u32), GroupFault>,
+    /// Kill the server once this many groups have finished (`None` = never).
+    pub kill_server_after_finished_groups: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Scripts a fault for instance `instance` of `group_id`.
+    pub fn with_group_fault(mut self, group_id: u64, instance: u32, fault: GroupFault) -> Self {
+        self.group_faults.insert((group_id, instance), fault);
+        self
+    }
+
+    /// Scripts a server kill after `n` groups have been fully integrated.
+    pub fn with_server_kill_after(mut self, n: usize) -> Self {
+        self.kill_server_after_finished_groups = Some(n);
+        self
+    }
+
+    /// The fault scripted for a given group instance, if any.
+    pub fn group_fault(&self, group_id: u64, instance: u32) -> Option<GroupFault> {
+        self.group_faults.get(&(group_id, instance)).copied()
+    }
+
+    /// Whether the plan contains any fault.
+    pub fn is_empty(&self) -> bool {
+        self.group_faults.is_empty() && self.kill_server_after_finished_groups.is_none()
+    }
+
+    /// Number of scripted group faults.
+    pub fn n_group_faults(&self) -> usize {
+        self.group_faults.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_instance_scoped() {
+        let plan = FaultPlan::none()
+            .with_group_fault(3, 0, GroupFault::CrashAfter { at_timestep: 5 })
+            .with_group_fault(4, 0, GroupFault::Zombie);
+        assert_eq!(plan.group_fault(3, 0), Some(GroupFault::CrashAfter { at_timestep: 5 }));
+        // The restarted instance runs clean.
+        assert_eq!(plan.group_fault(3, 1), None);
+        assert_eq!(plan.group_fault(4, 0), Some(GroupFault::Zombie));
+        assert_eq!(plan.n_group_faults(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::none().with_server_kill_after(2).is_empty());
+    }
+}

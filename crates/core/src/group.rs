@@ -1,0 +1,204 @@
+//! Simulation-group jobs: `p + 2` rank-decomposed solver instances run
+//! synchronously, forwarding every timestep to Melissa Server.
+//!
+//! A group is one batch job (paper Section 4.1): its simulations advance
+//! in lockstep so that each timestep's `p + 2` result fields reach the
+//! server together and can be folded into the Sobol' state and discarded.
+//! The group honours its kill switch between timesteps (launcher kills)
+//! and executes scripted faults (crash / zombie / stall) for the
+//! fault-tolerance experiments.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use melissa_solver::decomposed::DecomposedSimulation;
+use melissa_solver::{FrozenFlow, InjectionParams, UseCaseConfig};
+use melissa_transport::{Broker, FaultPolicy, KillSwitch};
+
+use crate::client::{ClientError, GroupClient};
+use crate::fault::GroupFault;
+
+/// Everything one group job needs to run.
+pub struct GroupContext {
+    /// Group id (design row).
+    pub group_id: u64,
+    /// Restart instance (0 = first launch).
+    pub instance: u32,
+    /// The `p + 2` parameter rows in canonical role order.
+    pub rows: Vec<Vec<f64>>,
+    /// Solver configuration.
+    pub solver: UseCaseConfig,
+    /// Shared frozen flow (the pre-run result).
+    pub flow: Arc<FrozenFlow>,
+    /// Ranks per simulation.
+    pub ranks: usize,
+    /// Messaging rendezvous.
+    pub broker: Broker,
+    /// Connection/send timeout.
+    pub timeout: Duration,
+    /// Scripted fault for this instance, if any.
+    pub fault: Option<GroupFault>,
+    /// Link-level fault policy (message drops/delays).
+    pub link_fault: FaultPolicy,
+}
+
+/// Outcome of one group job run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupOutcome {
+    /// All timesteps sent.
+    Completed {
+        /// Data messages sent.
+        messages: u64,
+        /// Payload bytes sent.
+        bytes: u64,
+    },
+    /// Died from a scripted fault or a kill at the given timestep.
+    Died {
+        /// Timesteps fully sent before death.
+        after_timestep: Option<u32>,
+    },
+    /// Could not connect or a send failed (server fault).
+    Aborted {
+        /// The client error.
+        reason: String,
+    },
+}
+
+/// Runs one simulation group to completion, death or abort.
+pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
+    // Zombie fault: the job occupies its resources but never contacts the
+    // server (paper Section 4.2.2, second failure case).
+    if matches!(ctx.fault, Some(GroupFault::Zombie)) {
+        // Stay "running" until killed by the launcher.
+        while !kill.is_killed() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        return GroupOutcome::Died { after_timestep: None };
+    }
+
+    let mut client = match GroupClient::connect(
+        &ctx.broker,
+        ctx.group_id,
+        ctx.instance,
+        64,
+        ctx.timeout,
+        kill.clone(),
+        ctx.link_fault.clone(),
+    ) {
+        Ok(c) => c,
+        Err(e) => return GroupOutcome::Aborted { reason: e.to_string() },
+    };
+
+    // The p + 2 simulations of the group, run in lockstep.
+    let mut sims: Vec<DecomposedSimulation> = ctx
+        .rows
+        .iter()
+        .map(|row| {
+            DecomposedSimulation::new(
+                &ctx.solver,
+                Arc::clone(&ctx.flow),
+                InjectionParams::from_row(row),
+                ctx.ranks,
+            )
+        })
+        .collect();
+
+    let n_timesteps = ctx.solver.n_timesteps as u32;
+    for ts in 0..n_timesteps {
+        if kill.is_killed() {
+            return GroupOutcome::Died { after_timestep: ts.checked_sub(1) };
+        }
+        // Scripted straggler stall.
+        if let Some(GroupFault::Stall { from_timestep, pause }) = ctx.fault {
+            if ts >= from_timestep {
+                std::thread::sleep(pause);
+            }
+        }
+
+        // Advance all simulations one timestep (synchronous group).
+        for sim in &mut sims {
+            sim.advance();
+        }
+
+        // Two-stage transfer.  Stage 1: for each rank, gather that rank's
+        // chunks from all p + 2 simulations onto the main simulation
+        // (role A's process) — in-process this is the chunk collection.
+        // Stage 2: the client redistributes to the server slabs.
+        for rank in 0..ctx.ranks {
+            for (role, sim) in sims.iter().enumerate() {
+                let chunks = sim.rank_chunks(rank);
+                if let Err(e) = client.send_timestep(role as u16, ts, &chunks) {
+                    return match e {
+                        ClientError::Killed => {
+                            GroupOutcome::Died { after_timestep: ts.checked_sub(1) }
+                        }
+                        other => GroupOutcome::Aborted { reason: other.to_string() },
+                    };
+                }
+            }
+        }
+
+        // Scripted crash *after* sending this timestep.
+        if let Some(GroupFault::CrashAfter { at_timestep }) = ctx.fault {
+            if ts == at_timestep {
+                return GroupOutcome::Died { after_timestep: Some(ts) };
+            }
+        }
+    }
+
+    GroupOutcome::Completed { messages: client.messages_sent, bytes: client.bytes_sent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melissa_sobol::design::PickFreeze;
+    use melissa_solver::injection::InjectionParams;
+
+    #[test]
+    fn zombie_group_waits_for_kill_without_connecting() {
+        let cfg = UseCaseConfig::tiny();
+        let flow = Arc::new(cfg.prerun());
+        let design = PickFreeze::generate(1, &InjectionParams::parameter_space(), 1);
+        let ctx = GroupContext {
+            group_id: 0,
+            instance: 0,
+            rows: design.group(0).rows().to_vec(),
+            solver: cfg,
+            flow,
+            ranks: 2,
+            broker: Broker::new(), // no server bound: connect would fail
+            timeout: Duration::from_millis(100),
+            fault: Some(GroupFault::Zombie),
+            link_fault: FaultPolicy::default(),
+        };
+        let kill = KillSwitch::new();
+        let k2 = kill.clone();
+        let h = std::thread::spawn(move || run_group(ctx, &k2));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished(), "zombie must linger");
+        kill.kill();
+        assert_eq!(h.join().unwrap(), GroupOutcome::Died { after_timestep: None });
+    }
+
+    #[test]
+    fn group_without_server_aborts() {
+        let cfg = UseCaseConfig::tiny();
+        let flow = Arc::new(cfg.prerun());
+        let design = PickFreeze::generate(1, &InjectionParams::parameter_space(), 1);
+        let ctx = GroupContext {
+            group_id: 0,
+            instance: 0,
+            rows: design.group(0).rows().to_vec(),
+            solver: cfg,
+            flow,
+            ranks: 2,
+            broker: Broker::new(),
+            timeout: Duration::from_millis(50),
+            fault: None,
+            link_fault: FaultPolicy::default(),
+        };
+        let kill = KillSwitch::new();
+        assert!(matches!(run_group(ctx, &kill), GroupOutcome::Aborted { .. }));
+    }
+}

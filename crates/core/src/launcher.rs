@@ -1,0 +1,412 @@
+//! Melissa Launcher: study orchestration and fault supervision
+//! (paper Sections 4.1.4 and 4.2).
+//!
+//! The launcher draws the pick-freeze design, starts Melissa Server, then
+//! submits every simulation group as an independent job.  While the study
+//! runs it supervises everything:
+//!
+//! * **unfinished groups** — the server reports groups whose inter-message
+//!   gap exceeded the timeout; the launcher kills and resubmits them;
+//! * **zombie groups** — jobs the scheduler sees running that never
+//!   contacted the server; detected by reconciling server reports with job
+//!   state, then killed and resubmitted;
+//! * **server faults** — heartbeat loss triggers a full recovery: kill
+//!   everything, restart the server from its last checkpoint, resubmit all
+//!   unfinished groups (discard-on-replay makes over-submission safe);
+//! * **retry caps** — a group failing more than `max_group_retries` times
+//!   is abandoned (never replaced by a redrawn row, which would bias the
+//!   statistics — paper Section 4.2.2);
+//! * **convergence loopback** — optional early stop once the widest
+//!   confidence interval falls below the target (Section 4.1.5).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::RecvTimeoutError;
+use melissa_sobol::design::PickFreeze;
+use melissa_solver::injection::InjectionParams;
+use melissa_transport::registry::names;
+use melissa_transport::{Broker, KillSwitch, LivenessTracker};
+use parking_lot::Mutex;
+
+use crate::config::StudyConfig;
+use crate::fault::FaultPlan;
+use crate::group::{run_group, GroupContext, GroupOutcome};
+use crate::protocol::Message;
+use crate::report::StudyReport;
+use crate::server::{Server, ServerConfig};
+use crate::study::{StudyOutput, StudyResults};
+use melissa_scheduler::JobRunner;
+
+/// Tracking entry for one active group job.
+struct ActiveJob {
+    handle: melissa_scheduler::JobHandle,
+    instance: u32,
+    started_at: Instant,
+}
+
+/// Runs a complete study under the launcher's supervision.
+pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, String> {
+    config.validate()?;
+    let started = Instant::now();
+    let wall_limit = config.wall_limit;
+    let broker = Broker::new();
+    let launcher_rx = broker.bind(names::launcher(), 1024);
+
+    let mut report = StudyReport::new(config.n_groups);
+
+    // The experiment design and the shared pre-run.
+    let space = InjectionParams::parameter_space();
+    let design = PickFreeze::generate(config.n_groups, &space, config.seed);
+    let p = space.dim();
+    let flow = Arc::new(config.solver.prerun());
+    let n_cells = config.solver.mesh().n_cells();
+
+    let server_config = ServerConfig {
+        n_workers: config.server_workers,
+        n_cells,
+        p,
+        n_timesteps: config.solver.n_timesteps,
+        hwm: config.hwm,
+        group_timeout: config.group_timeout,
+        checkpoint_interval: config.checkpoint_interval,
+        checkpoint_dir: config.checkpoint_dir.clone(),
+        report_interval: Duration::from_millis(50),
+        track_ci: config.target_ci_width.is_some(),
+        ci_variance_floor: config.ci_variance_floor,
+        restore: false,
+        thresholds: config.thresholds.clone(),
+    };
+
+    // Start the server and wait for readiness.
+    let launcher_tx = broker.connect(&names::launcher()).expect("just bound");
+    let mut server = Server::start(server_config.clone(), &broker, launcher_tx.clone());
+    wait_for_ready(&launcher_rx, config.server_timeout)?;
+
+    let runner = JobRunner::new(config.max_concurrent_groups);
+    let outcomes: Arc<Mutex<HashMap<(u64, u32), GroupOutcome>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+
+    let submit = |g: u64,
+                  instance: u32,
+                  server_kill: KillSwitch|
+     -> melissa_scheduler::JobHandle {
+        let ctx = GroupContext {
+            group_id: g,
+            instance,
+            rows: design.group(g as usize).rows().to_vec(),
+            solver: config.solver.clone(),
+            flow: Arc::clone(&flow),
+            ranks: config.ranks_per_simulation,
+            broker: broker.clone(),
+            timeout: config.group_timeout,
+            fault: faults.group_fault(g, instance),
+            link_fault: config.link_fault.clone(),
+        };
+        let outcomes = Arc::clone(&outcomes);
+        let _ = server_kill;
+        runner.submit(1, move |kill| {
+            let outcome = run_group(ctx, kill);
+            outcomes.lock().insert((g, instance), outcome);
+        })
+    };
+
+    // Submit every group once.
+    let mut active: HashMap<u64, ActiveJob> = HashMap::new();
+    for g in 0..config.n_groups as u64 {
+        let handle = submit(g, 0, server.kill.clone());
+        active.insert(g, ActiveJob { handle, instance: 0, started_at: Instant::now() });
+    }
+
+    // Supervision state.
+    let server_liveness = LivenessTracker::new(config.server_timeout);
+    server_liveness.record(0u32);
+    let mut known_finished: HashSet<u64> = HashSet::new();
+    let mut known_running: HashSet<u64> = HashSet::new();
+    let mut retries: HashMap<u64, u32> = HashMap::new();
+    let mut abandoned: HashSet<u64> = HashSet::new();
+    let mut last_ci = f64::INFINITY;
+    let mut early_stopped = false;
+    let mut server_fault_armed = faults.kill_server_after_finished_groups;
+    // Counters carried across server restarts (a crashed server's shared
+    // counters would otherwise vanish from the final report).
+    let mut carried = [0u64; 4];
+
+    loop {
+        if started.elapsed() > wall_limit {
+            return Err(format!(
+                "study exceeded wall limit {:?}: finished {}/{}",
+                wall_limit,
+                known_finished.len(),
+                config.n_groups
+            ));
+        }
+
+        // 1. Drain launcher inbox.
+        match launcher_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(frame) => {
+                if let Ok(msg) = Message::decode(&frame) {
+                    match msg {
+                        Message::Heartbeat { .. } | Message::ServerReady => {
+                            server_liveness.record(0u32);
+                        }
+                        Message::ServerReport { finished_groups, running_groups, max_ci_width } => {
+                            server_liveness.record(0u32);
+                            known_finished.extend(finished_groups);
+                            known_running = running_groups.into_iter().collect();
+                            last_ci = max_ci_width;
+                        }
+                        Message::GroupTimeout { group_id }
+                            if !known_finished.contains(&group_id) => {
+                                report.log(format!(
+                                    "server reported group {group_id} unresponsive (timeout)"
+                                ));
+                                handle_group_failure(
+                                    group_id,
+                                    &mut active,
+                                    &mut retries,
+                                    &mut abandoned,
+                                    &mut report,
+                                    config.max_group_retries,
+                                    &submit,
+                                    &server.kill,
+                                );
+                            }
+                        _ => {}
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return Err("launcher inbox closed".into()),
+        }
+
+        // 2. Scripted server crash.
+        if let Some(after) = server_fault_armed {
+            if known_finished.len() >= after {
+                report.log(format!(
+                    "FAULT INJECTION: killing server after {} finished groups",
+                    known_finished.len()
+                ));
+                server.kill.kill();
+                server_fault_armed = None;
+            }
+        }
+
+        // 3. Server fault recovery.
+        if server.kill.is_killed() || !server_liveness.expired().is_empty() {
+            report.server_restarts += 1;
+            report.log("server failure detected: restarting from checkpoint".into());
+            // Kill all running jobs (their sends would hang on dead
+            // endpoints), then restart the server from its checkpoint.
+            for (_, job) in active.iter() {
+                job.handle.kill.kill();
+            }
+            for (_, job) in active.drain() {
+                job.handle.join();
+            }
+            {
+                use std::sync::atomic::Ordering::Relaxed;
+                let s = server.shared();
+                carried[0] += s.messages_received.load(Relaxed);
+                carried[1] += s.bytes_received.load(Relaxed);
+                carried[2] += s.replays_discarded.load(Relaxed);
+                carried[3] += s.checkpoints_written.load(Relaxed);
+            }
+            server.abandon();
+            let restore_cfg = ServerConfig { restore: true, ..server_config.clone() };
+            server = Server::start(restore_cfg, &broker, launcher_tx.clone());
+            wait_for_ready(&launcher_rx, config.server_timeout)?;
+            server_liveness.record(0u32);
+            // Only the restored checkpoint's bookkeeping counts now: any
+            // group the launcher believed finished but the server lost
+            // since its last checkpoint must be restarted too (paper
+            // Section 4.2.3: "the groups considered as finished by the
+            // launcher but not the server").
+            known_finished = server.shared().finished_groups().into_iter().collect();
+            known_running.clear();
+            // Resubmit everything not finished; discard-on-replay absorbs
+            // any duplicated timesteps.
+            for g in 0..config.n_groups as u64 {
+                if known_finished.contains(&g) || abandoned.contains(&g) {
+                    continue;
+                }
+                let instance = retries.get(&g).copied().unwrap_or(0) + 1;
+                retries.insert(g, instance);
+                report.log(format!("resubmitting group {g} as instance {instance} after server restart"));
+                report.group_restarts += 1;
+                let handle = submit(g, instance, server.kill.clone());
+                active.insert(g, ActiveJob { handle, instance, started_at: Instant::now() });
+            }
+            continue;
+        }
+
+        // 4. Reconcile job states (completed / died / zombie).
+        let mut to_fail: Vec<u64> = Vec::new();
+        let mut to_remove: Vec<u64> = Vec::new();
+        for (&g, job) in active.iter() {
+            if job.handle.is_finished() {
+                let outcome = outcomes.lock().get(&(g, job.instance)).cloned();
+                match outcome {
+                    Some(GroupOutcome::Completed { .. }) => {
+                        to_remove.push(g);
+                    }
+                    Some(GroupOutcome::Died { .. }) | Some(GroupOutcome::Aborted { .. }) => {
+                        report.log(format!(
+                            "group {g} instance {} ended abnormally: {:?}",
+                            job.instance, outcome
+                        ));
+                        to_fail.push(g);
+                    }
+                    None => to_remove.push(g), // killed before recording
+                }
+            } else {
+                // Zombie detection: the job has been "running" longer than
+                // the timeout but the server has never heard from it.
+                let silent = !known_running.contains(&g) && !known_finished.contains(&g);
+                if silent && job.started_at.elapsed() > config.group_timeout * 2 {
+                    report.log(format!(
+                        "group {g} instance {} is a zombie (running, never reported)",
+                        job.instance
+                    ));
+                    to_fail.push(g);
+                }
+            }
+        }
+        for g in to_remove {
+            active.remove(&g);
+        }
+        for g in to_fail {
+            if known_finished.contains(&g) {
+                active.remove(&g);
+                continue;
+            }
+            handle_group_failure(
+                g,
+                &mut active,
+                &mut retries,
+                &mut abandoned,
+                &mut report,
+                config.max_group_retries,
+                &submit,
+                &server.kill,
+            );
+        }
+
+        // 5. Convergence loopback: stop early once converged.
+        if let Some(target) = config.target_ci_width {
+            if last_ci.is_finite() && last_ci < target && !known_finished.is_empty() {
+                early_stopped = true;
+                report.log(format!(
+                    "convergence reached (max CI width {last_ci:.4} < {target}): cancelling {} remaining groups",
+                    active.len()
+                ));
+                for (_, job) in active.iter() {
+                    job.handle.kill.kill();
+                }
+                for (_, job) in active.drain() {
+                    job.handle.join();
+                }
+            }
+        }
+
+        // 6. Completion.
+        let done = known_finished.len() + abandoned.len() >= config.n_groups || early_stopped;
+        if done && active.is_empty() {
+            break;
+        }
+    }
+
+    // Final server stop: collect statistics states.
+    let link = server_link_stats(&server);
+    let shared = Arc::clone(server.shared());
+    let states = server.stop();
+
+    report.wall_time = started.elapsed();
+    report.groups_finished = known_finished.len();
+    report.groups_abandoned = {
+        let mut v: Vec<u64> = abandoned.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    report.data_messages =
+        carried[0] + shared.messages_received.load(std::sync::atomic::Ordering::Relaxed);
+    report.data_bytes =
+        carried[1] + shared.bytes_received.load(std::sync::atomic::Ordering::Relaxed);
+    report.replays_discarded =
+        carried[2] + shared.replays_discarded.load(std::sync::atomic::Ordering::Relaxed);
+    report.checkpoints_written =
+        carried[3] + shared.checkpoints_written.load(std::sync::atomic::Ordering::Relaxed);
+    report.blocked_sends = link.0;
+    report.blocked_time = link.1;
+    report.early_stopped = early_stopped;
+    report.final_max_ci = last_ci;
+
+    let results = StudyResults::from_worker_states(p, config.solver.n_timesteps, n_cells, states);
+    Ok(StudyOutput { results, report })
+}
+
+/// Sums blocked-send statistics over the server's data endpoints.
+fn server_link_stats(server: &Server) -> (u64, Duration) {
+    server.link_stats()
+}
+
+/// Waits for a `ServerReady` on the launcher inbox.
+fn wait_for_ready(
+    rx: &crossbeam::channel::Receiver<melissa_transport::Frame>,
+    timeout: Duration,
+) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err("server did not become ready in time".into());
+        }
+        match rx.recv_timeout(left) {
+            Ok(frame) => {
+                if let Ok(Message::ServerReady) = Message::decode(&frame) {
+                    return Ok(());
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                return Err("server did not become ready in time".into())
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err("launcher inbox closed".into()),
+        }
+    }
+}
+
+/// Kills (if needed) and resubmits a failed group, honouring the retry cap.
+#[allow(clippy::too_many_arguments)]
+fn handle_group_failure<F>(
+    g: u64,
+    active: &mut HashMap<u64, ActiveJob>,
+    retries: &mut HashMap<u64, u32>,
+    abandoned: &mut HashSet<u64>,
+    report: &mut StudyReport,
+    max_retries: u32,
+    submit: &F,
+    server_kill: &KillSwitch,
+) where
+    F: Fn(u64, u32, KillSwitch) -> melissa_scheduler::JobHandle,
+{
+    if abandoned.contains(&g) {
+        return;
+    }
+    if let Some(job) = active.remove(&g) {
+        job.handle.kill.kill();
+        job.handle.join();
+    }
+    let n = retries.entry(g).or_insert(0);
+    *n += 1;
+    if *n > max_retries {
+        abandoned.insert(g);
+        report.log(format!("group {g} abandoned after {max_retries} retries"));
+        return;
+    }
+    let instance = *n;
+    report.group_restarts += 1;
+    report.log(format!("restarting group {g} as instance {instance}"));
+    let handle = submit(g, instance, server_kill.clone());
+    active.insert(g, ActiveJob { handle, instance, started_at: Instant::now() });
+}

@@ -1,0 +1,53 @@
+//! # melissa — large scale in transit sensitivity analysis
+//!
+//! A from-scratch Rust reproduction of **Melissa** (Terraz, Ribes,
+//! Fournier, Iooss, Raffin — *Melissa: Large Scale In Transit Sensitivity
+//! Analysis Avoiding Intermediate Files*, SC'17): a fault-tolerant,
+//! elastic, file-avoiding framework computing ubiquitous Sobol' indices
+//! from thousands of simulation runs with **zero intermediate storage**.
+//!
+//! ## Architecture (paper Fig. 3)
+//!
+//! * [`server`] — the parallel Melissa Server: worker threads own mesh
+//!   slabs and fold incoming simulation results into iterative statistics
+//!   the moment they arrive, then discard the data;
+//! * [`client`] + [`group`] — simulation groups of `p + 2` rank-decomposed
+//!   solver instances, connected dynamically over the ZeroMQ-substitute
+//!   transport, forwarding every timestep through the two-stage
+//!   gather/redistribute pattern (paper Fig. 4);
+//! * [`launcher`] — study orchestration and the full fault-tolerance
+//!   protocol (group timeouts, zombies, server checkpoint/restart, retry
+//!   caps, convergence loopback);
+//! * [`study`] — the one-call high-level API;
+//! * [`perfmodel`] — a calibrated discrete-event model of the paper's
+//!   full-scale Curie runs, regenerating Figures 6a–6d and the Section
+//!   5.3/5.4 scalar results.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use melissa::{Study, StudyConfig};
+//!
+//! let mut config = StudyConfig::tiny();
+//! config.n_groups = 16;
+//! let output = Study::new(config).run().expect("study failed");
+//! println!("{}", output.report);
+//! let s_map = output.results.first_order_field(10, 0);
+//! assert_eq!(s_map.len(), output.results.n_cells());
+//! ```
+
+pub mod client;
+pub mod config;
+pub mod fault;
+pub mod group;
+pub mod launcher;
+pub mod perfmodel;
+pub mod protocol;
+pub mod report;
+pub mod server;
+pub mod study;
+
+pub use config::StudyConfig;
+pub use fault::{FaultPlan, GroupFault};
+pub use report::StudyReport;
+pub use study::{Study, StudyOutput, StudyResults};

@@ -1,0 +1,25 @@
+//! Calibrated discrete-event performance model of the paper's full-scale
+//! experiments (Section 5.3).
+//!
+//! The paper's evaluation ran on ~1800 Curie nodes; this model replays
+//! those runs in simulated time to regenerate the *shapes* of
+//! Figures 6a–6d and the scalar results of Sections 5.3–5.4:
+//!
+//! * 1000 groups × 8 simulations × 100 timesteps on a 9.6 M-cell mesh;
+//! * each group job takes 32 nodes (8 × 64 cores);
+//! * the server ingests at a per-node bandwidth; when the aggregate
+//!   outstanding data exceeds the buffering capacity (ZeroMQ HWM), group
+//!   sends block — the Study-1 backpressure;
+//! * the *classical* baseline writes each timestep to a shared Lustre
+//!   file system instead; *no output* writes nothing.
+//!
+//! Submodules: [`params`] (calibration constants with paper provenance),
+//! [`simulate`] (the DES itself), [`faults`] (checkpoint/restart cost
+//! model for Section 5.4).
+
+pub mod faults;
+pub mod params;
+pub mod simulate;
+
+pub use params::{FullScaleParams, OutputKind};
+pub use simulate::{simulate_study, StudyTraces};

@@ -1,0 +1,273 @@
+//! Melissa wire protocol: the messages exchanged between simulation
+//! groups, the parallel server and the launcher.
+//!
+//! Encoded with the fixed little-endian layout of
+//! [`melissa_transport::codec`]; one tag byte selects the variant.  Every
+//! message carries enough identity (`group_id`, `instance`, `timestep`) for
+//! the server's discard-on-replay policy (paper Section 4.2.1).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use melissa_transport::codec::{
+    get_f64_vec, get_str, get_u16, get_u32, get_u64, get_u64_vec, get_u8, put_f64_slice, put_str,
+    put_u64_slice, WireError, WireResult,
+};
+
+/// One Melissa protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Group → server main: request partition info at connection time.
+    /// The server replies on the group's reply endpoint
+    /// (`group/<id>/<instance>/reply`).
+    ConnectRequest {
+        /// Simulation-group id (design row).
+        group_id: u64,
+        /// Restart instance (0 for the first launch).
+        instance: u32,
+    },
+    /// Server main → group: everything the client needs to open direct
+    /// connections to the workers (paper Section 4.1.3).
+    ConnectReply {
+        /// Number of server worker processes.
+        n_workers: u32,
+        /// Global cell count (defines the slab partition).
+        n_cells: u64,
+        /// Number of variable parameters `p`.
+        p: u32,
+        /// Expected number of timesteps per simulation.
+        n_timesteps: u32,
+    },
+    /// Group rank → server worker: one role's field chunk for one timestep.
+    Data {
+        /// Simulation-group id.
+        group_id: u64,
+        /// Restart instance.
+        instance: u32,
+        /// Simulation role index (`A`=0, `B`=1, `C^k`=2+k).
+        role: u16,
+        /// Timestep id.
+        timestep: u32,
+        /// First global cell id of the chunk.
+        start: u64,
+        /// Chunk values.
+        values: Vec<f64>,
+    },
+    /// Server main → launcher: liveness heartbeat.
+    Heartbeat {
+        /// Reporting process id (0 = server main).
+        sender: u32,
+    },
+    /// Server main → launcher: bound and ready to accept connections.
+    ServerReady,
+    /// Server main → launcher: periodic study-progress report
+    /// (paper Fig. 3: "Melissa Server regularly sends reports to the
+    /// launcher for detecting failures or adapting the study").
+    ServerReport {
+        /// Groups every worker has fully integrated.
+        finished_groups: Vec<u64>,
+        /// Groups with at least one received message, not yet finished.
+        running_groups: Vec<u64>,
+        /// Widest 95 % confidence interval across all tracked indices
+        /// (convergence-control signal, Section 4.1.5).
+        max_ci_width: f64,
+    },
+    /// Server main → launcher: a group exceeded the message timeout
+    /// (unfinished-group fault, Section 4.2.2).
+    GroupTimeout {
+        /// The silent group.
+        group_id: u64,
+    },
+    /// Launcher → server: checkpoint now (also triggered periodically by
+    /// the server itself).
+    Checkpoint {
+        /// Directory for the per-process checkpoint files.
+        dir: String,
+    },
+    /// Launcher → server: finish cleanly (final checkpoint + stop).
+    Stop,
+}
+
+/// Tag bytes (wire stability).
+mod tag {
+    pub const CONNECT_REQUEST: u8 = 1;
+    pub const CONNECT_REPLY: u8 = 2;
+    pub const DATA: u8 = 3;
+    pub const HEARTBEAT: u8 = 4;
+    pub const SERVER_READY: u8 = 5;
+    pub const SERVER_REPORT: u8 = 6;
+    pub const GROUP_TIMEOUT: u8 = 7;
+    pub const CHECKPOINT: u8 = 8;
+    pub const STOP: u8 = 9;
+}
+
+impl Message {
+    /// Encodes the message to a frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_size_hint());
+        match self {
+            Message::ConnectRequest { group_id, instance } => {
+                buf.put_u8(tag::CONNECT_REQUEST);
+                buf.put_u64_le(*group_id);
+                buf.put_u32_le(*instance);
+            }
+            Message::ConnectReply { n_workers, n_cells, p, n_timesteps } => {
+                buf.put_u8(tag::CONNECT_REPLY);
+                buf.put_u32_le(*n_workers);
+                buf.put_u64_le(*n_cells);
+                buf.put_u32_le(*p);
+                buf.put_u32_le(*n_timesteps);
+            }
+            Message::Data { group_id, instance, role, timestep, start, values } => {
+                buf.put_u8(tag::DATA);
+                buf.put_u64_le(*group_id);
+                buf.put_u32_le(*instance);
+                buf.put_u16_le(*role);
+                buf.put_u32_le(*timestep);
+                buf.put_u64_le(*start);
+                put_f64_slice(&mut buf, values);
+            }
+            Message::Heartbeat { sender } => {
+                buf.put_u8(tag::HEARTBEAT);
+                buf.put_u32_le(*sender);
+            }
+            Message::ServerReady => buf.put_u8(tag::SERVER_READY),
+            Message::ServerReport { finished_groups, running_groups, max_ci_width } => {
+                buf.put_u8(tag::SERVER_REPORT);
+                put_u64_slice(&mut buf, finished_groups);
+                put_u64_slice(&mut buf, running_groups);
+                buf.put_f64_le(*max_ci_width);
+            }
+            Message::GroupTimeout { group_id } => {
+                buf.put_u8(tag::GROUP_TIMEOUT);
+                buf.put_u64_le(*group_id);
+            }
+            Message::Checkpoint { dir } => {
+                buf.put_u8(tag::CHECKPOINT);
+                put_str(&mut buf, dir);
+            }
+            Message::Stop => buf.put_u8(tag::STOP),
+        }
+        buf.freeze()
+    }
+
+    /// Rough encoded size (for buffer pre-allocation).
+    fn encoded_size_hint(&self) -> usize {
+        match self {
+            Message::Data { values, .. } => 40 + values.len() * 8,
+            Message::ServerReport { finished_groups, running_groups, .. } => {
+                32 + (finished_groups.len() + running_groups.len()) * 8
+            }
+            _ => 64,
+        }
+    }
+
+    /// Decodes a frame.
+    pub fn decode(frame: &Bytes) -> WireResult<Message> {
+        let mut buf = frame.clone();
+        let t = get_u8(&mut buf, "tag")?;
+        let msg = match t {
+            tag::CONNECT_REQUEST => Message::ConnectRequest {
+                group_id: get_u64(&mut buf, "group_id")?,
+                instance: get_u32(&mut buf, "instance")?,
+            },
+            tag::CONNECT_REPLY => Message::ConnectReply {
+                n_workers: get_u32(&mut buf, "n_workers")?,
+                n_cells: get_u64(&mut buf, "n_cells")?,
+                p: get_u32(&mut buf, "p")?,
+                n_timesteps: get_u32(&mut buf, "n_timesteps")?,
+            },
+            tag::DATA => Message::Data {
+                group_id: get_u64(&mut buf, "group_id")?,
+                instance: get_u32(&mut buf, "instance")?,
+                role: get_u16(&mut buf, "role")?,
+                timestep: get_u32(&mut buf, "timestep")?,
+                start: get_u64(&mut buf, "start")?,
+                values: get_f64_vec(&mut buf, "values")?,
+            },
+            tag::HEARTBEAT => Message::Heartbeat { sender: get_u32(&mut buf, "sender")? },
+            tag::SERVER_READY => Message::ServerReady,
+            tag::SERVER_REPORT => Message::ServerReport {
+                finished_groups: get_u64_vec(&mut buf, "finished_groups")?,
+                running_groups: get_u64_vec(&mut buf, "running_groups")?,
+                max_ci_width: melissa_transport::codec::get_f64(&mut buf, "max_ci_width")?,
+            },
+            tag::GROUP_TIMEOUT => {
+                Message::GroupTimeout { group_id: get_u64(&mut buf, "group_id")? }
+            }
+            tag::CHECKPOINT => Message::Checkpoint { dir: get_str(&mut buf, "dir")? },
+            tag::STOP => Message::Stop,
+            _ => return Err(WireError::Invalid { what: "unknown message tag" }),
+        };
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = msg.encode();
+        assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::ConnectRequest { group_id: 42, instance: 3 });
+        roundtrip(Message::ConnectReply { n_workers: 8, n_cells: 1 << 33, p: 6, n_timesteps: 100 });
+        roundtrip(Message::Data {
+            group_id: 7,
+            instance: 1,
+            role: 5,
+            timestep: 99,
+            start: 12345,
+            values: vec![1.0, -2.5, 1e300, f64::MIN_POSITIVE],
+        });
+        roundtrip(Message::Heartbeat { sender: 0 });
+        roundtrip(Message::ServerReady);
+        roundtrip(Message::ServerReport {
+            finished_groups: vec![1, 2, 3],
+            running_groups: vec![],
+            max_ci_width: 0.25,
+        });
+        roundtrip(Message::GroupTimeout { group_id: 9 });
+        roundtrip(Message::Checkpoint { dir: "/tmp/ckpt".into() });
+        roundtrip(Message::Stop);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let frame = Bytes::from_static(&[200, 1, 2, 3]);
+        assert!(Message::decode(&frame).is_err());
+        let empty = Bytes::new();
+        assert!(Message::decode(&empty).is_err());
+    }
+
+    #[test]
+    fn truncated_data_message_is_rejected() {
+        let msg = Message::Data {
+            group_id: 1,
+            instance: 0,
+            role: 0,
+            timestep: 0,
+            start: 0,
+            values: vec![1.0; 10],
+        };
+        let frame = msg.encode();
+        let cut = frame.slice(0..frame.len() - 4);
+        assert!(Message::decode(&cut).is_err());
+    }
+
+    #[test]
+    fn data_message_size_is_dominated_by_payload() {
+        let msg = Message::Data {
+            group_id: 1,
+            instance: 0,
+            role: 0,
+            timestep: 0,
+            start: 0,
+            values: vec![0.0; 1000],
+        };
+        let frame = msg.encode();
+        assert!(frame.len() >= 8000 && frame.len() < 8100, "frame {} bytes", frame.len());
+    }
+}

@@ -1,0 +1,132 @@
+//! Study report: the launcher's accounting of one study run.
+//!
+//! The paper (Section 4.2.2): "the user gets a clear vision of the actual
+//! data that were accumulated to compute the results through the detailed
+//! report of failures and restarts the Melissa Server provides."
+
+use std::time::Duration;
+
+/// Accounting of one complete study run.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// Groups in the design.
+    pub n_groups: usize,
+    /// Groups fully integrated by the server.
+    pub groups_finished: usize,
+    /// Groups given up after exhausting retries.
+    pub groups_abandoned: Vec<u64>,
+    /// Group job restarts performed.
+    pub group_restarts: u32,
+    /// Server restarts performed.
+    pub server_restarts: u32,
+    /// Wall-clock duration of the study.
+    pub wall_time: Duration,
+    /// Data messages ingested by the server.
+    pub data_messages: u64,
+    /// Data payload bytes ingested by the server — the storage the study
+    /// *avoided* writing as intermediate files.
+    pub data_bytes: u64,
+    /// Replayed messages dropped by discard-on-replay.
+    pub replays_discarded: u64,
+    /// Sends that hit a full buffer (backpressure events).
+    pub blocked_sends: u64,
+    /// Total time clients spent blocked on full buffers.
+    pub blocked_time: Duration,
+    /// Worker checkpoint files written.
+    pub checkpoints_written: u64,
+    /// Whether convergence control stopped the study early.
+    pub early_stopped: bool,
+    /// Final convergence signal (max 95 % CI width).
+    pub final_max_ci: f64,
+    /// Chronological failure/restart log.
+    pub events: Vec<String>,
+}
+
+impl StudyReport {
+    /// Creates an empty report for a study of `n_groups` groups.
+    pub fn new(n_groups: usize) -> Self {
+        Self {
+            n_groups,
+            groups_finished: 0,
+            groups_abandoned: Vec::new(),
+            group_restarts: 0,
+            server_restarts: 0,
+            wall_time: Duration::ZERO,
+            data_messages: 0,
+            data_bytes: 0,
+            replays_discarded: 0,
+            blocked_sends: 0,
+            blocked_time: Duration::ZERO,
+            checkpoints_written: 0,
+            early_stopped: false,
+            final_max_ci: f64::INFINITY,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event to the failure/restart log.
+    pub fn log(&mut self, event: String) {
+        self.events.push(event);
+    }
+
+    /// Data volume in mebibytes.
+    pub fn data_mib(&self) -> f64 {
+        self.data_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl std::fmt::Display for StudyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== Melissa study report ===")?;
+        writeln!(f, "groups            : {}/{} finished", self.groups_finished, self.n_groups)?;
+        writeln!(f, "wall time         : {:.2} s", self.wall_time.as_secs_f64())?;
+        writeln!(
+            f,
+            "in transit data   : {:.1} MiB in {} messages (zero intermediate files)",
+            self.data_mib(),
+            self.data_messages
+        )?;
+        writeln!(f, "replays discarded : {}", self.replays_discarded)?;
+        writeln!(
+            f,
+            "backpressure      : {} blocked sends, {:.3} s total",
+            self.blocked_sends,
+            self.blocked_time.as_secs_f64()
+        )?;
+        writeln!(f, "group restarts    : {}", self.group_restarts)?;
+        writeln!(f, "server restarts   : {}", self.server_restarts)?;
+        writeln!(f, "checkpoints       : {}", self.checkpoints_written)?;
+        if !self.groups_abandoned.is_empty() {
+            writeln!(f, "abandoned groups  : {:?}", self.groups_abandoned)?;
+        }
+        if self.early_stopped {
+            writeln!(f, "early stop        : yes (max CI width {:.4})", self.final_max_ci)?;
+        }
+        if !self.events.is_empty() {
+            writeln!(f, "--- failure/restart log ---")?;
+            for e in &self.events {
+                writeln!(f, "  {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_key_lines() {
+        let mut r = StudyReport::new(10);
+        r.groups_finished = 9;
+        r.groups_abandoned = vec![7];
+        r.data_bytes = 3 * 1024 * 1024;
+        r.log("restarting group 7 as instance 1".into());
+        let text = r.to_string();
+        assert!(text.contains("9/10 finished"));
+        assert!(text.contains("3.0 MiB"));
+        assert!(text.contains("abandoned groups  : [7]"));
+        assert!(text.contains("restarting group 7"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Server checkpoint files (paper Sections 4.2.1 and 5.4).
+//!
+//! Each server process independently writes one binary file holding its
+//! full statistics state and bookkeeping ("each process of the Melissa
+//! Server independently saves one checkpoint file to the Lustre file
+//! system").  In-flight assemblies are *not* saved: on restart their
+//! groups replay from the beginning and discard-on-replay drops what was
+//! already integrated.
+//!
+//! Layout (little-endian, via `melissa_transport::codec`):
+//! magic, version, worker_id, slab, p, n_timesteps, per-timestep packed
+//! Sobol' state, per-timestep packed moments, the last-completed map and
+//! the finished list.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use melissa_mesh::CellRange;
+use melissa_sobol::UbiquitousSobol;
+use melissa_stats::{FieldMinMax, FieldMoments, FieldThreshold};
+
+use super::state::WorkerState;
+
+const MAGIC: u32 = 0x4d4c5341; // "MLSA"
+const VERSION: u32 = 2;
+
+/// Checkpoint read failure.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid checkpoint (magic/version/shape mismatch).
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// File name of worker `w`'s checkpoint inside a checkpoint directory.
+pub fn checkpoint_file(dir: &Path, worker_id: usize) -> std::path::PathBuf {
+    dir.join(format!("melissa_worker_{worker_id}.ckpt"))
+}
+
+/// Writes `state` to `dir`, returning the byte count (the paper reports
+/// 959 MB per process for the full-scale study).
+pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, CheckpointError> {
+    std::fs::create_dir_all(dir)?;
+    let (sobol, moments, minmax, thresholds, last_completed, finished) =
+        state.checkpoint_parts();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(state.worker_id() as u64);
+    buf.put_u64_le(state.slab().start as u64);
+    buf.put_u64_le(state.slab().len as u64);
+    buf.put_u32_le(state.dim() as u32);
+    buf.put_u32_le(state.n_timesteps() as u32);
+    for s in sobol {
+        let (n, flat) = s.pack();
+        buf.put_u64_le(n);
+        buf.put_u64_le(flat.len() as u64);
+        for v in &flat {
+            buf.put_f64_le(*v);
+        }
+    }
+    for m in moments {
+        let (n, mean, m2, m3, m4) = m.raw_state();
+        buf.put_u64_le(n);
+        buf.put_u64_le(mean.len() as u64);
+        for arr in [mean, m2, m3, m4] {
+            for v in arr {
+                buf.put_f64_le(*v);
+            }
+        }
+    }
+    for mm in minmax {
+        let (n, mn, mx) = mm.raw_state();
+        buf.put_u64_le(n);
+        buf.put_u64_le(mn.len() as u64);
+        for arr in [mn, mx] {
+            for v in arr {
+                buf.put_f64_le(*v);
+            }
+        }
+    }
+    let n_thresholds = thresholds.first().map_or(0, |v| v.len());
+    buf.put_u64_le(n_thresholds as u64);
+    for ti in 0..n_thresholds {
+        for per_ts in thresholds {
+            let (threshold, n, exceeded) = per_ts[ti].raw_state();
+            buf.put_f64_le(threshold);
+            buf.put_u64_le(n);
+            buf.put_u64_le(exceeded.len() as u64);
+            for v in exceeded {
+                buf.put_u64_le(*v);
+            }
+        }
+    }
+    buf.put_u64_le(last_completed.len() as u64);
+    for (g, ts) in last_completed {
+        buf.put_u64_le(*g);
+        buf.put_i64_le(*ts);
+    }
+    buf.put_u64_le(finished.len() as u64);
+    for g in finished {
+        buf.put_u64_le(*g);
+    }
+
+    let path = checkpoint_file(dir, state.worker_id());
+    let tmp = path.with_extension("ckpt.tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(buf.len() as u64)
+}
+
+/// Reads worker `worker_id`'s checkpoint from `dir`.
+pub fn read_checkpoint(dir: &Path, worker_id: usize) -> Result<WorkerState, CheckpointError> {
+    let path = checkpoint_file(dir, worker_id);
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let mut buf = bytes.as_slice();
+
+    macro_rules! need {
+        ($n:expr, $what:expr) => {
+            if buf.remaining() < $n {
+                return Err(CheckpointError::Corrupt($what));
+            }
+        };
+    }
+
+    need!(8, "header");
+    if buf.get_u32_le() != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(CheckpointError::Corrupt("unsupported version"));
+    }
+    need!(8 * 3 + 4 * 2, "shape");
+    let file_worker = buf.get_u64_le() as usize;
+    if file_worker != worker_id {
+        return Err(CheckpointError::Corrupt("worker id mismatch"));
+    }
+    let slab = CellRange { start: buf.get_u64_le() as usize, len: buf.get_u64_le() as usize };
+    let p = buf.get_u32_le() as usize;
+    let n_timesteps = buf.get_u32_le() as usize;
+    if slab.len == 0 || p == 0 {
+        return Err(CheckpointError::Corrupt("degenerate shape"));
+    }
+
+    let mut sobol = Vec::with_capacity(n_timesteps);
+    for _ in 0..n_timesteps {
+        need!(16, "sobol header");
+        let n = buf.get_u64_le();
+        let flat_len = buf.get_u64_le() as usize;
+        if flat_len != (4 + 4 * p) * slab.len {
+            return Err(CheckpointError::Corrupt("sobol payload length"));
+        }
+        need!(flat_len * 8, "sobol payload");
+        let mut flat = Vec::with_capacity(flat_len);
+        for _ in 0..flat_len {
+            flat.push(buf.get_f64_le());
+        }
+        sobol.push(UbiquitousSobol::unpack(p, slab.len, n, &flat));
+    }
+
+    let mut moments = Vec::with_capacity(n_timesteps);
+    for _ in 0..n_timesteps {
+        need!(16, "moments header");
+        let n = buf.get_u64_le();
+        let len = buf.get_u64_le() as usize;
+        if len != slab.len {
+            return Err(CheckpointError::Corrupt("moments length"));
+        }
+        need!(len * 8 * 4, "moments payload");
+        let mut arrays: Vec<Vec<f64>> = Vec::with_capacity(4);
+        for _ in 0..4 {
+            let mut a = Vec::with_capacity(len);
+            for _ in 0..len {
+                a.push(buf.get_f64_le());
+            }
+            arrays.push(a);
+        }
+        let m4 = arrays.pop().unwrap();
+        let m3 = arrays.pop().unwrap();
+        let m2 = arrays.pop().unwrap();
+        let mean = arrays.pop().unwrap();
+        moments.push(FieldMoments::from_raw_state(n, mean, m2, m3, m4));
+    }
+
+    let mut minmax = Vec::with_capacity(n_timesteps);
+    for _ in 0..n_timesteps {
+        need!(16, "minmax header");
+        let n = buf.get_u64_le();
+        let len = buf.get_u64_le() as usize;
+        if len != slab.len {
+            return Err(CheckpointError::Corrupt("minmax length"));
+        }
+        need!(len * 8 * 2, "minmax payload");
+        let mut mn = Vec::with_capacity(len);
+        for _ in 0..len {
+            mn.push(buf.get_f64_le());
+        }
+        let mut mx = Vec::with_capacity(len);
+        for _ in 0..len {
+            mx.push(buf.get_f64_le());
+        }
+        minmax.push(FieldMinMax::from_raw_state(n, mn, mx));
+    }
+
+    need!(8, "threshold count");
+    let n_thresholds = buf.get_u64_le() as usize;
+    let mut thresholds: Vec<Vec<FieldThreshold>> = vec![Vec::new(); n_timesteps];
+    for _ in 0..n_thresholds {
+        for per_ts in thresholds.iter_mut() {
+            need!(24, "threshold header");
+            let threshold = buf.get_f64_le();
+            let n = buf.get_u64_le();
+            let len = buf.get_u64_le() as usize;
+            if len != slab.len {
+                return Err(CheckpointError::Corrupt("threshold length"));
+            }
+            need!(len * 8, "threshold payload");
+            let mut exceeded = Vec::with_capacity(len);
+            for _ in 0..len {
+                exceeded.push(buf.get_u64_le());
+            }
+            per_ts.push(FieldThreshold::from_raw_state(threshold, n, exceeded));
+        }
+    }
+
+    need!(8, "bookkeeping");
+    let n_groups = buf.get_u64_le() as usize;
+    let mut last_completed = HashMap::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        need!(16, "last_completed entry");
+        let g = buf.get_u64_le();
+        let ts = buf.get_i64_le();
+        last_completed.insert(g, ts);
+    }
+    need!(8, "finished count");
+    let n_finished = buf.get_u64_le() as usize;
+    let mut finished = Vec::with_capacity(n_finished);
+    for _ in 0..n_finished {
+        need!(8, "finished entry");
+        finished.push(buf.get_u64_le());
+    }
+
+    Ok(WorkerState::from_checkpoint_parts(
+        worker_id,
+        slab,
+        p,
+        n_timesteps,
+        sobol,
+        moments,
+        minmax,
+        thresholds,
+        last_completed,
+        finished,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("melissa-ckpt-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn populated_state() -> WorkerState {
+        let mut st = WorkerState::new(2, CellRange { start: 5, len: 3 }, 2, 2);
+        for ts in 0..2u32 {
+            for role in 0..4u16 {
+                let vals: Vec<f64> = (0..3).map(|i| (role as f64) * 2.0 + i as f64 + ts as f64).collect();
+                st.on_data(11, role, ts, 5, &vals);
+            }
+        }
+        for role in 0..4u16 {
+            st.on_data(12, role, 0, 5, &[1.0, 2.0, 3.0]);
+        }
+        st
+    }
+
+    #[test]
+    fn roundtrip_preserves_statistics_and_bookkeeping() {
+        let dir = tmpdir("rt");
+        let st = populated_state();
+        let bytes = write_checkpoint(&dir, &st).unwrap();
+        assert!(bytes > 0);
+        let back = read_checkpoint(&dir, 2).unwrap();
+        assert_eq!(back.slab(), st.slab());
+        assert_eq!(back.n_timesteps(), st.n_timesteps());
+        for ts in 0..2 {
+            assert_eq!(back.sobol(ts), st.sobol(ts));
+            assert_eq!(back.moments(ts), st.moments(ts));
+        }
+        assert_eq!(back.finished_groups(), st.finished_groups());
+        assert_eq!(back.last_completed(11), st.last_completed(11));
+        assert_eq!(back.last_completed(12), Some(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restored_state_continues_with_discard_on_replay() {
+        let dir = tmpdir("dor");
+        let st = populated_state();
+        write_checkpoint(&dir, &st).unwrap();
+        let mut back = read_checkpoint(&dir, 2).unwrap();
+        // Group 12 completed ts 0 before the checkpoint; a restarted
+        // instance replays from ts 0 — the replay must be discarded.
+        for role in 0..4u16 {
+            assert!(!back.on_data(12, role, 0, 5, &[9.0, 9.0, 9.0]));
+        }
+        assert_eq!(back.replays_discarded, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = tmpdir("missing");
+        assert!(matches!(read_checkpoint(&dir, 0), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn corrupt_magic_is_detected() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(checkpoint_file(&dir, 0), [0u8; 64]).unwrap();
+        assert!(matches!(read_checkpoint(&dir, 0), Err(CheckpointError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_id_mismatch_is_detected() {
+        let dir = tmpdir("wid");
+        let st = populated_state(); // worker 2
+        write_checkpoint(&dir, &st).unwrap();
+        // Rename to pose as worker 0.
+        std::fs::rename(checkpoint_file(&dir, 2), checkpoint_file(&dir, 0)).unwrap();
+        assert!(matches!(read_checkpoint(&dir, 0), Err(CheckpointError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,401 @@
+//! Melissa Server: the parallel in transit statistics engine
+//! (paper Section 4.1.1).
+//!
+//! The server runs `M` worker processes (threads here), each owning an
+//! even slab of the mesh.  Workers independently pump their inbound
+//! message queues and update their local statistics — "updating the
+//! statistics is a local operation that requires neither communication nor
+//! synchronization between the server processes".  A *main* process
+//! handles dynamic connection requests, periodic heartbeats/reports to the
+//! launcher, group-timeout detection and checkpoint triggers.
+
+pub mod checkpoint;
+pub mod state;
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use melissa_mesh::SlabPartition;
+use melissa_transport::registry::names;
+use melissa_transport::{Broker, Frame, HwmSender, KillSwitch, LivenessTracker};
+use parking_lot::Mutex;
+
+use crate::protocol::Message;
+use checkpoint::{read_checkpoint, write_checkpoint};
+use state::WorkerState;
+
+/// Server deployment configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker processes.
+    pub n_workers: usize,
+    /// Global cell count.
+    pub n_cells: usize,
+    /// Number of variable parameters.
+    pub p: usize,
+    /// Timesteps per simulation.
+    pub n_timesteps: usize,
+    /// Link high-water mark.
+    pub hwm: usize,
+    /// Inter-message timeout for unfinished-group detection.
+    pub group_timeout: Duration,
+    /// Checkpoint period.
+    pub checkpoint_interval: Duration,
+    /// Checkpoint directory.
+    pub checkpoint_dir: PathBuf,
+    /// Report/heartbeat period towards the launcher.
+    pub report_interval: Duration,
+    /// Whether workers maintain the convergence-control CI signal
+    /// (costs one CI sweep per finished group).
+    pub track_ci: bool,
+    /// Variance floor masking degenerate cells in the CI sweep.
+    pub ci_variance_floor: f64,
+    /// Restore worker states from checkpoint files on start.
+    pub restore: bool,
+    /// Thresholds for per-cell exceedance probabilities (paper Sec. 4.1's
+    /// "other iterative statistics"; empty disables).
+    pub thresholds: Vec<f64>,
+}
+
+/// State shared between server threads and readable by the launcher.
+pub struct ServerShared {
+    /// Per-group last-message liveness (unfinished-group detection).
+    pub liveness: LivenessTracker<u64>,
+    /// Groups with at least one message on any worker.
+    pub started: Mutex<HashSet<u64>>,
+    /// Per-group count of workers that integrated its final timestep.
+    finished_counts: Mutex<HashMap<u64, usize>>,
+    /// Groups finished on *every* worker.
+    pub finished: Mutex<HashSet<u64>>,
+    /// Per-worker latest convergence-control signal (max CI width over the
+    /// worker's slab; ∞ until known).
+    worker_ci: Mutex<Vec<f64>>,
+    /// Total data payload bytes ingested.
+    pub bytes_received: AtomicU64,
+    /// Total data messages ingested.
+    pub messages_received: AtomicU64,
+    /// Total replayed messages discarded.
+    pub replays_discarded: AtomicU64,
+    /// Checkpoint writes performed (all workers).
+    pub checkpoints_written: AtomicU64,
+    n_workers: usize,
+}
+
+impl ServerShared {
+    fn new(n_workers: usize, group_timeout: Duration) -> Self {
+        Self {
+            liveness: LivenessTracker::new(group_timeout),
+            started: Mutex::new(HashSet::new()),
+            finished_counts: Mutex::new(HashMap::new()),
+            finished: Mutex::new(HashSet::new()),
+            worker_ci: Mutex::new(vec![f64::INFINITY; n_workers]),
+            bytes_received: AtomicU64::new(0),
+            messages_received: AtomicU64::new(0),
+            replays_discarded: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            n_workers,
+        }
+    }
+
+    fn record_group_finished_on_worker(&self, group: u64) {
+        let mut counts = self.finished_counts.lock();
+        let c = counts.entry(group).or_insert(0);
+        *c += 1;
+        if *c == self.n_workers {
+            self.finished.lock().insert(group);
+            self.liveness.forget(&group);
+        }
+    }
+
+    /// Snapshot of fully finished groups.
+    pub fn finished_groups(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.finished.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Snapshot of started-but-unfinished groups.
+    pub fn running_groups(&self) -> Vec<u64> {
+        let finished = self.finished.lock();
+        let mut v: Vec<u64> =
+            self.started.lock().iter().copied().filter(|g| !finished.contains(g)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Global convergence signal: the widest CI over all workers
+    /// (∞ until every worker has reported one).
+    pub fn max_ci_width(&self) -> f64 {
+        self.worker_ci.lock().iter().copied().fold(0.0, f64::max)
+    }
+
+    fn set_worker_ci(&self, worker: usize, width: f64) {
+        self.worker_ci.lock()[worker] = width;
+    }
+}
+
+/// A running Melissa Server instance.
+pub struct Server {
+    /// Flipping this simulates a server crash (all threads stop without
+    /// finalising; in-memory statistics are lost).
+    pub kill: KillSwitch,
+    shared: Arc<ServerShared>,
+    main_handle: JoinHandle<()>,
+    worker_handles: Vec<JoinHandle<WorkerState>>,
+    worker_senders: Vec<HwmSender>,
+    main_sender: HwmSender,
+}
+
+impl Server {
+    /// Binds endpoints and starts the main and worker threads.  Sends
+    /// `ServerReady` to the launcher endpoint once up.
+    pub fn start(config: ServerConfig, broker: &Broker, launcher_tx: HwmSender) -> Server {
+        assert!(config.n_workers > 0 && config.n_cells >= config.n_workers);
+        let shared = Arc::new(ServerShared::new(config.n_workers, config.group_timeout));
+        let kill = KillSwitch::new();
+        let partition = SlabPartition::new(config.n_cells, config.n_workers);
+
+        // Bind everything *before* any thread runs so clients can connect
+        // as soon as ServerReady is out.
+        let main_rx = broker.bind(names::server_main(), config.hwm);
+        let worker_rxs: Vec<Receiver<Frame>> = (0..config.n_workers)
+            .map(|w| broker.bind(names::server_worker(w), config.hwm))
+            .collect();
+        let worker_senders: Vec<HwmSender> = (0..config.n_workers)
+            .map(|w| broker.connect(&names::server_worker(w)).expect("just bound"))
+            .collect();
+        let main_sender = broker.connect(&names::server_main()).expect("just bound");
+
+        let worker_handles: Vec<JoinHandle<WorkerState>> = worker_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(w, rx)| {
+                let cfg = config.clone();
+                let shared = Arc::clone(&shared);
+                let kill = kill.clone();
+                let slab = partition.worker_range(w);
+                std::thread::spawn(move || {
+                    let state = if cfg.restore {
+                        match read_checkpoint(&cfg.checkpoint_dir, w) {
+                            Ok(st) => st,
+                            Err(_) => WorkerState::with_thresholds(
+                                w,
+                                slab,
+                                cfg.p,
+                                cfg.n_timesteps,
+                                &cfg.thresholds,
+                            ),
+                        }
+                    } else {
+                        WorkerState::with_thresholds(w, slab, cfg.p, cfg.n_timesteps, &cfg.thresholds)
+                    };
+                    // Checkpointed bookkeeping seeds the shared lists.
+                    if cfg.restore {
+                        for &g in state.finished_groups() {
+                            shared.started.lock().insert(g);
+                            shared.record_group_finished_on_worker(g);
+                        }
+                        for g in state.running_groups() {
+                            shared.started.lock().insert(g);
+                        }
+                    }
+                    worker_loop(state, rx, shared, kill, cfg)
+                })
+            })
+            .collect();
+
+        let main_handle = {
+            let cfg = config.clone();
+            let shared = Arc::clone(&shared);
+            let kill = kill.clone();
+            let broker = broker.clone();
+            let senders = worker_senders.clone();
+            std::thread::spawn(move || {
+                main_loop(cfg, broker, shared, kill, launcher_tx, senders, main_rx)
+            })
+        };
+
+        Server { kill, shared, main_handle, worker_handles, worker_senders, main_sender }
+    }
+
+    /// Shared observability handle.
+    pub fn shared(&self) -> &Arc<ServerShared> {
+        &self.shared
+    }
+
+    /// Aggregate blocked-send statistics over the server's data endpoints
+    /// (every client clone of an endpoint sender shares its counters).
+    pub fn link_stats(&self) -> (u64, Duration) {
+        let mut blocked = 0u64;
+        let mut time = Duration::ZERO;
+        for s in &self.worker_senders {
+            blocked += s.stats().sends_blocked();
+            time += s.stats().blocked_time();
+        }
+        (blocked, time)
+    }
+
+    /// Requests an immediate checkpoint of all workers.
+    pub fn checkpoint_now(&self, dir: &std::path::Path) {
+        let msg = Message::Checkpoint { dir: dir.to_string_lossy().into_owned() }.encode();
+        for s in &self.worker_senders {
+            let _ = s.send(msg.clone());
+        }
+    }
+
+    /// Stops the server cleanly and returns the worker states (the final
+    /// statistics).
+    pub fn stop(self) -> Vec<WorkerState> {
+        let _ = self.main_sender.send(Message::Stop.encode());
+        let _ = self.main_handle.join();
+        self.worker_handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    }
+
+    /// Abandons a crashed server: joins threads and **discards** their
+    /// in-memory statistics (they died; only checkpoints survive).
+    pub fn abandon(self) {
+        self.kill.kill();
+        let _ = self.main_handle.join();
+        for h in self.worker_handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker thread: pump the inbox, update local statistics, obey control
+/// messages.  Returns the final state on clean stop.
+fn worker_loop(
+    mut state: WorkerState,
+    rx: Receiver<Frame>,
+    shared: Arc<ServerShared>,
+    kill: KillSwitch,
+    cfg: ServerConfig,
+) -> WorkerState {
+    loop {
+        if kill.is_killed() {
+            return state; // crash: caller discards the state
+        }
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(frame) => {
+                let msg = match Message::decode(&frame) {
+                    Ok(m) => m,
+                    Err(_) => continue, // corrupt frame: drop
+                };
+                match msg {
+                    Message::Data { group_id, role, timestep, start, values, .. } => {
+                        shared.liveness.record(group_id);
+                        shared.started.lock().insert(group_id);
+                        shared.messages_received.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .bytes_received
+                            .fetch_add((values.len() * 8) as u64, Ordering::Relaxed);
+                        let before = state.replays_discarded;
+                        let completed = state.on_data(group_id, role, timestep, start, &values);
+                        shared
+                            .replays_discarded
+                            .fetch_add(state.replays_discarded - before, Ordering::Relaxed);
+                        if completed && timestep as usize + 1 == state.n_timesteps() {
+                            shared.record_group_finished_on_worker(group_id);
+                            if cfg.track_ci {
+                                let w = state.max_ci_width(cfg.ci_variance_floor);
+                                shared.set_worker_ci(state.worker_id(), w);
+                            }
+                        }
+                    }
+                    Message::Checkpoint { dir }
+                        if write_checkpoint(std::path::Path::new(&dir), &state).is_ok() => {
+                            shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                        }
+                    Message::Stop => return state,
+                    _ => {}
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return state,
+        }
+    }
+}
+
+/// Main thread: connection handshakes, heartbeats, reports, group-timeout
+/// detection, periodic checkpoints.
+#[allow(clippy::too_many_arguments)]
+fn main_loop(
+    cfg: ServerConfig,
+    broker: Broker,
+    shared: Arc<ServerShared>,
+    kill: KillSwitch,
+    launcher_tx: HwmSender,
+    worker_senders: Vec<HwmSender>,
+    main_rx: Receiver<Frame>,
+) {
+    let mut last_report = Instant::now();
+    let mut last_checkpoint = Instant::now();
+    let _ = launcher_tx.send(Message::ServerReady.encode());
+    loop {
+        if kill.is_killed() {
+            return;
+        }
+        match main_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(frame) => match Message::decode(&frame) {
+                Ok(Message::ConnectRequest { group_id, instance }) => {
+                    let reply = Message::ConnectReply {
+                        n_workers: cfg.n_workers as u32,
+                        n_cells: cfg.n_cells as u64,
+                        p: cfg.p as u32,
+                        n_timesteps: cfg.n_timesteps as u32,
+                    };
+                    if let Ok(tx) = broker.connect(&names::group_reply(group_id, instance)) {
+                        let _ = tx.send(reply.encode());
+                    }
+                }
+                Ok(Message::Checkpoint { dir }) => {
+                    let msg = Message::Checkpoint { dir }.encode();
+                    for s in &worker_senders {
+                        let _ = s.send(msg.clone());
+                    }
+                }
+                Ok(Message::Stop) => {
+                    let stop = Message::Stop.encode();
+                    for s in &worker_senders {
+                        let _ = s.send(stop.clone());
+                    }
+                    return;
+                }
+                _ => {}
+            },
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+
+        if last_report.elapsed() >= cfg.report_interval {
+            last_report = Instant::now();
+            let _ = launcher_tx.send(Message::Heartbeat { sender: 0 }.encode());
+            let report = Message::ServerReport {
+                finished_groups: shared.finished_groups(),
+                running_groups: shared.running_groups(),
+                max_ci_width: shared.max_ci_width(),
+            };
+            let _ = launcher_tx.send(report.encode());
+            for g in shared.liveness.expired() {
+                shared.liveness.forget(&g);
+                let _ = launcher_tx.send(Message::GroupTimeout { group_id: g }.encode());
+            }
+        }
+
+        if last_checkpoint.elapsed() >= cfg.checkpoint_interval {
+            last_checkpoint = Instant::now();
+            let msg = Message::Checkpoint {
+                dir: cfg.checkpoint_dir.to_string_lossy().into_owned(),
+            }
+            .encode();
+            for s in &worker_senders {
+                let _ = s.send(msg.clone());
+            }
+        }
+    }
+}

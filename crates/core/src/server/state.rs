@@ -1,0 +1,452 @@
+//! Per-worker statistics state: the heart of Melissa Server.
+//!
+//! Each server process owns a slab of cells and keeps, per timestep, the
+//! iterative ubiquitous Sobol' state plus plain field moments over the
+//! `Y^A`/`Y^B` samples.  Incoming `Data` chunks are assembled per
+//! `(group, timestep)` until all `p + 2` roles cover the slab, at which
+//! point the statistics are updated in place and the data is **discarded**
+//! — the defining property of in transit processing.
+//!
+//! Bookkeeping implements the paper's fault-tolerance accounting
+//! (Section 4.2.1): the last *completed* timestep per group, a
+//! discard-on-replay policy for messages at or below it, and the
+//! finished/running group lists reported to the launcher.
+
+use std::collections::HashMap;
+
+use melissa_mesh::CellRange;
+use melissa_sobol::UbiquitousSobol;
+use melissa_stats::{FieldMinMax, FieldMoments, FieldThreshold};
+
+/// Assembly buffer for one `(group, timestep)`: the `p + 2` role fields
+/// restricted to this worker's slab.
+struct Assembly {
+    /// `p + 2` role fields over the slab.
+    fields: Vec<Vec<f64>>,
+    /// Per-role fill bitmap (guards against duplicate chunks from
+    /// restarted instances double-counting).
+    filled: Vec<Vec<bool>>,
+    /// Cells filled per role.
+    counts: Vec<usize>,
+}
+
+impl Assembly {
+    fn new(roles: usize, slab_len: usize) -> Self {
+        Self {
+            fields: vec![vec![0.0; slab_len]; roles],
+            filled: vec![vec![false; slab_len]; roles],
+            counts: vec![0; roles],
+        }
+    }
+
+    fn complete(&self, slab_len: usize) -> bool {
+        self.counts.iter().all(|&c| c == slab_len)
+    }
+}
+
+/// Statistics and bookkeeping of one server worker.
+pub struct WorkerState {
+    worker_id: usize,
+    slab: CellRange,
+    p: usize,
+    n_timesteps: usize,
+    /// Per-timestep Sobol' state over the slab.
+    sobol: Vec<UbiquitousSobol>,
+    /// Per-timestep moments over the `Y^A` and `Y^B` samples only (the
+    /// other group members are not i.i.d. draws, paper Section 4.1).
+    moments: Vec<FieldMoments>,
+    /// Per-timestep running min/max envelope (also on `Y^A`/`Y^B`).
+    minmax: Vec<FieldMinMax>,
+    /// Per-timestep threshold-exceedance accumulators, one per configured
+    /// threshold (paper Section 4.1 / Terraz et al. ISAV'16).
+    thresholds: Vec<Vec<FieldThreshold>>,
+    /// In-flight assemblies.
+    assembly: HashMap<(u64, u32), Assembly>,
+    /// Last fully integrated timestep per group (discard-on-replay floor).
+    last_completed: HashMap<u64, i64>,
+    /// Groups whose final timestep has been integrated.
+    finished: Vec<u64>,
+    /// Messages received (paper reports ~1000 msg/min per process).
+    pub messages_received: u64,
+    /// Payload bytes received (the paper's "48 TB treated" accounting).
+    pub bytes_received: u64,
+    /// Messages dropped by discard-on-replay.
+    pub replays_discarded: u64,
+}
+
+impl WorkerState {
+    /// Creates an empty state for worker `worker_id` owning `slab`
+    /// (no threshold statistics).
+    pub fn new(worker_id: usize, slab: CellRange, p: usize, n_timesteps: usize) -> Self {
+        Self::with_thresholds(worker_id, slab, p, n_timesteps, &[])
+    }
+
+    /// Creates an empty state additionally tracking threshold-exceedance
+    /// probabilities for each value in `thresholds`.
+    pub fn with_thresholds(
+        worker_id: usize,
+        slab: CellRange,
+        p: usize,
+        n_timesteps: usize,
+        thresholds: &[f64],
+    ) -> Self {
+        assert!(slab.len > 0, "worker must own at least one cell");
+        Self {
+            worker_id,
+            slab,
+            p,
+            n_timesteps,
+            sobol: (0..n_timesteps).map(|_| UbiquitousSobol::new(p, slab.len)).collect(),
+            moments: (0..n_timesteps).map(|_| FieldMoments::new(slab.len)).collect(),
+            minmax: (0..n_timesteps).map(|_| FieldMinMax::new(slab.len)).collect(),
+            thresholds: (0..n_timesteps)
+                .map(|_| thresholds.iter().map(|&t| FieldThreshold::new(slab.len, t)).collect())
+                .collect(),
+            assembly: HashMap::new(),
+            last_completed: HashMap::new(),
+            finished: Vec::new(),
+            messages_received: 0,
+            bytes_received: 0,
+            replays_discarded: 0,
+        }
+    }
+
+    /// Worker id.
+    pub fn worker_id(&self) -> usize {
+        self.worker_id
+    }
+
+    /// The slab of cells this worker owns.
+    pub fn slab(&self) -> CellRange {
+        self.slab
+    }
+
+    /// Number of parameters.
+    pub fn dim(&self) -> usize {
+        self.p
+    }
+
+    /// Number of timesteps tracked.
+    pub fn n_timesteps(&self) -> usize {
+        self.n_timesteps
+    }
+
+    /// Ingests one data chunk.  Returns `true` if it completed a
+    /// `(group, timestep)` assembly (statistics were updated).
+    ///
+    /// # Panics
+    /// Panics if the chunk lies outside the worker's slab or has an
+    /// out-of-range role/timestep — client bugs, not runtime conditions.
+    pub fn on_data(
+        &mut self,
+        group_id: u64,
+        role: u16,
+        timestep: u32,
+        start: u64,
+        values: &[f64],
+    ) -> bool {
+        let role = role as usize;
+        let ts = timestep as usize;
+        assert!(role < self.p + 2, "role {role} out of range");
+        assert!(ts < self.n_timesteps, "timestep {ts} out of range");
+        let start = start as usize;
+        assert!(
+            start >= self.slab.start && start + values.len() <= self.slab.end(),
+            "chunk [{start}, {}) outside slab [{}, {})",
+            start + values.len(),
+            self.slab.start,
+            self.slab.end()
+        );
+
+        self.messages_received += 1;
+        self.bytes_received += (values.len() * 8) as u64;
+
+        // Discard on replay: any message at or below the last completed
+        // timestep of this group is a duplicate from a restarted instance.
+        if let Some(&floor) = self.last_completed.get(&group_id) {
+            if ts as i64 <= floor {
+                self.replays_discarded += 1;
+                return false;
+            }
+        }
+
+        let slab_len = self.slab.len;
+        let entry = self
+            .assembly
+            .entry((group_id, timestep))
+            .or_insert_with(|| Assembly::new(self.p + 2, slab_len));
+        let local0 = start - self.slab.start;
+        for (i, &v) in values.iter().enumerate() {
+            let li = local0 + i;
+            if !entry.filled[role][li] {
+                entry.filled[role][li] = true;
+                entry.counts[role] += 1;
+            }
+            entry.fields[role][li] = v;
+        }
+
+        if !entry.complete(slab_len) {
+            return false;
+        }
+
+        // Assembly complete: fold into the statistics and discard.
+        let done = self.assembly.remove(&(group_id, timestep)).unwrap();
+        let refs: Vec<&[f64]> = done.fields.iter().map(|f| f.as_slice()).collect();
+        self.sobol[ts].update_group(&refs);
+        // The auxiliary statistics use only the i.i.d. Y^A/Y^B samples.
+        for sample in refs.iter().take(2) {
+            self.moments[ts].update(sample);
+            self.minmax[ts].update(sample);
+            for th in &mut self.thresholds[ts] {
+                th.update(sample);
+            }
+        }
+        self.last_completed.insert(group_id, ts as i64);
+        if ts + 1 == self.n_timesteps {
+            self.finished.push(group_id);
+            // Drop any stale partial assemblies of this group (replays).
+            self.assembly.retain(|&(g, _), _| g != group_id);
+        }
+        true
+    }
+
+    /// Groups fully integrated by this worker.
+    pub fn finished_groups(&self) -> &[u64] {
+        &self.finished
+    }
+
+    /// Groups with at least one completed timestep that are not finished.
+    pub fn running_groups(&self) -> Vec<u64> {
+        self.last_completed
+            .keys()
+            .copied()
+            .filter(|g| !self.finished.contains(g))
+            .collect()
+    }
+
+    /// Last completed timestep of a group (`None` if nothing integrated).
+    pub fn last_completed(&self, group_id: u64) -> Option<i64> {
+        self.last_completed.get(&group_id).copied()
+    }
+
+    /// Number of groups folded into timestep `ts`.
+    pub fn groups_at(&self, ts: usize) -> u64 {
+        self.sobol[ts].n_groups()
+    }
+
+    /// Sobol' state of one timestep.
+    pub fn sobol(&self, ts: usize) -> &UbiquitousSobol {
+        &self.sobol[ts]
+    }
+
+    /// Field moments of one timestep.
+    pub fn moments(&self, ts: usize) -> &FieldMoments {
+        &self.moments[ts]
+    }
+
+    /// Min/max envelope of one timestep.
+    pub fn minmax(&self, ts: usize) -> &FieldMinMax {
+        &self.minmax[ts]
+    }
+
+    /// Threshold-exceedance accumulators of one timestep (one per
+    /// configured threshold).
+    pub fn thresholds(&self, ts: usize) -> &[FieldThreshold] {
+        &self.thresholds[ts]
+    }
+
+    /// Widest 95 % CI over all timesteps/cells/parameters, masked by the
+    /// variance floor (convergence control).
+    pub fn max_ci_width(&self, variance_floor: f64) -> f64 {
+        self.sobol.iter().map(|s| s.max_ci_width(variance_floor)).fold(0.0, f64::max)
+    }
+
+    /// In-flight assembly count (for memory diagnostics).
+    pub fn pending_assemblies(&self) -> usize {
+        self.assembly.len()
+    }
+
+    /// Internal accessors for checkpointing.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn checkpoint_parts(
+        &self,
+    ) -> (
+        &[UbiquitousSobol],
+        &[FieldMoments],
+        &[FieldMinMax],
+        &[Vec<FieldThreshold>],
+        &HashMap<u64, i64>,
+        &[u64],
+    ) {
+        (
+            &self.sobol,
+            &self.moments,
+            &self.minmax,
+            &self.thresholds,
+            &self.last_completed,
+            &self.finished,
+        )
+    }
+
+    /// Rebuilds a state from checkpointed parts (in-flight assemblies are
+    /// deliberately *not* checkpointed: their groups will be replayed).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_checkpoint_parts(
+        worker_id: usize,
+        slab: CellRange,
+        p: usize,
+        n_timesteps: usize,
+        sobol: Vec<UbiquitousSobol>,
+        moments: Vec<FieldMoments>,
+        minmax: Vec<FieldMinMax>,
+        thresholds: Vec<Vec<FieldThreshold>>,
+        last_completed: HashMap<u64, i64>,
+        finished: Vec<u64>,
+    ) -> Self {
+        assert_eq!(sobol.len(), n_timesteps);
+        assert_eq!(moments.len(), n_timesteps);
+        assert_eq!(minmax.len(), n_timesteps);
+        assert_eq!(thresholds.len(), n_timesteps);
+        Self {
+            worker_id,
+            slab,
+            p,
+            n_timesteps,
+            sobol,
+            moments,
+            minmax,
+            thresholds,
+            assembly: HashMap::new(),
+            last_completed,
+            finished,
+            messages_received: 0,
+            bytes_received: 0,
+            replays_discarded: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: usize = 2;
+    const TS: usize = 3;
+
+    fn slab() -> CellRange {
+        CellRange { start: 10, len: 4 }
+    }
+
+    fn state() -> WorkerState {
+        WorkerState::new(0, slab(), P, TS)
+    }
+
+    /// Sends a full timestep for a group in one chunk per role.
+    fn send_full_ts(st: &mut WorkerState, group: u64, ts: u32, scale: f64) -> bool {
+        let mut completed = false;
+        for role in 0..(P + 2) as u16 {
+            let vals: Vec<f64> =
+                (0..4).map(|i| scale * (role as f64 + 1.0) + i as f64).collect();
+            completed = st.on_data(group, role, ts, 10, &vals);
+        }
+        completed
+    }
+
+    #[test]
+    fn assembly_completes_only_when_all_roles_cover_the_slab() {
+        let mut st = state();
+        // Three of four roles: not complete.
+        for role in 0..3u16 {
+            assert!(!st.on_data(1, role, 0, 10, &[1.0, 2.0, 3.0, 4.0]));
+        }
+        assert_eq!(st.groups_at(0), 0);
+        assert_eq!(st.pending_assemblies(), 1);
+        // Final role in two chunks.
+        assert!(!st.on_data(1, 3, 0, 10, &[1.0, 2.0]));
+        assert!(st.on_data(1, 3, 0, 12, &[3.0, 4.0]));
+        assert_eq!(st.groups_at(0), 1);
+        assert_eq!(st.pending_assemblies(), 0);
+    }
+
+    #[test]
+    fn replayed_timesteps_are_discarded() {
+        let mut st = state();
+        assert!(send_full_ts(&mut st, 5, 0, 1.0));
+        assert_eq!(st.groups_at(0), 1);
+        // A restarted instance replays timestep 0 with different values:
+        // every message must be dropped.
+        for role in 0..(P + 2) as u16 {
+            assert!(!st.on_data(5, role, 0, 10, &[9.0, 9.0, 9.0, 9.0]));
+        }
+        assert_eq!(st.groups_at(0), 1);
+        assert_eq!(st.replays_discarded, (P + 2) as u64);
+        // The next timestep proceeds normally.
+        assert!(send_full_ts(&mut st, 5, 1, 1.0));
+        assert_eq!(st.last_completed(5), Some(1));
+    }
+
+    #[test]
+    fn duplicate_chunks_within_one_assembly_do_not_double_count() {
+        let mut st = state();
+        assert!(!st.on_data(1, 0, 0, 10, &[1.0, 2.0, 3.0, 4.0]));
+        // Same chunk again (e.g. zombie instance overlap): count stays.
+        assert!(!st.on_data(1, 0, 0, 10, &[1.0, 2.0, 3.0, 4.0]));
+        for role in 1..3u16 {
+            st.on_data(1, role, 0, 10, &[0.0; 4]);
+        }
+        assert!(st.on_data(1, 3, 0, 10, &[0.0; 4]));
+        assert_eq!(st.groups_at(0), 1);
+    }
+
+    #[test]
+    fn group_finishes_at_final_timestep() {
+        let mut st = state();
+        for ts in 0..TS as u32 {
+            send_full_ts(&mut st, 7, ts, 1.0);
+        }
+        assert_eq!(st.finished_groups(), &[7]);
+        assert!(st.running_groups().is_empty());
+    }
+
+    #[test]
+    fn running_groups_are_those_mid_flight() {
+        let mut st = state();
+        send_full_ts(&mut st, 1, 0, 1.0);
+        for ts in 0..TS as u32 {
+            send_full_ts(&mut st, 2, ts, 2.0);
+        }
+        assert_eq!(st.running_groups(), vec![1]);
+        assert_eq!(st.finished_groups(), &[2]);
+    }
+
+    #[test]
+    fn statistics_match_direct_feed() {
+        let mut st = state();
+        let fields: Vec<Vec<f64>> =
+            (0..P + 2).map(|r| (0..4).map(|i| (r * 10 + i) as f64).collect()).collect();
+        for (role, f) in fields.iter().enumerate() {
+            st.on_data(1, role as u16, 0, 10, f);
+        }
+        let mut direct = UbiquitousSobol::new(P, 4);
+        let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+        direct.update_group(&refs);
+        assert_eq!(st.sobol(0), &direct);
+        // Moments got Y^A and Y^B.
+        assert_eq!(st.moments(0).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside slab")]
+    fn chunk_outside_slab_panics() {
+        let mut st = state();
+        st.on_data(1, 0, 0, 0, &[1.0]);
+    }
+
+    #[test]
+    fn byte_and_message_accounting() {
+        let mut st = state();
+        send_full_ts(&mut st, 1, 0, 1.0);
+        assert_eq!(st.messages_received, (P + 2) as u64);
+        assert_eq!(st.bytes_received, ((P + 2) * 4 * 8) as u64);
+    }
+}

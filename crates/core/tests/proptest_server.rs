@@ -1,0 +1,168 @@
+//! Property tests of the server's ingest protocol: arbitrary chunking and
+//! arbitrary replay patterns must never change the statistics.
+
+use melissa_mesh::CellRange;
+use melissa_sobol::UbiquitousSobol;
+use melissa_stats::FieldMoments;
+use proptest::prelude::*;
+
+use melissa::server::state::WorkerState;
+
+const P: usize = 2;
+const SLAB_START: usize = 7;
+const SLAB_LEN: usize = 12;
+const TS: usize = 3;
+
+fn slab() -> CellRange {
+    CellRange { start: SLAB_START, len: SLAB_LEN }
+}
+
+/// One study's worth of group fields: groups × timesteps × roles × cells.
+fn study_fields(
+    groups: usize,
+) -> impl Strategy<Value = Vec<Vec<Vec<Vec<f64>>>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(-50.0f64..50.0, SLAB_LEN), P + 2),
+            TS,
+        ),
+        1..groups,
+    )
+}
+
+/// Splits `[0, SLAB_LEN)` into chunks at the given cut fractions.
+fn chunkify(cuts: &[f64]) -> Vec<(usize, usize)> {
+    let mut points: Vec<usize> = cuts.iter().map(|f| (f * SLAB_LEN as f64) as usize).collect();
+    points.push(0);
+    points.push(SLAB_LEN);
+    points.sort_unstable();
+    points.dedup();
+    points.windows(2).map(|w| (w[0], w[1] - w[0])).filter(|&(_, l)| l > 0).collect()
+}
+
+/// Feeds one timestep of one group, chunked.
+fn feed_ts(
+    st: &mut WorkerState,
+    group: u64,
+    ts: u32,
+    fields: &[Vec<f64>],
+    chunks: &[(usize, usize)],
+) {
+    for (role, field) in fields.iter().enumerate() {
+        for &(off, len) in chunks {
+            st.on_data(
+                group,
+                role as u16,
+                ts,
+                (SLAB_START + off) as u64,
+                &field[off..off + len],
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary chunk boundaries never change the integrated statistics.
+    #[test]
+    fn chunking_is_transparent(
+        study in study_fields(6),
+        cuts in prop::collection::vec(0.0f64..1.0, 0..4),
+    ) {
+        let chunks = chunkify(&cuts);
+        let mut chunked = WorkerState::new(0, slab(), P, TS);
+        let mut whole = WorkerState::new(0, slab(), P, TS);
+        for (g, per_ts) in study.iter().enumerate() {
+            for (ts, fields) in per_ts.iter().enumerate() {
+                feed_ts(&mut chunked, g as u64, ts as u32, fields, &chunks);
+                feed_ts(&mut whole, g as u64, ts as u32, fields, &[(0, SLAB_LEN)]);
+            }
+        }
+        for ts in 0..TS {
+            prop_assert_eq!(chunked.sobol(ts), whole.sobol(ts), "ts {}", ts);
+            prop_assert_eq!(chunked.moments(ts), whole.moments(ts));
+        }
+        prop_assert_eq!(chunked.finished_groups(), whole.finished_groups());
+    }
+
+    /// Replaying any prefix of a group's timesteps (a restarted instance)
+    /// is fully absorbed by discard-on-replay.
+    #[test]
+    fn replays_are_idempotent(
+        study in study_fields(5),
+        replay_seed in 0u64..1000,
+    ) {
+        let mut clean = WorkerState::new(0, slab(), P, TS);
+        let mut replayed = WorkerState::new(0, slab(), P, TS);
+        let mut rng_state = replay_seed;
+        for (g, per_ts) in study.iter().enumerate() {
+            for (ts, fields) in per_ts.iter().enumerate() {
+                feed_ts(&mut clean, g as u64, ts as u32, fields, &[(0, SLAB_LEN)]);
+                feed_ts(&mut replayed, g as u64, ts as u32, fields, &[(0, SLAB_LEN)]);
+                // Pseudo-randomly replay all earlier timesteps with
+                // *corrupted* values — discard-on-replay must drop them all.
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if rng_state % 3 == 0 {
+                    for old_ts in 0..=ts {
+                        let garbage: Vec<Vec<f64>> =
+                            fields.iter().map(|f| f.iter().map(|v| v + 99.0).collect()).collect();
+                        feed_ts(&mut replayed, g as u64, old_ts as u32, &garbage, &[(0, SLAB_LEN)]);
+                    }
+                }
+            }
+        }
+        for ts in 0..TS {
+            prop_assert_eq!(clean.sobol(ts), replayed.sobol(ts), "ts {}", ts);
+            prop_assert_eq!(clean.moments(ts), replayed.moments(ts));
+        }
+    }
+
+    /// The integrated state matches a direct in-memory computation.
+    #[test]
+    fn server_state_matches_direct_statistics(study in study_fields(6)) {
+        let mut st = WorkerState::new(0, slab(), P, TS);
+        let mut direct_sobol: Vec<UbiquitousSobol> =
+            (0..TS).map(|_| UbiquitousSobol::new(P, SLAB_LEN)).collect();
+        let mut direct_moments: Vec<FieldMoments> =
+            (0..TS).map(|_| FieldMoments::new(SLAB_LEN)).collect();
+        for (g, per_ts) in study.iter().enumerate() {
+            for (ts, fields) in per_ts.iter().enumerate() {
+                feed_ts(&mut st, g as u64, ts as u32, fields, &[(0, SLAB_LEN)]);
+                let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+                direct_sobol[ts].update_group(&refs);
+                direct_moments[ts].update(refs[0]);
+                direct_moments[ts].update(refs[1]);
+            }
+        }
+        for ts in 0..TS {
+            prop_assert_eq!(st.sobol(ts), &direct_sobol[ts]);
+            prop_assert_eq!(st.moments(ts), &direct_moments[ts]);
+        }
+    }
+
+    /// Checkpoint round-trips preserve the whole state including the
+    /// auxiliary (min/max, threshold) statistics.
+    #[test]
+    fn checkpoint_roundtrip_preserves_everything(study in study_fields(4)) {
+        let dir = std::env::temp_dir()
+            .join(format!("melissa-prop-ckpt-{}-{:x}", std::process::id(), study.len()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut st = WorkerState::with_thresholds(3, slab(), P, TS, &[0.0, 10.0]);
+        for (g, per_ts) in study.iter().enumerate() {
+            for (ts, fields) in per_ts.iter().enumerate() {
+                feed_ts(&mut st, g as u64, ts as u32, fields, &[(0, SLAB_LEN)]);
+            }
+        }
+        melissa::server::checkpoint::write_checkpoint(&dir, &st).unwrap();
+        let back = melissa::server::checkpoint::read_checkpoint(&dir, 3).unwrap();
+        for ts in 0..TS {
+            prop_assert_eq!(st.sobol(ts), back.sobol(ts));
+            prop_assert_eq!(st.moments(ts), back.moments(ts));
+            prop_assert_eq!(st.minmax(ts), back.minmax(ts));
+            prop_assert_eq!(st.thresholds(ts), back.thresholds(ts));
+        }
+        prop_assert_eq!(st.finished_groups(), back.finished_groups());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

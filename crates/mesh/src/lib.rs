@@ -1,0 +1,164 @@
+//! # melissa-mesh — structured hexahedral meshes, partitioning and output
+//!
+//! Spatial substrate for the Melissa reproduction.  The paper's use case
+//! runs Code_Saturne on a 9 603 840-hexahedra unstructured mesh; this crate
+//! provides the structured-hex equivalent used by the bundled
+//! convection–diffusion solver, plus the two partitionings Melissa needs:
+//!
+//! * [`partition::BlockPartition`] — the solver's domain decomposition
+//!   (one block per MPI-like rank inside a simulation), and
+//! * [`partition::SlabPartition`] — the server's even split of the global
+//!   cell index range across Melissa Server processes (paper Section 4.1.1:
+//!   "the simulation domain is evenly partitioned in space among the
+//!   different processes at starting time").
+//!
+//! The intersection of a rank block with a server slab defines the static
+//! N×M redistribution pattern of the two-stage data transfer (Fig. 4).
+//!
+//! [`writer`] contains legacy-VTK and CSV writers used to export the Sobol'
+//! and variance maps (the reproduction's stand-in for the EnSight Gold
+//! outputs inspected with ParaView in the paper's Section 5.5).
+
+pub mod partition;
+pub mod slice;
+pub mod writer;
+
+pub use partition::{BlockPartition, CellRange, SlabPartition};
+pub use slice::SliceView;
+
+/// A structured, axis-aligned hexahedral mesh.
+///
+/// Cells are indexed in x-fastest (row-major: `i + nx·(j + ny·k)`) order;
+/// that linear index is the *global cell id* used by fields, partitions and
+/// the wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuredMesh {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    dx: f64,
+    dy: f64,
+    dz: f64,
+    origin: [f64; 3],
+}
+
+impl StructuredMesh {
+    /// Creates a mesh of `nx × ny × nz` cells over the box of size
+    /// `lx × ly × lz` anchored at the origin.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or any extent non-positive.
+    pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "mesh dimensions must be positive");
+        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "mesh extents must be positive");
+        Self {
+            nx,
+            ny,
+            nz,
+            dx: lx / nx as f64,
+            dy: ly / ny as f64,
+            dz: lz / nz as f64,
+            origin: [0.0; 3],
+        }
+    }
+
+    /// Cell counts `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Cell sizes `(dx, dy, dz)`.
+    pub fn spacing(&self) -> (f64, f64, f64) {
+        (self.dx, self.dy, self.dz)
+    }
+
+    /// Physical extents `(lx, ly, lz)`.
+    pub fn extents(&self) -> (f64, f64, f64) {
+        (self.dx * self.nx as f64, self.dy * self.ny as f64, self.dz * self.nz as f64)
+    }
+
+    /// Total number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Global cell id of `(i, j, k)`.
+    #[inline]
+    pub fn cell_id(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        i + self.nx * (j + self.ny * k)
+    }
+
+    /// Inverse of [`cell_id`](Self::cell_id).
+    #[inline]
+    pub fn cell_coords(&self, id: usize) -> (usize, usize, usize) {
+        debug_assert!(id < self.n_cells());
+        let i = id % self.nx;
+        let j = (id / self.nx) % self.ny;
+        let k = id / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Physical centre of cell `(i, j, k)`.
+    pub fn cell_center(&self, i: usize, j: usize, k: usize) -> [f64; 3] {
+        [
+            self.origin[0] + (i as f64 + 0.5) * self.dx,
+            self.origin[1] + (j as f64 + 0.5) * self.dy,
+            self.origin[2] + (k as f64 + 0.5) * self.dz,
+        ]
+    }
+
+    /// Cell volume.
+    pub fn cell_volume(&self) -> f64 {
+        self.dx * self.dy * self.dz
+    }
+
+    /// Allocates a zero-initialised scalar field over the mesh.
+    pub fn zero_field(&self) -> Vec<f64> {
+        vec![0.0; self.n_cells()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrips() {
+        let m = StructuredMesh::new(5, 4, 3, 1.0, 1.0, 1.0);
+        assert_eq!(m.n_cells(), 60);
+        for id in 0..m.n_cells() {
+            let (i, j, k) = m.cell_coords(id);
+            assert_eq!(m.cell_id(i, j, k), id);
+        }
+    }
+
+    #[test]
+    fn x_is_fastest_dimension() {
+        let m = StructuredMesh::new(4, 3, 2, 1.0, 1.0, 1.0);
+        assert_eq!(m.cell_id(0, 0, 0), 0);
+        assert_eq!(m.cell_id(1, 0, 0), 1);
+        assert_eq!(m.cell_id(0, 1, 0), 4);
+        assert_eq!(m.cell_id(0, 0, 1), 12);
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        let m = StructuredMesh::new(10, 5, 2, 2.0, 1.0, 0.4);
+        let (dx, dy, dz) = m.spacing();
+        assert!((dx - 0.2).abs() < 1e-15);
+        assert!((dy - 0.2).abs() < 1e-15);
+        assert!((dz - 0.2).abs() < 1e-15);
+        let c = m.cell_center(0, 0, 0);
+        assert!((c[0] - 0.1).abs() < 1e-15);
+        assert!((m.cell_volume() - 0.008).abs() < 1e-15);
+        let (lx, ly, lz) = m.extents();
+        assert!((lx - 2.0).abs() < 1e-12 && (ly - 1.0).abs() < 1e-12 && (lz - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        StructuredMesh::new(0, 1, 1, 1.0, 1.0, 1.0);
+    }
+}

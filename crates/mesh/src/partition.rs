@@ -1,0 +1,265 @@
+//! Domain decompositions.
+//!
+//! Two partitionings coexist in a Melissa study (paper Fig. 4):
+//!
+//! * each *simulation* splits the mesh into per-rank blocks
+//!   ([`BlockPartition`], contiguous z-slabs here for simplicity — the mesh
+//!   is x-fastest so a z-slab is one contiguous global-id range), and
+//! * the *server* splits the global cell-id range evenly across its `M`
+//!   processes ([`SlabPartition`]).
+//!
+//! The intersection of rank block `r` with server slab `m` is the message
+//! `r → m` of the static N×M redistribution computed once at connection
+//! time (Section 4.1.3).
+
+/// A contiguous range of global cell ids `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellRange {
+    /// First global cell id.
+    pub start: usize,
+    /// Number of cells.
+    pub len: usize,
+}
+
+impl CellRange {
+    /// End of the range (exclusive).
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// True when the range holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Intersection with another range; `None` when disjoint.
+    pub fn intersect(&self, other: &CellRange) -> Option<CellRange> {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        (start < end).then(|| CellRange { start, len: end - start })
+    }
+
+    /// Iterates over the global cell ids of the range.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        self.start..self.end()
+    }
+}
+
+/// Even split of `n_cells` into `parts` contiguous ranges; the first
+/// `n_cells % parts` ranges get one extra cell.
+fn even_ranges(n_cells: usize, parts: usize) -> Vec<CellRange> {
+    assert!(parts > 0, "need at least one part");
+    let base = n_cells / parts;
+    let extra = n_cells % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(CellRange { start, len });
+        start += len;
+    }
+    out
+}
+
+/// The solver-side decomposition: one contiguous block of cells per
+/// simulation rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPartition {
+    ranges: Vec<CellRange>,
+}
+
+impl BlockPartition {
+    /// Splits `n_cells` cells across `n_ranks` ranks.
+    pub fn new(n_cells: usize, n_ranks: usize) -> Self {
+        Self { ranges: even_ranges(n_cells, n_ranks) }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Cell range owned by `rank`.
+    pub fn rank_range(&self, rank: usize) -> CellRange {
+        self.ranges[rank]
+    }
+
+    /// All rank ranges in order.
+    pub fn ranges(&self) -> &[CellRange] {
+        &self.ranges
+    }
+
+    /// Rank owning a global cell id.
+    pub fn owner(&self, cell: usize) -> usize {
+        // Ranges are sorted and contiguous: binary search on start.
+        match self.ranges.binary_search_by(|r| {
+            if cell < r.start {
+                std::cmp::Ordering::Greater
+            } else if cell >= r.end() {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(r) => r,
+            Err(_) => panic!("cell {cell} outside partition"),
+        }
+    }
+}
+
+/// The server-side decomposition: an even slab of the global cell-id range
+/// per server process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlabPartition {
+    ranges: Vec<CellRange>,
+}
+
+impl SlabPartition {
+    /// Splits `n_cells` cells across `n_workers` server processes.
+    pub fn new(n_cells: usize, n_workers: usize) -> Self {
+        Self { ranges: even_ranges(n_cells, n_workers) }
+    }
+
+    /// Number of server processes.
+    pub fn n_workers(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Cell range owned by server process `worker`.
+    pub fn worker_range(&self, worker: usize) -> CellRange {
+        self.ranges[worker]
+    }
+
+    /// All worker ranges in order.
+    pub fn ranges(&self) -> &[CellRange] {
+        &self.ranges
+    }
+
+    /// Server process owning a global cell id.
+    pub fn owner(&self, cell: usize) -> usize {
+        match self.ranges.binary_search_by(|r| {
+            if cell < r.start {
+                std::cmp::Ordering::Greater
+            } else if cell >= r.end() {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(r) => r,
+            Err(_) => panic!("cell {cell} outside partition"),
+        }
+    }
+
+    /// The static redistribution plan for one simulation rank: which slice
+    /// of the rank's block goes to which server process.
+    ///
+    /// Returns `(worker, global_range)` pairs covering `block` exactly, in
+    /// ascending order.  This is computed once at connection time and reused
+    /// for every timestep (paper Section 4.1.3: "the N×M data redistribution
+    /// pattern between a simulation group and the Melissa Server is
+    /// static").
+    pub fn redistribution(&self, block: CellRange) -> Vec<(usize, CellRange)> {
+        let mut out = Vec::new();
+        if block.is_empty() {
+            return out;
+        }
+        let first = self.owner(block.start);
+        for (w, slab) in self.ranges.iter().enumerate().skip(first) {
+            match slab.intersect(&block) {
+                Some(r) => out.push((w, r)),
+                None => {
+                    if !out.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_everything_without_overlap() {
+        for (cells, parts) in [(100, 7), (8, 8), (9, 4), (1, 1), (5, 10)] {
+            let p = BlockPartition::new(cells, parts);
+            let mut covered = vec![false; cells];
+            for r in p.ranges() {
+                for c in r.iter() {
+                    assert!(!covered[c], "cell {c} covered twice");
+                    covered[c] = true;
+                }
+            }
+            assert!(covered.into_iter().all(|x| x), "{cells} cells / {parts} parts");
+            // Balance: sizes differ by at most one.
+            let sizes: Vec<usize> = p.ranges().iter().map(|r| r.len).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn owner_is_consistent_with_ranges() {
+        let p = SlabPartition::new(103, 8);
+        for w in 0..8 {
+            for c in p.worker_range(w).iter() {
+                assert_eq!(p.owner(c), w);
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_works() {
+        let a = CellRange { start: 10, len: 10 };
+        let b = CellRange { start: 15, len: 10 };
+        assert_eq!(a.intersect(&b), Some(CellRange { start: 15, len: 5 }));
+        let c = CellRange { start: 20, len: 5 };
+        assert_eq!(a.intersect(&c), None);
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn redistribution_covers_block_exactly() {
+        let slabs = SlabPartition::new(1000, 7);
+        let blocks = BlockPartition::new(1000, 4);
+        for rank in 0..4 {
+            let block = blocks.rank_range(rank);
+            let plan = slabs.redistribution(block);
+            // Plan must tile the block contiguously.
+            let mut cursor = block.start;
+            for (w, r) in &plan {
+                assert_eq!(r.start, cursor, "gap in redistribution");
+                assert_eq!(slabs.owner(r.start), *w);
+                assert_eq!(slabs.owner(r.end() - 1), *w);
+                cursor = r.end();
+            }
+            assert_eq!(cursor, block.end(), "plan does not cover block");
+        }
+    }
+
+    #[test]
+    fn redistribution_of_empty_block_is_empty() {
+        let slabs = SlabPartition::new(10, 2);
+        assert!(slabs.redistribution(CellRange { start: 3, len: 0 }).is_empty());
+    }
+
+    #[test]
+    fn more_parts_than_cells_yields_empty_tail_ranges() {
+        let p = BlockPartition::new(3, 5);
+        assert_eq!(p.n_ranks(), 5);
+        assert_eq!(p.rank_range(3).len, 0);
+        assert_eq!(p.rank_range(4).len, 0);
+        let total: usize = p.ranges().iter().map(|r| r.len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside partition")]
+    fn owner_of_out_of_range_cell_panics() {
+        SlabPartition::new(10, 2).owner(10);
+    }
+}

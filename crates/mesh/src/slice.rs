@@ -1,0 +1,135 @@
+//! Planar slice extraction from 3-D cell fields.
+//!
+//! The paper's Figures 7 and 8 show Sobol'-index and variance maps "on a
+//! slice on a mid-plane aligned with the direction of the fluid".  For the
+//! structured mesh this is a constant-`k` (z) plane: [`SliceView`] extracts
+//! it as a dense 2-D `ny × nx` map.
+
+use crate::StructuredMesh;
+
+/// A 2-D map extracted from a 3-D field on a constant-z plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceView {
+    nx: usize,
+    ny: usize,
+    values: Vec<f64>,
+}
+
+impl SliceView {
+    /// Extracts the constant-`k` plane of `field` on `mesh`.
+    ///
+    /// # Panics
+    /// Panics if the field length does not match the mesh or `k` is out of
+    /// range.
+    pub fn at_z(mesh: &StructuredMesh, field: &[f64], k: usize) -> Self {
+        let (nx, ny, nz) = mesh.dims();
+        assert_eq!(field.len(), mesh.n_cells(), "field length mismatch");
+        assert!(k < nz, "slice index {k} out of range (nz = {nz})");
+        let mut values = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                values.push(field[mesh.cell_id(i, j, k)]);
+            }
+        }
+        Self { nx, ny, values }
+    }
+
+    /// Extracts the mid-plane (`k = nz / 2`).
+    pub fn mid_plane(mesh: &StructuredMesh, field: &[f64]) -> Self {
+        Self::at_z(mesh, field, mesh.dims().2 / 2)
+    }
+
+    /// Map width (cells along x).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Map height (cells along y).
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Value at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i + self.nx * j]
+    }
+
+    /// Row-major values (`j` slowest).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mean of the map values over a rectangular sub-window
+    /// `[i0, i1) × [j0, j1)` — used to quantify the paper's Fig. 7 claims
+    /// ("no influence in the lower half", etc.).
+    ///
+    /// # Panics
+    /// Panics if the window is empty or out of bounds.
+    pub fn window_mean(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> f64 {
+        assert!(i0 < i1 && i1 <= self.nx && j0 < j1 && j1 <= self.ny, "bad window");
+        let mut sum = 0.0;
+        for j in j0..j1 {
+            for i in i0..i1 {
+                sum += self.get(i, j);
+            }
+        }
+        sum / ((i1 - i0) * (j1 - j0)) as f64
+    }
+
+    /// Maximum over the whole map.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum over the whole map.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> StructuredMesh {
+        StructuredMesh::new(4, 3, 2, 1.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn extracts_the_requested_plane() {
+        let m = mesh();
+        let field: Vec<f64> = (0..m.n_cells()).map(|c| c as f64).collect();
+        let s = SliceView::at_z(&m, &field, 1);
+        assert_eq!(s.nx(), 4);
+        assert_eq!(s.ny(), 3);
+        assert_eq!(s.get(0, 0), m.cell_id(0, 0, 1) as f64);
+        assert_eq!(s.get(3, 2), m.cell_id(3, 2, 1) as f64);
+    }
+
+    #[test]
+    fn mid_plane_uses_half_nz() {
+        let m = mesh();
+        let field: Vec<f64> = (0..m.n_cells()).map(|c| c as f64).collect();
+        assert_eq!(SliceView::mid_plane(&m, &field), SliceView::at_z(&m, &field, 1));
+    }
+
+    #[test]
+    fn window_mean_and_extremes() {
+        let m = mesh();
+        let mut field = m.zero_field();
+        field[m.cell_id(0, 0, 0)] = 4.0;
+        field[m.cell_id(1, 0, 0)] = 2.0;
+        let s = SliceView::at_z(&m, &field, 0);
+        assert!((s.window_mean(0, 2, 0, 1) - 3.0).abs() < 1e-15);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_plane_panics() {
+        let m = mesh();
+        let field = m.zero_field();
+        SliceView::at_z(&m, &field, 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Field output writers: legacy VTK (structured points) and CSV.
+//!
+//! Stand-in for the EnSight Gold writer the paper uses for visual
+//! inspection in ParaView (Section 5.5).  Legacy-VTK ASCII files open
+//! directly in ParaView; CSV maps feed plotting scripts.  These writers are
+//! also the I/O path of the *classical* baseline simulation mode that the
+//! performance experiments compare against (a classical run writes its
+//! whole field every timestep, which is exactly the storage bottleneck
+//! Melissa removes).
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::slice::SliceView;
+use crate::StructuredMesh;
+
+/// Serialises a cell field as a legacy-VTK `STRUCTURED_POINTS` dataset
+/// (readable by ParaView).  Returns the byte count written.
+pub fn write_vtk(
+    path: &Path,
+    mesh: &StructuredMesh,
+    name: &str,
+    field: &[f64],
+) -> io::Result<u64> {
+    assert_eq!(field.len(), mesh.n_cells(), "field length mismatch");
+    let mut out = BufWriter::new(File::create(path)?);
+    let (nx, ny, nz) = mesh.dims();
+    let (dx, dy, dz) = mesh.spacing();
+    let mut header = String::new();
+    // Cell data on structured points: dimensions are point counts = cells+1.
+    let _ = write!(
+        header,
+        "# vtk DataFile Version 3.0\nmelissa field {name}\nASCII\nDATASET STRUCTURED_POINTS\n\
+         DIMENSIONS {} {} {}\nORIGIN 0 0 0\nSPACING {dx} {dy} {dz}\n\
+         CELL_DATA {}\nSCALARS {name} double 1\nLOOKUP_TABLE default\n",
+        nx + 1,
+        ny + 1,
+        nz + 1,
+        mesh.n_cells()
+    );
+    out.write_all(header.as_bytes())?;
+    let mut bytes = header.len() as u64;
+    let mut line = String::with_capacity(256);
+    for chunk in field.chunks(8) {
+        line.clear();
+        for v in chunk {
+            let _ = write!(line, "{v} ");
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+        bytes += line.len() as u64;
+    }
+    out.flush()?;
+    Ok(bytes)
+}
+
+/// Serialises a 2-D slice as CSV with `x,y,value` rows.
+pub fn write_slice_csv(path: &Path, slice: &SliceView) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "i,j,value")?;
+    for j in 0..slice.ny() {
+        for i in 0..slice.nx() {
+            writeln!(out, "{i},{j},{}", slice.get(i, j))?;
+        }
+    }
+    out.flush()
+}
+
+/// Serialises a raw field as little-endian f64 — the compact per-timestep
+/// dump format of the "classical" baseline (EnSight-like volume per step).
+/// Returns the byte count written.
+pub fn write_raw_field(path: &Path, field: &[f64]) -> io::Result<u64> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for v in field {
+        out.write_all(&v.to_le_bytes())?;
+    }
+    out.flush()?;
+    Ok((field.len() * 8) as u64)
+}
+
+/// Reads back a raw field written by [`write_raw_field`] — the read-back
+/// phase of the classical postmortem workflow.
+pub fn read_raw_field(path: &Path) -> io::Result<Vec<f64>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() % 8 != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated raw field"));
+    }
+    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("melissa-mesh-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn vtk_file_has_expected_structure() {
+        let m = StructuredMesh::new(3, 2, 1, 1.0, 1.0, 1.0);
+        let field: Vec<f64> = (0..6).map(|c| c as f64).collect();
+        let path = tmpdir().join("t.vtk");
+        let bytes = write_vtk(&path, &m, "scalar1", &field).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(bytes, text.len() as u64);
+        assert!(text.contains("DIMENSIONS 4 3 2"));
+        assert!(text.contains("CELL_DATA 6"));
+        assert!(text.contains("SCALARS scalar1 double 1"));
+        assert!(text.contains('5'));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn raw_field_roundtrips() {
+        let field = vec![1.5, -2.25, 1e-9, 3e8];
+        let path = tmpdir().join("f.bin");
+        let bytes = write_raw_field(&path, &field).unwrap();
+        assert_eq!(bytes, 32);
+        assert_eq!(read_raw_field(&path).unwrap(), field);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_raw_field_is_an_error() {
+        let path = tmpdir().join("bad.bin");
+        std::fs::write(&path, [0u8; 7]).unwrap();
+        assert!(read_raw_field(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn slice_csv_has_header_and_rows() {
+        let m = StructuredMesh::new(2, 2, 1, 1.0, 1.0, 1.0);
+        let field = vec![1.0, 2.0, 3.0, 4.0];
+        let s = SliceView::at_z(&m, &field, 0);
+        let path = tmpdir().join("s.csv");
+        write_slice_csv(&path, &s).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.starts_with("i,j,value"));
+        std::fs::remove_file(path).ok();
+    }
+}

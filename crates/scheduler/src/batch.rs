@@ -1,0 +1,336 @@
+//! Batch scheduler simulator: FIFO queue, submission throttle,
+//! machine-availability ramp, job records.
+//!
+//! Reproduces the scheduling behaviour the paper describes:
+//! * "Each simulation group is submitted independently to the batch
+//!   scheduler … we were limited to 500 simultaneous submissions"
+//!   (Section 4.1.4) — the submission throttle;
+//! * "Simulation groups do not start all at once, but when the resources
+//!   requested by the batch scheduler become available" (Section 5.3) —
+//!   the availability ramp models the machine draining other users' jobs,
+//!   which produces the ramp-up shape of Fig. 6a/6c.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::cluster::Cluster;
+
+/// How many machine nodes the study may actually use at a given time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Availability {
+    /// The whole cluster from t = 0.
+    Full,
+    /// Linear ramp: `initial` nodes at `t = 0`, growing by
+    /// `nodes_per_second` until the whole cluster is usable — models the
+    /// machine gradually draining other users' jobs.
+    Ramp {
+        /// Usable nodes at time zero.
+        initial: usize,
+        /// Ramp slope.
+        nodes_per_second: f64,
+    },
+}
+
+impl Availability {
+    /// Usable node budget at time `t` on `cluster`.
+    pub fn usable_nodes(&self, cluster: &Cluster, t: f64) -> usize {
+        match *self {
+            Availability::Full => cluster.total_nodes(),
+            Availability::Ramp { initial, nodes_per_second } => {
+                let n = initial as f64 + nodes_per_second * t;
+                (n as usize).min(cluster.total_nodes())
+            }
+        }
+    }
+}
+
+/// A job submission request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRequest {
+    /// Caller-chosen job id (unique).
+    pub id: u64,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Walltime limit in seconds (enforced by the driving loop).
+    pub walltime: f64,
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Held by the submission throttle (not yet visible to the queue).
+    Held,
+    /// In the scheduler queue.
+    Queued,
+    /// Running on allocated nodes.
+    Running,
+    /// Finished normally.
+    Finished,
+    /// Killed (by the launcher or a walltime kill).
+    Killed,
+}
+
+/// Full record of a job's lifecycle (the scheduler's accounting log).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The original request.
+    pub request: JobRequest,
+    /// Submission time.
+    pub submitted_at: f64,
+    /// Start time, if it ran.
+    pub started_at: Option<f64>,
+    /// End time (finish or kill), if it ended.
+    pub ended_at: Option<f64>,
+    /// Current state.
+    pub state: JobState,
+}
+
+/// Discrete-time batch scheduler: drive it from an external event loop by
+/// calling [`submit`](BatchSim::submit) / [`finish`](BatchSim::finish) /
+/// [`kill`](BatchSim::kill) and then [`start_ready`](BatchSim::start_ready)
+/// to let it start queued jobs.
+#[derive(Debug)]
+pub struct BatchSim {
+    cluster: Cluster,
+    availability: Availability,
+    /// Max jobs simultaneously "submitted" (queued or running).
+    max_submissions: usize,
+    held: VecDeque<JobRequest>,
+    queue: VecDeque<u64>,
+    records: HashMap<u64, JobRecord>,
+}
+
+impl BatchSim {
+    /// Creates a scheduler over `cluster` with a submission throttle.
+    pub fn new(cluster: Cluster, availability: Availability, max_submissions: usize) -> Self {
+        assert!(max_submissions > 0, "throttle must allow at least one submission");
+        Self {
+            cluster,
+            availability,
+            max_submissions,
+            held: VecDeque::new(),
+            queue: VecDeque::new(),
+            records: HashMap::new(),
+        }
+    }
+
+    /// Jobs currently queued or running (counted against the throttle).
+    fn submitted_count(&self) -> usize {
+        self.records
+            .values()
+            .filter(|r| matches!(r.state, JobState::Queued | JobState::Running))
+            .count()
+    }
+
+    /// Submits a job at time `t`.  If the throttle is saturated the job is
+    /// held and auto-submitted when slots free up.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids or requests larger than the machine.
+    pub fn submit(&mut self, t: f64, req: JobRequest) {
+        assert!(!self.records.contains_key(&req.id), "duplicate job id {}", req.id);
+        assert!(
+            req.nodes <= self.cluster.total_nodes(),
+            "job {} requests {} nodes > machine {}",
+            req.id,
+            req.nodes,
+            self.cluster.total_nodes()
+        );
+        let state = if self.submitted_count() < self.max_submissions {
+            self.queue.push_back(req.id);
+            JobState::Queued
+        } else {
+            self.held.push_back(req);
+            JobState::Held
+        };
+        self.records.insert(
+            req.id,
+            JobRecord { request: req, submitted_at: t, started_at: None, ended_at: None, state },
+        );
+    }
+
+    /// Promotes held jobs into the queue while the throttle allows.
+    fn drain_held(&mut self) {
+        while self.submitted_count() < self.max_submissions {
+            match self.held.pop_front() {
+                Some(req) => {
+                    self.queue.push_back(req.id);
+                    self.records.get_mut(&req.id).unwrap().state = JobState::Queued;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Starts queued jobs (FIFO, no backfill) while nodes are free and the
+    /// availability budget allows.  Returns the started job ids.
+    pub fn start_ready(&mut self, t: f64) -> Vec<u64> {
+        self.drain_held();
+        let budget = self.availability.usable_nodes(&self.cluster, t);
+        let mut started = Vec::new();
+        while let Some(&id) = self.queue.front() {
+            let nodes = self.records[&id].request.nodes;
+            if self.cluster.used_nodes() + nodes > budget || !self.cluster.try_alloc(nodes) {
+                break; // strict FIFO: the head blocks the queue
+            }
+            self.queue.pop_front();
+            let rec = self.records.get_mut(&id).unwrap();
+            rec.state = JobState::Running;
+            rec.started_at = Some(t);
+            started.push(id);
+        }
+        started
+    }
+
+    /// Marks a running job finished, releasing its nodes.
+    ///
+    /// # Panics
+    /// Panics if the job is not running.
+    pub fn finish(&mut self, t: f64, id: u64) {
+        let rec = self.records.get_mut(&id).expect("unknown job");
+        assert_eq!(rec.state, JobState::Running, "finish on non-running job {id}");
+        rec.state = JobState::Finished;
+        rec.ended_at = Some(t);
+        self.cluster.release(rec.request.nodes);
+        self.drain_held();
+    }
+
+    /// Kills a job in any live state (held/queued/running).
+    pub fn kill(&mut self, t: f64, id: u64) {
+        let rec = self.records.get_mut(&id).expect("unknown job");
+        match rec.state {
+            JobState::Running => self.cluster.release(rec.request.nodes),
+            JobState::Queued => self.queue.retain(|&q| q != id),
+            JobState::Held => self.held.retain(|r| r.id != id),
+            JobState::Finished | JobState::Killed => return,
+        }
+        rec.state = JobState::Killed;
+        rec.ended_at = Some(t);
+        self.drain_held();
+    }
+
+    /// Record of a job.
+    pub fn record(&self, id: u64) -> &JobRecord {
+        &self.records[&id]
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.records.values().filter(|r| r.state == JobState::Running).count()
+    }
+
+    /// Number of queued jobs (excluding held).
+    pub fn queued_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of throttle-held jobs.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Cores currently in use.
+    pub fn used_cores(&self) -> usize {
+        self.cluster.used_cores()
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// All job records (for traces).
+    pub fn records(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, nodes: usize) -> JobRequest {
+        JobRequest { id, nodes, walltime: 3600.0 }
+    }
+
+    #[test]
+    fn fifo_start_respects_capacity() {
+        let mut sim = BatchSim::new(Cluster::new(10, 16), Availability::Full, 100);
+        sim.submit(0.0, req(1, 6));
+        sim.submit(0.0, req(2, 6));
+        sim.submit(0.0, req(3, 4));
+        let started = sim.start_ready(0.0);
+        // FIFO: job 1 starts (6 nodes), job 2 blocks the head (needs 6 > 4
+        // free) even though job 3 would fit — no backfill.
+        assert_eq!(started, vec![1]);
+        assert_eq!(sim.running_count(), 1);
+        sim.finish(10.0, 1);
+        let started = sim.start_ready(10.0);
+        assert_eq!(started, vec![2, 3]);
+    }
+
+    #[test]
+    fn throttle_holds_excess_submissions() {
+        let mut sim = BatchSim::new(Cluster::new(100, 16), Availability::Full, 2);
+        for id in 1..=4 {
+            sim.submit(0.0, req(id, 1));
+        }
+        assert_eq!(sim.held_count(), 2);
+        sim.start_ready(0.0);
+        assert_eq!(sim.running_count(), 2);
+        // Finishing one frees a throttle slot: a held job becomes queued.
+        sim.finish(5.0, 1);
+        assert_eq!(sim.held_count(), 1);
+        let started = sim.start_ready(5.0);
+        assert_eq!(started, vec![3]);
+    }
+
+    #[test]
+    fn availability_ramp_gates_starts() {
+        let mut sim = BatchSim::new(
+            Cluster::new(100, 16),
+            Availability::Ramp { initial: 0, nodes_per_second: 1.0 },
+            100,
+        );
+        sim.submit(0.0, req(1, 10));
+        assert!(sim.start_ready(0.0).is_empty());
+        assert!(sim.start_ready(5.0).is_empty());
+        assert_eq!(sim.start_ready(10.0), vec![1]);
+    }
+
+    #[test]
+    fn kill_releases_resources_and_queue_slots() {
+        let mut sim = BatchSim::new(Cluster::new(4, 16), Availability::Full, 10);
+        sim.submit(0.0, req(1, 4));
+        sim.submit(0.0, req(2, 4));
+        sim.start_ready(0.0);
+        assert_eq!(sim.running_count(), 1);
+        sim.kill(1.0, 1);
+        assert_eq!(sim.record(1).state, JobState::Killed);
+        assert_eq!(sim.start_ready(1.0), vec![2]);
+        // Killing a queued job removes it from the queue.
+        sim.submit(2.0, req(3, 4));
+        sim.kill(2.0, 3);
+        assert_eq!(sim.queued_count(), 0);
+    }
+
+    #[test]
+    fn records_carry_full_lifecycle() {
+        let mut sim = BatchSim::new(Cluster::new(2, 16), Availability::Full, 10);
+        sim.submit(1.0, req(7, 1));
+        sim.start_ready(2.0);
+        sim.finish(9.0, 7);
+        let r = sim.record(7);
+        assert_eq!(r.submitted_at, 1.0);
+        assert_eq!(r.started_at, Some(2.0));
+        assert_eq!(r.ended_at, Some(9.0));
+        assert_eq!(r.state, JobState::Finished);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job id")]
+    fn duplicate_ids_panic() {
+        let mut sim = BatchSim::new(Cluster::new(2, 16), Availability::Full, 10);
+        sim.submit(0.0, req(1, 1));
+        sim.submit(0.0, req(1, 1));
+    }
+}

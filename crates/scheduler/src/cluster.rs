@@ -1,0 +1,104 @@
+//! Cluster resource model: nodes × cores, node-granular allocation.
+//!
+//! Calibrated to the paper's machine (Curie thin nodes: 16 cores each;
+//! the experiments peak around 1800 nodes / 28 912 cores).
+
+/// A homogeneous cluster with node-granular allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    nodes: usize,
+    cores_per_node: usize,
+    used: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster of `nodes` nodes with `cores_per_node` cores each.
+    ///
+    /// # Panics
+    /// Panics if either is zero.
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0, "cluster must be non-empty");
+        Self { nodes, cores_per_node, used: 0 }
+    }
+
+    /// The paper's machine: Curie thin nodes (16 cores); 1807 nodes covers
+    /// the peak of Fig. 6a (28 912 cores = 1807 × 16).
+    pub fn curie() -> Self {
+        Self::new(1807, 16)
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Nodes currently allocated.
+    pub fn used_nodes(&self) -> usize {
+        self.used
+    }
+
+    /// Nodes currently free.
+    pub fn free_nodes(&self) -> usize {
+        self.nodes - self.used
+    }
+
+    /// Cores currently allocated.
+    pub fn used_cores(&self) -> usize {
+        self.used * self.cores_per_node
+    }
+
+    /// Attempts to allocate `nodes`; returns whether it succeeded.
+    pub fn try_alloc(&mut self, nodes: usize) -> bool {
+        if nodes <= self.free_nodes() {
+            self.used += nodes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `nodes`.
+    ///
+    /// # Panics
+    /// Panics on double release.
+    pub fn release(&mut self, nodes: usize) {
+        assert!(nodes <= self.used, "releasing more nodes than allocated");
+        self.used -= nodes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_accounting() {
+        let mut c = Cluster::new(10, 16);
+        assert!(c.try_alloc(4));
+        assert_eq!(c.free_nodes(), 6);
+        assert_eq!(c.used_cores(), 64);
+        assert!(!c.try_alloc(7));
+        assert!(c.try_alloc(6));
+        assert_eq!(c.free_nodes(), 0);
+        c.release(10);
+        assert_eq!(c.free_nodes(), 10);
+    }
+
+    #[test]
+    fn curie_matches_paper_peak() {
+        let c = Cluster::curie();
+        assert_eq!(c.total_nodes() * c.cores_per_node(), 28_912);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more")]
+    fn double_release_panics() {
+        let mut c = Cluster::new(2, 1);
+        c.release(1);
+    }
+}

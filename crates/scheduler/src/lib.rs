@@ -1,0 +1,30 @@
+//! # melissa-scheduler — batch scheduler simulator and concurrent job runner
+//!
+//! Melissa's elasticity rests on the batch scheduler: every simulation
+//! group is an independent job, submitted separately, started whenever
+//! resources free up, and killable/resubmittable at any time (paper
+//! Sections 4.1.4 and 4.2).  The paper's experiments ran under a
+//! production scheduler on the Curie machine; this crate rebuilds the two
+//! pieces the reproduction needs:
+//!
+//! * [`des`] + [`cluster`] + [`batch`] — a **discrete-event batch-scheduler
+//!   simulator** (FIFO queue, submission throttle, node-level allocation,
+//!   machine-availability ramp, job traces) that drives the full-scale
+//!   performance model behind Figures 6a–6d;
+//! * [`runtime`] — a **real concurrent job runner** (capacity-limited
+//!   thread jobs with cooperative kill switches and walltime watchdogs)
+//!   that executes live small-scale studies end to end.
+//!
+//! [`trace`] provides the time-series recorder used by both.
+
+pub mod batch;
+pub mod cluster;
+pub mod des;
+pub mod runtime;
+pub mod trace;
+
+pub use batch::{Availability, BatchSim, JobRecord, JobRequest, JobState};
+pub use cluster::Cluster;
+pub use des::EventQueue;
+pub use runtime::{JobHandle, JobRunner, Watchdog};
+pub use trace::TimeSeries;

@@ -1,0 +1,253 @@
+//! Real concurrent job runner for live studies.
+//!
+//! Executes simulation-group jobs as capacity-limited threads: a job waits
+//! for free resource units (the stand-in for cluster nodes), runs, and
+//! releases them — exactly the lifecycle the batch simulator models, but on
+//! real work.  Every job receives a [`KillSwitch`] so the launcher can kill
+//! and resubmit it (paper Section 4.2.2), and [`Watchdog`] flips switches
+//! at deadlines (walltime enforcement).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use melissa_transport::KillSwitch;
+use parking_lot::{Condvar, Mutex};
+
+/// Shared capacity semaphore.
+#[derive(Debug)]
+struct Capacity {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// A capacity-limited thread-job runner.
+#[derive(Clone)]
+pub struct JobRunner {
+    capacity: Arc<Capacity>,
+    total_units: usize,
+}
+
+/// Handle to a submitted job.
+pub struct JobHandle {
+    /// The job's kill switch (flipping it asks the job to stop).
+    pub kill: KillSwitch,
+    handle: JoinHandle<()>,
+}
+
+impl JobHandle {
+    /// Waits for the job thread to end.
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+
+    /// Whether the job thread has ended.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+impl JobRunner {
+    /// Creates a runner with `units` resource units.
+    ///
+    /// # Panics
+    /// Panics if `units == 0`.
+    pub fn new(units: usize) -> Self {
+        assert!(units > 0, "need at least one resource unit");
+        Self { capacity: Arc::new(Capacity { free: Mutex::new(units), cv: Condvar::new() }), total_units: units }
+    }
+
+    /// Total resource units.
+    pub fn total_units(&self) -> usize {
+        self.total_units
+    }
+
+    /// Units currently free.
+    pub fn free_units(&self) -> usize {
+        *self.capacity.free.lock()
+    }
+
+    /// Submits a job needing `units` units.  The job thread blocks until
+    /// capacity is available (batch-queue semantics), runs `work`, then
+    /// releases its units.  `work` must poll the passed [`KillSwitch`] to
+    /// honour kills.
+    ///
+    /// # Panics
+    /// Panics if `units` exceeds the runner's total capacity (the job
+    /// could never start).
+    pub fn submit<F>(&self, units: usize, work: F) -> JobHandle
+    where
+        F: FnOnce(&KillSwitch) + Send + 'static,
+    {
+        assert!(units <= self.total_units, "job needs {units} units > capacity {}", self.total_units);
+        let kill = KillSwitch::new();
+        let kill_in_job = kill.clone();
+        let cap = Arc::clone(&self.capacity);
+        let handle = std::thread::spawn(move || {
+            // Acquire capacity (or give up immediately if killed while
+            // waiting — a queued job can be killed too).
+            {
+                let mut free = cap.free.lock();
+                loop {
+                    if kill_in_job.is_killed() {
+                        return;
+                    }
+                    if *free >= units {
+                        *free -= units;
+                        break;
+                    }
+                    cap.cv.wait_for(&mut free, Duration::from_millis(10));
+                }
+            }
+            work(&kill_in_job);
+            let mut free = cap.free.lock();
+            *free += units;
+            cap.cv.notify_all();
+        });
+        JobHandle { kill, handle }
+    }
+}
+
+/// Deadline watchdog: flips kill switches when their deadline passes.
+///
+/// One background thread serves any number of armed deadlines; used for
+/// walltime enforcement and fault-injection schedules.
+pub struct Watchdog {
+    deadlines: Arc<Mutex<Vec<(Instant, KillSwitch)>>>,
+    stop: KillSwitch,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts the watchdog thread with the given polling period.
+    pub fn start(poll: Duration) -> Self {
+        let deadlines: Arc<Mutex<Vec<(Instant, KillSwitch)>>> = Arc::new(Mutex::new(Vec::new()));
+        let stop = KillSwitch::new();
+        let d = Arc::clone(&deadlines);
+        let s = stop.clone();
+        let handle = std::thread::spawn(move || {
+            while !s.is_killed() {
+                {
+                    let mut list = d.lock();
+                    let now = Instant::now();
+                    list.retain(|(deadline, kill)| {
+                        if *deadline <= now {
+                            kill.kill();
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                std::thread::sleep(poll);
+            }
+        });
+        Self { deadlines, stop, handle: Some(handle) }
+    }
+
+    /// Arms a kill at `deadline` for `kill`.
+    pub fn arm(&self, deadline: Instant, kill: KillSwitch) {
+        self.deadlines.lock().push((deadline, kill));
+    }
+
+    /// Arms a kill after a delay from now.
+    pub fn arm_in(&self, delay: Duration, kill: KillSwitch) {
+        self.arm(Instant::now() + delay, kill);
+    }
+
+    /// Number of armed deadlines still pending.
+    pub fn pending(&self) -> usize {
+        self.deadlines.lock().len()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.kill();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn capacity_limits_concurrency() {
+        let runner = JobRunner::new(2);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let current = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|_| {
+                let peak = Arc::clone(&peak);
+                let current = Arc::clone(&current);
+                runner.submit(1, move |_| {
+                    let c = current.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(c, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(20));
+                    current.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+        assert_eq!(runner.free_units(), 2);
+    }
+
+    #[test]
+    fn killed_queued_job_never_runs() {
+        let runner = JobRunner::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        // Occupy the only unit.
+        let blocker = runner.submit(1, |_| std::thread::sleep(Duration::from_millis(100)));
+        let ran2 = Arc::clone(&ran);
+        let queued = runner.submit(1, move |_| {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        queued.kill.kill();
+        queued.join();
+        blocker.join();
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(runner.free_units(), 1);
+    }
+
+    #[test]
+    fn running_job_observes_kill() {
+        let runner = JobRunner::new(1);
+        let iterations = Arc::new(AtomicUsize::new(0));
+        let iters = Arc::clone(&iterations);
+        let job = runner.submit(1, move |kill| {
+            while !kill.is_killed() {
+                iters.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        job.kill.kill();
+        job.join();
+        assert!(iterations.load(Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn watchdog_kills_at_deadline() {
+        let dog = Watchdog::start(Duration::from_millis(2));
+        let kill = KillSwitch::new();
+        dog.arm_in(Duration::from_millis(15), kill.clone());
+        assert!(!kill.is_killed());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(kill.is_killed());
+        assert_eq!(dog.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn oversized_job_panics() {
+        let runner = JobRunner::new(1);
+        runner.submit(2, |_| {});
+    }
+}

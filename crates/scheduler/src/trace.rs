@@ -1,0 +1,145 @@
+//! Time-series recording for experiment traces (the data behind the
+//! paper's Fig. 6 plots).
+
+/// A `(time, value)` series with helpers for the figure harnesses.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    samples: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample; times should be non-decreasing.
+    pub fn push(&mut self, t: f64, v: f64) {
+        debug_assert!(
+            self.samples.last().is_none_or(|&(lt, _)| t >= lt),
+            "time went backwards"
+        );
+        self.samples.push((t, v));
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum value, or `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Last time, or `None` when empty.
+    pub fn end_time(&self) -> Option<f64> {
+        self.samples.last().map(|&(t, _)| t)
+    }
+
+    /// Value at time `t` (step interpolation: the last sample at or before
+    /// `t`), or `None` before the first sample.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        match self.samples.binary_search_by(|&(st, _)| st.partial_cmp(&t).unwrap()) {
+            Ok(i) => Some(self.samples[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.samples[i - 1].1),
+        }
+    }
+
+    /// Mean of the values over a time window `[t0, t1]` (sample mean, not
+    /// time-weighted).
+    pub fn window_mean(&self, t0: f64, t1: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= t0 && t <= t1)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Downsamples to at most `n` evenly spaced samples (for printing).
+    pub fn downsample(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.samples.len() <= n || n == 0 {
+            return self.samples.clone();
+        }
+        let step = self.samples.len() as f64 / n as f64;
+        (0..n).map(|i| self.samples[(i as f64 * step) as usize]).collect()
+    }
+
+    /// Serialises as `time,value` CSV lines under a header.
+    pub fn to_csv(&self, value_name: &str) -> String {
+        let mut out = format!("time,{value_name}\n");
+        for &(t, v) in &self.samples {
+            out.push_str(&format!("{t},{v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0);
+        s.push(10.0, 5.0);
+        s.push(20.0, 3.0);
+        s
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let s = series();
+        assert_eq!(s.value_at(-1.0), None);
+        assert_eq!(s.value_at(0.0), Some(1.0));
+        assert_eq!(s.value_at(9.9), Some(1.0));
+        assert_eq!(s.value_at(10.0), Some(5.0));
+        assert_eq!(s.value_at(100.0), Some(3.0));
+    }
+
+    #[test]
+    fn extremes_and_window() {
+        let s = series();
+        assert_eq!(s.max_value(), Some(5.0));
+        assert_eq!(s.end_time(), Some(20.0));
+        assert_eq!(s.window_mean(5.0, 25.0), Some(4.0));
+        assert_eq!(s.window_mean(100.0, 200.0), None);
+    }
+
+    #[test]
+    fn csv_format() {
+        let csv = series().to_csv("cores");
+        assert!(csv.starts_with("time,cores\n"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn downsample_keeps_bounds() {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            s.push(i as f64, i as f64);
+        }
+        let d = s.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0].0, 0.0);
+    }
+}

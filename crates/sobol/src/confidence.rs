@@ -1,0 +1,162 @@
+//! Asymptotic confidence intervals for Martinez Sobol' estimates
+//! (paper Section 3.4, Eqs. 8–9).
+//!
+//! The Martinez estimators are empirical correlation coefficients, so
+//! Fisher's z-transformation gives an asymptotic normal pivot: with
+//! `z = atanh(ρ̂)`, `z ± 1.96/√(i−3)` is a 95 % interval for `atanh(ρ)`.
+//! For the total index, `ST_k = 1 − ρ(Y^A, Y^{C^k})`, hence the mirrored
+//! form of Eq. 9.  These formulas need only the current estimate and the
+//! number of processed groups `i`, so Melissa evaluates them at every
+//! update for its convergence control.
+
+/// Two-sided confidence interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// 97.5 % standard-normal quantile used for 95 % two-sided intervals.
+pub const Z_95: f64 = 1.96;
+
+fn atanh_clamped(r: f64) -> f64 {
+    // Clamp away from ±1 so a perfectly correlated finite sample yields a
+    // huge-but-finite transform instead of ±inf.
+    let r = r.clamp(-0.999_999_999, 0.999_999_999);
+    0.5 * ((1.0 + r) / (1.0 - r)).ln()
+}
+
+/// 95 % asymptotic confidence interval on a first-order index `S_k`
+/// (paper Eq. 8), given the current estimate and the number of processed
+/// groups `i`.  Returns the degenerate full interval `[−1, 1]` when
+/// `i ≤ 3` (the pivot's variance `1/(i−3)` is undefined).
+pub fn first_order_interval(s: f64, i: u64) -> ConfidenceInterval {
+    if i <= 3 {
+        return ConfidenceInterval { lo: -1.0, hi: 1.0 };
+    }
+    let half = Z_95 / ((i - 3) as f64).sqrt();
+    let z = atanh_clamped(s);
+    ConfidenceInterval { lo: (z - half).tanh(), hi: (z + half).tanh() }
+}
+
+/// 95 % asymptotic confidence interval on a total-order index `ST_k`
+/// (paper Eq. 9).  `ST = 1 − ρ`, so the transform is applied to
+/// `ρ = 1 − ST` and the bounds are mirrored.
+pub fn total_order_interval(st: f64, i: u64) -> ConfidenceInterval {
+    if i <= 3 {
+        return ConfidenceInterval { lo: -1.0, hi: 2.0 };
+    }
+    let half = Z_95 / ((i - 3) as f64).sqrt();
+    // atanh(1 − ST) written as in the paper: ½ log((2 − ST)/ST).
+    let z = atanh_clamped(1.0 - st);
+    ConfidenceInterval { lo: 1.0 - (z + half).tanh(), hi: 1.0 - (z - half).tanh() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_is_centered_and_ordered() {
+        let ci = first_order_interval(0.5, 100);
+        assert!(ci.lo < 0.5 && 0.5 < ci.hi);
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn width_shrinks_as_one_over_sqrt_n() {
+        let w100 = first_order_interval(0.3, 103).width();
+        let w400 = first_order_interval(0.3, 403).width();
+        // atanh is locally linear near 0.3; ratio should be close to 2.
+        assert!((w100 / w400 - 2.0).abs() < 0.1, "{}", w100 / w400);
+    }
+
+    #[test]
+    fn small_samples_return_degenerate_interval() {
+        assert_eq!(first_order_interval(0.5, 3).width(), 2.0);
+        assert_eq!(total_order_interval(0.5, 2).width(), 3.0);
+    }
+
+    #[test]
+    fn total_interval_contains_estimate() {
+        for st in [0.01, 0.3, 0.7, 0.99, 1.2] {
+            let ci = total_order_interval(st, 50);
+            assert!(ci.contains(st), "{st} not in [{}, {}]", ci.lo, ci.hi);
+        }
+    }
+
+    #[test]
+    fn extreme_correlations_do_not_produce_nan() {
+        let ci = first_order_interval(1.0, 100);
+        assert!(ci.lo.is_finite() && ci.hi.is_finite());
+        let ci = total_order_interval(0.0, 100);
+        assert!(ci.lo.is_finite() && ci.hi.is_finite());
+    }
+
+    #[test]
+    fn paper_formula_equivalence_for_total_order() {
+        // Eq. 9 literally: 1 − tanh(½ log((2−ST)/ST) ± 1.96/√(i−3)).
+        let st: f64 = 0.42;
+        let i = 77u64;
+        let half = Z_95 / ((i - 3) as f64).sqrt();
+        let z = 0.5 * ((2.0 - st) / st).ln();
+        let expect_lo = 1.0 - (z + half).tanh();
+        let expect_hi = 1.0 - (z - half).tanh();
+        let ci = total_order_interval(st, i);
+        assert!((ci.lo - expect_lo).abs() < 1e-12);
+        assert!((ci.hi - expect_hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fisher_interval_has_nominal_coverage_for_gaussian_correlation() {
+        // Monte-Carlo check of the pivot itself: draw correlated Gaussian
+        // pairs with known rho, estimate the correlation, and verify ~95 %
+        // of intervals contain rho.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rho: f64 = 0.6;
+        let n = 200usize;
+        let reps = 400usize;
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut covered = 0usize;
+        for _ in 0..reps {
+            let mut cov = melissa_stats::OnlineCovariance::new();
+            let mut mx = melissa_stats::OnlineMoments::new();
+            let mut my = melissa_stats::OnlineMoments::new();
+            for _ in 0..n {
+                let g = |r: &mut StdRng| {
+                    let u1: f64 = r.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u2: f64 = r.gen();
+                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                };
+                let z1 = g(&mut rng);
+                let z2 = g(&mut rng);
+                let x = z1;
+                let y = rho * z1 + (1.0 - rho * rho).sqrt() * z2;
+                cov.update(x, y);
+                mx.update(x);
+                my.update(y);
+            }
+            let r = cov.correlation(&mx, &my);
+            if first_order_interval(r, n as u64).contains(rho) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / reps as f64;
+        assert!((0.90..=0.99).contains(&coverage), "coverage {coverage}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Batch (two-pass) Sobol' estimators.
+//!
+//! These are the classical estimators that require the full output vectors
+//! `Y^A`, `Y^B`, `Y^{C^k}` to be stored — what the paper's *classical
+//! postmortem* workflow computes after reading the ensemble back from disk.
+//! They serve as validation references for the iterative implementation and
+//! as baselines for the estimator-stability ablation
+//! (`benches/ablation_estimators.rs`; the paper selects Martinez for its
+//! numerical stability and iterative confidence interval, citing Baudin et
+//! al. 2016).
+//!
+//! Convention: `C^k` is matrix `A` with column `k` replaced from `B`, hence
+//! `Y^B` and `Y^{C^k}` share *only* coordinate `k` (⇒ their covariance
+//! estimates the first-order partial variance `V_k`), while `Y^A` and
+//! `Y^{C^k}` share all coordinates *except* `k` (⇒ their covariance
+//! estimates `V_{∼k}` and yields the total index).
+
+use melissa_stats::batch;
+
+/// Martinez first-order estimator: `S_k = ρ(Y^B, Y^{C^k})` (paper Eq. 5).
+pub fn martinez_first_order(yb: &[f64], yck: &[f64]) -> f64 {
+    batch::correlation(yb, yck)
+}
+
+/// Martinez total-order estimator: `ST_k = 1 − ρ(Y^A, Y^{C^k})`
+/// (paper Eq. 6).
+pub fn martinez_total_order(ya: &[f64], yck: &[f64]) -> f64 {
+    1.0 - batch::correlation(ya, yck)
+}
+
+/// Saltelli (2010) first-order estimator:
+/// `S_k = (1/n) Σ Y^B_i (Y^{C^k}_i − Y^A_i) / V(Y)`.
+pub fn saltelli_first_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
+    let n = ya.len();
+    assert!(n >= 2 && yb.len() == n && yck.len() == n, "need n ≥ 2 equal-length samples");
+    let var = pooled_variance(ya, yb);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let vk = ya
+        .iter()
+        .zip(yb)
+        .zip(yck)
+        .map(|((&a, &b), &c)| b * (c - a))
+        .sum::<f64>()
+        / n as f64;
+    vk / var
+}
+
+/// Jansen (1999) total-order estimator:
+/// `ST_k = (1/2n) Σ (Y^A_i − Y^{C^k}_i)² / V(Y)`.
+pub fn jansen_total_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
+    let n = ya.len();
+    assert!(n >= 2 && yb.len() == n && yck.len() == n, "need n ≥ 2 equal-length samples");
+    let var = pooled_variance(ya, yb);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let half_mean_sq =
+        ya.iter().zip(yck).map(|(&a, &c)| (a - c) * (a - c)).sum::<f64>() / (2.0 * n as f64);
+    half_mean_sq / var
+}
+
+/// Jansen (1999) first-order estimator:
+/// `S_k = 1 − (1/2n) Σ (Y^B_i − Y^{C^k}_i)² / V(Y)`.
+pub fn jansen_first_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
+    let n = ya.len();
+    assert!(n >= 2 && yb.len() == n && yck.len() == n, "need n ≥ 2 equal-length samples");
+    let var = pooled_variance(ya, yb);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let half_mean_sq =
+        yb.iter().zip(yck).map(|(&b, &c)| (b - c) * (b - c)).sum::<f64>() / (2.0 * n as f64);
+    1.0 - half_mean_sq / var
+}
+
+/// Original Sobol' (1993) first-order estimator:
+/// `S_k = ((1/n) Σ Y^B_i Y^{C^k}_i − μ²) / V(Y)` — known to be numerically
+/// fragile when `μ² ≫ V(Y)` (kept as the negative control of the stability
+/// ablation).
+pub fn sobol1993_first_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
+    let n = ya.len();
+    assert!(n >= 2 && yb.len() == n && yck.len() == n, "need n ≥ 2 equal-length samples");
+    let var = pooled_variance(ya, yb);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let mean = pooled_mean(ya, yb);
+    let raw = yb.iter().zip(yck).map(|(&b, &c)| b * c).sum::<f64>() / n as f64;
+    (raw - mean * mean) / var
+}
+
+/// Pooled mean over the `Y^A` and `Y^B` samples (the `2n` independent runs).
+pub fn pooled_mean(ya: &[f64], yb: &[f64]) -> f64 {
+    (batch::mean(ya) * ya.len() as f64 + batch::mean(yb) * yb.len() as f64)
+        / (ya.len() + yb.len()) as f64
+}
+
+/// Pooled (population) variance over the `Y^A` and `Y^B` samples.
+pub fn pooled_variance(ya: &[f64], yb: &[f64]) -> f64 {
+    let m = pooled_mean(ya, yb);
+    let ss: f64 = ya.iter().chain(yb).map(|&y| (y - m) * (y - m)).sum();
+    ss / (ya.len() + yb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PickFreeze;
+    use crate::testfn::{Ishigami, TestFunction};
+
+    /// Evaluates a test function over a design, returning (ya, yb, yc[k]).
+    fn evaluate(
+        f: &impl TestFunction,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
+        let design = PickFreeze::generate(n, &f.parameter_space(), seed);
+        let p = f.dim();
+        let mut ya = Vec::with_capacity(n);
+        let mut yb = Vec::with_capacity(n);
+        let mut yc = vec![Vec::with_capacity(n); p];
+        for g in design.groups() {
+            let ys: Vec<f64> = g.rows().iter().map(|r| f.eval(r)).collect();
+            ya.push(ys[0]);
+            yb.push(ys[1]);
+            for k in 0..p {
+                yc[k].push(ys[2 + k]);
+            }
+        }
+        (ya, yb, yc)
+    }
+
+    #[test]
+    fn all_first_order_estimators_agree_on_ishigami() {
+        let f = Ishigami::default();
+        let (ya, yb, yc) = evaluate(&f, 8000, 31);
+        let s_ref = f.analytic_first_order();
+        for k in 0..3 {
+            let martinez = martinez_first_order(&yb, &yc[k]);
+            let saltelli = saltelli_first_order(&ya, &yb, &yc[k]);
+            let jansen = jansen_first_order(&ya, &yb, &yc[k]);
+            for (name, est) in [("martinez", martinez), ("saltelli", saltelli), ("jansen", jansen)]
+            {
+                assert!(
+                    (est - s_ref[k]).abs() < 0.06,
+                    "{name} S_{k}: {est} vs analytic {}",
+                    s_ref[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_order_estimators_agree_on_ishigami() {
+        let f = Ishigami::default();
+        let (ya, _yb, yc) = evaluate(&f, 8000, 37);
+        let st_ref = f.analytic_total_order();
+        for k in 0..3 {
+            let martinez = martinez_total_order(&ya, &yc[k]);
+            let jansen = jansen_total_order(&ya, &_yb, &yc[k]);
+            assert!((martinez - st_ref[k]).abs() < 0.06, "martinez ST_{k}: {martinez}");
+            assert!((jansen - st_ref[k]).abs() < 0.06, "jansen ST_{k}: {jansen}");
+        }
+    }
+
+    #[test]
+    fn martinez_is_stable_under_large_offset_sobol1993_is_not() {
+        // Shifting the output by a large constant must not change Sobol'
+        // indices.  Martinez (correlation-based) is immune; the 1993 raw
+        // estimator loses precision.  This is the paper's stated reason for
+        // choosing Martinez.
+        let f = Ishigami::default();
+        let (ya, yb, yc) = evaluate(&f, 4000, 41);
+        let offset = 1e7;
+        let ya_s: Vec<f64> = ya.iter().map(|y| y + offset).collect();
+        let yb_s: Vec<f64> = yb.iter().map(|y| y + offset).collect();
+        let yc0_s: Vec<f64> = yc[0].iter().map(|y| y + offset).collect();
+
+        let m_plain = martinez_first_order(&yb, &yc[0]);
+        let m_shift = martinez_first_order(&yb_s, &yc0_s);
+        assert!((m_plain - m_shift).abs() < 1e-6, "martinez drifted: {m_plain} vs {m_shift}");
+
+        let s_plain = sobol1993_first_order(&ya, &yb, &yc[0]);
+        let s_shift = sobol1993_first_order(&ya_s, &yb_s, &yc0_s);
+        // The raw estimator degrades by orders of magnitude more.
+        let martinez_err = (m_plain - m_shift).abs();
+        let sobol_err = (s_plain - s_shift).abs();
+        assert!(
+            sobol_err > 10.0 * martinez_err.max(1e-12),
+            "expected 1993 estimator to degrade: martinez {martinez_err}, sobol93 {sobol_err}"
+        );
+    }
+
+    #[test]
+    fn degenerate_variance_returns_zero() {
+        let flat = vec![2.0; 10];
+        assert_eq!(saltelli_first_order(&flat, &flat, &flat), 0.0);
+        assert_eq!(jansen_total_order(&flat, &flat, &flat), 0.0);
+        assert_eq!(sobol1993_first_order(&flat, &flat, &flat), 0.0);
+    }
+
+    #[test]
+    fn pooled_statistics_match_concatenation() {
+        let ya = [1.0, 2.0, 3.0];
+        let yb = [4.0, 5.0];
+        let all = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((pooled_mean(&ya, &yb) - 3.0).abs() < 1e-15);
+        assert!(
+            (pooled_variance(&ya, &yb) - melissa_stats::batch::population_variance(&all)).abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Input-parameter distributions and the study parameter space.
+//!
+//! Global sensitivity analysis treats the `p` variable input parameters as
+//! independent random variables with user-chosen marginal laws (paper
+//! Section 2.1).  The launcher samples this space to build the pick-freeze
+//! design matrices.
+
+use rand::Rng;
+
+/// Marginal probability law of one input parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound (must be ≥ `lo`).
+        hi: f64,
+    },
+    /// Normal with given mean and standard deviation (sampled by
+    /// Box–Muller so only a `rand` uniform source is required).
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (must be ≥ 0).
+        std_dev: f64,
+    },
+    /// Log-uniform on `[lo, hi]` with `0 < lo ≤ hi` (decades equally likely).
+    LogUniform {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound (≥ `lo`).
+        hi: f64,
+    },
+}
+
+impl Distribution {
+    /// Draws one sample from the law.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Distribution::Uniform { lo, hi } => lo + (hi - lo) * rng.gen::<f64>(),
+            Distribution::Normal { mean, std_dev } => {
+                // Box–Muller transform.
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                mean + std_dev * z
+            }
+            Distribution::LogUniform { lo, hi } => {
+                let (llo, lhi) = (lo.ln(), hi.ln());
+                (llo + (lhi - llo) * rng.gen::<f64>()).exp()
+            }
+        }
+    }
+
+    /// Validates the law's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Distribution::Uniform { lo, hi } => {
+                // NaN bounds must fail too, hence the explicit checks.
+                if lo.is_nan() || hi.is_nan() || lo > hi {
+                    return Err(format!("uniform bounds inverted: [{lo}, {hi}]"));
+                }
+            }
+            Distribution::Normal { std_dev, .. } => {
+                if std_dev.is_nan() || std_dev < 0.0 {
+                    return Err(format!("negative std dev: {std_dev}"));
+                }
+            }
+            Distribution::LogUniform { lo, hi } => {
+                if lo.is_nan() || hi.is_nan() || lo <= 0.0 || lo > hi {
+                    return Err(format!("log-uniform requires 0 < lo <= hi, got [{lo}, {hi}]"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One named input parameter with its marginal law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parameter {
+    /// Human-readable name (used in reports and output files).
+    pub name: String,
+    /// Marginal probability law.
+    pub distribution: Distribution,
+}
+
+impl Parameter {
+    /// Convenience constructor for a uniform parameter.
+    pub fn uniform(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Self { name: name.into(), distribution: Distribution::Uniform { lo, hi } }
+    }
+
+    /// Convenience constructor for a normal parameter.
+    pub fn normal(name: impl Into<String>, mean: f64, std_dev: f64) -> Self {
+        Self { name: name.into(), distribution: Distribution::Normal { mean, std_dev } }
+    }
+}
+
+/// The ordered collection of the study's variable input parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParameterSpace {
+    params: Vec<Parameter>,
+}
+
+impl ParameterSpace {
+    /// Creates a parameter space from an ordered parameter list.
+    ///
+    /// # Panics
+    /// Panics if any distribution is invalid.
+    pub fn new(params: Vec<Parameter>) -> Self {
+        for p in &params {
+            if let Err(e) = p.distribution.validate() {
+                panic!("invalid distribution for parameter '{}': {e}", p.name);
+            }
+        }
+        Self { params }
+    }
+
+    /// Number of variable parameters `p`.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameters, in study order.
+    pub fn parameters(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    /// Name of parameter `k`.
+    pub fn name(&self, k: usize) -> &str {
+        &self.params[k].name
+    }
+
+    /// Draws one complete parameter-set row (one value per parameter).
+    pub fn sample_row<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.params.iter().map(|p| p.distribution.sample(rng)).collect()
+    }
+}
+
+impl std::iter::FromIterator<Parameter> for ParameterSpace {
+    fn from_iter<I: IntoIterator<Item = Parameter>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_samples_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Distribution::Uniform { lo: -2.0, hi: 3.0 };
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..=3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_samples_have_right_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Distribution::Normal { mean: 5.0, std_dev: 2.0 };
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_uniform_stays_positive_and_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Distribution::LogUniform { lo: 1e-3, hi: 1e3 };
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1e-3..=1e3).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distribution")]
+    fn invalid_bounds_panic() {
+        ParameterSpace::new(vec![Parameter::uniform("bad", 1.0, 0.0)]);
+    }
+
+    #[test]
+    fn sample_row_has_one_value_per_parameter() {
+        let space = ParameterSpace::new(vec![
+            Parameter::uniform("a", 0.0, 1.0),
+            Parameter::normal("b", 0.0, 1.0),
+            Parameter::uniform("c", -1.0, 1.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(space.sample_row(&mut rng).len(), 3);
+        assert_eq!(space.dim(), 3);
+        assert_eq!(space.name(1), "b");
+    }
+}

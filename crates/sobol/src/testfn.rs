@@ -1,0 +1,226 @@
+//! Analytic sensitivity-analysis benchmark functions.
+//!
+//! These standard test functions have closed-form Sobol' indices, which the
+//! convergence experiments (paper Section 3.4) and the estimator ablation
+//! use as ground truth.
+
+use crate::param::{Parameter, ParameterSpace};
+
+/// A deterministic black-box model `y = f(x_1 … x_p)` with known Sobol'
+/// indices.
+pub trait TestFunction {
+    /// Number of input parameters.
+    fn dim(&self) -> usize;
+    /// The input parameter space (marginal laws).
+    fn parameter_space(&self) -> ParameterSpace;
+    /// Evaluates the model.
+    fn eval(&self, x: &[f64]) -> f64;
+    /// Closed-form first-order indices.
+    fn analytic_first_order(&self) -> Vec<f64>;
+    /// Closed-form total indices.
+    fn analytic_total_order(&self) -> Vec<f64>;
+    /// Closed-form output variance.
+    fn analytic_variance(&self) -> f64;
+}
+
+/// Ishigami function `f(x) = sin x₁ + a sin² x₂ + b x₃⁴ sin x₁` on
+/// `[−π, π]³` — the classic non-additive, non-monotonic SA benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ishigami {
+    /// Coefficient of the `sin² x₂` term (classically 7).
+    pub a: f64,
+    /// Coefficient of the `x₃⁴ sin x₁` interaction term (classically 0.1).
+    pub b: f64,
+}
+
+impl Default for Ishigami {
+    fn default() -> Self {
+        Self { a: 7.0, b: 0.1 }
+    }
+}
+
+impl TestFunction for Ishigami {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn parameter_space(&self) -> ParameterSpace {
+        use std::f64::consts::PI;
+        ParameterSpace::new(vec![
+            Parameter::uniform("x1", -PI, PI),
+            Parameter::uniform("x2", -PI, PI),
+            Parameter::uniform("x3", -PI, PI),
+        ])
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), 3, "Ishigami takes 3 inputs");
+        x[0].sin() + self.a * x[1].sin().powi(2) + self.b * x[2].powi(4) * x[0].sin()
+    }
+
+    fn analytic_variance(&self) -> f64 {
+        use std::f64::consts::PI;
+        let (a, b) = (self.a, self.b);
+        a * a / 8.0 + b * PI.powi(4) / 5.0 + b * b * PI.powi(8) / 18.0 + 0.5
+    }
+
+    fn analytic_first_order(&self) -> Vec<f64> {
+        use std::f64::consts::PI;
+        let (a, b) = (self.a, self.b);
+        let v = self.analytic_variance();
+        let v1 = 0.5 * (1.0 + b * PI.powi(4) / 5.0).powi(2);
+        let v2 = a * a / 8.0;
+        vec![v1 / v, v2 / v, 0.0]
+    }
+
+    fn analytic_total_order(&self) -> Vec<f64> {
+        use std::f64::consts::PI;
+        let (a, b) = (self.a, self.b);
+        let v = self.analytic_variance();
+        let v1 = 0.5 * (1.0 + b * PI.powi(4) / 5.0).powi(2);
+        let v2 = a * a / 8.0;
+        // Only the x1–x3 interaction is non-zero.
+        let v13 = 8.0 * b * b * PI.powi(8) / 225.0;
+        vec![(v1 + v13) / v, v2 / v, v13 / v]
+    }
+}
+
+/// Sobol' g-function `f(x) = Π_k (|4x_k − 2| + a_k)/(1 + a_k)` on `[0,1]^p`.
+///
+/// Smaller `a_k` ⇒ more influential parameter.  Fully multiplicative, so
+/// every interaction order is active — a stress test for total indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GFunction {
+    /// Importance coefficients `a_k ≥ 0` (one per parameter).
+    pub a: Vec<f64>,
+}
+
+impl GFunction {
+    /// The common benchmark configuration `a = [0, 1, 4.5, 9, 99, 99]`.
+    pub fn standard6() -> Self {
+        Self { a: vec![0.0, 1.0, 4.5, 9.0, 99.0, 99.0] }
+    }
+
+    fn partial_variances(&self) -> Vec<f64> {
+        self.a.iter().map(|&ak| 1.0 / (3.0 * (1.0 + ak).powi(2))).collect()
+    }
+}
+
+impl TestFunction for GFunction {
+    fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    fn parameter_space(&self) -> ParameterSpace {
+        (0..self.dim())
+            .map(|k| Parameter::uniform(format!("x{}", k + 1), 0.0, 1.0))
+            .collect()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "g-function input dimension mismatch");
+        x.iter()
+            .zip(&self.a)
+            .map(|(&xi, &ak)| ((4.0 * xi - 2.0).abs() + ak) / (1.0 + ak))
+            .product()
+    }
+
+    fn analytic_variance(&self) -> f64 {
+        self.partial_variances().iter().map(|v| 1.0 + v).product::<f64>() - 1.0
+    }
+
+    fn analytic_first_order(&self) -> Vec<f64> {
+        let v = self.analytic_variance();
+        self.partial_variances().iter().map(|vk| vk / v).collect()
+    }
+
+    fn analytic_total_order(&self) -> Vec<f64> {
+        let vs = self.partial_variances();
+        let v = self.analytic_variance();
+        (0..self.dim())
+            .map(|k| {
+                let prod_others: f64 =
+                    vs.iter().enumerate().filter(|&(j, _)| j != k).map(|(_, vj)| 1.0 + vj).product();
+                vs[k] * prod_others / v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ishigami_analytic_values_match_literature() {
+        let f = Ishigami::default();
+        // Literature values for a=7, b=0.1.
+        let s = f.analytic_first_order();
+        assert!((s[0] - 0.3139).abs() < 1e-3, "S1 {}", s[0]);
+        assert!((s[1] - 0.4424).abs() < 1e-3, "S2 {}", s[1]);
+        assert_eq!(s[2], 0.0);
+        let st = f.analytic_total_order();
+        assert!((st[0] - 0.5576).abs() < 1e-3, "ST1 {}", st[0]);
+        assert!((st[1] - 0.4424).abs() < 1e-3, "ST2 {}", st[1]);
+        assert!((st[2] - 0.2437).abs() < 1e-3, "ST3 {}", st[2]);
+        assert!((f.analytic_variance() - 13.8446).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ishigami_monte_carlo_variance_matches_analytic() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let f = Ishigami::default();
+        let space = f.parameter_space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ys: Vec<f64> = (0..60_000).map(|_| f.eval(&space.sample_row(&mut rng))).collect();
+        let var = melissa_stats::batch::sample_variance(&ys);
+        assert!(
+            (var - f.analytic_variance()).abs() / f.analytic_variance() < 0.03,
+            "MC var {var} vs analytic {}",
+            f.analytic_variance()
+        );
+    }
+
+    #[test]
+    fn gfunction_indices_sum_properties() {
+        let f = GFunction::standard6();
+        let s = f.analytic_first_order();
+        let st = f.analytic_total_order();
+        // First-order sum below 1; totals at least first-orders.
+        assert!(s.iter().sum::<f64>() < 1.0);
+        for k in 0..6 {
+            assert!(st[k] >= s[k] - 1e-12);
+        }
+        // Ordering: smaller a_k more influential.
+        assert!(s[0] > s[1] && s[1] > s[2] && s[2] > s[3] && s[3] > s[4]);
+    }
+
+    #[test]
+    fn gfunction_monte_carlo_variance_matches_analytic() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let f = GFunction::standard6();
+        let space = f.parameter_space();
+        let mut rng = StdRng::seed_from_u64(9);
+        let ys: Vec<f64> = (0..80_000).map(|_| f.eval(&space.sample_row(&mut rng))).collect();
+        let var = melissa_stats::batch::sample_variance(&ys);
+        assert!(
+            (var - f.analytic_variance()).abs() / f.analytic_variance() < 0.05,
+            "MC var {var} vs analytic {}",
+            f.analytic_variance()
+        );
+    }
+
+    #[test]
+    fn gfunction_mean_is_one() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let f = GFunction::standard6();
+        let space = f.parameter_space();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mean: f64 =
+            (0..50_000).map(|_| f.eval(&space.sample_row(&mut rng))).sum::<f64>() / 50_000.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,470 @@
+//! Ubiquitous (per-cell) iterative Sobol' indices — the paper's central
+//! data structure (Sections 2.2 and 3.3).
+//!
+//! For a field output `Y(x, t)` the Sobol' indices are themselves fields
+//! `S_k(x, t)`.  Melissa Server keeps one [`UbiquitousSobol`] state per
+//! timestep per server process (covering that process's slab of cells) and
+//! folds in each simulation group's field results as they arrive, in any
+//! order, then discards the data.
+//!
+//! ## Memory layout
+//!
+//! A structure-of-arrays layout with **fused updates**: one Rayon-parallel
+//! sweep per group folds the `p + 2` incoming fields into all accumulators.
+//! Because the marginal mean of `Y^B` inside `Cov(Y^B, Y^{C^k})` is the same
+//! stream as the marginal moments of `Y^B`, means are shared across the
+//! covariance and variance accumulators, bringing the state down to
+//! `4 + 4p` doubles per cell (for the paper's `p = 6` use case: 28 doubles
+//! = 224 bytes per cell per timestep).
+
+use rayon::prelude::*;
+
+use crate::confidence::{first_order_interval, total_order_interval, ConfidenceInterval};
+
+/// Minimum cells per Rayon task in the update sweep.
+const PAR_CHUNK: usize = 2048;
+
+/// Per-cell one-pass Sobol' accumulator over a field of `cells` outputs.
+///
+/// Feed [`update_group`](Self::update_group) the `p + 2` result fields of
+/// one simulation group (canonical role order `[Y^A, Y^B, Y^{C^0}, …]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UbiquitousSobol {
+    p: usize,
+    cells: usize,
+    n: u64,
+    /// Means: `[A, B, C^0 … C^{p−1}]`, each `cells` long.
+    mean: Vec<Vec<f64>>,
+    /// Second central moment sums, same layout as `mean`.
+    m2: Vec<Vec<f64>>,
+    /// Co-moment sums of `(Y^B, Y^{C^k})` per parameter.
+    c_bc: Vec<Vec<f64>>,
+    /// Co-moment sums of `(Y^A, Y^{C^k})` per parameter.
+    c_ac: Vec<Vec<f64>>,
+}
+
+impl UbiquitousSobol {
+    /// Creates a zeroed accumulator for `p` parameters over `cells` cells.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or `cells == 0`.
+    pub fn new(p: usize, cells: usize) -> Self {
+        assert!(p > 0, "need at least one parameter");
+        assert!(cells > 0, "need at least one cell");
+        Self {
+            p,
+            cells,
+            n: 0,
+            mean: vec![vec![0.0; cells]; p + 2],
+            m2: vec![vec![0.0; cells]; p + 2],
+            c_bc: vec![vec![0.0; cells]; p],
+            c_ac: vec![vec![0.0; cells]; p],
+        }
+    }
+
+    /// Number of input parameters `p`.
+    pub fn dim(&self) -> usize {
+        self.p
+    }
+
+    /// Number of cells covered.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Number of groups folded in.
+    pub fn n_groups(&self) -> u64 {
+        self.n
+    }
+
+    /// State size in doubles per cell (`4 + 4p`), for memory accounting.
+    pub fn doubles_per_cell(p: usize) -> usize {
+        4 + 4 * p
+    }
+
+    /// Folds in the `p + 2` result fields of one completed group.
+    ///
+    /// # Panics
+    /// Panics if the number of fields is not `p + 2` or any field length
+    /// differs from `cells`.
+    pub fn update_group(&mut self, fields: &[&[f64]]) {
+        assert_eq!(fields.len(), self.p + 2, "expected p + 2 result fields");
+        for f in fields {
+            assert_eq!(f.len(), self.cells, "field length mismatch");
+        }
+        self.n += 1;
+        let n = self.n as f64;
+        let p = self.p;
+
+        // Split every state array into parallel chunks, then walk cells.
+        let chunks = self.cells.div_ceil(PAR_CHUNK);
+        let mut mean_parts: Vec<Vec<&mut [f64]>> =
+            self.mean.iter_mut().map(|v| v.chunks_mut(PAR_CHUNK).collect()).collect();
+        let mut m2_parts: Vec<Vec<&mut [f64]>> =
+            self.m2.iter_mut().map(|v| v.chunks_mut(PAR_CHUNK).collect()).collect();
+        let mut cbc_parts: Vec<Vec<&mut [f64]>> =
+            self.c_bc.iter_mut().map(|v| v.chunks_mut(PAR_CHUNK).collect()).collect();
+        let mut cac_parts: Vec<Vec<&mut [f64]>> =
+            self.c_ac.iter_mut().map(|v| v.chunks_mut(PAR_CHUNK).collect()).collect();
+
+        // Transpose to per-chunk bundles so each Rayon task owns disjoint
+        // slices of every array.
+        let mut tasks: Vec<ChunkTask<'_>> = Vec::with_capacity(chunks);
+        for c in (0..chunks).rev() {
+            tasks.push(ChunkTask {
+                start: c * PAR_CHUNK,
+                mean: mean_parts.iter_mut().map(|v| v.remove(c)).collect(),
+                m2: m2_parts.iter_mut().map(|v| v.remove(c)).collect(),
+                c_bc: cbc_parts.iter_mut().map(|v| v.remove(c)).collect(),
+                c_ac: cac_parts.iter_mut().map(|v| v.remove(c)).collect(),
+            });
+        }
+
+        tasks.par_iter_mut().for_each(|task| {
+            let len = task.mean[0].len();
+            let base = task.start;
+            for i in 0..len {
+                let g = base + i;
+                let ya = fields[0][g];
+                let yb = fields[1][g];
+                // Marginal updates for A and B (Welford).
+                let da = ya - task.mean[0][i];
+                task.mean[0][i] += da / n;
+                task.m2[0][i] += da * (ya - task.mean[0][i]);
+                let db = yb - task.mean[1][i];
+                task.mean[1][i] += db / n;
+                task.m2[1][i] += db * (yb - task.mean[1][i]);
+                for k in 0..p {
+                    let yc = fields[2 + k][g];
+                    let dc = yc - task.mean[2 + k][i];
+                    task.mean[2 + k][i] += dc / n;
+                    let resid = yc - task.mean[2 + k][i];
+                    task.m2[2 + k][i] += dc * resid;
+                    // Co-moments use the pre-update x-delta and the
+                    // post-update y-mean — identical to `OnlineCovariance`.
+                    task.c_bc[k][i] += db * resid;
+                    task.c_ac[k][i] += da * resid;
+                }
+            }
+        });
+    }
+
+    /// Merges another accumulator covering the *same cells* (pairwise
+    /// Chan/Pébay formulas).  Used by reduction trees and restart tests.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.p, other.p, "dimension mismatch");
+        assert_eq!(self.cells, other.cells, "cell-count mismatch");
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let ratio = na * nb / n;
+        for role in 0..self.p + 2 {
+            for i in 0..self.cells {
+                let d = other.mean[role][i] - self.mean[role][i];
+                self.m2[role][i] += other.m2[role][i] + d * d * ratio;
+            }
+        }
+        for k in 0..self.p {
+            for i in 0..self.cells {
+                let db = other.mean[1][i] - self.mean[1][i];
+                let da = other.mean[0][i] - self.mean[0][i];
+                let dc = other.mean[2 + k][i] - self.mean[2 + k][i];
+                self.c_bc[k][i] += other.c_bc[k][i] + db * dc * ratio;
+                self.c_ac[k][i] += other.c_ac[k][i] + da * dc * ratio;
+            }
+        }
+        for role in 0..self.p + 2 {
+            for i in 0..self.cells {
+                let d = other.mean[role][i] - self.mean[role][i];
+                self.mean[role][i] += d * nb / n;
+            }
+        }
+        self.n += other.n;
+    }
+
+    /// First-order Sobol' index field `S_k(x)` (Martinez, Eq. 5).
+    /// Cells with degenerate variance yield `0.0`.
+    pub fn first_order_field(&self, k: usize) -> Vec<f64> {
+        assert!(k < self.p, "parameter index out of range");
+        (0..self.cells)
+            .map(|i| ratio_correlation(self.c_bc[k][i], self.m2[1][i], self.m2[2 + k][i]))
+            .collect()
+    }
+
+    /// Total-order Sobol' index field `ST_k(x)` (Martinez, Eq. 6).
+    pub fn total_order_field(&self, k: usize) -> Vec<f64> {
+        assert!(k < self.p, "parameter index out of range");
+        (0..self.cells)
+            .map(|i| 1.0 - ratio_correlation(self.c_ac[k][i], self.m2[0][i], self.m2[2 + k][i]))
+            .collect()
+    }
+
+    /// First-order index of one cell.
+    pub fn first_order_at(&self, cell: usize, k: usize) -> f64 {
+        ratio_correlation(self.c_bc[k][cell], self.m2[1][cell], self.m2[2 + k][cell])
+    }
+
+    /// Total-order index of one cell.
+    pub fn total_order_at(&self, cell: usize, k: usize) -> f64 {
+        1.0 - ratio_correlation(self.c_ac[k][cell], self.m2[0][cell], self.m2[2 + k][cell])
+    }
+
+    /// Output variance field (unbiased, from the `Y^A` sample) — the
+    /// denominator field the paper recommends co-visualising (Fig. 8).
+    pub fn variance_field(&self) -> Vec<f64> {
+        if self.n < 2 {
+            return vec![0.0; self.cells];
+        }
+        let denom = self.n as f64 - 1.0;
+        self.m2[0].iter().map(|m2| m2 / denom).collect()
+    }
+
+    /// Output mean field (from the `Y^A` sample).
+    pub fn mean_field(&self) -> Vec<f64> {
+        self.mean[0].clone()
+    }
+
+    /// Interaction-share field `1 − Σ_k S_k(x)` (paper Section 5.5 item 4).
+    pub fn interaction_field(&self) -> Vec<f64> {
+        let mut acc = vec![1.0; self.cells];
+        for k in 0..self.p {
+            for (a, s) in acc.iter_mut().zip(self.first_order_field(k)) {
+                *a -= s;
+            }
+        }
+        acc
+    }
+
+    /// 95 % CI on `S_k` at one cell (paper Eq. 8).
+    pub fn first_order_ci_at(&self, cell: usize, k: usize) -> ConfidenceInterval {
+        first_order_interval(self.first_order_at(cell, k), self.n)
+    }
+
+    /// 95 % CI on `ST_k` at one cell (paper Eq. 9).
+    pub fn total_order_ci_at(&self, cell: usize, k: usize) -> ConfidenceInterval {
+        total_order_interval(self.total_order_at(cell, k), self.n)
+    }
+
+    /// Largest CI width over all cells and parameters, optionally masked to
+    /// cells whose output variance exceeds `min_variance` (the paper notes
+    /// indices are meaningless where `Var(Y) ≈ 0`).  This is the scalar the
+    /// server reports for convergence control (Section 4.1.5).
+    pub fn max_ci_width(&self, min_variance: f64) -> f64 {
+        let var = self.variance_field();
+        let mut w: f64 = 0.0;
+        for (i, &v) in var.iter().enumerate() {
+            if v <= min_variance {
+                continue;
+            }
+            for k in 0..self.p {
+                w = w.max(self.first_order_ci_at(i, k).width());
+                w = w.max(self.total_order_ci_at(i, k).width());
+            }
+        }
+        w
+    }
+
+    /// Flattens the full state to `(n, flat)` for checkpointing.  Array
+    /// order: means (p+2), m2 (p+2), c_bc (p), c_ac (p).
+    pub fn pack(&self) -> (u64, Vec<f64>) {
+        let mut flat = Vec::with_capacity((4 + 4 * self.p) * self.cells);
+        for arr in self.mean.iter().chain(&self.m2).chain(&self.c_bc).chain(&self.c_ac) {
+            flat.extend_from_slice(arr);
+        }
+        (self.n, flat)
+    }
+
+    /// Rebuilds from [`pack`](Self::pack) output.
+    ///
+    /// # Panics
+    /// Panics if `flat` has the wrong length.
+    pub fn unpack(p: usize, cells: usize, n: u64, flat: &[f64]) -> Self {
+        let arrays = 2 * (p + 2) + 2 * p;
+        assert_eq!(flat.len(), arrays * cells, "bad checkpoint payload length");
+        let mut it = flat.chunks_exact(cells).map(|c| c.to_vec());
+        let mean: Vec<Vec<f64>> = (0..p + 2).map(|_| it.next().unwrap()).collect();
+        let m2: Vec<Vec<f64>> = (0..p + 2).map(|_| it.next().unwrap()).collect();
+        let c_bc: Vec<Vec<f64>> = (0..p).map(|_| it.next().unwrap()).collect();
+        let c_ac: Vec<Vec<f64>> = (0..p).map(|_| it.next().unwrap()).collect();
+        Self { p, cells, n, mean, m2, c_bc, c_ac }
+    }
+}
+
+/// Disjoint mutable chunk bundle processed by one Rayon task.
+struct ChunkTask<'a> {
+    start: usize,
+    mean: Vec<&'a mut [f64]>,
+    m2: Vec<&'a mut [f64]>,
+    c_bc: Vec<&'a mut [f64]>,
+    c_ac: Vec<&'a mut [f64]>,
+}
+
+/// `c2 / sqrt(m2x · m2y)` with degenerate-variance guard; the `(n−1)`
+/// normalisations cancel.
+#[inline]
+fn ratio_correlation(c2: f64, m2x: f64, m2y: f64) -> f64 {
+    if m2x <= 0.0 || m2y <= 0.0 {
+        0.0
+    } else {
+        c2 / (m2x * m2y).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::martinez::IterativeSobol;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const P: usize = 4;
+    const CELLS: usize = 37;
+
+    /// Random group results: p+2 fields of CELLS values.
+    fn random_groups(n: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (0..P + 2)
+                    .map(|_| (0..CELLS).map(|_| rng.gen::<f64>() * 5.0 - 1.0).collect())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn feed(acc: &mut UbiquitousSobol, groups: &[Vec<Vec<f64>>]) {
+        for g in groups {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            acc.update_group(&refs);
+        }
+    }
+
+    #[test]
+    fn every_cell_matches_scalar_iterative_sobol() {
+        let groups = random_groups(50, 1);
+        let mut field = UbiquitousSobol::new(P, CELLS);
+        feed(&mut field, &groups);
+
+        for cell in [0usize, 3, CELLS - 1] {
+            let mut scalar = IterativeSobol::new(P);
+            for g in &groups {
+                let outputs: Vec<f64> = g.iter().map(|f| f[cell]).collect();
+                scalar.update_group(&outputs);
+            }
+            for k in 0..P {
+                assert!(
+                    (field.first_order_at(cell, k) - scalar.first_order(k)).abs() < 1e-12,
+                    "cell {cell} S_{k}"
+                );
+                assert!(
+                    (field.total_order_at(cell, k) - scalar.total_order(k)).abs() < 1e-12,
+                    "cell {cell} ST_{k}"
+                );
+            }
+            assert!((field.variance_field()[cell] - scalar.output_variance()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn group_order_invariance() {
+        let groups = random_groups(30, 2);
+        let mut fwd = UbiquitousSobol::new(P, CELLS);
+        feed(&mut fwd, &groups);
+        let mut rev = UbiquitousSobol::new(P, CELLS);
+        let reversed: Vec<_> = groups.iter().rev().cloned().collect();
+        feed(&mut rev, &reversed);
+        for k in 0..P {
+            let (a, b) = (fwd.first_order_field(k), rev.first_order_field(k));
+            for i in 0..CELLS {
+                assert!((a[i] - b[i]).abs() < 1e-10, "cell {i} param {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let groups = random_groups(40, 3);
+        let mut whole = UbiquitousSobol::new(P, CELLS);
+        feed(&mut whole, &groups);
+
+        let mut left = UbiquitousSobol::new(P, CELLS);
+        feed(&mut left, &groups[..17]);
+        let mut right = UbiquitousSobol::new(P, CELLS);
+        feed(&mut right, &groups[17..]);
+        left.merge(&right);
+
+        assert_eq!(left.n_groups(), whole.n_groups());
+        for k in 0..P {
+            let (a, b) = (left.total_order_field(k), whole.total_order_field(k));
+            for i in 0..CELLS {
+                assert!((a[i] - b[i]).abs() < 1e-9, "cell {i} param {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let groups = random_groups(12, 4);
+        let mut acc = UbiquitousSobol::new(P, CELLS);
+        feed(&mut acc, &groups);
+        let (n, flat) = acc.pack();
+        let back = UbiquitousSobol::unpack(P, CELLS, n, &flat);
+        assert_eq!(acc, back);
+    }
+
+    #[test]
+    fn interaction_field_complements_first_order_sum() {
+        let groups = random_groups(25, 5);
+        let mut acc = UbiquitousSobol::new(P, CELLS);
+        feed(&mut acc, &groups);
+        let inter = acc.interaction_field();
+        let sums: Vec<f64> = (0..CELLS)
+            .map(|i| (0..P).map(|k| acc.first_order_field(k)[i]).sum::<f64>())
+            .collect();
+        for i in 0..CELLS {
+            assert!((inter[i] + sums[i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_ci_width_masks_degenerate_cells() {
+        // One constant cell (zero variance) must not contribute.
+        let mut groups = random_groups(20, 6);
+        for g in &mut groups {
+            for f in g.iter_mut() {
+                f[0] = 3.33; // cell 0 constant across all sims
+            }
+        }
+        let mut acc = UbiquitousSobol::new(P, CELLS);
+        feed(&mut acc, &groups);
+        let w = acc.max_ci_width(1e-12);
+        assert!(w.is_finite() && w > 0.0);
+    }
+
+    #[test]
+    fn memory_accounting_formula() {
+        assert_eq!(UbiquitousSobol::doubles_per_cell(6), 28);
+        let acc = UbiquitousSobol::new(6, 10);
+        let (_, flat) = acc.pack();
+        assert_eq!(flat.len(), 28 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "field length mismatch")]
+    fn wrong_field_length_panics() {
+        let mut acc = UbiquitousSobol::new(2, 4);
+        let bad = [vec![0.0; 4], vec![0.0; 4], vec![0.0; 3], vec![0.0; 4]];
+        let refs: Vec<&[f64]> = bad.iter().map(|f| f.as_slice()).collect();
+        acc.update_group(&refs);
+    }
+}

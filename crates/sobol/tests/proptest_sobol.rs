@@ -1,0 +1,164 @@
+//! Property tests for the iterative Sobol' machinery.
+//!
+//! The load-bearing invariants of the Melissa design:
+//! 1. iterative Martinez == batch Martinez (exactness of one-pass formulas),
+//! 2. group arrival order never changes the result (simulation groups are
+//!    asynchronous and the server consumes data "in any order", paper §3.1),
+//! 3. merging partial accumulators == sequential accumulation,
+//! 4. estimates are always inside their own confidence interval.
+
+use melissa_sobol::estimators;
+use melissa_sobol::{IterativeSobol, UbiquitousSobol};
+use proptest::prelude::*;
+
+const P: usize = 3;
+
+/// A study outcome: n groups × (p+2) outputs.
+fn study_outputs(max_groups: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-1e3f64..1e3, P + 2),
+        4..max_groups,
+    )
+}
+
+fn feed(groups: &[Vec<f64>]) -> IterativeSobol {
+    let mut acc = IterativeSobol::new(P);
+    for g in groups {
+        acc.update_group(g);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn iterative_equals_batch_martinez(groups in study_outputs(80)) {
+        let acc = feed(&groups);
+        let ya: Vec<f64> = groups.iter().map(|g| g[0]).collect();
+        let yb: Vec<f64> = groups.iter().map(|g| g[1]).collect();
+        for k in 0..P {
+            let yck: Vec<f64> = groups.iter().map(|g| g[2 + k]).collect();
+            let s_batch = estimators::martinez_first_order(&yb, &yck);
+            let st_batch = estimators::martinez_total_order(&ya, &yck);
+            prop_assert!((acc.first_order(k) - s_batch).abs() < 1e-9,
+                "S_{}: {} vs {}", k, acc.first_order(k), s_batch);
+            prop_assert!((acc.total_order(k) - st_batch).abs() < 1e-9,
+                "ST_{}: {} vs {}", k, acc.total_order(k), st_batch);
+        }
+    }
+
+    #[test]
+    fn arrival_order_is_irrelevant(groups in study_outputs(60), seed in 0u64..1000) {
+        let fwd = feed(&groups);
+        // Deterministic shuffle driven by the seed.
+        let mut shuffled = groups.clone();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let shuf = feed(&shuffled);
+        for k in 0..P {
+            prop_assert!((fwd.first_order(k) - shuf.first_order(k)).abs() < 1e-8);
+            prop_assert!((fwd.total_order(k) - shuf.total_order(k)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential(groups in study_outputs(60), frac in 0.0f64..1.0) {
+        let split = ((groups.len() as f64) * frac) as usize;
+        let mut left = feed(&groups[..split]);
+        let right = feed(&groups[split..]);
+        left.merge(&right);
+        let whole = feed(&groups);
+        prop_assert_eq!(left.n_groups(), whole.n_groups());
+        for k in 0..P {
+            prop_assert!((left.first_order(k) - whole.first_order(k)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn estimate_lies_inside_its_confidence_interval(groups in study_outputs(50)) {
+        let acc = feed(&groups);
+        for k in 0..P {
+            let s = acc.first_order(k);
+            let ci = acc.first_order_ci(k);
+            prop_assert!(ci.contains(s), "S_{} = {} outside [{}, {}]", k, s, ci.lo, ci.hi);
+            let st = acc.total_order(k);
+            let cit = acc.total_order_ci(k);
+            prop_assert!(cit.contains(st), "ST_{} = {} outside [{}, {}]", k, st, cit.lo, cit.hi);
+        }
+    }
+
+    #[test]
+    fn martinez_indices_are_bounded(groups in study_outputs(60)) {
+        // Correlations are in [-1, 1] by construction, so S in [-1, 1] and
+        // ST in [0, 2] regardless of sampling noise.
+        let acc = feed(&groups);
+        for k in 0..P {
+            let s = acc.first_order(k);
+            let st = acc.total_order(k);
+            prop_assert!((-1.0..=1.0).contains(&s), "S_{} = {}", k, s);
+            prop_assert!((0.0..=2.0).contains(&st), "ST_{} = {}", k, st);
+        }
+    }
+
+    #[test]
+    fn ubiquitous_matches_scalar_on_every_cell(
+        groups in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 6), P + 2),
+            4..30,
+        )
+    ) {
+        // groups[g][role][cell]
+        let cells = 6;
+        let mut field = UbiquitousSobol::new(P, cells);
+        for g in &groups {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            field.update_group(&refs);
+        }
+        for cell in 0..cells {
+            let mut scalar = IterativeSobol::new(P);
+            for g in &groups {
+                let outputs: Vec<f64> = g.iter().map(|f| f[cell]).collect();
+                scalar.update_group(&outputs);
+            }
+            for k in 0..P {
+                prop_assert!((field.first_order_at(cell, k) - scalar.first_order(k)).abs() < 1e-9);
+                prop_assert!((field.total_order_at(cell, k) - scalar.total_order(k)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ubiquitous_pack_unpack_preserves_updates(
+        groups in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 5), P + 2),
+            4..20,
+        ),
+        split_frac in 0.0f64..1.0,
+    ) {
+        // Checkpoint mid-study, restore, finish: must equal uninterrupted run.
+        let cells = 5;
+        let split = ((groups.len() as f64) * split_frac) as usize;
+        let mut first = UbiquitousSobol::new(P, cells);
+        for g in &groups[..split] {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            first.update_group(&refs);
+        }
+        let (n, flat) = first.pack();
+        let mut restored = UbiquitousSobol::unpack(P, cells, n, &flat);
+        for g in &groups[split..] {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            restored.update_group(&refs);
+        }
+        let mut whole = UbiquitousSobol::new(P, cells);
+        for g in &groups {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            whole.update_group(&refs);
+        }
+        prop_assert_eq!(restored, whole);
+    }
+}

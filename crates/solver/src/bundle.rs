@@ -1,0 +1,133 @@
+//! Tube-bundle geometry (paper Fig. 5): water flows from the left between
+//! the tubes of a staggered cylinder array and exits to the right.
+
+use melissa_mesh::StructuredMesh;
+
+/// A staggered array of cylindrical tubes (axes along z) inside a
+/// rectangular channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TubeBundle {
+    /// Tube radius.
+    pub radius: f64,
+    /// Horizontal pitch between tube columns.
+    pub pitch_x: f64,
+    /// Vertical pitch between tubes within a column.
+    pub pitch_y: f64,
+    /// x-position of the first tube column.
+    pub x_first: f64,
+    /// x-position past which there are no tubes.
+    pub x_last: f64,
+}
+
+impl TubeBundle {
+    /// The default bundle used by the reproduction's use case: a staggered
+    /// array occupying the central portion of a channel of size `lx × ly`.
+    pub fn for_channel(lx: f64, ly: f64) -> Self {
+        let pitch_y = ly / 4.0;
+        Self {
+            radius: 0.3 * pitch_y,
+            pitch_x: pitch_y,
+            pitch_y,
+            x_first: 0.3 * lx,
+            x_last: 0.7 * lx,
+        }
+    }
+
+    /// Whether the point `(x, y)` lies inside a tube.
+    pub fn is_solid(&self, x: f64, y: f64) -> bool {
+        if x < self.x_first - self.radius || x > self.x_last + self.radius {
+            return false;
+        }
+        // Column index and stagger offset: odd columns shifted by half a
+        // vertical pitch.
+        let col = ((x - self.x_first) / self.pitch_x).round() as i64;
+        // Check the two nearest columns (a point may be within radius of a
+        // neighbouring column's tube).
+        for c in [col - 1, col, col + 1] {
+            let cx = self.x_first + c as f64 * self.pitch_x;
+            if cx < self.x_first - 1e-12 || cx > self.x_last + 1e-12 {
+                continue;
+            }
+            let offset = if c.rem_euclid(2) == 1 { 0.5 * self.pitch_y } else { 0.0 };
+            // Nearest tube centre in this column.
+            let rel = (y - offset) / self.pitch_y;
+            for r in [rel.floor(), rel.ceil()] {
+                let cy = offset + r * self.pitch_y;
+                let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+                if d2 <= self.radius * self.radius {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Builds the per-cell solid mask for a mesh (`true` = inside a tube).
+    pub fn solid_mask(&self, mesh: &StructuredMesh) -> Vec<bool> {
+        let (nx, ny, nz) = mesh.dims();
+        let mut mask = vec![false; mesh.n_cells()];
+        // Tubes are z-invariant: compute one xy plane and replicate.
+        for j in 0..ny {
+            for i in 0..nx {
+                let c = mesh.cell_center(i, j, 0);
+                if self.is_solid(c[0], c[1]) {
+                    for k in 0..nz {
+                        mask[mesh.cell_id(i, j, k)] = true;
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_bundle_blocks_a_reasonable_fraction() {
+        let mesh = StructuredMesh::new(64, 32, 2, 2.0, 1.0, 0.1);
+        let bundle = TubeBundle::for_channel(2.0, 1.0);
+        let mask = bundle.solid_mask(&mesh);
+        let solid = mask.iter().filter(|&&s| s).count();
+        let frac = solid as f64 / mask.len() as f64;
+        assert!(frac > 0.02 && frac < 0.4, "solid fraction {frac}");
+    }
+
+    #[test]
+    fn inlet_and_outlet_regions_are_clear() {
+        let bundle = TubeBundle::for_channel(2.0, 1.0);
+        for y in [0.1, 0.5, 0.9] {
+            assert!(!bundle.is_solid(0.05, y), "inlet blocked at y={y}");
+            assert!(!bundle.is_solid(1.95, y), "outlet blocked at y={y}");
+        }
+    }
+
+    #[test]
+    fn tube_centres_are_solid() {
+        let bundle = TubeBundle::for_channel(2.0, 1.0);
+        // First column (even) has tubes at y = m * pitch_y.
+        assert!(bundle.is_solid(bundle.x_first, bundle.pitch_y));
+        assert!(bundle.is_solid(bundle.x_first, 2.0 * bundle.pitch_y));
+        // Second column is staggered by half a pitch.
+        let x2 = bundle.x_first + bundle.pitch_x;
+        assert!(bundle.is_solid(x2, 1.5 * bundle.pitch_y));
+    }
+
+    #[test]
+    fn mask_is_z_invariant() {
+        let mesh = StructuredMesh::new(32, 16, 3, 2.0, 1.0, 0.3);
+        let bundle = TubeBundle::for_channel(2.0, 1.0);
+        let mask = bundle.solid_mask(&mesh);
+        let (nx, ny, _) = mesh.dims();
+        for j in 0..ny {
+            for i in 0..nx {
+                let a = mask[mesh.cell_id(i, j, 0)];
+                for k in 1..3 {
+                    assert_eq!(a, mask[mesh.cell_id(i, j, k)]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Rank-decomposed simulation: the MPI-like parallelisation of one solver
+//! instance.
+//!
+//! Each Code_Saturne simulation in the paper runs on 64 cores with domain
+//! partitioning; the reproduction decomposes along the `y` axis into `R`
+//! rank slabs with one halo row exchanged per step.  The decomposed solver
+//! is **bit-identical** to the monolithic one (asserted in tests) because
+//! both use the same gather-form kernel.
+//!
+//! The decomposition also defines the *data chunks* each rank contributes
+//! to the two-stage Melissa transfer: rank `r`'s cells form `nz` contiguous
+//! global-cell-id ranges (one per z-plane), which the Melissa client
+//! intersects with the server's slab partition (Fig. 4).
+
+use std::sync::Arc;
+
+use melissa_mesh::{CellRange, StructuredMesh};
+
+use crate::flow::FrozenFlow;
+use crate::injection::{InjectionParams, InletProfile};
+use crate::transport::{step_rows, RowWindow};
+use crate::usecase::UseCaseConfig;
+
+/// State owned by one rank: its row slab plus halo rows.
+#[derive(Debug, Clone)]
+struct RankState {
+    /// Rows this rank updates.
+    own: RowWindow,
+    /// Rows stored locally (own ± halo where present).
+    window: RowWindow,
+    /// Local concentration buffer (window layout).
+    c: Vec<f64>,
+    /// Scratch buffer for the next step.
+    scratch: Vec<f64>,
+}
+
+/// A simulation decomposed across `R` logical ranks.
+pub struct DecomposedSimulation {
+    mesh: StructuredMesh,
+    flow: Arc<FrozenFlow>,
+    inlet: InletProfile,
+    diffusivity: f64,
+    dt: f64,
+    substeps: usize,
+    n_timesteps: usize,
+    produced: usize,
+    ranks: Vec<RankState>,
+}
+
+impl DecomposedSimulation {
+    /// Creates a simulation split across `n_ranks` y-slabs.
+    ///
+    /// # Panics
+    /// Panics if `n_ranks` is zero or exceeds the number of mesh rows.
+    pub fn new(
+        config: &UseCaseConfig,
+        flow: Arc<FrozenFlow>,
+        params: InjectionParams,
+        n_ranks: usize,
+    ) -> Self {
+        let mesh = config.mesh();
+        let (_, ny, _) = mesh.dims();
+        assert!(n_ranks > 0 && n_ranks <= ny, "need 1..=ny ranks (ny = {ny})");
+        let stable = flow.stable_dt(&mesh, config.diffusivity);
+        let interval = config.output_interval();
+        let substeps = (interval / stable).ceil().max(1.0) as usize;
+        let dt = interval / substeps as f64;
+        let inlet = InletProfile::new(params, config.ly, config.total_time);
+
+        // Even row split.
+        let base = ny / n_ranks;
+        let extra = ny % n_ranks;
+        let mut ranks = Vec::with_capacity(n_ranks);
+        let mut j = 0;
+        for r in 0..n_ranks {
+            let rows = base + usize::from(r < extra);
+            let own = RowWindow { j0: j, j1: j + rows };
+            let window =
+                RowWindow { j0: own.j0.saturating_sub(1), j1: (own.j1 + 1).min(ny) };
+            let len = window.buffer_len(&mesh);
+            ranks.push(RankState { own, window, c: vec![0.0; len], scratch: vec![0.0; len] });
+            j += rows;
+        }
+
+        Self {
+            mesh,
+            flow,
+            inlet,
+            diffusivity: config.diffusivity,
+            dt,
+            substeps,
+            n_timesteps: config.n_timesteps,
+            produced: 0,
+            ranks,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total output timesteps.
+    pub fn n_timesteps(&self) -> usize {
+        self.n_timesteps
+    }
+
+    /// Output timesteps produced so far.
+    pub fn current_timestep(&self) -> usize {
+        self.produced
+    }
+
+    /// True when all timesteps have been produced.
+    pub fn finished(&self) -> bool {
+        self.produced >= self.n_timesteps
+    }
+
+    /// Exchanges halo rows between neighbouring ranks (the MPI halo
+    /// exchange of a real domain-decomposed solver).
+    fn exchange_halos(&mut self) {
+        let (nx, _, nz) = self.mesh.dims();
+        for r in 0..self.ranks.len() {
+            // South halo: row own.j0 − 1 lives on rank r−1.
+            if self.ranks[r].own.j0 > 0 {
+                let j = self.ranks[r].own.j0 - 1;
+                let (left, right) = self.ranks.split_at_mut(r);
+                let src = &left[r - 1];
+                let dst = &mut right[0];
+                for k in 0..nz {
+                    for i in 0..nx {
+                        let v = src.c[src.window.idx(&self.mesh, i, j, k)];
+                        let d = dst.window.idx(&self.mesh, i, j, k);
+                        dst.c[d] = v;
+                    }
+                }
+            }
+            // North halo: row own.j1 lives on rank r+1.
+            if r + 1 < self.ranks.len() {
+                let j = self.ranks[r].own.j1;
+                let (left, right) = self.ranks.split_at_mut(r + 1);
+                let dst = &mut left[r];
+                let src = &right[0];
+                for k in 0..nz {
+                    for i in 0..nx {
+                        let v = src.c[src.window.idx(&self.mesh, i, j, k)];
+                        let d = dst.window.idx(&self.mesh, i, j, k);
+                        dst.c[d] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances one output timestep (substeps × halo exchange + kernel).
+    ///
+    /// # Panics
+    /// Panics if called after the simulation finished.
+    pub fn advance(&mut self) {
+        assert!(!self.finished(), "simulation already finished");
+        let t0 = self.produced as f64 * self.substeps as f64 * self.dt;
+        for s in 0..self.substeps {
+            let t = t0 + s as f64 * self.dt;
+            self.exchange_halos();
+            for rank in &mut self.ranks {
+                step_rows(
+                    &self.mesh,
+                    &self.flow,
+                    &self.inlet,
+                    self.diffusivity,
+                    self.dt,
+                    t,
+                    rank.window,
+                    rank.own,
+                    &rank.c,
+                    &mut rank.scratch,
+                );
+                // Keep halo rows in scratch coherent for the swap (they are
+                // refreshed at the next exchange anyway).
+                std::mem::swap(&mut rank.c, &mut rank.scratch);
+            }
+        }
+        self.produced += 1;
+    }
+
+    /// The contiguous global-cell-id chunks owned by `rank`, with their
+    /// current values — exactly what the rank hands to the Melissa client
+    /// at each timestep.
+    pub fn rank_chunks(&self, rank: usize) -> Vec<(CellRange, Vec<f64>)> {
+        let (nx, ny, nz) = self.mesh.dims();
+        let state = &self.ranks[rank];
+        let rows = state.own.n_rows();
+        let mut out = Vec::with_capacity(nz);
+        for k in 0..nz {
+            let start = self.mesh.cell_id(0, state.own.j0, k);
+            let len = nx * rows;
+            let mut values = Vec::with_capacity(len);
+            for j in state.own.j0..state.own.j1 {
+                for i in 0..nx {
+                    values.push(state.c[state.window.idx(&self.mesh, i, j, k)]);
+                }
+            }
+            debug_assert!(start + len <= nx * ny * nz);
+            out.push((CellRange { start, len }, values));
+        }
+        out
+    }
+
+    /// Assembles the full global field from all ranks (for verification).
+    pub fn assemble_field(&self) -> Vec<f64> {
+        let mut field = self.mesh.zero_field();
+        for r in 0..self.ranks.len() {
+            for (range, values) in self.rank_chunks(r) {
+                field[range.start..range.end()].copy_from_slice(&values);
+            }
+        }
+        field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::{OutputMode, Simulation};
+
+    fn params() -> InjectionParams {
+        InjectionParams {
+            conc_upper: 1.3,
+            conc_lower: 0.7,
+            width_upper: 0.25,
+            width_lower: 0.35,
+            dur_upper: 0.6,
+            dur_lower: 0.9,
+        }
+    }
+
+    #[test]
+    fn decomposed_matches_monolithic_bit_for_bit() {
+        let cfg = UseCaseConfig::tiny();
+        let flow = Arc::new(cfg.prerun());
+        for n_ranks in [1usize, 2, 3, 5] {
+            let mut mono = Simulation::new(&cfg, flow.clone(), params(), OutputMode::NoOutput);
+            let mut deco = DecomposedSimulation::new(&cfg, flow.clone(), params(), n_ranks);
+            for _ in 0..cfg.n_timesteps {
+                mono.advance();
+                deco.advance();
+            }
+            assert_eq!(
+                deco.assemble_field(),
+                mono.field(),
+                "rank count {n_ranks} diverged from monolithic"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_chunks_tile_the_mesh_exactly() {
+        let cfg = UseCaseConfig::tiny();
+        let flow = Arc::new(cfg.prerun());
+        let deco = DecomposedSimulation::new(&cfg, flow, params(), 3);
+        let mesh = cfg.mesh();
+        let mut covered = vec![false; mesh.n_cells()];
+        for r in 0..deco.n_ranks() {
+            for (range, values) in deco.rank_chunks(r) {
+                assert_eq!(range.len, values.len());
+                for c in range.iter() {
+                    assert!(!covered[c], "cell {c} covered twice");
+                    covered[c] = true;
+                }
+            }
+        }
+        assert!(covered.into_iter().all(|x| x));
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks")]
+    fn too_many_ranks_panics() {
+        let cfg = UseCaseConfig::tiny();
+        let flow = Arc::new(cfg.prerun());
+        DecomposedSimulation::new(&cfg, flow, params(), 1000);
+    }
+}

@@ -1,0 +1,387 @@
+//! The steady-flow *pre-run*: a potential-flow solve around the tube
+//! bundle.
+//!
+//! The paper first runs a single 4000-timestep Code_Saturne simulation to
+//! obtain a steady flow, then freezes velocity/pressure/turbulence and
+//! solves only the dye scalar on top (Section 5.2).  The reproduction's
+//! pre-run solves the Laplace equation for a velocity potential `φ` with
+//! SOR on the solid-masked mesh (inlet/outlet Dirichlet, walls and tube
+//! surfaces zero-flux), then differentiates `φ` into **face volume fluxes**.
+//! Because the discrete Laplacian is built from exactly those face
+//! couplings, the resulting flux field is discretely divergence-free —
+//! which the conservation tests rely on.
+
+use melissa_mesh::StructuredMesh;
+
+use crate::bundle::TubeBundle;
+
+/// Frozen steady flow: face volume fluxes over a solid-masked mesh.
+///
+/// Flux arrays are indexed by face:
+/// `flux_x[i + (nx+1)·(j + ny·k)]` is the volume flux (positive toward +x)
+/// through the face at `x = i·dx`; similarly for y (`ny+1` faces) and z.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenFlow {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Face fluxes along x, `(nx+1)·ny·nz` entries.
+    pub flux_x: Vec<f64>,
+    /// Face fluxes along y, `nx·(ny+1)·nz` entries.
+    pub flux_y: Vec<f64>,
+    /// Face fluxes along z, `nx·ny·(nz+1)` entries.
+    pub flux_z: Vec<f64>,
+    /// Per-cell solid mask.
+    pub solid: Vec<bool>,
+    /// Number of SOR iterations the pre-run took to converge.
+    pub prerun_iterations: usize,
+}
+
+impl FrozenFlow {
+    /// Index into `flux_x`.
+    #[inline]
+    pub fn fx(&self, i: usize, j: usize, k: usize) -> usize {
+        i + (self.nx + 1) * (j + self.ny * k)
+    }
+
+    /// Index into `flux_y`.
+    #[inline]
+    pub fn fy(&self, i: usize, j: usize, k: usize) -> usize {
+        i + self.nx * (j + (self.ny + 1) * k)
+    }
+
+    /// Index into `flux_z`.
+    #[inline]
+    pub fn fz(&self, i: usize, j: usize, k: usize) -> usize {
+        i + self.nx * (j + self.ny * k)
+    }
+
+    /// Solves the pre-run on `mesh` with the given bundle and mean inlet
+    /// velocity, to relative SOR tolerance `tol`.
+    ///
+    /// # Panics
+    /// Panics if the inlet column contains no fluid cells.
+    pub fn solve(mesh: &StructuredMesh, bundle: &TubeBundle, u_inlet: f64, tol: f64) -> Self {
+        let (nx, ny, nz) = mesh.dims();
+        let (dx, dy, dz) = mesh.spacing();
+        let solid = bundle.solid_mask(mesh);
+
+        // Face coupling coefficients a = A / d.
+        let ax = dy * dz / dx;
+        let ay = dx * dz / dy;
+        let az = dx * dy / dz;
+
+        // SOR over fluid cells.  Dirichlet ghosts: phi_in = 1 at x=0,
+        // phi_out = 0 at x=lx (at distance dx from the first/last centres).
+        let (phi_in, phi_out) = (1.0, 0.0);
+        let mut phi = vec![0.5; mesh.n_cells()];
+        let omega = 1.85;
+        let max_iters = 200_000;
+        let mut iters = 0;
+        loop {
+            let mut max_delta: f64 = 0.0;
+            let mut max_phi: f64 = 1e-30;
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let c = mesh.cell_id(i, j, k);
+                        if solid[c] {
+                            continue;
+                        }
+                        let mut num = 0.0;
+                        let mut den = 0.0;
+                        // x− neighbour or inlet ghost.
+                        if i == 0 {
+                            num += ax * phi_in;
+                            den += ax;
+                        } else {
+                            let n = mesh.cell_id(i - 1, j, k);
+                            if !solid[n] {
+                                num += ax * phi[n];
+                                den += ax;
+                            }
+                        }
+                        // x+ neighbour or outlet ghost.
+                        if i == nx - 1 {
+                            num += ax * phi_out;
+                            den += ax;
+                        } else {
+                            let n = mesh.cell_id(i + 1, j, k);
+                            if !solid[n] {
+                                num += ax * phi[n];
+                                den += ax;
+                            }
+                        }
+                        // y neighbours (walls are zero-flux: omitted).
+                        if j > 0 {
+                            let n = mesh.cell_id(i, j - 1, k);
+                            if !solid[n] {
+                                num += ay * phi[n];
+                                den += ay;
+                            }
+                        }
+                        if j < ny - 1 {
+                            let n = mesh.cell_id(i, j + 1, k);
+                            if !solid[n] {
+                                num += ay * phi[n];
+                                den += ay;
+                            }
+                        }
+                        // z neighbours (front/back walls zero-flux).
+                        if k > 0 {
+                            let n = mesh.cell_id(i, j, k - 1);
+                            if !solid[n] {
+                                num += az * phi[n];
+                                den += az;
+                            }
+                        }
+                        if k < nz - 1 {
+                            let n = mesh.cell_id(i, j, k + 1);
+                            if !solid[n] {
+                                num += az * phi[n];
+                                den += az;
+                            }
+                        }
+                        if den == 0.0 {
+                            continue; // isolated fluid cell
+                        }
+                        let new = (1.0 - omega) * phi[c] + omega * num / den;
+                        max_delta = max_delta.max((new - phi[c]).abs());
+                        max_phi = max_phi.max(new.abs());
+                        phi[c] = new;
+                    }
+                }
+            }
+            iters += 1;
+            if max_delta / max_phi < tol || iters >= max_iters {
+                break;
+            }
+        }
+
+        // Differentiate into face fluxes.
+        let mut flow = FrozenFlow {
+            nx,
+            ny,
+            nz,
+            flux_x: vec![0.0; (nx + 1) * ny * nz],
+            flux_y: vec![0.0; nx * (ny + 1) * nz],
+            flux_z: vec![0.0; nx * ny * (nz + 1)],
+            solid,
+            prerun_iterations: iters,
+        };
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..=nx {
+                    let f = flow.fx(i, j, k);
+                    flow.flux_x[f] = if i == 0 {
+                        let c = mesh.cell_id(0, j, k);
+                        if flow.solid[c] { 0.0 } else { ax * (phi_in - phi[c]) }
+                    } else if i == nx {
+                        let c = mesh.cell_id(nx - 1, j, k);
+                        if flow.solid[c] { 0.0 } else { ax * (phi[c] - phi_out) }
+                    } else {
+                        let l = mesh.cell_id(i - 1, j, k);
+                        let r = mesh.cell_id(i, j, k);
+                        if flow.solid[l] || flow.solid[r] { 0.0 } else { ax * (phi[l] - phi[r]) }
+                    };
+                }
+            }
+        }
+        for k in 0..nz {
+            for j in 0..=ny {
+                for i in 0..nx {
+                    let f = flow.fy(i, j, k);
+                    flow.flux_y[f] = if j == 0 || j == ny {
+                        0.0
+                    } else {
+                        let l = mesh.cell_id(i, j - 1, k);
+                        let r = mesh.cell_id(i, j, k);
+                        if flow.solid[l] || flow.solid[r] { 0.0 } else { ay * (phi[l] - phi[r]) }
+                    };
+                }
+            }
+        }
+        for k in 0..=nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let f = flow.fz(i, j, k);
+                    flow.flux_z[f] = if k == 0 || k == nz {
+                        0.0
+                    } else {
+                        let l = mesh.cell_id(i, j, k - 1);
+                        let r = mesh.cell_id(i, j, k);
+                        if flow.solid[l] || flow.solid[r] { 0.0 } else { az * (phi[l] - phi[r]) }
+                    };
+                }
+            }
+        }
+
+        // Normalise to the requested mean inlet velocity.
+        let inlet_flux: f64 = (0..nz)
+            .flat_map(|k| (0..ny).map(move |j| (j, k)))
+            .map(|(j, k)| flow.flux_x[flow.fx(0, j, k)])
+            .sum();
+        assert!(inlet_flux > 0.0, "inlet is fully blocked");
+        let (_, ly, lz) = mesh.extents();
+        let target = u_inlet * ly * lz;
+        let scale = target / inlet_flux;
+        flow.flux_x.iter_mut().for_each(|f| *f *= scale);
+        flow.flux_y.iter_mut().for_each(|f| *f *= scale);
+        flow.flux_z.iter_mut().for_each(|f| *f *= scale);
+        flow
+    }
+
+    /// Net volume outflow of a cell (discrete divergence × cell volume).
+    pub fn cell_divergence(&self, mesh: &StructuredMesh, i: usize, j: usize, k: usize) -> f64 {
+        let _ = mesh;
+        self.flux_x[self.fx(i + 1, j, k)] - self.flux_x[self.fx(i, j, k)]
+            + self.flux_y[self.fy(i, j + 1, k)]
+            - self.flux_y[self.fy(i, j, k)]
+            + self.flux_z[self.fz(i, j, k + 1)]
+            - self.flux_z[self.fz(i, j, k)]
+    }
+
+    /// Largest stable explicit timestep for advection–diffusion on this
+    /// flow (CFL + diffusion limits, with a safety factor).
+    pub fn stable_dt(&self, mesh: &StructuredMesh, diffusivity: f64) -> f64 {
+        let (nx, ny, nz) = mesh.dims();
+        let (dx, dy, dz) = mesh.spacing();
+        let vol = mesh.cell_volume();
+        let mut min_dt = f64::INFINITY;
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let c = mesh.cell_id(i, j, k);
+                    if self.solid[c] {
+                        continue;
+                    }
+                    let out = self.flux_x[self.fx(i + 1, j, k)].max(0.0)
+                        + (-self.flux_x[self.fx(i, j, k)]).max(0.0)
+                        + self.flux_y[self.fy(i, j + 1, k)].max(0.0)
+                        + (-self.flux_y[self.fy(i, j, k)]).max(0.0)
+                        + self.flux_z[self.fz(i, j, k + 1)].max(0.0)
+                        + (-self.flux_z[self.fz(i, j, k)]).max(0.0);
+                    if out > 0.0 {
+                        min_dt = min_dt.min(vol / out);
+                    }
+                }
+            }
+        }
+        let diff_limit = if diffusivity > 0.0 {
+            0.5 / (diffusivity * (1.0 / (dx * dx) + 1.0 / (dy * dy) + 1.0 / (dz * dz)))
+        } else {
+            f64::INFINITY
+        };
+        0.45 * min_dt.min(diff_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (StructuredMesh, FrozenFlow) {
+        let mesh = StructuredMesh::new(48, 24, 2, 2.0, 1.0, 0.1);
+        let bundle = TubeBundle::for_channel(2.0, 1.0);
+        let flow = FrozenFlow::solve(&mesh, &bundle, 1.0, 1e-9);
+        (mesh, flow)
+    }
+
+    #[test]
+    fn flow_is_discretely_divergence_free() {
+        let (mesh, flow) = setup();
+        let (nx, ny, nz) = mesh.dims();
+        let inlet_flux: f64 = (0..nz)
+            .flat_map(|k| (0..ny).map(move |j| (j, k)))
+            .map(|(j, k)| flow.flux_x[flow.fx(0, j, k)])
+            .sum();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if flow.solid[mesh.cell_id(i, j, k)] {
+                        continue;
+                    }
+                    let div = flow.cell_divergence(&mesh, i, j, k).abs();
+                    assert!(
+                        div < 1e-5 * inlet_flux,
+                        "divergence {div} at ({i},{j},{k}), inlet {inlet_flux}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inflow_equals_outflow() {
+        let (mesh, flow) = setup();
+        let (nx, ny, nz) = mesh.dims();
+        let inlet: f64 = (0..nz)
+            .flat_map(|k| (0..ny).map(move |j| (j, k)))
+            .map(|(j, k)| flow.flux_x[flow.fx(0, j, k)])
+            .sum();
+        let outlet: f64 = (0..nz)
+            .flat_map(|k| (0..ny).map(move |j| (j, k)))
+            .map(|(j, k)| flow.flux_x[flow.fx(nx, j, k)])
+            .sum();
+        assert!((inlet - outlet).abs() < 1e-6 * inlet, "inlet {inlet} outlet {outlet}");
+    }
+
+    #[test]
+    fn inlet_flux_matches_requested_velocity() {
+        let (mesh, flow) = setup();
+        let (_, ny, nz) = mesh.dims();
+        let (_, ly, lz) = mesh.extents();
+        let inlet: f64 = (0..nz)
+            .flat_map(|k| (0..ny).map(move |j| (j, k)))
+            .map(|(j, k)| flow.flux_x[flow.fx(0, j, k)])
+            .sum();
+        assert!((inlet - 1.0 * ly * lz).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solid_faces_carry_no_flux() {
+        let (mesh, flow) = setup();
+        let (nx, ny, nz) = mesh.dims();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if !flow.solid[mesh.cell_id(i, j, k)] {
+                        continue;
+                    }
+                    assert_eq!(flow.flux_x[flow.fx(i, j, k)], 0.0);
+                    assert_eq!(flow.flux_x[flow.fx(i + 1, j, k)], 0.0);
+                    assert_eq!(flow.flux_y[flow.fy(i, j, k)], 0.0);
+                    assert_eq!(flow.flux_y[flow.fy(i, j + 1, k)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_accelerates_between_tubes() {
+        // Blockage must concentrate the flux: the peak x-face flux inside
+        // the bundle exceeds the mean inlet face flux.
+        let (mesh, flow) = setup();
+        let (nx, ny, nz) = mesh.dims();
+        let mean_inlet = (0..nz)
+            .flat_map(|k| (0..ny).map(move |j| (j, k)))
+            .map(|(j, k)| flow.flux_x[flow.fx(0, j, k)])
+            .sum::<f64>()
+            / (ny * nz) as f64;
+        let mid_i = nx / 2;
+        let peak_mid = (0..nz)
+            .flat_map(|k| (0..ny).map(move |j| (j, k)))
+            .map(|(j, k)| flow.flux_x[flow.fx(mid_i, j, k)])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak_mid > 1.2 * mean_inlet, "peak {peak_mid} vs mean inlet {mean_inlet}");
+    }
+
+    #[test]
+    fn stable_dt_is_positive_and_finite() {
+        let (mesh, flow) = setup();
+        let dt = flow.stable_dt(&mesh, 1e-3);
+        assert!(dt.is_finite() && dt > 0.0);
+        // More diffusive problems require smaller steps.
+        assert!(flow.stable_dt(&mesh, 1.0) < dt);
+    }
+}

@@ -1,0 +1,40 @@
+//! # melissa-solver — tube-bundle convection–diffusion solver
+//!
+//! The simulation substrate of the Melissa reproduction: a from-scratch
+//! finite-volume solver for the paper's use case (Section 5.2) — water flow
+//! through a tube bundle with dye injected along the inlet.
+//!
+//! The paper's study deliberately *freezes* the flow: a 4000-timestep
+//! Code_Saturne pre-run produces steady velocity/pressure/turbulence
+//! fields, and every study simulation then solves **only** the
+//! convection–diffusion equation of the dye scalar on those frozen fields.
+//! This crate mirrors that structure exactly:
+//!
+//! * [`flow`] — the *pre-run*: a potential-flow solve (SOR on a masked
+//!   Laplace problem) around the staggered tube bundle produces a
+//!   discretely divergence-free frozen face-flux field;
+//! * [`transport`] — the *study solver*: explicit upwind finite-volume
+//!   advection + central diffusion of the dye concentration on the frozen
+//!   fluxes;
+//! * [`injection`] — the six varying parameters: dye concentration, width
+//!   and duration of the injection on the upper and lower inlet injectors;
+//! * [`simulation`] — a complete simulation instance with the paper's
+//!   three output modes: *no output* (compute only), *classical* (write a
+//!   field file per timestep — the baseline Melissa beats), and in transit
+//!   (the caller forwards each timestep's field to Melissa);
+//! * [`decomposed`] — the MPI-like rank decomposition of one simulation
+//!   with halo exchange, bit-identical to the monolithic solver.
+
+pub mod bundle;
+pub mod decomposed;
+pub mod flow;
+pub mod injection;
+pub mod simulation;
+pub mod transport;
+pub mod usecase;
+
+pub use bundle::TubeBundle;
+pub use flow::FrozenFlow;
+pub use injection::{InjectionParams, InletProfile};
+pub use simulation::{OutputMode, Simulation};
+pub use usecase::UseCaseConfig;

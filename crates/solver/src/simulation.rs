@@ -1,0 +1,274 @@
+//! A complete study simulation with the paper's three output modes.
+//!
+//! Performance Section 5.3 compares:
+//! * **no output** — the solver runs without producing any output (best
+//!   achievable time),
+//! * **classical** — every timestep's field is written to the file system
+//!   (EnSight-like; the intermediate files Melissa avoids),
+//! * **in transit** — every timestep's field is handed to a sink (the
+//!   Melissa client) and then discarded.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use melissa_mesh::writer::write_raw_field;
+use melissa_mesh::StructuredMesh;
+
+use crate::flow::FrozenFlow;
+use crate::injection::{InjectionParams, InletProfile};
+use crate::transport::step_full;
+use crate::usecase::UseCaseConfig;
+
+/// Where a simulation's per-timestep fields go.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputMode {
+    /// Discard outputs (reference best case).
+    NoOutput,
+    /// Write one raw field file per timestep into the directory
+    /// (`<dir>/ts_<n>.bin`) — the classical intermediate-file workflow.
+    Classical {
+        /// Output directory (created on first write).
+        dir: PathBuf,
+    },
+    /// The caller consumes each timestep's field (in transit processing).
+    InTransit,
+}
+
+/// One running simulation instance (one member of a simulation group).
+pub struct Simulation {
+    mesh: StructuredMesh,
+    flow: Arc<FrozenFlow>,
+    inlet: InletProfile,
+    diffusivity: f64,
+    /// Internal stable step.
+    dt: f64,
+    /// Internal steps per output timestep.
+    substeps: usize,
+    /// Output timesteps to produce.
+    n_timesteps: usize,
+    /// Output timesteps produced so far.
+    produced: usize,
+    mode: OutputMode,
+    /// Bytes written by classical mode.
+    bytes_written: u64,
+    c: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl Simulation {
+    /// Creates a simulation of `config` on the shared frozen flow with one
+    /// parameter set.
+    ///
+    /// # Panics
+    /// Panics if the flow's mesh does not match the config.
+    pub fn new(
+        config: &UseCaseConfig,
+        flow: Arc<FrozenFlow>,
+        params: InjectionParams,
+        mode: OutputMode,
+    ) -> Self {
+        let mesh = config.mesh();
+        assert_eq!(flow.solid.len(), mesh.n_cells(), "flow/mesh mismatch");
+        let stable = flow.stable_dt(&mesh, config.diffusivity);
+        let interval = config.output_interval();
+        let substeps = (interval / stable).ceil().max(1.0) as usize;
+        let dt = interval / substeps as f64;
+        let inlet = InletProfile::new(params, config.ly, config.total_time);
+        let c = mesh.zero_field();
+        let scratch = mesh.zero_field();
+        Self {
+            mesh,
+            flow,
+            inlet,
+            diffusivity: config.diffusivity,
+            dt,
+            substeps,
+            n_timesteps: config.n_timesteps,
+            produced: 0,
+            mode,
+            bytes_written: 0,
+            c,
+            scratch,
+        }
+    }
+
+    /// Total output timesteps this simulation will produce.
+    pub fn n_timesteps(&self) -> usize {
+        self.n_timesteps
+    }
+
+    /// Output timesteps produced so far.
+    pub fn current_timestep(&self) -> usize {
+        self.produced
+    }
+
+    /// Internal sub-steps per output timestep.
+    pub fn substeps(&self) -> usize {
+        self.substeps
+    }
+
+    /// True when all timesteps have been produced.
+    pub fn finished(&self) -> bool {
+        self.produced >= self.n_timesteps
+    }
+
+    /// Bytes written to disk so far (classical mode only).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// The current concentration field.
+    pub fn field(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Advances one *output* timestep (several internal stable steps) and
+    /// returns the new field.  In classical mode the field is also written
+    /// to disk.
+    ///
+    /// # Panics
+    /// Panics if called after the simulation finished.
+    pub fn advance(&mut self) -> &[f64] {
+        assert!(!self.finished(), "simulation already finished");
+        let t0 = self.produced as f64 * self.substeps as f64 * self.dt;
+        for s in 0..self.substeps {
+            let t = t0 + s as f64 * self.dt;
+            step_full(
+                &self.mesh,
+                &self.flow,
+                &self.inlet,
+                self.diffusivity,
+                self.dt,
+                t,
+                &self.c,
+                &mut self.scratch,
+            );
+            std::mem::swap(&mut self.c, &mut self.scratch);
+        }
+        self.produced += 1;
+        if let OutputMode::Classical { dir } = &self.mode {
+            std::fs::create_dir_all(dir).expect("create classical output dir");
+            let path = dir.join(format!("ts_{:04}.bin", self.produced - 1));
+            self.bytes_written += write_raw_field(&path, &self.c).expect("classical write");
+        }
+        &self.c
+    }
+
+    /// Runs all remaining timesteps, invoking `sink(timestep, field)` after
+    /// each one (the in transit hook; pass a no-op for the other modes).
+    pub fn run<F: FnMut(usize, &[f64])>(&mut self, mut sink: F) {
+        while !self.finished() {
+            self.advance();
+            sink(self.produced - 1, &self.c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injection::InjectionParams;
+
+    fn config() -> UseCaseConfig {
+        UseCaseConfig::tiny()
+    }
+
+    fn params() -> InjectionParams {
+        InjectionParams {
+            conc_upper: 1.0,
+            conc_lower: 1.0,
+            width_upper: 0.3,
+            width_lower: 0.3,
+            dur_upper: 1.0,
+            dur_lower: 1.0,
+        }
+    }
+
+    #[test]
+    fn produces_exactly_n_timesteps() {
+        let cfg = config();
+        let flow = Arc::new(cfg.prerun());
+        let mut sim = Simulation::new(&cfg, flow, params(), OutputMode::NoOutput);
+        let mut count = 0;
+        sim.run(|ts, field| {
+            assert_eq!(ts, count);
+            assert_eq!(field.len(), cfg.mesh().n_cells());
+            count += 1;
+        });
+        assert_eq!(count, cfg.n_timesteps);
+        assert!(sim.finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn advancing_past_the_end_panics() {
+        let cfg = config();
+        let flow = Arc::new(cfg.prerun());
+        let mut sim = Simulation::new(&cfg, flow, params(), OutputMode::NoOutput);
+        sim.run(|_, _| {});
+        sim.advance();
+    }
+
+    #[test]
+    fn classical_mode_writes_one_file_per_timestep() {
+        let cfg = config();
+        let flow = Arc::new(cfg.prerun());
+        let dir = std::env::temp_dir()
+            .join(format!("melissa-classical-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sim =
+            Simulation::new(&cfg, flow, params(), OutputMode::Classical { dir: dir.clone() });
+        sim.run(|_, _| {});
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, cfg.n_timesteps);
+        assert_eq!(
+            sim.bytes_written(),
+            (cfg.n_timesteps as u64) * cfg.field_bytes(),
+            "every timestep dumps the whole field"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identical_parameters_give_identical_results() {
+        let cfg = config();
+        let flow = Arc::new(cfg.prerun());
+        let run = |flow: Arc<FrozenFlow>| {
+            let mut sim = Simulation::new(&cfg, flow, params(), OutputMode::NoOutput);
+            sim.run(|_, _| {});
+            sim.field().to_vec()
+        };
+        assert_eq!(run(flow.clone()), run(flow));
+    }
+
+    #[test]
+    fn different_parameters_give_different_results() {
+        let cfg = config();
+        let flow = Arc::new(cfg.prerun());
+        let mut a = Simulation::new(&cfg, flow.clone(), params(), OutputMode::NoOutput);
+        a.run(|_, _| {});
+        let mut p2 = params();
+        p2.conc_upper = 2.0;
+        let mut b = Simulation::new(&cfg, flow, p2, OutputMode::NoOutput);
+        b.run(|_, _| {});
+        assert_ne!(a.field(), b.field());
+    }
+
+    #[test]
+    fn duration_parameter_controls_late_time_injection() {
+        let cfg = config();
+        let flow = Arc::new(cfg.prerun());
+        let mut short = params();
+        short.dur_upper = 0.2;
+        short.dur_lower = 0.2;
+        let mut s_short = Simulation::new(&cfg, flow.clone(), short, OutputMode::NoOutput);
+        s_short.run(|_, _| {});
+        let mut s_long = Simulation::new(&cfg, flow, params(), OutputMode::NoOutput);
+        s_long.run(|_, _| {});
+        let mass = |f: &[f64]| f.iter().sum::<f64>();
+        assert!(
+            mass(s_long.field()) > mass(s_short.field()),
+            "longer injection must leave more dye at the end"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Two-pass ("classical") reference statistics.
+//!
+//! These are the textbook `O(N)`-memory implementations the paper's
+//! *classical postmortem* workflow would run after reading the ensemble back
+//! from disk.  They exist for two purposes:
+//!
+//! 1. validation — the iterative accumulators must agree with them up to
+//!    rounding (unit and property tests), and
+//! 2. ablation — `benches/ablation_twopass.rs` compares the one-pass and
+//!    two-pass costs and memory footprints.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance (two-pass); `0.0` when `n < 2`.
+pub fn sample_variance(data: &[f64]) -> f64 {
+    let n = data.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n as f64 - 1.0)
+}
+
+/// Population variance (two-pass); `0.0` for an empty slice.
+pub fn population_variance(data: &[f64]) -> f64 {
+    let n = data.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64
+}
+
+/// Skewness `√n·M3/M2^{3/2}` (two-pass); `0.0` when undefined.
+pub fn skewness(data: &[f64]) -> f64 {
+    let n = data.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    let m2: f64 = data.iter().map(|x| (x - m).powi(2)).sum();
+    let m3: f64 = data.iter().map(|x| (x - m).powi(3)).sum();
+    if m2 <= 0.0 {
+        0.0
+    } else {
+        (n as f64).sqrt() * m3 / m2.powf(1.5)
+    }
+}
+
+/// Excess kurtosis `n·M4/M2² − 3` (two-pass); `0.0` when undefined.
+pub fn excess_kurtosis(data: &[f64]) -> f64 {
+    let n = data.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    let m2: f64 = data.iter().map(|x| (x - m).powi(2)).sum();
+    let m4: f64 = data.iter().map(|x| (x - m).powi(4)).sum();
+    if m2 <= 0.0 {
+        0.0
+    } else {
+        n as f64 * m4 / (m2 * m2) - 3.0
+    }
+}
+
+/// Unbiased sample covariance (two-pass).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sample_covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / (n as f64 - 1.0)
+}
+
+/// Pearson correlation coefficient (two-pass); `0.0` when either marginal
+/// variance is degenerate.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let vx = sample_variance(xs);
+    let vy = sample_variance(ys);
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    sample_covariance(xs, ys) / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_variance(&[]), 0.0);
+        assert_eq!(population_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&d) - 5.0).abs() < 1e-15);
+        assert!((population_variance(&d) - 4.0).abs() < 1e-15);
+        assert!((sample_variance(&d) - 32.0 / 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn covariance_of_identical_streams_is_variance() {
+        let d: Vec<f64> = (0..50).map(|i| (i as f64).cos()).collect();
+        assert!((sample_covariance(&d, &d) - sample_variance(&d)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn covariance_length_mismatch_panics() {
+        sample_covariance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! # melissa-stats — iterative (one-pass) statistics
+//!
+//! Single-pass, numerically stable statistics used by the Melissa in transit
+//! sensitivity-analysis framework (Terraz et al., SC'17, Section 3.1).
+//!
+//! Computing statistics on `N` samples classically needs `O(N)` memory to
+//! hold the samples.  The update formulas implemented here (Welford 1962;
+//! Chan, Golub & LeVeque 1982; Pébay 2008) bring the requirement down to
+//! `O(1)` per tracked statistic: the running value is updated as soon as a
+//! new sample arrives and the sample can then be discarded.  This is the key
+//! enabler for avoiding intermediate files in multi-run sensitivity studies.
+//!
+//! All accumulators support two operations:
+//!
+//! * [`update`](OnlineMoments::update) — fold in one new sample, and
+//! * [`merge`](OnlineMoments::merge) — combine two partial accumulators
+//!   (Pébay's pairwise formulas), enabling parallel reduction trees.
+//!
+//! Iterative results are *exact* with respect to their two-pass
+//! counterparts up to floating-point rounding; the property tests in this
+//! crate assert agreement to tight tolerances for arbitrary inputs.
+//!
+//! ## Crate layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`moments`] | mean, variance, skewness, kurtosis ([`OnlineMoments`]) |
+//! | [`covariance`] | covariance / correlation of paired samples ([`OnlineCovariance`]) |
+//! | [`minmax`] | running minimum / maximum with arg-tracking ([`MinMax`]) |
+//! | [`threshold`] | threshold-exceedance probability ([`ThresholdExceedance`]) |
+//! | [`field`] | vectorised per-cell statistics over mesh-sized fields |
+//! | [`batch`] | two-pass reference implementations used for validation |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use melissa_stats::OnlineMoments;
+//!
+//! let mut acc = OnlineMoments::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     acc.update(x);
+//! }
+//! assert_eq!(acc.count(), 4);
+//! assert!((acc.mean() - 2.5).abs() < 1e-12);
+//! assert!((acc.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+//! ```
+
+pub mod batch;
+pub mod covariance;
+pub mod field;
+pub mod minmax;
+pub mod moments;
+pub mod threshold;
+
+pub use covariance::OnlineCovariance;
+pub use field::{FieldCovariance, FieldMinMax, FieldMoments, FieldThreshold};
+pub use minmax::MinMax;
+pub use moments::OnlineMoments;
+pub use threshold::ThresholdExceedance;
+
+/// Statistics that Melissa Server can be configured to compute on each
+/// field (paper Section 4.1: beside Sobol' indices, the server computes
+/// other iterative statistics on the `Y^A`/`Y^B` samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatKind {
+    /// Running mean.
+    Mean,
+    /// Unbiased sample variance.
+    Variance,
+    /// Skewness (third standardised moment).
+    Skewness,
+    /// Excess kurtosis (fourth standardised moment minus 3).
+    Kurtosis,
+    /// Running minimum.
+    Min,
+    /// Running maximum.
+    Max,
+    /// Probability of exceeding a threshold.
+    ThresholdExceedance,
+    /// First-order and total Sobol' indices (handled by `melissa-sobol`).
+    Sobol,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_kind_is_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let set: HashSet<StatKind> = [StatKind::Mean, StatKind::Variance, StatKind::Mean]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Running minimum / maximum with argument tracking.
+
+/// One-pass min/max accumulator.
+///
+/// Tracks the extreme values of a sample stream together with the index of
+/// the sample that produced them (useful for locating extreme events in a
+/// multi-run study without storing the ensemble).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinMax {
+    n: u64,
+    min: f64,
+    max: f64,
+    argmin: u64,
+    argmax: u64,
+}
+
+impl Default for MinMax {
+    fn default() -> Self {
+        Self { n: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, argmin: 0, argmax: 0 }
+    }
+}
+
+impl MinMax {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one sample in; the sample index is the current count.
+    #[inline]
+    pub fn update(&mut self, x: f64) {
+        if x < self.min {
+            self.min = x;
+            self.argmin = self.n;
+        }
+        if x > self.max {
+            self.max = x;
+            self.argmax = self.n;
+        }
+        self.n += 1;
+    }
+
+    /// Merges another accumulator.  `other`'s argument indices are assumed to
+    /// refer to samples that followed this accumulator's stream.
+    pub fn merge(&mut self, other: &Self) {
+        if other.min < self.min {
+            self.min = other.min;
+            self.argmin = self.n + other.argmin;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+            self.argmax = self.n + other.argmax;
+        }
+        self.n += other.n;
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Minimum, or `None` when no samples have been seen.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum, or `None` when no samples have been seen.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Index of the minimal sample, or `None` when empty.
+    pub fn argmin(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.argmin)
+    }
+
+    /// Index of the maximal sample, or `None` when empty.
+    pub fn argmax(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.argmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_none() {
+        let acc = MinMax::new();
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+        assert_eq!(acc.argmin(), None);
+    }
+
+    #[test]
+    fn tracks_extremes_and_arguments() {
+        let mut acc = MinMax::new();
+        for x in [3.0, -1.0, 7.0, 7.0, -1.0] {
+            acc.update(x);
+        }
+        assert_eq!(acc.min(), Some(-1.0));
+        assert_eq!(acc.max(), Some(7.0));
+        // First occurrence wins.
+        assert_eq!(acc.argmin(), Some(1));
+        assert_eq!(acc.argmax(), Some(2));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data = [5.0, 2.0, 9.0, -3.0, 4.4, 9.0, -3.0];
+        for split in 0..=data.len() {
+            let mut a = MinMax::new();
+            data[..split].iter().for_each(|&x| a.update(x));
+            let mut b = MinMax::new();
+            data[split..].iter().for_each(|&x| b.update(x));
+            a.merge(&b);
+            let mut seq = MinMax::new();
+            data.iter().for_each(|&x| seq.update(x));
+            assert_eq!(a, seq, "split {split}");
+        }
+    }
+}

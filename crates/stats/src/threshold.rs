@@ -1,0 +1,107 @@
+//! Threshold-exceedance probability.
+//!
+//! Melissa's early deployments (Terraz et al., ISAV 2016 — reference \[44\]
+//! of the paper) computed threshold exceedance alongside mean/variance; it is
+//! the one-pass estimator of `P(Y > threshold)`.
+
+/// One-pass accumulator counting samples strictly above a threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdExceedance {
+    threshold: f64,
+    n: u64,
+    exceeded: u64,
+}
+
+impl ThresholdExceedance {
+    /// Creates an accumulator for `P(Y > threshold)`.
+    pub fn new(threshold: f64) -> Self {
+        Self { threshold, n: 0, exceeded: 0 }
+    }
+
+    /// Folds one sample in.
+    #[inline]
+    pub fn update(&mut self, x: f64) {
+        self.n += 1;
+        if x > self.threshold {
+            self.exceeded += 1;
+        }
+    }
+
+    /// Merges another accumulator.
+    ///
+    /// # Panics
+    /// Panics if the thresholds differ — merging accumulators for different
+    /// thresholds is a logic error.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.threshold.to_bits(),
+            other.threshold.to_bits(),
+            "cannot merge exceedance accumulators with different thresholds"
+        );
+        self.n += other.n;
+        self.exceeded += other.exceeded;
+    }
+
+    /// The threshold this accumulator watches.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of samples that exceeded the threshold.
+    pub fn exceedances(&self) -> u64 {
+        self.exceeded
+    }
+
+    /// Estimated exceedance probability; `0.0` when empty.
+    pub fn probability(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.exceeded as f64 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_strict_exceedances() {
+        let mut acc = ThresholdExceedance::new(1.0);
+        for x in [0.5, 1.0, 1.5, 2.0] {
+            acc.update(x);
+        }
+        assert_eq!(acc.exceedances(), 2);
+        assert!((acc.probability() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ThresholdExceedance::new(0.0);
+        a.update(1.0);
+        let mut b = ThresholdExceedance::new(0.0);
+        b.update(-1.0);
+        b.update(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.exceedances(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different thresholds")]
+    fn merge_rejects_mismatched_thresholds() {
+        let mut a = ThresholdExceedance::new(0.0);
+        a.merge(&ThresholdExceedance::new(1.0));
+    }
+
+    #[test]
+    fn empty_probability_is_zero() {
+        assert_eq!(ThresholdExceedance::new(3.0).probability(), 0.0);
+    }
+}

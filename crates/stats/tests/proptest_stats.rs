@@ -1,0 +1,143 @@
+//! Property-based tests: iterative statistics must agree with their
+//! two-pass references for arbitrary inputs, and pairwise merging must be
+//! equivalent to sequential accumulation at any split point.
+
+use melissa_stats::{batch, FieldMoments, MinMax, OnlineCovariance, OnlineMoments};
+use proptest::prelude::*;
+
+fn finite_sample() -> impl Strategy<Value = f64> {
+    // Bounded magnitudes: the agreement tolerance below is relative, but
+    // wildly mixed magnitudes (1e300 with 1e-300) are not representative of
+    // simulation fields and make any floating-point comparison meaningless.
+    prop::num::f64::NORMAL.prop_map(|x| x % 1e6)
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn iterative_mean_and_variance_match_two_pass(data in prop::collection::vec(finite_sample(), 2..200)) {
+        let acc: OnlineMoments = data.iter().copied().collect();
+        prop_assert!(rel_close(acc.mean(), batch::mean(&data), 1e-9));
+        prop_assert!(rel_close(acc.sample_variance(), batch::sample_variance(&data), 1e-6));
+    }
+
+    #[test]
+    fn iterative_higher_moments_match_two_pass(data in prop::collection::vec(-1e3f64..1e3, 3..150)) {
+        let acc: OnlineMoments = data.iter().copied().collect();
+        prop_assert!(rel_close(acc.skewness(), batch::skewness(&data), 1e-5));
+        prop_assert!(rel_close(acc.excess_kurtosis(), batch::excess_kurtosis(&data), 1e-5));
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_sequential(
+        data in prop::collection::vec(finite_sample(), 1..120),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut a: OnlineMoments = data[..split].iter().copied().collect();
+        let b: OnlineMoments = data[split..].iter().copied().collect();
+        a.merge(&b);
+        let seq: OnlineMoments = data.iter().copied().collect();
+        prop_assert_eq!(a.count(), seq.count());
+        prop_assert!(rel_close(a.mean(), seq.mean(), 1e-9));
+        prop_assert!(rel_close(a.m2(), seq.m2(), 1e-6));
+    }
+
+    #[test]
+    fn merge_is_commutative_in_value(
+        xs in prop::collection::vec(finite_sample(), 1..60),
+        ys in prop::collection::vec(finite_sample(), 1..60),
+    ) {
+        let a: OnlineMoments = xs.iter().copied().collect();
+        let b: OnlineMoments = ys.iter().copied().collect();
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!(rel_close(ab.mean(), ba.mean(), 1e-9));
+        prop_assert!(rel_close(ab.m2(), ba.m2(), 1e-6));
+        prop_assert!(rel_close(ab.m3(), ba.m3(), 1e-5));
+    }
+
+    #[test]
+    fn covariance_matches_two_pass(
+        pairs in prop::collection::vec((finite_sample(), finite_sample()), 2..150)
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let acc: OnlineCovariance = pairs.iter().copied().collect();
+        prop_assert!(rel_close(acc.sample_covariance(), batch::sample_covariance(&xs, &ys), 1e-6));
+    }
+
+    #[test]
+    fn covariance_merge_matches_sequential(
+        pairs in prop::collection::vec((finite_sample(), finite_sample()), 1..100),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((pairs.len() as f64) * split_frac) as usize;
+        let mut a: OnlineCovariance = pairs[..split].iter().copied().collect();
+        let b: OnlineCovariance = pairs[split..].iter().copied().collect();
+        a.merge(&b);
+        let seq: OnlineCovariance = pairs.iter().copied().collect();
+        prop_assert!(rel_close(a.c2(), seq.c2(), 1e-6));
+    }
+
+    #[test]
+    fn covariance_of_stream_with_itself_is_variance(
+        data in prop::collection::vec(finite_sample(), 2..100)
+    ) {
+        let cov: OnlineCovariance = data.iter().map(|&x| (x, x)).collect();
+        let mom: OnlineMoments = data.iter().copied().collect();
+        prop_assert!(rel_close(cov.sample_covariance(), mom.sample_variance(), 1e-9));
+    }
+
+    #[test]
+    fn minmax_merge_matches_sequential(
+        data in prop::collection::vec(finite_sample(), 1..80),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut a = MinMax::new();
+        data[..split].iter().for_each(|&x| a.update(x));
+        let mut b = MinMax::new();
+        data[split..].iter().for_each(|&x| b.update(x));
+        a.merge(&b);
+        let mut seq = MinMax::new();
+        data.iter().for_each(|&x| seq.update(x));
+        prop_assert_eq!(a, seq);
+    }
+
+    #[test]
+    fn field_moments_agree_with_scalar_accumulators(
+        samples in prop::collection::vec(prop::collection::vec(-1e4f64..1e4, 8), 2..40)
+    ) {
+        let mut fm = FieldMoments::new(8);
+        let mut scalar = vec![OnlineMoments::new(); 8];
+        for s in &samples {
+            fm.update(s);
+            for (acc, &x) in scalar.iter_mut().zip(s) {
+                acc.update(x);
+            }
+        }
+        for c in 0..8 {
+            let cell = fm.cell(c);
+            prop_assert!(rel_close(cell.mean(), scalar[c].mean(), 1e-9));
+            prop_assert!(rel_close(cell.sample_variance(), scalar[c].sample_variance(), 1e-7));
+        }
+    }
+
+    #[test]
+    fn variance_is_never_meaningfully_negative(data in prop::collection::vec(finite_sample(), 0..100)) {
+        let acc: OnlineMoments = data.iter().copied().collect();
+        // One-pass M2 can only go negative through rounding; it must stay
+        // negligible relative to the scale of the data.
+        let scale: f64 = 1.0 + data.iter().map(|x| x * x).sum::<f64>();
+        prop_assert!(acc.m2() >= -1e-9 * scale);
+    }
+}

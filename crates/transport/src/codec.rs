@@ -1,0 +1,187 @@
+//! Length-checked binary codec over [`bytes`].
+//!
+//! Melissa's wire format and checkpoint files use a fixed little-endian
+//! binary layout (no serde format crate is whitelisted for this
+//! reproduction, and a fixed layout is the HPC-realistic choice).  These
+//! helpers wrap [`bytes::Buf`]/[`bytes::BufMut`] with explicit truncation
+//! errors instead of panics.
+
+use bytes::{Buf, BufMut};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A tag or invariant did not match.
+    Invalid {
+        /// Human-readable description.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "truncated wire data while reading {what}"),
+            WireError::Invalid { what } => write!(f, "invalid wire data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for decoding.
+pub type WireResult<T> = Result<T, WireError>;
+
+macro_rules! get_prim {
+    ($fn_name:ident, $ty:ty, $get:ident, $size:expr) => {
+        /// Reads a little-endian primitive, checking remaining length.
+        pub fn $fn_name<B: Buf>(buf: &mut B, what: &'static str) -> WireResult<$ty> {
+            if buf.remaining() < $size {
+                return Err(WireError::Truncated { what });
+            }
+            Ok(buf.$get())
+        }
+    };
+}
+
+get_prim!(get_u8, u8, get_u8, 1);
+get_prim!(get_u16, u16, get_u16_le, 2);
+get_prim!(get_u32, u32, get_u32_le, 4);
+get_prim!(get_u64, u64, get_u64_le, 8);
+get_prim!(get_f64, f64, get_f64_le, 8);
+
+/// Writes a `u64`-length-prefixed `f64` slice.
+pub fn put_f64_slice<B: BufMut>(buf: &mut B, values: &[f64]) {
+    buf.put_u64_le(values.len() as u64);
+    for v in values {
+        buf.put_f64_le(*v);
+    }
+}
+
+/// Reads a `u64`-length-prefixed `f64` vector with a sanity cap.
+pub fn get_f64_vec<B: Buf>(buf: &mut B, what: &'static str) -> WireResult<Vec<f64>> {
+    let len = get_u64(buf, what)? as usize;
+    if buf.remaining() < len.saturating_mul(8) {
+        return Err(WireError::Truncated { what });
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_f64_le());
+    }
+    Ok(out)
+}
+
+/// Writes a `u32`-length-prefixed UTF-8 string.
+pub fn put_str<B: BufMut>(buf: &mut B, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a `u32`-length-prefixed UTF-8 string.
+pub fn get_str<B: Buf>(buf: &mut B, what: &'static str) -> WireResult<String> {
+    let len = get_u32(buf, what)? as usize;
+    if buf.remaining() < len {
+        return Err(WireError::Truncated { what });
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| WireError::Invalid { what })
+}
+
+/// Writes a `u64`-length-prefixed `u64` slice.
+pub fn put_u64_slice<B: BufMut>(buf: &mut B, values: &[u64]) {
+    buf.put_u64_le(values.len() as u64);
+    for v in values {
+        buf.put_u64_le(*v);
+    }
+}
+
+/// Reads a `u64`-length-prefixed `u64` vector.
+pub fn get_u64_vec<B: Buf>(buf: &mut B, what: &'static str) -> WireResult<Vec<u64>> {
+    let len = get_u64(buf, what)? as usize;
+    if buf.remaining() < len.saturating_mul(8) {
+        return Err(WireError::Truncated { what });
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_u64_le());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16_le(300);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_f64_le(-2.5);
+        let mut b = buf.freeze();
+        assert_eq!(get_u8(&mut b, "a").unwrap(), 7);
+        assert_eq!(get_u16(&mut b, "b").unwrap(), 300);
+        assert_eq!(get_u32(&mut b, "c").unwrap(), 70_000);
+        assert_eq!(get_u64(&mut b, "d").unwrap(), 1 << 40);
+        assert_eq!(get_f64(&mut b, "e").unwrap(), -2.5);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut b = bytes::Bytes::from_static(&[1, 2, 3]);
+        assert!(matches!(get_u64(&mut b, "x"), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn f64_slice_roundtrips() {
+        let values = vec![1.0, -2.0, f64::MIN_POSITIVE, 1e300];
+        let mut buf = BytesMut::new();
+        put_f64_slice(&mut buf, &values);
+        let mut b = buf.freeze();
+        assert_eq!(get_f64_vec(&mut b, "v").unwrap(), values);
+    }
+
+    #[test]
+    fn f64_vec_with_lying_length_is_truncated() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1000);
+        buf.put_f64_le(1.0);
+        let mut b = buf.freeze();
+        assert!(matches!(get_f64_vec(&mut b, "v"), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "server/éç/0");
+        let mut b = buf.freeze();
+        assert_eq!(get_str(&mut b, "s").unwrap(), "server/éç/0");
+    }
+
+    #[test]
+    fn invalid_utf8_is_invalid() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        let mut b = buf.freeze();
+        assert!(matches!(get_str(&mut b, "s"), Err(WireError::Invalid { .. })));
+    }
+
+    #[test]
+    fn u64_slice_roundtrips() {
+        let values = vec![0u64, 1, u64::MAX];
+        let mut buf = BytesMut::new();
+        put_u64_slice(&mut buf, &values);
+        let mut b = buf.freeze();
+        assert_eq!(get_u64_vec(&mut b, "v").unwrap(), values);
+    }
+}

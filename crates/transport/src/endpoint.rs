@@ -1,0 +1,220 @@
+//! High-water-mark buffered channels — the ZeroMQ substitute.
+//!
+//! The paper (Section 4.1.3): "Messages are buffered on the client and
+//! server side if necessary… Communications only become blocking when both
+//! buffers are full."  The HWM semantics are load-bearing for the Study-1
+//! result (Fig. 6a/6b): an undersized server drains slower than the
+//! simulations produce, buffers fill, sends block, and the simulations are
+//! suspended — up to doubling their execution time.
+//!
+//! [`channel`] returns a bounded MPMC queue whose sender buffers
+//! asynchronously until the HWM is reached and then blocks, while recording
+//! how long it spent blocked ([`LinkStats`]) so experiments can measure
+//! backpressure exactly as the paper does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, SendTimeoutError, TrySendError};
+
+/// A framed payload (already encoded message bytes).
+pub type Frame = bytes::Bytes;
+
+/// Counters shared by all clones of one sender.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    /// Total frames sent.
+    pub messages: AtomicU64,
+    /// Total payload bytes sent.
+    pub bytes: AtomicU64,
+    /// Number of sends that found the buffer full and had to block.
+    pub blocked_sends: AtomicU64,
+    /// Total nanoseconds spent blocked in sends.
+    pub blocked_nanos: AtomicU64,
+}
+
+impl LinkStats {
+    /// Total time spent blocked on a full buffer.
+    pub fn blocked_time(&self) -> Duration {
+        Duration::from_nanos(self.blocked_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Frames sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Sends that hit the high-water mark.
+    pub fn sends_blocked(&self) -> u64 {
+        self.blocked_sends.load(Ordering::Relaxed)
+    }
+}
+
+/// Error returned when the receiving side has hung up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "endpoint disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// Sending half of an HWM-buffered link.
+#[derive(Debug, Clone)]
+pub struct HwmSender {
+    inner: crossbeam::channel::Sender<Frame>,
+    stats: Arc<LinkStats>,
+}
+
+impl HwmSender {
+    /// Sends a frame, buffering asynchronously below the HWM and blocking
+    /// (with time accounting) when the buffer is full — ZeroMQ blocking-send
+    /// semantics.
+    pub fn send(&self, frame: Frame) -> Result<(), Disconnected> {
+        let len = frame.len() as u64;
+        match self.inner.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Disconnected(_)) => return Err(Disconnected),
+            Err(TrySendError::Full(frame)) => {
+                self.stats.blocked_sends.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let res = self.inner.send(frame);
+                self.stats
+                    .blocked_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if res.is_err() {
+                    return Err(Disconnected);
+                }
+            }
+        }
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Sends with a deadline; returns the frame if the buffer stayed full.
+    /// Used by fault-tolerant senders that must notice a dead server.
+    pub fn send_timeout(&self, frame: Frame, timeout: Duration) -> Result<(), SendTimeoutError<Frame>> {
+        let len = frame.len() as u64;
+        match self.inner.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Disconnected(f)) => {
+                return Err(SendTimeoutError::Disconnected(f));
+            }
+            Err(TrySendError::Full(frame)) => {
+                self.stats.blocked_sends.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let res = self.inner.send_timeout(frame, timeout);
+                self.stats
+                    .blocked_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                res?;
+            }
+        }
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> &Arc<LinkStats> {
+        &self.stats
+    }
+
+    /// Frames currently buffered (approximate).
+    pub fn queued(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+/// Creates an HWM-buffered link with capacity `hwm` frames.
+///
+/// # Panics
+/// Panics if `hwm == 0` (a zero buffer would deadlock single-threaded
+/// tests; ZeroMQ's HWM is likewise ≥ 1).
+pub fn channel(hwm: usize) -> (HwmSender, Receiver<Frame>) {
+    assert!(hwm > 0, "HWM must be at least 1");
+    let (tx, rx) = bounded(hwm);
+    (HwmSender { inner: tx, stats: Arc::new(LinkStats::default()) }, rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn frame(n: usize) -> Frame {
+        bytes::Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn sends_below_hwm_do_not_block() {
+        let (tx, _rx) = channel(4);
+        for _ in 0..4 {
+            tx.send(frame(10)).unwrap();
+        }
+        assert_eq!(tx.stats().sends_blocked(), 0);
+        assert_eq!(tx.stats().messages_sent(), 4);
+        assert_eq!(tx.stats().bytes_sent(), 40);
+    }
+
+    #[test]
+    fn full_buffer_blocks_and_is_accounted() {
+        let (tx, rx) = channel(2);
+        tx.send(frame(1)).unwrap();
+        tx.send(frame(1)).unwrap();
+        // Consumer drains after 30 ms; the third send must block ~that long.
+        let drainer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            let _ = rx.recv();
+            rx // keep receiver alive until here
+        });
+        tx.send(frame(1)).unwrap();
+        assert_eq!(tx.stats().sends_blocked(), 1);
+        assert!(
+            tx.stats().blocked_time() >= Duration::from_millis(20),
+            "blocked {:?}",
+            tx.stats().blocked_time()
+        );
+        drop(drainer.join().unwrap());
+    }
+
+    #[test]
+    fn disconnected_receiver_is_an_error() {
+        let (tx, rx) = channel(1);
+        drop(rx);
+        assert_eq!(tx.send(frame(1)), Err(Disconnected));
+    }
+
+    #[test]
+    fn send_timeout_times_out_when_nobody_drains() {
+        let (tx, _rx) = channel(1);
+        tx.send(frame(1)).unwrap();
+        let res = tx.send_timeout(frame(1), Duration::from_millis(20));
+        assert!(matches!(res, Err(SendTimeoutError::Timeout(_))));
+    }
+
+    #[test]
+    fn clones_share_stats() {
+        let (tx, _rx) = channel(8);
+        let tx2 = tx.clone();
+        tx.send(frame(1)).unwrap();
+        tx2.send(frame(1)).unwrap();
+        assert_eq!(tx.stats().messages_sent(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "HWM")]
+    fn zero_hwm_panics() {
+        let _ = channel(0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic fault injection on messaging links.
+//!
+//! The paper evaluates Melissa's fault tolerance by killing simulation
+//! groups and the server (Section 5.4).  The production failure
+//! environment is replaced by an explicit, deterministic fault layer so
+//! the detection/restart/discard-on-replay protocol can be *tested*:
+//!
+//! * [`KillSwitch`] — cooperative cancellation observed by jobs and
+//!   message pumps (the launcher "kills" a job by flipping its switch);
+//! * [`FaultySender`] — wraps an [`HwmSender`] with message drops, delays
+//!   (stragglers) and a kill switch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::endpoint::{Disconnected, Frame, HwmSender};
+
+/// Cooperative cancellation token.
+#[derive(Debug, Clone, Default)]
+pub struct KillSwitch {
+    killed: Arc<AtomicBool>,
+}
+
+impl KillSwitch {
+    /// Creates a live (not killed) switch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flips the switch; every holder observes it.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the switch has been flipped.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+}
+
+/// Link-level fault policy.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPolicy {
+    /// Probability in `[0, 1]` of silently dropping a frame.
+    pub drop_probability: f64,
+    /// Extra delay injected before every send (straggler emulation).
+    pub delay: Duration,
+}
+
+/// An [`HwmSender`] wrapper that injects faults per a [`FaultPolicy`] and
+/// dies when its [`KillSwitch`] flips.
+#[derive(Debug, Clone)]
+pub struct FaultySender {
+    inner: HwmSender,
+    policy: FaultPolicy,
+    kill: KillSwitch,
+    /// Deterministic counter-based "randomness": frame `i` is dropped when
+    /// `fract(i · φ) < drop_probability` (low-discrepancy, reproducible).
+    counter: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl FaultySender {
+    /// Wraps a sender with a fault policy and a kill switch.
+    pub fn new(inner: HwmSender, policy: FaultPolicy, kill: KillSwitch) -> Self {
+        Self { inner, policy, kill, counter: Arc::new(std::sync::atomic::AtomicU64::new(0)) }
+    }
+
+    /// Sends through the fault layer.  Returns `Err(Disconnected)` if the
+    /// kill switch has flipped (the process is "dead").
+    pub fn send(&self, frame: Frame) -> Result<(), Disconnected> {
+        if self.kill.is_killed() {
+            return Err(Disconnected);
+        }
+        if !self.policy.delay.is_zero() {
+            std::thread::sleep(self.policy.delay);
+        }
+        let i = self.counter.fetch_add(1, Ordering::Relaxed);
+        if self.policy.drop_probability > 0.0 {
+            const PHI: f64 = 0.618_033_988_749_894_9;
+            let u = (i as f64 * PHI).fract();
+            if u < self.policy.drop_probability {
+                return Ok(()); // silently lost
+            }
+        }
+        self.inner.send(frame)
+    }
+
+    /// The kill switch governing this sender.
+    pub fn kill_switch(&self) -> &KillSwitch {
+        &self.kill
+    }
+
+    /// The wrapped sender (for stats).
+    pub fn inner(&self) -> &HwmSender {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::channel;
+
+    fn frame() -> Frame {
+        bytes::Bytes::from_static(b"x")
+    }
+
+    #[test]
+    fn kill_switch_stops_sends() {
+        let (tx, rx) = channel(8);
+        let kill = KillSwitch::new();
+        let faulty = FaultySender::new(tx, FaultPolicy::default(), kill.clone());
+        faulty.send(frame()).unwrap();
+        kill.kill();
+        assert_eq!(faulty.send(frame()), Err(Disconnected));
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn drop_probability_loses_roughly_that_fraction() {
+        let (tx, rx) = channel(10_000);
+        let faulty = FaultySender::new(
+            tx,
+            FaultPolicy { drop_probability: 0.25, delay: Duration::ZERO },
+            KillSwitch::new(),
+        );
+        for _ in 0..1000 {
+            faulty.send(frame()).unwrap();
+        }
+        let delivered = rx.len() as f64;
+        assert!((delivered - 750.0).abs() < 30.0, "delivered {delivered}");
+    }
+
+    #[test]
+    fn zero_policy_is_transparent() {
+        let (tx, rx) = channel(8);
+        let faulty = FaultySender::new(tx, FaultPolicy::default(), KillSwitch::new());
+        for _ in 0..5 {
+            faulty.send(frame()).unwrap();
+        }
+        assert_eq!(rx.len(), 5);
+    }
+
+    #[test]
+    fn kill_switch_clones_share_state() {
+        let a = KillSwitch::new();
+        let b = a.clone();
+        b.kill();
+        assert!(a.is_killed());
+    }
+}

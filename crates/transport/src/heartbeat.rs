@@ -1,0 +1,126 @@
+//! Timeout-based liveness tracking.
+//!
+//! The fault-tolerance protocol (paper Section 4.2) is built on two kinds
+//! of timeouts: the server detects *unfinished groups* whose inter-message
+//! gap exceeds a timeout, and the launcher runs a heartbeat with the server
+//! processes.  [`LivenessTracker`] implements both: record a sign of life
+//! per id, then ask which ids have been silent for too long.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Tracks the last sign of life of a set of peers and reports timeouts.
+#[derive(Debug)]
+pub struct LivenessTracker<K: Eq + Hash + Clone> {
+    timeout: Duration,
+    last_seen: Mutex<HashMap<K, Instant>>,
+}
+
+impl<K: Eq + Hash + Clone> LivenessTracker<K> {
+    /// Creates a tracker that declares a peer late after `timeout` of
+    /// silence.
+    pub fn new(timeout: Duration) -> Self {
+        Self { timeout, last_seen: Mutex::new(HashMap::new()) }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Records a sign of life from `peer` now.
+    pub fn record(&self, peer: K) {
+        self.last_seen.lock().insert(peer, Instant::now());
+    }
+
+    /// Records a sign of life at an explicit instant (deterministic tests).
+    pub fn record_at(&self, peer: K, at: Instant) {
+        self.last_seen.lock().insert(peer, at);
+    }
+
+    /// Stops tracking a peer (it finished cleanly).
+    pub fn forget(&self, peer: &K) {
+        self.last_seen.lock().remove(peer);
+    }
+
+    /// Peers whose last sign of life is older than the timeout, as of
+    /// `now`.
+    pub fn expired_at(&self, now: Instant) -> Vec<K> {
+        self.last_seen
+            .lock()
+            .iter()
+            .filter(|(_, &seen)| now.duration_since(seen) > self.timeout)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Peers currently late (as of now).
+    pub fn expired(&self) -> Vec<K> {
+        self.expired_at(Instant::now())
+    }
+
+    /// Number of tracked peers.
+    pub fn tracked(&self) -> usize {
+        self.last_seen.lock().len()
+    }
+
+    /// Whether a peer is currently tracked.
+    pub fn is_tracked(&self, peer: &K) -> bool {
+        self.last_seen.lock().contains_key(peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_peers_are_not_expired() {
+        let t = LivenessTracker::new(Duration::from_secs(1));
+        t.record(1u64);
+        assert!(t.expired().is_empty());
+        assert_eq!(t.tracked(), 1);
+    }
+
+    #[test]
+    fn silent_peers_expire() {
+        let t = LivenessTracker::new(Duration::from_millis(100));
+        let past = Instant::now() - Duration::from_millis(500);
+        t.record_at(7u64, past);
+        t.record(8u64);
+        let expired = t.expired();
+        assert_eq!(expired, vec![7]);
+    }
+
+    #[test]
+    fn recording_again_resets_the_clock() {
+        let t = LivenessTracker::new(Duration::from_millis(100));
+        let past = Instant::now() - Duration::from_millis(500);
+        t.record_at(7u64, past);
+        t.record(7u64);
+        assert!(t.expired().is_empty());
+    }
+
+    #[test]
+    fn forgotten_peers_never_expire() {
+        let t = LivenessTracker::new(Duration::from_millis(10));
+        let past = Instant::now() - Duration::from_secs(1);
+        t.record_at(3u64, past);
+        t.forget(&3);
+        assert!(t.expired().is_empty());
+        assert!(!t.is_tracked(&3));
+    }
+
+    #[test]
+    fn expiry_boundary_is_strict() {
+        let t = LivenessTracker::new(Duration::from_millis(100));
+        let now = Instant::now();
+        t.record_at(1u64, now - Duration::from_millis(100));
+        // Exactly at the timeout: not yet expired (strictly greater).
+        assert!(t.expired_at(now).is_empty());
+        assert_eq!(t.expired_at(now + Duration::from_millis(1)), vec![1]);
+    }
+}

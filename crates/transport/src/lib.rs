@@ -1,0 +1,32 @@
+//! # melissa-transport — ZeroMQ-substitute messaging substrate
+//!
+//! The Melissa paper uses ZeroMQ for its client/server transport
+//! (Section 4.1.3): asynchronous buffered message transfer with
+//! user-controlled buffer sizes, where "communications only become blocking
+//! when both buffers are full".  This crate rebuilds those semantics
+//! in-process on `crossbeam` channels:
+//!
+//! * [`endpoint`] — high-water-mark buffered links with blocking-send
+//!   accounting ([`endpoint::LinkStats`]), the mechanism behind the paper's
+//!   Study-1 backpressure result (Fig. 6a/6b);
+//! * [`registry`] — the named-endpoint broker enabling *dynamic*
+//!   connections of simulation groups to the parallel server (elasticity);
+//! * [`codec`] — length-checked little-endian binary encode/decode over
+//!   [`bytes`] (wire messages and checkpoints);
+//! * [`heartbeat`] — timeout-based liveness tracking (fault detection);
+//! * [`faults`] — deterministic fault injection (kills, drops,
+//!   stragglers) for exercising the Section 4.2 protocol.
+//!
+//! The protocol messages themselves live in the `melissa` core crate; this
+//! crate only moves opaque frames.
+
+pub mod codec;
+pub mod endpoint;
+pub mod faults;
+pub mod heartbeat;
+pub mod registry;
+
+pub use endpoint::{channel, Disconnected, Frame, HwmSender, LinkStats};
+pub use faults::{FaultPolicy, FaultySender, KillSwitch};
+pub use heartbeat::LivenessTracker;
+pub use registry::{Broker, ConnectError};

@@ -1,0 +1,170 @@
+//! Named-endpoint broker enabling dynamic connections.
+//!
+//! The paper (Section 4.1.3): when a simulation group starts, its main
+//! simulation *dynamically* connects to Melissa Server — first to the
+//! server's main process to retrieve partition information, then directly
+//! to each needed server process.  The broker is the reproduction's
+//! rendezvous: server processes [`bind`](Broker::bind) named endpoints
+//! (`"server/0"`, …) and clients [`connect`](Broker::connect) to them by
+//! name at any time, including while other jobs run — which is what makes
+//! the framework *elastic* (simulation groups are independent jobs that
+//! attach whenever the batch scheduler starts them).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+
+use crate::endpoint::{channel, Frame, HwmSender};
+
+/// Connection failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectError {
+    /// No endpoint registered under that name (e.g. the server is not up
+    /// yet, or it crashed and unbound).
+    NotFound {
+        /// The requested endpoint name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::NotFound { name } => write!(f, "no endpoint bound as '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// In-process rendezvous service mapping endpoint names to senders.
+///
+/// Cheap to clone (shared state); one broker per deployment.
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    endpoints: Arc<Mutex<HashMap<String, HwmSender>>>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a new endpoint under `name` with the given high-water mark,
+    /// returning its receiving half.  Rebinding a name replaces the old
+    /// endpoint (the restart path: a recovered server re-binds its names).
+    pub fn bind(&self, name: impl Into<String>, hwm: usize) -> Receiver<Frame> {
+        let (tx, rx) = channel(hwm);
+        self.endpoints.lock().insert(name.into(), tx);
+        rx
+    }
+
+    /// Connects to a bound endpoint, returning a sender clone.
+    pub fn connect(&self, name: &str) -> Result<HwmSender, ConnectError> {
+        self.endpoints
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ConnectError::NotFound { name: name.to_string() })
+    }
+
+    /// Removes an endpoint (subsequent `connect`s fail; existing senders
+    /// keep working until the receiver is dropped).
+    pub fn unbind(&self, name: &str) {
+        self.endpoints.lock().remove(name);
+    }
+
+    /// Names currently bound (sorted, for reports).
+    pub fn bound_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.endpoints.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Canonical endpoint names of a Melissa deployment.
+pub mod names {
+    /// The server's connection/handshake endpoint (rank 0).
+    pub fn server_main() -> String {
+        "server/main".to_string()
+    }
+
+    /// A server worker's data endpoint.
+    pub fn server_worker(w: usize) -> String {
+        format!("server/{w}")
+    }
+
+    /// The launcher's control endpoint (server reports, heartbeats).
+    pub fn launcher() -> String {
+        "launcher".to_string()
+    }
+
+    /// A group's reply endpoint for the connection handshake.
+    pub fn group_reply(group_id: u64, instance: u32) -> String {
+        format!("group/{group_id}/{instance}/reply")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_connect_send_receive() {
+        let broker = Broker::new();
+        let rx = broker.bind("server/0", 8);
+        let tx = broker.connect("server/0").unwrap();
+        tx.send(bytes::Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(&rx.recv().unwrap()[..], b"hello");
+    }
+
+    #[test]
+    fn connect_before_bind_fails_cleanly() {
+        let broker = Broker::new();
+        assert!(matches!(
+            broker.connect("server/0"),
+            Err(ConnectError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn rebinding_replaces_the_endpoint() {
+        let broker = Broker::new();
+        let rx1 = broker.bind("x", 2);
+        let tx1 = broker.connect("x").unwrap();
+        let rx2 = broker.bind("x", 2);
+        let tx2 = broker.connect("x").unwrap();
+        tx2.send(bytes::Bytes::from_static(b"new")).unwrap();
+        assert_eq!(&rx2.recv().unwrap()[..], b"new");
+        // The old sender still reaches the old receiver only.
+        tx1.send(bytes::Bytes::from_static(b"old")).unwrap();
+        assert_eq!(&rx1.recv().unwrap()[..], b"old");
+        assert!(rx2.try_recv().is_err());
+    }
+
+    #[test]
+    fn unbind_prevents_new_connections() {
+        let broker = Broker::new();
+        let _rx = broker.bind("y", 2);
+        broker.unbind("y");
+        assert!(broker.connect("y").is_err());
+    }
+
+    #[test]
+    fn bound_names_are_sorted() {
+        let broker = Broker::new();
+        let _a = broker.bind("b", 1);
+        let _b = broker.bind("a", 1);
+        assert_eq!(broker.bound_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn canonical_names_are_stable() {
+        assert_eq!(names::server_main(), "server/main");
+        assert_eq!(names::server_worker(3), "server/3");
+        assert_eq!(names::group_reply(7, 2), "group/7/2/reply");
+    }
+}

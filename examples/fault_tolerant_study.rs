@@ -1,0 +1,49 @@
+//! Fault-tolerance demonstration (paper Section 4.2): a study survives a
+//! crashing group, a zombie group *and* a server crash — and still
+//! produces exactly the statistics of an undisturbed run.
+//!
+//! Run with: `cargo run --release --example fault_tolerant_study`
+
+use std::time::Duration;
+
+use melissa_repro::melissa::{FaultPlan, GroupFault, Study, StudyConfig};
+
+fn main() {
+    let mut config = StudyConfig::tiny();
+    config.n_groups = 6;
+    config.max_concurrent_groups = 2;
+    config.checkpoint_interval = Duration::from_millis(300);
+    config.server_timeout = Duration::from_millis(1500);
+    config.group_timeout = Duration::from_millis(1200);
+    config.checkpoint_dir = std::env::temp_dir().join("melissa-example-ft");
+    std::fs::remove_dir_all(&config.checkpoint_dir).ok();
+
+    // Reference run: no faults.
+    println!("reference run (no faults)...");
+    let clean = Study::new(config.clone()).run().expect("clean study failed");
+    let last = config.solver.n_timesteps - 1;
+    let reference = clean.results.first_order_field(last, 0);
+
+    // Faulty run: group 2 crashes mid-flight, group 4 is a zombie, and
+    // the server is killed after the first group completes.
+    println!("faulty run: group crash + zombie + server kill...");
+    let faults = FaultPlan::none()
+        .with_group_fault(2, 0, GroupFault::CrashAfter { at_timestep: 6 })
+        .with_group_fault(4, 0, GroupFault::Zombie)
+        .with_server_kill_after(1);
+    let output = Study::new(config).with_faults(faults).run().expect("faulty study failed");
+
+    println!("{}", output.report);
+
+    // The defining property: despite three injected failures, the final
+    // ubiquitous statistics are bit-comparable to the clean run.
+    let recovered = output.results.first_order_field(last, 0);
+    let max_diff = reference
+        .iter()
+        .zip(&recovered)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |S_0(x) clean - S_0(x) faulty| = {max_diff:.3e}");
+    assert!(max_diff < 1e-10, "fault recovery biased the statistics");
+    println!("=> fault recovery preserved the statistics exactly");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Melissa (SC'17) reproduction workspace.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! integration tests can use a single dependency. Downstream users should
+//! depend on the individual crates (`melissa`, `melissa-sobol`, ...) instead.
+
+pub use melissa;
+pub use melissa_mesh as mesh;
+pub use melissa_scheduler as scheduler;
+pub use melissa_sobol as sobol;
+pub use melissa_solver as solver;
+pub use melissa_stats as stats;
+pub use melissa_transport as transport;

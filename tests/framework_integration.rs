@@ -1,0 +1,129 @@
+//! Workspace-level integration tests: the full public API surface, from
+//! the umbrella crate, exactly as a downstream user would consume it.
+
+use melissa_repro::melissa::{Study, StudyConfig};
+use melissa_repro::mesh::SliceView;
+use melissa_repro::sobol::design::PickFreeze;
+use melissa_repro::sobol::testfn::{Ishigami, TestFunction};
+use melissa_repro::sobol::IterativeSobol;
+
+/// The complete data path: live study → ubiquitous fields → slices.
+#[test]
+fn study_to_slice_pipeline() {
+    let mut config = StudyConfig::tiny();
+    config.n_groups = 4;
+    config.checkpoint_dir = std::env::temp_dir().join("melissa-root-it");
+    let mesh = config.solver.mesh();
+    let ts = config.solver.n_timesteps - 1;
+
+    let output = Study::new(config).run().expect("study failed");
+    assert_eq!(output.report.groups_finished, 4);
+    assert_eq!(output.report.data_messages, output.report.data_messages);
+    assert!(output.report.data_bytes > 0, "data must have flowed in transit");
+
+    // Fields assemble and slice.
+    for k in 0..6 {
+        let field = output.results.first_order_field(ts, k);
+        let slice = SliceView::mid_plane(&mesh, &field);
+        assert_eq!(slice.nx() * slice.ny(), mesh.dims().0 * mesh.dims().1);
+        // Martinez indices are correlations: bounded.
+        for v in slice.values() {
+            assert!((-1.0..=1.0).contains(v), "S out of bounds: {v}");
+        }
+    }
+    let var = output.results.variance_field(ts);
+    assert!(var.iter().all(|v| *v >= 0.0));
+    assert!(var.iter().any(|v| *v > 0.0), "some cells must vary across the ensemble");
+}
+
+/// The data volume accounting matches the design: every simulation sends
+/// its whole field every timestep.
+#[test]
+fn in_transit_volume_matches_design() {
+    let mut config = StudyConfig::tiny();
+    config.n_groups = 2;
+    config.checkpoint_dir = std::env::temp_dir().join("melissa-root-vol");
+    let field_bytes = config.solver.field_bytes();
+    let expected = field_bytes
+        * config.solver.n_timesteps as u64
+        * config.group_size() as u64
+        * config.n_groups as u64;
+
+    let output = Study::new(config).run().expect("study failed");
+    assert_eq!(
+        output.report.data_bytes, expected,
+        "in transit bytes must equal sims x timesteps x field size"
+    );
+}
+
+/// Physical sanity of the live study on the paper's use case: upper
+/// injector parameters do not influence the lower half of the channel.
+#[test]
+fn upper_parameters_do_not_reach_lower_half() {
+    let mut config = StudyConfig::tiny();
+    config.n_groups = 32;
+    config.max_concurrent_groups = 4;
+    config.checkpoint_dir = std::env::temp_dir().join("melissa-root-phys");
+    let mesh = config.solver.mesh();
+    let (nx, ny, _) = mesh.dims();
+    let ts = config.solver.n_timesteps * 8 / 10;
+
+    let output = Study::new(config).run().expect("study failed");
+    // k = 0 (conc_upper), 2 (width_upper), 4 (dur_upper).
+    for k in [0usize, 2, 4] {
+        let field = output.results.first_order_field(ts, k);
+        let slice = SliceView::mid_plane(&mesh, &field);
+        let lower = slice.window_mean(0, nx, 0, ny / 2).abs();
+        let upper = slice.window_mean(0, nx, ny / 2, ny).abs();
+        // The Martinez noise floor at n groups is ~1/sqrt(n); the claim is
+        // that the lower half carries no *signal*, i.e. stays at noise
+        // level while the upper half carries real influence.
+        assert!(
+            lower < 0.6 * upper.max(0.05) || lower < 0.1,
+            "param {k}: lower-half influence {lower} vs upper {upper}"
+        );
+    }
+}
+
+/// The iterative estimator converges to analytic truth through the same
+/// API the framework uses (regression guard for the mathematical core).
+#[test]
+fn ishigami_convergence_through_public_api() {
+    let f = Ishigami::default();
+    let design = PickFreeze::generate(3000, &f.parameter_space(), 2017);
+    let mut sobol = IterativeSobol::new(3);
+    for g in design.groups() {
+        let ys: Vec<f64> = g.rows().iter().map(|r| f.eval(r)).collect();
+        sobol.update_group(&ys);
+    }
+    let s_ref = f.analytic_first_order();
+    for k in 0..3 {
+        assert!(
+            (sobol.first_order(k) - s_ref[k]).abs() < 0.07,
+            "S_{k}: {} vs {}",
+            sobol.first_order(k),
+            s_ref[k]
+        );
+        assert!(sobol.first_order_ci(k).contains(sobol.first_order(k)));
+    }
+}
+
+/// Early stop through the public API: convergence control cancels work.
+#[test]
+fn adaptive_early_stop_cancels_groups() {
+    let mut config = StudyConfig::tiny();
+    config.n_groups = 24;
+    config.max_concurrent_groups = 2;
+    // A loose target: reached after the first completed groups.
+    config.target_ci_width = Some(2.9);
+    config.ci_variance_floor = 1e-4;
+    config.checkpoint_dir = std::env::temp_dir().join("melissa-root-adaptive");
+
+    let output = Study::new(config).run().expect("study failed");
+    assert!(output.report.early_stopped, "expected early stop");
+    assert!(
+        output.report.groups_finished < 24,
+        "early stop should have cancelled pending groups (finished {})",
+        output.report.groups_finished
+    );
+}

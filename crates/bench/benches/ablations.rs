@@ -15,7 +15,10 @@ use melissa_sobol::design::PickFreeze;
 use melissa_sobol::testfn::{Ishigami, TestFunction};
 use melissa_sobol::{estimators, IterativeSobol};
 
-fn study_outputs(n: usize) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+/// `(ya, yb, yc[k], groups)` outputs of one pick-freeze study.
+type StudyOutputs = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Vec<Vec<f64>>);
+
+fn study_outputs(n: usize) -> StudyOutputs {
     let f = Ishigami::default();
     let design = PickFreeze::generate(n, &f.parameter_space(), 11);
     let p = f.dim();
@@ -43,13 +46,17 @@ fn bench_estimators(c: &mut Criterion) {
         b.iter(|| estimators::martinez_first_order(black_box(&yb), black_box(&yc[0])))
     });
     g.bench_function("saltelli_first_order", |b| {
-        b.iter(|| estimators::saltelli_first_order(black_box(&ya), black_box(&yb), black_box(&yc[0])))
+        b.iter(|| {
+            estimators::saltelli_first_order(black_box(&ya), black_box(&yb), black_box(&yc[0]))
+        })
     });
     g.bench_function("jansen_first_order", |b| {
         b.iter(|| estimators::jansen_first_order(black_box(&ya), black_box(&yb), black_box(&yc[0])))
     });
     g.bench_function("sobol1993_first_order", |b| {
-        b.iter(|| estimators::sobol1993_first_order(black_box(&ya), black_box(&yb), black_box(&yc[0])))
+        b.iter(|| {
+            estimators::sobol1993_first_order(black_box(&ya), black_box(&yb), black_box(&yc[0]))
+        })
     });
     g.finish();
 }
@@ -60,15 +67,19 @@ fn bench_one_pass_vs_two_pass(c: &mut Criterion) {
         let (ya, yb, yc, groups) = study_outputs(n);
         g.throughput(Throughput::Elements(n as u64));
         // One-pass: fold in the groups as they "arrive" — O(1) memory.
-        g.bench_with_input(BenchmarkId::new("iterative_one_pass", n), &groups, |b, groups| {
-            b.iter(|| {
-                let mut acc = IterativeSobol::new(3);
-                for ys in groups {
-                    acc.update_group(black_box(ys));
-                }
-                black_box(acc.first_order_all())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("iterative_one_pass", n),
+            &groups,
+            |b, groups| {
+                b.iter(|| {
+                    let mut acc = IterativeSobol::new(3);
+                    for ys in groups {
+                        acc.update_group(black_box(ys));
+                    }
+                    black_box(acc.first_order_all())
+                })
+            },
+        );
         // Two-pass: all outputs stored (O(N) memory), then estimated.
         g.bench_with_input(BenchmarkId::new("batch_two_pass", n), &n, |b, _| {
             b.iter(|| {
@@ -87,27 +98,36 @@ fn bench_hwm_buffers(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_hwm");
     g.sample_size(20);
     for hwm in [1usize, 8, 64, 512] {
-        g.bench_with_input(BenchmarkId::new("producer_consumer", hwm), &hwm, |b, &hwm| {
-            b.iter(|| {
-                let (tx, rx) = melissa_transport::channel(hwm);
-                let consumer = std::thread::spawn(move || {
-                    let mut n = 0u64;
-                    while let Ok(frame) = rx.recv() {
-                        n += frame.len() as u64;
+        g.bench_with_input(
+            BenchmarkId::new("producer_consumer", hwm),
+            &hwm,
+            |b, &hwm| {
+                b.iter(|| {
+                    let (tx, rx) = melissa_transport::channel(hwm);
+                    let consumer = std::thread::spawn(move || {
+                        let mut n = 0u64;
+                        while let Ok(frame) = rx.recv() {
+                            n += frame.len() as u64;
+                        }
+                        n
+                    });
+                    let payload = bytes::Bytes::from(vec![0u8; 4096]);
+                    for _ in 0..256 {
+                        tx.send(payload.clone()).unwrap();
                     }
-                    n
-                });
-                let payload = bytes::Bytes::from(vec![0u8; 4096]);
-                for _ in 0..256 {
-                    tx.send(payload.clone()).unwrap();
-                }
-                drop(tx);
-                black_box(consumer.join().unwrap())
-            })
-        });
+                    drop(tx);
+                    black_box(consumer.join().unwrap())
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_estimators, bench_one_pass_vs_two_pass, bench_hwm_buffers);
+criterion_group!(
+    benches,
+    bench_estimators,
+    bench_one_pass_vs_two_pass,
+    bench_hwm_buffers
+);
 criterion_main!(benches);

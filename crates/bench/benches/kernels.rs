@@ -44,7 +44,9 @@ fn bench_field_updates(c: &mut Criterion) {
 fn bench_sobol_updates(c: &mut Criterion) {
     let mut g = c.benchmark_group("sobol_group_update");
     let p = 6;
-    for cells in [1024usize, 16_384] {
+    // 131 072 cells ≈ one server process's slab share of the paper's
+    // 9.6 M-cell mesh at ~73 processes — the headline working-set size.
+    for cells in [1024usize, 16_384, 131_072] {
         let fields: Vec<Vec<f64>> = (0..p + 2)
             .map(|r| (0..cells).map(|i| ((i + r * 31) as f64).cos()).collect())
             .collect();
@@ -54,6 +56,83 @@ fn bench_sobol_updates(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("ubiquitous_p6", cells), &cells, |b, _| {
             let mut acc = UbiquitousSobol::new(p, cells);
             b.iter(|| acc.update_group(black_box(&refs)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sobol_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sobol_merge");
+    let p = 6;
+    for cells in [16_384usize, 131_072] {
+        let fields: Vec<Vec<f64>> = (0..p + 2)
+            .map(|r| (0..cells).map(|i| ((i + r * 17) as f64).sin()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+        let mut other = UbiquitousSobol::new(p, cells);
+        for _ in 0..3 {
+            other.update_group(&refs);
+        }
+        g.throughput(Throughput::Elements(cells as u64));
+        g.bench_with_input(BenchmarkId::new("ubiquitous_p6", cells), &cells, |b, _| {
+            let mut acc = UbiquitousSobol::new(p, cells);
+            acc.update_group(&refs);
+            b.iter(|| acc.merge(black_box(&other)));
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end server ingest: chunked `Data` arrival for all `p + 2` roles
+/// of one `(group, timestep)`, through assembly completion and the fold
+/// into Sobol' + moments + min/max + thresholds — the server's whole
+/// per-message hot path.
+fn bench_worker_ingest(c: &mut Criterion) {
+    use melissa::server::state::WorkerState;
+    use melissa_mesh::CellRange;
+
+    let mut g = c.benchmark_group("server_ingest");
+    let p = 6;
+    // The paper's clients send per-rank chunks; 16 chunks/role models a
+    // 16-rank simulation whose blocks all intersect this worker's slab.
+    let chunks = 16usize;
+    for cells in [16_384usize, 131_072] {
+        let fields: Vec<Vec<f64>> = (0..p + 2)
+            .map(|r| (0..cells).map(|i| ((i + r * 13) as f64).cos()).collect())
+            .collect();
+        let chunk_len = cells / chunks;
+        g.throughput(Throughput::Elements(((p + 2) * cells) as u64));
+        g.bench_with_input(BenchmarkId::new("on_data_p6", cells), &cells, |b, _| {
+            let mut st = WorkerState::with_thresholds(
+                0,
+                CellRange {
+                    start: 0,
+                    len: cells,
+                },
+                p,
+                1,
+                &[0.0, 0.5],
+            );
+            let mut group_id = 0u64;
+            b.iter(|| {
+                // Fresh group id each iteration: replays of a completed
+                // (group, timestep) would be discarded, not ingested.
+                group_id += 1;
+                let mut completed = false;
+                for (role, field) in fields.iter().enumerate() {
+                    for ch in 0..chunks {
+                        let start = ch * chunk_len;
+                        completed = st.on_data(
+                            group_id,
+                            role as u16,
+                            0,
+                            start as u64,
+                            black_box(&field[start..start + chunk_len]),
+                        );
+                    }
+                }
+                assert!(completed, "assembly must complete every iteration");
+            });
         });
     }
     g.finish();
@@ -107,7 +186,16 @@ fn bench_solver_step(c: &mut Criterion) {
     g.throughput(Throughput::Elements(mesh.n_cells() as u64));
     g.bench_function("transport_step_8k_cells", |b| {
         b.iter(|| {
-            step_full(&mesh, &flow, &inlet, cfg.diffusivity, dt, 0.1, black_box(&c0), &mut out)
+            step_full(
+                &mesh,
+                &flow,
+                &inlet,
+                cfg.diffusivity,
+                dt,
+                0.1,
+                black_box(&c0),
+                &mut out,
+            )
         });
     });
     g.finish();
@@ -118,6 +206,8 @@ criterion_group!(
     bench_scalar_updates,
     bench_field_updates,
     bench_sobol_updates,
+    bench_sobol_merge,
+    bench_worker_ingest,
     bench_codec,
     bench_solver_step
 );

@@ -30,16 +30,31 @@ fn main() {
     let s_ref = ishigami.analytic_first_order();
 
     table_header("CI width and error vs sample size (Ishigami, S_1, analytic = 0.314)");
-    println!("{}", row("n groups", "CI width ~ 1/sqrt(n)", "estimate [CI] / |error|"));
+    println!(
+        "{}",
+        row(
+            "n groups",
+            "CI width ~ 1/sqrt(n)",
+            "estimate [CI] / |error|"
+        )
+    );
     for n in [16usize, 64, 256, 1024, 4096] {
         let sobol = run(&ishigami, n, 7);
         let s = sobol.first_order(0);
         let ci = sobol.first_order_ci(0);
-        println!("{}", row(
-            &format!("n = {n}"),
-            &format!("width {:.3}", ci.width()),
-            &format!("{s:.3} [{:.3}, {:.3}] / {:.4}", ci.lo, ci.hi, (s - s_ref[0]).abs()),
-        ));
+        println!(
+            "{}",
+            row(
+                &format!("n = {n}"),
+                &format!("width {:.3}", ci.width()),
+                &format!(
+                    "{s:.3} [{:.3}, {:.3}] / {:.4}",
+                    ci.lo,
+                    ci.hi,
+                    (s - s_ref[0]).abs()
+                ),
+            )
+        );
     }
 
     table_header("Empirical 95 % coverage over 200 independent studies (n = 256)");
@@ -52,11 +67,14 @@ fn main() {
                 covered += 1;
             }
         }
-        println!("{}", row(
-            &format!("Ishigami S_{} (analytic {truth:.3})", k + 1),
-            "~95 %",
-            &format!("{:.1} %", 100.0 * covered as f64 / reps as f64),
-        ));
+        println!(
+            "{}",
+            row(
+                &format!("Ishigami S_{} (analytic {truth:.3})", k + 1),
+                "~95 %",
+                &format!("{:.1} %", 100.0 * covered as f64 / reps as f64),
+            )
+        );
     }
 
     table_header("Convergence control: stop when max CI width < threshold (g-function)");
@@ -71,15 +89,24 @@ fn main() {
             .map(|k| (sobol.total_order(k) - st_ref[k]).abs())
             .fold(0.0f64, f64::max);
         let stop = width < threshold;
-        println!("{}", row(
-            &format!("n = {n}"),
-            &format!("max CI width {width:.3}"),
-            &format!("worst |ST err| {worst_err:.3}{}", if stop { "  -> STOP" } else { "" }),
-        ));
+        println!(
+            "{}",
+            row(
+                &format!("n = {n}"),
+                &format!("max CI width {width:.3}"),
+                &format!(
+                    "worst |ST err| {worst_err:.3}{}",
+                    if stop { "  -> STOP" } else { "" }
+                ),
+            )
+        );
         if stop {
             // The paper's soundness requirement: once converged by the CI
             // criterion, the actual error is within the CI scale.
-            assert!(worst_err < threshold, "stopping criterion unsound: err {worst_err}");
+            assert!(
+                worst_err < threshold,
+                "stopping criterion unsound: err {worst_err}"
+            );
             break;
         }
         n *= 2;

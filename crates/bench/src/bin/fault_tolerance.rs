@@ -21,12 +21,57 @@ fn main() {
     let f = evaluate(&params, &cfg, 32);
 
     table_header("Section 5.4 — checkpoint/restart cost model (512 server processes)");
-    println!("{}", row("checkpoint size per process", "959 MB", &format!("{:.0} MB (leaner state layout)", f.ckpt_bytes_per_proc / 1e6)));
-    println!("{}", row("checkpoint write per process", "2.75 s +- 1.10", &format!("{:.2} s", f.ckpt_write_s)));
-    println!("{}", row("restart read per process", "7.24 s +- 3.21", &format!("{:.2} s", f.restart_read_s)));
-    println!("{}", row("overhead at 600 s period", "~0.5 %", &format!("{:.2} %", f.ckpt_overhead * 100.0)));
-    println!("{}", row("unresponsive-group detection", "300 s timeout", &format!("{:.0} s timeout", f.detection_latency_s)));
-    println!("{}", row("server job restart by scheduler", "< 1 s", &format!("{:.0} s", f.server_restart_s)));
+    println!(
+        "{}",
+        row(
+            "checkpoint size per process",
+            "959 MB",
+            &format!(
+                "{:.0} MB (leaner state layout)",
+                f.ckpt_bytes_per_proc / 1e6
+            )
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "checkpoint write per process",
+            "2.75 s +- 1.10",
+            &format!("{:.2} s", f.ckpt_write_s)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "restart read per process",
+            "7.24 s +- 3.21",
+            &format!("{:.2} s", f.restart_read_s)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "overhead at 600 s period",
+            "~0.5 %",
+            &format!("{:.2} %", f.ckpt_overhead * 100.0)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "unresponsive-group detection",
+            "300 s timeout",
+            &format!("{:.0} s timeout", f.detection_latency_s)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "server job restart by scheduler",
+            "< 1 s",
+            &format!("{:.0} s", f.server_restart_s)
+        )
+    );
 
     // Part 2: live drills (scaled-down timeouts).
     table_header("Live fault drills (real framework, scaled-down study)");
@@ -50,20 +95,26 @@ fn drill_group_crash() {
     let faults =
         FaultPlan::none().with_group_fault(1, 0, GroupFault::CrashAfter { at_timestep: 5 });
     let started = std::time::Instant::now();
-    let out = Study::new(config).with_faults(faults).run().expect("drill failed");
+    let out = Study::new(config)
+        .with_faults(faults)
+        .run()
+        .expect("drill failed");
     assert_eq!(out.report.groups_finished, 3);
     assert!(out.report.group_restarts >= 1);
     assert!(out.report.replays_discarded > 0);
-    println!("{}", row(
-        "group crash mid-run",
-        "killed + resubmitted; replays discarded",
-        &format!(
-            "restarted x{}, {} replays discarded, {:.1} s",
-            out.report.group_restarts,
-            out.report.replays_discarded,
-            started.elapsed().as_secs_f64()
-        ),
-    ));
+    println!(
+        "{}",
+        row(
+            "group crash mid-run",
+            "killed + resubmitted; replays discarded",
+            &format!(
+                "restarted x{}, {} replays discarded, {:.1} s",
+                out.report.group_restarts,
+                out.report.replays_discarded,
+                started.elapsed().as_secs_f64()
+            ),
+        )
+    );
 }
 
 fn drill_zombie() {
@@ -72,13 +123,23 @@ fn drill_zombie() {
     config.group_timeout = Duration::from_millis(700);
     let faults = FaultPlan::none().with_group_fault(0, 0, GroupFault::Zombie);
     let started = std::time::Instant::now();
-    let out = Study::new(config).with_faults(faults).run().expect("drill failed");
+    let out = Study::new(config)
+        .with_faults(faults)
+        .run()
+        .expect("drill failed");
     assert_eq!(out.report.groups_finished, 2);
-    println!("{}", row(
-        "zombie group (never reports)",
-        "detected via launcher/server reconciliation",
-        &format!("restarted x{}, {:.1} s", out.report.group_restarts, started.elapsed().as_secs_f64()),
-    ));
+    println!(
+        "{}",
+        row(
+            "zombie group (never reports)",
+            "detected via launcher/server reconciliation",
+            &format!(
+                "restarted x{}, {:.1} s",
+                out.report.group_restarts,
+                started.elapsed().as_secs_f64()
+            ),
+        )
+    );
 }
 
 fn drill_server_crash() {
@@ -88,18 +149,24 @@ fn drill_server_crash() {
     config.server_timeout = Duration::from_millis(1200);
     let faults = FaultPlan::none().with_server_kill_after(1);
     let started = std::time::Instant::now();
-    let out = Study::new(config.clone()).with_faults(faults).run().expect("drill failed");
+    let out = Study::new(config.clone())
+        .with_faults(faults)
+        .run()
+        .expect("drill failed");
     assert_eq!(out.report.groups_finished, 3);
     assert!(out.report.server_restarts >= 1);
-    println!("{}", row(
-        "server crash",
-        "restart from checkpoint, restart groups",
-        &format!(
-            "server restarted x{}, {} checkpoints, {:.1} s",
-            out.report.server_restarts,
-            out.report.checkpoints_written,
-            started.elapsed().as_secs_f64()
-        ),
-    ));
+    println!(
+        "{}",
+        row(
+            "server crash",
+            "restart from checkpoint, restart groups",
+            &format!(
+                "server restarted x{}, {} checkpoints, {:.1} s",
+                out.report.server_restarts,
+                out.report.checkpoints_written,
+                started.elapsed().as_secs_f64()
+            ),
+        )
+    );
     std::fs::remove_dir_all(&config.checkpoint_dir).ok();
 }

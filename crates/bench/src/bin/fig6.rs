@@ -29,27 +29,108 @@ fn main() {
         (classical_group_scale / no_output - 1.0) * 100.0
     );
 
-    for (study, server_nodes, paper_wall, paper_peak_groups, paper_peak_cores) in
-        [("Study 1 (Fig. 6a/6b)", 15u32, 9000.0, 56u32, 28_912u32),
-         ("Study 2 (Fig. 6c/6d)", 32u32, 5220.0, 55u32, 28_672u32)]
-    {
+    for (study, server_nodes, paper_wall, paper_peak_groups, paper_peak_cores) in [
+        ("Study 1 (Fig. 6a/6b)", 15u32, 9000.0, 56u32, 28_912u32),
+        ("Study 2 (Fig. 6c/6d)", 32u32, 5220.0, 55u32, 28_672u32),
+    ] {
         let t = simulate_study(&params, OutputKind::Melissa, server_nodes);
 
         table_header(&format!("{study}: Melissa Server on {server_nodes} nodes"));
-        println!("{}", row("wall clock (s)", &format!("{paper_wall:.0}"), &format!("{:.0}", t.wall_time_s)));
-        println!("{}", row("peak running groups", &paper_peak_groups.to_string(), &t.peak_groups.to_string()));
-        println!("{}", row("peak cores (sims + server)", &paper_peak_cores.to_string(), &t.peak_cores.to_string()));
+        println!(
+            "{}",
+            row(
+                "wall clock (s)",
+                &format!("{paper_wall:.0}"),
+                &format!("{:.0}", t.wall_time_s)
+            )
+        );
+        println!(
+            "{}",
+            row(
+                "peak running groups",
+                &paper_peak_groups.to_string(),
+                &t.peak_groups.to_string()
+            )
+        );
+        println!(
+            "{}",
+            row(
+                "peak cores (sims + server)",
+                &paper_peak_cores.to_string(),
+                &t.peak_cores.to_string()
+            )
+        );
         let steady = t.steady_group_time();
-        println!("{}", row("steady avg group exec time (s)", if server_nodes == 15 { "~400-450 (suspended)" } else { "~250-270" }, &format!("{steady:.0}")));
-        println!("{}", row("group slowdown vs no output", if server_nodes == 15 { "up to ~2x" } else { "+18.5 %" }, &format!("{:+.1} % ({:.2}x)", (steady / no_output - 1.0) * 100.0, steady / no_output)));
-        println!("{}", row("backpressure (blocked group-hours)", if server_nodes == 15 { "> 0 (suspensions)" } else { "0" }, &format!("{:.1}", t.blocked_group_seconds / 3600.0)));
-        println!("{}", row("Melissa vs classical", if server_nodes == 15 { "slower (saturated)" } else { "13 % faster" }, &format!("{:+.1} %", (steady / classical_group_scale - 1.0) * 100.0)));
+        println!(
+            "{}",
+            row(
+                "steady avg group exec time (s)",
+                if server_nodes == 15 {
+                    "~400-450 (suspended)"
+                } else {
+                    "~250-270"
+                },
+                &format!("{steady:.0}")
+            )
+        );
+        println!(
+            "{}",
+            row(
+                "group slowdown vs no output",
+                if server_nodes == 15 {
+                    "up to ~2x"
+                } else {
+                    "+18.5 %"
+                },
+                &format!(
+                    "{:+.1} % ({:.2}x)",
+                    (steady / no_output - 1.0) * 100.0,
+                    steady / no_output
+                )
+            )
+        );
+        println!(
+            "{}",
+            row(
+                "backpressure (blocked group-hours)",
+                if server_nodes == 15 {
+                    "> 0 (suspensions)"
+                } else {
+                    "0"
+                },
+                &format!("{:.1}", t.blocked_group_seconds / 3600.0)
+            )
+        );
+        println!(
+            "{}",
+            row(
+                "Melissa vs classical",
+                if server_nodes == 15 {
+                    "slower (saturated)"
+                } else {
+                    "13 % faster"
+                },
+                &format!("{:+.1} %", (steady / classical_group_scale - 1.0) * 100.0)
+            )
+        );
 
         // CSV series for plotting.
         let tag = format!("fig6_server{server_nodes}");
-        std::fs::write(dir.join(format!("{tag}_running_groups.csv")), t.running_groups.to_csv("running_groups")).unwrap();
-        std::fs::write(dir.join(format!("{tag}_cores.csv")), t.cores_used.to_csv("cores")).unwrap();
-        std::fs::write(dir.join(format!("{tag}_group_time.csv")), t.group_exec_time.to_csv("group_exec_s")).unwrap();
+        std::fs::write(
+            dir.join(format!("{tag}_running_groups.csv")),
+            t.running_groups.to_csv("running_groups"),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(format!("{tag}_cores.csv")),
+            t.cores_used.to_csv("cores"),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(format!("{tag}_group_time.csv")),
+            t.group_exec_time.to_csv("group_exec_s"),
+        )
+        .unwrap();
 
         // ASCII sketch of the running-groups curve (Fig. 6a/6c shape).
         println!("\nrunning groups over time ({study}):");
@@ -58,7 +139,10 @@ fn main() {
 
     if sweep {
         table_header("server node sweep: locating the backpressure knee");
-        println!("{}", row("server nodes", "-", "steady group time (s) / blocked h"));
+        println!(
+            "{}",
+            row("server nodes", "-", "steady group time (s) / blocked h")
+        );
         for nodes in [4u32, 8, 12, 15, 20, 24, 28, 32, 40, 48] {
             let t = simulate_study(&params, OutputKind::Melissa, nodes);
             println!(
@@ -66,7 +150,11 @@ fn main() {
                 row(
                     &format!("{nodes} nodes"),
                     "-",
-                    &format!("{:.0} s / {:.1} h", t.steady_group_time(), t.blocked_group_seconds / 3600.0)
+                    &format!(
+                        "{:.0} s / {:.1} h",
+                        t.steady_group_time(),
+                        t.blocked_group_seconds / 3600.0
+                    )
                 )
             );
         }

@@ -12,6 +12,7 @@
 //!    run, not the right side;
 //! 4. the concentrations dominate where the other parameters do not
 //!    (channel cores and the right side);
+//!
 //! and Section 5.5's closing check: interactions `1 − ΣS_k` are small.
 //!
 //! Maps are written as CSV and legacy VTK under `target/experiments/`.
@@ -64,12 +65,11 @@ fn main() {
 
     // Extract and export the six first-order maps + variance.
     let mut slices = Vec::new();
-    for k in 0..6 {
+    for (k, name) in PARAM_NAMES.iter().enumerate() {
         let field = output.results.first_order_field(ts, k);
         let slice = SliceView::mid_plane(&mesh, &field);
-        write_slice_csv(&dir.join(format!("fig7_{}.csv", PARAM_NAMES[k])), &slice).unwrap();
-        write_vtk(&dir.join(format!("fig7_{}.vtk", PARAM_NAMES[k])), &mesh, PARAM_NAMES[k], &field)
-            .unwrap();
+        write_slice_csv(&dir.join(format!("fig7_{name}.csv")), &slice).unwrap();
+        write_vtk(&dir.join(format!("fig7_{name}.vtk")), &mesh, name, &field).unwrap();
         slices.push(slice);
     }
     let var_field = output.results.variance_field(ts);
@@ -83,21 +83,30 @@ fn main() {
     let right_upper = |s: &SliceView| s.window_mean(2 * nx / 3, nx, ny / 2, ny);
     let top_edge = |s: &SliceView| s.window_mean(nx / 3, nx, 9 * ny / 10, ny);
 
-    let [conc_up, conc_low, width_up, width_low, dur_up, dur_low] =
-        [&slices[0], &slices[1], &slices[2], &slices[3], &slices[4], &slices[5]];
+    let [conc_up, conc_low, width_up, width_low, dur_up, dur_low] = [
+        &slices[0], &slices[1], &slices[2], &slices[3], &slices[4], &slices[5],
+    ];
 
     table_header("Fig. 7 interpretation (Section 5.5), quantified at timestep 80");
     let mut claims: Vec<(String, bool)> = Vec::new();
 
     // Claim 1: upper parameters ~0 in the lower half (and vice versa).
-    for (name, s) in [("conc_up", conc_up), ("width_up", width_up), ("dur_up", dur_up)] {
+    for (name, s) in [
+        ("conc_up", conc_up),
+        ("width_up", width_up),
+        ("dur_up", dur_up),
+    ] {
         let (lo, hi) = (lower(s), upper(s));
         claims.push((
             format!("{name}: no influence on lower half (S_lower={lo:.3} << S_upper={hi:.3})"),
             lo < 0.25 * hi.max(0.02) || lo < 0.02,
         ));
     }
-    for (name, s) in [("conc_low", conc_low), ("width_low", width_low), ("dur_low", dur_low)] {
+    for (name, s) in [
+        ("conc_low", conc_low),
+        ("width_low", width_low),
+        ("dur_low", dur_low),
+    ] {
         let (lo, hi) = (lower(s), upper(s));
         claims.push((
             format!("{name}: no influence on upper half (S_upper={hi:.3} << S_lower={lo:.3})"),
@@ -145,7 +154,11 @@ fn main() {
             inter_n += 1;
         }
     }
-    let mean_inter = if inter_n > 0 { inter_sum / inter_n as f64 } else { 0.0 };
+    let mean_inter = if inter_n > 0 {
+        inter_sum / inter_n as f64
+    } else {
+        0.0
+    };
     claims.push((
         format!("interactions small: mean |1 - sum S_k| = {mean_inter:.3} over active cells"),
         mean_inter < 0.25,

@@ -42,7 +42,13 @@ fn main() {
     let slice = SliceView::mid_plane(&mesh, &var_field);
     let dir = experiments_dir();
     write_slice_csv(&dir.join("fig8_variance.csv"), &slice).unwrap();
-    write_vtk(&dir.join("fig8_variance.vtk"), &mesh, "variance", &var_field).unwrap();
+    write_vtk(
+        &dir.join("fig8_variance.vtk"),
+        &mesh,
+        "variance",
+        &var_field,
+    )
+    .unwrap();
     write_vtk(&dir.join("fig8_mean.vtk"), &mesh, "mean", &mean_field).unwrap();
 
     let (nx, ny, _) = mesh.dims();
@@ -53,15 +59,38 @@ fn main() {
     // ever passes here, so Var(Y) ≈ 0 and Sobol' indices are meaningless.
     let dead_mid = slice.window_mean(0, nx / 8, 45 * ny / 100, 55 * ny / 100);
     let peak = slice.max();
-    println!("{}", row("peak variance on slice", "> 0 (red zones)", &format!("{peak:.3e}")));
-    println!("{}", row("upper injector band variance", "high (dye path)", &format!("{band_up:.3e}")));
-    println!("{}", row("inlet mid-channel variance", "~0 ('not much happens')", &format!("{dead_mid:.3e}")));
+    println!(
+        "{}",
+        row(
+            "peak variance on slice",
+            "> 0 (red zones)",
+            &format!("{peak:.3e}")
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "upper injector band variance",
+            "high (dye path)",
+            &format!("{band_up:.3e}")
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "inlet mid-channel variance",
+            "~0 ('not much happens')",
+            &format!("{dead_mid:.3e}")
+        )
+    );
 
     let ok_band = band_up > 0.05 * peak;
     let ok_dead = dead_mid < 0.02 * peak;
-    println!("\n{} injector band is alive; {} mid-channel is dead",
+    println!(
+        "\n{} injector band is alive; {} mid-channel is dead",
         if ok_band { "PASS:" } else { "FAIL:" },
-        if ok_dead { "PASS:" } else { "FAIL:" });
+        if ok_dead { "PASS:" } else { "FAIL:" }
+    );
     println!("maps under {}", dir.display());
     std::process::exit(if ok_band && ok_dead { 0 } else { 1 });
 }

@@ -77,16 +77,21 @@ impl GroupClient {
     ) -> Result<GroupClient, ClientError> {
         let reply_name = names::group_reply(group_id, instance);
         let reply_rx = broker.bind(&reply_name, reply_hwm.max(1));
-        let main_tx =
-            broker.connect(&names::server_main()).map_err(|_| ClientError::ServerUnavailable)?;
+        let main_tx = broker
+            .connect(&names::server_main())
+            .map_err(|_| ClientError::ServerUnavailable)?;
         main_tx
             .send(Message::ConnectRequest { group_id, instance }.encode())
             .map_err(|_| ClientError::ServerUnavailable)?;
 
-        let reply = reply_rx.recv_timeout(timeout).map_err(|_| ClientError::HandshakeTimeout)?;
+        let reply = reply_rx
+            .recv_timeout(timeout)
+            .map_err(|_| ClientError::HandshakeTimeout)?;
         broker.unbind(&reply_name);
         let (n_workers, n_cells) = match Message::decode(&reply) {
-            Ok(Message::ConnectReply { n_workers, n_cells, .. }) => (n_workers, n_cells),
+            Ok(Message::ConnectReply {
+                n_workers, n_cells, ..
+            }) => (n_workers, n_cells),
             _ => return Err(ClientError::HandshakeTimeout),
         };
 

@@ -84,7 +84,10 @@ mod tests {
         let plan = FaultPlan::none()
             .with_group_fault(3, 0, GroupFault::CrashAfter { at_timestep: 5 })
             .with_group_fault(4, 0, GroupFault::Zombie);
-        assert_eq!(plan.group_fault(3, 0), Some(GroupFault::CrashAfter { at_timestep: 5 }));
+        assert_eq!(
+            plan.group_fault(3, 0),
+            Some(GroupFault::CrashAfter { at_timestep: 5 })
+        );
         // The restarted instance runs clean.
         assert_eq!(plan.group_fault(3, 1), None);
         assert_eq!(plan.group_fault(4, 0), Some(GroupFault::Zombie));

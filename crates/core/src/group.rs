@@ -73,7 +73,9 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
         while !kill.is_killed() {
             std::thread::sleep(Duration::from_millis(10));
         }
-        return GroupOutcome::Died { after_timestep: None };
+        return GroupOutcome::Died {
+            after_timestep: None,
+        };
     }
 
     let mut client = match GroupClient::connect(
@@ -86,7 +88,11 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
         ctx.link_fault.clone(),
     ) {
         Ok(c) => c,
-        Err(e) => return GroupOutcome::Aborted { reason: e.to_string() },
+        Err(e) => {
+            return GroupOutcome::Aborted {
+                reason: e.to_string(),
+            }
+        }
     };
 
     // The p + 2 simulations of the group, run in lockstep.
@@ -106,10 +112,16 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
     let n_timesteps = ctx.solver.n_timesteps as u32;
     for ts in 0..n_timesteps {
         if kill.is_killed() {
-            return GroupOutcome::Died { after_timestep: ts.checked_sub(1) };
+            return GroupOutcome::Died {
+                after_timestep: ts.checked_sub(1),
+            };
         }
         // Scripted straggler stall.
-        if let Some(GroupFault::Stall { from_timestep, pause }) = ctx.fault {
+        if let Some(GroupFault::Stall {
+            from_timestep,
+            pause,
+        }) = ctx.fault
+        {
             if ts >= from_timestep {
                 std::thread::sleep(pause);
             }
@@ -129,10 +141,12 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
                 let chunks = sim.rank_chunks(rank);
                 if let Err(e) = client.send_timestep(role as u16, ts, &chunks) {
                     return match e {
-                        ClientError::Killed => {
-                            GroupOutcome::Died { after_timestep: ts.checked_sub(1) }
-                        }
-                        other => GroupOutcome::Aborted { reason: other.to_string() },
+                        ClientError::Killed => GroupOutcome::Died {
+                            after_timestep: ts.checked_sub(1),
+                        },
+                        other => GroupOutcome::Aborted {
+                            reason: other.to_string(),
+                        },
                     };
                 }
             }
@@ -141,12 +155,17 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
         // Scripted crash *after* sending this timestep.
         if let Some(GroupFault::CrashAfter { at_timestep }) = ctx.fault {
             if ts == at_timestep {
-                return GroupOutcome::Died { after_timestep: Some(ts) };
+                return GroupOutcome::Died {
+                    after_timestep: Some(ts),
+                };
             }
         }
     }
 
-    GroupOutcome::Completed { messages: client.messages_sent, bytes: client.bytes_sent }
+    GroupOutcome::Completed {
+        messages: client.messages_sent,
+        bytes: client.bytes_sent,
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +197,12 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         assert!(!h.is_finished(), "zombie must linger");
         kill.kill();
-        assert_eq!(h.join().unwrap(), GroupOutcome::Died { after_timestep: None });
+        assert_eq!(
+            h.join().unwrap(),
+            GroupOutcome::Died {
+                after_timestep: None
+            }
+        );
     }
 
     #[test]
@@ -199,6 +223,9 @@ mod tests {
             link_fault: FaultPolicy::default(),
         };
         let kill = KillSwitch::new();
-        assert!(matches!(run_group(ctx, &kill), GroupOutcome::Aborted { .. }));
+        assert!(matches!(
+            run_group(ctx, &kill),
+            GroupOutcome::Aborted { .. }
+        ));
     }
 }

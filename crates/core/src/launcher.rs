@@ -88,10 +88,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     let outcomes: Arc<Mutex<HashMap<(u64, u32), GroupOutcome>>> =
         Arc::new(Mutex::new(HashMap::new()));
 
-    let submit = |g: u64,
-                  instance: u32,
-                  server_kill: KillSwitch|
-     -> melissa_scheduler::JobHandle {
+    let submit = |g: u64, instance: u32, server_kill: KillSwitch| -> melissa_scheduler::JobHandle {
         let ctx = GroupContext {
             group_id: g,
             instance,
@@ -116,7 +113,14 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     let mut active: HashMap<u64, ActiveJob> = HashMap::new();
     for g in 0..config.n_groups as u64 {
         let handle = submit(g, 0, server.kill.clone());
-        active.insert(g, ActiveJob { handle, instance: 0, started_at: Instant::now() });
+        active.insert(
+            g,
+            ActiveJob {
+                handle,
+                instance: 0,
+                started_at: Instant::now(),
+            },
+        );
     }
 
     // Supervision state.
@@ -151,28 +155,33 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                         Message::Heartbeat { .. } | Message::ServerReady => {
                             server_liveness.record(0u32);
                         }
-                        Message::ServerReport { finished_groups, running_groups, max_ci_width } => {
+                        Message::ServerReport {
+                            finished_groups,
+                            running_groups,
+                            max_ci_width,
+                        } => {
                             server_liveness.record(0u32);
                             known_finished.extend(finished_groups);
                             known_running = running_groups.into_iter().collect();
                             last_ci = max_ci_width;
                         }
                         Message::GroupTimeout { group_id }
-                            if !known_finished.contains(&group_id) => {
-                                report.log(format!(
-                                    "server reported group {group_id} unresponsive (timeout)"
-                                ));
-                                handle_group_failure(
-                                    group_id,
-                                    &mut active,
-                                    &mut retries,
-                                    &mut abandoned,
-                                    &mut report,
-                                    config.max_group_retries,
-                                    &submit,
-                                    &server.kill,
-                                );
-                            }
+                            if !known_finished.contains(&group_id) =>
+                        {
+                            report.log(format!(
+                                "server reported group {group_id} unresponsive (timeout)"
+                            ));
+                            handle_group_failure(
+                                group_id,
+                                &mut active,
+                                &mut retries,
+                                &mut abandoned,
+                                &mut report,
+                                config.max_group_retries,
+                                &submit,
+                                &server.kill,
+                            );
+                        }
                         _ => {}
                     }
                 }
@@ -214,7 +223,10 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                 carried[3] += s.checkpoints_written.load(Relaxed);
             }
             server.abandon();
-            let restore_cfg = ServerConfig { restore: true, ..server_config.clone() };
+            let restore_cfg = ServerConfig {
+                restore: true,
+                ..server_config.clone()
+            };
             server = Server::start(restore_cfg, &broker, launcher_tx.clone());
             wait_for_ready(&launcher_rx, config.server_timeout)?;
             server_liveness.record(0u32);
@@ -233,10 +245,19 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                 }
                 let instance = retries.get(&g).copied().unwrap_or(0) + 1;
                 retries.insert(g, instance);
-                report.log(format!("resubmitting group {g} as instance {instance} after server restart"));
+                report.log(format!(
+                    "resubmitting group {g} as instance {instance} after server restart"
+                ));
                 report.group_restarts += 1;
                 let handle = submit(g, instance, server.kill.clone());
-                active.insert(g, ActiveJob { handle, instance, started_at: Instant::now() });
+                active.insert(
+                    g,
+                    ActiveJob {
+                        handle,
+                        instance,
+                        started_at: Instant::now(),
+                    },
+                );
             }
             continue;
         }
@@ -329,14 +350,22 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
         v.sort_unstable();
         v
     };
-    report.data_messages =
-        carried[0] + shared.messages_received.load(std::sync::atomic::Ordering::Relaxed);
-    report.data_bytes =
-        carried[1] + shared.bytes_received.load(std::sync::atomic::Ordering::Relaxed);
-    report.replays_discarded =
-        carried[2] + shared.replays_discarded.load(std::sync::atomic::Ordering::Relaxed);
-    report.checkpoints_written =
-        carried[3] + shared.checkpoints_written.load(std::sync::atomic::Ordering::Relaxed);
+    report.data_messages = carried[0]
+        + shared
+            .messages_received
+            .load(std::sync::atomic::Ordering::Relaxed);
+    report.data_bytes = carried[1]
+        + shared
+            .bytes_received
+            .load(std::sync::atomic::Ordering::Relaxed);
+    report.replays_discarded = carried[2]
+        + shared
+            .replays_discarded
+            .load(std::sync::atomic::Ordering::Relaxed);
+    report.checkpoints_written = carried[3]
+        + shared
+            .checkpoints_written
+            .load(std::sync::atomic::Ordering::Relaxed);
     report.blocked_sends = link.0;
     report.blocked_time = link.1;
     report.early_stopped = early_stopped;
@@ -408,5 +437,12 @@ fn handle_group_failure<F>(
     report.group_restarts += 1;
     report.log(format!("restarting group {g} as instance {instance}"));
     let handle = submit(g, instance, server_kill.clone());
-    active.insert(g, ActiveJob { handle, instance, started_at: Instant::now() });
+    active.insert(
+        g,
+        ActiveJob {
+            handle,
+            instance,
+            started_at: Instant::now(),
+        },
+    );
 }

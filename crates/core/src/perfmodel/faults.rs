@@ -108,7 +108,11 @@ mod tests {
         );
         // Write seconds per process in the same regime as the paper's
         // 2.75 s; read slower than write as measured (7.24 s vs 2.75 s).
-        assert!((0.5..4.0).contains(&f.ckpt_write_s), "write {}", f.ckpt_write_s);
+        assert!(
+            (0.5..4.0).contains(&f.ckpt_write_s),
+            "write {}",
+            f.ckpt_write_s
+        );
         assert!(f.restart_read_s > f.ckpt_write_s);
         // Overhead below 1 % (paper: ~0.5 %).
         assert!(f.ckpt_overhead < 0.01, "overhead {}", f.ckpt_overhead);

@@ -198,11 +198,17 @@ mod tests {
         // Classical at group scale (8 writers): +35.3 % (paper Sec. 5.3).
         let classical = p.classical_duration(1.0);
         let slowdown = classical / no_output - 1.0;
-        assert!((slowdown - 0.353).abs() < 0.02, "classical slowdown {slowdown}");
+        assert!(
+            (slowdown - 0.353).abs() < 0.02,
+            "classical slowdown {slowdown}"
+        );
         // Melissa unthrottled: +18.5 % vs no-output.
         let melissa = p.melissa_cycle_unthrottled() * p.timesteps as f64;
         let slowdown = melissa / no_output - 1.0;
-        assert!((slowdown - 0.185).abs() < 0.02, "melissa slowdown {slowdown}");
+        assert!(
+            (slowdown - 0.185).abs() < 0.02,
+            "melissa slowdown {slowdown}"
+        );
         // ⇒ Melissa ≈ 13 % faster than classical.
         let gain = 1.0 - melissa / classical;
         assert!((gain - 0.13).abs() < 0.02, "melissa vs classical {gain}");
@@ -222,11 +228,20 @@ mod tests {
         let unthrottled = p.melissa_cycle_unthrottled();
         let c15 = p.melissa_cycle(15, 55.0);
         let c32 = p.melissa_cycle(32, 55.0);
-        assert!(c15 > 1.7 * unthrottled, "15 nodes must saturate: {c15} vs {unthrottled}");
-        assert!((c32 - unthrottled).abs() < 1e-9, "32 nodes must not saturate");
+        assert!(
+            c15 > 1.7 * unthrottled,
+            "15 nodes must saturate: {c15} vs {unthrottled}"
+        );
+        assert!(
+            (c32 - unthrottled).abs() < 1e-9,
+            "32 nodes must not saturate"
+        );
         // The Study-1 slowdown is "up to doubling" the execution time.
         let ratio = c15 * p.timesteps as f64 / p.no_output_duration();
-        assert!((1.8..2.6).contains(&ratio), "study-1 group slowdown {ratio}");
+        assert!(
+            (1.8..2.6).contains(&ratio),
+            "study-1 group slowdown {ratio}"
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl StudyTraces {
     /// classical / no-output reference lines.
     pub fn steady_group_time(&self) -> f64 {
         let w = self.wall_time_s;
-        self.group_exec_time.window_mean(0.25 * w, 0.75 * w).unwrap_or(f64::NAN)
+        self.group_exec_time
+            .window_mean(0.25 * w, 0.75 * w)
+            .unwrap_or(f64::NAN)
     }
 }
 
@@ -78,13 +80,15 @@ pub fn simulate_study(
     kind: OutputKind,
     server_nodes: u32,
 ) -> StudyTraces {
-    let cluster = Cluster::new(params.machine_nodes as usize, params.cores_per_node as usize);
+    let cluster = Cluster::new(
+        params.machine_nodes as usize,
+        params.cores_per_node as usize,
+    );
     let availability = Availability::Ramp {
         initial: params.avail_initial_nodes as usize,
         nodes_per_second: params.avail_nodes_per_s,
     };
-    let mut batch =
-        BatchSim::new(cluster, availability, params.submission_throttle as usize);
+    let mut batch = BatchSim::new(cluster, availability, params.submission_throttle as usize);
     let mut queue: EventQueue<Event> = EventQueue::new();
 
     let server_cores = if kind == OutputKind::Melissa {
@@ -96,7 +100,10 @@ pub fn simulate_study(
     // Submit the server first (it must be up before the groups), then all
     // group jobs at t = 0 — the launcher's behaviour.
     if kind == OutputKind::Melissa {
-        let mut reserved = Cluster::new(params.machine_nodes as usize, params.cores_per_node as usize);
+        let mut reserved = Cluster::new(
+            params.machine_nodes as usize,
+            params.cores_per_node as usize,
+        );
         assert!(reserved.try_alloc(server_nodes as usize));
         // Model the server allocation by shrinking the machine.
         batch = BatchSim::new(
@@ -111,7 +118,11 @@ pub fn simulate_study(
     for g in 0..params.groups as u64 {
         batch.submit(
             0.0,
-            JobRequest { id: g, nodes: params.nodes_per_group() as usize, walltime: 86_400.0 },
+            JobRequest {
+                id: g,
+                nodes: params.nodes_per_group() as usize,
+                walltime: 86_400.0,
+            },
         );
     }
     queue.schedule(0.0, Event::TryStart);
@@ -122,7 +133,11 @@ pub fn simulate_study(
 
     let mut traces = StudyTraces {
         kind,
-        server_nodes: if kind == OutputKind::Melissa { server_nodes } else { 0 },
+        server_nodes: if kind == OutputKind::Melissa {
+            server_nodes
+        } else {
+            0
+        },
         running_groups: TimeSeries::new(),
         cores_used: TimeSeries::new(),
         group_exec_time: TimeSeries::new(),
@@ -149,14 +164,14 @@ pub fn simulate_study(
             OutputKind::NoOutput => (compute(params.compute_s_per_ts), 0.0),
             OutputKind::Classical => {
                 let writers = (running_count.max(1) as f64) * params.sims_per_group() as f64;
-                let per_writer =
-                    params.per_sim_write_bps.min(params.lustre_total_bps / writers);
+                let per_writer = params
+                    .per_sim_write_bps
+                    .min(params.lustre_total_bps / writers);
                 let write = params.bytes_per_sim_ts() / per_writer;
                 (compute(params.compute_s_per_ts) + write, 0.0)
             }
             OutputKind::Melissa => {
-                let unthrottled = params.melissa_cycle_unthrottled()
-                    - params.compute_s_per_ts
+                let unthrottled = params.melissa_cycle_unthrottled() - params.compute_s_per_ts
                     + compute(params.compute_s_per_ts);
                 let throttled = running_count.max(1) as f64 * params.bytes_per_group_ts()
                     / params.server_capacity_bps(server_nodes);
@@ -231,10 +246,8 @@ pub fn simulate_study(
                     let cells_per_proc = params.cells as f64 / server_procs;
                     let slabs_per_rank = (cells_per_rank / cells_per_proc).ceil().max(1.0);
                     let msgs_per_group_ts = ranks * slabs_per_rank;
-                    let rate =
-                        running_count as f64 * msgs_per_group_ts / c / server_procs * 60.0;
-                    traces.peak_msgs_per_min_per_proc =
-                        traces.peak_msgs_per_min_per_proc.max(rate);
+                    let rate = running_count as f64 * msgs_per_group_ts / c / server_procs * 60.0;
+                    traces.peak_msgs_per_min_per_proc = traces.peak_msgs_per_min_per_proc.max(rate);
                 }
             }
         }
@@ -255,7 +268,10 @@ mod tests {
 
     fn small_params() -> FullScaleParams {
         // A scaled-down study so tests run instantly: 60 groups.
-        FullScaleParams { groups: 60, ..FullScaleParams::default() }
+        FullScaleParams {
+            groups: 60,
+            ..FullScaleParams::default()
+        }
     }
 
     #[test]
@@ -271,11 +287,20 @@ mod tests {
 
     #[test]
     fn undersized_server_causes_backpressure_oversized_does_not() {
-        let p = FullScaleParams { groups: 200, ..FullScaleParams::default() };
+        let p = FullScaleParams {
+            groups: 200,
+            ..FullScaleParams::default()
+        };
         let t15 = simulate_study(&p, OutputKind::Melissa, 15);
         let t32 = simulate_study(&p, OutputKind::Melissa, 32);
-        assert!(t15.blocked_group_seconds > 0.0, "15-node server must saturate");
-        assert_eq!(t32.blocked_group_seconds, 0.0, "32-node server must keep up");
+        assert!(
+            t15.blocked_group_seconds > 0.0,
+            "15-node server must saturate"
+        );
+        assert_eq!(
+            t32.blocked_group_seconds, 0.0,
+            "32-node server must keep up"
+        );
         // Study 1 groups slow down; Study 2 stays near the unthrottled time.
         assert!(t15.steady_group_time() > 1.3 * t32.steady_group_time());
     }

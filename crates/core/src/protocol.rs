@@ -109,14 +109,26 @@ impl Message {
                 buf.put_u64_le(*group_id);
                 buf.put_u32_le(*instance);
             }
-            Message::ConnectReply { n_workers, n_cells, p, n_timesteps } => {
+            Message::ConnectReply {
+                n_workers,
+                n_cells,
+                p,
+                n_timesteps,
+            } => {
                 buf.put_u8(tag::CONNECT_REPLY);
                 buf.put_u32_le(*n_workers);
                 buf.put_u64_le(*n_cells);
                 buf.put_u32_le(*p);
                 buf.put_u32_le(*n_timesteps);
             }
-            Message::Data { group_id, instance, role, timestep, start, values } => {
+            Message::Data {
+                group_id,
+                instance,
+                role,
+                timestep,
+                start,
+                values,
+            } => {
                 buf.put_u8(tag::DATA);
                 buf.put_u64_le(*group_id);
                 buf.put_u32_le(*instance);
@@ -130,7 +142,11 @@ impl Message {
                 buf.put_u32_le(*sender);
             }
             Message::ServerReady => buf.put_u8(tag::SERVER_READY),
-            Message::ServerReport { finished_groups, running_groups, max_ci_width } => {
+            Message::ServerReport {
+                finished_groups,
+                running_groups,
+                max_ci_width,
+            } => {
                 buf.put_u8(tag::SERVER_REPORT);
                 put_u64_slice(&mut buf, finished_groups);
                 put_u64_slice(&mut buf, running_groups);
@@ -153,14 +169,24 @@ impl Message {
     fn encoded_size_hint(&self) -> usize {
         match self {
             Message::Data { values, .. } => 40 + values.len() * 8,
-            Message::ServerReport { finished_groups, running_groups, .. } => {
-                32 + (finished_groups.len() + running_groups.len()) * 8
-            }
+            Message::ServerReport {
+                finished_groups,
+                running_groups,
+                ..
+            } => 32 + (finished_groups.len() + running_groups.len()) * 8,
             _ => 64,
         }
     }
 
     /// Decodes a frame.
+    ///
+    /// `Data.values` is decoded through the copy-lean bulk path of
+    /// [`get_f64_vec`]: one contiguous sweep over the payload rather than
+    /// a cursor round-trip per value.  The values cannot *borrow* the
+    /// frame outright — they are owned `Vec<f64>` state handed to the
+    /// assembly buffers, and the payload's byte offset inside the frame
+    /// makes 8-byte alignment a coin flip — so one bulk copy is the
+    /// minimum (see `melissa_transport::codec::get_f64_vec`).
     pub fn decode(frame: &Bytes) -> WireResult<Message> {
         let mut buf = frame.clone();
         let t = get_u8(&mut buf, "tag")?;
@@ -183,19 +209,27 @@ impl Message {
                 start: get_u64(&mut buf, "start")?,
                 values: get_f64_vec(&mut buf, "values")?,
             },
-            tag::HEARTBEAT => Message::Heartbeat { sender: get_u32(&mut buf, "sender")? },
+            tag::HEARTBEAT => Message::Heartbeat {
+                sender: get_u32(&mut buf, "sender")?,
+            },
             tag::SERVER_READY => Message::ServerReady,
             tag::SERVER_REPORT => Message::ServerReport {
                 finished_groups: get_u64_vec(&mut buf, "finished_groups")?,
                 running_groups: get_u64_vec(&mut buf, "running_groups")?,
                 max_ci_width: melissa_transport::codec::get_f64(&mut buf, "max_ci_width")?,
             },
-            tag::GROUP_TIMEOUT => {
-                Message::GroupTimeout { group_id: get_u64(&mut buf, "group_id")? }
-            }
-            tag::CHECKPOINT => Message::Checkpoint { dir: get_str(&mut buf, "dir")? },
+            tag::GROUP_TIMEOUT => Message::GroupTimeout {
+                group_id: get_u64(&mut buf, "group_id")?,
+            },
+            tag::CHECKPOINT => Message::Checkpoint {
+                dir: get_str(&mut buf, "dir")?,
+            },
             tag::STOP => Message::Stop,
-            _ => return Err(WireError::Invalid { what: "unknown message tag" }),
+            _ => {
+                return Err(WireError::Invalid {
+                    what: "unknown message tag",
+                })
+            }
         };
         Ok(msg)
     }
@@ -212,8 +246,16 @@ mod tests {
 
     #[test]
     fn all_variants_roundtrip() {
-        roundtrip(Message::ConnectRequest { group_id: 42, instance: 3 });
-        roundtrip(Message::ConnectReply { n_workers: 8, n_cells: 1 << 33, p: 6, n_timesteps: 100 });
+        roundtrip(Message::ConnectRequest {
+            group_id: 42,
+            instance: 3,
+        });
+        roundtrip(Message::ConnectReply {
+            n_workers: 8,
+            n_cells: 1 << 33,
+            p: 6,
+            n_timesteps: 100,
+        });
         roundtrip(Message::Data {
             group_id: 7,
             instance: 1,
@@ -230,7 +272,9 @@ mod tests {
             max_ci_width: 0.25,
         });
         roundtrip(Message::GroupTimeout { group_id: 9 });
-        roundtrip(Message::Checkpoint { dir: "/tmp/ckpt".into() });
+        roundtrip(Message::Checkpoint {
+            dir: "/tmp/ckpt".into(),
+        });
         roundtrip(Message::Stop);
     }
 
@@ -268,6 +312,10 @@ mod tests {
             values: vec![0.0; 1000],
         };
         let frame = msg.encode();
-        assert!(frame.len() >= 8000 && frame.len() < 8100, "frame {} bytes", frame.len());
+        assert!(
+            frame.len() >= 8000 && frame.len() < 8100,
+            "frame {} bytes",
+            frame.len()
+        );
     }
 }

@@ -78,8 +78,16 @@ impl StudyReport {
 impl std::fmt::Display for StudyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "=== Melissa study report ===")?;
-        writeln!(f, "groups            : {}/{} finished", self.groups_finished, self.n_groups)?;
-        writeln!(f, "wall time         : {:.2} s", self.wall_time.as_secs_f64())?;
+        writeln!(
+            f,
+            "groups            : {}/{} finished",
+            self.groups_finished, self.n_groups
+        )?;
+        writeln!(
+            f,
+            "wall time         : {:.2} s",
+            self.wall_time.as_secs_f64()
+        )?;
         writeln!(
             f,
             "in transit data   : {:.1} MiB in {} messages (zero intermediate files)",
@@ -100,7 +108,11 @@ impl std::fmt::Display for StudyReport {
             writeln!(f, "abandoned groups  : {:?}", self.groups_abandoned)?;
         }
         if self.early_stopped {
-            writeln!(f, "early stop        : yes (max CI width {:.4})", self.final_max_ci)?;
+            writeln!(
+                f,
+                "early stop        : yes (max CI width {:.4})",
+                self.final_max_ci
+            )?;
         }
         if !self.events.is_empty() {
             writeln!(f, "--- failure/restart log ---")?;

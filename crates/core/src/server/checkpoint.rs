@@ -61,8 +61,7 @@ pub fn checkpoint_file(dir: &Path, worker_id: usize) -> std::path::PathBuf {
 /// 959 MB per process for the full-scale study).
 pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, CheckpointError> {
     std::fs::create_dir_all(dir)?;
-    let (sobol, moments, minmax, thresholds, last_completed, finished) =
-        state.checkpoint_parts();
+    let (sobol, moments, minmax, thresholds, last_completed, finished) = state.checkpoint_parts();
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
@@ -71,9 +70,12 @@ pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, Checkpoi
     buf.put_u64_le(state.slab().len as u64);
     buf.put_u32_le(state.dim() as u32);
     buf.put_u32_le(state.n_timesteps() as u32);
+    // One pack buffer reused across all timesteps (the tiled state packs
+    // into the legacy role-major layout, keeping the file format stable).
+    let mut flat = Vec::new();
     for s in sobol {
-        let (n, flat) = s.pack();
-        buf.put_u64_le(n);
+        s.pack_into(&mut flat);
+        buf.put_u64_le(s.n_groups());
         buf.put_u64_le(flat.len() as u64);
         for v in &flat {
             buf.put_f64_le(*v);
@@ -158,7 +160,10 @@ pub fn read_checkpoint(dir: &Path, worker_id: usize) -> Result<WorkerState, Chec
     if file_worker != worker_id {
         return Err(CheckpointError::Corrupt("worker id mismatch"));
     }
-    let slab = CellRange { start: buf.get_u64_le() as usize, len: buf.get_u64_le() as usize };
+    let slab = CellRange {
+        start: buf.get_u64_le() as usize,
+        len: buf.get_u64_le() as usize,
+    };
     let p = buf.get_u32_le() as usize;
     let n_timesteps = buf.get_u32_le() as usize;
     if slab.len == 0 || p == 0 {
@@ -291,7 +296,9 @@ mod tests {
         let mut st = WorkerState::new(2, CellRange { start: 5, len: 3 }, 2, 2);
         for ts in 0..2u32 {
             for role in 0..4u16 {
-                let vals: Vec<f64> = (0..3).map(|i| (role as f64) * 2.0 + i as f64 + ts as f64).collect();
+                let vals: Vec<f64> = (0..3)
+                    .map(|i| (role as f64) * 2.0 + i as f64 + ts as f64)
+                    .collect();
                 st.on_data(11, role, ts, 5, &vals);
             }
         }
@@ -338,7 +345,10 @@ mod tests {
     #[test]
     fn missing_file_is_io_error() {
         let dir = tmpdir("missing");
-        assert!(matches!(read_checkpoint(&dir, 0), Err(CheckpointError::Io(_))));
+        assert!(matches!(
+            read_checkpoint(&dir, 0),
+            Err(CheckpointError::Io(_))
+        ));
     }
 
     #[test]
@@ -346,7 +356,10 @@ mod tests {
         let dir = tmpdir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(checkpoint_file(&dir, 0), [0u8; 64]).unwrap();
-        assert!(matches!(read_checkpoint(&dir, 0), Err(CheckpointError::Corrupt(_))));
+        assert!(matches!(
+            read_checkpoint(&dir, 0),
+            Err(CheckpointError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -357,7 +370,10 @@ mod tests {
         write_checkpoint(&dir, &st).unwrap();
         // Rename to pose as worker 0.
         std::fs::rename(checkpoint_file(&dir, 2), checkpoint_file(&dir, 0)).unwrap();
-        assert!(matches!(read_checkpoint(&dir, 0), Err(CheckpointError::Corrupt(_))));
+        assert!(matches!(
+            read_checkpoint(&dir, 0),
+            Err(CheckpointError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

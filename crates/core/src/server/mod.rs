@@ -122,8 +122,13 @@ impl ServerShared {
     /// Snapshot of started-but-unfinished groups.
     pub fn running_groups(&self) -> Vec<u64> {
         let finished = self.finished.lock();
-        let mut v: Vec<u64> =
-            self.started.lock().iter().copied().filter(|g| !finished.contains(g)).collect();
+        let mut v: Vec<u64> = self
+            .started
+            .lock()
+            .iter()
+            .copied()
+            .filter(|g| !finished.contains(g))
+            .collect();
         v.sort_unstable();
         v
     }
@@ -167,7 +172,11 @@ impl Server {
             .map(|w| broker.bind(names::server_worker(w), config.hwm))
             .collect();
         let worker_senders: Vec<HwmSender> = (0..config.n_workers)
-            .map(|w| broker.connect(&names::server_worker(w)).expect("just bound"))
+            .map(|w| {
+                broker
+                    .connect(&names::server_worker(w))
+                    .expect("just bound")
+            })
             .collect();
         let main_sender = broker.connect(&names::server_main()).expect("just bound");
 
@@ -192,7 +201,13 @@ impl Server {
                             ),
                         }
                     } else {
-                        WorkerState::with_thresholds(w, slab, cfg.p, cfg.n_timesteps, &cfg.thresholds)
+                        WorkerState::with_thresholds(
+                            w,
+                            slab,
+                            cfg.p,
+                            cfg.n_timesteps,
+                            &cfg.thresholds,
+                        )
                     };
                     // Checkpointed bookkeeping seeds the shared lists.
                     if cfg.restore {
@@ -220,7 +235,14 @@ impl Server {
             })
         };
 
-        Server { kill, shared, main_handle, worker_handles, worker_senders, main_sender }
+        Server {
+            kill,
+            shared,
+            main_handle,
+            worker_handles,
+            worker_senders,
+            main_sender,
+        }
     }
 
     /// Shared observability handle.
@@ -242,7 +264,10 @@ impl Server {
 
     /// Requests an immediate checkpoint of all workers.
     pub fn checkpoint_now(&self, dir: &std::path::Path) {
-        let msg = Message::Checkpoint { dir: dir.to_string_lossy().into_owned() }.encode();
+        let msg = Message::Checkpoint {
+            dir: dir.to_string_lossy().into_owned(),
+        }
+        .encode();
         for s in &self.worker_senders {
             let _ = s.send(msg.clone());
         }
@@ -253,7 +278,10 @@ impl Server {
     pub fn stop(self) -> Vec<WorkerState> {
         let _ = self.main_sender.send(Message::Stop.encode());
         let _ = self.main_handle.join();
-        self.worker_handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        self.worker_handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     }
 
     /// Abandons a crashed server: joins threads and **discards** their
@@ -287,7 +315,14 @@ fn worker_loop(
                     Err(_) => continue, // corrupt frame: drop
                 };
                 match msg {
-                    Message::Data { group_id, role, timestep, start, values, .. } => {
+                    Message::Data {
+                        group_id,
+                        role,
+                        timestep,
+                        start,
+                        values,
+                        ..
+                    } => {
                         shared.liveness.record(group_id);
                         shared.started.lock().insert(group_id);
                         shared.messages_received.fetch_add(1, Ordering::Relaxed);
@@ -308,9 +343,10 @@ fn worker_loop(
                         }
                     }
                     Message::Checkpoint { dir }
-                        if write_checkpoint(std::path::Path::new(&dir), &state).is_ok() => {
-                            shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
-                        }
+                        if write_checkpoint(std::path::Path::new(&dir), &state).is_ok() =>
+                    {
+                        shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                    }
                     Message::Stop => return state,
                     _ => {}
                 }

@@ -4,8 +4,17 @@
 //! iterative ubiquitous Sobol' state plus plain field moments over the
 //! `Y^A`/`Y^B` samples.  Incoming `Data` chunks are assembled per
 //! `(group, timestep)` until all `p + 2` roles cover the slab, at which
-//! point the statistics are updated in place and the data is **discarded**
-//! — the defining property of in transit processing.
+//! point **one fused tile-parallel sweep**
+//! ([`melissa_sobol::FusedSlabUpdate`]) folds the assembly into the
+//! Sobol' state, field moments, min/max envelope and every configured
+//! threshold accumulator at once, and the data is **discarded** — the
+//! defining property of in transit processing.
+//!
+//! The assembly path is allocation-lean in steady state: completed
+//! assembly buffers are recycled through a pool instead of being freed
+//! and reallocated per `(group, timestep)`, chunk payloads are copied
+//! with bulk slice copies, and per-role fill tracking uses compact
+//! 64-cell-per-word bitsets rather than one `bool` per cell.
 //!
 //! Bookkeeping implements the paper's fault-tolerance accounting
 //! (Section 4.2.1): the last *completed* timestep per group, a
@@ -15,32 +24,87 @@
 use std::collections::HashMap;
 
 use melissa_mesh::CellRange;
-use melissa_sobol::UbiquitousSobol;
+use melissa_sobol::{FusedSlabUpdate, UbiquitousSobol};
 use melissa_stats::{FieldMinMax, FieldMoments, FieldThreshold};
 
+/// Retained spare assembly buffers.  Bounds pool memory at roughly
+/// `16 × (p + 2) × slab` doubles while still absorbing the in-flight
+/// assembly churn of a busy worker.
+const ASSEMBLY_POOL_MAX: usize = 16;
+
+/// Compact per-role fill tracker: one bit per slab cell.
+#[derive(Debug, Clone)]
+struct FillMask {
+    words: Vec<u64>,
+    filled: usize,
+}
+
+impl FillMask {
+    fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            filled: 0,
+        }
+    }
+
+    /// Marks `[lo, hi)` filled, counting only newly set bits (so duplicate
+    /// chunks from restarted instances never double-count).
+    fn mark_range(&mut self, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi <= self.words.len() * 64);
+        if lo == hi {
+            return;
+        }
+        let (first_word, first_bit) = (lo / 64, lo % 64);
+        let (last_word, last_bit) = ((hi - 1) / 64, (hi - 1) % 64 + 1);
+        for w in first_word..=last_word {
+            let from = if w == first_word { first_bit } else { 0 };
+            let to = if w == last_word { last_bit } else { 64 };
+            let mask = if to == 64 {
+                u64::MAX << from
+            } else {
+                (1u64 << to) - (1u64 << from)
+            };
+            let newly = mask & !self.words[w];
+            self.words[w] |= mask;
+            self.filled += newly.count_ones() as usize;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+        self.filled = 0;
+    }
+}
+
 /// Assembly buffer for one `(group, timestep)`: the `p + 2` role fields
-/// restricted to this worker's slab.
+/// restricted to this worker's slab, plus per-role fill bitsets.
 struct Assembly {
     /// `p + 2` role fields over the slab.
     fields: Vec<Vec<f64>>,
-    /// Per-role fill bitmap (guards against duplicate chunks from
+    /// Per-role fill bitsets (guard against duplicate chunks from
     /// restarted instances double-counting).
-    filled: Vec<Vec<bool>>,
-    /// Cells filled per role.
-    counts: Vec<usize>,
+    filled: Vec<FillMask>,
 }
 
 impl Assembly {
     fn new(roles: usize, slab_len: usize) -> Self {
         Self {
             fields: vec![vec![0.0; slab_len]; roles],
-            filled: vec![vec![false; slab_len]; roles],
-            counts: vec![0; roles],
+            filled: vec![FillMask::new(slab_len); roles],
         }
     }
 
     fn complete(&self, slab_len: usize) -> bool {
-        self.counts.iter().all(|&c| c == slab_len)
+        self.filled.iter().all(|m| m.filled == slab_len)
+    }
+
+    /// Prepares the buffer for reuse.  Field values are *not* cleared:
+    /// completion requires every cell of every role to be overwritten by
+    /// an incoming chunk before the assembly is ever read.
+    fn reset(&mut self) {
+        for m in &mut self.filled {
+            m.clear();
+        }
     }
 }
 
@@ -62,6 +126,8 @@ pub struct WorkerState {
     thresholds: Vec<Vec<FieldThreshold>>,
     /// In-flight assemblies.
     assembly: HashMap<(u64, u32), Assembly>,
+    /// Recycled assembly buffers (capped at [`ASSEMBLY_POOL_MAX`]).
+    pool: Vec<Assembly>,
     /// Last fully integrated timestep per group (discard-on-replay floor).
     last_completed: HashMap<u64, i64>,
     /// Groups whose final timestep has been integrated.
@@ -72,6 +138,9 @@ pub struct WorkerState {
     pub bytes_received: u64,
     /// Messages dropped by discard-on-replay.
     pub replays_discarded: u64,
+    /// Fused statistics sweeps executed — exactly one per completed
+    /// assembly (observable proof that ingest is single-sweep).
+    pub fused_sweeps: u64,
 }
 
 impl WorkerState {
@@ -96,18 +165,31 @@ impl WorkerState {
             slab,
             p,
             n_timesteps,
-            sobol: (0..n_timesteps).map(|_| UbiquitousSobol::new(p, slab.len)).collect(),
-            moments: (0..n_timesteps).map(|_| FieldMoments::new(slab.len)).collect(),
-            minmax: (0..n_timesteps).map(|_| FieldMinMax::new(slab.len)).collect(),
+            sobol: (0..n_timesteps)
+                .map(|_| UbiquitousSobol::new(p, slab.len))
+                .collect(),
+            moments: (0..n_timesteps)
+                .map(|_| FieldMoments::new(slab.len))
+                .collect(),
+            minmax: (0..n_timesteps)
+                .map(|_| FieldMinMax::new(slab.len))
+                .collect(),
             thresholds: (0..n_timesteps)
-                .map(|_| thresholds.iter().map(|&t| FieldThreshold::new(slab.len, t)).collect())
+                .map(|_| {
+                    thresholds
+                        .iter()
+                        .map(|&t| FieldThreshold::new(slab.len, t))
+                        .collect()
+                })
                 .collect(),
             assembly: HashMap::new(),
+            pool: Vec::new(),
             last_completed: HashMap::new(),
             finished: Vec::new(),
             messages_received: 0,
             bytes_received: 0,
             replays_discarded: 0,
+            fused_sweeps: 0,
         }
     }
 
@@ -171,43 +253,60 @@ impl WorkerState {
         }
 
         let slab_len = self.slab.len;
+        let roles = self.p + 2;
+        let pool = &mut self.pool;
         let entry = self
             .assembly
             .entry((group_id, timestep))
-            .or_insert_with(|| Assembly::new(self.p + 2, slab_len));
+            .or_insert_with(|| pool.pop().unwrap_or_else(|| Assembly::new(roles, slab_len)));
         let local0 = start - self.slab.start;
-        for (i, &v) in values.iter().enumerate() {
-            let li = local0 + i;
-            if !entry.filled[role][li] {
-                entry.filled[role][li] = true;
-                entry.counts[role] += 1;
-            }
-            entry.fields[role][li] = v;
-        }
+        entry.fields[role][local0..local0 + values.len()].copy_from_slice(values);
+        entry.filled[role].mark_range(local0, local0 + values.len());
 
         if !entry.complete(slab_len) {
             return false;
         }
 
-        // Assembly complete: fold into the statistics and discard.
-        let done = self.assembly.remove(&(group_id, timestep)).unwrap();
+        // Assembly complete: one fused sweep folds it into every
+        // statistic, then the buffers are recycled and the data is gone.
+        let mut done = self.assembly.remove(&(group_id, timestep)).unwrap();
         let refs: Vec<&[f64]> = done.fields.iter().map(|f| f.as_slice()).collect();
-        self.sobol[ts].update_group(&refs);
-        // The auxiliary statistics use only the i.i.d. Y^A/Y^B samples.
-        for sample in refs.iter().take(2) {
-            self.moments[ts].update(sample);
-            self.minmax[ts].update(sample);
-            for th in &mut self.thresholds[ts] {
-                th.update(sample);
-            }
-        }
+        FusedSlabUpdate::new(
+            &mut self.sobol[ts],
+            &mut self.moments[ts],
+            &mut self.minmax[ts],
+            &mut self.thresholds[ts],
+        )
+        .apply(&refs);
+        self.fused_sweeps += 1;
+        drop(refs);
+        done.reset();
+        self.recycle(done);
+
         self.last_completed.insert(group_id, ts as i64);
         if ts + 1 == self.n_timesteps {
             self.finished.push(group_id);
-            // Drop any stale partial assemblies of this group (replays).
-            self.assembly.retain(|&(g, _), _| g != group_id);
+            // Reclaim any stale partial assemblies of this group (replays).
+            let stale: Vec<(u64, u32)> = self
+                .assembly
+                .keys()
+                .filter(|&&(g, _)| g == group_id)
+                .copied()
+                .collect();
+            for key in stale {
+                if let Some(mut a) = self.assembly.remove(&key) {
+                    a.reset();
+                    self.recycle(a);
+                }
+            }
         }
         true
+    }
+
+    fn recycle(&mut self, assembly: Assembly) {
+        if self.pool.len() < ASSEMBLY_POOL_MAX {
+            self.pool.push(assembly);
+        }
     }
 
     /// Groups fully integrated by this worker.
@@ -258,12 +357,20 @@ impl WorkerState {
     /// Widest 95 % CI over all timesteps/cells/parameters, masked by the
     /// variance floor (convergence control).
     pub fn max_ci_width(&self, variance_floor: f64) -> f64 {
-        self.sobol.iter().map(|s| s.max_ci_width(variance_floor)).fold(0.0, f64::max)
+        self.sobol
+            .iter()
+            .map(|s| s.max_ci_width(variance_floor))
+            .fold(0.0, f64::max)
     }
 
     /// In-flight assembly count (for memory diagnostics).
     pub fn pending_assemblies(&self) -> usize {
         self.assembly.len()
+    }
+
+    /// Spare pooled assembly buffers (for memory diagnostics).
+    pub fn pooled_assemblies(&self) -> usize {
+        self.pool.len()
     }
 
     /// Internal accessors for checkpointing.
@@ -317,11 +424,13 @@ impl WorkerState {
             minmax,
             thresholds,
             assembly: HashMap::new(),
+            pool: Vec::new(),
             last_completed,
             finished,
             messages_received: 0,
             bytes_received: 0,
             replays_discarded: 0,
+            fused_sweeps: 0,
         }
     }
 }
@@ -345,8 +454,9 @@ mod tests {
     fn send_full_ts(st: &mut WorkerState, group: u64, ts: u32, scale: f64) -> bool {
         let mut completed = false;
         for role in 0..(P + 2) as u16 {
-            let vals: Vec<f64> =
-                (0..4).map(|i| scale * (role as f64 + 1.0) + i as f64).collect();
+            let vals: Vec<f64> = (0..4)
+                .map(|i| scale * (role as f64 + 1.0) + i as f64)
+                .collect();
             completed = st.on_data(group, role, ts, 10, &vals);
         }
         completed
@@ -422,8 +532,9 @@ mod tests {
     #[test]
     fn statistics_match_direct_feed() {
         let mut st = state();
-        let fields: Vec<Vec<f64>> =
-            (0..P + 2).map(|r| (0..4).map(|i| (r * 10 + i) as f64).collect()).collect();
+        let fields: Vec<Vec<f64>> = (0..P + 2)
+            .map(|r| (0..4).map(|i| (r * 10 + i) as f64).collect())
+            .collect();
         for (role, f) in fields.iter().enumerate() {
             st.on_data(1, role as u16, 0, 10, f);
         }
@@ -433,6 +544,44 @@ mod tests {
         assert_eq!(st.sobol(0), &direct);
         // Moments got Y^A and Y^B.
         assert_eq!(st.moments(0).count(), 2);
+    }
+
+    #[test]
+    fn one_fused_sweep_per_completed_assembly() {
+        let mut st = state();
+        for ts in 0..TS as u32 {
+            send_full_ts(&mut st, 1, ts, 1.0);
+            send_full_ts(&mut st, 2, ts, 2.0);
+        }
+        // 2 groups × TS timesteps completed — exactly that many sweeps,
+        // regardless of how many statistics families are tracked.
+        assert_eq!(st.fused_sweeps, 2 * TS as u64);
+    }
+
+    #[test]
+    fn recycled_assembly_buffers_never_leak_stale_values() {
+        let mut st = state();
+        // Complete group 1 / ts 0 with nonzero values: the buffer goes to
+        // the pool carrying stale data.
+        send_full_ts(&mut st, 1, 0, 5.0);
+        assert_eq!(st.pooled_assemblies(), 1);
+        // Group 2 reuses the pooled buffer; its statistics must match a
+        // fresh direct computation of *its* values only.
+        let fields: Vec<Vec<f64>> = (0..P + 2)
+            .map(|r| (0..4).map(|i| (r * 7 + i) as f64 * 0.5).collect())
+            .collect();
+        for (role, f) in fields.iter().enumerate() {
+            st.on_data(2, role as u16, 0, 10, f);
+        }
+        let mut direct = UbiquitousSobol::new(P, 4);
+        let first: Vec<Vec<f64>> = (0..P + 2)
+            .map(|r| (0..4).map(|i| 5.0 * (r as f64 + 1.0) + i as f64).collect())
+            .collect();
+        for fs in [&first, &fields] {
+            let refs: Vec<&[f64]> = fs.iter().map(|f| f.as_slice()).collect();
+            direct.update_group(&refs);
+        }
+        assert_eq!(st.sobol(0), &direct);
     }
 
     #[test]
@@ -448,5 +597,23 @@ mod tests {
         send_full_ts(&mut st, 1, 0, 1.0);
         assert_eq!(st.messages_received, (P + 2) as u64);
         assert_eq!(st.bytes_received, ((P + 2) * 4 * 8) as u64);
+    }
+
+    #[test]
+    fn fill_mask_word_boundaries_and_duplicates() {
+        let mut m = FillMask::new(130);
+        m.mark_range(0, 1);
+        assert_eq!(m.filled, 1);
+        m.mark_range(60, 70); // crosses the first word boundary
+        assert_eq!(m.filled, 11);
+        m.mark_range(60, 70); // duplicate: no change
+        assert_eq!(m.filled, 11);
+        m.mark_range(0, 130); // everything
+        assert_eq!(m.filled, 130);
+        m.mark_range(129, 130);
+        assert_eq!(m.filled, 130);
+        m.clear();
+        assert_eq!(m.filled, 0);
+        assert!(m.words.iter().all(|&w| w == 0));
     }
 }

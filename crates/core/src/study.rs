@@ -22,7 +22,10 @@ pub struct Study {
 impl Study {
     /// Creates a study from a configuration.
     pub fn new(config: StudyConfig) -> Self {
-        Self { config, faults: FaultPlan::none() }
+        Self {
+            config,
+            faults: FaultPlan::none(),
+        }
     }
 
     /// Scripts faults into the run (fault-tolerance experiments).
@@ -68,7 +71,12 @@ impl StudyResults {
     ) -> Self {
         let covered: usize = workers.iter().map(|w| w.slab().len).sum();
         assert_eq!(covered, n_cells, "worker slabs do not cover the mesh");
-        Self { p, n_timesteps, n_cells, workers }
+        Self {
+            p,
+            n_timesteps,
+            n_cells,
+            workers,
+        }
     }
 
     /// Number of parameters.
@@ -89,7 +97,11 @@ impl StudyResults {
     /// Number of groups integrated at a timestep (minimum over workers —
     /// they can momentarily disagree mid-study, never at the end).
     pub fn groups_integrated(&self, ts: usize) -> u64 {
-        self.workers.iter().map(|w| w.groups_at(ts)).min().unwrap_or(0)
+        self.workers
+            .iter()
+            .map(|w| w.groups_at(ts))
+            .min()
+            .unwrap_or(0)
     }
 
     fn assemble<F>(&self, per_worker: F) -> Vec<f64>

@@ -19,8 +19,9 @@ fn direct_reference(config: &StudyConfig) -> Vec<UbiquitousSobol> {
     let flow = Arc::new(config.solver.prerun());
     let n_cells = config.solver.mesh().n_cells();
     let ts_count = config.solver.n_timesteps;
-    let mut state: Vec<UbiquitousSobol> =
-        (0..ts_count).map(|_| UbiquitousSobol::new(space.dim(), n_cells)).collect();
+    let mut state: Vec<UbiquitousSobol> = (0..ts_count)
+        .map(|_| UbiquitousSobol::new(space.dim(), n_cells))
+        .collect();
     for g in design.groups() {
         // Run the p + 2 sims, collecting every timestep's field.
         let mut fields: Vec<Vec<Vec<f64>>> = vec![Vec::new(); ts_count];
@@ -54,7 +55,11 @@ fn live_study_matches_direct_computation_exactly() {
     assert_eq!(output.report.server_restarts, 0);
 
     let n_cells = config.solver.mesh().n_cells();
-    for ts in [0usize, config.solver.n_timesteps / 2, config.solver.n_timesteps - 1] {
+    for ts in [
+        0usize,
+        config.solver.n_timesteps / 2,
+        config.solver.n_timesteps - 1,
+    ] {
         assert_eq!(output.results.groups_integrated(ts), 4);
         for k in 0..6 {
             let got = output.results.first_order_field(ts, k);
@@ -96,18 +101,31 @@ fn ensemble_statistics_are_consistent() {
     let skew = output.results.skewness_field(ts);
 
     for c in 0..mean.len() {
-        assert!(min[c] <= mean[c] + 1e-12 && mean[c] <= max[c] + 1e-12, "cell {c} ordering");
-        assert!((0.0..=1.0).contains(&p_exceed[c]), "cell {c} probability {}", p_exceed[c]);
+        assert!(
+            min[c] <= mean[c] + 1e-12 && mean[c] <= max[c] + 1e-12,
+            "cell {c} ordering"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_exceed[c]),
+            "cell {c} probability {}",
+            p_exceed[c]
+        );
         assert!(skew[c].is_finite());
         // Degenerate cells (identical across the ensemble) have no spread.
         if var[c] == 0.0 {
-            assert!((max[c] - min[c]).abs() < 1e-12, "cell {c} spread without variance");
+            assert!(
+                (max[c] - min[c]).abs() < 1e-12,
+                "cell {c} spread without variance"
+            );
         }
     }
     // Some cell must actually exceed 0.1 somewhere in the plume.
     assert!(p_exceed.iter().any(|&p| p > 0.0), "no exceedance anywhere");
     // And clean inlet-midline cells never do.
-    assert!(p_exceed.iter().any(|&p| p == 0.0), "exceedance everywhere is implausible");
+    assert!(
+        p_exceed.contains(&0.0),
+        "exceedance everywhere is implausible"
+    );
 }
 
 #[test]
@@ -122,7 +140,10 @@ fn crashed_group_is_restarted_and_statistics_are_unbiased() {
     // statistics exact.
     let faults =
         FaultPlan::none().with_group_fault(1, 0, GroupFault::CrashAfter { at_timestep: 4 });
-    let output = Study::new(config.clone()).with_faults(faults).run().expect("study failed");
+    let output = Study::new(config.clone())
+        .with_faults(faults)
+        .run()
+        .expect("study failed");
 
     assert_eq!(output.report.groups_finished, 3);
     assert!(output.report.group_restarts >= 1, "expected a restart");
@@ -152,7 +173,10 @@ fn zombie_group_is_detected_and_restarted() {
     config.checkpoint_dir = std::env::temp_dir().join("melissa-it-zombie");
 
     let faults = FaultPlan::none().with_group_fault(0, 0, GroupFault::Zombie);
-    let output = Study::new(config).with_faults(faults).run().expect("study failed");
+    let output = Study::new(config)
+        .with_faults(faults)
+        .run()
+        .expect("study failed");
     assert_eq!(output.report.groups_finished, 2);
     assert!(output.report.group_restarts >= 1);
     assert!(
@@ -175,11 +199,20 @@ fn straggler_group_triggers_timeout_and_recovery() {
     let faults = FaultPlan::none().with_group_fault(
         1,
         0,
-        GroupFault::Stall { from_timestep: 2, pause: Duration::from_millis(1000) },
+        GroupFault::Stall {
+            from_timestep: 2,
+            pause: Duration::from_millis(1000),
+        },
     );
-    let output = Study::new(config).with_faults(faults).run().expect("study failed");
+    let output = Study::new(config)
+        .with_faults(faults)
+        .run()
+        .expect("study failed");
     assert_eq!(output.report.groups_finished, 2);
-    assert!(output.report.group_restarts >= 1, "straggler must be restarted");
+    assert!(
+        output.report.group_restarts >= 1,
+        "straggler must be restarted"
+    );
 }
 
 #[test]
@@ -195,9 +228,15 @@ fn server_crash_recovers_from_checkpoint_with_exact_statistics() {
     let reference = direct_reference(&config);
 
     let faults = FaultPlan::none().with_server_kill_after(1);
-    let output = Study::new(config.clone()).with_faults(faults).run().expect("study failed");
+    let output = Study::new(config.clone())
+        .with_faults(faults)
+        .run()
+        .expect("study failed");
 
-    assert!(output.report.server_restarts >= 1, "server must have been restarted");
+    assert!(
+        output.report.server_restarts >= 1,
+        "server must have been restarted"
+    );
     assert_eq!(output.report.groups_finished, 3);
 
     // Statistics must equal the uninterrupted reference: the checkpoint

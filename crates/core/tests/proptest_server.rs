@@ -3,7 +3,7 @@
 
 use melissa_mesh::CellRange;
 use melissa_sobol::UbiquitousSobol;
-use melissa_stats::FieldMoments;
+use melissa_stats::{FieldMinMax, FieldMoments, FieldThreshold};
 use proptest::prelude::*;
 
 use melissa::server::state::WorkerState;
@@ -14,13 +14,14 @@ const SLAB_LEN: usize = 12;
 const TS: usize = 3;
 
 fn slab() -> CellRange {
-    CellRange { start: SLAB_START, len: SLAB_LEN }
+    CellRange {
+        start: SLAB_START,
+        len: SLAB_LEN,
+    }
 }
 
 /// One study's worth of group fields: groups × timesteps × roles × cells.
-fn study_fields(
-    groups: usize,
-) -> impl Strategy<Value = Vec<Vec<Vec<Vec<f64>>>>> {
+fn study_fields(groups: usize) -> impl Strategy<Value = Vec<Vec<Vec<Vec<f64>>>>> {
     prop::collection::vec(
         prop::collection::vec(
             prop::collection::vec(prop::collection::vec(-50.0f64..50.0, SLAB_LEN), P + 2),
@@ -32,12 +33,19 @@ fn study_fields(
 
 /// Splits `[0, SLAB_LEN)` into chunks at the given cut fractions.
 fn chunkify(cuts: &[f64]) -> Vec<(usize, usize)> {
-    let mut points: Vec<usize> = cuts.iter().map(|f| (f * SLAB_LEN as f64) as usize).collect();
+    let mut points: Vec<usize> = cuts
+        .iter()
+        .map(|f| (f * SLAB_LEN as f64) as usize)
+        .collect();
     points.push(0);
     points.push(SLAB_LEN);
     points.sort_unstable();
     points.dedup();
-    points.windows(2).map(|w| (w[0], w[1] - w[0])).filter(|&(_, l)| l > 0).collect()
+    points
+        .windows(2)
+        .map(|w| (w[0], w[1] - w[0]))
+        .filter(|&(_, l)| l > 0)
+        .collect()
 }
 
 /// Feeds one timestep of one group, chunked.
@@ -139,6 +147,79 @@ proptest! {
             prop_assert_eq!(st.sobol(ts), &direct_sobol[ts]);
             prop_assert_eq!(st.moments(ts), &direct_moments[ts]);
         }
+    }
+
+    /// The fused single-sweep ingest must be bit-compatible with the old
+    /// per-accumulator reference path — separate `update_group`,
+    /// `FieldMoments::update(Y^A)`/`(Y^B)`, min/max and threshold sweeps —
+    /// for *every* statistics family, across arbitrary chunk boundaries
+    /// and arbitrary chunk arrival orders.  Exact equality is asserted,
+    /// which is stronger than the 1e-12 agreement required.
+    #[test]
+    fn fused_ingest_matches_per_accumulator_reference(
+        study in study_fields(5),
+        cuts in prop::collection::vec(0.0f64..1.0, 0..4),
+        shuffle_seed in 0u64..10_000,
+    ) {
+        let thresholds = [0.0, 7.5];
+        let mut st = WorkerState::with_thresholds(0, slab(), P, TS, &thresholds);
+
+        let mut ref_sobol: Vec<UbiquitousSobol> =
+            (0..TS).map(|_| UbiquitousSobol::new(P, SLAB_LEN)).collect();
+        let mut ref_moments: Vec<FieldMoments> =
+            (0..TS).map(|_| FieldMoments::new(SLAB_LEN)).collect();
+        let mut ref_minmax: Vec<FieldMinMax> =
+            (0..TS).map(|_| FieldMinMax::new(SLAB_LEN)).collect();
+        let mut ref_thresholds: Vec<Vec<FieldThreshold>> = (0..TS)
+            .map(|_| thresholds.iter().map(|&t| FieldThreshold::new(SLAB_LEN, t)).collect())
+            .collect();
+
+        let chunks = chunkify(&cuts);
+        let mut rng_state = shuffle_seed;
+        for (g, per_ts) in study.iter().enumerate() {
+            for (ts, fields) in per_ts.iter().enumerate() {
+                // Arbitrary arrival order of the (role, chunk) messages.
+                let mut messages: Vec<(usize, usize, usize)> = Vec::new();
+                for role in 0..P + 2 {
+                    for &(off, len) in &chunks {
+                        messages.push((role, off, len));
+                    }
+                }
+                for i in (1..messages.len()).rev() {
+                    rng_state = rng_state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let j = (rng_state >> 33) as usize % (i + 1);
+                    messages.swap(i, j);
+                }
+                for (role, off, len) in messages {
+                    st.on_data(
+                        g as u64,
+                        role as u16,
+                        ts as u32,
+                        (SLAB_START + off) as u64,
+                        &per_ts[ts][role][off..off + len],
+                    );
+                }
+                // Old reference path: one sweep per statistic.
+                let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+                ref_sobol[ts].update_group(&refs);
+                for sample in refs.iter().take(2) {
+                    ref_moments[ts].update(sample);
+                    ref_minmax[ts].update(sample);
+                    for t in ref_thresholds[ts].iter_mut() {
+                        t.update(sample);
+                    }
+                }
+            }
+        }
+        for ts in 0..TS {
+            prop_assert_eq!(st.sobol(ts), &ref_sobol[ts], "sobol ts {}", ts);
+            prop_assert_eq!(st.moments(ts), &ref_moments[ts], "moments ts {}", ts);
+            prop_assert_eq!(st.minmax(ts), &ref_minmax[ts], "minmax ts {}", ts);
+            prop_assert_eq!(st.thresholds(ts), ref_thresholds[ts].as_slice(), "thresholds ts {}", ts);
+        }
+        prop_assert_eq!(st.fused_sweeps, (study.len() * TS) as u64);
     }
 
     /// Checkpoint round-trips preserve the whole state including the

@@ -49,8 +49,14 @@ impl StructuredMesh {
     /// # Panics
     /// Panics if any dimension is zero or any extent non-positive.
     pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "mesh dimensions must be positive");
-        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "mesh extents must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "mesh dimensions must be positive"
+        );
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "mesh extents must be positive"
+        );
         Self {
             nx,
             ny,
@@ -74,7 +80,11 @@ impl StructuredMesh {
 
     /// Physical extents `(lx, ly, lz)`.
     pub fn extents(&self) -> (f64, f64, f64) {
-        (self.dx * self.nx as f64, self.dy * self.ny as f64, self.dz * self.nz as f64)
+        (
+            self.dx * self.nx as f64,
+            self.dy * self.ny as f64,
+            self.dz * self.nz as f64,
+        )
     }
 
     /// Total number of cells.

@@ -36,7 +36,10 @@ impl CellRange {
     pub fn intersect(&self, other: &CellRange) -> Option<CellRange> {
         let start = self.start.max(other.start);
         let end = self.end().min(other.end());
-        (start < end).then(|| CellRange { start, len: end - start })
+        (start < end).then(|| CellRange {
+            start,
+            len: end - start,
+        })
     }
 
     /// Iterates over the global cell ids of the range.
@@ -71,7 +74,9 @@ pub struct BlockPartition {
 impl BlockPartition {
     /// Splits `n_cells` cells across `n_ranks` ranks.
     pub fn new(n_cells: usize, n_ranks: usize) -> Self {
-        Self { ranges: even_ranges(n_cells, n_ranks) }
+        Self {
+            ranges: even_ranges(n_cells, n_ranks),
+        }
     }
 
     /// Number of ranks.
@@ -117,7 +122,9 @@ pub struct SlabPartition {
 impl SlabPartition {
     /// Splits `n_cells` cells across `n_workers` server processes.
     pub fn new(n_cells: usize, n_workers: usize) -> Self {
-        Self { ranges: even_ranges(n_cells, n_workers) }
+        Self {
+            ranges: even_ranges(n_cells, n_workers),
+        }
     }
 
     /// Number of server processes.
@@ -194,7 +201,10 @@ mod tests {
                     covered[c] = true;
                 }
             }
-            assert!(covered.into_iter().all(|x| x), "{cells} cells / {parts} parts");
+            assert!(
+                covered.into_iter().all(|x| x),
+                "{cells} cells / {parts} parts"
+            );
             // Balance: sizes differ by at most one.
             let sizes: Vec<usize> = p.ranges().iter().map(|r| r.len).collect();
             let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
@@ -244,7 +254,9 @@ mod tests {
     #[test]
     fn redistribution_of_empty_block_is_empty() {
         let slabs = SlabPartition::new(10, 2);
-        assert!(slabs.redistribution(CellRange { start: 3, len: 0 }).is_empty());
+        assert!(slabs
+            .redistribution(CellRange { start: 3, len: 0 })
+            .is_empty());
     }
 
     #[test]

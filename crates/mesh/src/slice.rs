@@ -66,7 +66,10 @@ impl SliceView {
     /// # Panics
     /// Panics if the window is empty or out of bounds.
     pub fn window_mean(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> f64 {
-        assert!(i0 < i1 && i1 <= self.nx && j0 < j1 && j1 <= self.ny, "bad window");
+        assert!(
+            i0 < i1 && i1 <= self.nx && j0 < j1 && j1 <= self.ny,
+            "bad window"
+        );
         let mut sum = 0.0;
         for j in j0..j1 {
             for i in i0..i1 {
@@ -78,7 +81,10 @@ impl SliceView {
 
     /// Maximum over the whole map.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum over the whole map.
@@ -110,7 +116,10 @@ mod tests {
     fn mid_plane_uses_half_nz() {
         let m = mesh();
         let field: Vec<f64> = (0..m.n_cells()).map(|c| c as f64).collect();
-        assert_eq!(SliceView::mid_plane(&m, &field), SliceView::at_z(&m, &field, 1));
+        assert_eq!(
+            SliceView::mid_plane(&m, &field),
+            SliceView::at_z(&m, &field, 1)
+        );
     }
 
     #[test]

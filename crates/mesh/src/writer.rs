@@ -18,12 +18,7 @@ use crate::StructuredMesh;
 
 /// Serialises a cell field as a legacy-VTK `STRUCTURED_POINTS` dataset
 /// (readable by ParaView).  Returns the byte count written.
-pub fn write_vtk(
-    path: &Path,
-    mesh: &StructuredMesh,
-    name: &str,
-    field: &[f64],
-) -> io::Result<u64> {
+pub fn write_vtk(path: &Path, mesh: &StructuredMesh, name: &str, field: &[f64]) -> io::Result<u64> {
     assert_eq!(field.len(), mesh.n_cells(), "field length mismatch");
     let mut out = BufWriter::new(File::create(path)?);
     let (nx, ny, nz) = mesh.dims();
@@ -85,9 +80,15 @@ pub fn write_raw_field(path: &Path, field: &[f64]) -> io::Result<u64> {
 pub fn read_raw_field(path: &Path) -> io::Result<Vec<f64>> {
     let bytes = std::fs::read(path)?;
     if bytes.len() % 8 != 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated raw field"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "truncated raw field",
+        ));
     }
-    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
 }
 
 #[cfg(test)]

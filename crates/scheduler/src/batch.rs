@@ -35,7 +35,10 @@ impl Availability {
     pub fn usable_nodes(&self, cluster: &Cluster, t: f64) -> usize {
         match *self {
             Availability::Full => cluster.total_nodes(),
-            Availability::Ramp { initial, nodes_per_second } => {
+            Availability::Ramp {
+                initial,
+                nodes_per_second,
+            } => {
                 let n = initial as f64 + nodes_per_second * t;
                 (n as usize).min(cluster.total_nodes())
             }
@@ -102,7 +105,10 @@ pub struct BatchSim {
 impl BatchSim {
     /// Creates a scheduler over `cluster` with a submission throttle.
     pub fn new(cluster: Cluster, availability: Availability, max_submissions: usize) -> Self {
-        assert!(max_submissions > 0, "throttle must allow at least one submission");
+        assert!(
+            max_submissions > 0,
+            "throttle must allow at least one submission"
+        );
         Self {
             cluster,
             availability,
@@ -127,7 +133,11 @@ impl BatchSim {
     /// # Panics
     /// Panics on duplicate ids or requests larger than the machine.
     pub fn submit(&mut self, t: f64, req: JobRequest) {
-        assert!(!self.records.contains_key(&req.id), "duplicate job id {}", req.id);
+        assert!(
+            !self.records.contains_key(&req.id),
+            "duplicate job id {}",
+            req.id
+        );
         assert!(
             req.nodes <= self.cluster.total_nodes(),
             "job {} requests {} nodes > machine {}",
@@ -144,7 +154,13 @@ impl BatchSim {
         };
         self.records.insert(
             req.id,
-            JobRecord { request: req, submitted_at: t, started_at: None, ended_at: None, state },
+            JobRecord {
+                request: req,
+                submitted_at: t,
+                started_at: None,
+                ended_at: None,
+                state,
+            },
         );
     }
 
@@ -187,7 +203,11 @@ impl BatchSim {
     /// Panics if the job is not running.
     pub fn finish(&mut self, t: f64, id: u64) {
         let rec = self.records.get_mut(&id).expect("unknown job");
-        assert_eq!(rec.state, JobState::Running, "finish on non-running job {id}");
+        assert_eq!(
+            rec.state,
+            JobState::Running,
+            "finish on non-running job {id}"
+        );
         rec.state = JobState::Finished;
         rec.ended_at = Some(t);
         self.cluster.release(rec.request.nodes);
@@ -215,7 +235,10 @@ impl BatchSim {
 
     /// Number of running jobs.
     pub fn running_count(&self) -> usize {
-        self.records.values().filter(|r| r.state == JobState::Running).count()
+        self.records
+            .values()
+            .filter(|r| r.state == JobState::Running)
+            .count()
     }
 
     /// Number of queued jobs (excluding held).
@@ -249,7 +272,11 @@ mod tests {
     use super::*;
 
     fn req(id: u64, nodes: usize) -> JobRequest {
-        JobRequest { id, nodes, walltime: 3600.0 }
+        JobRequest {
+            id,
+            nodes,
+            walltime: 3600.0,
+        }
     }
 
     #[test]
@@ -288,7 +315,10 @@ mod tests {
     fn availability_ramp_gates_starts() {
         let mut sim = BatchSim::new(
             Cluster::new(100, 16),
-            Availability::Ramp { initial: 0, nodes_per_second: 1.0 },
+            Availability::Ramp {
+                initial: 0,
+                nodes_per_second: 1.0,
+            },
             100,
         );
         sim.submit(0.0, req(1, 10));

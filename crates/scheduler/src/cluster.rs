@@ -18,7 +18,11 @@ impl Cluster {
     /// Panics if either is zero.
     pub fn new(nodes: usize, cores_per_node: usize) -> Self {
         assert!(nodes > 0 && cores_per_node > 0, "cluster must be non-empty");
-        Self { nodes, cores_per_node, used: 0 }
+        Self {
+            nodes,
+            cores_per_node,
+            used: 0,
+        }
     }
 
     /// The paper's machine: Curie thin nodes (16 cores); 1807 nodes covers

@@ -50,7 +50,11 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -59,8 +63,16 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is NaN or earlier than the current time.
     pub fn schedule(&mut self, time: f64, event: E) {
         assert!(!time.is_nan(), "event time is NaN");
-        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
-        self.heap.push(Entry { time, seq: self.seq, event });
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -54,7 +54,13 @@ impl JobRunner {
     /// Panics if `units == 0`.
     pub fn new(units: usize) -> Self {
         assert!(units > 0, "need at least one resource unit");
-        Self { capacity: Arc::new(Capacity { free: Mutex::new(units), cv: Condvar::new() }), total_units: units }
+        Self {
+            capacity: Arc::new(Capacity {
+                free: Mutex::new(units),
+                cv: Condvar::new(),
+            }),
+            total_units: units,
+        }
     }
 
     /// Total resource units.
@@ -79,7 +85,11 @@ impl JobRunner {
     where
         F: FnOnce(&KillSwitch) + Send + 'static,
     {
-        assert!(units <= self.total_units, "job needs {units} units > capacity {}", self.total_units);
+        assert!(
+            units <= self.total_units,
+            "job needs {units} units > capacity {}",
+            self.total_units
+        );
         let kill = KillSwitch::new();
         let kill_in_job = kill.clone();
         let cap = Arc::clone(&self.capacity);
@@ -142,7 +152,11 @@ impl Watchdog {
                 std::thread::sleep(poll);
             }
         });
-        Self { deadlines, stop, handle: Some(handle) }
+        Self {
+            deadlines,
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Arms a kill at `deadline` for `kill`.
@@ -195,7 +209,11 @@ mod tests {
         for h in handles {
             h.join();
         }
-        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
         assert_eq!(runner.free_units(), 2);
     }
 

@@ -39,9 +39,10 @@ impl TimeSeries {
 
     /// Maximum value, or `None` when empty.
     pub fn max_value(&self) -> Option<f64> {
-        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Last time, or `None` when empty.
@@ -52,7 +53,10 @@ impl TimeSeries {
     /// Value at time `t` (step interpolation: the last sample at or before
     /// `t`), or `None` before the first sample.
     pub fn value_at(&self, t: f64) -> Option<f64> {
-        match self.samples.binary_search_by(|&(st, _)| st.partial_cmp(&t).unwrap()) {
+        match self
+            .samples
+            .binary_search_by(|&(st, _)| st.partial_cmp(&t).unwrap())
+        {
             Ok(i) => Some(self.samples[i].1),
             Err(0) => None,
             Err(i) => Some(self.samples[i - 1].1),
@@ -81,7 +85,9 @@ impl TimeSeries {
             return self.samples.clone();
         }
         let step = self.samples.len() as f64 / n as f64;
-        (0..n).map(|i| self.samples[(i as f64 * step) as usize]).collect()
+        (0..n)
+            .map(|i| self.samples[(i as f64 * step) as usize])
+            .collect()
     }
 
     /// Serialises as `time,value` CSV lines under a header.

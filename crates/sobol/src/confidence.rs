@@ -50,7 +50,10 @@ pub fn first_order_interval(s: f64, i: u64) -> ConfidenceInterval {
     }
     let half = Z_95 / ((i - 3) as f64).sqrt();
     let z = atanh_clamped(s);
-    ConfidenceInterval { lo: (z - half).tanh(), hi: (z + half).tanh() }
+    ConfidenceInterval {
+        lo: (z - half).tanh(),
+        hi: (z + half).tanh(),
+    }
 }
 
 /// 95 % asymptotic confidence interval on a total-order index `ST_k`
@@ -63,7 +66,10 @@ pub fn total_order_interval(st: f64, i: u64) -> ConfidenceInterval {
     let half = Z_95 / ((i - 3) as f64).sqrt();
     // atanh(1 − ST) written as in the paper: ½ log((2 − ST)/ST).
     let z = atanh_clamped(1.0 - st);
-    ConfidenceInterval { lo: 1.0 - (z + half).tanh(), hi: 1.0 - (z - half).tanh() }
+    ConfidenceInterval {
+        lo: 1.0 - (z + half).tanh(),
+        hi: 1.0 - (z - half).tanh(),
+    }
 }
 
 #[cfg(test)]

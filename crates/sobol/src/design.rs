@@ -116,7 +116,11 @@ impl PickFreeze {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = (0..n).map(|_| space.sample_row(&mut rng)).collect();
         let b = (0..n).map(|_| space.sample_row(&mut rng)).collect();
-        Self { p: space.dim(), a, b }
+        Self {
+            p: space.dim(),
+            a,
+            b,
+        }
     }
 
     /// Builds a design from explicit matrices (for tests and replay).
@@ -124,7 +128,11 @@ impl PickFreeze {
     /// # Panics
     /// Panics if shapes are inconsistent.
     pub fn from_matrices(a: Vec<Vec<f64>>, b: Vec<Vec<f64>>) -> Self {
-        assert_eq!(a.len(), b.len(), "A and B must have the same number of rows");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "A and B must have the same number of rows"
+        );
         assert!(!a.is_empty(), "design must have at least one row");
         let p = a[0].len();
         assert!(p > 0, "design must have at least one parameter");
@@ -161,7 +169,11 @@ impl PickFreeze {
 
     /// Row `i` of matrix `C^k`: `A_i` with coordinate `k` from `B_i`.
     pub fn row_c(&self, i: usize, k: usize) -> Vec<f64> {
-        assert!(k < self.p, "parameter index {k} out of range (p = {})", self.p);
+        assert!(
+            k < self.p,
+            "parameter index {k} out of range (p = {})",
+            self.p
+        );
         let mut row = self.a[i].clone();
         row[k] = self.b[i][k];
         row

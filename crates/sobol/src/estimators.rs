@@ -32,7 +32,10 @@ pub fn martinez_total_order(ya: &[f64], yck: &[f64]) -> f64 {
 /// `S_k = (1/n) Σ Y^B_i (Y^{C^k}_i − Y^A_i) / V(Y)`.
 pub fn saltelli_first_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
     let n = ya.len();
-    assert!(n >= 2 && yb.len() == n && yck.len() == n, "need n ≥ 2 equal-length samples");
+    assert!(
+        n >= 2 && yb.len() == n && yck.len() == n,
+        "need n ≥ 2 equal-length samples"
+    );
     let var = pooled_variance(ya, yb);
     if var <= 0.0 {
         return 0.0;
@@ -51,13 +54,20 @@ pub fn saltelli_first_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
 /// `ST_k = (1/2n) Σ (Y^A_i − Y^{C^k}_i)² / V(Y)`.
 pub fn jansen_total_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
     let n = ya.len();
-    assert!(n >= 2 && yb.len() == n && yck.len() == n, "need n ≥ 2 equal-length samples");
+    assert!(
+        n >= 2 && yb.len() == n && yck.len() == n,
+        "need n ≥ 2 equal-length samples"
+    );
     let var = pooled_variance(ya, yb);
     if var <= 0.0 {
         return 0.0;
     }
-    let half_mean_sq =
-        ya.iter().zip(yck).map(|(&a, &c)| (a - c) * (a - c)).sum::<f64>() / (2.0 * n as f64);
+    let half_mean_sq = ya
+        .iter()
+        .zip(yck)
+        .map(|(&a, &c)| (a - c) * (a - c))
+        .sum::<f64>()
+        / (2.0 * n as f64);
     half_mean_sq / var
 }
 
@@ -65,13 +75,20 @@ pub fn jansen_total_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
 /// `S_k = 1 − (1/2n) Σ (Y^B_i − Y^{C^k}_i)² / V(Y)`.
 pub fn jansen_first_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
     let n = ya.len();
-    assert!(n >= 2 && yb.len() == n && yck.len() == n, "need n ≥ 2 equal-length samples");
+    assert!(
+        n >= 2 && yb.len() == n && yck.len() == n,
+        "need n ≥ 2 equal-length samples"
+    );
     let var = pooled_variance(ya, yb);
     if var <= 0.0 {
         return 0.0;
     }
-    let half_mean_sq =
-        yb.iter().zip(yck).map(|(&b, &c)| (b - c) * (b - c)).sum::<f64>() / (2.0 * n as f64);
+    let half_mean_sq = yb
+        .iter()
+        .zip(yck)
+        .map(|(&b, &c)| (b - c) * (b - c))
+        .sum::<f64>()
+        / (2.0 * n as f64);
     1.0 - half_mean_sq / var
 }
 
@@ -81,7 +98,10 @@ pub fn jansen_first_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
 /// ablation).
 pub fn sobol1993_first_order(ya: &[f64], yb: &[f64], yck: &[f64]) -> f64 {
     let n = ya.len();
-    assert!(n >= 2 && yb.len() == n && yck.len() == n, "need n ≥ 2 equal-length samples");
+    assert!(
+        n >= 2 && yb.len() == n && yck.len() == n,
+        "need n ≥ 2 equal-length samples"
+    );
     let var = pooled_variance(ya, yb);
     if var <= 0.0 {
         return 0.0;
@@ -111,11 +131,7 @@ mod tests {
     use crate::testfn::{Ishigami, TestFunction};
 
     /// Evaluates a test function over a design, returning (ya, yb, yc[k]).
-    fn evaluate(
-        f: &impl TestFunction,
-        n: usize,
-        seed: u64,
-    ) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
+    fn evaluate(f: &impl TestFunction, n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
         let design = PickFreeze::generate(n, &f.parameter_space(), seed);
         let p = f.dim();
         let mut ya = Vec::with_capacity(n);
@@ -141,8 +157,11 @@ mod tests {
             let martinez = martinez_first_order(&yb, &yc[k]);
             let saltelli = saltelli_first_order(&ya, &yb, &yc[k]);
             let jansen = jansen_first_order(&ya, &yb, &yc[k]);
-            for (name, est) in [("martinez", martinez), ("saltelli", saltelli), ("jansen", jansen)]
-            {
+            for (name, est) in [
+                ("martinez", martinez),
+                ("saltelli", saltelli),
+                ("jansen", jansen),
+            ] {
                 assert!(
                     (est - s_ref[k]).abs() < 0.06,
                     "{name} S_{k}: {est} vs analytic {}",
@@ -160,7 +179,10 @@ mod tests {
         for k in 0..3 {
             let martinez = martinez_total_order(&ya, &yc[k]);
             let jansen = jansen_total_order(&ya, &_yb, &yc[k]);
-            assert!((martinez - st_ref[k]).abs() < 0.06, "martinez ST_{k}: {martinez}");
+            assert!(
+                (martinez - st_ref[k]).abs() < 0.06,
+                "martinez ST_{k}: {martinez}"
+            );
             assert!((jansen - st_ref[k]).abs() < 0.06, "jansen ST_{k}: {jansen}");
         }
     }
@@ -180,7 +202,10 @@ mod tests {
 
         let m_plain = martinez_first_order(&yb, &yc[0]);
         let m_shift = martinez_first_order(&yb_s, &yc0_s);
-        assert!((m_plain - m_shift).abs() < 1e-6, "martinez drifted: {m_plain} vs {m_shift}");
+        assert!(
+            (m_plain - m_shift).abs() < 1e-6,
+            "martinez drifted: {m_plain} vs {m_shift}"
+        );
 
         let s_plain = sobol1993_first_order(&ya, &yb, &yc[0]);
         let s_shift = sobol1993_first_order(&ya_s, &yb_s, &yc0_s);

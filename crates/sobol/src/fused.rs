@@ -1,0 +1,271 @@
+//! Fused single-sweep server ingest kernel.
+//!
+//! When a `(group, timestep)` assembly completes, Melissa Server must fold
+//! the `p + 2` role fields into **four** statistics families: the
+//! ubiquitous Sobol' state (all roles), and the field moments, min/max
+//! envelope and threshold-exceedance counters (the i.i.d. `Y^A`/`Y^B`
+//! samples only, paper Section 4.1).  Doing that as four independent
+//! Rayon sweeps re-reads the fields and re-pays the parallel dispatch per
+//! statistic; [`FusedSlabUpdate`] folds everything in **one** tile-parallel
+//! pass: each tile task updates its slice of every accumulator while the
+//! incoming field stripe is hot in L1.
+//!
+//! The fused path is arithmetic-for-arithmetic identical to calling
+//! [`UbiquitousSobol::update_group`] followed by the individual
+//! `FieldMoments::update(Y^A)`, `update(Y^B)` (and likewise min/max and
+//! thresholds) — same scalar recurrences, same operation order per cell —
+//! so results are bit-compatible with the unfused reference path
+//! (property-tested in `melissa`'s `proptest_server.rs`).
+
+use rayon::prelude::*;
+
+use melissa_stats::{DisjointSlices, FieldMinMax, FieldMoments, FieldThreshold};
+
+use crate::ubiquitous::{update_tile_records, UbiquitousSobol};
+
+/// One-sweep update of all per-timestep server statistics over a slab.
+///
+/// Borrows every accumulator of one timestep; [`apply`](Self::apply)
+/// consumes the borrow after folding in one completed group.
+pub struct FusedSlabUpdate<'a> {
+    sobol: &'a mut UbiquitousSobol,
+    moments: &'a mut FieldMoments,
+    minmax: &'a mut FieldMinMax,
+    thresholds: &'a mut [FieldThreshold],
+}
+
+impl<'a> FusedSlabUpdate<'a> {
+    /// Binds the accumulators of one timestep.
+    ///
+    /// # Panics
+    /// Panics if any accumulator covers a different number of cells than
+    /// the Sobol' state.
+    pub fn new(
+        sobol: &'a mut UbiquitousSobol,
+        moments: &'a mut FieldMoments,
+        minmax: &'a mut FieldMinMax,
+        thresholds: &'a mut [FieldThreshold],
+    ) -> Self {
+        let cells = sobol.cells();
+        assert_eq!(moments.len(), cells, "moments cell-count mismatch");
+        assert_eq!(minmax.len(), cells, "min/max cell-count mismatch");
+        for t in thresholds.iter() {
+            assert_eq!(t.len(), cells, "threshold cell-count mismatch");
+        }
+        Self {
+            sobol,
+            moments,
+            minmax,
+            thresholds,
+        }
+    }
+
+    /// Folds one completed group's `p + 2` role fields into every bound
+    /// accumulator in a single tile-parallel sweep.
+    ///
+    /// # Panics
+    /// Panics if the number of fields is not `p + 2` or any field length
+    /// differs from the slab size.
+    pub fn apply(self, fields: &[&[f64]]) {
+        let p = self.sobol.dim();
+        let cells = self.sobol.cells();
+        assert_eq!(fields.len(), p + 2, "expected p + 2 result fields");
+        for f in fields {
+            assert_eq!(f.len(), cells, "field length mismatch");
+        }
+
+        // Bump all sample counts up front; tile tasks then only touch
+        // per-cell storage.  Sobol' sees one group; the auxiliary
+        // statistics see the two i.i.d. samples Y^A and Y^B.
+        let (n_group, stride, tile, sobol_state) = self.sobol.fused_parts_mut();
+        let (n0, m_mean, m_m2, m_m3, m_m4) = self.moments.fused_parts_mut(2);
+        let (mn, mx) = self.minmax.fused_parts_mut(2);
+        // Threshold list length is runtime-configured; two pointers per
+        // threshold is the only per-call heap use on the fused path.
+        let thr: Vec<(f64, DisjointSlices<'_, u64>)> = self
+            .thresholds
+            .iter_mut()
+            .map(|t| {
+                let (threshold, exceeded) = t.fused_parts_mut(2);
+                (threshold, DisjointSlices::new(exceeded))
+            })
+            .collect();
+
+        let sobol_state = DisjointSlices::new(sobol_state);
+        let m_mean = DisjointSlices::new(m_mean);
+        let m_m2 = DisjointSlices::new(m_m2);
+        let m_m3 = DisjointSlices::new(m_m3);
+        let m_m4 = DisjointSlices::new(m_m4);
+        let mn = DisjointSlices::new(mn);
+        let mx = DisjointSlices::new(mx);
+
+        // Welford/Pébay terms for the two auxiliary samples: the first
+        // sample lands at count n0 + 1, the second at n0 + 2 — exactly as
+        // two consecutive `FieldMoments::update` calls would.
+        let n1 = (n0 + 1) as f64;
+        let n2 = (n0 + 2) as f64;
+        let nn_term1 = n1 * n1 - 3.0 * n1 + 3.0;
+        let nn_term2 = n2 * n2 - 3.0 * n2 + 3.0;
+
+        let n_tiles = cells.div_ceil(tile);
+        let sobol_ref = &sobol_state;
+        let thr_ref = &thr;
+        let (m_mean, m_m2, m_m3, m_m4, mn, mx) = (&m_mean, &m_m2, &m_m3, &m_m4, &mn, &mx);
+        (0..n_tiles).into_par_iter().for_each(move |t| {
+            let c0 = t * tile;
+            let c1 = (c0 + tile).min(cells);
+            // SAFETY (all range_mut calls below): tile cell ranges are
+            // pairwise disjoint across tasks.
+            let recs = unsafe { sobol_ref.range_mut(c0 * stride..c1 * stride) };
+            update_tile_records(recs, fields, c0, p, stride, n_group);
+
+            let wa = &fields[0][c0..c1];
+            let wb = &fields[1][c0..c1];
+            let mean = unsafe { m_mean.range_mut(c0..c1) };
+            let m2 = unsafe { m_m2.range_mut(c0..c1) };
+            let m3 = unsafe { m_m3.range_mut(c0..c1) };
+            let m4 = unsafe { m_m4.range_mut(c0..c1) };
+            let mins = unsafe { mn.range_mut(c0..c1) };
+            let maxs = unsafe { mx.range_mut(c0..c1) };
+            for i in 0..wa.len() {
+                moment_step(
+                    &mut mean[i],
+                    &mut m2[i],
+                    &mut m3[i],
+                    &mut m4[i],
+                    wa[i],
+                    n1,
+                    nn_term1,
+                );
+                moment_step(
+                    &mut mean[i],
+                    &mut m2[i],
+                    &mut m3[i],
+                    &mut m4[i],
+                    wb[i],
+                    n2,
+                    nn_term2,
+                );
+                mins[i] = mins[i].min(wa[i]).min(wb[i]);
+                maxs[i] = maxs[i].max(wa[i]).max(wb[i]);
+            }
+            for (threshold, exceeded) in thr_ref {
+                let counts = unsafe { exceeded.range_mut(c0..c1) };
+                for i in 0..wa.len() {
+                    counts[i] += (wa[i] > *threshold) as u64 + (wb[i] > *threshold) as u64;
+                }
+            }
+        });
+    }
+}
+
+/// One scalar Pébay moment update at post-increment count `n` — the exact
+/// recurrence (and operation order) of `FieldMoments::update`.
+#[inline]
+fn moment_step(
+    mean: &mut f64,
+    m2: &mut f64,
+    m3: &mut f64,
+    m4: &mut f64,
+    x: f64,
+    n: f64,
+    nn_term: f64,
+) {
+    let delta = x - *mean;
+    let delta_n = delta / n;
+    let delta_n2 = delta_n * delta_n;
+    let term1 = delta * delta_n * (n - 1.0);
+    *mean += delta_n;
+    *m4 += term1 * delta_n2 * nn_term + 6.0 * delta_n2 * *m2 - 4.0 * delta_n * *m3;
+    *m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * *m2;
+    *m2 += term1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const P: usize = 3;
+
+    fn random_fields(cells: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..P + 2)
+            .map(|_| (0..cells).map(|_| rng.gen::<f64>() * 8.0 - 3.0).collect())
+            .collect()
+    }
+
+    /// The fused sweep must be bit-identical to the unfused reference
+    /// path: update_group + moments(A), moments(B) + minmax + thresholds.
+    #[test]
+    fn fused_is_bit_identical_to_reference_path() {
+        // 300 cells spans multiple tiles at p = 3 (stride 16 → 128/tile).
+        let cells = 300;
+        let groups: Vec<Vec<Vec<f64>>> = (0..7).map(|g| random_fields(cells, 100 + g)).collect();
+
+        let mut fused_sobol = UbiquitousSobol::new(P, cells);
+        let mut fused_moments = FieldMoments::new(cells);
+        let mut fused_minmax = FieldMinMax::new(cells);
+        let mut fused_thresholds = vec![
+            FieldThreshold::new(cells, 0.0),
+            FieldThreshold::new(cells, 2.5),
+        ];
+
+        let mut ref_sobol = UbiquitousSobol::new(P, cells);
+        let mut ref_moments = FieldMoments::new(cells);
+        let mut ref_minmax = FieldMinMax::new(cells);
+        let mut ref_thresholds = vec![
+            FieldThreshold::new(cells, 0.0),
+            FieldThreshold::new(cells, 2.5),
+        ];
+
+        for g in &groups {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            FusedSlabUpdate::new(
+                &mut fused_sobol,
+                &mut fused_moments,
+                &mut fused_minmax,
+                &mut fused_thresholds,
+            )
+            .apply(&refs);
+
+            ref_sobol.update_group(&refs);
+            for sample in refs.iter().take(2) {
+                ref_moments.update(sample);
+                ref_minmax.update(sample);
+                for t in ref_thresholds.iter_mut() {
+                    t.update(sample);
+                }
+            }
+        }
+
+        assert_eq!(fused_sobol, ref_sobol);
+        assert_eq!(fused_moments, ref_moments);
+        assert_eq!(fused_minmax, ref_minmax);
+        assert_eq!(fused_thresholds, ref_thresholds);
+    }
+
+    #[test]
+    fn fused_with_no_thresholds_is_fine() {
+        let cells = 40;
+        let fields = random_fields(cells, 7);
+        let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+        let mut sobol = UbiquitousSobol::new(P, cells);
+        let mut moments = FieldMoments::new(cells);
+        let mut minmax = FieldMinMax::new(cells);
+        FusedSlabUpdate::new(&mut sobol, &mut moments, &mut minmax, &mut []).apply(&refs);
+        assert_eq!(sobol.n_groups(), 1);
+        assert_eq!(moments.count(), 2);
+        assert_eq!(minmax.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell-count mismatch")]
+    fn mismatched_accumulators_panic() {
+        let mut sobol = UbiquitousSobol::new(P, 10);
+        let mut moments = FieldMoments::new(9);
+        let mut minmax = FieldMinMax::new(10);
+        let _ = FusedSlabUpdate::new(&mut sobol, &mut moments, &mut minmax, &mut []);
+    }
+}

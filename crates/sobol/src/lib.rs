@@ -58,6 +58,7 @@
 pub mod confidence;
 pub mod design;
 pub mod estimators;
+pub mod fused;
 pub mod martinez;
 pub mod param;
 pub mod testfn;
@@ -65,6 +66,7 @@ pub mod ubiquitous;
 
 pub use confidence::{first_order_interval, total_order_interval, ConfidenceInterval};
 pub use design::{GroupRows, PickFreeze, SimulationRole};
+pub use fused::FusedSlabUpdate;
 pub use martinez::IterativeSobol;
 pub use param::{Distribution, Parameter, ParameterSpace};
 pub use ubiquitous::UbiquitousSobol;

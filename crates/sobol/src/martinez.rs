@@ -140,8 +140,19 @@ impl IterativeSobol {
     /// (paper Sections 3.4 and 4.1.5).
     pub fn max_ci_width(&self) -> f64 {
         (0..self.p)
-            .flat_map(|k| [self.first_order_ci(k).width(), self.total_order_ci(k).width()])
-            .fold(f64::INFINITY, |acc, w| if acc.is_infinite() { w } else { acc.max(w) })
+            .flat_map(|k| {
+                [
+                    self.first_order_ci(k).width(),
+                    self.total_order_ci(k).width(),
+                ]
+            })
+            .fold(f64::INFINITY, |acc, w| {
+                if acc.is_infinite() {
+                    w
+                } else {
+                    acc.max(w)
+                }
+            })
     }
 
     /// Estimated output variance (from the pooled `Y^A` sample).
@@ -190,9 +201,9 @@ mod tests {
                 yc[k].push(ys[2 + k]);
             }
         }
-        for k in 0..3 {
-            let s_batch = estimators::martinez_first_order(&yb, &yc[k]);
-            let st_batch = estimators::martinez_total_order(&ya, &yc[k]);
+        for (k, yck) in yc.iter().enumerate() {
+            let s_batch = estimators::martinez_first_order(&yb, yck);
+            let st_batch = estimators::martinez_total_order(&ya, yck);
             assert!(
                 (it.first_order(k) - s_batch).abs() < 1e-12,
                 "S_{k}: iterative {} vs batch {s_batch}",
@@ -295,7 +306,11 @@ mod tests {
             let ys: Vec<f64> = g.rows().iter().map(|r| 2.0 * r[0] + r[1]).collect();
             sobol.update_group(&ys);
         }
-        assert!(sobol.interaction_share().abs() < 0.05, "{}", sobol.interaction_share());
+        assert!(
+            sobol.interaction_share().abs() < 0.05,
+            "{}",
+            sobol.interaction_share()
+        );
         // Analytic: S1 = 4/5, S2 = 1/5.
         assert!((sobol.first_order(0) - 0.8).abs() < 0.05);
         assert!((sobol.first_order(1) - 0.2).abs() < 0.05);

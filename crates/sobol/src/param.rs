@@ -69,7 +69,9 @@ impl Distribution {
             }
             Distribution::LogUniform { lo, hi } => {
                 if lo.is_nan() || hi.is_nan() || lo <= 0.0 || lo > hi {
-                    return Err(format!("log-uniform requires 0 < lo <= hi, got [{lo}, {hi}]"));
+                    return Err(format!(
+                        "log-uniform requires 0 < lo <= hi, got [{lo}, {hi}]"
+                    ));
                 }
             }
         }
@@ -89,12 +91,18 @@ pub struct Parameter {
 impl Parameter {
     /// Convenience constructor for a uniform parameter.
     pub fn uniform(name: impl Into<String>, lo: f64, hi: f64) -> Self {
-        Self { name: name.into(), distribution: Distribution::Uniform { lo, hi } }
+        Self {
+            name: name.into(),
+            distribution: Distribution::Uniform { lo, hi },
+        }
     }
 
     /// Convenience constructor for a normal parameter.
     pub fn normal(name: impl Into<String>, mean: f64, std_dev: f64) -> Self {
-        Self { name: name.into(), distribution: Distribution::Normal { mean, std_dev } }
+        Self {
+            name: name.into(),
+            distribution: Distribution::Normal { mean, std_dev },
+        }
     }
 }
 
@@ -135,7 +143,10 @@ impl ParameterSpace {
 
     /// Draws one complete parameter-set row (one value per parameter).
     pub fn sample_row<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
-        self.params.iter().map(|p| p.distribution.sample(rng)).collect()
+        self.params
+            .iter()
+            .map(|p| p.distribution.sample(rng))
+            .collect()
     }
 }
 
@@ -164,7 +175,10 @@ mod tests {
     #[test]
     fn normal_samples_have_right_moments() {
         let mut rng = StdRng::seed_from_u64(11);
-        let d = Distribution::Normal { mean: 5.0, std_dev: 2.0 };
+        let d = Distribution::Normal {
+            mean: 5.0,
+            std_dev: 2.0,
+        };
         let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;

@@ -98,11 +98,16 @@ pub struct GFunction {
 impl GFunction {
     /// The common benchmark configuration `a = [0, 1, 4.5, 9, 99, 99]`.
     pub fn standard6() -> Self {
-        Self { a: vec![0.0, 1.0, 4.5, 9.0, 99.0, 99.0] }
+        Self {
+            a: vec![0.0, 1.0, 4.5, 9.0, 99.0, 99.0],
+        }
     }
 
     fn partial_variances(&self) -> Vec<f64> {
-        self.a.iter().map(|&ak| 1.0 / (3.0 * (1.0 + ak).powi(2))).collect()
+        self.a
+            .iter()
+            .map(|&ak| 1.0 / (3.0 * (1.0 + ak).powi(2)))
+            .collect()
     }
 }
 
@@ -126,7 +131,11 @@ impl TestFunction for GFunction {
     }
 
     fn analytic_variance(&self) -> f64 {
-        self.partial_variances().iter().map(|v| 1.0 + v).product::<f64>() - 1.0
+        self.partial_variances()
+            .iter()
+            .map(|v| 1.0 + v)
+            .product::<f64>()
+            - 1.0
     }
 
     fn analytic_first_order(&self) -> Vec<f64> {
@@ -139,8 +148,12 @@ impl TestFunction for GFunction {
         let v = self.analytic_variance();
         (0..self.dim())
             .map(|k| {
-                let prod_others: f64 =
-                    vs.iter().enumerate().filter(|&(j, _)| j != k).map(|(_, vj)| 1.0 + vj).product();
+                let prod_others: f64 = vs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != k)
+                    .map(|(_, vj)| 1.0 + vj)
+                    .product();
                 vs[k] * prod_others / v
             })
             .collect()
@@ -173,7 +186,9 @@ mod tests {
         let f = Ishigami::default();
         let space = f.parameter_space();
         let mut rng = StdRng::seed_from_u64(3);
-        let ys: Vec<f64> = (0..60_000).map(|_| f.eval(&space.sample_row(&mut rng))).collect();
+        let ys: Vec<f64> = (0..60_000)
+            .map(|_| f.eval(&space.sample_row(&mut rng)))
+            .collect();
         let var = melissa_stats::batch::sample_variance(&ys);
         assert!(
             (var - f.analytic_variance()).abs() / f.analytic_variance() < 0.03,
@@ -203,7 +218,9 @@ mod tests {
         let f = GFunction::standard6();
         let space = f.parameter_space();
         let mut rng = StdRng::seed_from_u64(9);
-        let ys: Vec<f64> = (0..80_000).map(|_| f.eval(&space.sample_row(&mut rng))).collect();
+        let ys: Vec<f64> = (0..80_000)
+            .map(|_| f.eval(&space.sample_row(&mut rng)))
+            .collect();
         let var = melissa_stats::batch::sample_variance(&ys);
         assert!(
             (var - f.analytic_variance()).abs() / f.analytic_variance() < 0.05,
@@ -219,8 +236,10 @@ mod tests {
         let f = GFunction::standard6();
         let space = f.parameter_space();
         let mut rng = StdRng::seed_from_u64(10);
-        let mean: f64 =
-            (0..50_000).map(|_| f.eval(&space.sample_row(&mut rng))).sum::<f64>() / 50_000.0;
+        let mean: f64 = (0..50_000)
+            .map(|_| f.eval(&space.sample_row(&mut rng)))
+            .sum::<f64>()
+            / 50_000.0;
         assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
     }
 }

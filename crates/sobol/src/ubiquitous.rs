@@ -9,20 +9,52 @@
 //!
 //! ## Memory layout
 //!
-//! A structure-of-arrays layout with **fused updates**: one Rayon-parallel
-//! sweep per group folds the `p + 2` incoming fields into all accumulators.
-//! Because the marginal mean of `Y^B` inside `Cov(Y^B, Y^{C^k})` is the same
-//! stream as the marginal moments of `Y^B`, means are shared across the
-//! covariance and variance accumulators, bringing the state down to
-//! `4 + 4p` doubles per cell (for the paper's `p = 6` use case: 28 doubles
-//! = 224 bytes per cell per timestep).
+//! The state is **cell-contiguous and cache-blocked**: each cell owns one
+//! packed record of `4 + 4p` doubles (for the paper's `p = 6` use case:
+//! 28 doubles = 224 bytes per cell per timestep), records are stored
+//! consecutively in 64-byte-aligned storage, and every sweep walks the
+//! state in L1-sized tiles of [`melissa_stats::tile_cells`] records.
+//!
+//! A cell's record packs, in order:
+//!
+//! ```text
+//! [ mean_A, mean_B, m2_A, m2_B,
+//!   mean_C0, m2_C0, cBC_0, cAC_0,
+//!   …,
+//!   mean_C{p−1}, m2_C{p−1}, cBC_{p−1}, cAC_{p−1} ]
+//! ```
+//!
+//! so one group update touches `4 + 4p` *consecutive* doubles (3.5 cache
+//! lines at `p = 6`) plus the `p + 2` incoming field values — instead of
+//! `4 + 4p` distinct megabyte-scale arrays as in a role-major
+//! structure-of-arrays.  Because the marginal mean of `Y^B` inside
+//! `Cov(Y^B, Y^{C^k})` is the same stream as the marginal moments of
+//! `Y^B`, means are shared across the covariance and variance
+//! accumulators, which is what brings the record down to `4 + 4p` doubles
+//! per cell in the first place.
+//!
+//! [`update_group`](UbiquitousSobol::update_group) and
+//! [`merge`](UbiquitousSobol::merge) are tile-parallel and allocation-free
+//! in steady state: the sweep hands disjoint tile ranges to Rayon workers
+//! through [`melissa_stats::DisjointSlices`], with no per-call task-list
+//! scaffolding.
 
 use rayon::prelude::*;
 
+use melissa_stats::{tile_cells, AlignedVec, DisjointSlices};
+
 use crate::confidence::{first_order_interval, total_order_interval, ConfidenceInterval};
 
-/// Minimum cells per Rayon task in the update sweep.
-const PAR_CHUNK: usize = 2048;
+/// Record offset of `mean_A`.
+const MEAN_A: usize = 0;
+/// Record offset of `mean_B`.
+const MEAN_B: usize = 1;
+/// Record offset of `m2_A`.
+const M2_A: usize = 2;
+/// Record offset of `m2_B`.
+const M2_B: usize = 3;
+/// Record offset of parameter block `k` (`[mean_Ck, m2_Ck, cBC_k, cAC_k]`).
+const PARAM_BLOCK: usize = 4;
 
 /// Per-cell one-pass Sobol' accumulator over a field of `cells` outputs.
 ///
@@ -33,14 +65,12 @@ pub struct UbiquitousSobol {
     p: usize,
     cells: usize,
     n: u64,
-    /// Means: `[A, B, C^0 … C^{p−1}]`, each `cells` long.
-    mean: Vec<Vec<f64>>,
-    /// Second central moment sums, same layout as `mean`.
-    m2: Vec<Vec<f64>>,
-    /// Co-moment sums of `(Y^B, Y^{C^k})` per parameter.
-    c_bc: Vec<Vec<f64>>,
-    /// Co-moment sums of `(Y^A, Y^{C^k})` per parameter.
-    c_ac: Vec<Vec<f64>>,
+    /// Doubles per record: `4 + 4p`.
+    stride: usize,
+    /// Cells per cache tile (power of two, from [`tile_cells`]).
+    tile: usize,
+    /// Cell-contiguous packed records, `cells × stride` doubles.
+    state: AlignedVec,
 }
 
 impl UbiquitousSobol {
@@ -51,14 +81,14 @@ impl UbiquitousSobol {
     pub fn new(p: usize, cells: usize) -> Self {
         assert!(p > 0, "need at least one parameter");
         assert!(cells > 0, "need at least one cell");
+        let stride = Self::doubles_per_cell(p);
         Self {
             p,
             cells,
             n: 0,
-            mean: vec![vec![0.0; cells]; p + 2],
-            m2: vec![vec![0.0; cells]; p + 2],
-            c_bc: vec![vec![0.0; cells]; p],
-            c_ac: vec![vec![0.0; cells]; p],
+            stride,
+            tile: tile_cells(stride),
+            state: AlignedVec::zeroed(cells * stride),
         }
     }
 
@@ -78,11 +108,20 @@ impl UbiquitousSobol {
     }
 
     /// State size in doubles per cell (`4 + 4p`), for memory accounting.
+    /// This is exactly the packed-record stride: the tiled layout stores
+    /// nothing per cell beyond these `4 + 4p` doubles.
     pub fn doubles_per_cell(p: usize) -> usize {
         4 + 4 * p
     }
 
+    /// Cells per cache tile used by the parallel sweeps.
+    pub fn cells_per_tile(&self) -> usize {
+        self.tile
+    }
+
     /// Folds in the `p + 2` result fields of one completed group.
+    ///
+    /// One tile-parallel sweep, allocation-free in steady state.
     ///
     /// # Panics
     /// Panics if the number of fields is not `p + 2` or any field length
@@ -94,63 +133,22 @@ impl UbiquitousSobol {
         }
         self.n += 1;
         let n = self.n as f64;
-        let p = self.p;
-
-        // Split every state array into parallel chunks, then walk cells.
-        let chunks = self.cells.div_ceil(PAR_CHUNK);
-        let mut mean_parts: Vec<Vec<&mut [f64]>> =
-            self.mean.iter_mut().map(|v| v.chunks_mut(PAR_CHUNK).collect()).collect();
-        let mut m2_parts: Vec<Vec<&mut [f64]>> =
-            self.m2.iter_mut().map(|v| v.chunks_mut(PAR_CHUNK).collect()).collect();
-        let mut cbc_parts: Vec<Vec<&mut [f64]>> =
-            self.c_bc.iter_mut().map(|v| v.chunks_mut(PAR_CHUNK).collect()).collect();
-        let mut cac_parts: Vec<Vec<&mut [f64]>> =
-            self.c_ac.iter_mut().map(|v| v.chunks_mut(PAR_CHUNK).collect()).collect();
-
-        // Transpose to per-chunk bundles so each Rayon task owns disjoint
-        // slices of every array.
-        let mut tasks: Vec<ChunkTask<'_>> = Vec::with_capacity(chunks);
-        for c in (0..chunks).rev() {
-            tasks.push(ChunkTask {
-                start: c * PAR_CHUNK,
-                mean: mean_parts.iter_mut().map(|v| v.remove(c)).collect(),
-                m2: m2_parts.iter_mut().map(|v| v.remove(c)).collect(),
-                c_bc: cbc_parts.iter_mut().map(|v| v.remove(c)).collect(),
-                c_ac: cac_parts.iter_mut().map(|v| v.remove(c)).collect(),
-            });
-        }
-
-        tasks.par_iter_mut().for_each(|task| {
-            let len = task.mean[0].len();
-            let base = task.start;
-            for i in 0..len {
-                let g = base + i;
-                let ya = fields[0][g];
-                let yb = fields[1][g];
-                // Marginal updates for A and B (Welford).
-                let da = ya - task.mean[0][i];
-                task.mean[0][i] += da / n;
-                task.m2[0][i] += da * (ya - task.mean[0][i]);
-                let db = yb - task.mean[1][i];
-                task.mean[1][i] += db / n;
-                task.m2[1][i] += db * (yb - task.mean[1][i]);
-                for k in 0..p {
-                    let yc = fields[2 + k][g];
-                    let dc = yc - task.mean[2 + k][i];
-                    task.mean[2 + k][i] += dc / n;
-                    let resid = yc - task.mean[2 + k][i];
-                    task.m2[2 + k][i] += dc * resid;
-                    // Co-moments use the pre-update x-delta and the
-                    // post-update y-mean — identical to `OnlineCovariance`.
-                    task.c_bc[k][i] += db * resid;
-                    task.c_ac[k][i] += da * resid;
-                }
-            }
+        let (p, stride, tile, cells) = (self.p, self.stride, self.tile, self.cells);
+        let n_tiles = cells.div_ceil(tile);
+        let state = DisjointSlices::new(&mut self.state);
+        let state = &state;
+        (0..n_tiles).into_par_iter().for_each(move |t| {
+            let c0 = t * tile;
+            let c1 = (c0 + tile).min(cells);
+            // SAFETY: tile cell ranges are pairwise disjoint.
+            let recs = unsafe { state.range_mut(c0 * stride..c1 * stride) };
+            update_tile_records(recs, fields, c0, p, stride, n);
         });
     }
 
     /// Merges another accumulator covering the *same cells* (pairwise
-    /// Chan/Pébay formulas).  Used by reduction trees and restart tests.
+    /// Chan/Pébay formulas), tile-parallel.  Used by reduction trees and
+    /// restart tests.
     ///
     /// # Panics
     /// Panics if shapes differ.
@@ -168,55 +166,72 @@ impl UbiquitousSobol {
         let nb = other.n as f64;
         let n = na + nb;
         let ratio = na * nb / n;
-        for role in 0..self.p + 2 {
-            for i in 0..self.cells {
-                let d = other.mean[role][i] - self.mean[role][i];
-                self.m2[role][i] += other.m2[role][i] + d * d * ratio;
+        let scale_b = nb / n;
+        let (p, stride, tile, cells) = (self.p, self.stride, self.tile, self.cells);
+        let n_tiles = cells.div_ceil(tile);
+        let state = DisjointSlices::new(&mut self.state);
+        let state = &state;
+        let other_state: &[f64] = &other.state;
+        (0..n_tiles).into_par_iter().for_each(move |t| {
+            let c0 = t * tile;
+            let c1 = (c0 + tile).min(cells);
+            // SAFETY: tile cell ranges are pairwise disjoint.
+            let recs = unsafe { state.range_mut(c0 * stride..c1 * stride) };
+            let others = &other_state[c0 * stride..c1 * stride];
+            for (ra, rb) in recs
+                .chunks_exact_mut(stride)
+                .zip(others.chunks_exact(stride))
+            {
+                let da = rb[MEAN_A] - ra[MEAN_A];
+                let db = rb[MEAN_B] - ra[MEAN_B];
+                ra[M2_A] += rb[M2_A] + da * da * ratio;
+                ra[M2_B] += rb[M2_B] + db * db * ratio;
+                for k in 0..p {
+                    let q = PARAM_BLOCK + 4 * k;
+                    let dc = rb[q] - ra[q];
+                    ra[q + 1] += rb[q + 1] + dc * dc * ratio;
+                    ra[q + 2] += rb[q + 2] + db * dc * ratio;
+                    ra[q + 3] += rb[q + 3] + da * dc * ratio;
+                    ra[q] += dc * scale_b;
+                }
+                ra[MEAN_A] += da * scale_b;
+                ra[MEAN_B] += db * scale_b;
             }
-        }
-        for k in 0..self.p {
-            for i in 0..self.cells {
-                let db = other.mean[1][i] - self.mean[1][i];
-                let da = other.mean[0][i] - self.mean[0][i];
-                let dc = other.mean[2 + k][i] - self.mean[2 + k][i];
-                self.c_bc[k][i] += other.c_bc[k][i] + db * dc * ratio;
-                self.c_ac[k][i] += other.c_ac[k][i] + da * dc * ratio;
-            }
-        }
-        for role in 0..self.p + 2 {
-            for i in 0..self.cells {
-                let d = other.mean[role][i] - self.mean[role][i];
-                self.mean[role][i] += d * nb / n;
-            }
-        }
+        });
         self.n += other.n;
+    }
+
+    /// Record of one cell.
+    #[inline]
+    fn rec(&self, cell: usize) -> &[f64] {
+        &self.state[cell * self.stride..(cell + 1) * self.stride]
     }
 
     /// First-order Sobol' index field `S_k(x)` (Martinez, Eq. 5).
     /// Cells with degenerate variance yield `0.0`.
     pub fn first_order_field(&self, k: usize) -> Vec<f64> {
         assert!(k < self.p, "parameter index out of range");
-        (0..self.cells)
-            .map(|i| ratio_correlation(self.c_bc[k][i], self.m2[1][i], self.m2[2 + k][i]))
-            .collect()
+        (0..self.cells).map(|i| self.first_order_at(i, k)).collect()
     }
 
     /// Total-order Sobol' index field `ST_k(x)` (Martinez, Eq. 6).
     pub fn total_order_field(&self, k: usize) -> Vec<f64> {
         assert!(k < self.p, "parameter index out of range");
-        (0..self.cells)
-            .map(|i| 1.0 - ratio_correlation(self.c_ac[k][i], self.m2[0][i], self.m2[2 + k][i]))
-            .collect()
+        (0..self.cells).map(|i| self.total_order_at(i, k)).collect()
     }
 
     /// First-order index of one cell.
     pub fn first_order_at(&self, cell: usize, k: usize) -> f64 {
-        ratio_correlation(self.c_bc[k][cell], self.m2[1][cell], self.m2[2 + k][cell])
+        let r = self.rec(cell);
+        let q = PARAM_BLOCK + 4 * k;
+        ratio_correlation(r[q + 2], r[M2_B], r[q + 1])
     }
 
     /// Total-order index of one cell.
     pub fn total_order_at(&self, cell: usize, k: usize) -> f64 {
-        1.0 - ratio_correlation(self.c_ac[k][cell], self.m2[0][cell], self.m2[2 + k][cell])
+        let r = self.rec(cell);
+        let q = PARAM_BLOCK + 4 * k;
+        1.0 - ratio_correlation(r[q + 3], r[M2_A], r[q + 1])
     }
 
     /// Output variance field (unbiased, from the `Y^A` sample) — the
@@ -226,12 +241,12 @@ impl UbiquitousSobol {
             return vec![0.0; self.cells];
         }
         let denom = self.n as f64 - 1.0;
-        self.m2[0].iter().map(|m2| m2 / denom).collect()
+        (0..self.cells).map(|i| self.rec(i)[M2_A] / denom).collect()
     }
 
     /// Output mean field (from the `Y^A` sample).
     pub fn mean_field(&self) -> Vec<f64> {
-        self.mean[0].clone()
+        (0..self.cells).map(|i| self.rec(i)[MEAN_A]).collect()
     }
 
     /// Interaction-share field `1 − Σ_k S_k(x)` (paper Section 5.5 item 4).
@@ -274,14 +289,40 @@ impl UbiquitousSobol {
         w
     }
 
-    /// Flattens the full state to `(n, flat)` for checkpointing.  Array
-    /// order: means (p+2), m2 (p+2), c_bc (p), c_ac (p).
+    /// Flattens the full state to `(n, flat)` for checkpointing.  The flat
+    /// array order is the *legacy role-major* layout — means (p+2),
+    /// m2 (p+2), c_bc (p), c_ac (p) — so checkpoints stay byte-compatible
+    /// across the tiled-layout refactor.
     pub fn pack(&self) -> (u64, Vec<f64>) {
-        let mut flat = Vec::with_capacity((4 + 4 * self.p) * self.cells);
-        for arr in self.mean.iter().chain(&self.m2).chain(&self.c_bc).chain(&self.c_ac) {
-            flat.extend_from_slice(arr);
-        }
+        let mut flat = Vec::new();
+        self.pack_into(&mut flat);
         (self.n, flat)
+    }
+
+    /// [`pack`](Self::pack) into a caller-owned buffer (cleared first),
+    /// letting checkpoint writers reuse one allocation across timesteps.
+    pub fn pack_into(&self, flat: &mut Vec<f64>) {
+        flat.clear();
+        flat.reserve(self.stride * self.cells);
+        let gather = |flat: &mut Vec<f64>, off: usize| {
+            flat.extend((0..self.cells).map(|c| self.state[c * self.stride + off]));
+        };
+        gather(flat, MEAN_A);
+        gather(flat, MEAN_B);
+        for k in 0..self.p {
+            gather(flat, PARAM_BLOCK + 4 * k);
+        }
+        gather(flat, M2_A);
+        gather(flat, M2_B);
+        for k in 0..self.p {
+            gather(flat, PARAM_BLOCK + 4 * k + 1);
+        }
+        for k in 0..self.p {
+            gather(flat, PARAM_BLOCK + 4 * k + 2);
+        }
+        for k in 0..self.p {
+            gather(flat, PARAM_BLOCK + 4 * k + 3);
+        }
     }
 
     /// Rebuilds from [`pack`](Self::pack) output.
@@ -289,24 +330,125 @@ impl UbiquitousSobol {
     /// # Panics
     /// Panics if `flat` has the wrong length.
     pub fn unpack(p: usize, cells: usize, n: u64, flat: &[f64]) -> Self {
-        let arrays = 2 * (p + 2) + 2 * p;
-        assert_eq!(flat.len(), arrays * cells, "bad checkpoint payload length");
-        let mut it = flat.chunks_exact(cells).map(|c| c.to_vec());
-        let mean: Vec<Vec<f64>> = (0..p + 2).map(|_| it.next().unwrap()).collect();
-        let m2: Vec<Vec<f64>> = (0..p + 2).map(|_| it.next().unwrap()).collect();
-        let c_bc: Vec<Vec<f64>> = (0..p).map(|_| it.next().unwrap()).collect();
-        let c_ac: Vec<Vec<f64>> = (0..p).map(|_| it.next().unwrap()).collect();
-        Self { p, cells, n, mean, m2, c_bc, c_ac }
+        let mut acc = Self::new(p, cells);
+        let stride = acc.stride;
+        assert_eq!(flat.len(), stride * cells, "bad checkpoint payload length");
+        acc.n = n;
+        let mut arrays = flat.chunks_exact(cells);
+        let scatter = |arr: &[f64], off: usize, state: &mut AlignedVec| {
+            for (c, &v) in arr.iter().enumerate() {
+                state[c * stride + off] = v;
+            }
+        };
+        let mut offsets = Vec::with_capacity(2 * (p + 2) + 2 * p);
+        offsets.push(MEAN_A);
+        offsets.push(MEAN_B);
+        offsets.extend((0..p).map(|k| PARAM_BLOCK + 4 * k));
+        offsets.push(M2_A);
+        offsets.push(M2_B);
+        offsets.extend((0..p).map(|k| PARAM_BLOCK + 4 * k + 1));
+        offsets.extend((0..p).map(|k| PARAM_BLOCK + 4 * k + 2));
+        offsets.extend((0..p).map(|k| PARAM_BLOCK + 4 * k + 3));
+        for off in offsets {
+            scatter(
+                arrays.next().expect("length checked above"),
+                off,
+                &mut acc.state,
+            );
+        }
+        acc
+    }
+
+    /// Kernel-internal accessors for the fused server sweep
+    /// (`crate::fused`): pre-incremented group count and the raw state.
+    pub(crate) fn fused_parts_mut(&mut self) -> (f64, usize, usize, &mut AlignedVec) {
+        self.n += 1;
+        (self.n as f64, self.stride, self.tile, &mut self.state)
     }
 }
 
-/// Disjoint mutable chunk bundle processed by one Rayon task.
-struct ChunkTask<'a> {
-    start: usize,
-    mean: Vec<&'a mut [f64]>,
-    m2: Vec<&'a mut [f64]>,
-    c_bc: Vec<&'a mut [f64]>,
-    c_ac: Vec<&'a mut [f64]>,
+/// Updates the packed records of one tile with one group's field values.
+///
+/// `recs` holds the records of cells `[c0, c0 + recs.len()/stride)`;
+/// `fields` are the full-slab role fields, each covering at least
+/// `c0 + recs.len()/stride` cells (asserted by every caller); `n` is the
+/// post-increment group count.  Shared by
+/// [`UbiquitousSobol::update_group`] and the fused server ingest so both
+/// paths are bit-identical.
+#[inline]
+pub(crate) fn update_tile_records(
+    recs: &mut [f64],
+    fields: &[&[f64]],
+    c0: usize,
+    p: usize,
+    stride: usize,
+    n: f64,
+) {
+    // Monomorphise the hot small-p cases: with `p` a compile-time constant
+    // the k-loop unrolls and the record stride becomes a literal, which is
+    // worth real throughput on the paper's p = 6 workload.
+    match p {
+        2 => update_tile_records_p::<2>(recs, fields, c0, n),
+        3 => update_tile_records_p::<3>(recs, fields, c0, n),
+        4 => update_tile_records_p::<4>(recs, fields, c0, n),
+        6 => update_tile_records_p::<6>(recs, fields, c0, n),
+        _ => update_tile_records_generic(recs, fields, c0, p, stride, n),
+    }
+}
+
+/// Compile-time-`P` specialisation of [`update_tile_records_generic`]
+/// (identical arithmetic, identical operation order).
+#[inline]
+fn update_tile_records_p<const P: usize>(recs: &mut [f64], fields: &[&[f64]], c0: usize, n: f64) {
+    update_tile_records_generic(recs, fields, c0, P, 4 + 4 * P, n);
+}
+
+/// Updates one tile's records; see [`update_tile_records`].
+#[inline(always)]
+fn update_tile_records_generic(
+    recs: &mut [f64],
+    fields: &[&[f64]],
+    c0: usize,
+    p: usize,
+    stride: usize,
+    n: f64,
+) {
+    // One reciprocal for the whole sweep instead of `3 + p` divisions per
+    // cell; the ≤ 1-ulp difference vs. dividing is far inside the 1e-12
+    // agreement the estimator tests assert.
+    let inv_n = 1.0 / n;
+    let tile_len = recs.len() / stride;
+    let ya_field = &fields[0][c0..c0 + tile_len];
+    let yb_field = &fields[1][c0..c0 + tile_len];
+    for (i, r) in recs.chunks_exact_mut(stride).enumerate() {
+        let ya = ya_field[i];
+        let yb = yb_field[i];
+        // Marginal updates for A and B (Welford).
+        let da = ya - r[MEAN_A];
+        r[MEAN_A] += da * inv_n;
+        r[M2_A] += da * (ya - r[MEAN_A]);
+        let db = yb - r[MEAN_B];
+        r[MEAN_B] += db * inv_n;
+        r[M2_B] += db * (yb - r[MEAN_B]);
+        // Zip the per-parameter record blocks with the C^k fields: no
+        // index arithmetic on `fields` in the inner loop.
+        for (q, cf) in r[PARAM_BLOCK..PARAM_BLOCK + 4 * p]
+            .chunks_exact_mut(4)
+            .zip(&fields[2..])
+        {
+            // SAFETY: callers assert every field covers the slab, and
+            // `c0 + i < c0 + tile_len ≤ cells` by tile construction.
+            let yc = unsafe { *cf.get_unchecked(c0 + i) };
+            let dc = yc - q[0];
+            q[0] += dc * inv_n;
+            let resid = yc - q[0];
+            q[1] += dc * resid;
+            // Co-moments use the pre-update x-delta and the post-update
+            // y-mean — identical to `OnlineCovariance`.
+            q[2] += db * resid;
+            q[3] += da * resid;
+        }
+    }
 }
 
 /// `c2 / sqrt(m2x · m2y)` with degenerate-variance guard; the `(n−1)`
@@ -413,6 +555,40 @@ mod tests {
     }
 
     #[test]
+    fn merge_spanning_many_tiles_matches_sequential() {
+        // > one tile at p = 2 (stride 12 → 128-cell tiles): 1000 cells.
+        let cells = 1000;
+        let p = 2;
+        let mut rng = StdRng::seed_from_u64(9);
+        let groups: Vec<Vec<Vec<f64>>> = (0..12)
+            .map(|_| {
+                (0..p + 2)
+                    .map(|_| (0..cells).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect())
+                    .collect()
+            })
+            .collect();
+        let mut whole = UbiquitousSobol::new(p, cells);
+        let mut left = UbiquitousSobol::new(p, cells);
+        let mut right = UbiquitousSobol::new(p, cells);
+        for (i, g) in groups.iter().enumerate() {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            whole.update_group(&refs);
+            if i < 5 {
+                left.update_group(&refs);
+            } else {
+                right.update_group(&refs);
+            }
+        }
+        left.merge(&right);
+        for k in 0..p {
+            let (a, b) = (left.first_order_field(k), whole.first_order_field(k));
+            for i in 0..cells {
+                assert!((a[i] - b[i]).abs() < 1e-9, "cell {i} param {k}");
+            }
+        }
+    }
+
+    #[test]
     fn pack_unpack_roundtrip() {
         let groups = random_groups(12, 4);
         let mut acc = UbiquitousSobol::new(P, CELLS);
@@ -420,6 +596,27 @@ mod tests {
         let (n, flat) = acc.pack();
         let back = UbiquitousSobol::unpack(P, CELLS, n, &flat);
         assert_eq!(acc, back);
+    }
+
+    #[test]
+    fn pack_layout_is_legacy_role_major() {
+        // One group, tiny field: the flat layout must list means (A, B,
+        // C^k…), then m2 in the same role order, then c_bc, then c_ac —
+        // the byte layout checkpoints have always used.
+        let mut acc = UbiquitousSobol::new(1, 2);
+        let fields: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+        acc.update_group(&refs);
+        let (n, flat) = acc.pack();
+        assert_eq!(n, 1);
+        // After one group, means equal the inputs and all moments are 0.
+        assert_eq!(&flat[0..2], &[1.0, 2.0], "mean_A");
+        assert_eq!(&flat[2..4], &[3.0, 4.0], "mean_B");
+        assert_eq!(&flat[4..6], &[5.0, 6.0], "mean_C0");
+        assert!(
+            flat[6..].iter().all(|&v| v == 0.0),
+            "moments all zero after n = 1"
+        );
     }
 
     #[test]
@@ -457,6 +654,41 @@ mod tests {
         let acc = UbiquitousSobol::new(6, 10);
         let (_, flat) = acc.pack();
         assert_eq!(flat.len(), 28 * 10);
+        // The tiled storage itself carries exactly 4 + 4p doubles per cell.
+        assert_eq!(acc.state.len(), 28 * 10);
+    }
+
+    #[test]
+    fn update_spanning_many_tiles_matches_single_tile_math() {
+        // 5000 cells at p = 4 spans many tiles; every cell must agree with
+        // the scalar estimator regardless of which tile it landed in.
+        let cells = 5000;
+        let mut rng = StdRng::seed_from_u64(11);
+        let groups: Vec<Vec<Vec<f64>>> = (0..20)
+            .map(|_| {
+                (0..P + 2)
+                    .map(|_| (0..cells).map(|_| rng.gen::<f64>() * 3.0 - 1.0).collect())
+                    .collect()
+            })
+            .collect();
+        let mut field = UbiquitousSobol::new(P, cells);
+        for g in &groups {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            field.update_group(&refs);
+        }
+        for cell in [0usize, 63, 64, 65, cells - 1] {
+            let mut scalar = IterativeSobol::new(P);
+            for g in &groups {
+                let outputs: Vec<f64> = g.iter().map(|f| f[cell]).collect();
+                scalar.update_group(&outputs);
+            }
+            for k in 0..P {
+                assert!(
+                    (field.first_order_at(cell, k) - scalar.first_order(k)).abs() < 1e-12,
+                    "cell {cell} S_{k}"
+                );
+            }
+        }
     }
 
     #[test]

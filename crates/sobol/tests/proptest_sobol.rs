@@ -15,10 +15,7 @@ const P: usize = 3;
 
 /// A study outcome: n groups × (p+2) outputs.
 fn study_outputs(max_groups: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-1e3f64..1e3, P + 2),
-        4..max_groups,
-    )
+    prop::collection::vec(prop::collection::vec(-1e3f64..1e3, P + 2), 4..max_groups)
 }
 
 fn feed(groups: &[Vec<f64>]) -> IterativeSobol {
@@ -130,6 +127,34 @@ proptest! {
                 prop_assert!((field.total_order_at(cell, k) - scalar.total_order(k)).abs() < 1e-9);
             }
         }
+    }
+
+    /// Pack → unpack is the identity on the tiled state: the role-major
+    /// checkpoint layout and the cell-contiguous tile layout are exact
+    /// transposes of one another, for any cell count (including partial
+    /// trailing tiles) and any accumulated state.
+    #[test]
+    fn tiled_pack_unpack_is_identity(
+        groups in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 97), P + 2),
+            1..12,
+        ),
+    ) {
+        // 97 cells is deliberately not a multiple of any tile size.
+        let cells = 97;
+        let mut acc = UbiquitousSobol::new(P, cells);
+        for g in &groups {
+            let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            acc.update_group(&refs);
+        }
+        let (n, flat) = acc.pack();
+        prop_assert_eq!(flat.len(), UbiquitousSobol::doubles_per_cell(P) * cells);
+        let back = UbiquitousSobol::unpack(P, cells, n, &flat);
+        prop_assert_eq!(&back, &acc);
+        // And the flat layout itself round-trips bit-for-bit.
+        let (n2, flat2) = back.pack();
+        prop_assert_eq!(n2, n);
+        prop_assert_eq!(flat2, flat);
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl TubeBundle {
             if cx < self.x_first - 1e-12 || cx > self.x_last + 1e-12 {
                 continue;
             }
-            let offset = if c.rem_euclid(2) == 1 { 0.5 * self.pitch_y } else { 0.0 };
+            let offset = if c.rem_euclid(2) == 1 {
+                0.5 * self.pitch_y
+            } else {
+                0.0
+            };
             // Nearest tube centre in this column.
             let rel = (y - offset) / self.pitch_y;
             for r in [rel.floor(), rel.ceil()] {

@@ -60,7 +60,10 @@ impl DecomposedSimulation {
     ) -> Self {
         let mesh = config.mesh();
         let (_, ny, _) = mesh.dims();
-        assert!(n_ranks > 0 && n_ranks <= ny, "need 1..=ny ranks (ny = {ny})");
+        assert!(
+            n_ranks > 0 && n_ranks <= ny,
+            "need 1..=ny ranks (ny = {ny})"
+        );
         let stable = flow.stable_dt(&mesh, config.diffusivity);
         let interval = config.output_interval();
         let substeps = (interval / stable).ceil().max(1.0) as usize;
@@ -74,11 +77,21 @@ impl DecomposedSimulation {
         let mut j = 0;
         for r in 0..n_ranks {
             let rows = base + usize::from(r < extra);
-            let own = RowWindow { j0: j, j1: j + rows };
-            let window =
-                RowWindow { j0: own.j0.saturating_sub(1), j1: (own.j1 + 1).min(ny) };
+            let own = RowWindow {
+                j0: j,
+                j1: j + rows,
+            };
+            let window = RowWindow {
+                j0: own.j0.saturating_sub(1),
+                j1: (own.j1 + 1).min(ny),
+            };
             let len = window.buffer_len(&mesh);
-            ranks.push(RankState { own, window, c: vec![0.0; len], scratch: vec![0.0; len] });
+            ranks.push(RankState {
+                own,
+                window,
+                c: vec![0.0; len],
+                scratch: vec![0.0; len],
+            });
             j += rows;
         }
 

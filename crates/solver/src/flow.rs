@@ -175,14 +175,26 @@ impl FrozenFlow {
                     let f = flow.fx(i, j, k);
                     flow.flux_x[f] = if i == 0 {
                         let c = mesh.cell_id(0, j, k);
-                        if flow.solid[c] { 0.0 } else { ax * (phi_in - phi[c]) }
+                        if flow.solid[c] {
+                            0.0
+                        } else {
+                            ax * (phi_in - phi[c])
+                        }
                     } else if i == nx {
                         let c = mesh.cell_id(nx - 1, j, k);
-                        if flow.solid[c] { 0.0 } else { ax * (phi[c] - phi_out) }
+                        if flow.solid[c] {
+                            0.0
+                        } else {
+                            ax * (phi[c] - phi_out)
+                        }
                     } else {
                         let l = mesh.cell_id(i - 1, j, k);
                         let r = mesh.cell_id(i, j, k);
-                        if flow.solid[l] || flow.solid[r] { 0.0 } else { ax * (phi[l] - phi[r]) }
+                        if flow.solid[l] || flow.solid[r] {
+                            0.0
+                        } else {
+                            ax * (phi[l] - phi[r])
+                        }
                     };
                 }
             }
@@ -196,7 +208,11 @@ impl FrozenFlow {
                     } else {
                         let l = mesh.cell_id(i, j - 1, k);
                         let r = mesh.cell_id(i, j, k);
-                        if flow.solid[l] || flow.solid[r] { 0.0 } else { ay * (phi[l] - phi[r]) }
+                        if flow.solid[l] || flow.solid[r] {
+                            0.0
+                        } else {
+                            ay * (phi[l] - phi[r])
+                        }
                     };
                 }
             }
@@ -210,7 +226,11 @@ impl FrozenFlow {
                     } else {
                         let l = mesh.cell_id(i, j, k - 1);
                         let r = mesh.cell_id(i, j, k);
-                        if flow.solid[l] || flow.solid[r] { 0.0 } else { az * (phi[l] - phi[r]) }
+                        if flow.solid[l] || flow.solid[r] {
+                            0.0
+                        } else {
+                            az * (phi[l] - phi[r])
+                        }
                     };
                 }
             }
@@ -323,7 +343,10 @@ mod tests {
             .flat_map(|k| (0..ny).map(move |j| (j, k)))
             .map(|(j, k)| flow.flux_x[flow.fx(nx, j, k)])
             .sum();
-        assert!((inlet - outlet).abs() < 1e-6 * inlet, "inlet {inlet} outlet {outlet}");
+        assert!(
+            (inlet - outlet).abs() < 1e-6 * inlet,
+            "inlet {inlet} outlet {outlet}"
+        );
     }
 
     #[test]
@@ -373,7 +396,10 @@ mod tests {
             .flat_map(|k| (0..ny).map(move |j| (j, k)))
             .map(|(j, k)| flow.flux_x[flow.fx(mid_i, j, k)])
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(peak_mid > 1.2 * mean_inlet, "peak {peak_mid} vs mean inlet {mean_inlet}");
+        assert!(
+            peak_mid > 1.2 * mean_inlet,
+            "peak {peak_mid} vs mean inlet {mean_inlet}"
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl InletProfile {
     /// horizon of `total_time`.
     pub fn new(params: InjectionParams, ly: f64, total_time: f64) -> Self {
         assert!(ly > 0.0 && total_time > 0.0);
-        Self { params, ly, total_time }
+        Self {
+            params,
+            ly,
+            total_time,
+        }
     }
 
     /// Inlet dye concentration at height `y` and time `t`.

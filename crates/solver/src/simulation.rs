@@ -213,11 +213,15 @@ mod tests {
     fn classical_mode_writes_one_file_per_timestep() {
         let cfg = config();
         let flow = Arc::new(cfg.prerun());
-        let dir = std::env::temp_dir()
-            .join(format!("melissa-classical-test-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("melissa-classical-test-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let mut sim =
-            Simulation::new(&cfg, flow, params(), OutputMode::Classical { dir: dir.clone() });
+        let mut sim = Simulation::new(
+            &cfg,
+            flow,
+            params(),
+            OutputMode::Classical { dir: dir.clone() },
+        );
         sim.run(|_, _| {});
         let files = std::fs::read_dir(&dir).unwrap().count();
         assert_eq!(files, cfg.n_timesteps);

@@ -68,9 +68,18 @@ pub fn step_rows(
     let (dx, dy, dz) = mesh.spacing();
     assert_eq!(buf.len(), window.buffer_len(mesh), "buffer length mismatch");
     assert_eq!(out.len(), window.buffer_len(mesh), "output length mismatch");
-    assert!(window.j0 <= update.j0 && update.j1 <= window.j1, "update outside window");
-    assert!(update.j0 == 0 || window.j0 < update.j0, "missing south halo");
-    assert!(update.j1 == ny || update.j1 < window.j1, "missing north halo");
+    assert!(
+        window.j0 <= update.j0 && update.j1 <= window.j1,
+        "update outside window"
+    );
+    assert!(
+        update.j0 == 0 || window.j0 < update.j0,
+        "missing south halo"
+    );
+    assert!(
+        update.j1 == ny || update.j1 < window.j1,
+        "missing north halo"
+    );
 
     let inv_vol = 1.0 / mesh.cell_volume();
     // Diffusive conductances D·A/d per direction.
@@ -96,7 +105,11 @@ pub fn step_rows(
                 // West face (positive flux enters the cell).
                 let fw = flow.flux_x[flow.fx(i, j, k)];
                 if i == 0 {
-                    let upw = if fw >= 0.0 { inlet.concentration(y, t) } else { c_c };
+                    let upw = if fw >= 0.0 {
+                        inlet.concentration(y, t)
+                    } else {
+                        c_c
+                    };
                     acc += fw * upw;
                 } else if !flow.solid[mesh.cell_id(i - 1, j, k)] {
                     let c_w = at(i - 1, j, k);
@@ -179,7 +192,18 @@ pub fn step_full(
 ) {
     let (_, ny, _) = mesh.dims();
     let window = RowWindow { j0: 0, j1: ny };
-    step_rows(mesh, flow, inlet, diffusivity, dt, t, window, window, c, out);
+    step_rows(
+        mesh,
+        flow,
+        inlet,
+        diffusivity,
+        dt,
+        t,
+        window,
+        window,
+        c,
+        out,
+    );
 }
 
 #[cfg(test)]
@@ -222,7 +246,10 @@ mod tests {
         let max = c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = c.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(min >= -1e-12, "negative concentration {min}");
-        assert!(max <= 1.0 + 1e-9, "overshoot {max} (monotone scheme must not overshoot inlet)");
+        assert!(
+            max <= 1.0 + 1e-9,
+            "overshoot {max} (monotone scheme must not overshoot inlet)"
+        );
         assert!(max > 0.1, "dye never entered the domain");
     }
 
@@ -351,7 +378,9 @@ mod tests {
             }
         }
         let mut out = vec![0.0; window.buffer_len(&mesh)];
-        step_rows(&mesh, &flow, &inlet, d, dt, t, window, update, &buf, &mut out);
+        step_rows(
+            &mesh, &flow, &inlet, d, dt, t, window, update, &buf, &mut out,
+        );
         for k in 0..nz {
             for j in update.j0..update.j1 {
                 for i in 0..nx {

@@ -60,7 +60,13 @@ impl Default for UseCaseConfig {
 impl UseCaseConfig {
     /// A coarse configuration for fast unit/integration tests.
     pub fn tiny() -> Self {
-        Self { nx: 24, ny: 12, nz: 2, n_timesteps: 20, ..Self::default() }
+        Self {
+            nx: 24,
+            ny: 12,
+            nz: 2,
+            n_timesteps: 20,
+            ..Self::default()
+        }
     }
 
     /// Builds the mesh.

@@ -81,7 +81,11 @@ pub fn sample_covariance(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / (n as f64 - 1.0)
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (n as f64 - 1.0)
 }
 
 /// Pearson correlation coefficient (two-pass); `0.0` when either marginal

@@ -29,7 +29,12 @@ impl OnlineCovariance {
     /// Reconstructs an accumulator from raw state (checkpoint restore).
     #[inline]
     pub fn from_raw_state(n: u64, mean_x: f64, mean_y: f64, c2: f64) -> Self {
-        Self { n, mean_x, mean_y, c2 }
+        Self {
+            n,
+            mean_x,
+            mean_y,
+            c2,
+        }
     }
 
     /// Returns the raw state `(n, mean_x, mean_y, C2)`.
@@ -153,7 +158,9 @@ mod tests {
     }
 
     fn paired_data(n: usize) -> (Vec<f64>, Vec<f64>) {
-        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 4.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 4.0 + 1.0)
+            .collect();
         let ys: Vec<f64> = (0..n)
             .map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.11).cos())
             .collect();
@@ -175,7 +182,11 @@ mod tests {
     fn matches_two_pass() {
         let (xs, ys) = paired_data(777);
         let acc: OnlineCovariance = xs.iter().copied().zip(ys.iter().copied()).collect();
-        assert_close(acc.sample_covariance(), batch::sample_covariance(&xs, &ys), 1e-12);
+        assert_close(
+            acc.sample_covariance(),
+            batch::sample_covariance(&xs, &ys),
+            1e-12,
+        );
         assert_close(acc.mean_x(), batch::mean(&xs), 1e-12);
         assert_close(acc.mean_y(), batch::mean(&ys), 1e-12);
     }
@@ -184,10 +195,16 @@ mod tests {
     fn merge_equals_sequential() {
         let (xs, ys) = paired_data(300);
         for split in [0usize, 1, 150, 299, 300] {
-            let mut a: OnlineCovariance =
-                xs[..split].iter().copied().zip(ys[..split].iter().copied()).collect();
-            let b: OnlineCovariance =
-                xs[split..].iter().copied().zip(ys[split..].iter().copied()).collect();
+            let mut a: OnlineCovariance = xs[..split]
+                .iter()
+                .copied()
+                .zip(ys[..split].iter().copied())
+                .collect();
+            let b: OnlineCovariance = xs[split..]
+                .iter()
+                .copied()
+                .zip(ys[split..].iter().copied())
+                .collect();
             a.merge(&b);
             let seq: OnlineCovariance = xs.iter().copied().zip(ys.iter().copied()).collect();
             assert_eq!(a.count(), seq.count());

@@ -3,8 +3,17 @@
 //! Melissa computes *ubiquitous* statistics: one accumulator per mesh cell
 //! (and per timestep).  Storing a struct per cell would scatter the hot
 //! update loop across memory, so these types use a structure-of-arrays
-//! layout (`Vec<f64>` per moment) and update all cells of an incoming field
-//! in one Rayon-parallel sweep.
+//! layout (`Vec<f64>` per moment — few enough arrays per type that each
+//! sweep stays prefetcher-friendly, unlike the `4 + 4p`-array Sobol' state,
+//! which lives in the cell-contiguous tiled layout of `melissa-sobol`) and
+//! update all cells of an incoming field in one Rayon-parallel sweep.
+//!
+//! On the server's hot path these accumulators are not updated through
+//! their own `update` sweeps at all: the fused ingest kernel
+//! (`melissa_sobol::FusedSlabUpdate`) folds them together with the Sobol'
+//! state in a single pass, via the `#[doc(hidden)] fused_parts_mut`
+//! accessors below.  The scalar recurrences are shared, so both paths are
+//! bit-identical.
 
 use rayon::prelude::*;
 
@@ -29,7 +38,13 @@ pub struct FieldMoments {
 impl FieldMoments {
     /// Creates accumulators for a field of `len` cells.
     pub fn new(len: usize) -> Self {
-        Self { n: 0, mean: vec![0.0; len], m2: vec![0.0; len], m3: vec![0.0; len], m4: vec![0.0; len] }
+        Self {
+            n: 0,
+            mean: vec![0.0; len],
+            m2: vec![0.0; len],
+            m3: vec![0.0; len],
+            m4: vec![0.0; len],
+        }
     }
 
     /// Number of cells tracked.
@@ -69,8 +84,8 @@ impl FieldMoments {
                     let delta_n2 = delta_n * delta_n;
                     let term1 = delta * delta_n * (n - 1.0);
                     mean[i] += delta_n;
-                    m4[i] += term1 * delta_n2 * nn_term + 6.0 * delta_n2 * m2[i]
-                        - 4.0 * delta_n * m3[i];
+                    m4[i] +=
+                        term1 * delta_n2 * nn_term + 6.0 * delta_n2 * m2[i] - 4.0 * delta_n * m3[i];
                     m3[i] += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2[i];
                     m2[i] += term1;
                 }
@@ -97,7 +112,13 @@ impl FieldMoments {
         self.m2
             .iter()
             .zip(&self.m3)
-            .map(|(&m2, &m3)| if self.n < 2 || m2 <= 0.0 { 0.0 } else { n.sqrt() * m3 / m2.powf(1.5) })
+            .map(|(&m2, &m3)| {
+                if self.n < 2 || m2 <= 0.0 {
+                    0.0
+                } else {
+                    n.sqrt() * m3 / m2.powf(1.5)
+                }
+            })
             .collect()
     }
 
@@ -107,7 +128,13 @@ impl FieldMoments {
         self.m2
             .iter()
             .zip(&self.m4)
-            .map(|(&m2, &m4)| if self.n < 2 || m2 <= 0.0 { 0.0 } else { n * m4 / (m2 * m2) - 3.0 })
+            .map(|(&m2, &m4)| {
+                if self.n < 2 || m2 <= 0.0 {
+                    0.0
+                } else {
+                    n * m4 / (m2 * m2) - 3.0
+                }
+            })
             .collect()
     }
 
@@ -132,24 +159,35 @@ impl FieldMoments {
         let na = self.n as f64;
         let nb = other.n as f64;
         let n = na + nb;
-        for i in 0..self.len() {
-            let delta = other.mean[i] - self.mean[i];
-            let delta2 = delta * delta;
-            let m4 = self.m4[i]
-                + other.m4[i]
-                + delta2 * delta2 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
-                + 6.0 * delta2 * (na * na * other.m2[i] + nb * nb * self.m2[i]) / (n * n)
-                + 4.0 * delta * (na * other.m3[i] - nb * self.m3[i]) / n;
-            let m3 = self.m3[i]
-                + other.m3[i]
-                + delta2 * delta * na * nb * (na - nb) / (n * n)
-                + 3.0 * delta * (na * other.m2[i] - nb * self.m2[i]) / n;
-            let m2 = self.m2[i] + other.m2[i] + delta2 * na * nb / n;
-            self.mean[i] += delta * nb / n;
-            self.m2[i] = m2;
-            self.m3[i] = m3;
-            self.m4[i] = m4;
-        }
+        self.mean
+            .par_chunks_mut(PAR_CHUNK)
+            .zip(self.m2.par_chunks_mut(PAR_CHUNK))
+            .zip(self.m3.par_chunks_mut(PAR_CHUNK))
+            .zip(self.m4.par_chunks_mut(PAR_CHUNK))
+            .zip(other.mean.par_chunks(PAR_CHUNK))
+            .zip(other.m2.par_chunks(PAR_CHUNK))
+            .zip(other.m3.par_chunks(PAR_CHUNK))
+            .zip(other.m4.par_chunks(PAR_CHUNK))
+            .for_each(|(((((((mean, m2), m3), m4), omean), om2), om3), om4)| {
+                for i in 0..mean.len() {
+                    let delta = omean[i] - mean[i];
+                    let delta2 = delta * delta;
+                    let new_m4 = m4[i]
+                        + om4[i]
+                        + delta2 * delta2 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+                        + 6.0 * delta2 * (na * na * om2[i] + nb * nb * m2[i]) / (n * n)
+                        + 4.0 * delta * (na * om3[i] - nb * m3[i]) / n;
+                    let new_m3 = m3[i]
+                        + om3[i]
+                        + delta2 * delta * na * nb * (na - nb) / (n * n)
+                        + 3.0 * delta * (na * om2[i] - nb * m2[i]) / n;
+                    let new_m2 = m2[i] + om2[i] + delta2 * na * nb / n;
+                    mean[i] += delta * nb / n;
+                    m2[i] = new_m2;
+                    m3[i] = new_m3;
+                    m4[i] = new_m4;
+                }
+            });
         self.n += other.n;
     }
 
@@ -159,16 +197,49 @@ impl FieldMoments {
         (self.n, &self.mean, &self.m2, &self.m3, &self.m4)
     }
 
-    /// Rebuilds from checkpoointed raw state.
+    /// Kernel-internal accessor for the fused server sweep: bumps the
+    /// sample count by `add_samples` and hands out the pre-bump count plus
+    /// the four moment arrays `(n_before, mean, m2, m3, m4)`.  The caller
+    /// must fold exactly `add_samples` samples into every cell, using the
+    /// same scalar recurrence as [`update`](Self::update).
+    #[doc(hidden)]
+    pub fn fused_parts_mut(
+        &mut self,
+        add_samples: u64,
+    ) -> (u64, &mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        let before = self.n;
+        self.n += add_samples;
+        (
+            before,
+            &mut self.mean,
+            &mut self.m2,
+            &mut self.m3,
+            &mut self.m4,
+        )
+    }
+
+    /// Rebuilds from checkpointed raw state.
     ///
     /// # Panics
     /// Panics if the four moment arrays have different lengths.
-    pub fn from_raw_state(n: u64, mean: Vec<f64>, m2: Vec<f64>, m3: Vec<f64>, m4: Vec<f64>) -> Self {
+    pub fn from_raw_state(
+        n: u64,
+        mean: Vec<f64>,
+        m2: Vec<f64>,
+        m3: Vec<f64>,
+        m4: Vec<f64>,
+    ) -> Self {
         assert!(
             mean.len() == m2.len() && m2.len() == m3.len() && m3.len() == m4.len(),
             "inconsistent moment array lengths"
         );
-        Self { n, mean, m2, m3, m4 }
+        Self {
+            n,
+            mean,
+            m2,
+            m3,
+            m4,
+        }
     }
 }
 
@@ -183,7 +254,11 @@ pub struct FieldMinMax {
 impl FieldMinMax {
     /// Creates accumulators for `len` cells.
     pub fn new(len: usize) -> Self {
-        Self { n: 0, min: vec![f64::INFINITY; len], max: vec![f64::NEG_INFINITY; len] }
+        Self {
+            n: 0,
+            min: vec![f64::INFINITY; len],
+            max: vec![f64::NEG_INFINITY; len],
+        }
     }
 
     /// Number of cells tracked.
@@ -242,6 +317,14 @@ impl FieldMinMax {
         (self.n, &self.min, &self.max)
     }
 
+    /// Kernel-internal accessor for the fused server sweep: bumps the
+    /// sample count by `add_samples` and hands out `(min, max)`.
+    #[doc(hidden)]
+    pub fn fused_parts_mut(&mut self, add_samples: u64) -> (&mut [f64], &mut [f64]) {
+        self.n += add_samples;
+        (&mut self.min, &mut self.max)
+    }
+
     /// Rebuilds from checkpointed raw state.
     ///
     /// # Panics
@@ -263,7 +346,11 @@ pub struct FieldThreshold {
 impl FieldThreshold {
     /// Creates accumulators for `len` cells watching `threshold`.
     pub fn new(len: usize, threshold: f64) -> Self {
-        Self { threshold, n: 0, exceeded: vec![0; len] }
+        Self {
+            threshold,
+            n: 0,
+            exceeded: vec![0; len],
+        }
     }
 
     /// Number of cells tracked.
@@ -317,18 +404,26 @@ impl FieldThreshold {
 
     /// Rebuilds from checkpointed raw state.
     pub fn from_raw_state(threshold: f64, n: u64, exceeded: Vec<u64>) -> Self {
-        Self { threshold, n, exceeded }
+        Self {
+            threshold,
+            n,
+            exceeded,
+        }
     }
 
-    /// Scalar view of one cell.
+    /// Kernel-internal accessor for the fused server sweep: bumps the
+    /// sample count by `add_samples` and hands out the exceedance counts.
+    #[doc(hidden)]
+    pub fn fused_parts_mut(&mut self, add_samples: u64) -> (f64, &mut [u64]) {
+        self.n += add_samples;
+        (self.threshold, &mut self.exceeded)
+    }
+
+    /// Scalar view of one cell, built directly from the cell's raw state
+    /// (the exceedance accumulator is fully determined by
+    /// `(threshold, n, exceeded)` — no sample replay needed).
     pub fn cell(&self, i: usize) -> ThresholdExceedance {
-        let mut acc = ThresholdExceedance::new(self.threshold);
-        for k in 0..self.n {
-            // Reconstruct an equivalent stream: `exceeded[i]` samples above,
-            // the rest below.
-            acc.update(if k < self.exceeded[i] { self.threshold + 1.0 } else { self.threshold });
-        }
-        acc
+        ThresholdExceedance::from_raw_state(self.threshold, self.n, self.exceeded[i])
     }
 }
 
@@ -347,7 +442,12 @@ pub struct FieldCovariance {
 impl FieldCovariance {
     /// Creates accumulators for `len` cells.
     pub fn new(len: usize) -> Self {
-        Self { n: 0, mean_x: vec![0.0; len], mean_y: vec![0.0; len], c2: vec![0.0; len] }
+        Self {
+            n: 0,
+            mean_x: vec![0.0; len],
+            mean_y: vec![0.0; len],
+            c2: vec![0.0; len],
+        }
     }
 
     /// Number of cells tracked.
@@ -415,7 +515,12 @@ impl FieldCovariance {
             mean_x.len() == mean_y.len() && mean_y.len() == c2.len(),
             "inconsistent covariance array lengths"
         );
-        Self { n, mean_x, mean_y, c2 }
+        Self {
+            n,
+            mean_x,
+            mean_y,
+            c2,
+        }
     }
 }
 
@@ -445,12 +550,12 @@ mod tests {
                 acc.update(x);
             }
         }
-        for c in 0..50 {
+        for (c, sc) in scalar.iter().enumerate() {
             let cell = fm.cell(c);
-            assert!((cell.mean() - scalar[c].mean()).abs() < 1e-12);
-            assert!((cell.sample_variance() - scalar[c].sample_variance()).abs() < 1e-12);
-            assert!((cell.skewness() - scalar[c].skewness()).abs() < 1e-9);
-            assert!((cell.excess_kurtosis() - scalar[c].excess_kurtosis()).abs() < 1e-9);
+            assert!((cell.mean() - sc.mean()).abs() < 1e-12);
+            assert!((cell.sample_variance() - sc.sample_variance()).abs() < 1e-12);
+            assert!((cell.skewness() - sc.skewness()).abs() < 1e-9);
+            assert!((cell.excess_kurtosis() - sc.excess_kurtosis()).abs() < 1e-9);
         }
     }
 
@@ -507,8 +612,10 @@ mod tests {
     #[test]
     fn field_covariance_matches_scalar() {
         let xs = sample_fields(20, 15);
-        let ys: Vec<Vec<f64>> =
-            xs.iter().map(|f| f.iter().map(|v| v * 2.0 + 1.0).collect()).collect();
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|f| f.iter().map(|v| v * 2.0 + 1.0).collect())
+            .collect();
         let mut fc = FieldCovariance::new(20);
         let mut scalar = vec![OnlineCovariance::new(); 20];
         for (x, y) in xs.iter().zip(&ys) {

@@ -29,6 +29,7 @@
 //! | [`minmax`] | running minimum / maximum with arg-tracking ([`MinMax`]) |
 //! | [`threshold`] | threshold-exceedance probability ([`ThresholdExceedance`]) |
 //! | [`field`] | vectorised per-cell statistics over mesh-sized fields |
+//! | [`tile`] | cache-blocked tile storage and disjoint parallel sweeps |
 //! | [`batch`] | two-pass reference implementations used for validation |
 //!
 //! ## Quick example
@@ -51,12 +52,14 @@ pub mod field;
 pub mod minmax;
 pub mod moments;
 pub mod threshold;
+pub mod tile;
 
 pub use covariance::OnlineCovariance;
 pub use field::{FieldCovariance, FieldMinMax, FieldMoments, FieldThreshold};
 pub use minmax::MinMax;
 pub use moments::OnlineMoments;
 pub use threshold::ThresholdExceedance;
+pub use tile::{tile_cells, AlignedVec, DisjointSlices};
 
 /// Statistics that Melissa Server can be configured to compute on each
 /// field (paper Section 4.1: beside Sobol' indices, the server computes

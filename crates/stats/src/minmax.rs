@@ -16,7 +16,13 @@ pub struct MinMax {
 
 impl Default for MinMax {
     fn default() -> Self {
-        Self { n: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, argmin: 0, argmax: 0 }
+        Self {
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            argmin: 0,
+            argmax: 0,
+        }
     }
 }
 

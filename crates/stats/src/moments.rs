@@ -33,7 +33,13 @@ impl OnlineMoments {
     /// [`raw_state`](Self::raw_state).
     #[inline]
     pub fn from_raw_state(n: u64, mean: f64, m2: f64, m3: f64, m4: f64) -> Self {
-        Self { n, mean, m2, m3, m4 }
+        Self {
+            n,
+            mean,
+            m2,
+            m3,
+            m4,
+        }
     }
 
     /// Returns the raw state `(n, mean, M2, M3, M4)` (used by checkpointing).
@@ -222,7 +228,9 @@ mod tests {
 
     #[test]
     fn matches_two_pass_on_known_data() {
-        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.71 - 13.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.71 - 13.0)
+            .collect();
         let acc: OnlineMoments = data.iter().copied().collect();
         assert_close(acc.mean(), batch::mean(&data), 1e-12);
         assert_close(acc.sample_variance(), batch::sample_variance(&data), 1e-12);

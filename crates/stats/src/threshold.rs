@@ -15,7 +15,29 @@ pub struct ThresholdExceedance {
 impl ThresholdExceedance {
     /// Creates an accumulator for `P(Y > threshold)`.
     pub fn new(threshold: f64) -> Self {
-        Self { threshold, n: 0, exceeded: 0 }
+        Self {
+            threshold,
+            n: 0,
+            exceeded: 0,
+        }
+    }
+
+    /// Rebuilds an accumulator from its raw state — `O(1)`, the inverse of
+    /// reading ([`threshold`](Self::threshold), [`count`](Self::count),
+    /// [`exceedances`](Self::exceedances)).
+    ///
+    /// # Panics
+    /// Panics if `exceeded > n` (no sample stream can produce that).
+    pub fn from_raw_state(threshold: f64, n: u64, exceeded: u64) -> Self {
+        assert!(
+            exceeded <= n,
+            "exceedance count {exceeded} larger than sample count {n}"
+        );
+        Self {
+            threshold,
+            n,
+            exceeded,
+        }
     }
 
     /// Folds one sample in.

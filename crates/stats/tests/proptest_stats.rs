@@ -125,10 +125,10 @@ proptest! {
                 acc.update(x);
             }
         }
-        for c in 0..8 {
+        for (c, sc) in scalar.iter().enumerate() {
             let cell = fm.cell(c);
-            prop_assert!(rel_close(cell.mean(), scalar[c].mean(), 1e-9));
-            prop_assert!(rel_close(cell.sample_variance(), scalar[c].sample_variance(), 1e-7));
+            prop_assert!(rel_close(cell.mean(), sc.mean(), 1e-9));
+            prop_assert!(rel_close(cell.sample_variance(), sc.sample_variance(), 1e-7));
         }
     }
 

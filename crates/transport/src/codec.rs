@@ -64,11 +64,30 @@ pub fn put_f64_slice<B: BufMut>(buf: &mut B, values: &[f64]) {
 }
 
 /// Reads a `u64`-length-prefixed `f64` vector with a sanity cap.
+///
+/// Copy-lean: when the remaining payload is one contiguous chunk (always
+/// true for `Bytes` frames and byte slices), the values are decoded with
+/// one bulk `from_le_bytes` sweep over the chunk — which optimises to a
+/// straight memcpy on little-endian hosts — instead of `len` cursor
+/// round-trips.  True *zero*-copy (borrowing the frame) is not possible
+/// here: the result must own its storage as `Vec<f64>`, and the payload
+/// sits at an arbitrary byte offset inside the frame, so its 8-byte
+/// alignment is never guaranteed.  One aligned bulk copy is the floor.
 pub fn get_f64_vec<B: Buf>(buf: &mut B, what: &'static str) -> WireResult<Vec<f64>> {
     let len = get_u64(buf, what)? as usize;
     if buf.remaining() < len.saturating_mul(8) {
         return Err(WireError::Truncated { what });
     }
+    let chunk = buf.chunk();
+    if chunk.len() >= len * 8 {
+        let mut out = vec![0.0f64; len];
+        for (o, b) in out.iter_mut().zip(chunk.chunks_exact(8)) {
+            *o = f64::from_le_bytes(b.try_into().expect("8-byte chunk"));
+        }
+        buf.advance(len * 8);
+        return Ok(out);
+    }
+    // Fragmented buffer: fall back to the per-element cursor path.
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         out.push(buf.get_f64_le());
@@ -138,7 +157,10 @@ mod tests {
     #[test]
     fn truncation_is_an_error_not_a_panic() {
         let mut b = bytes::Bytes::from_static(&[1, 2, 3]);
-        assert!(matches!(get_u64(&mut b, "x"), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            get_u64(&mut b, "x"),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -156,7 +178,10 @@ mod tests {
         buf.put_u64_le(1000);
         buf.put_f64_le(1.0);
         let mut b = buf.freeze();
-        assert!(matches!(get_f64_vec(&mut b, "v"), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            get_f64_vec(&mut b, "v"),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -173,7 +198,10 @@ mod tests {
         buf.put_u32_le(2);
         buf.put_slice(&[0xff, 0xfe]);
         let mut b = buf.freeze();
-        assert!(matches!(get_str(&mut b, "s"), Err(WireError::Invalid { .. })));
+        assert!(matches!(
+            get_str(&mut b, "s"),
+            Err(WireError::Invalid { .. })
+        ));
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl HwmSender {
 
     /// Sends with a deadline; returns the frame if the buffer stayed full.
     /// Used by fault-tolerant senders that must notice a dead server.
-    pub fn send_timeout(&self, frame: Frame, timeout: Duration) -> Result<(), SendTimeoutError<Frame>> {
+    pub fn send_timeout(
+        &self,
+        frame: Frame,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError<Frame>> {
         let len = frame.len() as u64;
         match self.inner.try_send(frame) {
             Ok(()) => {}
@@ -144,7 +148,13 @@ impl HwmSender {
 pub fn channel(hwm: usize) -> (HwmSender, Receiver<Frame>) {
     assert!(hwm > 0, "HWM must be at least 1");
     let (tx, rx) = bounded(hwm);
-    (HwmSender { inner: tx, stats: Arc::new(LinkStats::default()) }, rx)
+    (
+        HwmSender {
+            inner: tx,
+            stats: Arc::new(LinkStats::default()),
+        },
+        rx,
+    )
 }
 
 #[cfg(test)]

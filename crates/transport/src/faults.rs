@@ -63,7 +63,12 @@ pub struct FaultySender {
 impl FaultySender {
     /// Wraps a sender with a fault policy and a kill switch.
     pub fn new(inner: HwmSender, policy: FaultPolicy, kill: KillSwitch) -> Self {
-        Self { inner, policy, kill, counter: Arc::new(std::sync::atomic::AtomicU64::new(0)) }
+        Self {
+            inner,
+            policy,
+            kill,
+            counter: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
     }
 
     /// Sends through the fault layer.  Returns `Err(Disconnected)` if the
@@ -122,7 +127,10 @@ mod tests {
         let (tx, rx) = channel(10_000);
         let faulty = FaultySender::new(
             tx,
-            FaultPolicy { drop_probability: 0.25, delay: Duration::ZERO },
+            FaultPolicy {
+                drop_probability: 0.25,
+                delay: Duration::ZERO,
+            },
             KillSwitch::new(),
         );
         for _ in 0..1000 {

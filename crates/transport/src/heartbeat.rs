@@ -23,7 +23,10 @@ impl<K: Eq + Hash + Clone> LivenessTracker<K> {
     /// Creates a tracker that declares a peer late after `timeout` of
     /// silence.
     pub fn new(timeout: Duration) -> Self {
-        Self { timeout, last_seen: Mutex::new(HashMap::new()) }
+        Self {
+            timeout,
+            last_seen: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The configured timeout.

@@ -68,7 +68,9 @@ impl Broker {
             .lock()
             .get(name)
             .cloned()
-            .ok_or_else(|| ConnectError::NotFound { name: name.to_string() })
+            .ok_or_else(|| ConnectError::NotFound {
+                name: name.to_string(),
+            })
     }
 
     /// Removes an endpoint (subsequent `connect`s fail; existing senders

@@ -20,7 +20,9 @@ fn main() {
 
     // Reference run: no faults.
     println!("reference run (no faults)...");
-    let clean = Study::new(config.clone()).run().expect("clean study failed");
+    let clean = Study::new(config.clone())
+        .run()
+        .expect("clean study failed");
     let last = config.solver.n_timesteps - 1;
     let reference = clean.results.first_order_field(last, 0);
 
@@ -31,7 +33,10 @@ fn main() {
         .with_group_fault(2, 0, GroupFault::CrashAfter { at_timestep: 6 })
         .with_group_fault(4, 0, GroupFault::Zombie)
         .with_server_kill_after(1);
-    let output = Study::new(config).with_faults(faults).run().expect("faulty study failed");
+    let output = Study::new(config)
+        .with_faults(faults)
+        .run()
+        .expect("faulty study failed");
 
     println!("{}", output.report);
 

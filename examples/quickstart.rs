@@ -18,7 +18,11 @@ fn main() {
     //    Each row defines one simulation group of p + 2 = 5 runs.
     let n = 2000;
     let design = PickFreeze::generate(n, &f.parameter_space(), 42);
-    println!("design: {} groups x {} simulations", design.n_rows(), f.dim() + 2);
+    println!(
+        "design: {} groups x {} simulations",
+        design.n_rows(),
+        f.dim() + 2
+    );
 
     // 2. Feed groups to the iterative estimator *as they complete* —
     //    in any order, with O(1) memory, exactly like Melissa Server.
@@ -31,7 +35,10 @@ fn main() {
     // 3. Read off indices and confidence intervals.
     let s_ref = f.analytic_first_order();
     let st_ref = f.analytic_total_order();
-    println!("\n{:<6} {:>9} {:>9} {:>22} {:>9} {:>9}", "param", "S (est)", "S (ref)", "95% CI", "ST (est)", "ST (ref)");
+    println!(
+        "\n{:<6} {:>9} {:>9} {:>22} {:>9} {:>9}",
+        "param", "S (est)", "S (ref)", "95% CI", "ST (est)", "ST (ref)"
+    );
     for k in 0..f.dim() {
         let s = sobol.first_order(k);
         let ci = sobol.first_order_ci(k);

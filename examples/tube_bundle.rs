@@ -14,16 +14,20 @@ use melissa_repro::mesh::writer::write_slice_csv;
 use melissa_repro::mesh::SliceView;
 use melissa_repro::solver::injection::PARAM_NAMES;
 
+#[allow(clippy::field_reassign_with_default)] // explicit config block reads better
 fn main() {
-    let n_groups: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let n_groups: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
 
     let mut config = StudyConfig::default();
     config.n_groups = n_groups;
     config.server_workers = 4;
     config.ranks_per_simulation = 2;
-    config.max_concurrent_groups =
-        std::thread::available_parallelism().map(|n| (n.get() / 2).max(2)).unwrap_or(2);
+    config.max_concurrent_groups = std::thread::available_parallelism()
+        .map(|n| (n.get() / 2).max(2))
+        .unwrap_or(2);
     config.group_timeout = std::time::Duration::from_secs(60);
     config.wall_limit = std::time::Duration::from_secs(1800);
     config.checkpoint_dir = std::env::temp_dir().join("melissa-example-tube");

@@ -18,8 +18,14 @@ fn study_to_slice_pipeline() {
 
     let output = Study::new(config).run().expect("study failed");
     assert_eq!(output.report.groups_finished, 4);
-    assert_eq!(output.report.data_messages, output.report.data_messages);
-    assert!(output.report.data_bytes > 0, "data must have flowed in transit");
+    assert!(
+        output.report.data_messages > 0,
+        "messages must have flowed in transit"
+    );
+    assert!(
+        output.report.data_bytes > 0,
+        "data must have flowed in transit"
+    );
 
     // Fields assemble and slice.
     for k in 0..6 {
@@ -33,7 +39,10 @@ fn study_to_slice_pipeline() {
     }
     let var = output.results.variance_field(ts);
     assert!(var.iter().all(|v| *v >= 0.0));
-    assert!(var.iter().any(|v| *v > 0.0), "some cells must vary across the ensemble");
+    assert!(
+        var.iter().any(|v| *v > 0.0),
+        "some cells must vary across the ensemble"
+    );
 }
 
 /// The data volume accounting matches the design: every simulation sends
@@ -61,7 +70,9 @@ fn in_transit_volume_matches_design() {
 #[test]
 fn upper_parameters_do_not_reach_lower_half() {
     let mut config = StudyConfig::tiny();
-    config.n_groups = 32;
+    // 48 groups keeps the Martinez noise floor (~1/sqrt(n)) comfortably
+    // below the signal bound regardless of the exact StdRng stream.
+    config.n_groups = 48;
     config.max_concurrent_groups = 4;
     config.checkpoint_dir = std::env::temp_dir().join("melissa-root-phys");
     let mesh = config.solver.mesh();
@@ -97,12 +108,12 @@ fn ishigami_convergence_through_public_api() {
         sobol.update_group(&ys);
     }
     let s_ref = f.analytic_first_order();
-    for k in 0..3 {
+    for (k, &s_expected) in s_ref.iter().enumerate() {
         assert!(
-            (sobol.first_order(k) - s_ref[k]).abs() < 0.07,
+            (sobol.first_order(k) - s_expected).abs() < 0.07,
             "S_{k}: {} vs {}",
             sobol.first_order(k),
-            s_ref[k]
+            s_expected
         );
         assert!(sobol.first_order_ci(k).contains(sobol.first_order(k)));
     }

@@ -1,0 +1,346 @@
+//! Offline stand-in for [bytes](https://crates.io/crates/bytes) covering the
+//! subset this workspace uses: [`Bytes`] (cheaply cloneable shared frames),
+//! [`BytesMut`] (append-only encode buffer) and the little-endian [`Buf`] /
+//! [`BufMut`] cursor traits.
+//!
+//! [`Bytes`] is an `Arc<[u8]>` plus an offset window, so `clone` and
+//! [`Bytes::slice`] are O(1) and zero-copy — the property the transport
+//! layer and the lean `Data` decode path rely on.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer (shared storage + window).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice (no allocation).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+
+    /// Length of the visible window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zero-copy sub-window sharing the same storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// The visible window as a slice.
+    pub fn as_ref_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref_slice() == other.as_ref_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// Growable byte buffer for encoding; freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] (no copy).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Little-endian read cursor (the subset of `bytes::Buf` used here).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread window.
+    fn chunk(&self) -> &[u8];
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// True when anything is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies exactly `dst.len()` bytes out.
+    ///
+    /// # Panics
+    /// Panics when not enough bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Little-endian write cursor (the subset of `bytes::BufMut` used here).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(1);
+        b.put_u16_le(2);
+        b.put_u32_le(3);
+        b.put_u64_le(4);
+        b.put_i64_le(-5);
+        b.put_f64_le(6.5);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_u16_le(), 2);
+        assert_eq!(r.get_u32_le(), 3);
+        assert_eq!(r.get_u64_le(), 4);
+        assert_eq!(r.get_i64_le(), -5);
+        assert_eq!(r.get_f64_le(), 6.5);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_zero_copy_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(&s2[..], &[3, 4]);
+    }
+
+    #[test]
+    fn buf_for_u8_slice_advances() {
+        let data = [1u8, 0, 0, 0, 0, 0, 0, 0, 9];
+        let mut buf = &data[..];
+        assert_eq!(buf.get_u64_le(), 1);
+        assert_eq!(buf.remaining(), 1);
+        assert_eq!(buf.get_u8(), 9);
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion)
+//! covering the subset this workspace uses: `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology: per benchmark, a short calibration run sizes the iteration
+//! batch, then `sample_size` batches are timed and the **median**
+//! nanoseconds-per-iteration is reported (median is robust to scheduler
+//! noise, which matters in shared CI containers).  Results print as a
+//! table and, when `CRITERION_JSON_OUT` is set, are appended as one JSON
+//! object per benchmark to that file — the hook the repo's
+//! `BENCH_kernels.json` baseline workflow uses.
+//!
+//! Environment knobs: `CRITERION_MEASURE_MS` (per-sample budget, default
+//! 60), `CRITERION_JSON_OUT` (JSON-lines output path).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Payload bytes per iteration.
+    Bytes(u64),
+}
+
+/// Hierarchical benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Creates a parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full path `group/function/param`.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Declared per-iteration workload, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Derived elements-or-bytes per second, if a throughput was declared.
+    pub fn per_second(&self) -> Option<f64> {
+        self.throughput.map(|t| {
+            let units = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            units / (self.ns_per_iter * 1e-9)
+        })
+    }
+
+    fn to_json(&self) -> String {
+        let (kind, units) = match self.throughput {
+            Some(Throughput::Elements(n)) => ("elements", n),
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            None => ("none", 0),
+        };
+        format!(
+            "{{\"id\":\"{}\",\"ns_per_iter\":{:.3},\"throughput_kind\":\"{}\",\"units_per_iter\":{},\"units_per_sec\":{:.3}}}",
+            self.id,
+            self.ns_per_iter,
+            kind,
+            units,
+            self.per_second().unwrap_or(0.0)
+        )
+    }
+}
+
+/// Drives one benchmark's timed iterations.
+pub struct Bencher {
+    sample_size: usize,
+    measure: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` and records the median ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: how many iterations fit in one sample budget?
+        let t0 = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while t0.elapsed() < Duration::from_millis(5) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / calib_iters as f64;
+        let batch = ((self.measure.as_nanos() as f64 / per_iter) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let s = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(s.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measure: self.criterion.measure,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.record(BenchResult {
+            id: full,
+            ns_per_iter: b.ns_per_iter,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing happens per-benchmark; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(60);
+        Self {
+            results: Vec::new(),
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 7,
+        }
+    }
+
+    fn record(&mut self, r: BenchResult) {
+        let per_sec = match (r.throughput, r.per_second()) {
+            (Some(Throughput::Elements(_)), Some(s)) => format!("  {:>12.3} Melem/s", s / 1e6),
+            (Some(Throughput::Bytes(_)), Some(s)) => {
+                format!("  {:>12.3} MiB/s", s / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{:<56} {:>14.1} ns/iter{per_sec}", r.id, r.ns_per_iter);
+        self.results.push(r);
+    }
+
+    /// All recorded results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes JSON-lines results if `CRITERION_JSON_OUT` is set.
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("open {path}: {e}"));
+            for r in &self.results {
+                writeln!(f, "{}", r.to_json()).expect("write bench json");
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, running all listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        std::env::remove_var("CRITERION_JSON_OUT");
+        let mut c = Criterion {
+            results: Vec::new(),
+            measure: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10)).sample_size(3);
+        g.bench_function("noop_loop", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..100u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].ns_per_iter > 0.0);
+        assert!(c.results()[0].per_second().unwrap() > 0.0);
+    }
+}

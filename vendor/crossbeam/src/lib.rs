@@ -1,0 +1,338 @@
+//! Offline stand-in for [crossbeam](https://crates.io/crates/crossbeam)
+//! covering the `channel` subset this workspace uses: bounded MPMC channels
+//! with `send`, `try_send`, `send_timeout`, `recv`, `try_recv` and
+//! `recv_timeout`, plus the matching error enums.
+//!
+//! Built on `Mutex` + two `Condvar`s (not-full / not-empty).  Disconnection
+//! is tracked by sender/receiver reference counts, matching crossbeam's
+//! semantics: sends fail once all receivers are gone, receives drain the
+//! queue and then fail once all senders are gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// `send` on a channel with no receivers.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// `recv` on an empty channel with no senders.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Non-blocking send failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The buffer is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Deadline send failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The buffer stayed full until the deadline.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Non-blocking receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing buffered right now.
+        Empty,
+        /// Empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Deadline receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// Empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Sender")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Receiver")
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap` (≥ 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut g = self.shared.inner.lock().unwrap();
+            g.senders -= 1;
+            if g.senders == 0 {
+                // Wake receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut g = self.shared.inner.lock().unwrap();
+            g.receivers -= 1;
+            if g.receivers == 0 {
+                // Wake senders so they observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until buffered or disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut g = self.shared.inner.lock().unwrap();
+            loop {
+                if g.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if g.queue.len() < g.cap {
+                    g.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                g = self.shared.not_full.wait(g).unwrap();
+            }
+        }
+
+        /// Buffers without blocking or reports `Full`/`Disconnected`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut g = self.shared.inner.lock().unwrap();
+            if g.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if g.queue.len() >= g.cap {
+                return Err(TrySendError::Full(value));
+            }
+            g.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Blocks until buffered, disconnected, or the timeout elapses.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut g = self.shared.inner.lock().unwrap();
+            loop {
+                if g.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if g.queue.len() < g.cap {
+                    g.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                let (guard, res) = self.shared.not_full.wait_timeout(g, left).unwrap();
+                g = guard;
+                if res.timed_out() && g.queue.len() >= g.cap {
+                    if g.receivers == 0 {
+                        return Err(SendTimeoutError::Disconnected(value));
+                    }
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+            }
+        }
+
+        /// Frames currently buffered (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// True when nothing is buffered (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut g = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(v) = g.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvError);
+                }
+                g = self.shared.not_empty.wait(g).unwrap();
+            }
+        }
+
+        /// Pops without blocking or reports `Empty`/`Disconnected`.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut g = self.shared.inner.lock().unwrap();
+            if let Some(v) = g.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if g.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocks until a value arrives, disconnect, or the timeout elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut g = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(v) = g.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self.shared.not_empty.wait_timeout(g, left).unwrap();
+                g = guard;
+                if res.timed_out() && g.queue.is_empty() {
+                    if g.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Frames currently buffered (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// True when nothing is buffered (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn bounded_blocks_at_capacity_and_drains() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            let t = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                let v = rx.recv().unwrap();
+                (v, rx) // keep the receiver alive until after the send
+            });
+            tx.send(3).unwrap(); // unblocks once the receiver drains
+            let (v, rx) = t.join().unwrap();
+            assert_eq!(v, 1);
+            drop(rx);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        }
+
+        #[test]
+        fn disconnects_propagate_both_ways() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(matches!(tx.send(1), Err(SendError(1))));
+            let (tx2, rx2) = bounded::<u32>(1);
+            tx2.send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx2.recv(), Ok(9)); // queued values drain first
+            assert_eq!(rx2.recv(), Err(RecvError));
+        }
+    }
+}

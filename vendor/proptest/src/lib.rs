@@ -1,0 +1,370 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest)
+//! covering the subset this workspace uses: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, [`ProptestConfig::with_cases`],
+//! range / tuple / `prop::collection::vec` / `prop::num::f64::NORMAL`
+//! strategies and [`Strategy::prop_map`].
+//!
+//! Unlike upstream there is **no shrinking**: a failing case reports its
+//! deterministic seed and generated inputs via the panic message instead.
+//! Case generation is a pure function of (test name, case index), so
+//! failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Failure raised by `prop_assert!`-style macros inside a case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Number-of-cases (and, upstream, much more) configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.start + (self.end - self.start) * rng.gen::<f64>()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + (rng.gen::<u64>() % span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u64, u32, u16, u8, usize);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty integer range strategy");
+                (self.start as i128 + (rng.gen::<u64>() as u128 % span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i64, i32, i16, i8, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Strategy producing a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Sub-modules mirroring the upstream `prop::` namespace.
+pub mod strategies {
+    use super::*;
+
+    /// Numeric strategies.
+    pub mod num {
+        /// `f64` strategies.
+        pub mod f64 {
+            use super::super::*;
+
+            /// All *normal* (finite, non-zero, non-subnormal) `f64`s of
+            /// either sign, over the full exponent range.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Normal;
+
+            /// Upstream-compatible name.
+            pub const NORMAL: Normal = Normal;
+
+            impl Strategy for Normal {
+                type Value = f64;
+
+                fn generate(&self, rng: &mut StdRng) -> f64 {
+                    loop {
+                        let v = f64::from_bits(rng.gen::<u64>());
+                        if v.is_normal() {
+                            return v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Inclusive-exclusive element-count range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                Self {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a random length in range.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + (rng.gen::<u64>() % span.max(1)) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Deterministic per-(test, case) generator.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Everything the call sites import.
+pub mod prelude {
+    pub use crate::strategies as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // The negation is structural (any caller condition lands here,
+        // including float comparisons), so the partial-ord lint is noise.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "{:?} != {:?}: {}",
+                a,
+                b,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = { $crate::ProptestConfig::default() }; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = { $cfg:expr }; ) => {};
+    (cfg = { $cfg:expr };
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest '{}' case {}/{} failed: {}",
+                        stringify!($name),
+                        case,
+                        cfg.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ cfg = { $cfg }; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..7.0, n in 1u64..9, v in prop::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|y| (0.0..1.0).contains(y)));
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in prop::num::f64::NORMAL.prop_map(|x| x % 1e6)) {
+            prop_assert!(x.is_finite());
+            prop_assert!(x.abs() < 1e6);
+        }
+
+        #[test]
+        fn tuples_and_eq(pair in (0.0f64..1.0, 0.0f64..1.0)) {
+            let (a, b) = pair;
+            prop_assert_eq!(a.min(b), b.min(a));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = 0.0f64..1.0;
+        let a = s.generate(&mut crate::case_rng("t", 3));
+        let b = s.generate(&mut crate::case_rng("t", 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,346 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon) covering the
+//! subset of the API this workspace uses: `par_chunks`, `par_chunks_mut`,
+//! `par_iter`, `par_iter_mut`, range `into_par_iter`, `zip`, `enumerate`,
+//! `with_min_len` and `for_each`/`map`+`sum`/`reduce`-free terminal loops.
+//!
+//! The execution model is deliberately simple: a terminal `for_each`
+//! materialises the item list (items are slices or references — cheap),
+//! splits it into one contiguous span per worker and runs the spans on
+//! `std::thread::scope` threads.  This preserves rayon's two load-bearing
+//! properties for this codebase — disjoint mutable chunks run truly in
+//! parallel, and the item→index mapping is deterministic — without the
+//! work-stealing machinery.  Swapping the real rayon back in is a
+//! one-line `Cargo.toml` change; no call sites need to move.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads (`RAYON_NUM_THREADS` override, else the
+/// available parallelism, else 1).
+pub fn current_num_threads() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `items` on scoped worker threads, one contiguous span each.
+fn run_spans<T: Send, F: Fn(T) + Sync>(items: Vec<T>, min_len: usize, f: F) {
+    let threads = current_num_threads().min(items.len().max(1));
+    // Below the parallelism floor (or with one worker) run inline: thread
+    // spawn costs dwarf the arithmetic for tiny sweeps.
+    if threads <= 1 || items.len() <= 1 || items.len() < min_len {
+        for it in items {
+            f(it);
+        }
+        return;
+    }
+    let span = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        while !rest.is_empty() {
+            let take = span.min(rest.len());
+            let chunk: Vec<T> = rest.drain(..take).collect();
+            scope.spawn(move || {
+                for it in chunk {
+                    f(it);
+                }
+            });
+        }
+    });
+}
+
+/// A finite, indexed parallel iterator (eager item list).
+pub struct ParIter<T> {
+    items: Vec<T>,
+    /// Advisory sequential-fallback floor (see [`run_spans`]).
+    min_len: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    fn new(items: Vec<T>) -> Self {
+        Self { items, min_len: 0 }
+    }
+
+    /// Pairs this iterator with another, item by item (lengths must match
+    /// for the zipped prefix; the shorter side truncates, as in rayon).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Attaches the item index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Sets the minimum number of items below which the sweep runs inline.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min;
+        self
+    }
+
+    /// Consumes the iterator, applying `f` to every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_spans(self.items, self.min_len, f);
+    }
+
+    /// Parallel fold-to-scalar via per-item mapping and a sequential
+    /// associative reduce of the (cheap) mapped values.
+    pub fn map<U, F>(self, f: F) -> MappedParIter<T, U, F>
+    where
+        F: Fn(T) -> U + Sync,
+        U: Send,
+    {
+        MappedParIter { inner: self, f }
+    }
+}
+
+/// Result of [`ParIter::map`]; supports the reducing terminals used here.
+pub struct MappedParIter<T, U, F: Fn(T) -> U> {
+    inner: ParIter<T>,
+    f: F,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> MappedParIter<T, U, F> {
+    /// Sums the mapped values.
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        let f = &self.f;
+        let results: Vec<U> = {
+            let mut slots: Vec<Option<U>> = Vec::with_capacity(self.inner.items.len());
+            slots.resize_with(self.inner.items.len(), || None);
+            let slot_refs: Vec<(usize, T)> = self.inner.items.into_iter().enumerate().collect();
+            let cell = SlotWriter(std::cell::UnsafeCell::new(&mut slots));
+            let cell_ref = &cell;
+            run_spans(slot_refs, self.inner.min_len, move |(i, item)| {
+                // SAFETY: each index is written by exactly one task.
+                unsafe { (&mut (*cell_ref.0.get()))[i] = Some(f(item)) };
+            });
+            slots.into_iter().map(|s| s.expect("task ran")).collect()
+        };
+        results.into_iter().sum()
+    }
+
+    /// Reduces the mapped values with `identity`/`op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> U + Sync,
+    {
+        let f = &self.f;
+        let mut acc = identity();
+        for item in self.inner.items {
+            acc = op(acc, f(item));
+        }
+        acc
+    }
+}
+
+/// Shared mutable result-slot table for [`MappedParIter::sum`].
+struct SlotWriter<'a, U>(std::cell::UnsafeCell<&'a mut Vec<Option<U>>>);
+// SAFETY: distinct tasks write distinct indices (enumerate is bijective).
+unsafe impl<U> Sync for SlotWriter<'_, U> {}
+
+/// `slice.par_chunks(n)` / `slice.par_chunks_mut(n)`.
+pub trait ParallelSlice<T: Sync> {
+    /// Immutable parallel chunks of at most `n` items.
+    fn par_chunks(&self, n: usize) -> ParIter<&[T]>;
+    /// Immutable parallel iterator over items.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+/// Mutable counterpart of [`ParallelSlice`].
+pub trait ParallelSliceMut<T: Send> {
+    /// Mutable parallel chunks of at most `n` items.
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<&mut [T]>;
+    /// Mutable parallel iterator over items.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, n: usize) -> ParIter<&[T]> {
+        assert!(n > 0, "chunk size must be positive");
+        ParIter::new(self.chunks(n).collect())
+    }
+
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter::new(self.iter().collect())
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<&mut [T]> {
+        assert!(n > 0, "chunk size must be positive");
+        ParIter::new(self.chunks_mut(n).collect())
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter::new(self.iter_mut().collect())
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_chunks(&self, n: usize) -> ParIter<&[T]> {
+        self.as_slice().par_chunks(n)
+    }
+
+    fn par_iter(&self) -> ParIter<&T> {
+        self.as_slice().par_iter()
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<&mut [T]> {
+        self.as_mut_slice().par_chunks_mut(n)
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Parallel iterator type.
+    type Iter;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Allocation-free parallel iterator over an index range: spans are
+/// computed arithmetically, so hot kernels driving tile sweeps through
+/// `(0..n_tiles).into_par_iter().for_each(...)` never touch the heap.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+    min_len: usize,
+}
+
+impl ParRange {
+    /// Sets the minimum number of indices below which the sweep runs inline.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min;
+        self
+    }
+
+    /// Applies `f` to every index, splitting the range across workers.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let len = self.end.saturating_sub(self.start);
+        let threads = current_num_threads().min(len.max(1));
+        if threads <= 1 || len <= 1 || len < self.min_len {
+            for i in self.start..self.end {
+                f(i);
+            }
+            return;
+        }
+        let span = len.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut lo = self.start;
+            while lo < self.end {
+                let hi = (lo + span).min(self.end);
+                scope.spawn(move || {
+                    for i in lo..hi {
+                        f(i);
+                    }
+                });
+                lo = hi;
+            }
+        });
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+            min_len: 0,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::new(self)
+    }
+}
+
+/// The drop-in prelude matching `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParRange, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_zip_writes_disjointly() {
+        let mut a = vec![0u64; 10_000];
+        let b: Vec<u64> = (0..10_000).collect();
+        a.par_chunks_mut(256)
+            .zip(b.par_chunks(256))
+            .for_each(|(xs, ys)| {
+                for (x, y) in xs.iter_mut().zip(ys) {
+                    *x = y * 2;
+                }
+            });
+        assert!(a.iter().enumerate().all(|(i, &v)| v == (i as u64) * 2));
+    }
+
+    #[test]
+    fn enumerate_indices_match_chunk_order() {
+        let mut a = vec![0usize; 1000];
+        a.par_chunks_mut(100).enumerate().for_each(|(c, xs)| {
+            for x in xs.iter_mut() {
+                *x = c;
+            }
+        });
+        for (i, &v) in a.iter().enumerate() {
+            assert_eq!(v, i / 100);
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter_covers_all_indices() {
+        let hits: Vec<std::sync::atomic::AtomicU32> = (0..500)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        (0..500usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_sum_reduces_all_items() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 499_500);
+    }
+}

@@ -4,7 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use melissa_sobol::UbiquitousSobol;
-use melissa_stats::{FieldMoments, OnlineCovariance, OnlineMoments};
+use melissa_stats::quantiles::PAPER_PROBS;
+use melissa_stats::{FieldMoments, FieldQuantiles, OnlineCovariance, OnlineMoments};
 
 fn bench_scalar_updates(c: &mut Criterion) {
     let mut g = c.benchmark_group("scalar_updates");
@@ -37,6 +38,32 @@ fn bench_field_updates(c: &mut Criterion) {
             let mut acc = FieldMoments::new(cells);
             b.iter(|| acc.update(black_box(&sample)));
         });
+    }
+    g.finish();
+}
+
+/// Robbins–Monro quantile-update kernel: one field sample folded into the
+/// tiled per-cell records at the follow-up paper's seven target
+/// probabilities (stride 7 → 56 B/cell, one cache line), with the
+/// envelope update it depends on.
+fn bench_quantile_updates(c: &mut Criterion) {
+    use melissa_stats::FieldMinMax;
+    let mut g = c.benchmark_group("quantile_update");
+    for cells in [16_384usize, 131_072] {
+        let sample: Vec<f64> = (0..cells).map(|i| (i as f64).sin()).collect();
+        g.throughput(Throughput::Elements(cells as u64));
+        g.bench_with_input(
+            BenchmarkId::new("field_quantiles_q7", cells),
+            &cells,
+            |b, _| {
+                let mut acc = FieldQuantiles::new(cells, &PAPER_PROBS);
+                let mut env = FieldMinMax::new(cells);
+                b.iter(|| {
+                    env.update(black_box(&sample));
+                    acc.update(black_box(&sample), &env);
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -96,44 +123,51 @@ fn bench_worker_ingest(c: &mut Criterion) {
     // The paper's clients send per-rank chunks; 16 chunks/role models a
     // 16-rank simulation whose blocks all intersect this worker's slab.
     let chunks = 16usize;
+    // Quantile-free vs seven-quantile ingest: the fused sweep with order
+    // statistics enabled must stay within 25 % of the quantile-free
+    // throughput (asserted against BENCH_kernels.json).
+    let variants: [(&str, &[f64]); 2] = [("on_data_p6", &[]), ("on_data_p6_q7", &PAPER_PROBS)];
     for cells in [16_384usize, 131_072] {
         let fields: Vec<Vec<f64>> = (0..p + 2)
             .map(|r| (0..cells).map(|i| ((i + r * 13) as f64).cos()).collect())
             .collect();
         let chunk_len = cells / chunks;
         g.throughput(Throughput::Elements(((p + 2) * cells) as u64));
-        g.bench_with_input(BenchmarkId::new("on_data_p6", cells), &cells, |b, _| {
-            let mut st = WorkerState::with_thresholds(
-                0,
-                CellRange {
-                    start: 0,
-                    len: cells,
-                },
-                p,
-                1,
-                &[0.0, 0.5],
-            );
-            let mut group_id = 0u64;
-            b.iter(|| {
-                // Fresh group id each iteration: replays of a completed
-                // (group, timestep) would be discarded, not ingested.
-                group_id += 1;
-                let mut completed = false;
-                for (role, field) in fields.iter().enumerate() {
-                    for ch in 0..chunks {
-                        let start = ch * chunk_len;
-                        completed = st.on_data(
-                            group_id,
-                            role as u16,
-                            0,
-                            start as u64,
-                            black_box(&field[start..start + chunk_len]),
-                        );
+        for (name, quantile_probs) in variants {
+            g.bench_with_input(BenchmarkId::new(name, cells), &cells, |b, _| {
+                let mut st = WorkerState::with_stats(
+                    0,
+                    CellRange {
+                        start: 0,
+                        len: cells,
+                    },
+                    p,
+                    1,
+                    &[0.0, 0.5],
+                    quantile_probs,
+                );
+                let mut group_id = 0u64;
+                b.iter(|| {
+                    // Fresh group id each iteration: replays of a completed
+                    // (group, timestep) would be discarded, not ingested.
+                    group_id += 1;
+                    let mut completed = false;
+                    for (role, field) in fields.iter().enumerate() {
+                        for ch in 0..chunks {
+                            let start = ch * chunk_len;
+                            completed = st.on_data(
+                                group_id,
+                                role as u16,
+                                0,
+                                start as u64,
+                                black_box(&field[start..start + chunk_len]),
+                            );
+                        }
                     }
-                }
-                assert!(completed, "assembly must complete every iteration");
+                    assert!(completed, "assembly must complete every iteration");
+                });
             });
-        });
+        }
     }
     g.finish();
 }
@@ -205,6 +239,7 @@ criterion_group!(
     benches,
     bench_scalar_updates,
     bench_field_updates,
+    bench_quantile_updates,
     bench_sobol_updates,
     bench_sobol_merge,
     bench_worker_ingest,

@@ -1,0 +1,151 @@
+//! Quantile-ingest acceptance measurement: fused sweep with the seven
+//! paper quantiles enabled vs the quantile-free sweep, A/B-interleaved.
+//!
+//! The acceptance criterion for the quantile engine is that enabling
+//! seven per-cell quantiles regresses fused-ingest throughput by **less
+//! than 25 %** at the headline slab size (131 072 cells).  Sequential
+//! benchmark runs cannot measure that reliably on a shared host: CPU
+//! throttling drifts on a seconds timescale, so two variants measured a
+//! few seconds apart can differ by ±30 % for reasons that have nothing
+//! to do with the code.  This harness therefore interleaves the two
+//! variants round-robin (plus the standalone kernel A/B of the scalar vs
+//! AVX2-dispatched pair kernel) so both see the same throttling profile,
+//! and reports the marginal cost of the quantile section.
+//!
+//! Recorded in `BENCH_kernels.json` under `acceptance`.
+
+use melissa_sobol::{FusedSlabUpdate, UbiquitousSobol};
+use melissa_stats::quantiles::{__bench_pair_avx2_m7, __bench_pair_scalar_m7, PAPER_PROBS};
+use melissa_stats::{FieldMinMax, FieldMoments, FieldQuantiles, FieldThreshold};
+use std::time::Instant;
+
+/// One timestep's accumulators at the benchmark slab size.
+struct SlabStats {
+    sobol: UbiquitousSobol,
+    moments: FieldMoments,
+    minmax: FieldMinMax,
+    thresholds: Vec<FieldThreshold>,
+    quantiles: FieldQuantiles,
+}
+
+impl SlabStats {
+    fn new(cells: usize, p: usize) -> Self {
+        Self {
+            sobol: UbiquitousSobol::new(p, cells),
+            moments: FieldMoments::new(cells),
+            minmax: FieldMinMax::new(cells),
+            thresholds: vec![
+                FieldThreshold::new(cells, 0.0),
+                FieldThreshold::new(cells, 0.5),
+            ],
+            quantiles: FieldQuantiles::new(cells, &PAPER_PROBS),
+        }
+    }
+}
+
+fn main() {
+    let cells = 131_072usize;
+    let p = 6;
+
+    // Kernel-level A/B: scalar vs AVX2-dispatched pair kernel.
+    let a: Vec<f64> = (0..cells).map(|i| (i as f64).cos()).collect();
+    let b: Vec<f64> = (0..cells).map(|i| (i as f64 + 0.5).cos()).collect();
+    let mut recs_s = vec![0.1f64; cells * PAPER_PROBS.len()];
+    let mut recs_v = recs_s.clone();
+    let mut mins_s = vec![-2.0f64; cells];
+    let mut maxs_s = vec![2.0f64; cells];
+    let mut mins_v = mins_s.clone();
+    let mut maxs_v = maxs_s.clone();
+    let (mut ts, mut tv) = (0u128, 0u128);
+    let rounds = 200;
+    for r in 0..rounds + 20 {
+        let warm = r < 20;
+        let t = Instant::now();
+        __bench_pair_scalar_m7(
+            &mut recs_s,
+            &a,
+            &b,
+            &mut mins_s,
+            &mut maxs_s,
+            &PAPER_PROBS,
+            1e-3,
+            1e-3,
+        );
+        if !warm {
+            ts += t.elapsed().as_nanos();
+        }
+        let t = Instant::now();
+        __bench_pair_avx2_m7(
+            &mut recs_v,
+            &a,
+            &b,
+            &mut mins_v,
+            &mut maxs_v,
+            &PAPER_PROBS,
+            1e-3,
+            1e-3,
+        );
+        if !warm {
+            tv += t.elapsed().as_nanos();
+        }
+    }
+    assert!(
+        recs_s.iter().zip(&recs_v).all(|(x, y)| x == y),
+        "scalar and AVX2 kernels diverged"
+    );
+    println!(
+        "pair kernel m7 (131072 cells): scalar {:>9.0} ns, avx2-dispatch {:>9.0} ns ({:.2}x)",
+        ts as f64 / rounds as f64,
+        tv as f64 / rounds as f64,
+        ts as f64 / tv as f64
+    );
+
+    // Ingest-level A/B: fused sweep without vs with seven quantiles.
+    let fields: Vec<Vec<f64>> = (0..p + 2)
+        .map(|r| (0..cells).map(|i| ((i + r * 13) as f64).cos()).collect())
+        .collect();
+    let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+    let mut no_q = SlabStats::new(cells, p);
+    let mut with_q = SlabStats::new(cells, p);
+    let (mut ta, mut tb) = (0u128, 0u128);
+    let rounds = 100;
+    for r in 0..rounds + 10 {
+        let warm = r < 10;
+        let t = Instant::now();
+        FusedSlabUpdate::new(
+            &mut no_q.sobol,
+            &mut no_q.moments,
+            &mut no_q.minmax,
+            &mut no_q.thresholds,
+            None,
+        )
+        .apply(&refs);
+        if !warm {
+            ta += t.elapsed().as_nanos();
+        }
+        let t = Instant::now();
+        FusedSlabUpdate::new(
+            &mut with_q.sobol,
+            &mut with_q.moments,
+            &mut with_q.minmax,
+            &mut with_q.thresholds,
+            Some(&mut with_q.quantiles),
+        )
+        .apply(&refs);
+        if !warm {
+            tb += t.elapsed().as_nanos();
+        }
+    }
+    let n = rounds as f64;
+    let (base, quant) = (ta as f64 / n, tb as f64 / n);
+    let marginal = 100.0 * (quant - base) / base;
+    println!(
+        "fused sweep (131072 cells, p = 6): no-q {base:>9.0} ns, with q7 {quant:>9.0} ns \
+         (marginal {marginal:+.1} %)"
+    );
+    assert!(
+        marginal < 25.0,
+        "seven-quantile ingest regresses the fused sweep by {marginal:.1} % (budget: 25 %)"
+    );
+    println!("ACCEPTANCE MET: quantile-enabled ingest within 25 % of quantile-free throughput");
+}

@@ -11,6 +11,7 @@
 //! | `fig8_variance_map` | Fig. 8: the variance map co-visualisation |
 //! | `fault_tolerance` | Sec. 5.4: checkpoint/restart costs, detection latencies, live fault drills |
 //! | `convergence_ci` | Sec. 3.4: confidence-interval convergence and coverage on analytic test functions |
+//! | `fig_quantiles` | Quantile follow-up paper (arXiv:1905.04180): Robbins–Monro quantile convergence vs runs on the analytic test functions |
 //!
 //! Run them with `cargo run -p melissa-bench --release --bin <name>`.
 //! Each prints a paper-vs-measured table; CSV series are written under

@@ -55,6 +55,11 @@ pub struct StudyConfig {
     /// Thresholds for per-cell exceedance-probability statistics (the
     /// paper's "other iterative statistics", Section 4.1).
     pub thresholds: Vec<f64>,
+    /// Target probabilities for per-cell Robbins–Monro quantile maps
+    /// (the quantile follow-up paper, arXiv:1905.04180).  Defaults to the
+    /// seven probabilities of its EDF-scale study; empty disables order
+    /// statistics.
+    pub quantile_probs: Vec<f64>,
 }
 
 impl Default for StudyConfig {
@@ -77,6 +82,7 @@ impl Default for StudyConfig {
             wall_limit: Duration::from_secs(600),
             link_fault: melissa_transport::FaultPolicy::default(),
             thresholds: vec![0.5],
+            quantile_probs: melissa_stats::quantiles::PAPER_PROBS.to_vec(),
         }
     }
 }
@@ -133,6 +139,11 @@ impl StudyConfig {
         if self.hwm == 0 {
             return Err("HWM must be at least 1".into());
         }
+        for &q in &self.quantile_probs {
+            if !(q > 0.0 && q < 1.0) {
+                return Err(format!("quantile probability {q} outside (0, 1)"));
+            }
+        }
         Ok(())
     }
 }
@@ -166,5 +177,16 @@ mod tests {
         let mut c = StudyConfig::tiny();
         c.hwm = 0;
         assert!(c.validate().is_err());
+
+        let mut c = StudyConfig::tiny();
+        c.quantile_probs = vec![0.5, 1.0];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_quantile_probs_match_followup_paper() {
+        let c = StudyConfig::default();
+        assert_eq!(c.quantile_probs.len(), 7);
+        assert_eq!(c.quantile_probs[3], 0.5, "median is tracked by default");
     }
 }

@@ -77,6 +77,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
         ci_variance_floor: config.ci_variance_floor,
         restore: false,
         thresholds: config.thresholds.clone(),
+        quantile_probs: config.quantile_probs.clone(),
     };
 
     // Start the server and wait for readiness.
@@ -131,6 +132,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     let mut retries: HashMap<u64, u32> = HashMap::new();
     let mut abandoned: HashSet<u64> = HashSet::new();
     let mut last_ci = f64::INFINITY;
+    let mut last_quantile_step = f64::INFINITY;
     let mut early_stopped = false;
     let mut server_fault_armed = faults.kill_server_after_finished_groups;
     // Counters carried across server restarts (a crashed server's shared
@@ -159,11 +161,13 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                             finished_groups,
                             running_groups,
                             max_ci_width,
+                            max_quantile_step,
                         } => {
                             server_liveness.record(0u32);
                             known_finished.extend(finished_groups);
                             known_running = running_groups.into_iter().collect();
                             last_ci = max_ci_width;
+                            last_quantile_step = max_quantile_step;
                         }
                         Message::GroupTimeout { group_id }
                             if !known_finished.contains(&group_id) =>
@@ -370,6 +374,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     report.blocked_time = link.1;
     report.early_stopped = early_stopped;
     report.final_max_ci = last_ci;
+    report.final_max_quantile_step = last_quantile_step;
 
     let results = StudyResults::from_worker_states(p, config.solver.n_timesteps, n_cells, states);
     Ok(StudyOutput { results, report })

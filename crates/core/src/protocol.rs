@@ -69,6 +69,10 @@ pub enum Message {
         /// Widest 95 % confidence interval across all tracked indices
         /// (convergence-control signal, Section 4.1.5).
         max_ci_width: f64,
+        /// Widest possible next Robbins–Monro quantile step across all
+        /// workers (the order-statistics convergence signal; 0 when
+        /// quantiles are disabled).
+        max_quantile_step: f64,
     },
     /// Server main → launcher: a group exceeded the message timeout
     /// (unfinished-group fault, Section 4.2.2).
@@ -146,11 +150,13 @@ impl Message {
                 finished_groups,
                 running_groups,
                 max_ci_width,
+                max_quantile_step,
             } => {
                 buf.put_u8(tag::SERVER_REPORT);
                 put_u64_slice(&mut buf, finished_groups);
                 put_u64_slice(&mut buf, running_groups);
                 buf.put_f64_le(*max_ci_width);
+                buf.put_f64_le(*max_quantile_step);
             }
             Message::GroupTimeout { group_id } => {
                 buf.put_u8(tag::GROUP_TIMEOUT);
@@ -217,6 +223,10 @@ impl Message {
                 finished_groups: get_u64_vec(&mut buf, "finished_groups")?,
                 running_groups: get_u64_vec(&mut buf, "running_groups")?,
                 max_ci_width: melissa_transport::codec::get_f64(&mut buf, "max_ci_width")?,
+                max_quantile_step: melissa_transport::codec::get_f64(
+                    &mut buf,
+                    "max_quantile_step",
+                )?,
             },
             tag::GROUP_TIMEOUT => Message::GroupTimeout {
                 group_id: get_u64(&mut buf, "group_id")?,
@@ -270,6 +280,7 @@ mod tests {
             finished_groups: vec![1, 2, 3],
             running_groups: vec![],
             max_ci_width: 0.25,
+            max_quantile_step: 0.125,
         });
         roundtrip(Message::GroupTimeout { group_id: 9 });
         roundtrip(Message::Checkpoint {

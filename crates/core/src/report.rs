@@ -38,6 +38,10 @@ pub struct StudyReport {
     pub early_stopped: bool,
     /// Final convergence signal (max 95 % CI width).
     pub final_max_ci: f64,
+    /// Final quantile-convergence signal: the widest possible next
+    /// Robbins–Monro step over all workers/cells (0 when order statistics
+    /// are disabled; ∞ when enabled but no data arrived).
+    pub final_max_quantile_step: f64,
     /// Chronological failure/restart log.
     pub events: Vec<String>,
 }
@@ -60,6 +64,7 @@ impl StudyReport {
             checkpoints_written: 0,
             early_stopped: false,
             final_max_ci: f64::INFINITY,
+            final_max_quantile_step: 0.0,
             events: Vec::new(),
         }
     }
@@ -104,6 +109,13 @@ impl std::fmt::Display for StudyReport {
         writeln!(f, "group restarts    : {}", self.group_restarts)?;
         writeln!(f, "server restarts   : {}", self.server_restarts)?;
         writeln!(f, "checkpoints       : {}", self.checkpoints_written)?;
+        if self.final_max_quantile_step > 0.0 && self.final_max_quantile_step.is_finite() {
+            writeln!(
+                f,
+                "quantile conv     : max RM step {:.4} (alongside max CI width {:.4})",
+                self.final_max_quantile_step, self.final_max_ci
+            )?;
+        }
         if !self.groups_abandoned.is_empty() {
             writeln!(f, "abandoned groups  : {:?}", self.groups_abandoned)?;
         }
@@ -134,11 +146,20 @@ mod tests {
         r.groups_finished = 9;
         r.groups_abandoned = vec![7];
         r.data_bytes = 3 * 1024 * 1024;
+        r.final_max_ci = 0.21;
+        r.final_max_quantile_step = 0.0375;
         r.log("restarting group 7 as instance 1".into());
         let text = r.to_string();
         assert!(text.contains("9/10 finished"));
         assert!(text.contains("3.0 MiB"));
         assert!(text.contains("abandoned groups  : [7]"));
         assert!(text.contains("restarting group 7"));
+        assert!(text.contains("max RM step 0.0375"));
+    }
+
+    #[test]
+    fn quantile_line_is_omitted_when_disabled() {
+        let r = StudyReport::new(1);
+        assert!(!r.to_string().contains("quantile conv"));
     }
 }

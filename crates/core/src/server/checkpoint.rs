@@ -9,8 +9,18 @@
 //!
 //! Layout (little-endian, via `melissa_transport::codec`):
 //! magic, version, worker_id, slab, p, n_timesteps, per-timestep packed
-//! Sobol' state, per-timestep packed moments, the last-completed map and
-//! the finished list.
+//! Sobol' state, per-timestep packed moments and min/max, the threshold
+//! accumulators, the Robbins–Monro quantile records (format v3+), the
+//! last-completed map and the finished list.
+//!
+//! ## Format versions
+//!
+//! * **v3** (current) — adds the quantile section.
+//! * **v2** (legacy, read-only) — no quantile section.  v2 files restore
+//!   into a v3 server with quantiles **cold**: order statistics restart
+//!   from scratch while every other statistic resumes where it left off
+//!   (Robbins–Monro iterates carry no sufficient statistic that could be
+//!   reconstructed from the other accumulators).
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -19,20 +29,30 @@ use std::path::Path;
 use bytes::{Buf, BufMut, BytesMut};
 use melissa_mesh::CellRange;
 use melissa_sobol::UbiquitousSobol;
-use melissa_stats::{FieldMinMax, FieldMoments, FieldThreshold};
+use melissa_stats::{FieldMinMax, FieldMoments, FieldQuantiles, FieldThreshold};
 
 use super::state::WorkerState;
 
 const MAGIC: u32 = 0x4d4c5341; // "MLSA"
-const VERSION: u32 = 2;
+/// Current checkpoint format version (quantile section present).
+const VERSION: u32 = 3;
+/// Oldest format version still restorable (pre-quantile layout).
+const MIN_VERSION: u32 = 2;
 
 /// Checkpoint read failure.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The file is not a valid checkpoint (magic/version/shape mismatch).
+    /// The file is not a valid checkpoint (magic/shape mismatch).
     Corrupt(&'static str),
+    /// The file's format version is outside the supported range — the
+    /// found version is carried so operators can tell a future-format
+    /// file from a corrupt one.
+    UnsupportedVersion {
+        /// The version field the file actually contained.
+        found: u32,
+    },
 }
 
 impl From<io::Error> for CheckpointError {
@@ -46,6 +66,10 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported checkpoint version {found} (supported: {MIN_VERSION}..={VERSION})"
+            ),
         }
     }
 }
@@ -61,7 +85,8 @@ pub fn checkpoint_file(dir: &Path, worker_id: usize) -> std::path::PathBuf {
 /// 959 MB per process for the full-scale study).
 pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, CheckpointError> {
     std::fs::create_dir_all(dir)?;
-    let (sobol, moments, minmax, thresholds, last_completed, finished) = state.checkpoint_parts();
+    let (sobol, moments, minmax, thresholds, quantiles, last_completed, finished) =
+        state.checkpoint_parts();
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
@@ -114,10 +139,33 @@ pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, Checkpoi
             }
         }
     }
-    buf.put_u64_le(last_completed.len() as u64);
-    for (g, ts) in last_completed {
-        buf.put_u64_le(*g);
-        buf.put_i64_le(*ts);
+    // Quantile section (format v3+).  Probabilities and the step exponent
+    // are shared across timesteps; the per-timestep record arrays are the
+    // tiled storage verbatim.
+    let n_probs = quantiles.first().map_or(0, |q| q.probs().len());
+    buf.put_u64_le(n_probs as u64);
+    if let Some(first) = quantiles.first() {
+        buf.put_f64_le(first.gamma());
+        for p in first.probs() {
+            buf.put_f64_le(*p);
+        }
+        for q in quantiles {
+            let (n, _, _, records) = q.raw_state();
+            buf.put_u64_le(n);
+            buf.put_u64_le(records.len() as u64);
+            for v in records {
+                buf.put_f64_le(*v);
+            }
+        }
+    }
+    // Sorted by group id so checkpoint bytes are a deterministic function
+    // of the state (HashMap iteration order is salted per instance).
+    let mut completed: Vec<(u64, i64)> = last_completed.iter().map(|(g, ts)| (*g, *ts)).collect();
+    completed.sort_unstable_by_key(|&(g, _)| g);
+    buf.put_u64_le(completed.len() as u64);
+    for (g, ts) in completed {
+        buf.put_u64_le(g);
+        buf.put_i64_le(ts);
     }
     buf.put_u64_le(finished.len() as u64);
     for g in finished {
@@ -152,8 +200,9 @@ pub fn read_checkpoint(dir: &Path, worker_id: usize) -> Result<WorkerState, Chec
     if buf.get_u32_le() != MAGIC {
         return Err(CheckpointError::Corrupt("bad magic"));
     }
-    if buf.get_u32_le() != VERSION {
-        return Err(CheckpointError::Corrupt("unsupported version"));
+    let version = buf.get_u32_le();
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(CheckpointError::UnsupportedVersion { found: version });
     }
     need!(8 * 3 + 4 * 2, "shape");
     let file_worker = buf.get_u64_le() as usize;
@@ -251,6 +300,55 @@ pub fn read_checkpoint(dir: &Path, worker_id: usize) -> Result<WorkerState, Chec
         }
     }
 
+    // Quantile section: absent in legacy v2 files — those restore with
+    // quantiles cold (an empty vector; the server retrofits fresh state).
+    // All values are validated here and rejected as `Corrupt` rather than
+    // letting `FieldQuantiles` constructor asserts panic: this runs on
+    // worker threads, where a panic would kill the worker instead of
+    // triggering the fresh-state fallback.
+    let mut quantiles: Vec<FieldQuantiles> = Vec::new();
+    if version >= 3 {
+        need!(8, "quantile prob count");
+        let n_probs = buf.get_u64_le() as usize;
+        if n_probs > 4096 {
+            return Err(CheckpointError::Corrupt("implausible quantile count"));
+        }
+        if n_probs > 0 {
+            need!(8 * (1 + n_probs), "quantile config");
+            let gamma = buf.get_f64_le();
+            if !(gamma > 0.5 && gamma <= 1.0) {
+                return Err(CheckpointError::Corrupt("quantile step exponent"));
+            }
+            let mut probs = Vec::with_capacity(n_probs);
+            for _ in 0..n_probs {
+                let p = buf.get_f64_le();
+                if !(p > 0.0 && p < 1.0) {
+                    return Err(CheckpointError::Corrupt("quantile probability"));
+                }
+                probs.push(p);
+            }
+            let expected_flat = n_probs
+                .checked_mul(slab.len)
+                .ok_or(CheckpointError::Corrupt("quantile payload length"))?;
+            for _ in 0..n_timesteps {
+                need!(16, "quantile header");
+                let n = buf.get_u64_le();
+                let flat_len = buf.get_u64_le() as usize;
+                if flat_len != expected_flat {
+                    return Err(CheckpointError::Corrupt("quantile payload length"));
+                }
+                need!(flat_len * 8, "quantile payload");
+                let mut flat = Vec::with_capacity(flat_len);
+                for _ in 0..flat_len {
+                    flat.push(buf.get_f64_le());
+                }
+                quantiles.push(FieldQuantiles::from_raw_state(
+                    slab.len, &probs, gamma, n, &flat,
+                ));
+            }
+        }
+    }
+
     need!(8, "bookkeeping");
     let n_groups = buf.get_u64_le() as usize;
     let mut last_completed = HashMap::with_capacity(n_groups);
@@ -277,6 +375,7 @@ pub fn read_checkpoint(dir: &Path, worker_id: usize) -> Result<WorkerState, Chec
         moments,
         minmax,
         thresholds,
+        quantiles,
         last_completed,
         finished,
     ))
@@ -293,7 +392,14 @@ mod tests {
     }
 
     fn populated_state() -> WorkerState {
-        let mut st = WorkerState::new(2, CellRange { start: 5, len: 3 }, 2, 2);
+        let mut st = WorkerState::with_stats(
+            2,
+            CellRange { start: 5, len: 3 },
+            2,
+            2,
+            &[1.5],
+            &[0.25, 0.5, 0.75],
+        );
         for ts in 0..2u32 {
             for role in 0..4u16 {
                 let vals: Vec<f64> = (0..3)
@@ -308,6 +414,78 @@ mod tests {
         st
     }
 
+    /// Pinned legacy **v2** checkpoint writer: the exact pre-quantile
+    /// byte layout (no quantile section), used by the cross-version
+    /// restore tests.  Deliberately *not* derived from the live writer so
+    /// a format regression cannot silently rewrite history.
+    fn write_legacy_v2_checkpoint(dir: &Path, state: &WorkerState) -> std::path::PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let (sobol, moments, minmax, thresholds, _, last_completed, finished) =
+            state.checkpoint_parts();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u64_le(state.worker_id() as u64);
+        buf.put_u64_le(state.slab().start as u64);
+        buf.put_u64_le(state.slab().len as u64);
+        buf.put_u32_le(state.dim() as u32);
+        buf.put_u32_le(state.n_timesteps() as u32);
+        let mut flat = Vec::new();
+        for s in sobol {
+            s.pack_into(&mut flat);
+            buf.put_u64_le(s.n_groups());
+            buf.put_u64_le(flat.len() as u64);
+            for v in &flat {
+                buf.put_f64_le(*v);
+            }
+        }
+        for m in moments {
+            let (n, mean, m2, m3, m4) = m.raw_state();
+            buf.put_u64_le(n);
+            buf.put_u64_le(mean.len() as u64);
+            for arr in [mean, m2, m3, m4] {
+                for v in arr {
+                    buf.put_f64_le(*v);
+                }
+            }
+        }
+        for mm in minmax {
+            let (n, mn, mx) = mm.raw_state();
+            buf.put_u64_le(n);
+            buf.put_u64_le(mn.len() as u64);
+            for arr in [mn, mx] {
+                for v in arr {
+                    buf.put_f64_le(*v);
+                }
+            }
+        }
+        let n_thresholds = thresholds.first().map_or(0, |v| v.len());
+        buf.put_u64_le(n_thresholds as u64);
+        for ti in 0..n_thresholds {
+            for per_ts in thresholds {
+                let (threshold, n, exceeded) = per_ts[ti].raw_state();
+                buf.put_f64_le(threshold);
+                buf.put_u64_le(n);
+                buf.put_u64_le(exceeded.len() as u64);
+                for v in exceeded {
+                    buf.put_u64_le(*v);
+                }
+            }
+        }
+        buf.put_u64_le(last_completed.len() as u64);
+        for (g, ts) in last_completed {
+            buf.put_u64_le(*g);
+            buf.put_i64_le(*ts);
+        }
+        buf.put_u64_le(finished.len() as u64);
+        for g in finished {
+            buf.put_u64_le(*g);
+        }
+        let path = checkpoint_file(dir, state.worker_id());
+        std::fs::write(&path, &buf).unwrap();
+        path
+    }
+
     #[test]
     fn roundtrip_preserves_statistics_and_bookkeeping() {
         let dir = tmpdir("rt");
@@ -320,10 +498,110 @@ mod tests {
         for ts in 0..2 {
             assert_eq!(back.sobol(ts), st.sobol(ts));
             assert_eq!(back.moments(ts), st.moments(ts));
+            assert_eq!(back.quantiles(ts), st.quantiles(ts));
         }
         assert_eq!(back.finished_groups(), st.finished_groups());
         assert_eq!(back.last_completed(11), st.last_completed(11));
         assert_eq!(back.last_completed(12), Some(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A v2 file (pinned legacy writer) restores into the current server
+    /// with quantiles cold and everything else intact.
+    #[test]
+    fn legacy_v2_restores_with_quantiles_cold() {
+        let dir = tmpdir("v2");
+        let st = populated_state();
+        write_legacy_v2_checkpoint(&dir, &st);
+        let mut back = read_checkpoint(&dir, 2).unwrap();
+        assert!(!back.tracks_quantiles(), "v2 carries no quantile state");
+        for ts in 0..2 {
+            assert_eq!(back.sobol(ts), st.sobol(ts));
+            assert_eq!(back.moments(ts), st.moments(ts));
+            assert_eq!(back.minmax(ts), st.minmax(ts));
+            assert_eq!(back.thresholds(ts), st.thresholds(ts));
+        }
+        assert_eq!(back.finished_groups(), st.finished_groups());
+        // The server retrofits fresh (cold) quantile accumulators.
+        back.ensure_quantiles(&[0.25, 0.5, 0.75]);
+        assert_eq!(back.quantiles(0).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The current (v3) format round-trips bit-identically: writing the
+    /// restored state again produces the same bytes.
+    #[test]
+    fn v3_roundtrip_is_bit_identical() {
+        let dir_a = tmpdir("v3a");
+        let dir_b = tmpdir("v3b");
+        let st = populated_state();
+        write_checkpoint(&dir_a, &st).unwrap();
+        let back = read_checkpoint(&dir_a, 2).unwrap();
+        write_checkpoint(&dir_b, &back).unwrap();
+        let bytes_a = std::fs::read(checkpoint_file(&dir_a, 2)).unwrap();
+        let bytes_b = std::fs::read(checkpoint_file(&dir_b, 2)).unwrap();
+        assert_eq!(bytes_a, bytes_b);
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    /// A kill after a checkpoint, a restore, and a replay of the
+    /// remaining groups must leave the quantile estimates bit-identical
+    /// to an uninterrupted run (the Robbins–Monro recursion is a pure
+    /// function of its restored state and the subsequent sample order).
+    #[test]
+    fn restored_quantiles_continue_bit_identically() {
+        let dir = tmpdir("qcont");
+        let probs = [0.25, 0.5, 0.75];
+        let slab = CellRange { start: 0, len: 6 };
+        let feed = |st: &mut WorkerState, g: u64| {
+            for role in 0..4u16 {
+                let vals: Vec<f64> = (0..6)
+                    .map(|i| ((g * 37 + role as u64 * 11 + i) % 17) as f64 - 8.0)
+                    .collect();
+                st.on_data(g, role, 0, 0, &vals);
+            }
+        };
+        let mut uninterrupted = WorkerState::with_stats(0, slab, 2, 1, &[], &probs);
+        let mut original = WorkerState::with_stats(0, slab, 2, 1, &[], &probs);
+        for g in 0..5 {
+            feed(&mut uninterrupted, g);
+            feed(&mut original, g);
+        }
+        write_checkpoint(&dir, &original).unwrap();
+        drop(original); // the "kill": in-memory state is gone
+        let mut restored = read_checkpoint(&dir, 0).unwrap();
+        for g in 5..9 {
+            feed(&mut uninterrupted, g);
+            feed(&mut restored, g);
+        }
+        assert_eq!(restored.quantiles(0), uninterrupted.quantiles(0));
+        assert_eq!(restored.sobol(0), uninterrupted.sobol(0));
+        assert_eq!(restored.moments(0), uninterrupted.moments(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsupported_version_reports_found_and_supported_range() {
+        let dir = tmpdir("ver");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(checkpoint_file(&dir, 0), bytes).unwrap();
+        let err = match read_checkpoint(&dir, 0) {
+            Err(e) => e,
+            Ok(_) => panic!("version 99 must be rejected"),
+        };
+        assert!(matches!(
+            err,
+            CheckpointError::UnsupportedVersion { found: 99 }
+        ));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("99") && msg.contains("2..=3"),
+            "error must name found and supported versions: {msg}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,6 +8,16 @@
 //! synchronization between the server processes".  A *main* process
 //! handles dynamic connection requests, periodic heartbeats/reports to the
 //! launcher, group-timeout detection and checkpoint triggers.
+//!
+//! Per `(timestep, cell)` the workers track the ubiquitous Sobol' state,
+//! field moments, the min/max envelope, threshold-exceedance counters
+//! and — when [`ServerConfig::quantile_probs`] is non-empty — per-cell
+//! Robbins–Monro quantile estimates (`melissa_stats::quantiles`, the
+//! order-statistics family of the quantile follow-up paper
+//! arXiv:1905.04180), all folded in by one fused tile-parallel sweep per
+//! completed assembly.  Alongside the Sobol' CI width, workers report the
+//! widest possible next quantile step as the order-statistics convergence
+//! signal.
 
 pub mod checkpoint;
 pub mod state;
@@ -60,6 +70,10 @@ pub struct ServerConfig {
     /// Thresholds for per-cell exceedance probabilities (paper Sec. 4.1's
     /// "other iterative statistics"; empty disables).
     pub thresholds: Vec<f64>,
+    /// Target probabilities for per-cell Robbins–Monro quantile estimates
+    /// (the follow-up paper arXiv:1905.04180; empty disables order
+    /// statistics).
+    pub quantile_probs: Vec<f64>,
 }
 
 /// State shared between server threads and readable by the launcher.
@@ -75,6 +89,10 @@ pub struct ServerShared {
     /// Per-worker latest convergence-control signal (max CI width over the
     /// worker's slab; ∞ until known).
     worker_ci: Mutex<Vec<f64>>,
+    /// Per-worker latest quantile-convergence signal (max Robbins–Monro
+    /// step width over the worker's slab; ∞ until known, 0 when order
+    /// statistics are disabled).
+    worker_quantile_step: Mutex<Vec<f64>>,
     /// Total data payload bytes ingested.
     pub bytes_received: AtomicU64,
     /// Total data messages ingested.
@@ -83,21 +101,33 @@ pub struct ServerShared {
     pub replays_discarded: AtomicU64,
     /// Checkpoint writes performed (all workers).
     pub checkpoints_written: AtomicU64,
+    /// Workers that fell back to cold statistics because their checkpoint
+    /// was missing or unreadable (restore diagnostics).
+    pub restores_failed: AtomicU64,
     n_workers: usize,
 }
 
 impl ServerShared {
-    fn new(n_workers: usize, group_timeout: Duration) -> Self {
+    fn new(n_workers: usize, group_timeout: Duration, quantiles_enabled: bool) -> Self {
+        // With order statistics disabled the quantile signal is
+        // identically 0 (not ∞): nothing will ever report one.
+        let initial_step = if quantiles_enabled {
+            f64::INFINITY
+        } else {
+            0.0
+        };
         Self {
             liveness: LivenessTracker::new(group_timeout),
             started: Mutex::new(HashSet::new()),
             finished_counts: Mutex::new(HashMap::new()),
             finished: Mutex::new(HashSet::new()),
             worker_ci: Mutex::new(vec![f64::INFINITY; n_workers]),
+            worker_quantile_step: Mutex::new(vec![initial_step; n_workers]),
             bytes_received: AtomicU64::new(0),
             messages_received: AtomicU64::new(0),
             replays_discarded: AtomicU64::new(0),
             checkpoints_written: AtomicU64::new(0),
+            restores_failed: AtomicU64::new(0),
             n_workers,
         }
     }
@@ -139,8 +169,23 @@ impl ServerShared {
         self.worker_ci.lock().iter().copied().fold(0.0, f64::max)
     }
 
+    /// Global quantile-convergence signal: the widest possible next
+    /// Robbins–Monro step over all workers (∞ until every worker has
+    /// reported one; 0 when order statistics are disabled).
+    pub fn max_quantile_step(&self) -> f64 {
+        self.worker_quantile_step
+            .lock()
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
     fn set_worker_ci(&self, worker: usize, width: f64) {
         self.worker_ci.lock()[worker] = width;
+    }
+
+    fn set_worker_quantile_step(&self, worker: usize, width: f64) {
+        self.worker_quantile_step.lock()[worker] = width;
     }
 }
 
@@ -161,7 +206,11 @@ impl Server {
     /// `ServerReady` to the launcher endpoint once up.
     pub fn start(config: ServerConfig, broker: &Broker, launcher_tx: HwmSender) -> Server {
         assert!(config.n_workers > 0 && config.n_cells >= config.n_workers);
-        let shared = Arc::new(ServerShared::new(config.n_workers, config.group_timeout));
+        let shared = Arc::new(ServerShared::new(
+            config.n_workers,
+            config.group_timeout,
+            !config.quantile_probs.is_empty(),
+        ));
         let kill = KillSwitch::new();
         let partition = SlabPartition::new(config.n_cells, config.n_workers);
 
@@ -191,22 +240,45 @@ impl Server {
                 std::thread::spawn(move || {
                     let state = if cfg.restore {
                         match read_checkpoint(&cfg.checkpoint_dir, w) {
-                            Ok(st) => st,
-                            Err(_) => WorkerState::with_thresholds(
-                                w,
-                                slab,
-                                cfg.p,
-                                cfg.n_timesteps,
-                                &cfg.thresholds,
-                            ),
+                            Ok(mut st) => {
+                                // Legacy (pre-quantile) checkpoints restore
+                                // with quantiles cold: retrofit fresh state.
+                                st.ensure_quantiles(&cfg.quantile_probs);
+                                st
+                            }
+                            Err(e) => {
+                                // Surface the reason (e.g. an unsupported
+                                // format version names found-vs-supported)
+                                // instead of silently discarding history;
+                                // a missing file is the normal crash-
+                                // before-first-checkpoint case.
+                                if !matches!(&e, checkpoint::CheckpointError::Io(io)
+                                    if io.kind() == std::io::ErrorKind::NotFound)
+                                {
+                                    eprintln!(
+                                        "melissa-server worker {w}: checkpoint restore \
+                                         failed ({e}); starting from cold statistics"
+                                    );
+                                }
+                                shared.restores_failed.fetch_add(1, Ordering::Relaxed);
+                                WorkerState::with_stats(
+                                    w,
+                                    slab,
+                                    cfg.p,
+                                    cfg.n_timesteps,
+                                    &cfg.thresholds,
+                                    &cfg.quantile_probs,
+                                )
+                            }
                         }
                     } else {
-                        WorkerState::with_thresholds(
+                        WorkerState::with_stats(
                             w,
                             slab,
                             cfg.p,
                             cfg.n_timesteps,
                             &cfg.thresholds,
+                            &cfg.quantile_probs,
                         )
                     };
                     // Checkpointed bookkeeping seeds the shared lists.
@@ -340,6 +412,12 @@ fn worker_loop(
                                 let w = state.max_ci_width(cfg.ci_variance_floor);
                                 shared.set_worker_ci(state.worker_id(), w);
                             }
+                            if state.tracks_quantiles() {
+                                shared.set_worker_quantile_step(
+                                    state.worker_id(),
+                                    state.max_quantile_step(),
+                                );
+                            }
                         }
                     }
                     Message::Checkpoint { dir }
@@ -415,6 +493,7 @@ fn main_loop(
                 finished_groups: shared.finished_groups(),
                 running_groups: shared.running_groups(),
                 max_ci_width: shared.max_ci_width(),
+                max_quantile_step: shared.max_quantile_step(),
             };
             let _ = launcher_tx.send(report.encode());
             for g in shared.liveness.expired() {

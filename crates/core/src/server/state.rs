@@ -6,9 +6,10 @@
 //! `(group, timestep)` until all `p + 2` roles cover the slab, at which
 //! point **one fused tile-parallel sweep**
 //! ([`melissa_sobol::FusedSlabUpdate`]) folds the assembly into the
-//! Sobol' state, field moments, min/max envelope and every configured
-//! threshold accumulator at once, and the data is **discarded** — the
-//! defining property of in transit processing.
+//! Sobol' state, field moments, min/max envelope, every configured
+//! threshold accumulator and the Robbins–Monro quantile estimates at
+//! once, and the data is **discarded** — the defining property of in
+//! transit processing.
 //!
 //! The assembly path is allocation-lean in steady state: completed
 //! assembly buffers are recycled through a pool instead of being freed
@@ -25,7 +26,7 @@ use std::collections::HashMap;
 
 use melissa_mesh::CellRange;
 use melissa_sobol::{FusedSlabUpdate, UbiquitousSobol};
-use melissa_stats::{FieldMinMax, FieldMoments, FieldThreshold};
+use melissa_stats::{FieldMinMax, FieldMoments, FieldQuantiles, FieldThreshold};
 
 /// Retained spare assembly buffers.  Bounds pool memory at roughly
 /// `16 × (p + 2) × slab` doubles while still absorbing the in-flight
@@ -124,6 +125,9 @@ pub struct WorkerState {
     /// Per-timestep threshold-exceedance accumulators, one per configured
     /// threshold (paper Section 4.1 / Terraz et al. ISAV'16).
     thresholds: Vec<Vec<FieldThreshold>>,
+    /// Per-timestep Robbins–Monro quantile estimates over `Y^A`/`Y^B`
+    /// (arXiv:1905.04180); empty when no target probabilities configured.
+    quantiles: Vec<FieldQuantiles>,
     /// In-flight assemblies.
     assembly: HashMap<(u64, u32), Assembly>,
     /// Recycled assembly buffers (capped at [`ASSEMBLY_POOL_MAX`]).
@@ -145,9 +149,9 @@ pub struct WorkerState {
 
 impl WorkerState {
     /// Creates an empty state for worker `worker_id` owning `slab`
-    /// (no threshold statistics).
+    /// (no threshold or quantile statistics).
     pub fn new(worker_id: usize, slab: CellRange, p: usize, n_timesteps: usize) -> Self {
-        Self::with_thresholds(worker_id, slab, p, n_timesteps, &[])
+        Self::with_stats(worker_id, slab, p, n_timesteps, &[], &[])
     }
 
     /// Creates an empty state additionally tracking threshold-exceedance
@@ -158,6 +162,20 @@ impl WorkerState {
         p: usize,
         n_timesteps: usize,
         thresholds: &[f64],
+    ) -> Self {
+        Self::with_stats(worker_id, slab, p, n_timesteps, thresholds, &[])
+    }
+
+    /// Creates an empty state tracking threshold-exceedance probabilities
+    /// and Robbins–Monro quantile estimates for each target probability in
+    /// `quantile_probs` (empty disables order statistics).
+    pub fn with_stats(
+        worker_id: usize,
+        slab: CellRange,
+        p: usize,
+        n_timesteps: usize,
+        thresholds: &[f64],
+        quantile_probs: &[f64],
     ) -> Self {
         assert!(slab.len > 0, "worker must own at least one cell");
         Self {
@@ -182,6 +200,13 @@ impl WorkerState {
                         .collect()
                 })
                 .collect(),
+            quantiles: if quantile_probs.is_empty() {
+                Vec::new()
+            } else {
+                (0..n_timesteps)
+                    .map(|_| FieldQuantiles::new(slab.len, quantile_probs))
+                    .collect()
+            },
             assembly: HashMap::new(),
             pool: Vec::new(),
             last_completed: HashMap::new(),
@@ -276,6 +301,7 @@ impl WorkerState {
             &mut self.moments[ts],
             &mut self.minmax[ts],
             &mut self.thresholds[ts],
+            self.quantiles.get_mut(ts),
         )
         .apply(&refs);
         self.fused_sweeps += 1;
@@ -354,6 +380,29 @@ impl WorkerState {
         &self.thresholds[ts]
     }
 
+    /// Quantile estimates of one timestep (`None` when order statistics
+    /// are not configured).
+    pub fn quantiles(&self, ts: usize) -> Option<&FieldQuantiles> {
+        self.quantiles.get(ts)
+    }
+
+    /// True when this state tracks Robbins–Monro quantiles.
+    pub fn tracks_quantiles(&self) -> bool {
+        !self.quantiles.is_empty()
+    }
+
+    /// Initialises cold quantile state after a legacy-checkpoint restore
+    /// (pre-quantile checkpoint formats carry no order statistics; the
+    /// estimates restart from scratch while every other statistic resumes
+    /// where it left off).  No-op when quantiles are already tracked.
+    pub fn ensure_quantiles(&mut self, quantile_probs: &[f64]) {
+        if self.quantiles.is_empty() && !quantile_probs.is_empty() {
+            self.quantiles = (0..self.n_timesteps)
+                .map(|_| FieldQuantiles::new(self.slab.len, quantile_probs))
+                .collect();
+        }
+    }
+
     /// Widest 95 % CI over all timesteps/cells/parameters, masked by the
     /// variance floor (convergence control).
     pub fn max_ci_width(&self, variance_floor: f64) -> f64 {
@@ -361,6 +410,78 @@ impl WorkerState {
             .iter()
             .map(|s| s.max_ci_width(variance_floor))
             .fold(0.0, f64::max)
+    }
+
+    /// Widest possible next Robbins–Monro quantile step over all
+    /// timesteps/cells — the order-statistics convergence signal reported
+    /// alongside the Sobol' CI width.  Timesteps with no samples yet are
+    /// skipped (mirroring how the CI sweep masks no-data cells), so the
+    /// signal is `0` when quantiles are unconfigured or entirely cold.
+    pub fn max_quantile_step(&self) -> f64 {
+        self.quantiles
+            .iter()
+            .zip(&self.minmax)
+            .filter(|(q, _)| q.count() > 0)
+            .map(|(q, envelope)| q.max_step_width(envelope))
+            .fold(0.0, f64::max)
+    }
+
+    /// Merges another worker's statistics over the **same slab** into this
+    /// one: every accumulator family merges pairwise (Pébay formulas for
+    /// moments/Sobol', exact for min/max and thresholds, count-weighted
+    /// for quantiles) and bookkeeping takes the union.  This is the
+    /// reduction step for sharded multi-server deployments where replicas
+    /// of one slab each integrate a subset of the groups.
+    ///
+    /// # Panics
+    /// Panics if slab, dimension, timestep count or configured statistics
+    /// differ, or if any group was integrated by both states (double
+    /// counting a group would bias every estimator).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.slab, other.slab, "slab mismatch");
+        assert_eq!(self.p, other.p, "dimension mismatch");
+        assert_eq!(self.n_timesteps, other.n_timesteps, "timestep mismatch");
+        assert_eq!(
+            self.quantiles.len(),
+            other.quantiles.len(),
+            "quantile configuration mismatch"
+        );
+        assert_eq!(
+            self.thresholds.first().map_or(0, Vec::len),
+            other.thresholds.first().map_or(0, Vec::len),
+            "threshold configuration mismatch"
+        );
+        for g in other.last_completed.keys() {
+            assert!(
+                !self.last_completed.contains_key(g),
+                "group {g} integrated by both states"
+            );
+        }
+        for (a, b) in self.sobol.iter_mut().zip(&other.sobol) {
+            a.merge(b);
+        }
+        for (a, b) in self.moments.iter_mut().zip(&other.moments) {
+            a.merge(b);
+        }
+        for (a, b) in self.minmax.iter_mut().zip(&other.minmax) {
+            a.merge(b);
+        }
+        for (a, b) in self.thresholds.iter_mut().zip(&other.thresholds) {
+            for (ta, tb) in a.iter_mut().zip(b) {
+                ta.merge(tb);
+            }
+        }
+        for (a, b) in self.quantiles.iter_mut().zip(&other.quantiles) {
+            a.merge(b);
+        }
+        for (&g, &ts) in &other.last_completed {
+            self.last_completed.insert(g, ts);
+        }
+        self.finished.extend_from_slice(&other.finished);
+        self.messages_received += other.messages_received;
+        self.bytes_received += other.bytes_received;
+        self.replays_discarded += other.replays_discarded;
+        self.fused_sweeps += other.fused_sweeps;
     }
 
     /// In-flight assembly count (for memory diagnostics).
@@ -382,6 +503,7 @@ impl WorkerState {
         &[FieldMoments],
         &[FieldMinMax],
         &[Vec<FieldThreshold>],
+        &[FieldQuantiles],
         &HashMap<u64, i64>,
         &[u64],
     ) {
@@ -390,6 +512,7 @@ impl WorkerState {
             &self.moments,
             &self.minmax,
             &self.thresholds,
+            &self.quantiles,
             &self.last_completed,
             &self.finished,
         )
@@ -397,6 +520,8 @@ impl WorkerState {
 
     /// Rebuilds a state from checkpointed parts (in-flight assemblies are
     /// deliberately *not* checkpointed: their groups will be replayed).
+    /// `quantiles` is empty both when order statistics were never
+    /// configured and when restoring a legacy pre-quantile checkpoint.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_checkpoint_parts(
         worker_id: usize,
@@ -407,6 +532,7 @@ impl WorkerState {
         moments: Vec<FieldMoments>,
         minmax: Vec<FieldMinMax>,
         thresholds: Vec<Vec<FieldThreshold>>,
+        quantiles: Vec<FieldQuantiles>,
         last_completed: HashMap<u64, i64>,
         finished: Vec<u64>,
     ) -> Self {
@@ -414,6 +540,7 @@ impl WorkerState {
         assert_eq!(moments.len(), n_timesteps);
         assert_eq!(minmax.len(), n_timesteps);
         assert_eq!(thresholds.len(), n_timesteps);
+        assert!(quantiles.is_empty() || quantiles.len() == n_timesteps);
         Self {
             worker_id,
             slab,
@@ -423,6 +550,7 @@ impl WorkerState {
             moments,
             minmax,
             thresholds,
+            quantiles,
             assembly: HashMap::new(),
             pool: Vec::new(),
             last_completed,
@@ -597,6 +725,106 @@ mod tests {
         send_full_ts(&mut st, 1, 0, 1.0);
         assert_eq!(st.messages_received, (P + 2) as u64);
         assert_eq!(st.bytes_received, ((P + 2) * 4 * 8) as u64);
+    }
+
+    #[test]
+    fn quantiles_match_direct_feed() {
+        let probs = [0.25, 0.5, 0.75];
+        let mut st = WorkerState::with_stats(0, slab(), P, TS, &[], &probs);
+        assert!(st.tracks_quantiles());
+        let mut direct = melissa_stats::FieldQuantiles::new(4, &probs);
+        let mut direct_env = melissa_stats::FieldMinMax::new(4);
+        for g in 0..6u64 {
+            let fields: Vec<Vec<f64>> = (0..P + 2)
+                .map(|r| {
+                    (0..4)
+                        .map(|i| ((g * 31 + r as u64 * 7 + i) % 13) as f64 - 6.0)
+                        .collect()
+                })
+                .collect();
+            for (role, f) in fields.iter().enumerate() {
+                st.on_data(g, role as u16, 0, 10, f);
+            }
+            for sample in fields.iter().take(2) {
+                direct_env.update(sample);
+                direct.update(sample, &direct_env);
+            }
+        }
+        assert_eq!(st.quantiles(0).unwrap(), &direct);
+        assert_eq!(st.quantiles(0).unwrap().count(), 12);
+        assert!(st.max_quantile_step().is_finite());
+    }
+
+    #[test]
+    fn quantiles_disabled_by_default() {
+        let mut st = state();
+        send_full_ts(&mut st, 1, 0, 1.0);
+        assert!(!st.tracks_quantiles());
+        assert!(st.quantiles(0).is_none());
+        assert_eq!(st.max_quantile_step(), 0.0);
+        // ensure_quantiles retrofits cold state (legacy restore path).
+        st.ensure_quantiles(&[0.5]);
+        assert!(st.tracks_quantiles());
+        assert_eq!(st.quantiles(0).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_group_sets() {
+        let probs = [0.1, 0.9];
+        let thresholds = [0.0];
+        let mut a = WorkerState::with_stats(0, slab(), P, TS, &thresholds, &probs);
+        let mut b = WorkerState::with_stats(0, slab(), P, TS, &thresholds, &probs);
+        let mut whole = WorkerState::with_stats(0, slab(), P, TS, &thresholds, &probs);
+        for ts in 0..TS as u32 {
+            send_full_ts(&mut a, 1, ts, 1.0);
+            send_full_ts(&mut whole, 1, ts, 1.0);
+        }
+        for ts in 0..TS as u32 {
+            send_full_ts(&mut b, 2, ts, 2.0);
+            send_full_ts(&mut whole, 2, ts, 2.0);
+        }
+        a.merge(&b);
+        for ts in 0..TS {
+            // Sobol'/moments merge via pairwise Chan/Pébay formulas: equal
+            // up to FP rounding, not bit-equal to sequential feeding.
+            assert_eq!(a.sobol(ts).n_groups(), whole.sobol(ts).n_groups());
+            for k in 0..P {
+                let (fa, fw) = (
+                    a.sobol(ts).first_order_field(k),
+                    whole.sobol(ts).first_order_field(k),
+                );
+                for c in 0..4 {
+                    assert!((fa[c] - fw[c]).abs() < 1e-9, "sobol ts {ts} k {k} c {c}");
+                }
+            }
+            assert_eq!(a.minmax(ts), whole.minmax(ts), "minmax ts {ts}");
+            assert_eq!(a.thresholds(ts), whole.thresholds(ts));
+            // Moments merge via Pébay pairwise formulas: equal up to FP
+            // rounding, not bit-equal to sequential feeding.
+            let (ma, mw) = (a.moments(ts), whole.moments(ts));
+            assert_eq!(ma.count(), mw.count());
+            for c in 0..4 {
+                assert!((ma.mean()[c] - mw.mean()[c]).abs() < 1e-12);
+            }
+            assert_eq!(
+                a.quantiles(ts).unwrap().count(),
+                whole.quantiles(ts).unwrap().count()
+            );
+        }
+        let mut finished = a.finished_groups().to_vec();
+        finished.sort_unstable();
+        assert_eq!(finished, vec![1, 2]);
+        assert_eq!(a.last_completed(2), Some(TS as i64 - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "integrated by both states")]
+    fn merge_rejects_double_counted_groups() {
+        let mut a = state();
+        let mut b = state();
+        send_full_ts(&mut a, 1, 0, 1.0);
+        send_full_ts(&mut b, 1, 0, 1.0);
+        a.merge(&b);
     }
 
     #[test]

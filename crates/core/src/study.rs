@@ -175,6 +175,30 @@ impl StudyResults {
         self.assemble(|w| w.thresholds(ts)[idx].probability())
     }
 
+    /// Per-cell quantile map for target probability `quantile_probs()[idx]`
+    /// at `ts` — the median / percentile maps of the quantile follow-up
+    /// paper (arXiv:1905.04180, Study 2).
+    ///
+    /// # Panics
+    /// Panics if quantile statistics were not configured.
+    pub fn quantile_field(&self, ts: usize, idx: usize) -> Vec<f64> {
+        self.assemble(|w| {
+            w.quantiles(ts)
+                .expect("quantile statistics not configured")
+                .quantile_field(idx)
+        })
+    }
+
+    /// The tracked quantile target probabilities (empty when order
+    /// statistics are disabled).
+    pub fn quantile_probs(&self) -> &[f64] {
+        self.workers
+            .first()
+            .and_then(|w| w.quantiles(0))
+            .map(|q| q.probs())
+            .unwrap_or(&[])
+    }
+
     /// The per-worker states (advanced use: per-slab inspection).
     pub fn workers(&self) -> &[WorkerState] {
         &self.workers
@@ -219,5 +243,32 @@ mod tests {
     fn gaps_in_coverage_panic() {
         let w0 = worker_with_data(0, CellRange { start: 0, len: 3 });
         StudyResults::from_worker_states(2, 1, 8, vec![w0]);
+    }
+
+    #[test]
+    fn quantile_maps_assemble_from_slabs() {
+        let probs = [0.25, 0.5, 0.75];
+        let fill = |id: usize, slab: CellRange| {
+            let mut st = WorkerState::with_stats(id, slab, 2, 1, &[], &probs);
+            for g in 0..5u64 {
+                for role in 0..4u16 {
+                    let vals: Vec<f64> = (0..slab.len)
+                        .map(|i| (g as f64 + 1.0) * (role as f64 + 1.0) + i as f64)
+                        .collect();
+                    st.on_data(g, role, 0, slab.start as u64, &vals);
+                }
+            }
+            st
+        };
+        let w0 = fill(0, CellRange { start: 0, len: 3 });
+        let w1 = fill(1, CellRange { start: 3, len: 5 });
+        let res = StudyResults::from_worker_states(2, 1, 8, vec![w0, w1]);
+        assert_eq!(res.quantile_probs(), &probs);
+        let median = res.quantile_field(0, 1);
+        assert_eq!(median.len(), 8);
+        let direct0 = res.workers()[0].quantiles(0).unwrap().quantile_field(1);
+        let direct1 = res.workers()[1].quantiles(0).unwrap().quantile_field(1);
+        assert_eq!(&median[0..3], direct0.as_slice());
+        assert_eq!(&median[3..8], direct1.as_slice());
     }
 }

@@ -3,7 +3,7 @@
 
 use melissa_mesh::CellRange;
 use melissa_sobol::UbiquitousSobol;
-use melissa_stats::{FieldMinMax, FieldMoments, FieldThreshold};
+use melissa_stats::{FieldMinMax, FieldMoments, FieldQuantiles, FieldThreshold};
 use proptest::prelude::*;
 
 use melissa::server::state::WorkerState;
@@ -151,10 +151,11 @@ proptest! {
 
     /// The fused single-sweep ingest must be bit-compatible with the old
     /// per-accumulator reference path — separate `update_group`,
-    /// `FieldMoments::update(Y^A)`/`(Y^B)`, min/max and threshold sweeps —
-    /// for *every* statistics family, across arbitrary chunk boundaries
-    /// and arbitrary chunk arrival orders.  Exact equality is asserted,
-    /// which is stronger than the 1e-12 agreement required.
+    /// `FieldMoments::update(Y^A)`/`(Y^B)`, min/max, threshold and
+    /// quantile sweeps — for *every* statistics family, across arbitrary
+    /// chunk boundaries and arbitrary chunk arrival orders.  Exact
+    /// equality is asserted, which is stronger than the 1e-12 agreement
+    /// required.
     #[test]
     fn fused_ingest_matches_per_accumulator_reference(
         study in study_fields(5),
@@ -162,7 +163,8 @@ proptest! {
         shuffle_seed in 0u64..10_000,
     ) {
         let thresholds = [0.0, 7.5];
-        let mut st = WorkerState::with_thresholds(0, slab(), P, TS, &thresholds);
+        let quantile_probs = [0.05, 0.5, 0.95];
+        let mut st = WorkerState::with_stats(0, slab(), P, TS, &thresholds, &quantile_probs);
 
         let mut ref_sobol: Vec<UbiquitousSobol> =
             (0..TS).map(|_| UbiquitousSobol::new(P, SLAB_LEN)).collect();
@@ -172,6 +174,9 @@ proptest! {
             (0..TS).map(|_| FieldMinMax::new(SLAB_LEN)).collect();
         let mut ref_thresholds: Vec<Vec<FieldThreshold>> = (0..TS)
             .map(|_| thresholds.iter().map(|&t| FieldThreshold::new(SLAB_LEN, t)).collect())
+            .collect();
+        let mut ref_quantiles: Vec<FieldQuantiles> = (0..TS)
+            .map(|_| FieldQuantiles::new(SLAB_LEN, &quantile_probs))
             .collect();
 
         let chunks = chunkify(&cuts);
@@ -210,6 +215,8 @@ proptest! {
                     for t in ref_thresholds[ts].iter_mut() {
                         t.update(sample);
                     }
+                    // Quantiles borrow the (already updated) envelope.
+                    ref_quantiles[ts].update(sample, &ref_minmax[ts]);
                 }
             }
         }
@@ -218,18 +225,19 @@ proptest! {
             prop_assert_eq!(st.moments(ts), &ref_moments[ts], "moments ts {}", ts);
             prop_assert_eq!(st.minmax(ts), &ref_minmax[ts], "minmax ts {}", ts);
             prop_assert_eq!(st.thresholds(ts), ref_thresholds[ts].as_slice(), "thresholds ts {}", ts);
+            prop_assert_eq!(st.quantiles(ts).unwrap(), &ref_quantiles[ts], "quantiles ts {}", ts);
         }
         prop_assert_eq!(st.fused_sweeps, (study.len() * TS) as u64);
     }
 
     /// Checkpoint round-trips preserve the whole state including the
-    /// auxiliary (min/max, threshold) statistics.
+    /// auxiliary (min/max, threshold, quantile) statistics.
     #[test]
     fn checkpoint_roundtrip_preserves_everything(study in study_fields(4)) {
         let dir = std::env::temp_dir()
             .join(format!("melissa-prop-ckpt-{}-{:x}", std::process::id(), study.len()));
         std::fs::remove_dir_all(&dir).ok();
-        let mut st = WorkerState::with_thresholds(3, slab(), P, TS, &[0.0, 10.0]);
+        let mut st = WorkerState::with_stats(3, slab(), P, TS, &[0.0, 10.0], &[0.25, 0.5, 0.75]);
         for (g, per_ts) in study.iter().enumerate() {
             for (ts, fields) in per_ts.iter().enumerate() {
                 feed_ts(&mut st, g as u64, ts as u32, fields, &[(0, SLAB_LEN)]);
@@ -242,6 +250,7 @@ proptest! {
             prop_assert_eq!(st.moments(ts), back.moments(ts));
             prop_assert_eq!(st.minmax(ts), back.minmax(ts));
             prop_assert_eq!(st.thresholds(ts), back.thresholds(ts));
+            prop_assert_eq!(st.quantiles(ts), back.quantiles(ts));
         }
         prop_assert_eq!(st.finished_groups(), back.finished_groups());
         std::fs::remove_dir_all(&dir).ok();

@@ -1,25 +1,29 @@
 //! Fused single-sweep server ingest kernel.
 //!
 //! When a `(group, timestep)` assembly completes, Melissa Server must fold
-//! the `p + 2` role fields into **four** statistics families: the
+//! the `p + 2` role fields into **five** statistics families: the
 //! ubiquitous Sobol' state (all roles), and the field moments, min/max
-//! envelope and threshold-exceedance counters (the i.i.d. `Y^A`/`Y^B`
-//! samples only, paper Section 4.1).  Doing that as four independent
-//! Rayon sweeps re-reads the fields and re-pays the parallel dispatch per
-//! statistic; [`FusedSlabUpdate`] folds everything in **one** tile-parallel
-//! pass: each tile task updates its slice of every accumulator while the
-//! incoming field stripe is hot in L1.
+//! envelope, threshold-exceedance counters and Robbins–Monro quantile
+//! estimates (the i.i.d. `Y^A`/`Y^B` samples only, paper Section 4.1).
+//! Doing that as independent Rayon sweeps re-reads the fields and re-pays
+//! the parallel dispatch per statistic; [`FusedSlabUpdate`] folds
+//! everything in **one** tile-parallel pass: each tile task updates its
+//! slice of every accumulator while the incoming field stripe is hot in
+//! L1.
 //!
 //! The fused path is arithmetic-for-arithmetic identical to calling
 //! [`UbiquitousSobol::update_group`] followed by the individual
-//! `FieldMoments::update(Y^A)`, `update(Y^B)` (and likewise min/max and
-//! thresholds) — same scalar recurrences, same operation order per cell —
-//! so results are bit-compatible with the unfused reference path
-//! (property-tested in `melissa`'s `proptest_server.rs`).
+//! `FieldMoments::update(Y^A)`, `update(Y^B)` (and likewise min/max,
+//! thresholds and quantiles) — same scalar recurrences, same operation
+//! order per cell — so results are bit-compatible with the unfused
+//! reference path (property-tested in `melissa`'s `proptest_server.rs`).
 
 use rayon::prelude::*;
 
-use melissa_stats::{DisjointSlices, FieldMinMax, FieldMoments, FieldThreshold};
+use melissa_stats::quantiles::{rm_step_scale, update_tile_quantiles_pair};
+use melissa_stats::{
+    tile_cells, DisjointSlices, FieldMinMax, FieldMoments, FieldQuantiles, FieldThreshold,
+};
 
 use crate::ubiquitous::{update_tile_records, UbiquitousSobol};
 
@@ -32,10 +36,12 @@ pub struct FusedSlabUpdate<'a> {
     moments: &'a mut FieldMoments,
     minmax: &'a mut FieldMinMax,
     thresholds: &'a mut [FieldThreshold],
+    quantiles: Option<&'a mut FieldQuantiles>,
 }
 
 impl<'a> FusedSlabUpdate<'a> {
-    /// Binds the accumulators of one timestep.
+    /// Binds the accumulators of one timestep (`quantiles` is optional:
+    /// order statistics are only tracked when configured).
     ///
     /// # Panics
     /// Panics if any accumulator covers a different number of cells than
@@ -45,6 +51,7 @@ impl<'a> FusedSlabUpdate<'a> {
         moments: &'a mut FieldMoments,
         minmax: &'a mut FieldMinMax,
         thresholds: &'a mut [FieldThreshold],
+        quantiles: Option<&'a mut FieldQuantiles>,
     ) -> Self {
         let cells = sobol.cells();
         assert_eq!(moments.len(), cells, "moments cell-count mismatch");
@@ -52,11 +59,15 @@ impl<'a> FusedSlabUpdate<'a> {
         for t in thresholds.iter() {
             assert_eq!(t.len(), cells, "threshold cell-count mismatch");
         }
+        if let Some(q) = &quantiles {
+            assert_eq!(q.len(), cells, "quantile cell-count mismatch");
+        }
         Self {
             sobol,
             moments,
             minmax,
             thresholds,
+            quantiles,
         }
     }
 
@@ -77,9 +88,24 @@ impl<'a> FusedSlabUpdate<'a> {
         // Bump all sample counts up front; tile tasks then only touch
         // per-cell storage.  Sobol' sees one group; the auxiliary
         // statistics see the two i.i.d. samples Y^A and Y^B.
-        let (n_group, stride, tile, sobol_state) = self.sobol.fused_parts_mut();
+        let (n_group, stride, _, sobol_state) = self.sobol.fused_parts_mut();
         let (n0, m_mean, m_m2, m_m3, m_m4) = self.moments.fused_parts_mut(2);
         let (mn, mx) = self.minmax.fused_parts_mut(2);
+        // Quantile records fold Y^A at count n0 + 1 and Y^B at n0 + 2 —
+        // exactly as two consecutive `FieldQuantiles::update` calls would.
+        let quant = self.quantiles.map(|q| {
+            let (qn0, gamma, qstride, probs, qstate) = q.fused_parts_mut(2);
+            let scale_a = rm_step_scale(qn0 + 1, gamma);
+            let scale_b = rm_step_scale(qn0 + 2, gamma);
+            (
+                qn0 == 0,
+                scale_a,
+                scale_b,
+                qstride,
+                probs,
+                DisjointSlices::new(qstate),
+            )
+        });
         // Threshold list length is runtime-configured; two pointers per
         // threshold is the only per-call heap use on the fused path.
         let thr: Vec<(f64, DisjointSlices<'_, u64>)> = self
@@ -107,9 +133,25 @@ impl<'a> FusedSlabUpdate<'a> {
         let nn_term1 = n1 * n1 - 3.0 * n1 + 3.0;
         let nn_term2 = n2 * n2 - 3.0 * n2 + 3.0;
 
+        // The fused sweep touches EVERY family's record for a cell while
+        // its field stripe is hot, so the tile must be sized to the
+        // *combined* per-cell state — Sobol' (4 + 4p) + moments (4) +
+        // min/max (2) + one u64 counter per threshold + the quantile
+        // record — not to the Sobol' stride alone.  Sizing by Sobol' only
+        // overflows the L1 budget once quantiles are enabled and turns
+        // the whole sweep L2-bound.
+        let fused_doubles_per_cell = stride
+            + 4
+            + 2
+            + thr.len()
+            + quant
+                .as_ref()
+                .map_or(0, |(_, _, _, qstride, _, _)| *qstride);
+        let tile = tile_cells(fused_doubles_per_cell);
         let n_tiles = cells.div_ceil(tile);
         let sobol_ref = &sobol_state;
         let thr_ref = &thr;
+        let quant_ref = &quant;
         let (m_mean, m_m2, m_m3, m_m4, mn, mx) = (&m_mean, &m_m2, &m_m3, &m_m4, &mn, &mx);
         (0..n_tiles).into_par_iter().for_each(move |t| {
             let c0 = t * tile;
@@ -146,8 +188,24 @@ impl<'a> FusedSlabUpdate<'a> {
                     n2,
                     nn_term2,
                 );
-                mins[i] = mins[i].min(wa[i]).min(wb[i]);
-                maxs[i] = maxs[i].max(wa[i]).max(wb[i]);
+            }
+            match quant_ref {
+                None => {
+                    for i in 0..wa.len() {
+                        mins[i] = mins[i].min(wa[i]).min(wb[i]);
+                        maxs[i] = maxs[i].max(wa[i]).max(wb[i]);
+                    }
+                }
+                // The quantile pair kernel owns the envelope update: the
+                // Robbins–Monro step for Y^A must see the envelope folded
+                // with Y^A but not yet Y^B (the sequential reference
+                // order); the final envelope values are identical.
+                Some((first, scale_a, scale_b, qstride, probs, qstate)) => {
+                    let qrecs = unsafe { qstate.range_mut(c0 * qstride..c1 * qstride) };
+                    update_tile_quantiles_pair(
+                        qrecs, wa, wb, mins, maxs, probs, *first, *scale_a, *scale_b,
+                    );
+                }
             }
             for (threshold, exceeded) in thr_ref {
                 let counts = unsafe { exceeded.range_mut(c0..c1) };
@@ -184,6 +242,7 @@ fn moment_step(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use melissa_stats::FieldQuantiles;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -197,12 +256,14 @@ mod tests {
     }
 
     /// The fused sweep must be bit-identical to the unfused reference
-    /// path: update_group + moments(A), moments(B) + minmax + thresholds.
+    /// path: update_group + moments(A), moments(B) + minmax + thresholds
+    /// + quantiles.
     #[test]
     fn fused_is_bit_identical_to_reference_path() {
         // 300 cells spans multiple tiles at p = 3 (stride 16 → 128/tile).
         let cells = 300;
         let groups: Vec<Vec<Vec<f64>>> = (0..7).map(|g| random_fields(cells, 100 + g)).collect();
+        let probs = [0.05, 0.5, 0.95];
 
         let mut fused_sobol = UbiquitousSobol::new(P, cells);
         let mut fused_moments = FieldMoments::new(cells);
@@ -211,6 +272,7 @@ mod tests {
             FieldThreshold::new(cells, 0.0),
             FieldThreshold::new(cells, 2.5),
         ];
+        let mut fused_quantiles = FieldQuantiles::new(cells, &probs);
 
         let mut ref_sobol = UbiquitousSobol::new(P, cells);
         let mut ref_moments = FieldMoments::new(cells);
@@ -219,6 +281,7 @@ mod tests {
             FieldThreshold::new(cells, 0.0),
             FieldThreshold::new(cells, 2.5),
         ];
+        let mut ref_quantiles = FieldQuantiles::new(cells, &probs);
 
         for g in &groups {
             let refs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
@@ -227,6 +290,7 @@ mod tests {
                 &mut fused_moments,
                 &mut fused_minmax,
                 &mut fused_thresholds,
+                Some(&mut fused_quantiles),
             )
             .apply(&refs);
 
@@ -237,6 +301,8 @@ mod tests {
                 for t in ref_thresholds.iter_mut() {
                     t.update(sample);
                 }
+                // Quantiles borrow the (already updated) envelope.
+                ref_quantiles.update(sample, &ref_minmax);
             }
         }
 
@@ -244,20 +310,49 @@ mod tests {
         assert_eq!(fused_moments, ref_moments);
         assert_eq!(fused_minmax, ref_minmax);
         assert_eq!(fused_thresholds, ref_thresholds);
+        assert_eq!(fused_quantiles, ref_quantiles);
     }
 
     #[test]
-    fn fused_with_no_thresholds_is_fine() {
+    fn fused_with_no_thresholds_or_quantiles_is_fine() {
         let cells = 40;
         let fields = random_fields(cells, 7);
         let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
         let mut sobol = UbiquitousSobol::new(P, cells);
         let mut moments = FieldMoments::new(cells);
         let mut minmax = FieldMinMax::new(cells);
-        FusedSlabUpdate::new(&mut sobol, &mut moments, &mut minmax, &mut []).apply(&refs);
+        FusedSlabUpdate::new(&mut sobol, &mut moments, &mut minmax, &mut [], None).apply(&refs);
         assert_eq!(sobol.n_groups(), 1);
         assert_eq!(moments.count(), 2);
         assert_eq!(minmax.count(), 2);
+    }
+
+    #[test]
+    fn fused_quantiles_see_two_samples_per_group() {
+        let cells = 16;
+        let fields = random_fields(cells, 21);
+        let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+        let mut sobol = UbiquitousSobol::new(P, cells);
+        let mut moments = FieldMoments::new(cells);
+        let mut minmax = FieldMinMax::new(cells);
+        let mut quantiles = FieldQuantiles::new(cells, &[0.5]);
+        FusedSlabUpdate::new(
+            &mut sobol,
+            &mut moments,
+            &mut minmax,
+            &mut [],
+            Some(&mut quantiles),
+        )
+        .apply(&refs);
+        assert_eq!(quantiles.count(), 2);
+        // After Y^A (warm start) and Y^B, the median estimate has taken
+        // exactly one step from Y^A, and the envelope family (updated by
+        // the quantile pair kernel in the fused sweep) is their min/max.
+        for (c, (&ya, &yb)) in fields[0].iter().zip(&fields[1]).enumerate() {
+            assert_eq!(minmax.min()[c], ya.min(yb), "cell {c} min");
+            assert_eq!(minmax.max()[c], ya.max(yb), "cell {c} max");
+            assert_ne!(quantiles.quantile_at(c, 0), ya, "cell {c} q");
+        }
     }
 
     #[test]
@@ -266,6 +361,22 @@ mod tests {
         let mut sobol = UbiquitousSobol::new(P, 10);
         let mut moments = FieldMoments::new(9);
         let mut minmax = FieldMinMax::new(10);
-        let _ = FusedSlabUpdate::new(&mut sobol, &mut moments, &mut minmax, &mut []);
+        let _ = FusedSlabUpdate::new(&mut sobol, &mut moments, &mut minmax, &mut [], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile cell-count mismatch")]
+    fn mismatched_quantiles_panic() {
+        let mut sobol = UbiquitousSobol::new(P, 10);
+        let mut moments = FieldMoments::new(10);
+        let mut minmax = FieldMinMax::new(10);
+        let mut quantiles = FieldQuantiles::new(9, &[0.5]);
+        let _ = FusedSlabUpdate::new(
+            &mut sobol,
+            &mut moments,
+            &mut minmax,
+            &mut [],
+            Some(&mut quantiles),
+        );
     }
 }

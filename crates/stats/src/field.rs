@@ -302,6 +302,21 @@ impl FieldMinMax {
         &self.max
     }
 
+    /// Merges another envelope over the same cells (exact).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "field length mismatch");
+        for (a, &b) in self.min.iter_mut().zip(&other.min) {
+            *a = a.min(b);
+        }
+        for (a, &b) in self.max.iter_mut().zip(&other.max) {
+            *a = a.max(b);
+        }
+        self.n += other.n;
+    }
+
     /// Scalar view of one cell.
     pub fn cell(&self, i: usize) -> MinMax {
         let mut mm = MinMax::new();
@@ -386,6 +401,24 @@ impl FieldThreshold {
                     counts[i] += (xs[i] > t) as u64;
                 }
             });
+    }
+
+    /// Merges another accumulator watching the same threshold over the
+    /// same cells (exact: counts add).
+    ///
+    /// # Panics
+    /// Panics on length or threshold mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "field length mismatch");
+        assert_eq!(
+            self.threshold.to_bits(),
+            other.threshold.to_bits(),
+            "threshold mismatch"
+        );
+        for (a, &b) in self.exceeded.iter_mut().zip(&other.exceeded) {
+            *a += b;
+        }
+        self.n += other.n;
     }
 
     /// Per-cell exceedance probability.

@@ -28,6 +28,7 @@
 //! | [`covariance`] | covariance / correlation of paired samples ([`OnlineCovariance`]) |
 //! | [`minmax`] | running minimum / maximum with arg-tracking ([`MinMax`]) |
 //! | [`threshold`] | threshold-exceedance probability ([`ThresholdExceedance`]) |
+//! | [`quantiles`] | Robbins–Monro per-cell quantile estimation ([`FieldQuantiles`]) |
 //! | [`field`] | vectorised per-cell statistics over mesh-sized fields |
 //! | [`tile`] | cache-blocked tile storage and disjoint parallel sweeps |
 //! | [`batch`] | two-pass reference implementations used for validation |
@@ -51,6 +52,7 @@ pub mod covariance;
 pub mod field;
 pub mod minmax;
 pub mod moments;
+pub mod quantiles;
 pub mod threshold;
 pub mod tile;
 
@@ -58,6 +60,7 @@ pub use covariance::OnlineCovariance;
 pub use field::{FieldCovariance, FieldMinMax, FieldMoments, FieldThreshold};
 pub use minmax::MinMax;
 pub use moments::OnlineMoments;
+pub use quantiles::FieldQuantiles;
 pub use threshold::ThresholdExceedance;
 pub use tile::{tile_cells, AlignedVec, DisjointSlices};
 
@@ -80,6 +83,9 @@ pub enum StatKind {
     Max,
     /// Probability of exceeding a threshold.
     ThresholdExceedance,
+    /// Robbins–Monro quantile / order-statistics estimates
+    /// (arXiv:1905.04180; [`FieldQuantiles`]).
+    Quantiles,
     /// First-order and total Sobol' indices (handled by `melissa-sobol`).
     Sobol,
 }

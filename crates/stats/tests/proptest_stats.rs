@@ -2,7 +2,9 @@
 //! two-pass references for arbitrary inputs, and pairwise merging must be
 //! equivalent to sequential accumulation at any split point.
 
-use melissa_stats::{batch, FieldMoments, MinMax, OnlineCovariance, OnlineMoments};
+use melissa_stats::{
+    batch, FieldMinMax, FieldMoments, FieldQuantiles, MinMax, OnlineCovariance, OnlineMoments,
+};
 use proptest::prelude::*;
 
 fn finite_sample() -> impl Strategy<Value = f64> {
@@ -139,5 +141,146 @@ proptest! {
         // negligible relative to the scale of the data.
         let scale: f64 = 1.0 + data.iter().map(|x| x * x).sum::<f64>();
         prop_assert!(acc.m2() >= -1e-9 * scale);
+    }
+}
+
+/// Exact quantile of a sorted sample at probability `alpha`
+/// (nearest-rank definition).
+fn sorted_quantile(sorted: &[f64], alpha: f64) -> f64 {
+    let rank = ((alpha * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A quantile accumulator plus the min/max envelope it borrows its
+/// adaptive step scale from, fed together (as the server does).
+struct TrackedQuantiles {
+    quant: FieldQuantiles,
+    env: FieldMinMax,
+}
+
+impl TrackedQuantiles {
+    fn new(cells: usize, probs: &[f64]) -> Self {
+        Self {
+            quant: FieldQuantiles::new(cells, probs),
+            env: FieldMinMax::new(cells),
+        }
+    }
+
+    fn update(&mut self, sample: &[f64]) {
+        self.env.update(sample);
+        self.quant.update(sample, &self.env);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Robbins–Monro quantile estimates must land close to the exact
+    /// sorted-sample quantiles for arbitrary bounded inputs.  Accuracy is
+    /// judged the way the follow-up paper (arXiv:1905.04180) evaluates
+    /// its estimates — as a fraction of the observed data range — OR in
+    /// rank space (|F̂(q̂) − α|), whichever is smaller: rank error is the
+    /// meaningful criterion where the density is flat (plateaus of
+    /// duplicated values), value error where it is degenerate (atoms).
+    #[test]
+    fn rm_quantiles_approach_sorted_sample_quantiles(
+        data in prop::collection::vec(-100.0f64..100.0, 400..800),
+    ) {
+        use melissa_stats::quantiles::PAPER_PROBS;
+        let mut acc = TrackedQuantiles::new(1, &PAPER_PROBS);
+        for &y in &data {
+            acc.update(&[y]);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as f64;
+        let range = sorted[sorted.len() - 1] - sorted[0];
+        for (j, &alpha) in PAPER_PROBS.iter().enumerate() {
+            let est = acc.quant.quantile_at(0, j);
+            let exact = sorted_quantile(&sorted, alpha);
+            let value_err = if range > 0.0 {
+                (est - exact).abs() / range
+            } else {
+                (est - exact).abs()
+            };
+            let rank = sorted.iter().filter(|&&y| y <= est).count() as f64 / n;
+            let rank_err = (rank - alpha).abs();
+            prop_assert!(
+                value_err <= 0.15 || rank_err <= 0.15,
+                "alpha {}: est {} vs exact {} (value err {:.3} of range, rank err {:.3})",
+                alpha, est, exact, value_err, rank_err
+            );
+        }
+    }
+
+    /// Merging quantile accumulators must be associative (up to FP
+    /// rounding): a reduction tree may combine partial states in any
+    /// shape without changing the result.
+    #[test]
+    fn quantile_merge_is_associative(
+        xs in prop::collection::vec(-50.0f64..50.0, 1..80),
+        ys in prop::collection::vec(-50.0f64..50.0, 1..80),
+        zs in prop::collection::vec(-50.0f64..50.0, 1..80),
+    ) {
+        let probs = [0.1, 0.5, 0.9];
+        let cells = 2;
+        let build = |vals: &[f64]| {
+            let mut acc = TrackedQuantiles::new(cells, &probs);
+            for &y in vals {
+                // Distinct per-cell streams (second cell offset + scaled).
+                acc.update(&[y, 2.0 * y + 1.0]);
+            }
+            acc.quant
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left.count(), right.count());
+        // Counts are exact; the weighted-mean estimates agree to rounding.
+        for cell in 0..cells {
+            for j in 0..probs.len() {
+                prop_assert!(
+                    rel_close(left.quantile_at(cell, j), right.quantile_at(cell, j), 1e-12),
+                    "cell {} prob {}: {} vs {}",
+                    cell, j, left.quantile_at(cell, j), right.quantile_at(cell, j)
+                );
+            }
+        }
+    }
+
+    /// Merging a partition of one stream approximates the sequential
+    /// estimate: the combined estimate stays within the data range and
+    /// keeps the exact combined envelope/count.
+    #[test]
+    fn quantile_merge_of_split_stays_in_range(
+        data in prop::collection::vec(-100.0f64..100.0, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = (((data.len() - 1) as f64) * split_frac) as usize + 1;
+        let probs = [0.5];
+        let mut a = TrackedQuantiles::new(1, &probs);
+        for &y in &data[..split] {
+            a.update(&[y]);
+        }
+        let mut b = TrackedQuantiles::new(1, &probs);
+        for &y in &data[split..] {
+            b.update(&[y]);
+        }
+        a.quant.merge(&b.quant);
+        a.env.merge(&b.env);
+        prop_assert_eq!(a.quant.count(), data.len() as u64);
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(a.env.max()[0] - a.env.min()[0], hi - lo);
+        let q = a.quant.quantile_at(0, 0);
+        prop_assert!((lo..=hi).contains(&q), "median {} outside [{}, {}]", q, lo, hi);
     }
 }

@@ -59,4 +59,25 @@ fn main() {
         1.0 - s_ref.iter().sum::<f64>()
     );
     println!("widest CI over all indices: {:.4}", sobol.max_ci_width());
+
+    // 4. Order statistics ride the same one-pass stream: Robbins–Monro
+    //    quantiles (arXiv:1905.04180) with the adaptive range step,
+    //    borrowing the min/max envelope the server tracks anyway.
+    use melissa_repro::stats::{FieldMinMax, FieldQuantiles};
+    let mut envelope = FieldMinMax::new(1);
+    let mut quantiles = FieldQuantiles::new(1, &[0.05, 0.5, 0.95]);
+    for group in design.groups() {
+        // The Y^A role output of each group is an i.i.d. draw.
+        let y = f.eval(&group.rows()[0]);
+        envelope.update(&[y]);
+        quantiles.update(&[y], &envelope);
+    }
+    println!(
+        "output percentiles (5 % / median / 95 %): {:.3} / {:.3} / {:.3}, \
+         next-step bound {:.4}",
+        quantiles.quantile_at(0, 0),
+        quantiles.quantile_at(0, 1),
+        quantiles.quantile_at(0, 2),
+        quantiles.max_step_width(&envelope),
+    );
 }

@@ -16,38 +16,9 @@
 
 use melissa_bench::{row, table_header};
 use melissa_sobol::testfn::{GFunction, Ishigami, TestFunction};
-use melissa_stats::quantiles::PAPER_PROBS;
-use melissa_stats::{FieldMinMax, FieldQuantiles};
+use melissa_stats::quantiles::{sorted_quantile, TrackedQuantiles, PAPER_PROBS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// A quantile accumulator plus the min/max envelope it borrows its
-/// adaptive Robbins–Monro step scale from (the server tracks the
-/// envelope anyway; standalone use feeds both together).
-struct TrackedQuantiles {
-    quant: FieldQuantiles,
-    env: FieldMinMax,
-}
-
-impl TrackedQuantiles {
-    fn new(cells: usize, probs: &[f64]) -> Self {
-        Self {
-            quant: FieldQuantiles::new(cells, probs),
-            env: FieldMinMax::new(cells),
-        }
-    }
-
-    fn update(&mut self, sample: &[f64]) {
-        self.env.update(sample);
-        self.quant.update(sample, &self.env);
-    }
-}
-
-/// Exact quantile of a sorted sample (nearest-rank definition).
-fn sorted_quantile(sorted: &[f64], alpha: f64) -> f64 {
-    let rank = ((alpha * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
 
 /// Streams `n` model outputs into a fresh 1-cell estimator and returns
 /// the worst error over the seven probabilities, as a fraction of the

@@ -391,12 +391,26 @@ impl WorkerState {
         !self.quantiles.is_empty()
     }
 
-    /// Initialises cold quantile state after a legacy-checkpoint restore
-    /// (pre-quantile checkpoint formats carry no order statistics; the
-    /// estimates restart from scratch while every other statistic resumes
-    /// where it left off).  No-op when quantiles are already tracked.
+    /// Reconciles the quantile state with the configured target
+    /// probabilities after a checkpoint restore.  The configuration
+    /// always wins, so every worker tracks the same vector regardless of
+    /// which checkpoint files survived the restart:
+    ///
+    /// * legacy pre-quantile checkpoints (and checkpoints written under a
+    ///   *different* probability vector, whose estimates are not
+    ///   convertible) restart the estimates cold while every other
+    ///   statistic resumes where it left off;
+    /// * an empty configuration disables quantiles even when the
+    ///   checkpoint carried them;
+    /// * matching restored state is kept untouched.
     pub fn ensure_quantiles(&mut self, quantile_probs: &[f64]) {
-        if self.quantiles.is_empty() && !quantile_probs.is_empty() {
+        if quantile_probs.is_empty() {
+            self.quantiles.clear();
+        } else if self
+            .quantiles
+            .first()
+            .is_none_or(|q| q.probs() != quantile_probs)
+        {
             self.quantiles = (0..self.n_timesteps)
                 .map(|_| FieldQuantiles::new(self.slab.len, quantile_probs))
                 .collect();
@@ -435,10 +449,17 @@ impl WorkerState {
     ///
     /// # Panics
     /// Panics if slab, dimension, timestep count or configured statistics
-    /// differ, or if any group was integrated by both states (double
-    /// counting a group would bias every estimator).
+    /// differ, if any group was integrated by both states (double
+    /// counting a group would bias every estimator), or if `other` still
+    /// holds in-flight assemblies (their partial chunks are not merged —
+    /// dropping them would silently lose data, so the caller must drain
+    /// or time out assemblies before reducing).
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.slab, other.slab, "slab mismatch");
+        assert!(
+            other.assembly.is_empty(),
+            "cannot merge a state with in-flight assemblies"
+        );
         assert_eq!(self.p, other.p, "dimension mismatch");
         assert_eq!(self.n_timesteps, other.n_timesteps, "timestep mismatch");
         assert_eq!(

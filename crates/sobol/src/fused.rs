@@ -88,7 +88,7 @@ impl<'a> FusedSlabUpdate<'a> {
         // Bump all sample counts up front; tile tasks then only touch
         // per-cell storage.  Sobol' sees one group; the auxiliary
         // statistics see the two i.i.d. samples Y^A and Y^B.
-        let (n_group, stride, _, sobol_state) = self.sobol.fused_parts_mut();
+        let (n_group, stride, sobol_state) = self.sobol.fused_parts_mut();
         let (n0, m_mean, m_m2, m_m3, m_m4) = self.moments.fused_parts_mut(2);
         let (mn, mx) = self.minmax.fused_parts_mut(2);
         // Quantile records fold Y^A at count n0 + 1 and Y^B at n0 + 2 —
@@ -352,6 +352,38 @@ mod tests {
             assert_eq!(minmax.min()[c], ya.min(yb), "cell {c} min");
             assert_eq!(minmax.max()[c], ya.max(yb), "cell {c} max");
             assert_ne!(quantiles.quantile_at(c, 0), ya, "cell {c} q");
+        }
+    }
+
+    /// The legacy-checkpoint upgrade path: a restored state whose min/max
+    /// envelope carries history gets cold quantiles retrofitted
+    /// (`ensure_quantiles`).  The first fused apply then runs the quantile
+    /// warm start against the populated envelope — which must still cover
+    /// the pre-restore extremes afterwards.
+    #[test]
+    fn fused_warm_start_preserves_restored_envelope() {
+        let cells = 40;
+        let mut minmax = FieldMinMax::new(cells);
+        minmax.update(&vec![-100.0; cells]);
+        minmax.update(&vec![200.0; cells]);
+        let mut sobol = UbiquitousSobol::new(P, cells);
+        let mut moments = FieldMoments::new(cells);
+        let mut quantiles = FieldQuantiles::new(cells, &[0.05, 0.5, 0.95]);
+        let fields = random_fields(cells, 33); // samples lie in (-3, 5)
+        let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+        FusedSlabUpdate::new(
+            &mut sobol,
+            &mut moments,
+            &mut minmax,
+            &mut [],
+            Some(&mut quantiles),
+        )
+        .apply(&refs);
+        assert_eq!(minmax.count(), 4);
+        assert_eq!(quantiles.count(), 2);
+        for c in 0..cells {
+            assert_eq!(minmax.min()[c], -100.0, "cell {c} lost pre-restore min");
+            assert_eq!(minmax.max()[c], 200.0, "cell {c} lost pre-restore max");
         }
     }
 

@@ -361,9 +361,12 @@ impl UbiquitousSobol {
 
     /// Kernel-internal accessors for the fused server sweep
     /// (`crate::fused`): pre-incremented group count and the raw state.
-    pub(crate) fn fused_parts_mut(&mut self) -> (f64, usize, usize, &mut AlignedVec) {
+    /// No tile size: the fused sweep sizes its own tiles to the combined
+    /// per-cell state of every statistics family, not the Sobol' stride
+    /// alone.
+    pub(crate) fn fused_parts_mut(&mut self) -> (f64, usize, &mut AlignedVec) {
         self.n += 1;
-        (self.n as f64, self.stride, self.tile, &mut self.state)
+        (self.n as f64, self.stride, &mut self.state)
     }
 }
 

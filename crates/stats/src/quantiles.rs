@@ -290,16 +290,16 @@ fn update_tile_pair_m<const M: usize>(
         .zip(mins.iter_mut())
         .zip(maxs.iter_mut())
     {
-        let mut l;
-        let mut h;
+        // Fold Y^A into the envelope unconditionally: on a warm start the
+        // envelope may already carry history (cold quantiles retrofitted
+        // onto a restored min/max state after a legacy-checkpoint
+        // restore), which must be widened, never reset.
+        let mut l = lo.min(ya);
+        let mut h = hi.max(ya);
         if first {
             // Warm start on Y^A, then Y^B as a regular update at n = 2.
             r.fill(ya);
-            l = ya;
-            h = ya;
         } else {
-            l = lo.min(ya);
-            h = hi.max(ya);
             let step = (h - l) * scale_a;
             for (q, &alpha) in r.iter_mut().zip(&alphas) {
                 *q += step * (alpha - f64::from(ya <= *q));
@@ -623,6 +623,45 @@ impl FieldQuantiles {
     }
 }
 
+/// Test/bench support: a quantile accumulator plus the min/max envelope
+/// it borrows its adaptive step scale from, fed together (as the server
+/// does).  One shared definition keeps every validation path — unit
+/// tests, proptests, the `fig_quantiles` bench — feeding the estimator
+/// the same way; not part of the API surface.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct TrackedQuantiles {
+    pub quant: FieldQuantiles,
+    pub env: FieldMinMax,
+}
+
+impl TrackedQuantiles {
+    /// Fresh accumulator + envelope over `cells` cells.
+    #[doc(hidden)]
+    pub fn new(cells: usize, probs: &[f64]) -> Self {
+        Self {
+            quant: FieldQuantiles::new(cells, probs),
+            env: FieldMinMax::new(cells),
+        }
+    }
+
+    /// Folds one field sample into the envelope, then the estimates.
+    #[doc(hidden)]
+    pub fn update(&mut self, sample: &[f64]) {
+        self.env.update(sample);
+        self.quant.update(sample, &self.env);
+    }
+}
+
+/// Test/bench support: exact quantile of a sorted sample at probability
+/// `alpha` (nearest-rank definition) — the reference the Robbins–Monro
+/// estimates are validated against.  Not part of the API surface.
+#[doc(hidden)]
+pub fn sorted_quantile(sorted: &[f64], alpha: f64) -> f64 {
+    let rank = ((alpha * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Bench-only direct entries to the two pair kernels (scalar / AVX2);
 /// not part of the API surface.
 #[doc(hidden)]
@@ -663,12 +702,8 @@ pub fn __bench_pair_avx2_m7(
 mod tests {
     use super::*;
 
-    /// Exact quantile of a sorted sample at probability `alpha`
-    /// (nearest-rank definition).
-    fn sorted_quantile(sorted: &[f64], alpha: f64) -> f64 {
-        let rank = ((alpha * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
-    }
+    /// The shared test/bench feeder (envelope first, then estimates).
+    use super::TrackedQuantiles as Tracked;
 
     fn uniform_stream(n: usize, seed: u64) -> Vec<f64> {
         // Simple LCG: deterministic, uniform enough for convergence tests.
@@ -681,26 +716,6 @@ mod tests {
                 (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0 - 5.0
             })
             .collect()
-    }
-
-    /// An accumulator plus the envelope it borrows, fed together.
-    struct Tracked {
-        quant: FieldQuantiles,
-        env: FieldMinMax,
-    }
-
-    impl Tracked {
-        fn new(cells: usize, probs: &[f64]) -> Self {
-            Self {
-                quant: FieldQuantiles::new(cells, probs),
-                env: FieldMinMax::new(cells),
-            }
-        }
-
-        fn update(&mut self, sample: &[f64]) {
-            self.env.update(sample);
-            self.quant.update(sample, &self.env);
-        }
     }
 
     #[test]
@@ -931,6 +946,55 @@ mod tests {
         );
         assert_eq!(mins, seq.env.min());
         assert_eq!(maxs, seq.env.max());
+    }
+
+    /// A warm start must *widen* a pre-existing envelope, never reset it:
+    /// the fused sweep hands the pair kernel live `FieldMinMax` stripes
+    /// that can carry history while the quantiles are cold (a legacy
+    /// checkpoint restore retrofits cold quantiles onto a restored
+    /// envelope).  Exercises a specialised arity (7, AVX2 when available)
+    /// and the runtime-probs fallback (4) so both arms provably treat the
+    /// envelope identically.
+    #[test]
+    fn warm_start_folds_preexisting_envelope() {
+        let cells = 37;
+        let a = uniform_stream(cells, 90); // samples lie in (-5, 5)
+        let b = uniform_stream(cells, 91);
+        let scale_b = rm_step_scale(2, 0.75);
+        for probs in [&PAPER_PROBS[..], &[0.2, 0.4, 0.6, 0.8][..]] {
+            let m = probs.len();
+            let mut recs = vec![0.0f64; cells * m];
+            // Restored history strictly wider than the incoming samples.
+            let mut mins = vec![-50.0f64; cells];
+            let mut maxs = vec![75.0f64; cells];
+            update_tile_quantiles_pair(
+                &mut recs,
+                &a,
+                &b,
+                &mut mins,
+                &mut maxs,
+                probs,
+                true,
+                rm_step_scale(1, 0.75),
+                scale_b,
+            );
+            assert!(
+                mins.iter().all(|&v| v == -50.0) && maxs.iter().all(|&v| v == 75.0),
+                "m = {m}: warm start reset the restored envelope"
+            );
+            // The Y^B step must be scaled by the *restored* range.
+            for (c, (&ya, &yb)) in a.iter().zip(&b).enumerate() {
+                let step = (75.0 - -50.0) * scale_b;
+                for (j, &alpha) in probs.iter().enumerate() {
+                    let expect = ya + step * (alpha - f64::from(yb <= ya));
+                    assert_eq!(
+                        recs[c * m + j].to_bits(),
+                        expect.to_bits(),
+                        "m = {m}, cell {c}, alpha {alpha}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

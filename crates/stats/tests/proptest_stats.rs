@@ -2,9 +2,8 @@
 //! two-pass references for arbitrary inputs, and pairwise merging must be
 //! equivalent to sequential accumulation at any split point.
 
-use melissa_stats::{
-    batch, FieldMinMax, FieldMoments, FieldQuantiles, MinMax, OnlineCovariance, OnlineMoments,
-};
+use melissa_stats::quantiles::{sorted_quantile, TrackedQuantiles};
+use melissa_stats::{batch, FieldMoments, MinMax, OnlineCovariance, OnlineMoments};
 use proptest::prelude::*;
 
 fn finite_sample() -> impl Strategy<Value = f64> {
@@ -141,34 +140,6 @@ proptest! {
         // negligible relative to the scale of the data.
         let scale: f64 = 1.0 + data.iter().map(|x| x * x).sum::<f64>();
         prop_assert!(acc.m2() >= -1e-9 * scale);
-    }
-}
-
-/// Exact quantile of a sorted sample at probability `alpha`
-/// (nearest-rank definition).
-fn sorted_quantile(sorted: &[f64], alpha: f64) -> f64 {
-    let rank = ((alpha * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
-/// A quantile accumulator plus the min/max envelope it borrows its
-/// adaptive step scale from, fed together (as the server does).
-struct TrackedQuantiles {
-    quant: FieldQuantiles,
-    env: FieldMinMax,
-}
-
-impl TrackedQuantiles {
-    fn new(cells: usize, probs: &[f64]) -> Self {
-        Self {
-            quant: FieldQuantiles::new(cells, probs),
-            env: FieldMinMax::new(cells),
-        }
-    }
-
-    fn update(&mut self, sample: &[f64]) {
-        self.env.update(sample);
-        self.quant.update(sample, &self.env);
     }
 }
 

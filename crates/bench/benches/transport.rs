@@ -1,0 +1,69 @@
+//! Transport micro-benchmarks: the in-process channel backend vs the TCP
+//! loopback backend, through the same `Transport`/`Sender`/`Receiver`
+//! trait surface the framework uses.
+//!
+//! Two shapes:
+//!
+//! * `roundtrip` — send one frame, receive it back on the same thread:
+//!   the per-frame latency floor of the whole stack (queue, writer
+//!   thread, socket, reader thread, ingest queue for TCP; one bounded
+//!   queue for in-process).
+//! * `stream32` — send a 32-frame burst, then drain it: amortises the
+//!   hand-off latency, closer to a simulation group emitting a timestep.
+//!
+//! Recorded baselines live in `BENCH_transport.json` at the repo root.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use melissa_transport::{make_transport, TransportKind};
+
+const BURST: usize = 32;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_roundtrip");
+    g.sample_size(7);
+    for kind in [TransportKind::InProcess, TransportKind::Tcp] {
+        for size in [256usize, 4096, 65536] {
+            let t = make_transport(kind);
+            let rx = t.bind("bench", 64);
+            let tx = t.connect("bench").unwrap();
+            let frame = Bytes::from(vec![0u8; size]);
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_with_input(BenchmarkId::new(kind.to_string(), size), &size, |b, _| {
+                b.iter(|| {
+                    tx.send(frame.clone()).unwrap();
+                    rx.recv().unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_stream32");
+    g.sample_size(7);
+    for kind in [TransportKind::InProcess, TransportKind::Tcp] {
+        for size in [4096usize, 65536] {
+            let t = make_transport(kind);
+            let rx = t.bind("bench", BURST + 1);
+            let tx = t.connect("bench").unwrap();
+            let frame = Bytes::from(vec![0u8; size]);
+            g.throughput(Throughput::Bytes((size * BURST) as u64));
+            g.bench_with_input(BenchmarkId::new(kind.to_string(), size), &size, |b, _| {
+                b.iter(|| {
+                    for _ in 0..BURST {
+                        tx.send(frame.clone()).unwrap();
+                    }
+                    for _ in 0..BURST {
+                        rx.recv().unwrap();
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_stream);
+criterion_main!(benches);

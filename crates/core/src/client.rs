@@ -6,6 +6,12 @@
 //! function: two-stage gather + N×M redistribution), and dropping the
 //! client (the *Finalize* function: disconnect).
 //!
+//! The client speaks only the backend-agnostic [`Transport`] /
+//! [`melissa_transport::Sender`] trait surface, so a group connects the
+//! same way whether the deployment runs in-process or over TCP.  Every
+//! data link is wrapped in a [`FaultySender`], composing scripted link
+//! faults (drops, delays, kills) with whichever backend is active.
+//!
 //! Stage 1 of the transfer (gathering each rank's chunk from the `p + 2`
 //! simulations onto the main simulation) is performed by the caller, who
 //! owns the simulations; stage 2 (slab-intersecting redistribution to the
@@ -15,7 +21,7 @@ use std::time::Duration;
 
 use melissa_mesh::{CellRange, SlabPartition};
 use melissa_transport::registry::names;
-use melissa_transport::{Broker, FaultPolicy, FaultySender, KillSwitch};
+use melissa_transport::{FaultPolicy, FaultySender, KillSwitch, Sender, Transport};
 
 use crate::protocol::Message;
 
@@ -26,6 +32,12 @@ pub enum ClientError {
     ServerUnavailable,
     /// No `ConnectReply` within the timeout.
     HandshakeTimeout,
+    /// The handshake reply arrived but was not a well-formed
+    /// `ConnectReply` — a wire bug or protocol mismatch, *not* a timeout.
+    BadHandshake {
+        /// What was wrong with the reply.
+        detail: String,
+    },
     /// A data send failed (server worker gone) or timed out on a full
     /// buffer — the group treats this as its own failure and exits; the
     /// launcher will restart it.
@@ -39,6 +51,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::ServerUnavailable => write!(f, "server unavailable"),
             ClientError::HandshakeTimeout => write!(f, "connection handshake timed out"),
+            ClientError::BadHandshake { detail } => {
+                write!(f, "malformed connection handshake reply: {detail}")
+            }
             ClientError::SendFailed => write!(f, "data send failed"),
             ClientError::Killed => write!(f, "killed"),
         }
@@ -66,8 +81,13 @@ impl GroupClient {
     /// *Initialise*: binds a reply endpoint, asks the server main process
     /// for partition information, then opens direct connections to every
     /// server worker.
+    ///
+    /// Connecting to the server main endpoint uses the transport's
+    /// bounded-retry rendezvous ([`Transport::connect_retry`]), so a group
+    /// job scheduled before the server finishes binding simply waits — the
+    /// connect-before-bind semantics real deployments rely on.
     pub fn connect(
-        broker: &Broker,
+        transport: &dyn Transport,
         group_id: u64,
         instance: u32,
         reply_hwm: usize,
@@ -76,9 +96,9 @@ impl GroupClient {
         fault: FaultPolicy,
     ) -> Result<GroupClient, ClientError> {
         let reply_name = names::group_reply(group_id, instance);
-        let reply_rx = broker.bind(&reply_name, reply_hwm.max(1));
-        let main_tx = broker
-            .connect(&names::server_main())
+        let reply_rx = transport.bind(&reply_name, reply_hwm.max(1));
+        let main_tx = transport
+            .connect_retry(&names::server_main(), timeout)
             .map_err(|_| ClientError::ServerUnavailable)?;
         main_tx
             .send(Message::ConnectRequest { group_id, instance }.encode())
@@ -87,18 +107,27 @@ impl GroupClient {
         let reply = reply_rx
             .recv_timeout(timeout)
             .map_err(|_| ClientError::HandshakeTimeout)?;
-        broker.unbind(&reply_name);
+        transport.unbind(&reply_name);
         let (n_workers, n_cells) = match Message::decode(&reply) {
             Ok(Message::ConnectReply {
                 n_workers, n_cells, ..
             }) => (n_workers, n_cells),
-            _ => return Err(ClientError::HandshakeTimeout),
+            Ok(other) => {
+                return Err(ClientError::BadHandshake {
+                    detail: format!("unexpected message {other:?}"),
+                })
+            }
+            Err(e) => {
+                return Err(ClientError::BadHandshake {
+                    detail: format!("undecodable frame: {e}"),
+                })
+            }
         };
 
         let partition = SlabPartition::new(n_cells as usize, n_workers as usize);
         let mut senders = Vec::with_capacity(n_workers as usize);
         for w in 0..n_workers as usize {
-            let tx = broker
+            let tx = transport
                 .connect(&names::server_worker(w))
                 .map_err(|_| ClientError::ServerUnavailable)?;
             senders.push(FaultySender::new(tx, fault.clone(), kill.clone()));
@@ -153,7 +182,6 @@ impl GroupClient {
                 let frame = msg.encode();
                 let bytes = (sub.len * 8) as u64;
                 self.senders[worker]
-                    .inner()
                     .send_timeout(frame, self.send_timeout)
                     .map_err(|_| ClientError::SendFailed)?;
                 self.messages_sent += 1;
@@ -162,11 +190,30 @@ impl GroupClient {
         }
         Ok(())
     }
+
+    /// *Finalize*: flushes every data link, guaranteeing the group's
+    /// frames sit in the server workers' ingest queues before the job
+    /// reports completion.  In-process this is immediate; over TCP it
+    /// round-trips a barrier per link — which is what pins the ingest
+    /// order of sequential studies and makes their statistics
+    /// bit-identical across backends.
+    pub fn finish(&mut self) -> Result<(), ClientError> {
+        for sender in &self.senders {
+            if self.kill.is_killed() {
+                return Err(ClientError::Killed);
+            }
+            sender
+                .flush(self.send_timeout)
+                .map_err(|_| ClientError::SendFailed)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use melissa_transport::ChannelTransport;
 
     // Handshake and send paths are exercised end-to-end in the server
     // integration tests; here we cover the failure modes that need no
@@ -174,9 +221,9 @@ mod tests {
 
     #[test]
     fn connect_without_server_fails_fast() {
-        let broker = Broker::new();
+        let transport = ChannelTransport::new();
         let err = GroupClient::connect(
-            &broker,
+            &transport,
             1,
             0,
             8,
@@ -190,11 +237,11 @@ mod tests {
 
     #[test]
     fn handshake_timeout_when_server_main_is_silent() {
-        let broker = Broker::new();
+        let transport = ChannelTransport::new();
         // Bind server/main but never answer.
-        let _main_rx = broker.bind(names::server_main(), 8);
+        let _main_rx = transport.bind(&names::server_main(), 8);
         let err = GroupClient::connect(
-            &broker,
+            &transport,
             1,
             0,
             8,
@@ -204,5 +251,81 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ClientError::HandshakeTimeout));
+    }
+
+    #[test]
+    fn malformed_handshake_reply_is_bad_handshake_not_timeout() {
+        let transport = ChannelTransport::new();
+        let main_rx = transport.bind(&names::server_main(), 8);
+        // A fake server main that answers the handshake with garbage.
+        let t2 = transport.clone();
+        let fake_server = std::thread::spawn(move || {
+            let req = main_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("connect request");
+            let (group_id, instance) = match Message::decode(&req) {
+                Ok(Message::ConnectRequest { group_id, instance }) => (group_id, instance),
+                other => panic!("unexpected request {other:?}"),
+            };
+            let reply_tx = t2
+                .connect(&names::group_reply(group_id, instance))
+                .expect("reply endpoint");
+            reply_tx
+                .send(bytes::Bytes::from_static(&[255, 1, 2, 3]))
+                .unwrap();
+        });
+        let err = GroupClient::connect(
+            &transport,
+            1,
+            0,
+            8,
+            Duration::from_secs(5),
+            KillSwitch::new(),
+            FaultPolicy::default(),
+        )
+        .unwrap_err();
+        fake_server.join().unwrap();
+        assert!(
+            matches!(err, ClientError::BadHandshake { .. }),
+            "wire bug misreported as {err:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_message_type_in_handshake_is_bad_handshake() {
+        let transport = ChannelTransport::new();
+        let main_rx = transport.bind(&names::server_main(), 8);
+        let t2 = transport.clone();
+        let fake_server = std::thread::spawn(move || {
+            let req = main_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("connect request");
+            let (group_id, instance) = match Message::decode(&req) {
+                Ok(Message::ConnectRequest { group_id, instance }) => (group_id, instance),
+                other => panic!("unexpected request {other:?}"),
+            };
+            let reply_tx = t2
+                .connect(&names::group_reply(group_id, instance))
+                .expect("reply endpoint");
+            // A decodable message of the wrong kind.
+            reply_tx.send(Message::ServerReady.encode()).unwrap();
+        });
+        let err = GroupClient::connect(
+            &transport,
+            1,
+            0,
+            8,
+            Duration::from_secs(5),
+            KillSwitch::new(),
+            FaultPolicy::default(),
+        )
+        .unwrap_err();
+        fake_server.join().unwrap();
+        match err {
+            ClientError::BadHandshake { detail } => {
+                assert!(detail.contains("ServerReady"), "detail: {detail}")
+            }
+            other => panic!("wire bug misreported as {other:?}"),
+        }
     }
 }

@@ -12,6 +12,10 @@ pub struct StudyConfig {
     /// Number of simulation groups `n` (design rows).  The paper's study
     /// uses 1000 groups of `p + 2 = 8` simulations.
     pub n_groups: usize,
+    /// Messaging backend: in-process channels (default) or real TCP
+    /// loopback sockets.  A seeded study produces bit-identical
+    /// statistics over either backend.
+    pub transport: melissa_transport::TransportKind,
     /// Solver/use-case configuration (mesh, physics, timesteps).
     pub solver: UseCaseConfig,
     /// Ranks per simulation (the paper runs each Code_Saturne instance on
@@ -66,6 +70,7 @@ impl Default for StudyConfig {
     fn default() -> Self {
         Self {
             n_groups: 50,
+            transport: melissa_transport::TransportKind::InProcess,
             solver: UseCaseConfig::default(),
             ranks_per_simulation: 4,
             server_workers: 8,

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use melissa_solver::decomposed::DecomposedSimulation;
 use melissa_solver::{FrozenFlow, InjectionParams, UseCaseConfig};
-use melissa_transport::{Broker, FaultPolicy, KillSwitch};
+use melissa_transport::{FaultPolicy, KillSwitch, Transport};
 
 use crate::client::{ClientError, GroupClient};
 use crate::fault::GroupFault;
@@ -32,8 +32,8 @@ pub struct GroupContext {
     pub flow: Arc<FrozenFlow>,
     /// Ranks per simulation.
     pub ranks: usize,
-    /// Messaging rendezvous.
-    pub broker: Broker,
+    /// Messaging rendezvous (any backend behind the trait surface).
+    pub transport: Arc<dyn Transport>,
     /// Connection/send timeout.
     pub timeout: Duration,
     /// Scripted fault for this instance, if any.
@@ -79,7 +79,7 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
     }
 
     let mut client = match GroupClient::connect(
-        &ctx.broker,
+        ctx.transport.as_ref(),
         ctx.group_id,
         ctx.instance,
         64,
@@ -162,6 +162,19 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
         }
     }
 
+    // Finalize: flush the data links so every frame is ingested-or-queued
+    // server-side before the job slot frees (backend-independent ordering).
+    if let Err(e) = client.finish() {
+        return match e {
+            ClientError::Killed => GroupOutcome::Died {
+                after_timestep: Some(n_timesteps - 1),
+            },
+            other => GroupOutcome::Aborted {
+                reason: other.to_string(),
+            },
+        };
+    }
+
     GroupOutcome::Completed {
         messages: client.messages_sent,
         bytes: client.bytes_sent,
@@ -186,7 +199,8 @@ mod tests {
             solver: cfg,
             flow,
             ranks: 2,
-            broker: Broker::new(), // no server bound: connect would fail
+            // No server bound: connect would fail.
+            transport: melissa_transport::make_transport(Default::default()),
             timeout: Duration::from_millis(100),
             fault: Some(GroupFault::Zombie),
             link_fault: FaultPolicy::default(),
@@ -217,7 +231,7 @@ mod tests {
             solver: cfg,
             flow,
             ranks: 2,
-            broker: Broker::new(),
+            transport: melissa_transport::make_transport(Default::default()),
             timeout: Duration::from_millis(50),
             fault: None,
             link_fault: FaultPolicy::default(),

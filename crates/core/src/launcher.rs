@@ -23,11 +23,10 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::RecvTimeoutError;
 use melissa_sobol::design::PickFreeze;
 use melissa_solver::injection::InjectionParams;
 use melissa_transport::registry::names;
-use melissa_transport::{Broker, KillSwitch, LivenessTracker};
+use melissa_transport::{make_transport, KillSwitch, LivenessTracker, Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
 
 use crate::config::StudyConfig;
@@ -51,8 +50,8 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     config.validate()?;
     let started = Instant::now();
     let wall_limit = config.wall_limit;
-    let broker = Broker::new();
-    let launcher_rx = broker.bind(names::launcher(), 1024);
+    let transport = make_transport(config.transport);
+    let launcher_rx = transport.bind(&names::launcher(), 1024);
 
     let mut report = StudyReport::new(config.n_groups);
 
@@ -81,9 +80,13 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     };
 
     // Start the server and wait for readiness.
-    let launcher_tx = broker.connect(&names::launcher()).expect("just bound");
-    let mut server = Server::start(server_config.clone(), &broker, launcher_tx.clone());
-    wait_for_ready(&launcher_rx, config.server_timeout)?;
+    let launcher_tx = transport.connect(&names::launcher()).expect("just bound");
+    let mut server = Server::start(
+        server_config.clone(),
+        Arc::clone(&transport),
+        launcher_tx.clone(),
+    );
+    wait_for_ready(launcher_rx.as_ref(), config.server_timeout)?;
 
     let runner = JobRunner::new(config.max_concurrent_groups);
     let outcomes: Arc<Mutex<HashMap<(u64, u32), GroupOutcome>>> =
@@ -97,7 +100,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
             solver: config.solver.clone(),
             flow: Arc::clone(&flow),
             ranks: config.ranks_per_simulation,
-            broker: broker.clone(),
+            transport: Arc::clone(&transport),
             timeout: config.group_timeout,
             fault: faults.group_fault(g, instance),
             link_fault: config.link_fault.clone(),
@@ -162,12 +165,21 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                             running_groups,
                             max_ci_width,
                             max_quantile_step,
+                            blocked_sends,
+                            blocked_nanos,
                         } => {
                             server_liveness.record(0u32);
                             known_finished.extend(finished_groups);
                             known_running = running_groups.into_iter().collect();
                             last_ci = max_ci_width;
                             last_quantile_step = max_quantile_step;
+                            // Live backpressure accounting (the Fig. 6
+                            // signal): keeps the report current mid-study
+                            // and across server crashes; the final stop
+                            // path overwrites it with the authoritative
+                            // end-of-study transport rollup.
+                            report.blocked_sends = blocked_sends;
+                            report.blocked_time = Duration::from_nanos(blocked_nanos);
                         }
                         Message::GroupTimeout { group_id }
                             if !known_finished.contains(&group_id) =>
@@ -231,8 +243,8 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                 restore: true,
                 ..server_config.clone()
             };
-            server = Server::start(restore_cfg, &broker, launcher_tx.clone());
-            wait_for_ready(&launcher_rx, config.server_timeout)?;
+            server = Server::start(restore_cfg, Arc::clone(&transport), launcher_tx.clone());
+            wait_for_ready(launcher_rx.as_ref(), config.server_timeout)?;
             server_liveness.record(0u32);
             // Only the restored checkpoint's bookkeeping counts now: any
             // group the launcher believed finished but the server lost
@@ -343,7 +355,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     }
 
     // Final server stop: collect statistics states.
-    let link = server_link_stats(&server);
+    let link = server.data_link_stats();
     let shared = Arc::clone(server.shared());
     let states = server.stop();
 
@@ -370,8 +382,11 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
         + shared
             .checkpoints_written
             .load(std::sync::atomic::Ordering::Relaxed);
-    report.blocked_sends = link.0;
-    report.blocked_time = link.1;
+    report.transport = transport.backend_name().to_string();
+    report.blocked_sends = link.blocked_sends;
+    report.blocked_time = link.blocked_time();
+    report.link_messages = link.messages;
+    report.link_bytes = link.bytes;
     report.early_stopped = early_stopped;
     report.final_max_ci = last_ci;
     report.final_max_quantile_step = last_quantile_step;
@@ -380,16 +395,8 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     Ok(StudyOutput { results, report })
 }
 
-/// Sums blocked-send statistics over the server's data endpoints.
-fn server_link_stats(server: &Server) -> (u64, Duration) {
-    server.link_stats()
-}
-
 /// Waits for a `ServerReady` on the launcher inbox.
-fn wait_for_ready(
-    rx: &crossbeam::channel::Receiver<melissa_transport::Frame>,
-    timeout: Duration,
-) -> Result<(), String> {
+fn wait_for_ready(rx: &dyn Receiver, timeout: Duration) -> Result<(), String> {
     let deadline = Instant::now() + timeout;
     loop {
         let left = deadline.saturating_duration_since(Instant::now());

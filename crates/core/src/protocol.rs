@@ -73,6 +73,12 @@ pub enum Message {
         /// workers (the order-statistics convergence signal; 0 when
         /// quantiles are disabled).
         max_quantile_step: f64,
+        /// Study-level rollup: sends toward the server's data endpoints
+        /// that hit the high-water mark (the Fig. 6 backpressure signal,
+        /// live).
+        blocked_sends: u64,
+        /// Study-level rollup: nanoseconds those sends spent blocked.
+        blocked_nanos: u64,
     },
     /// Server main → launcher: a group exceeded the message timeout
     /// (unfinished-group fault, Section 4.2.2).
@@ -151,12 +157,16 @@ impl Message {
                 running_groups,
                 max_ci_width,
                 max_quantile_step,
+                blocked_sends,
+                blocked_nanos,
             } => {
                 buf.put_u8(tag::SERVER_REPORT);
                 put_u64_slice(&mut buf, finished_groups);
                 put_u64_slice(&mut buf, running_groups);
                 buf.put_f64_le(*max_ci_width);
                 buf.put_f64_le(*max_quantile_step);
+                buf.put_u64_le(*blocked_sends);
+                buf.put_u64_le(*blocked_nanos);
             }
             Message::GroupTimeout { group_id } => {
                 buf.put_u8(tag::GROUP_TIMEOUT);
@@ -227,6 +237,8 @@ impl Message {
                     &mut buf,
                     "max_quantile_step",
                 )?,
+                blocked_sends: get_u64(&mut buf, "blocked_sends")?,
+                blocked_nanos: get_u64(&mut buf, "blocked_nanos")?,
             },
             tag::GROUP_TIMEOUT => Message::GroupTimeout {
                 group_id: get_u64(&mut buf, "group_id")?,
@@ -281,6 +293,8 @@ mod tests {
             running_groups: vec![],
             max_ci_width: 0.25,
             max_quantile_step: 0.125,
+            blocked_sends: 42,
+            blocked_nanos: 1_000_000,
         });
         roundtrip(Message::GroupTimeout { group_id: 9 });
         roundtrip(Message::Checkpoint {

@@ -28,6 +28,14 @@ pub struct StudyReport {
     pub data_bytes: u64,
     /// Replayed messages dropped by discard-on-replay.
     pub replays_discarded: u64,
+    /// Messaging backend the study ran over (`"in-process"`, `"tcp"`).
+    pub transport: String,
+    /// Study-level link rollup: frames sent toward the server's data
+    /// endpoints (data plus control, every link counted once).
+    pub link_messages: u64,
+    /// Study-level link rollup: frame bytes sent toward the server's data
+    /// endpoints.
+    pub link_bytes: u64,
     /// Sends that hit a full buffer (backpressure events).
     pub blocked_sends: u64,
     /// Total time clients spent blocked on full buffers.
@@ -59,6 +67,9 @@ impl StudyReport {
             data_messages: 0,
             data_bytes: 0,
             replays_discarded: 0,
+            transport: String::new(),
+            link_messages: 0,
+            link_bytes: 0,
             blocked_sends: 0,
             blocked_time: Duration::ZERO,
             checkpoints_written: 0,
@@ -100,6 +111,15 @@ impl std::fmt::Display for StudyReport {
             self.data_messages
         )?;
         writeln!(f, "replays discarded : {}", self.replays_discarded)?;
+        if !self.transport.is_empty() {
+            writeln!(
+                f,
+                "transport         : {} ({} frames, {:.1} MiB on data links)",
+                self.transport,
+                self.link_messages,
+                self.link_bytes as f64 / (1024.0 * 1024.0)
+            )?;
+        }
         writeln!(
             f,
             "backpressure      : {} blocked sends, {:.3} s total",
@@ -145,6 +165,8 @@ mod tests {
         let mut r = StudyReport::new(10);
         r.groups_finished = 9;
         r.groups_abandoned = vec![7];
+        r.transport = "tcp".into();
+        r.link_messages = 1234;
         r.data_bytes = 3 * 1024 * 1024;
         r.final_max_ci = 0.21;
         r.final_max_quantile_step = 0.0375;
@@ -155,6 +177,7 @@ mod tests {
         assert!(text.contains("abandoned groups  : [7]"));
         assert!(text.contains("restarting group 7"));
         assert!(text.contains("max RM step 0.0375"));
+        assert!(text.contains("transport         : tcp (1234 frames"));
     }
 
     #[test]

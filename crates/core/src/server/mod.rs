@@ -9,6 +9,12 @@
 //! handles dynamic connection requests, periodic heartbeats/reports to the
 //! launcher, group-timeout detection and checkpoint triggers.
 //!
+//! The server consumes only the backend-agnostic [`Transport`] /
+//! [`Sender`](melissa_transport::Sender) /
+//! [`Receiver`](melissa_transport::Receiver) surface: the same code
+//! serves a single-process in-process study and a multi-socket TCP
+//! deployment, with identical statistics and backpressure telemetry.
+//!
 //! Per `(timestep, cell)` the workers track the ubiquitous Sobol' state,
 //! field moments, the min/max envelope, threshold-exceedance counters
 //! and — when [`ServerConfig::quantile_probs`] is non-empty — per-cell
@@ -29,10 +35,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError};
 use melissa_mesh::SlabPartition;
 use melissa_transport::registry::names;
-use melissa_transport::{Broker, Frame, HwmSender, KillSwitch, LivenessTracker};
+use melissa_transport::{
+    BoxReceiver, BoxSender, KillSwitch, LinkStatsSnapshot, LivenessTracker, RecvTimeoutError,
+    Transport,
+};
 use parking_lot::Mutex;
 
 use crate::protocol::Message;
@@ -195,16 +203,22 @@ pub struct Server {
     /// finalising; in-memory statistics are lost).
     pub kill: KillSwitch,
     shared: Arc<ServerShared>,
+    transport: Arc<dyn Transport>,
+    n_workers: usize,
     main_handle: JoinHandle<()>,
     worker_handles: Vec<JoinHandle<WorkerState>>,
-    worker_senders: Vec<HwmSender>,
-    main_sender: HwmSender,
+    worker_senders: Vec<BoxSender>,
+    main_sender: BoxSender,
 }
 
 impl Server {
     /// Binds endpoints and starts the main and worker threads.  Sends
     /// `ServerReady` to the launcher endpoint once up.
-    pub fn start(config: ServerConfig, broker: &Broker, launcher_tx: HwmSender) -> Server {
+    pub fn start(
+        config: ServerConfig,
+        transport: Arc<dyn Transport>,
+        launcher_tx: BoxSender,
+    ) -> Server {
         assert!(config.n_workers > 0 && config.n_cells >= config.n_workers);
         let shared = Arc::new(ServerShared::new(
             config.n_workers,
@@ -216,18 +230,20 @@ impl Server {
 
         // Bind everything *before* any thread runs so clients can connect
         // as soon as ServerReady is out.
-        let main_rx = broker.bind(names::server_main(), config.hwm);
-        let worker_rxs: Vec<Receiver<Frame>> = (0..config.n_workers)
-            .map(|w| broker.bind(names::server_worker(w), config.hwm))
+        let main_rx = transport.bind(&names::server_main(), config.hwm);
+        let worker_rxs: Vec<BoxReceiver> = (0..config.n_workers)
+            .map(|w| transport.bind(&names::server_worker(w), config.hwm))
             .collect();
-        let worker_senders: Vec<HwmSender> = (0..config.n_workers)
+        let worker_senders: Vec<BoxSender> = (0..config.n_workers)
             .map(|w| {
-                broker
+                transport
                     .connect(&names::server_worker(w))
                     .expect("just bound")
             })
             .collect();
-        let main_sender = broker.connect(&names::server_main()).expect("just bound");
+        let main_sender = transport
+            .connect(&names::server_main())
+            .expect("just bound");
 
         let worker_handles: Vec<JoinHandle<WorkerState>> = worker_rxs
             .into_iter()
@@ -300,16 +316,18 @@ impl Server {
             let cfg = config.clone();
             let shared = Arc::clone(&shared);
             let kill = kill.clone();
-            let broker = broker.clone();
+            let transport = Arc::clone(&transport);
             let senders = worker_senders.clone();
             std::thread::spawn(move || {
-                main_loop(cfg, broker, shared, kill, launcher_tx, senders, main_rx)
+                main_loop(cfg, transport, shared, kill, launcher_tx, senders, main_rx)
             })
         };
 
         Server {
             kill,
             shared,
+            transport,
+            n_workers: config.n_workers,
             main_handle,
             worker_handles,
             worker_senders,
@@ -322,16 +340,17 @@ impl Server {
         &self.shared
     }
 
-    /// Aggregate blocked-send statistics over the server's data endpoints
-    /// (every client clone of an endpoint sender shares its counters).
+    /// Study-level rollup of the server's data-endpoint link statistics
+    /// (every link toward a `server/<w>` endpoint, whichever side opened
+    /// it — the paper's Fig. 6 backpressure telemetry).
+    pub fn data_link_stats(&self) -> LinkStatsSnapshot {
+        data_link_rollup(self.transport.as_ref(), self.n_workers)
+    }
+
+    /// Aggregate blocked-send statistics over the server's data endpoints.
     pub fn link_stats(&self) -> (u64, Duration) {
-        let mut blocked = 0u64;
-        let mut time = Duration::ZERO;
-        for s in &self.worker_senders {
-            blocked += s.stats().sends_blocked();
-            time += s.stats().blocked_time();
-        }
-        (blocked, time)
+        let s = self.data_link_stats();
+        (s.blocked_sends, s.blocked_time())
     }
 
     /// Requests an immediate checkpoint of all workers.
@@ -367,11 +386,24 @@ impl Server {
     }
 }
 
+/// Sums the per-endpoint link rollup over the `server/<w>` data endpoints.
+fn data_link_rollup(transport: &dyn Transport, n_workers: usize) -> LinkStatsSnapshot {
+    let per_endpoint: HashMap<String, LinkStatsSnapshot> =
+        transport.link_stats().into_iter().collect();
+    let mut total = LinkStatsSnapshot::default();
+    for w in 0..n_workers {
+        if let Some(s) = per_endpoint.get(&names::server_worker(w)) {
+            total.absorb(s);
+        }
+    }
+    total
+}
+
 /// Worker thread: pump the inbox, update local statistics, obey control
 /// messages.  Returns the final state on clean stop.
 fn worker_loop(
     mut state: WorkerState,
-    rx: Receiver<Frame>,
+    rx: BoxReceiver,
     shared: Arc<ServerShared>,
     kill: KillSwitch,
     cfg: ServerConfig,
@@ -440,12 +472,12 @@ fn worker_loop(
 #[allow(clippy::too_many_arguments)]
 fn main_loop(
     cfg: ServerConfig,
-    broker: Broker,
+    transport: Arc<dyn Transport>,
     shared: Arc<ServerShared>,
     kill: KillSwitch,
-    launcher_tx: HwmSender,
-    worker_senders: Vec<HwmSender>,
-    main_rx: Receiver<Frame>,
+    launcher_tx: BoxSender,
+    worker_senders: Vec<BoxSender>,
+    main_rx: BoxReceiver,
 ) {
     let mut last_report = Instant::now();
     let mut last_checkpoint = Instant::now();
@@ -463,7 +495,7 @@ fn main_loop(
                         p: cfg.p as u32,
                         n_timesteps: cfg.n_timesteps as u32,
                     };
-                    if let Ok(tx) = broker.connect(&names::group_reply(group_id, instance)) {
+                    if let Ok(tx) = transport.connect(&names::group_reply(group_id, instance)) {
                         let _ = tx.send(reply.encode());
                     }
                 }
@@ -489,11 +521,14 @@ fn main_loop(
         if last_report.elapsed() >= cfg.report_interval {
             last_report = Instant::now();
             let _ = launcher_tx.send(Message::Heartbeat { sender: 0 }.encode());
+            let link = data_link_rollup(transport.as_ref(), cfg.n_workers);
             let report = Message::ServerReport {
                 finished_groups: shared.finished_groups(),
                 running_groups: shared.running_groups(),
                 max_ci_width: shared.max_ci_width(),
                 max_quantile_step: shared.max_quantile_step(),
+                blocked_sends: link.blocked_sends,
+                blocked_nanos: link.blocked_nanos,
             };
             let _ = launcher_tx.send(report.encode());
             for g in shared.liveness.expired() {

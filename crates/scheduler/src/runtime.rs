@@ -6,7 +6,15 @@
 //! real work.  Every job receives a [`KillSwitch`] so the launcher can kill
 //! and resubmit it (paper Section 4.2.2), and [`Watchdog`] flips switches
 //! at deadlines (walltime enforcement).
+//!
+//! Queued jobs start in **submission order** (FCFS, the batch-scheduler
+//! default): each submission takes a ticket and the capacity is granted in
+//! ticket order, never by condvar wake-up races.  Deterministic start
+//! order is what lets a sequential study reproduce bit-identical
+//! statistics across transport backends.
 
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -14,17 +22,36 @@ use std::time::{Duration, Instant};
 use melissa_transport::KillSwitch;
 use parking_lot::{Condvar, Mutex};
 
-/// Shared capacity semaphore.
+/// Shared FCFS capacity semaphore.
 #[derive(Debug)]
 struct Capacity {
-    free: Mutex<usize>,
+    state: Mutex<CapState>,
     cv: Condvar,
 }
 
-/// A capacity-limited thread-job runner.
+#[derive(Debug)]
+struct CapState {
+    free: usize,
+    /// The ticket currently allowed to acquire (FCFS head of queue).
+    next_serving: u64,
+    /// Tickets whose jobs were killed while queued; skipped at the head.
+    abandoned: HashSet<u64>,
+}
+
+impl CapState {
+    /// Skips over abandoned tickets at the head of the queue.
+    fn advance_past_abandoned(&mut self) {
+        while self.abandoned.remove(&self.next_serving) {
+            self.next_serving += 1;
+        }
+    }
+}
+
+/// A capacity-limited thread-job runner with FCFS start order.
 #[derive(Clone)]
 pub struct JobRunner {
     capacity: Arc<Capacity>,
+    next_ticket: Arc<AtomicU64>,
     total_units: usize,
 }
 
@@ -56,9 +83,14 @@ impl JobRunner {
         assert!(units > 0, "need at least one resource unit");
         Self {
             capacity: Arc::new(Capacity {
-                free: Mutex::new(units),
+                state: Mutex::new(CapState {
+                    free: units,
+                    next_serving: 0,
+                    abandoned: HashSet::new(),
+                }),
                 cv: Condvar::new(),
             }),
+            next_ticket: Arc::new(AtomicU64::new(0)),
             total_units: units,
         }
     }
@@ -70,13 +102,14 @@ impl JobRunner {
 
     /// Units currently free.
     pub fn free_units(&self) -> usize {
-        *self.capacity.free.lock()
+        self.capacity.state.lock().free
     }
 
-    /// Submits a job needing `units` units.  The job thread blocks until
-    /// capacity is available (batch-queue semantics), runs `work`, then
-    /// releases its units.  `work` must poll the passed [`KillSwitch`] to
-    /// honour kills.
+    /// Submits a job needing `units` units.  The job takes a ticket at
+    /// submission; its thread blocks until the ticket reaches the head of
+    /// the queue *and* capacity is available (FCFS batch-queue
+    /// semantics), runs `work`, then releases its units.  `work` must
+    /// poll the passed [`KillSwitch`] to honour kills.
     ///
     /// # Panics
     /// Panics if `units` exceeds the runner's total capacity (the job
@@ -90,28 +123,42 @@ impl JobRunner {
             "job needs {units} units > capacity {}",
             self.total_units
         );
+        // The ticket is drawn on the submitting thread: submission order
+        // *is* start order, regardless of how job threads get scheduled.
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let kill = KillSwitch::new();
         let kill_in_job = kill.clone();
         let cap = Arc::clone(&self.capacity);
         let handle = std::thread::spawn(move || {
-            // Acquire capacity (or give up immediately if killed while
-            // waiting — a queued job can be killed too).
+            // Acquire in ticket order (or bow out if killed while queued,
+            // passing the turn on).
             {
-                let mut free = cap.free.lock();
+                let mut s = cap.state.lock();
                 loop {
+                    s.advance_past_abandoned();
                     if kill_in_job.is_killed() {
+                        if s.next_serving == ticket {
+                            s.next_serving += 1;
+                            s.advance_past_abandoned();
+                        } else {
+                            s.abandoned.insert(ticket);
+                        }
+                        cap.cv.notify_all();
                         return;
                     }
-                    if *free >= units {
-                        *free -= units;
+                    if s.next_serving == ticket && s.free >= units {
+                        s.free -= units;
+                        s.next_serving += 1;
+                        s.advance_past_abandoned();
+                        cap.cv.notify_all();
                         break;
                     }
-                    cap.cv.wait_for(&mut free, Duration::from_millis(10));
+                    cap.cv.wait_for(&mut s, Duration::from_millis(10));
                 }
             }
             work(&kill_in_job);
-            let mut free = cap.free.lock();
-            *free += units;
+            let mut s = cap.state.lock();
+            s.free += units;
             cap.cv.notify_all();
         });
         JobHandle { kill, handle }
@@ -215,6 +262,46 @@ mod tests {
             peak.load(Ordering::SeqCst)
         );
         assert_eq!(runner.free_units(), 2);
+    }
+
+    #[test]
+    fn queued_jobs_start_in_submission_order() {
+        let runner = JobRunner::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<JobHandle> = (0..8usize)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                runner.submit(1, move |_| {
+                    order.lock().push(i);
+                    std::thread::sleep(Duration::from_millis(2));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn killed_queued_job_passes_its_turn() {
+        let runner = JobRunner::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let blocker = runner.submit(1, |_| std::thread::sleep(Duration::from_millis(50)));
+        let doomed = {
+            let order = Arc::clone(&order);
+            runner.submit(1, move |_| order.lock().push("doomed"))
+        };
+        let survivor = {
+            let order = Arc::clone(&order);
+            runner.submit(1, move |_| order.lock().push("survivor"))
+        };
+        doomed.kill.kill();
+        doomed.join();
+        blocker.join();
+        survivor.join();
+        assert_eq!(*order.lock(), vec!["survivor"]);
+        assert_eq!(runner.free_units(), 1);
     }
 
     #[test]

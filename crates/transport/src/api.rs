@@ -1,0 +1,378 @@
+//! The backend-agnostic transport API.
+//!
+//! Everything above this crate (server, clients, launcher) speaks only the
+//! three traits defined here:
+//!
+//! * [`Transport`] — a named-endpoint rendezvous: `bind(name, hwm)` yields
+//!   the receiving half of an endpoint, `connect(name)` a sending half.
+//!   Names are plain strings (see [`crate::registry::names`] for the
+//!   canonical Melissa layout); binding again under the same name
+//!   *replaces* the endpoint (the server-restart path).
+//! * [`Sender`] — the client half of one link, carrying the load-bearing
+//!   high-water-mark contract: `send` buffers asynchronously below the HWM
+//!   and blocks when the buffer is full, recording every blocked send and
+//!   the nanoseconds spent blocked in [`LinkStats`] (the paper's Fig. 6
+//!   backpressure telemetry).  `send_timeout` bounds the blocking so
+//!   fault-tolerant senders notice a dead peer.
+//! * [`Receiver`] — the server half: blocking, timeout-bounded and
+//!   non-blocking receives with explicit disconnect errors.
+//!
+//! Two backends implement the surface with identical semantics:
+//! [`crate::registry::ChannelTransport`] (in-process bounded channels) and
+//! [`crate::tcp::TcpTransport`] (real `std::net` sockets over loopback,
+//! one writer/reader thread per connection feeding the same bounded HWM
+//! queues).  [`TransportKind`] + [`make_transport`] select one at study
+//! configuration time.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::endpoint::{Frame, LinkStats};
+
+/// Error returned when the peer side of a link has hung up.
+///
+/// Channel backend: the receiver was dropped.  TCP backend: the connection
+/// is dead (peer closed, reset, or the local writer thread observed an I/O
+/// error).  A TCP disconnect may surface one send *later* than in-process
+/// (the writer thread discovers the broken socket asynchronously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "endpoint disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// Deadline send failure; returns the undelivered frame for retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendTimeoutError {
+    /// The buffer stayed at the high-water mark until the deadline.
+    Timeout(Frame),
+    /// The peer is gone.
+    Disconnected(Frame),
+}
+
+impl std::fmt::Display for SendTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "send timed out on a full buffer"),
+            SendTimeoutError::Disconnected(_) => write!(f, "endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for SendTimeoutError {}
+
+/// Deadline flush failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushError {
+    /// The link could not confirm delivery before the deadline.
+    Timeout,
+    /// The peer is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for FlushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlushError::Timeout => write!(f, "flush timed out"),
+            FlushError::Disconnected => write!(f, "endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for FlushError {}
+
+/// Deadline receive failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived before the deadline.
+    Timeout,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+/// Non-blocking receive failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now.
+    Empty,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+/// Connection failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectError {
+    /// No endpoint bound under that name (the server is not up yet, or it
+    /// crashed and unbound).  Retryable: see [`Transport::connect_retry`].
+    NotFound {
+        /// The requested endpoint name.
+        name: String,
+    },
+    /// The transport substrate failed (TCP dial/handshake error).
+    Io {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::NotFound { name } => write!(f, "no endpoint bound as '{name}'"),
+            ConnectError::Io { detail } => write!(f, "transport error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// A point-in-time copy of one link's [`LinkStats`] counters, and the unit
+/// of the study-level backpressure rollup ([`Transport::link_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStatsSnapshot {
+    /// Frames sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Sends that found the buffer at the high-water mark and blocked.
+    pub blocked_sends: u64,
+    /// Total nanoseconds spent blocked in sends.
+    pub blocked_nanos: u64,
+}
+
+impl LinkStatsSnapshot {
+    /// Snapshots shared link counters.
+    pub fn of(stats: &LinkStats) -> Self {
+        Self {
+            messages: stats.messages_sent(),
+            bytes: stats.bytes_sent(),
+            blocked_sends: stats.sends_blocked(),
+            blocked_nanos: stats.blocked_time().as_nanos() as u64,
+        }
+    }
+
+    /// Total time spent blocked on a full buffer.
+    pub fn blocked_time(&self) -> Duration {
+        Duration::from_nanos(self.blocked_nanos)
+    }
+
+    /// Folds another snapshot into this one (rollup accumulation).
+    pub fn absorb(&mut self, other: &LinkStatsSnapshot) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.blocked_sends += other.blocked_sends;
+        self.blocked_nanos += other.blocked_nanos;
+    }
+}
+
+/// Sending half of one HWM-buffered link (ZeroMQ blocking-send semantics).
+pub trait Sender: std::fmt::Debug + Send + Sync {
+    /// Sends a frame, buffering asynchronously below the high-water mark
+    /// and blocking (with [`LinkStats`] time accounting) when the buffer is
+    /// full.
+    fn send(&self, frame: Frame) -> Result<(), Disconnected>;
+
+    /// Sends with a deadline; returns the frame if the buffer stayed full.
+    /// Fault-tolerant senders use this to notice a dead server.
+    fn send_timeout(&self, frame: Frame, timeout: Duration) -> Result<(), SendTimeoutError>;
+
+    /// Delivery barrier (ZeroMQ "linger" semantics): blocks until every
+    /// frame previously sent on this link sits in the receiving
+    /// endpoint's queue, where per-link FIFO order is pinned.  In-process
+    /// links deliver synchronously, so this returns immediately; TCP
+    /// links round-trip an in-band marker through the writer thread, the
+    /// socket and the acceptor.  A group client flushes its data links
+    /// before reporting *Finalize*, which is what makes a sequential
+    /// study's ingest order — and therefore its statistics — bit-identical
+    /// across backends.
+    fn flush(&self, timeout: Duration) -> Result<(), FlushError>;
+
+    /// Shared statistics handle (every clone of this link reports here).
+    fn stats(&self) -> Arc<LinkStats>;
+
+    /// Frames currently buffered on this side of the link (approximate).
+    fn queued(&self) -> usize;
+
+    /// Clones the sender as a boxed trait object (same link, same stats).
+    fn clone_box(&self) -> BoxSender;
+}
+
+/// A backend-erased sender.
+pub type BoxSender = Box<dyn Sender>;
+
+impl Clone for BoxSender {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Receiving half of one endpoint.
+pub trait Receiver: std::fmt::Debug + Send {
+    /// Blocks until a frame arrives or every sender is gone.
+    fn recv(&self) -> Result<Frame, Disconnected>;
+
+    /// Blocks until a frame arrives, disconnect, or the timeout elapses.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Frame, RecvTimeoutError>;
+
+    /// Pops without blocking.
+    fn try_recv(&self) -> Result<Frame, TryRecvError>;
+
+    /// Frames currently buffered (approximate).
+    fn len(&self) -> usize;
+
+    /// True when nothing is buffered (approximate).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A backend-erased receiver.
+pub type BoxReceiver = Box<dyn Receiver>;
+
+/// A named-endpoint messaging backend.
+///
+/// One `Transport` instance is one deployment's rendezvous: the server
+/// binds its endpoints, simulation groups connect to them by name whenever
+/// the scheduler starts them (the paper's *dynamic connections*,
+/// Section 4.1.3).  Implementations are shared behind `Arc<dyn Transport>`
+/// and must be safe to use from every thread of the deployment.
+pub trait Transport: std::fmt::Debug + Send + Sync {
+    /// Binds (or **re**binds) an endpoint under `name` with the given
+    /// high-water mark, returning its receiving half.  Rebinding replaces
+    /// the endpoint for *new* connections; links into the old endpoint
+    /// keep working until its receiver is dropped (the restart path: a
+    /// recovered server re-binds its names).
+    fn bind(&self, name: &str, hwm: usize) -> BoxReceiver;
+
+    /// Connects to a bound endpoint.  Fails fast with
+    /// [`ConnectError::NotFound`] when nothing is bound under `name`;
+    /// use [`Transport::connect_retry`] for connect-before-bind
+    /// rendezvous.
+    fn connect(&self, name: &str) -> Result<BoxSender, ConnectError>;
+
+    /// Removes an endpoint: subsequent `connect`s fail, existing links
+    /// keep working until the receiver is dropped.
+    fn unbind(&self, name: &str);
+
+    /// Names currently bound (sorted, for reports).
+    fn bound_names(&self) -> Vec<String>;
+
+    /// Per-endpoint rollup of link statistics, keyed by endpoint name and
+    /// sorted: every frame sent *toward* the named endpoint is counted
+    /// exactly once, whichever side created the link.  The channel backend
+    /// snapshots the single per-endpoint [`LinkStats`] all sender clones
+    /// share; the TCP backend sums the per-connection send-side stats.
+    fn link_stats(&self) -> Vec<(String, LinkStatsSnapshot)>;
+
+    /// Short backend identifier for reports (e.g. `"in-process"`,
+    /// `"tcp"`).
+    fn backend_name(&self) -> &'static str;
+
+    /// Connect-before-bind rendezvous: polls [`Transport::connect`] with a
+    /// bounded retry loop until the endpoint appears or `timeout` elapses.
+    /// This is what makes simulation groups independent jobs — they can be
+    /// scheduled before (or while) the server binds its endpoints.
+    fn connect_retry(&self, name: &str, timeout: Duration) -> Result<BoxSender, ConnectError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(1);
+        loop {
+            match self.connect(name) {
+                Ok(tx) => return Ok(tx),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(
+                        backoff.min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                    backoff = (backoff * 2).min(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+}
+
+/// Backend selection for a study deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process bounded channels (single-process deployments; the
+    /// fastest path and the reference semantics).
+    #[default]
+    InProcess,
+    /// Real TCP sockets over loopback via [`crate::tcp::TcpTransport`]
+    /// (the multi-process data path; the name registry is still local —
+    /// see the crate docs for what remains for multi-node).
+    Tcp,
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::InProcess => write!(f, "in-process"),
+            TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
+/// Instantiates the selected backend.
+///
+/// # Panics
+/// Panics if the TCP backend cannot bind its loopback listener (no
+/// ephemeral ports left — unrecoverable for a study anyway).
+pub fn make_transport(kind: TransportKind) -> Arc<dyn Transport> {
+    match kind {
+        TransportKind::InProcess => Arc::new(crate::registry::ChannelTransport::new()),
+        TransportKind::Tcp => Arc::new(
+            crate::tcp::TcpTransport::new().expect("binding the TCP loopback listener failed"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_absorb_accumulates() {
+        let mut a = LinkStatsSnapshot {
+            messages: 1,
+            bytes: 10,
+            blocked_sends: 2,
+            blocked_nanos: 500,
+        };
+        let b = LinkStatsSnapshot {
+            messages: 3,
+            bytes: 30,
+            blocked_sends: 1,
+            blocked_nanos: 1500,
+        };
+        a.absorb(&b);
+        assert_eq!(a.messages, 4);
+        assert_eq!(a.bytes, 40);
+        assert_eq!(a.blocked_sends, 3);
+        assert_eq!(a.blocked_time(), Duration::from_nanos(2000));
+    }
+
+    #[test]
+    fn transport_kind_display_names_are_stable() {
+        assert_eq!(TransportKind::InProcess.to_string(), "in-process");
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+        assert_eq!(TransportKind::default(), TransportKind::InProcess);
+    }
+
+    #[test]
+    fn connect_retry_gives_up_after_the_deadline() {
+        let t = crate::registry::ChannelTransport::new();
+        let started = Instant::now();
+        let err = t
+            .connect_retry("never-bound", Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, ConnectError::NotFound { .. }));
+        assert!(started.elapsed() >= Duration::from_millis(50));
+    }
+}

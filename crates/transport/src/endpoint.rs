@@ -1,4 +1,4 @@
-//! High-water-mark buffered channels — the ZeroMQ substitute.
+//! High-water-mark buffered links — the ZeroMQ substitute.
 //!
 //! The paper (Section 4.1.3): "Messages are buffered on the client and
 //! server side if necessary… Communications only become blocking when both
@@ -10,13 +10,23 @@
 //! [`channel`] returns a bounded MPMC queue whose sender buffers
 //! asynchronously until the HWM is reached and then blocks, while recording
 //! how long it spent blocked ([`LinkStats`]) so experiments can measure
-//! backpressure exactly as the paper does.
+//! backpressure exactly as the paper does.  [`HwmSender`] /
+//! [`ChannelReceiver`] implement the backend-agnostic [`Sender`] /
+//! [`Receiver`]-trait pair — both the in-process
+//! backend's link type *and* the bounded-queue building block the TCP
+//! backend feeds from its writer/reader threads, which is what keeps the
+//! HWM contract and its telemetry identical across backends.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, SendTimeoutError, TrySendError};
+use crossbeam::channel::{bounded, TrySendError};
+
+use crate::api::{
+    BoxSender, Disconnected, FlushError, Receiver, RecvTimeoutError, SendTimeoutError, Sender,
+    TryRecvError,
+};
 
 /// A framed payload (already encoded message bytes).
 pub type Frame = bytes::Bytes;
@@ -56,19 +66,8 @@ impl LinkStats {
     }
 }
 
-/// Error returned when the receiving side has hung up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Disconnected;
-
-impl std::fmt::Display for Disconnected {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "endpoint disconnected")
-    }
-}
-
-impl std::error::Error for Disconnected {}
-
-/// Sending half of an HWM-buffered link.
+/// Sending half of an HWM-buffered link (the in-process backend's
+/// [`Sender`], and the bounded-queue stage of every TCP link).
 #[derive(Debug, Clone)]
 pub struct HwmSender {
     inner: crossbeam::channel::Sender<Frame>,
@@ -103,11 +102,7 @@ impl HwmSender {
 
     /// Sends with a deadline; returns the frame if the buffer stayed full.
     /// Used by fault-tolerant senders that must notice a dead server.
-    pub fn send_timeout(
-        &self,
-        frame: Frame,
-        timeout: Duration,
-    ) -> Result<(), SendTimeoutError<Frame>> {
+    pub fn send_timeout(&self, frame: Frame, timeout: Duration) -> Result<(), SendTimeoutError> {
         let len = frame.len() as u64;
         match self.inner.try_send(frame) {
             Ok(()) => {}
@@ -121,12 +116,40 @@ impl HwmSender {
                 self.stats
                     .blocked_nanos
                     .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                res?;
+                match res {
+                    Ok(()) => {}
+                    Err(crossbeam::channel::SendTimeoutError::Timeout(f)) => {
+                        return Err(SendTimeoutError::Timeout(f));
+                    }
+                    Err(crossbeam::channel::SendTimeoutError::Disconnected(f)) => {
+                        return Err(SendTimeoutError::Disconnected(f));
+                    }
+                }
             }
         }
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(len, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Sends a frame *without* statistics accounting, honouring the HWM
+    /// up to a deadline.  Transport-internal: in-band control markers
+    /// (e.g. the TCP flush barrier) must ride the same FIFO as data
+    /// frames without polluting the telemetry, and their callers carry
+    /// their own deadline contracts.
+    pub(crate) fn send_uncounted_timeout(
+        &self,
+        frame: Frame,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError> {
+        self.inner
+            .send_timeout(frame, timeout)
+            .map_err(|e| match e {
+                crossbeam::channel::SendTimeoutError::Timeout(f) => SendTimeoutError::Timeout(f),
+                crossbeam::channel::SendTimeoutError::Disconnected(f) => {
+                    SendTimeoutError::Disconnected(f)
+                }
+            })
     }
 
     /// Shared statistics handle.
@@ -140,12 +163,97 @@ impl HwmSender {
     }
 }
 
+impl Sender for HwmSender {
+    fn send(&self, frame: Frame) -> Result<(), Disconnected> {
+        HwmSender::send(self, frame)
+    }
+
+    fn send_timeout(&self, frame: Frame, timeout: Duration) -> Result<(), SendTimeoutError> {
+        HwmSender::send_timeout(self, frame, timeout)
+    }
+
+    /// In-process sends deliver straight into the endpoint queue, so the
+    /// barrier holds trivially.
+    fn flush(&self, _timeout: Duration) -> Result<(), FlushError> {
+        Ok(())
+    }
+
+    fn stats(&self) -> Arc<LinkStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn queued(&self) -> usize {
+        HwmSender::queued(self)
+    }
+
+    fn clone_box(&self) -> BoxSender {
+        Box::new(self.clone())
+    }
+}
+
+/// Receiving half of an HWM-buffered link.
+#[derive(Debug, Clone)]
+pub struct ChannelReceiver {
+    inner: crossbeam::channel::Receiver<Frame>,
+}
+
+impl ChannelReceiver {
+    /// Blocks until a frame arrives or every sender is gone.
+    pub fn recv(&self) -> Result<Frame, Disconnected> {
+        self.inner.recv().map_err(|_| Disconnected)
+    }
+
+    /// Blocks until a frame arrives, disconnect, or the timeout elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Frame, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Pops without blocking.
+    pub fn try_recv(&self) -> Result<Frame, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            crossbeam::channel::TryRecvError::Empty => TryRecvError::Empty,
+            crossbeam::channel::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Frames currently buffered (approximate).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is buffered (approximate).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Receiver for ChannelReceiver {
+    fn recv(&self) -> Result<Frame, Disconnected> {
+        ChannelReceiver::recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Frame, RecvTimeoutError> {
+        ChannelReceiver::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Result<Frame, TryRecvError> {
+        ChannelReceiver::try_recv(self)
+    }
+
+    fn len(&self) -> usize {
+        ChannelReceiver::len(self)
+    }
+}
+
 /// Creates an HWM-buffered link with capacity `hwm` frames.
 ///
 /// # Panics
 /// Panics if `hwm == 0` (a zero buffer would deadlock single-threaded
 /// tests; ZeroMQ's HWM is likewise ≥ 1).
-pub fn channel(hwm: usize) -> (HwmSender, Receiver<Frame>) {
+pub fn channel(hwm: usize) -> (HwmSender, ChannelReceiver) {
     assert!(hwm > 0, "HWM must be at least 1");
     let (tx, rx) = bounded(hwm);
     (
@@ -153,7 +261,7 @@ pub fn channel(hwm: usize) -> (HwmSender, Receiver<Frame>) {
             inner: tx,
             stats: Arc::new(LinkStats::default()),
         },
-        rx,
+        ChannelReceiver { inner: rx },
     )
 }
 
@@ -220,6 +328,33 @@ mod tests {
         tx.send(frame(1)).unwrap();
         tx2.send(frame(1)).unwrap();
         assert_eq!(tx.stats().messages_sent(), 2);
+    }
+
+    #[test]
+    fn boxed_sender_clones_share_the_link() {
+        let (tx, rx) = channel(8);
+        let boxed: BoxSender = Box::new(tx);
+        let boxed2 = boxed.clone();
+        boxed.send(frame(3)).unwrap();
+        boxed2.send(frame(4)).unwrap();
+        assert_eq!(boxed.stats().messages_sent(), 2);
+        assert_eq!(boxed.stats().bytes_sent(), 7);
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn receiver_trait_surface_matches_inherent_behaviour() {
+        let (tx, rx) = channel(2);
+        let boxed: Box<dyn Receiver> = Box::new(rx);
+        assert!(matches!(boxed.try_recv(), Err(TryRecvError::Empty)));
+        tx.send(frame(1)).unwrap();
+        assert_eq!(boxed.recv().unwrap().len(), 1);
+        assert!(matches!(
+            boxed.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(boxed.try_recv(), Err(TryRecvError::Disconnected)));
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //!
 //! * [`KillSwitch`] — cooperative cancellation observed by jobs and
 //!   message pumps (the launcher "kills" a job by flipping its switch);
-//! * [`FaultySender`] — wraps an [`HwmSender`] with message drops, delays
-//!   (stragglers) and a kill switch.
+//! * [`FaultySender`] — wraps any backend's [`Sender`] with message
+//!   drops, delays (stragglers) and a kill switch.  Because it implements
+//!   [`Sender`] itself, fault injection composes with the in-process and
+//!   TCP backends alike, and faulty links can be wrapped again.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::endpoint::{Disconnected, Frame, HwmSender};
+use crate::api::{BoxSender, Disconnected, FlushError, SendTimeoutError, Sender};
+use crate::endpoint::{Frame, LinkStats};
 
 /// Cooperative cancellation token.
 #[derive(Debug, Clone, Default)]
@@ -48,34 +51,47 @@ pub struct FaultPolicy {
     pub delay: Duration,
 }
 
-/// An [`HwmSender`] wrapper that injects faults per a [`FaultPolicy`] and
-/// dies when its [`KillSwitch`] flips.
-#[derive(Debug, Clone)]
+/// A [`Sender`] wrapper that injects faults per a [`FaultPolicy`] and
+/// dies when its [`KillSwitch`] flips.  Works over any backend.
+#[derive(Debug)]
 pub struct FaultySender {
-    inner: HwmSender,
+    inner: BoxSender,
     policy: FaultPolicy,
     kill: KillSwitch,
     /// Deterministic counter-based "randomness": frame `i` is dropped when
     /// `fract(i · φ) < drop_probability` (low-discrepancy, reproducible).
-    counter: Arc<std::sync::atomic::AtomicU64>,
+    counter: Arc<AtomicU64>,
+}
+
+impl Clone for FaultySender {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone_box(),
+            policy: self.policy.clone(),
+            kill: self.kill.clone(),
+            counter: Arc::clone(&self.counter),
+        }
+    }
 }
 
 impl FaultySender {
     /// Wraps a sender with a fault policy and a kill switch.
-    pub fn new(inner: HwmSender, policy: FaultPolicy, kill: KillSwitch) -> Self {
+    pub fn new(inner: BoxSender, policy: FaultPolicy, kill: KillSwitch) -> Self {
         Self {
             inner,
             policy,
             kill,
-            counter: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            counter: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// Sends through the fault layer.  Returns `Err(Disconnected)` if the
-    /// kill switch has flipped (the process is "dead").
-    pub fn send(&self, frame: Frame) -> Result<(), Disconnected> {
+    /// Applies the fault policy to one frame: `Err(frame)` when the kill
+    /// switch has flipped (the undelivered frame comes back), `Ok(None)`
+    /// when the frame is dropped, and `Ok(Some(frame))` when it should be
+    /// forwarded (after any scripted delay).
+    fn inject(&self, frame: Frame) -> Result<Option<Frame>, Frame> {
         if self.kill.is_killed() {
-            return Err(Disconnected);
+            return Err(frame);
         }
         if !self.policy.delay.is_zero() {
             std::thread::sleep(self.policy.delay);
@@ -85,10 +101,10 @@ impl FaultySender {
             const PHI: f64 = 0.618_033_988_749_894_9;
             let u = (i as f64 * PHI).fract();
             if u < self.policy.drop_probability {
-                return Ok(()); // silently lost
+                return Ok(None); // silently lost
             }
         }
-        self.inner.send(frame)
+        Ok(Some(frame))
     }
 
     /// The kill switch governing this sender.
@@ -97,8 +113,53 @@ impl FaultySender {
     }
 
     /// The wrapped sender (for stats).
-    pub fn inner(&self) -> &HwmSender {
-        &self.inner
+    pub fn inner(&self) -> &dyn Sender {
+        self.inner.as_ref()
+    }
+}
+
+impl Sender for FaultySender {
+    /// Sends through the fault layer.  Returns `Err(Disconnected)` if the
+    /// kill switch has flipped (the process is "dead").
+    fn send(&self, frame: Frame) -> Result<(), Disconnected> {
+        match self.inject(frame) {
+            Err(_) => Err(Disconnected),
+            Ok(None) => Ok(()),
+            Ok(Some(frame)) => self.inner.send(frame),
+        }
+    }
+
+    /// Deadline send through the fault layer (kill → `Disconnected`,
+    /// drops swallow the frame, delays apply *before* the deadline clock
+    /// starts — a straggler is slow, not timed out).
+    fn send_timeout(&self, frame: Frame, timeout: Duration) -> Result<(), SendTimeoutError> {
+        match self.inject(frame) {
+            Err(frame) => Err(SendTimeoutError::Disconnected(frame)),
+            Ok(None) => Ok(()),
+            Ok(Some(frame)) => self.inner.send_timeout(frame, timeout),
+        }
+    }
+
+    /// The barrier passes through the fault layer untouched (drops lose
+    /// data frames, never delivery confirmation), but a killed link
+    /// cannot confirm anything.
+    fn flush(&self, timeout: Duration) -> Result<(), FlushError> {
+        if self.kill.is_killed() {
+            return Err(FlushError::Disconnected);
+        }
+        self.inner.flush(timeout)
+    }
+
+    fn stats(&self) -> Arc<LinkStats> {
+        self.inner.stats()
+    }
+
+    fn queued(&self) -> usize {
+        self.inner.queued()
+    }
+
+    fn clone_box(&self) -> BoxSender {
+        Box::new(self.clone())
     }
 }
 
@@ -115,10 +176,14 @@ mod tests {
     fn kill_switch_stops_sends() {
         let (tx, rx) = channel(8);
         let kill = KillSwitch::new();
-        let faulty = FaultySender::new(tx, FaultPolicy::default(), kill.clone());
+        let faulty = FaultySender::new(Box::new(tx), FaultPolicy::default(), kill.clone());
         faulty.send(frame()).unwrap();
         kill.kill();
         assert_eq!(faulty.send(frame()), Err(Disconnected));
+        assert!(matches!(
+            faulty.send_timeout(frame(), Duration::from_millis(10)),
+            Err(SendTimeoutError::Disconnected(_))
+        ));
         assert_eq!(rx.len(), 1);
     }
 
@@ -126,7 +191,7 @@ mod tests {
     fn drop_probability_loses_roughly_that_fraction() {
         let (tx, rx) = channel(10_000);
         let faulty = FaultySender::new(
-            tx,
+            Box::new(tx),
             FaultPolicy {
                 drop_probability: 0.25,
                 delay: Duration::ZERO,
@@ -143,11 +208,35 @@ mod tests {
     #[test]
     fn zero_policy_is_transparent() {
         let (tx, rx) = channel(8);
-        let faulty = FaultySender::new(tx, FaultPolicy::default(), KillSwitch::new());
+        let faulty = FaultySender::new(Box::new(tx), FaultPolicy::default(), KillSwitch::new());
         for _ in 0..5 {
             faulty.send(frame()).unwrap();
         }
         assert_eq!(rx.len(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_drop_sequence() {
+        // Two clones must consume one deterministic φ-sequence, not two.
+        let (tx, rx) = channel(10_000);
+        let faulty = FaultySender::new(
+            Box::new(tx),
+            FaultPolicy {
+                drop_probability: 0.5,
+                delay: Duration::ZERO,
+            },
+            KillSwitch::new(),
+        );
+        let clone = faulty.clone();
+        for i in 0..1000 {
+            if i % 2 == 0 {
+                faulty.send(frame()).unwrap();
+            } else {
+                clone.send(frame()).unwrap();
+            }
+        }
+        let delivered = rx.len() as f64;
+        assert!((delivered - 500.0).abs() < 30.0, "delivered {delivered}");
     }
 
     #[test]

@@ -1,32 +1,76 @@
-//! # melissa-transport — ZeroMQ-substitute messaging substrate
+//! # melissa-transport — backend-agnostic messaging for in transit
+//! analysis
 //!
-//! The Melissa paper uses ZeroMQ for its client/server transport
-//! (Section 4.1.3): asynchronous buffered message transfer with
-//! user-controlled buffer sizes, where "communications only become blocking
-//! when both buffers are full".  This crate rebuilds those semantics
-//! in-process on `crossbeam` channels:
+//! The Melissa paper's elasticity story (Section 4.1.3) rests on ZeroMQ
+//! dynamic connections: simulation groups are independent batch jobs that
+//! attach to the parallel server over real sockets whenever the scheduler
+//! starts them, with user-controlled buffering — "communications only
+//! become blocking when both buffers are full".  This crate carves those
+//! semantics into a first-class trait surface and ships two backends
+//! behind it.
 //!
-//! * [`endpoint`] — high-water-mark buffered links with blocking-send
-//!   accounting ([`endpoint::LinkStats`]), the mechanism behind the paper's
-//!   Study-1 backpressure result (Fig. 6a/6b);
-//! * [`registry`] — the named-endpoint broker enabling *dynamic*
-//!   connections of simulation groups to the parallel server (elasticity);
+//! ## The trait surface ([`api`])
+//!
+//! * [`Transport`] — named-endpoint rendezvous: `bind(name, hwm)` →
+//!   [`BoxReceiver`], `connect(name)` → [`BoxSender`], plus
+//!   [`connect_retry`](Transport::connect_retry) (connect-before-bind),
+//!   rebind-on-restart and the per-endpoint
+//!   [`link_stats`](Transport::link_stats) backpressure rollup;
+//! * [`Sender`] — the high-water-mark contract: buffer asynchronously
+//!   below the HWM, block at the HWM with [`LinkStats`] time accounting
+//!   (the paper's Fig. 6 telemetry), deadline sends, clean
+//!   [`Disconnected`] errors;
+//! * [`Receiver`] — blocking / deadline / non-blocking receives with
+//!   explicit disconnects.
+//!
+//! ## Backend matrix
+//!
+//! | backend | module | data path | name registry | use |
+//! |---|---|---|---|---|
+//! | [`ChannelTransport`] | [`registry`] | bounded in-process channels | in-process map | single-process studies, tests, the reference semantics |
+//! | [`TcpTransport`] | [`tcp`] | real `std::net` loopback sockets, length-prefixed frames, one writer/reader thread per connection | process-local listener | multi-process data path; the stepping stone to multi-node |
+//!
+//! Both backends run every link through the same bounded HWM queues
+//! ([`endpoint::channel`]), so blocking behaviour and its telemetry are
+//! identical; a seeded study produces bit-identical statistics over
+//! either.  [`TransportKind`] + [`make_transport`] select a backend at
+//! configuration time.
+//!
+//! ## Wire framing (TCP backend)
+//!
+//! Frames cross the socket as a little-endian `u32` length prefix plus
+//! payload; the payload is an opaque, already-[`codec`]-encoded message.
+//! The connection handshake reuses the codec helpers: one frame carrying
+//! `put_str(endpoint name)` out, one frame carrying a status byte and the
+//! endpoint's HWM back.  See [`tcp`] for the full contract, including
+//! what remains for multi-node deployment.
+//!
+//! ## Supporting modules
+//!
 //! * [`codec`] — length-checked little-endian binary encode/decode over
 //!   [`bytes`] (wire messages and checkpoints);
 //! * [`heartbeat`] — timeout-based liveness tracking (fault detection);
-//! * [`faults`] — deterministic fault injection (kills, drops,
-//!   stragglers) for exercising the Section 4.2 protocol.
+//! * [`faults`] — deterministic fault injection ([`FaultySender`]
+//!   implements [`Sender`], so kills, drops and stragglers compose with
+//!   any backend).
 //!
 //! The protocol messages themselves live in the `melissa` core crate; this
 //! crate only moves opaque frames.
 
+pub mod api;
 pub mod codec;
 pub mod endpoint;
 pub mod faults;
 pub mod heartbeat;
 pub mod registry;
+pub mod tcp;
 
-pub use endpoint::{channel, Disconnected, Frame, HwmSender, LinkStats};
+pub use api::{
+    make_transport, BoxReceiver, BoxSender, ConnectError, Disconnected, LinkStatsSnapshot,
+    Receiver, RecvTimeoutError, SendTimeoutError, Sender, Transport, TransportKind, TryRecvError,
+};
+pub use endpoint::{channel, ChannelReceiver, Frame, HwmSender, LinkStats};
 pub use faults::{FaultPolicy, FaultySender, KillSwitch};
 pub use heartbeat::LivenessTracker;
-pub use registry::{Broker, ConnectError};
+pub use registry::ChannelTransport;
+pub use tcp::TcpTransport;

@@ -1,73 +1,73 @@
-//! Named-endpoint broker enabling dynamic connections.
+//! The in-process backend: named bounded channels behind the
+//! [`Transport`] trait.
 //!
 //! The paper (Section 4.1.3): when a simulation group starts, its main
 //! simulation *dynamically* connects to Melissa Server — first to the
 //! server's main process to retrieve partition information, then directly
-//! to each needed server process.  The broker is the reproduction's
-//! rendezvous: server processes [`bind`](Broker::bind) named endpoints
-//! (`"server/0"`, …) and clients [`connect`](Broker::connect) to them by
-//! name at any time, including while other jobs run — which is what makes
-//! the framework *elastic* (simulation groups are independent jobs that
-//! attach whenever the batch scheduler starts them).
+//! to each needed server process.  [`ChannelTransport`] is the
+//! reproduction's in-process rendezvous: server processes
+//! [`bind`](Transport::bind) named endpoints (`"server/0"`, …) and clients
+//! [`connect`](Transport::connect) to them by name at any time, including
+//! while other jobs run — which is what makes the framework *elastic*
+//! (simulation groups are independent jobs that attach whenever the batch
+//! scheduler starts them).
+//!
+//! This backend defines the reference semantics the TCP backend
+//! ([`crate::tcp::TcpTransport`]) reproduces over real sockets: every
+//! sender clone of one endpoint shares one bounded HWM queue and one
+//! [`LinkStats`](crate::endpoint::LinkStats) counter set.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
-use crate::endpoint::{channel, Frame, HwmSender};
+use crate::api::{BoxReceiver, BoxSender, ConnectError, LinkStatsSnapshot, Sender as _, Transport};
+use crate::endpoint::{channel, HwmSender, LinkStats};
 
-/// Connection failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ConnectError {
-    /// No endpoint registered under that name (e.g. the server is not up
-    /// yet, or it crashed and unbound).
-    NotFound {
-        /// The requested endpoint name.
-        name: String,
-    },
-}
+/// Ledger of per-endpoint stats kept past rebind/unbind.
+type RetiredStats = Vec<(String, Arc<LinkStats>)>;
 
-impl std::fmt::Display for ConnectError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ConnectError::NotFound { name } => write!(f, "no endpoint bound as '{name}'"),
-        }
-    }
-}
-
-impl std::error::Error for ConnectError {}
-
-/// In-process rendezvous service mapping endpoint names to senders.
-///
-/// Cheap to clone (shared state); one broker per deployment.
+/// In-process rendezvous service mapping endpoint names to bounded HWM
+/// channels.  Cheap to clone (shared state); one per deployment.
 #[derive(Debug, Clone, Default)]
-pub struct Broker {
+pub struct ChannelTransport {
     endpoints: Arc<Mutex<HashMap<String, HwmSender>>>,
+    /// Stats of endpoints replaced by a rebind or removed by an unbind,
+    /// so the study-level rollup keeps counting pre-restart traffic —
+    /// the same every-frame-once accounting the TCP backend gets from
+    /// its per-connection link registry.
+    retired: Arc<Mutex<RetiredStats>>,
 }
 
-impl Broker {
-    /// Creates an empty broker.
+impl ChannelTransport {
+    /// Creates an empty transport.
     pub fn new() -> Self {
         Self::default()
     }
+}
 
+impl Transport for ChannelTransport {
     /// Binds a new endpoint under `name` with the given high-water mark,
     /// returning its receiving half.  Rebinding a name replaces the old
     /// endpoint (the restart path: a recovered server re-binds its names).
-    pub fn bind(&self, name: impl Into<String>, hwm: usize) -> Receiver<Frame> {
+    fn bind(&self, name: &str, hwm: usize) -> BoxReceiver {
         let (tx, rx) = channel(hwm);
-        self.endpoints.lock().insert(name.into(), tx);
-        rx
+        if let Some(old) = self.endpoints.lock().insert(name.to_string(), tx) {
+            self.retired
+                .lock()
+                .push((name.to_string(), Arc::clone(old.stats())));
+        }
+        Box::new(rx)
     }
 
-    /// Connects to a bound endpoint, returning a sender clone.
-    pub fn connect(&self, name: &str) -> Result<HwmSender, ConnectError> {
+    /// Connects to a bound endpoint, returning a sender clone sharing the
+    /// endpoint's queue and statistics.
+    fn connect(&self, name: &str) -> Result<BoxSender, ConnectError> {
         self.endpoints
             .lock()
             .get(name)
-            .cloned()
+            .map(|tx| tx.clone_box())
             .ok_or_else(|| ConnectError::NotFound {
                 name: name.to_string(),
             })
@@ -75,15 +75,43 @@ impl Broker {
 
     /// Removes an endpoint (subsequent `connect`s fail; existing senders
     /// keep working until the receiver is dropped).
-    pub fn unbind(&self, name: &str) {
-        self.endpoints.lock().remove(name);
+    fn unbind(&self, name: &str) {
+        if let Some(old) = self.endpoints.lock().remove(name) {
+            self.retired
+                .lock()
+                .push((name.to_string(), Arc::clone(old.stats())));
+        }
     }
 
     /// Names currently bound (sorted, for reports).
-    pub fn bound_names(&self) -> Vec<String> {
+    fn bound_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.endpoints.lock().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// One snapshot per endpoint name: all sender clones of an endpoint
+    /// share one [`LinkStats`](crate::endpoint::LinkStats), so the live
+    /// snapshot plus the retired generations (pre-rebind/unbind) is the
+    /// complete every-frame-once rollup.
+    fn link_stats(&self) -> Vec<(String, LinkStatsSnapshot)> {
+        let mut rollup: std::collections::BTreeMap<String, LinkStatsSnapshot> = self
+            .endpoints
+            .lock()
+            .iter()
+            .map(|(name, tx)| (name.clone(), LinkStatsSnapshot::of(tx.stats())))
+            .collect();
+        for (name, stats) in self.retired.lock().iter() {
+            rollup
+                .entry(name.clone())
+                .or_default()
+                .absorb(&LinkStatsSnapshot::of(stats));
+        }
+        rollup.into_iter().collect()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "in-process"
     }
 }
 
@@ -116,29 +144,45 @@ mod tests {
 
     #[test]
     fn bind_connect_send_receive() {
-        let broker = Broker::new();
-        let rx = broker.bind("server/0", 8);
-        let tx = broker.connect("server/0").unwrap();
+        let t = ChannelTransport::new();
+        let rx = t.bind("server/0", 8);
+        let tx = t.connect("server/0").unwrap();
         tx.send(bytes::Bytes::from_static(b"hello")).unwrap();
         assert_eq!(&rx.recv().unwrap()[..], b"hello");
     }
 
     #[test]
     fn connect_before_bind_fails_cleanly() {
-        let broker = Broker::new();
+        let t = ChannelTransport::new();
         assert!(matches!(
-            broker.connect("server/0"),
+            t.connect("server/0"),
             Err(ConnectError::NotFound { .. })
         ));
     }
 
     #[test]
+    fn connect_retry_rendezvous_with_a_late_bind() {
+        let t = ChannelTransport::new();
+        let t2 = t.clone();
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            t2.bind("late", 4)
+        });
+        let tx = t
+            .connect_retry("late", std::time::Duration::from_secs(2))
+            .expect("late bind must be found");
+        let rx = binder.join().unwrap();
+        tx.send(bytes::Bytes::from_static(b"hi")).unwrap();
+        assert_eq!(&rx.recv().unwrap()[..], b"hi");
+    }
+
+    #[test]
     fn rebinding_replaces_the_endpoint() {
-        let broker = Broker::new();
-        let rx1 = broker.bind("x", 2);
-        let tx1 = broker.connect("x").unwrap();
-        let rx2 = broker.bind("x", 2);
-        let tx2 = broker.connect("x").unwrap();
+        let t = ChannelTransport::new();
+        let rx1 = t.bind("x", 2);
+        let tx1 = t.connect("x").unwrap();
+        let rx2 = t.bind("x", 2);
+        let tx2 = t.connect("x").unwrap();
         tx2.send(bytes::Bytes::from_static(b"new")).unwrap();
         assert_eq!(&rx2.recv().unwrap()[..], b"new");
         // The old sender still reaches the old receiver only.
@@ -149,18 +193,54 @@ mod tests {
 
     #[test]
     fn unbind_prevents_new_connections() {
-        let broker = Broker::new();
-        let _rx = broker.bind("y", 2);
-        broker.unbind("y");
-        assert!(broker.connect("y").is_err());
+        let t = ChannelTransport::new();
+        let _rx = t.bind("y", 2);
+        t.unbind("y");
+        assert!(t.connect("y").is_err());
     }
 
     #[test]
     fn bound_names_are_sorted() {
-        let broker = Broker::new();
-        let _a = broker.bind("b", 1);
-        let _b = broker.bind("a", 1);
-        assert_eq!(broker.bound_names(), vec!["a".to_string(), "b".to_string()]);
+        let t = ChannelTransport::new();
+        let _a = t.bind("b", 1);
+        let _b = t.bind("a", 1);
+        assert_eq!(t.bound_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn link_stats_roll_up_per_endpoint() {
+        let t = ChannelTransport::new();
+        let _rx = t.bind("data", 8);
+        let tx1 = t.connect("data").unwrap();
+        let tx2 = t.connect("data").unwrap();
+        tx1.send(bytes::Bytes::from_static(b"abc")).unwrap();
+        tx2.send(bytes::Bytes::from_static(b"de")).unwrap();
+        let stats = t.link_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, "data");
+        assert_eq!(stats[0].1.messages, 2);
+        assert_eq!(stats[0].1.bytes, 5);
+    }
+
+    #[test]
+    fn link_stats_survive_rebind_and_unbind() {
+        // The restart path must not lose pre-restart telemetry from the
+        // rollup (parity with the TCP backend's per-connection ledger).
+        let t = ChannelTransport::new();
+        let _rx1 = t.bind("data", 8);
+        let tx1 = t.connect("data").unwrap();
+        tx1.send(bytes::Bytes::from_static(b"ab")).unwrap();
+        tx1.send(bytes::Bytes::from_static(b"cd")).unwrap();
+        let _rx2 = t.bind("data", 8); // server restart rebinds
+        let tx2 = t.connect("data").unwrap();
+        tx2.send(bytes::Bytes::from_static(b"e")).unwrap();
+        let stats = t.link_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.messages, 3, "pre-rebind frames lost");
+        assert_eq!(stats[0].1.bytes, 5);
+        t.unbind("data");
+        let stats = t.link_stats();
+        assert_eq!(stats[0].1.messages, 3, "unbind dropped history");
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Cross-backend contract tests: every behaviour the core framework
+//! relies on must hold identically over the in-process and TCP backends,
+//! exercised *only* through the trait surface — the same way the server,
+//! clients and launcher consume it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use melissa_transport::{
+    ChannelTransport, ConnectError, FaultPolicy, FaultySender, KillSwitch, RecvTimeoutError,
+    Sender, TcpTransport, Transport,
+};
+use proptest::prelude::*;
+
+fn backends() -> Vec<(&'static str, Arc<dyn Transport>)> {
+    vec![
+        ("in-process", Arc::new(ChannelTransport::new())),
+        (
+            "tcp",
+            Arc::new(TcpTransport::new().expect("loopback listener")),
+        ),
+    ]
+}
+
+const RECV_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Sends `payloads` through one endpoint of `transport` while a drainer
+/// collects, returning the received sequence and the sender-side stats
+/// snapshot.
+fn pump(
+    transport: &dyn Transport,
+    name: &str,
+    hwm: usize,
+    payloads: &[Vec<u8>],
+) -> (Vec<Bytes>, u64, u64) {
+    let rx = transport.bind(name, hwm);
+    let tx = transport.connect(name).unwrap();
+    let n = payloads.len();
+    let drainer = std::thread::spawn(move || {
+        let mut got = Vec::with_capacity(n);
+        for _ in 0..n {
+            got.push(
+                rx.recv_timeout(RECV_DEADLINE)
+                    .expect("frame within deadline"),
+            );
+        }
+        got
+    });
+    for p in payloads {
+        tx.send(Bytes::from(p.clone())).unwrap();
+    }
+    let got = drainer.join().unwrap();
+    (got, tx.stats().messages_sent(), tx.stats().bytes_sent())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary frame sequences and HWMs: both backends deliver the
+    /// exact same frames in the exact same order, and account the exact
+    /// same message/byte counts in `LinkStats` — the telemetry parity the
+    /// Fig. 6 experiments need to be backend-independent.
+    #[test]
+    fn frames_and_link_stats_are_identical_across_backends(
+        payloads in prop::collection::vec(
+            prop::collection::vec((0u16..256).prop_map(|b| b as u8), 0..512),
+            1..40,
+        ),
+        hwm in 1usize..32,
+    ) {
+        let total_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+        let mut per_backend = Vec::new();
+        for (label, t) in backends() {
+            let (got, messages, bytes) = pump(t.as_ref(), "parity", hwm, &payloads);
+            prop_assert_eq!(messages, payloads.len() as u64, "{} message count", label);
+            prop_assert_eq!(bytes, total_bytes, "{} byte count", label);
+            for (g, p) in got.iter().zip(&payloads) {
+                prop_assert_eq!(&g[..], &p[..], "{} frame content", label);
+            }
+            // The per-endpoint rollup agrees with the sender's own stats.
+            let rollup = t.link_stats();
+            let entry = rollup.iter().find(|(n, _)| n == "parity").unwrap();
+            prop_assert_eq!(entry.1.messages, messages, "{} rollup messages", label);
+            prop_assert_eq!(entry.1.bytes, bytes, "{} rollup bytes", label);
+            per_backend.push(got);
+        }
+        // And the two backends agree with each other bit-for-bit.
+        prop_assert_eq!(&per_backend[0], &per_backend[1]);
+    }
+}
+
+/// Both backends block a producer that outruns an undrained endpoint, and
+/// account the blocking in `LinkStats` — the HWM contract itself.
+#[test]
+fn hwm_blocking_is_observed_and_accounted_on_both_backends() {
+    for (label, t) in backends() {
+        let rx = t.bind("pressure", 1);
+        let tx = t.connect("pressure").unwrap();
+        // Frames big enough to also fill TCP socket buffers.
+        let frame = Bytes::from(vec![0u8; 4 * 1024 * 1024]);
+        let producer = {
+            let tx = tx.clone_box();
+            let frame = frame.clone();
+            std::thread::spawn(move || {
+                for _ in 0..8 {
+                    tx.send(frame.clone()).unwrap();
+                }
+            })
+        };
+        for _ in 0..8 {
+            std::thread::sleep(Duration::from_millis(20));
+            let f = rx.recv_timeout(RECV_DEADLINE).expect("frame");
+            assert_eq!(f.len(), frame.len(), "{label}");
+        }
+        producer.join().unwrap();
+        assert!(
+            tx.stats().sends_blocked() > 0,
+            "{label}: producer never hit the high-water mark"
+        );
+        assert!(
+            tx.stats().blocked_time() > Duration::ZERO,
+            "{label}: blocked time not accounted"
+        );
+    }
+}
+
+/// `recv_timeout` on a silent endpoint times out on both backends.
+#[test]
+fn recv_timeout_expires_identically() {
+    for (label, t) in backends() {
+        let rx = t.bind("silent", 4);
+        let started = Instant::now();
+        let err = rx.recv_timeout(Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, RecvTimeoutError::Timeout), "{label}");
+        assert!(started.elapsed() >= Duration::from_millis(50), "{label}");
+    }
+}
+
+/// Connect-before-bind: the bounded-retry rendezvous succeeds on both
+/// backends once the bind lands, and gives up cleanly when it never does.
+#[test]
+fn connect_before_bind_retry_works_on_both_backends() {
+    for (label, t) in backends() {
+        let t2 = Arc::clone(&t);
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            t2.bind("late", 4)
+        });
+        let tx = t
+            .connect_retry("late", Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("{label}: rendezvous failed: {e}"));
+        let rx = binder.join().unwrap();
+        tx.send(Bytes::from_static(b"rendezvous")).unwrap();
+        assert_eq!(&rx.recv_timeout(RECV_DEADLINE).unwrap()[..], b"rendezvous");
+
+        let err = t
+            .connect_retry("never", Duration::from_millis(80))
+            .unwrap_err();
+        assert!(matches!(err, ConnectError::NotFound { .. }), "{label}");
+    }
+}
+
+/// Rebind-after-crash: a restarted server re-binding its names serves new
+/// connections from the fresh endpoint on both backends.
+#[test]
+fn rebind_after_crash_recovers_on_both_backends() {
+    for (label, t) in backends() {
+        let rx1 = t.bind("srv", 4);
+        let tx1 = t.connect("srv").unwrap();
+        tx1.send(Bytes::from_static(b"gen1")).unwrap();
+        assert_eq!(
+            &rx1.recv_timeout(RECV_DEADLINE).unwrap()[..],
+            b"gen1",
+            "{label}"
+        );
+        drop(rx1); // crash
+        let rx2 = t.bind("srv", 4);
+        let tx2 = t
+            .connect_retry("srv", Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("{label}: reconnect failed: {e}"));
+        tx2.send(Bytes::from_static(b"gen2")).unwrap();
+        assert_eq!(
+            &rx2.recv_timeout(RECV_DEADLINE).unwrap()[..],
+            b"gen2",
+            "{label}"
+        );
+    }
+}
+
+/// `FaultySender` composes with both backends: the deterministic φ-drop
+/// sequence loses exactly the same frames over TCP as in-process, delays
+/// stall the producer, and the kill switch severs the link.
+#[test]
+fn faulty_sender_drop_delay_and_kill_compose_with_both_backends() {
+    const N: u64 = 400;
+    const P_DROP: f64 = 0.25;
+    // The φ-sequence is deterministic: compute the exact survivor count.
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let expected_delivered = (0..N)
+        .filter(|&i| (i as f64 * PHI).fract() >= P_DROP)
+        .count();
+
+    for (label, t) in backends() {
+        // HWM above the surviving-frame count: the whole burst buffers
+        // without a concurrent drainer on either backend.
+        let rx = t.bind("faulty", N as usize + 8);
+        let kill = KillSwitch::new();
+        let faulty = FaultySender::new(
+            t.connect("faulty").unwrap(),
+            FaultPolicy {
+                drop_probability: P_DROP,
+                delay: Duration::ZERO,
+            },
+            kill.clone(),
+        );
+        for i in 0..N {
+            faulty
+                .send(Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap_or_else(|e| panic!("{label}: send {i} failed: {e}"));
+        }
+        let mut delivered = Vec::new();
+        while delivered.len() < expected_delivered {
+            match rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(f) => delivered.push(u64::from_le_bytes(f[..].try_into().unwrap())),
+                Err(e) => panic!(
+                    "{label}: only {} of {expected_delivered} survivors arrived: {e:?}",
+                    delivered.len()
+                ),
+            }
+        }
+        // Nothing extra trickles in: the drop pattern is exact.
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "{label}: more frames than the φ-sequence allows"
+        );
+        let survivors: Vec<u64> = (0..N)
+            .filter(|&i| (i as f64 * PHI).fract() >= P_DROP)
+            .collect();
+        assert_eq!(delivered, survivors, "{label}: wrong frames dropped");
+
+        // Delay: a 20 ms straggler delay makes 3 sends take ≥ 60 ms.
+        let slow = FaultySender::new(
+            t.connect("faulty").unwrap(),
+            FaultPolicy {
+                drop_probability: 0.0,
+                delay: Duration::from_millis(20),
+            },
+            kill.clone(),
+        );
+        let started = Instant::now();
+        for _ in 0..3 {
+            slow.send(Bytes::from_static(b"slow")).unwrap();
+        }
+        assert!(
+            started.elapsed() >= Duration::from_millis(60),
+            "{label}: delay not applied"
+        );
+
+        // Kill: the switch severs every wrapped link.
+        kill.kill();
+        assert!(faulty.send(Bytes::from_static(b"dead")).is_err(), "{label}");
+        assert!(slow.send(Bytes::from_static(b"dead")).is_err(), "{label}");
+    }
+}

@@ -172,6 +172,55 @@ fn bench_worker_ingest(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sharded-study reduction: drain K shards' worker states through the
+/// checkpoint codec and fold them pairwise — the study-end cost a
+/// multi-server deployment pays once for its elasticity.
+fn bench_shard_reduce(c: &mut Criterion) {
+    use melissa::server::state::WorkerState;
+    use melissa::shard::reduce_worker_states;
+    use melissa_mesh::CellRange;
+
+    let mut g = c.benchmark_group("shard_reduce");
+    let (p, cells, n_ts) = (6usize, 16_384usize, 4usize);
+    let make_shard = |k: usize| -> WorkerState {
+        let mut st = WorkerState::with_stats(
+            0,
+            CellRange {
+                start: 0,
+                len: cells,
+            },
+            p,
+            n_ts,
+            &[0.5],
+            &PAPER_PROBS,
+        );
+        for ts in 0..n_ts as u32 {
+            for role in 0..(p + 2) as u16 {
+                let vals: Vec<f64> = (0..cells)
+                    .map(|i| ((i + role as usize * 13 + k * 31) as f64).cos())
+                    .collect();
+                st.on_data(k as u64, role, ts, 0, &vals);
+            }
+        }
+        st
+    };
+    for n_shards in [4usize, 8] {
+        let shards: Vec<Vec<WorkerState>> = (0..n_shards).map(|k| vec![make_shard(k)]).collect();
+        g.throughput(Throughput::Elements((n_shards * cells * n_ts) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("reduce_16k_cells_4ts", n_shards),
+            &n_shards,
+            |b, _| {
+                // The reduction borrows its input, so the timed closure
+                // measures only the drain + merges (no per-iteration
+                // clone of the shard states).
+                b.iter(|| black_box(reduce_worker_states(black_box(&shards))));
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_codec(c: &mut Criterion) {
     use melissa::protocol::Message;
     let mut g = c.benchmark_group("wire_codec");
@@ -243,6 +292,7 @@ criterion_group!(
     bench_sobol_updates,
     bench_sobol_merge,
     bench_worker_ingest,
+    bench_shard_reduce,
     bench_codec,
     bench_solver_step
 );

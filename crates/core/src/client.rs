@@ -86,8 +86,15 @@ impl GroupClient {
     /// bounded-retry rendezvous ([`Transport::connect_retry`]), so a group
     /// job scheduled before the server finishes binding simply waits — the
     /// connect-before-bind semantics real deployments rely on.
+    ///
+    /// `scope` selects the server instance: empty for the classic
+    /// single-server deployment, or a shard prefix (`"shard<k>"`) in a
+    /// sharded study, where the group-hash router decides which shard
+    /// ingests this group.
+    #[allow(clippy::too_many_arguments)]
     pub fn connect(
         transport: &dyn Transport,
+        scope: &str,
         group_id: u64,
         instance: u32,
         reply_hwm: usize,
@@ -95,10 +102,10 @@ impl GroupClient {
         kill: KillSwitch,
         fault: FaultPolicy,
     ) -> Result<GroupClient, ClientError> {
-        let reply_name = names::group_reply(group_id, instance);
+        let reply_name = names::group_reply_in(scope, group_id, instance);
         let reply_rx = transport.bind(&reply_name, reply_hwm.max(1));
         let main_tx = transport
-            .connect_retry(&names::server_main(), timeout)
+            .connect_retry(&names::server_main_in(scope), timeout)
             .map_err(|_| ClientError::ServerUnavailable)?;
         main_tx
             .send(Message::ConnectRequest { group_id, instance }.encode())
@@ -128,7 +135,7 @@ impl GroupClient {
         let mut senders = Vec::with_capacity(n_workers as usize);
         for w in 0..n_workers as usize {
             let tx = transport
-                .connect(&names::server_worker(w))
+                .connect(&names::server_worker_in(scope, w))
                 .map_err(|_| ClientError::ServerUnavailable)?;
             senders.push(FaultySender::new(tx, fault.clone(), kill.clone()));
         }
@@ -224,6 +231,7 @@ mod tests {
         let transport = ChannelTransport::new();
         let err = GroupClient::connect(
             &transport,
+            "",
             1,
             0,
             8,
@@ -242,6 +250,7 @@ mod tests {
         let _main_rx = transport.bind(&names::server_main(), 8);
         let err = GroupClient::connect(
             &transport,
+            "",
             1,
             0,
             8,
@@ -276,6 +285,7 @@ mod tests {
         });
         let err = GroupClient::connect(
             &transport,
+            "",
             1,
             0,
             8,
@@ -312,6 +322,7 @@ mod tests {
         });
         let err = GroupClient::connect(
             &transport,
+            "",
             1,
             0,
             8,

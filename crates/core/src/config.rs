@@ -7,6 +7,30 @@ use std::time::Duration;
 use melissa_solver::UseCaseConfig;
 
 /// Configuration of one Melissa study.
+///
+/// Two knobs select the deployment shape without touching anything else:
+/// [`transport`](Self::transport) picks the messaging backend and
+/// [`n_shards`](Self::n_shards) the number of parallel server instances.
+/// A seeded sequential study produces bit-identical statistics whichever
+/// backend carries the frames:
+///
+/// ```no_run
+/// use melissa::{Study, StudyConfig};
+/// use melissa_transport::TransportKind;
+///
+/// let mut config = StudyConfig::tiny();
+/// config.n_groups = 16;
+/// config.transport = TransportKind::Tcp; // real loopback sockets
+/// config.n_shards = 4;                   // four full server instances
+/// config.max_concurrent_groups = 1;      // sequential ⇒ bit-reproducible
+/// let output = Study::new(config).run().expect("study failed");
+/// assert_eq!(output.report.n_shards, 4);
+/// ```
+///
+/// With `n_shards > 1` a seeded group-hash router assigns every group to
+/// exactly one shard and a reduction tree merges the shard statistics at
+/// study end — see [`crate::shard`] for the routing and reduction
+/// guarantees.
 #[derive(Debug, Clone)]
 pub struct StudyConfig {
     /// Number of simulation groups `n` (design rows).  The paper's study
@@ -16,6 +40,16 @@ pub struct StudyConfig {
     /// loopback sockets.  A seeded study produces bit-identical
     /// statistics over either backend.
     pub transport: melissa_transport::TransportKind,
+    /// Number of parallel server instances (shards).  `1` (default) runs
+    /// the classic single Melissa Server; `N > 1` runs `N` full server
+    /// instances that each ingest the disjoint group subset a seeded
+    /// group-hash router assigns them, merged by a reduction tree at
+    /// study end ([`crate::shard`]).
+    pub n_shards: usize,
+    /// Seed of the group-hash router (recorded here so the
+    /// group-to-shard assignment is stable across restarts: a restored
+    /// shard sees exactly the groups it owned before the failure).
+    pub shard_seed: u64,
     /// Solver/use-case configuration (mesh, physics, timesteps).
     pub solver: UseCaseConfig,
     /// Ranks per simulation (the paper runs each Code_Saturne instance on
@@ -71,6 +105,8 @@ impl Default for StudyConfig {
         Self {
             n_groups: 50,
             transport: melissa_transport::TransportKind::InProcess,
+            n_shards: 1,
+            shard_seed: 0x6d65_6c69_7373_6121, // "melissa!"
             solver: UseCaseConfig::default(),
             ranks_per_simulation: 4,
             server_workers: 8,
@@ -129,6 +165,9 @@ impl StudyConfig {
         if self.server_workers == 0 {
             return Err("server needs at least one worker".into());
         }
+        if self.n_shards == 0 {
+            return Err("study needs at least one shard".into());
+        }
         if self.server_workers > self.solver.mesh().n_cells() {
             return Err("more server workers than mesh cells".into());
         }
@@ -185,6 +224,10 @@ mod tests {
 
         let mut c = StudyConfig::tiny();
         c.quantile_probs = vec![0.5, 1.0];
+        assert!(c.validate().is_err());
+
+        let mut c = StudyConfig::tiny();
+        c.n_shards = 0;
         assert!(c.validate().is_err());
     }
 

@@ -39,6 +39,10 @@ pub struct FaultPlan {
     group_faults: HashMap<(u64, u32), GroupFault>,
     /// Kill the server once this many groups have finished (`None` = never).
     pub kill_server_after_finished_groups: Option<usize>,
+    /// Which shard's server the kill targets in a sharded study (the
+    /// count is that shard's own finished groups).  Defaults to shard 0,
+    /// which is also the only server of an unsharded study.
+    pub kill_server_shard: usize,
 }
 
 impl FaultPlan {
@@ -57,6 +61,22 @@ impl FaultPlan {
     pub fn with_server_kill_after(mut self, n: usize) -> Self {
         self.kill_server_after_finished_groups = Some(n);
         self
+    }
+
+    /// Scripts a kill of shard `shard`'s server instance once that shard
+    /// has fully integrated `n` of *its own* groups (sharded studies;
+    /// shard 0 is the only server of an unsharded study).
+    pub fn with_server_kill_after_on_shard(mut self, n: usize, shard: usize) -> Self {
+        self.kill_server_after_finished_groups = Some(n);
+        self.kill_server_shard = shard;
+        self
+    }
+
+    /// The scripted server kill for shard `shard`: the finished-group
+    /// count after which that shard's server dies, if any.
+    pub fn server_kill_for_shard(&self, shard: usize) -> Option<usize> {
+        self.kill_server_after_finished_groups
+            .filter(|_| self.kill_server_shard == shard)
     }
 
     /// The fault scripted for a given group instance, if any.
@@ -99,5 +119,16 @@ mod tests {
     fn empty_plan_reports_empty() {
         assert!(FaultPlan::none().is_empty());
         assert!(!FaultPlan::none().with_server_kill_after(2).is_empty());
+    }
+
+    #[test]
+    fn server_kill_targets_one_shard() {
+        let plan = FaultPlan::none().with_server_kill_after_on_shard(3, 2);
+        assert_eq!(plan.server_kill_for_shard(2), Some(3));
+        assert_eq!(plan.server_kill_for_shard(0), None);
+        // The unsharded default targets shard 0 (the only server).
+        let plan = FaultPlan::none().with_server_kill_after(1);
+        assert_eq!(plan.server_kill_for_shard(0), Some(1));
+        assert_eq!(plan.server_kill_for_shard(1), None);
     }
 }

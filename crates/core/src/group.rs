@@ -7,6 +7,11 @@
 //! The group honours its kill switch between timesteps (launcher kills)
 //! and executes scripted faults (crash / zombie / stall) for the
 //! fault-tolerance experiments.
+//!
+//! In a sharded study the [`GroupContext::scope`] names the server
+//! instance this group streams to (assigned by the group-hash router,
+//! [`crate::shard::GroupRouter`]); the job itself is identical either
+//! way — groups never know how many shards exist.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,6 +25,10 @@ use crate::fault::GroupFault;
 
 /// Everything one group job needs to run.
 pub struct GroupContext {
+    /// Endpoint scope of the server instance this group reports to: empty
+    /// for a single-server study, `"shard<k>"` when the group-hash router
+    /// assigned the group to shard `k`.
+    pub scope: String,
     /// Group id (design row).
     pub group_id: u64,
     /// Restart instance (0 = first launch).
@@ -80,6 +89,7 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
 
     let mut client = match GroupClient::connect(
         ctx.transport.as_ref(),
+        &ctx.scope,
         ctx.group_id,
         ctx.instance,
         64,
@@ -193,6 +203,7 @@ mod tests {
         let flow = Arc::new(cfg.prerun());
         let design = PickFreeze::generate(1, &InjectionParams::parameter_space(), 1);
         let ctx = GroupContext {
+            scope: String::new(),
             group_id: 0,
             instance: 0,
             rows: design.group(0).rows().to_vec(),
@@ -225,6 +236,7 @@ mod tests {
         let flow = Arc::new(cfg.prerun());
         let design = PickFreeze::generate(1, &InjectionParams::parameter_space(), 1);
         let ctx = GroupContext {
+            scope: String::new(),
             group_id: 0,
             instance: 0,
             rows: design.group(0).rows().to_vec(),

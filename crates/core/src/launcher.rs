@@ -18,15 +18,28 @@
 //!   statistics — paper Section 4.2.2);
 //! * **convergence loopback** — optional early stop once the widest
 //!   confidence interval falls below the target (Section 4.1.5).
+//!
+//! The supervision machinery is factored per *shard*: [`run_study`] runs
+//! one supervisor over one server instance for the classic single-server
+//! study, while the sharded runner ([`crate::shard`]) runs one supervisor
+//! per server instance, all sharing the batch runner (the global node
+//! budget), the study clock and the convergence coordination.  Each
+//! supervisor owns its shard's failover completely — including the
+//! checkpoint-restore server recovery — so a shard failure never stalls
+//! the other shards.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use melissa_sobol::design::PickFreeze;
 use melissa_solver::injection::InjectionParams;
+use melissa_solver::FrozenFlow;
 use melissa_transport::registry::names;
-use melissa_transport::{make_transport, KillSwitch, LivenessTracker, Receiver, RecvTimeoutError};
+use melissa_transport::{
+    make_transport, KillSwitch, LivenessTracker, Receiver, RecvTimeoutError, Transport,
+};
 use parking_lot::Mutex;
 
 use crate::config::StudyConfig;
@@ -45,77 +58,209 @@ struct ActiveJob {
     started_at: Instant,
 }
 
+/// Cross-shard convergence coordination: every shard supervisor publishes
+/// its latest convergence signals here, and the *aggregate* (max over
+/// shards, each shard's CI being over fewer groups and therefore wider)
+/// drives the early-stop decision for the whole study — adaptive stopping
+/// works unchanged under sharding.
+pub(crate) struct Coordination {
+    /// Per-shard latest max CI width (∞ until the shard reports one).
+    ci: Mutex<Vec<f64>>,
+    /// Per-shard finished-group counts.
+    finished: Mutex<Vec<usize>>,
+    /// Set once the aggregate signal crosses the target: every shard
+    /// cancels its remaining groups.
+    early_stop: AtomicBool,
+}
+
+impl Coordination {
+    pub(crate) fn new(n_shards: usize) -> Self {
+        Self {
+            ci: Mutex::new(vec![f64::INFINITY; n_shards]),
+            finished: Mutex::new(vec![0; n_shards]),
+            early_stop: AtomicBool::new(false),
+        }
+    }
+
+    fn publish(&self, shard: usize, ci: f64, finished: usize) {
+        self.ci.lock()[shard] = ci;
+        self.finished.lock()[shard] = finished;
+    }
+
+    /// Aggregate CI signal: the max over shards (∞ until every shard with
+    /// groups has reported).
+    fn max_ci(&self) -> f64 {
+        self.ci.lock().iter().copied().fold(0.0, f64::max)
+    }
+
+    fn total_finished(&self) -> usize {
+        self.finished.lock().iter().sum()
+    }
+}
+
+/// Everything the per-shard supervisors share: configuration, the drawn
+/// design, the pre-run flow, the transport, the batch runner (global node
+/// budget), the study clock and the convergence coordination.
+pub(crate) struct StudyContext {
+    pub config: StudyConfig,
+    pub faults: FaultPlan,
+    pub transport: Arc<dyn Transport>,
+    pub design: PickFreeze,
+    pub flow: Arc<FrozenFlow>,
+    pub runner: JobRunner,
+    pub coord: Coordination,
+    pub p: usize,
+    pub n_cells: usize,
+    pub started: Instant,
+}
+
+impl StudyContext {
+    /// Draws the design, runs the shared pre-run and sets up the runtime
+    /// shared by all shard supervisors.
+    pub(crate) fn new(config: StudyConfig, faults: FaultPlan) -> Self {
+        let transport = make_transport(config.transport);
+        let space = InjectionParams::parameter_space();
+        let design = PickFreeze::generate(config.n_groups, &space, config.seed);
+        let p = space.dim();
+        let flow = Arc::new(config.solver.prerun());
+        let n_cells = config.solver.mesh().n_cells();
+        let runner = JobRunner::new(config.max_concurrent_groups);
+        let coord = Coordination::new(config.n_shards);
+        Self {
+            config,
+            faults,
+            transport,
+            design,
+            flow,
+            runner,
+            coord,
+            p,
+            n_cells,
+            started: Instant::now(),
+        }
+    }
+
+    /// The server configuration of the shard scoped by `scope` (the empty
+    /// scope is the single-server deployment and keeps the flat
+    /// checkpoint directory; shards checkpoint into per-shard
+    /// subdirectories so worker files never collide).
+    pub(crate) fn server_config(&self, scope: &str) -> ServerConfig {
+        let checkpoint_dir = if scope.is_empty() {
+            self.config.checkpoint_dir.clone()
+        } else {
+            self.config.checkpoint_dir.join(scope)
+        };
+        ServerConfig {
+            scope: scope.to_string(),
+            n_workers: self.config.server_workers,
+            n_cells: self.n_cells,
+            p: self.p,
+            n_timesteps: self.config.solver.n_timesteps,
+            hwm: self.config.hwm,
+            group_timeout: self.config.group_timeout,
+            checkpoint_interval: self.config.checkpoint_interval,
+            checkpoint_dir,
+            report_interval: Duration::from_millis(50),
+            track_ci: self.config.target_ci_width.is_some(),
+            ci_variance_floor: self.config.ci_variance_floor,
+            restore: false,
+            thresholds: self.config.thresholds.clone(),
+            quantile_probs: self.config.quantile_probs.clone(),
+        }
+    }
+}
+
+/// What one shard supervisor hands back: the final worker statistics and
+/// the shard's slice of the study accounting.
+pub(crate) struct ShardRun {
+    pub states: Vec<crate::server::state::WorkerState>,
+    /// Per-shard accounting (counters, events, convergence signals);
+    /// `wall_time` and assembly-level fields are filled by the caller.
+    pub report: StudyReport,
+}
+
 /// Runs a complete study under the launcher's supervision.
 pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, String> {
     config.validate()?;
-    let started = Instant::now();
+    if config.n_shards > 1 {
+        return crate::shard::run_sharded_study(config, faults);
+    }
+    let ctx = StudyContext::new(config, faults);
+    let groups: Vec<u64> = (0..ctx.config.n_groups as u64).collect();
+    let run = supervise_shard(&ctx, 0, "", &groups)?;
+
+    let mut report = run.report;
+    report.wall_time = ctx.started.elapsed();
+    let results = StudyResults::from_worker_states(
+        ctx.p,
+        ctx.config.solver.n_timesteps,
+        ctx.n_cells,
+        run.states,
+    );
+    Ok(StudyOutput { results, report })
+}
+
+/// Supervises one server instance (shard) over its group subset to
+/// completion: submission, failure handling, checkpoint-restore failover
+/// and the convergence loopback.  This is the single-server launcher loop
+/// of the paper, parameterised by endpoint scope so `N` of them can run
+/// against one transport.
+pub(crate) fn supervise_shard(
+    ctx: &StudyContext,
+    shard: usize,
+    scope: &str,
+    groups: &[u64],
+) -> Result<ShardRun, String> {
+    let config = &ctx.config;
     let wall_limit = config.wall_limit;
-    let transport = make_transport(config.transport);
-    let launcher_rx = transport.bind(&names::launcher(), 1024);
+    let transport = &ctx.transport;
+    let launcher_rx = transport.bind(&names::launcher_in(scope), 1024);
 
     let mut report = StudyReport::new(config.n_groups);
+    report.n_shards = config.n_shards;
 
-    // The experiment design and the shared pre-run.
-    let space = InjectionParams::parameter_space();
-    let design = PickFreeze::generate(config.n_groups, &space, config.seed);
-    let p = space.dim();
-    let flow = Arc::new(config.solver.prerun());
-    let n_cells = config.solver.mesh().n_cells();
-
-    let server_config = ServerConfig {
-        n_workers: config.server_workers,
-        n_cells,
-        p,
-        n_timesteps: config.solver.n_timesteps,
-        hwm: config.hwm,
-        group_timeout: config.group_timeout,
-        checkpoint_interval: config.checkpoint_interval,
-        checkpoint_dir: config.checkpoint_dir.clone(),
-        report_interval: Duration::from_millis(50),
-        track_ci: config.target_ci_width.is_some(),
-        ci_variance_floor: config.ci_variance_floor,
-        restore: false,
-        thresholds: config.thresholds.clone(),
-        quantile_probs: config.quantile_probs.clone(),
-    };
+    let server_config = ctx.server_config(scope);
 
     // Start the server and wait for readiness.
-    let launcher_tx = transport.connect(&names::launcher()).expect("just bound");
+    let launcher_tx = transport
+        .connect(&names::launcher_in(scope))
+        .expect("just bound");
     let mut server = Server::start(
         server_config.clone(),
-        Arc::clone(&transport),
+        Arc::clone(transport),
         launcher_tx.clone(),
     );
     wait_for_ready(launcher_rx.as_ref(), config.server_timeout)?;
 
-    let runner = JobRunner::new(config.max_concurrent_groups);
     let outcomes: Arc<Mutex<HashMap<(u64, u32), GroupOutcome>>> =
         Arc::new(Mutex::new(HashMap::new()));
 
     let submit = |g: u64, instance: u32, server_kill: KillSwitch| -> melissa_scheduler::JobHandle {
-        let ctx = GroupContext {
+        let ctx_job = GroupContext {
+            scope: scope.to_string(),
             group_id: g,
             instance,
-            rows: design.group(g as usize).rows().to_vec(),
+            rows: ctx.design.group(g as usize).rows().to_vec(),
             solver: config.solver.clone(),
-            flow: Arc::clone(&flow),
+            flow: Arc::clone(&ctx.flow),
             ranks: config.ranks_per_simulation,
-            transport: Arc::clone(&transport),
+            transport: Arc::clone(transport),
             timeout: config.group_timeout,
-            fault: faults.group_fault(g, instance),
+            fault: ctx.faults.group_fault(g, instance),
             link_fault: config.link_fault.clone(),
         };
         let outcomes = Arc::clone(&outcomes);
         let _ = server_kill;
-        runner.submit(1, move |kill| {
-            let outcome = run_group(ctx, kill);
+        ctx.runner.submit(1, move |kill| {
+            let outcome = run_group(ctx_job, kill);
             outcomes.lock().insert((g, instance), outcome);
         })
     };
 
-    // Submit every group once.
+    // Submit every group of this shard once, in increasing id order (the
+    // runner's ticket FIFO turns that into a deterministic start order).
     let mut active: HashMap<u64, ActiveJob> = HashMap::new();
-    for g in 0..config.n_groups as u64 {
+    for &g in groups {
         let handle = submit(g, 0, server.kill.clone());
         active.insert(
             g,
@@ -125,6 +270,12 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                 started_at: Instant::now(),
             },
         );
+    }
+
+    // A shard with no groups still answers the convergence coordination
+    // (a neutral signal) so the aggregate does not stay pinned at ∞.
+    if groups.is_empty() {
+        ctx.coord.publish(shard, 0.0, 0);
     }
 
     // Supervision state.
@@ -137,18 +288,18 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     let mut last_ci = f64::INFINITY;
     let mut last_quantile_step = f64::INFINITY;
     let mut early_stopped = false;
-    let mut server_fault_armed = faults.kill_server_after_finished_groups;
+    let mut server_fault_armed = ctx.faults.server_kill_for_shard(shard);
     // Counters carried across server restarts (a crashed server's shared
     // counters would otherwise vanish from the final report).
     let mut carried = [0u64; 4];
 
     loop {
-        if started.elapsed() > wall_limit {
+        if ctx.started.elapsed() > wall_limit {
             return Err(format!(
                 "study exceeded wall limit {:?}: finished {}/{}",
                 wall_limit,
                 known_finished.len(),
-                config.n_groups
+                groups.len()
             ));
         }
 
@@ -173,6 +324,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                             known_running = running_groups.into_iter().collect();
                             last_ci = max_ci_width;
                             last_quantile_step = max_quantile_step;
+                            ctx.coord.publish(shard, last_ci, known_finished.len());
                             // Live backpressure accounting (the Fig. 6
                             // signal): keeps the report current mid-study
                             // and across server crashes; the final stop
@@ -218,7 +370,10 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
             }
         }
 
-        // 3. Server fault recovery.
+        // 3. Server fault recovery (per-shard failover: the restored
+        // instance rebinds the same scoped endpoints, and the stable
+        // group-hash routing re-routes exactly this shard's unfinished
+        // groups back to it).
         if server.kill.is_killed() || !server_liveness.expired().is_empty() {
             report.server_restarts += 1;
             report.log("server failure detected: restarting from checkpoint".into());
@@ -243,7 +398,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
                 restore: true,
                 ..server_config.clone()
             };
-            server = Server::start(restore_cfg, Arc::clone(&transport), launcher_tx.clone());
+            server = Server::start(restore_cfg, Arc::clone(transport), launcher_tx.clone());
             wait_for_ready(launcher_rx.as_ref(), config.server_timeout)?;
             server_liveness.record(0u32);
             // Only the restored checkpoint's bookkeeping counts now: any
@@ -255,7 +410,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
             known_running.clear();
             // Resubmit everything not finished; discard-on-replay absorbs
             // any duplicated timesteps.
-            for g in 0..config.n_groups as u64 {
+            for &g in groups {
                 if known_finished.contains(&g) || abandoned.contains(&g) {
                     continue;
                 }
@@ -330,12 +485,19 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
             );
         }
 
-        // 5. Convergence loopback: stop early once converged.
+        // 5. Convergence loopback: stop early once the *aggregate* signal
+        // (max CI over every shard) converged.  Whichever supervisor
+        // observes the crossing flips the shared flag; all shards then
+        // cancel their remaining groups.
         if let Some(target) = config.target_ci_width {
-            if last_ci.is_finite() && last_ci < target && !known_finished.is_empty() {
+            let global_ci = ctx.coord.max_ci();
+            if global_ci.is_finite() && global_ci < target && ctx.coord.total_finished() > 0 {
+                ctx.coord.early_stop.store(true, Ordering::Relaxed);
+            }
+            if ctx.coord.early_stop.load(Ordering::Relaxed) && !early_stopped {
                 early_stopped = true;
                 report.log(format!(
-                    "convergence reached (max CI width {last_ci:.4} < {target}): cancelling {} remaining groups",
+                    "convergence reached (aggregate max CI width {global_ci:.4} < {target}): cancelling {} remaining groups",
                     active.len()
                 ));
                 for (_, job) in active.iter() {
@@ -348,7 +510,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
         }
 
         // 6. Completion.
-        let done = known_finished.len() + abandoned.len() >= config.n_groups || early_stopped;
+        let done = known_finished.len() + abandoned.len() >= groups.len() || early_stopped;
         if done && active.is_empty() {
             break;
         }
@@ -359,8 +521,13 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     let shared = Arc::clone(server.shared());
     let states = server.stop();
 
-    report.wall_time = started.elapsed();
     report.groups_finished = known_finished.len();
+    // Final publish — but never for an empty shard, whose `last_ci` was
+    // never updated from ∞: overwriting its neutral signal would pin the
+    // aggregate at infinity and permanently disable early stop.
+    if !groups.is_empty() {
+        ctx.coord.publish(shard, last_ci, known_finished.len());
+    }
     report.groups_abandoned = {
         let mut v: Vec<u64> = abandoned.into_iter().collect();
         v.sort_unstable();
@@ -391,8 +558,7 @@ pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, 
     report.final_max_ci = last_ci;
     report.final_max_quantile_step = last_quantile_step;
 
-    let results = StudyResults::from_worker_states(p, config.solver.n_timesteps, n_cells, states);
-    Ok(StudyOutput { results, report })
+    Ok(ShardRun { states, report })
 }
 
 /// Waits for a `ServerReady` on the launcher inbox.
@@ -457,4 +623,23 @@ fn handle_group_failure<F>(
             started_at: Instant::now(),
         },
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An empty shard publishes a neutral CI once and nothing may
+    /// overwrite it: a stray ∞ from a shard that never computes a CI
+    /// would pin the aggregate and permanently disable early stop.
+    #[test]
+    fn empty_shard_neutral_signal_keeps_the_aggregate_usable() {
+        let coord = Coordination::new(2);
+        assert_eq!(coord.max_ci(), f64::INFINITY, "unreported shards gate");
+        coord.publish(1, 0.0, 0); // empty shard: neutral, published once
+        coord.publish(0, 0.02, 3); // busy shard converged
+        assert_eq!(coord.max_ci(), 0.02);
+        assert_eq!(coord.total_finished(), 3);
+        assert!(!coord.early_stop.load(Ordering::Relaxed));
+    }
 }

@@ -18,10 +18,40 @@
 //! * [`launcher`] — study orchestration and the full fault-tolerance
 //!   protocol (group timeouts, zombies, server checkpoint/restart, retry
 //!   caps, convergence loopback);
+//! * [`shard`] — the elasticity layer above one server: `N` complete
+//!   server instances behind a seeded group-hash router, merged by a
+//!   deterministic reduction at study end, with per-shard failover;
 //! * [`study`] — the one-call high-level API;
 //! * [`perfmodel`] — a calibrated discrete-event model of the paper's
 //!   full-scale Curie runs, regenerating Figures 6a–6d and the Section
 //!   5.3/5.4 scalar results.
+//!
+//! A repository-level tour of these layers — the data-flow diagram of the
+//! paper mapped to module paths and the bit-exactness invariant each
+//! layer preserves — lives in `docs/ARCHITECTURE.md`.
+//!
+//! ## Study lifecycle
+//!
+//! Every study, sharded or not, moves through four phases:
+//!
+//! 1. **Launch** — [`Study::run`] validates the [`StudyConfig`], draws
+//!    the pick-freeze design (`n_groups` rows of `p + 2` parameter
+//!    vectors), starts the server instance(s) and submits every group to
+//!    the batch runner.  With [`StudyConfig::n_shards`]` > 1` the seeded
+//!    group-hash router ([`shard::GroupRouter`]) decides which server
+//!    instance each group reports to.
+//! 2. **Ingest** — groups stream every timestep to the server workers,
+//!    which fold each completed `(group, timestep)` assembly into the
+//!    iterative statistics in one fused sweep and discard the data; the
+//!    launcher meanwhile supervises faults (kill/resubmit, checkpoint
+//!    restore) and watches the convergence signals.
+//! 3. **Finalize** — groups flush their links, the server(s) stop, and a
+//!    sharded study reduces the per-shard worker states into one state
+//!    set ([`shard::reduce_worker_states`]).
+//! 4. **Report** — the final [`StudyOutput`] carries the assembled
+//!    statistics maps ([`StudyResults`]) and the launcher's full
+//!    accounting ([`StudyReport`]: restarts, data volume, backpressure,
+//!    convergence signals, the failure/restart log).
 //!
 //! ## Quick start
 //!
@@ -35,6 +65,9 @@
 //! let s_map = output.results.first_order_field(10, 0);
 //! assert_eq!(s_map.len(), output.results.n_cells());
 //! ```
+//!
+//! See [`StudyConfig`] for the deployment knobs (transport backend, shard
+//! count) and [`shard`] for the multi-server guarantees.
 
 pub mod client;
 pub mod config;
@@ -45,9 +78,11 @@ pub mod perfmodel;
 pub mod protocol;
 pub mod report;
 pub mod server;
+pub mod shard;
 pub mod study;
 
 pub use config::StudyConfig;
 pub use fault::{FaultPlan, GroupFault};
 pub use report::StudyReport;
+pub use shard::GroupRouter;
 pub use study::{Study, StudyOutput, StudyResults};

@@ -11,6 +11,11 @@ use std::time::Duration;
 pub struct StudyReport {
     /// Groups in the design.
     pub n_groups: usize,
+    /// Parallel server instances the study ran (1 = classic single
+    /// server; sharded studies aggregate every per-shard report into this
+    /// one: counters summed, convergence signals taken as the max over
+    /// shards).
+    pub n_shards: usize,
     /// Groups fully integrated by the server.
     pub groups_finished: usize,
     /// Groups given up after exhausting retries.
@@ -59,6 +64,7 @@ impl StudyReport {
     pub fn new(n_groups: usize) -> Self {
         Self {
             n_groups,
+            n_shards: 1,
             groups_finished: 0,
             groups_abandoned: Vec::new(),
             group_restarts: 0,
@@ -99,6 +105,9 @@ impl std::fmt::Display for StudyReport {
             "groups            : {}/{} finished",
             self.groups_finished, self.n_groups
         )?;
+        if self.n_shards > 1 {
+            writeln!(f, "server shards     : {}", self.n_shards)?;
+        }
         writeln!(
             f,
             "wall time         : {:.2} s",
@@ -184,5 +193,13 @@ mod tests {
     fn quantile_line_is_omitted_when_disabled() {
         let r = StudyReport::new(1);
         assert!(!r.to_string().contains("quantile conv"));
+    }
+
+    #[test]
+    fn shard_line_appears_only_for_sharded_studies() {
+        let mut r = StudyReport::new(4);
+        assert!(!r.to_string().contains("server shards"));
+        r.n_shards = 4;
+        assert!(r.to_string().contains("server shards     : 4"));
     }
 }

@@ -11,7 +11,14 @@
 //! magic, version, worker_id, slab, p, n_timesteps, per-timestep packed
 //! Sobol' state, per-timestep packed moments and min/max, the threshold
 //! accumulators, the Robbins–Monro quantile records (format v3+), the
-//! last-completed map and the finished list.
+//! last-completed map and the finished list.  Field-level tables of the
+//! layout (and the determinism rules it obeys) are documented in
+//! `melissa_stats::checkpoint_format`.
+//!
+//! The byte codec is exposed separately from the file I/O
+//! ([`pack_state`] / [`unpack_state`]): the sharded-study reduction tree
+//! drains every shard's worker states through the same codec a remote
+//! shard would ship over the wire, and the round trip is bit-identical.
 //!
 //! ## Format versions
 //!
@@ -81,10 +88,15 @@ pub fn checkpoint_file(dir: &Path, worker_id: usize) -> std::path::PathBuf {
     dir.join(format!("melissa_worker_{worker_id}.ckpt"))
 }
 
-/// Writes `state` to `dir`, returning the byte count (the paper reports
-/// 959 MB per process for the full-scale study).
-pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, CheckpointError> {
-    std::fs::create_dir_all(dir)?;
+/// Packs `state` into the v3 checkpoint byte layout.
+///
+/// This is the serialisation shared by the on-disk checkpoint files and
+/// the sharded-study reduction tree, which drains every shard's worker
+/// states through this codec exactly as a remote shard would ship them.
+/// The output is a deterministic function of the state (bookkeeping maps
+/// are written in sorted order), and `pack_state ∘ unpack_state` is
+/// bit-identical (asserted by `v3_roundtrip_is_bit_identical`).
+pub fn pack_state(state: &WorkerState) -> Vec<u8> {
     let (sobol, moments, minmax, thresholds, quantiles, last_completed, finished) =
         state.checkpoint_parts();
     let mut buf = BytesMut::new();
@@ -171,7 +183,14 @@ pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, Checkpoi
     for g in finished {
         buf.put_u64_le(*g);
     }
+    buf.to_vec()
+}
 
+/// Writes `state` to `dir`, returning the byte count (the paper reports
+/// 959 MB per process for the full-scale study).
+pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, CheckpointError> {
+    std::fs::create_dir_all(dir)?;
+    let buf = pack_state(state);
     let path = checkpoint_file(dir, state.worker_id());
     let tmp = path.with_extension("ckpt.tmp");
     let mut f = std::fs::File::create(&tmp)?;
@@ -181,12 +200,11 @@ pub fn write_checkpoint(dir: &Path, state: &WorkerState) -> Result<u64, Checkpoi
     Ok(buf.len() as u64)
 }
 
-/// Reads worker `worker_id`'s checkpoint from `dir`.
-pub fn read_checkpoint(dir: &Path, worker_id: usize) -> Result<WorkerState, CheckpointError> {
-    let path = checkpoint_file(dir, worker_id);
-    let mut bytes = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    let mut buf = bytes.as_slice();
+/// Unpacks a checkpoint byte buffer produced by [`pack_state`] (or read
+/// from a v2/v3 checkpoint file) into a [`WorkerState`] for worker
+/// `worker_id`.
+pub fn unpack_state(bytes: &[u8], worker_id: usize) -> Result<WorkerState, CheckpointError> {
+    let mut buf = bytes;
 
     macro_rules! need {
         ($n:expr, $what:expr) => {
@@ -381,6 +399,14 @@ pub fn read_checkpoint(dir: &Path, worker_id: usize) -> Result<WorkerState, Chec
     ))
 }
 
+/// Reads worker `worker_id`'s checkpoint from `dir`.
+pub fn read_checkpoint(dir: &Path, worker_id: usize) -> Result<WorkerState, CheckpointError> {
+    let path = checkpoint_file(dir, worker_id);
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    unpack_state(&bytes, worker_id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +552,25 @@ mod tests {
         back.ensure_quantiles(&[0.25, 0.5, 0.75]);
         assert_eq!(back.quantiles(0).unwrap().count(), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The in-memory codec round-trips without touching the filesystem —
+    /// the path the sharded reduction tree uses to drain shard states —
+    /// and re-packing the unpacked state reproduces the exact bytes.
+    #[test]
+    fn pack_unpack_roundtrip_is_bit_identical_in_memory() {
+        let st = populated_state();
+        let bytes = pack_state(&st);
+        let back = unpack_state(&bytes, 2).unwrap();
+        for ts in 0..2 {
+            assert_eq!(back.sobol(ts), st.sobol(ts));
+            assert_eq!(back.moments(ts), st.moments(ts));
+            assert_eq!(back.minmax(ts), st.minmax(ts));
+            assert_eq!(back.thresholds(ts), st.thresholds(ts));
+            assert_eq!(back.quantiles(ts), st.quantiles(ts));
+        }
+        assert_eq!(back.finished_groups(), st.finished_groups());
+        assert_eq!(pack_state(&back), bytes);
     }
 
     /// The current (v3) format round-trips bit-identically: writing the

@@ -14,6 +14,9 @@
 //! [`Receiver`](melissa_transport::Receiver) surface: the same code
 //! serves a single-process in-process study and a multi-socket TCP
 //! deployment, with identical statistics and backpressure telemetry.
+//! Every endpoint binds under [`ServerConfig::scope`], so a sharded
+//! study ([`crate::shard`]) runs `N` complete instances of this server
+//! side by side on one transport.
 //!
 //! Per `(timestep, cell)` the workers track the ubiquitous Sobol' state,
 //! field moments, the min/max envelope, threshold-exceedance counters
@@ -50,6 +53,12 @@ use state::WorkerState;
 /// Server deployment configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
+    /// Endpoint scope this instance binds under: empty for the classic
+    /// single-server deployment (`"server/main"`, `"server/<w>"`), or a
+    /// shard prefix such as `"shard2"` in a sharded study, giving
+    /// `"shard2/server/main"`, `"shard2/server/<w>"` — so several full
+    /// server instances coexist on one transport.
+    pub scope: String,
     /// Number of worker processes.
     pub n_workers: usize,
     /// Global cell count.
@@ -204,6 +213,7 @@ pub struct Server {
     pub kill: KillSwitch,
     shared: Arc<ServerShared>,
     transport: Arc<dyn Transport>,
+    scope: String,
     n_workers: usize,
     main_handle: JoinHandle<()>,
     worker_handles: Vec<JoinHandle<WorkerState>>,
@@ -230,19 +240,19 @@ impl Server {
 
         // Bind everything *before* any thread runs so clients can connect
         // as soon as ServerReady is out.
-        let main_rx = transport.bind(&names::server_main(), config.hwm);
+        let main_rx = transport.bind(&names::server_main_in(&config.scope), config.hwm);
         let worker_rxs: Vec<BoxReceiver> = (0..config.n_workers)
-            .map(|w| transport.bind(&names::server_worker(w), config.hwm))
+            .map(|w| transport.bind(&names::server_worker_in(&config.scope, w), config.hwm))
             .collect();
         let worker_senders: Vec<BoxSender> = (0..config.n_workers)
             .map(|w| {
                 transport
-                    .connect(&names::server_worker(w))
+                    .connect(&names::server_worker_in(&config.scope, w))
                     .expect("just bound")
             })
             .collect();
         let main_sender = transport
-            .connect(&names::server_main())
+            .connect(&names::server_main_in(&config.scope))
             .expect("just bound");
 
         let worker_handles: Vec<JoinHandle<WorkerState>> = worker_rxs
@@ -327,6 +337,7 @@ impl Server {
             kill,
             shared,
             transport,
+            scope: config.scope,
             n_workers: config.n_workers,
             main_handle,
             worker_handles,
@@ -344,7 +355,7 @@ impl Server {
     /// (every link toward a `server/<w>` endpoint, whichever side opened
     /// it — the paper's Fig. 6 backpressure telemetry).
     pub fn data_link_stats(&self) -> LinkStatsSnapshot {
-        data_link_rollup(self.transport.as_ref(), self.n_workers)
+        data_link_rollup(self.transport.as_ref(), &self.scope, self.n_workers)
     }
 
     /// Aggregate blocked-send statistics over the server's data endpoints.
@@ -386,13 +397,15 @@ impl Server {
     }
 }
 
-/// Sums the per-endpoint link rollup over the `server/<w>` data endpoints.
-fn data_link_rollup(transport: &dyn Transport, n_workers: usize) -> LinkStatsSnapshot {
+/// Sums the per-endpoint link rollup over this instance's `server/<w>`
+/// data endpoints (scoped, so each shard's rollup counts only its own
+/// links).
+fn data_link_rollup(transport: &dyn Transport, scope: &str, n_workers: usize) -> LinkStatsSnapshot {
     let per_endpoint: HashMap<String, LinkStatsSnapshot> =
         transport.link_stats().into_iter().collect();
     let mut total = LinkStatsSnapshot::default();
     for w in 0..n_workers {
-        if let Some(s) = per_endpoint.get(&names::server_worker(w)) {
+        if let Some(s) = per_endpoint.get(&names::server_worker_in(scope, w)) {
             total.absorb(s);
         }
     }
@@ -495,7 +508,9 @@ fn main_loop(
                         p: cfg.p as u32,
                         n_timesteps: cfg.n_timesteps as u32,
                     };
-                    if let Ok(tx) = transport.connect(&names::group_reply(group_id, instance)) {
+                    if let Ok(tx) =
+                        transport.connect(&names::group_reply_in(&cfg.scope, group_id, instance))
+                    {
                         let _ = tx.send(reply.encode());
                     }
                 }
@@ -521,7 +536,7 @@ fn main_loop(
         if last_report.elapsed() >= cfg.report_interval {
             last_report = Instant::now();
             let _ = launcher_tx.send(Message::Heartbeat { sender: 0 }.encode());
-            let link = data_link_rollup(transport.as_ref(), cfg.n_workers);
+            let link = data_link_rollup(transport.as_ref(), &cfg.scope, cfg.n_workers);
             let report = Message::ServerReport {
                 finished_groups: shared.finished_groups(),
                 running_groups: shared.running_groups(),

@@ -79,6 +79,7 @@ impl FillMask {
 
 /// Assembly buffer for one `(group, timestep)`: the `p + 2` role fields
 /// restricted to this worker's slab, plus per-role fill bitsets.
+#[derive(Clone)]
 struct Assembly {
     /// `p + 2` role fields over the slab.
     fields: Vec<Vec<f64>>,
@@ -110,6 +111,7 @@ impl Assembly {
 }
 
 /// Statistics and bookkeeping of one server worker.
+#[derive(Clone)]
 pub struct WorkerState {
     worker_id: usize,
     slab: CellRange,

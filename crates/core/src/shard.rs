@@ -1,0 +1,386 @@
+//! Sharded multi-server studies: the elasticity layer above one Melissa
+//! Server.
+//!
+//! The paper's scalability story caps out where one parallel server
+//! instance does: every simulation group funnels into the same `M` worker
+//! processes.  This module runs **`N` complete server instances** (each a
+//! full [`Server`](crate::server::Server) over the backend-agnostic
+//! transport, with its own workers, checkpoints and failover) and splits
+//! the *group* dimension across them:
+//!
+//! * a seeded **group-hash router** ([`GroupRouter`]) assigns every group
+//!   to exactly one shard.  The hash is a pure function of
+//!   `(shard_seed, group_id)` recorded in the
+//!   [`StudyConfig`], so the assignment is
+//!   stable across restarts: when a shard's server dies and is restored
+//!   from its checkpoint, its unfinished groups re-route to the restored
+//!   instance and to no other;
+//! * each shard's supervisor is the unchanged single-server launcher loop
+//!   ([`crate::launcher`]) under a scoped endpoint namespace
+//!   (`"shard<k>/server/<w>"`, see
+//!   [`melissa_transport::registry::names`]), sharing the global batch
+//!   runner (node budget), study clock and convergence coordination;
+//! * at study end a **reduction** ([`reduce_worker_states`]) drains every
+//!   shard's worker states through the checkpoint codec
+//!   ([`pack_state`] /
+//!   [`unpack_state`] — exactly
+//!   the bytes a remote shard would ship) and merges them pairwise with
+//!   [`WorkerState::merge`]: Sobol'/moments via Pébay pairwise formulas,
+//!   min/max and threshold counters exactly, quantiles count-weighted.
+//!
+//! ## Determinism and bit-exactness
+//!
+//! The pairwise merge of Sobol'/moment accumulators is mathematically
+//! exact but **not bit-associative** (floating-point Pébay formulas), so
+//! the reduction applies the pairwise merges in a *canonical order* — the
+//! left fold over shards in shard-index order — parallelising over the
+//! independent per-worker chains (and inside each merge over the
+//! statistics tiles) instead of over tree levels.  Result: the reduced
+//! statistics are a pure function of the per-shard states, independent of
+//! thread scheduling, and bit-identical to the sequential left fold
+//! (property-tested).  A shape-varying binary tree would be faster by at
+//! most a factor `log₂N / (N−1)` on the shard axis but would make the
+//! study result depend on `N`'s factorisation — rejected.
+//!
+//! Consequently a seeded sequential sharded study is **bit-identical**
+//! across transport backends and across shard kill/restore failovers, and
+//! agrees with the equivalent single-server study exactly for the
+//! order-exact families (min/max, thresholds, group bookkeeping) and up
+//! to pairwise-merge rounding for Sobol'/moments (the count-weighted
+//! quantile merge is a consistent estimator of the same quantiles, not a
+//! reordering of the same arithmetic) — `examples/sharded_study.rs`
+//! asserts all of this.
+
+use crate::config::StudyConfig;
+use crate::fault::FaultPlan;
+use crate::launcher::{supervise_shard, StudyContext};
+use crate::report::StudyReport;
+use crate::server::checkpoint::{pack_state, unpack_state};
+use crate::server::state::WorkerState;
+use crate::study::{StudyOutput, StudyResults};
+use melissa_transport::registry::names;
+
+/// Deterministic group-to-shard router: `shard = hash(seed, group) % N`
+/// with a SplitMix64 finaliser, so the assignment is uniform, a pure
+/// function of the configuration, and stable across restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupRouter {
+    n_shards: usize,
+    seed: u64,
+}
+
+/// SplitMix64 finaliser (Steele, Lea & Flood 2014): a cheap, well-mixed
+/// 64-bit permutation.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl GroupRouter {
+    /// Creates a router over `n_shards` shards with the given hash seed.
+    ///
+    /// # Panics
+    /// Panics if `n_shards == 0`.
+    pub fn new(n_shards: usize, seed: u64) -> Self {
+        assert!(n_shards > 0, "router needs at least one shard");
+        Self { n_shards, seed }
+    }
+
+    /// The router a study configuration describes.
+    pub fn from_config(config: &StudyConfig) -> Self {
+        Self::new(config.n_shards, config.shard_seed)
+    }
+
+    /// Number of shards routed over.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard that ingests `group_id` — a pure function of the seed,
+    /// never of runtime state, so restarts cannot re-route a group.
+    pub fn shard_of(&self, group_id: u64) -> usize {
+        (splitmix64(self.seed ^ group_id) % self.n_shards as u64) as usize
+    }
+
+    /// The (sorted) groups of `shard` within a study of `n_groups`.
+    pub fn groups_for_shard(&self, shard: usize, n_groups: usize) -> Vec<u64> {
+        (0..n_groups as u64)
+            .filter(|&g| self.shard_of(g) == shard)
+            .collect()
+    }
+}
+
+/// Reduces the per-shard worker states into one state set, as if a single
+/// server had integrated every group.
+///
+/// `shards[k][w]` is shard `k`'s worker `w`; every shard must run the
+/// same worker count/slab partition (they all serve the same mesh).  Each
+/// state is first drained through the checkpoint codec — the bytes a
+/// remote shard would ship to the reducer; the round trip is
+/// bit-identical and drops in-flight assemblies, which at study end
+/// belong to abandoned groups whose partial data was never integrated
+/// anywhere.  The pairwise [`WorkerState::merge`]s then run in parallel
+/// over the `W` independent per-worker chains, each chain folding in
+/// shard-index order (see the module docs for why the combine order is
+/// canonical).
+///
+/// # Panics
+/// Panics if shards disagree on worker count, slab partition or
+/// configured statistics, or if any group was integrated by two shards
+/// (double counting would bias every estimator — the router makes this
+/// impossible in a real study).
+pub fn reduce_worker_states(shards: &[Vec<WorkerState>]) -> Vec<WorkerState> {
+    assert!(!shards.is_empty(), "nothing to reduce");
+    let n_workers = shards[0].len();
+    for (k, s) in shards.iter().enumerate() {
+        assert_eq!(s.len(), n_workers, "shard {k} has a different worker count");
+    }
+
+    // Drain: every shard state crosses the checkpoint codec exactly as it
+    // would cross the wire from a remote shard (the input is only read —
+    // the reduction works on the unpacked copies).
+    let mut per_worker: Vec<Vec<WorkerState>> = (0..n_workers).map(|_| Vec::new()).collect();
+    for shard in shards {
+        for (w, state) in shard.iter().enumerate() {
+            let packed = pack_state(state);
+            let drained = unpack_state(&packed, state.worker_id())
+                .expect("pack/unpack of a live worker state cannot fail");
+            per_worker[w].push(drained);
+        }
+    }
+
+    // Merge: W independent chains in parallel, each a left fold in shard
+    // order (each pairwise merge is itself tile-parallel).
+    use rayon::prelude::*;
+    per_worker
+        .into_par_iter()
+        .map(|mut chain| {
+            let mut acc = chain.remove(0);
+            for next in &chain {
+                acc.merge(next);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Runs a sharded study: `N` supervised server instances over disjoint
+/// group subsets, reduced into one result set at the end.
+///
+/// Called by [`crate::launcher::run_study`] whenever
+/// `config.n_shards > 1`; use [`crate::study::Study::run`] rather than
+/// calling this directly.
+pub(crate) fn run_sharded_study(
+    config: StudyConfig,
+    faults: FaultPlan,
+) -> Result<StudyOutput, String> {
+    let router = GroupRouter::from_config(&config);
+    let n_shards = config.n_shards;
+    let n_groups = config.n_groups;
+    let solver_timesteps = config.solver.n_timesteps;
+    let ctx = StudyContext::new(config, faults);
+
+    // One supervisor thread per shard; they share the batch runner (the
+    // global node budget), the study clock, the transport and the
+    // convergence coordination, and are otherwise fully independent —
+    // a shard failover never stalls the other shards.
+    let mut runs: Vec<Option<crate::launcher::ShardRun>> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_shards)
+            .map(|k| {
+                let ctx = &ctx;
+                let groups = router.groups_for_shard(k, n_groups);
+                scope.spawn(move || {
+                    let scope_name = names::shard_scope(k);
+                    supervise_shard(ctx, k, &scope_name, &groups)
+                })
+            })
+            .collect();
+        for (k, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(run)) => runs.push(Some(run)),
+                Ok(Err(e)) => {
+                    errors.push(format!("shard {k}: {e}"));
+                    runs.push(None);
+                }
+                Err(_) => {
+                    errors.push(format!("shard {k}: supervisor panicked"));
+                    runs.push(None);
+                }
+            }
+        }
+    });
+    if let Some(first) = errors.first() {
+        return Err(if errors.len() == 1 {
+            first.clone()
+        } else {
+            format!("{first} (+{} more shard failures)", errors.len() - 1)
+        });
+    }
+    let runs: Vec<crate::launcher::ShardRun> = runs.into_iter().map(Option::unwrap).collect();
+
+    // Aggregate the per-shard reports: counters and link telemetry sum,
+    // the convergence signals take the max over shards (each shard's CI
+    // spans fewer groups and is therefore wider — the aggregate is the
+    // conservative signal adaptive stopping already used mid-study).
+    let mut report = StudyReport::new(n_groups);
+    report.n_shards = n_shards;
+    report.final_max_ci = 0.0;
+    report.final_max_quantile_step = 0.0;
+    let mut states: Vec<Vec<WorkerState>> = Vec::with_capacity(n_shards);
+    for (k, run) in runs.into_iter().enumerate() {
+        let r = run.report;
+        report.groups_finished += r.groups_finished;
+        report.groups_abandoned.extend(&r.groups_abandoned);
+        report.group_restarts += r.group_restarts;
+        report.server_restarts += r.server_restarts;
+        report.data_messages += r.data_messages;
+        report.data_bytes += r.data_bytes;
+        report.replays_discarded += r.replays_discarded;
+        report.checkpoints_written += r.checkpoints_written;
+        report.link_messages += r.link_messages;
+        report.link_bytes += r.link_bytes;
+        report.blocked_sends += r.blocked_sends;
+        report.blocked_time += r.blocked_time;
+        report.early_stopped |= r.early_stopped;
+        report.final_max_ci = report.final_max_ci.max(r.final_max_ci);
+        report.final_max_quantile_step = report
+            .final_max_quantile_step
+            .max(r.final_max_quantile_step);
+        report.transport = r.transport;
+        for e in r.events {
+            report.events.push(format!("[shard {k}] {e}"));
+        }
+        states.push(run.states);
+    }
+    report.groups_abandoned.sort_unstable();
+    report.wall_time = ctx.started.elapsed();
+
+    let reduced = reduce_worker_states(&states);
+    let results = StudyResults::from_worker_states(ctx.p, solver_timesteps, ctx.n_cells, reduced);
+    Ok(StudyOutput { results, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melissa_mesh::CellRange;
+
+    #[test]
+    fn router_is_deterministic_and_total() {
+        let r = GroupRouter::new(4, 2017);
+        for g in 0..1000u64 {
+            let s = r.shard_of(g);
+            assert!(s < 4);
+            assert_eq!(s, r.shard_of(g), "routing must be a pure function");
+        }
+        // Every group lands on exactly one shard: the per-shard lists
+        // partition the id space.
+        let mut seen = vec![false; 1000];
+        for k in 0..4 {
+            for g in r.groups_for_shard(k, 1000) {
+                assert!(!seen[g as usize], "group {g} routed twice");
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn router_spreads_groups_roughly_evenly() {
+        let r = GroupRouter::new(4, 42);
+        let sizes: Vec<usize> = (0..4).map(|k| r.groups_for_shard(k, 1000).len()).collect();
+        for &s in &sizes {
+            // A uniform hash over 1000 groups: each shard within
+            // [150, 350] is a generous 6-sigma band.
+            assert!((150..=350).contains(&s), "shard sizes skewed: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn router_seed_changes_the_assignment() {
+        let a = GroupRouter::new(4, 1);
+        let b = GroupRouter::new(4, 2);
+        let moved = (0..1000u64)
+            .filter(|&g| a.shard_of(g) != b.shard_of(g))
+            .count();
+        assert!(moved > 500, "seed barely affects routing ({moved}/1000)");
+    }
+
+    fn state_with_groups(worker: usize, slab: CellRange, groups: &[u64]) -> WorkerState {
+        let mut st = WorkerState::with_stats(worker, slab, 2, 2, &[0.5], &[0.25, 0.75]);
+        for &g in groups {
+            for ts in 0..2u32 {
+                for role in 0..4u16 {
+                    let vals: Vec<f64> = (0..slab.len)
+                        .map(|i| {
+                            ((g * 31 + role as u64 * 7 + ts as u64 * 3 + i as u64) % 13) as f64
+                        })
+                        .collect();
+                    st.on_data(g, role, ts, slab.start as u64, &vals);
+                }
+            }
+        }
+        st
+    }
+
+    #[test]
+    fn reduce_equals_sequential_left_fold_bitwise() {
+        let slabs = [
+            CellRange { start: 0, len: 5 },
+            CellRange { start: 5, len: 3 },
+        ];
+        let shard_groups: [&[u64]; 3] = [&[0, 3], &[1, 4, 5], &[2]];
+        let shards: Vec<Vec<WorkerState>> = shard_groups
+            .iter()
+            .map(|gs| {
+                slabs
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &slab)| state_with_groups(w, slab, gs))
+                    .collect()
+            })
+            .collect();
+        // Sequential reference: plain left fold, no codec, no parallelism.
+        let mut reference: Vec<WorkerState> = Vec::new();
+        for (w, &slab) in slabs.iter().enumerate() {
+            let mut acc = state_with_groups(w, slab, shard_groups[0]);
+            for gs in &shard_groups[1..] {
+                acc.merge(&state_with_groups(w, slab, gs));
+            }
+            reference.push(acc);
+        }
+        let reduced = reduce_worker_states(&shards);
+        assert_eq!(reduced.len(), reference.len());
+        for (got, want) in reduced.iter().zip(&reference) {
+            for ts in 0..2 {
+                assert_eq!(got.sobol(ts), want.sobol(ts), "sobol ts {ts}");
+                assert_eq!(got.moments(ts), want.moments(ts), "moments ts {ts}");
+                assert_eq!(got.minmax(ts), want.minmax(ts), "minmax ts {ts}");
+                assert_eq!(got.thresholds(ts), want.thresholds(ts), "thresholds {ts}");
+                assert_eq!(got.quantiles(ts), want.quantiles(ts), "quantiles {ts}");
+            }
+            let mut a = got.finished_groups().to_vec();
+            let mut b = want.finished_groups().to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different worker count")]
+    fn reduce_rejects_mismatched_worker_counts() {
+        let slab = CellRange { start: 0, len: 4 };
+        let a = vec![state_with_groups(0, slab, &[0])];
+        let b = vec![
+            state_with_groups(0, slab, &[1]),
+            state_with_groups(1, CellRange { start: 4, len: 4 }, &[1]),
+        ];
+        reduce_worker_states(&[a, b]);
+    }
+}

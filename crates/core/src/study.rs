@@ -1,10 +1,16 @@
 //! High-level study API and result assembly.
 //!
 //! [`Study`] is the one-call entry point: configure, optionally script
-//! faults, run.  [`StudyResults`] assembles the per-worker slab statistics
+//! faults, run.  The configuration decides the deployment shape —
+//! messaging backend via [`StudyConfig::transport`] and server count via
+//! [`StudyConfig::n_shards`] (a sharded run routes, supervises and
+//! reduces through [`crate::shard`]) — while the API stays identical.
+//! [`StudyResults`] assembles the per-worker slab statistics
 //! into global ubiquitous fields — Sobol' index maps `S_k(x, t)`,
 //! `ST_k(x, t)`, variance and mean maps — the quantities Figures 7 and 8 of
-//! the paper visualise.
+//! the paper visualise.  For a sharded study the worker states have
+//! already been merged across shards, so the same accessors serve both
+//! shapes.
 
 use melissa_mesh::CellRange;
 

@@ -1,0 +1,131 @@
+//! The checkpoint wire format (v2/v3): field tables for the byte layout
+//! every statistics family round-trips through.
+//!
+//! This is a **documentation-only** module.  The codec itself lives in
+//! the `melissa` core crate (`melissa::server::checkpoint::pack_state` /
+//! `unpack_state`, plus the `write_checkpoint` / `read_checkpoint` file
+//! wrappers), but the payload of every section is the `raw_state()` of
+//! an accumulator defined *here* in `melissa-stats` (or in
+//! `melissa-sobol` for the Sobol' tiles).  The tables below make that
+//! contract auditable in one place — in particular for the sharded-study
+//! **reduction tree**, which reuses the same pack/unpack codec to drain
+//! shard worker states exactly as a remote shard would ship them over
+//! the wire.
+//!
+//! ## Conventions
+//!
+//! * **Endianness** — every integer and float is **little-endian**
+//!   (`put_u32_le`/`put_u64_le`/`put_f64_le` of the
+//!   `melissa_transport::codec` / `bytes` helpers).  There is no
+//!   alignment or padding: fields are packed back to back.
+//! * **Lengths before payloads** — every variable-length array is
+//!   preceded by its element count as a `u64`, so a reader can validate
+//!   section sizes before allocating.
+//! * **Determinism rule (sorted bookkeeping)** — the serialized bytes
+//!   are a *pure function of the logical state*.  Wherever the in-memory
+//!   representation has nondeterministic order (the `last_completed`
+//!   hash map, whose iteration order is salted per process), the writer
+//!   sorts by key before emitting.  This is what makes
+//!   `pack ∘ unpack ∘ pack` bit-stable, lets tests compare checkpoint
+//!   bytes across runs, and guarantees the reduction tree's drain step
+//!   adds no noise.
+//!
+//! ## File header
+//!
+//! | field | type | value / meaning |
+//! |---|---|---|
+//! | magic | `u32` | `0x4d4c5341` (`"MLSA"`) |
+//! | version | `u32` | `3` (current); `2` still readable |
+//! | worker_id | `u64` | owning worker; must match the file name |
+//! | slab.start | `u64` | first global cell of the worker's slab |
+//! | slab.len | `u64` | cells in the slab (all per-cell arrays use this length) |
+//! | p | `u32` | number of variable parameters |
+//! | n_timesteps | `u32` | per-timestep sections repeat this many times |
+//!
+//! ## Section 1 — Sobol' state (× `n_timesteps`)
+//!
+//! One record per timestep, packing the tiled
+//! `melissa_sobol::UbiquitousSobol` into its stable role-major layout
+//! (`pack_into`; the cache-blocked tile layout is an in-memory detail,
+//! never serialized):
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | n_groups | `u64` | groups folded into this timestep |
+//! | flat_len | `u64` | must equal `(4 + 4p) · slab.len` |
+//! | flat | `f64 × flat_len` | per-cell accumulators, role-major |
+//!
+//! ## Section 2 — field moments (× `n_timesteps`)
+//!
+//! [`FieldMoments::raw_state`](crate::FieldMoments::raw_state) =
+//! `(n, mean, M2, M3, M4)`:
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | n | `u64` | samples per cell (shared count) |
+//! | len | `u64` | must equal `slab.len` |
+//! | mean, M2, M3, M4 | `f64 × len` each | Pébay central-moment sums, four arrays back to back |
+//!
+//! ## Section 3 — min/max envelope (× `n_timesteps`)
+//!
+//! [`FieldMinMax::raw_state`](crate::FieldMinMax::raw_state) =
+//! `(n, min, max)`:
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | n | `u64` | samples per cell |
+//! | len | `u64` | must equal `slab.len` |
+//! | min, max | `f64 × len` each | per-cell envelope |
+//!
+//! ## Section 4 — threshold exceedance
+//!
+//! A `u64` threshold count `T`, then **threshold-major** (all timesteps
+//! of threshold 0, then threshold 1, …), each record being
+//! [`FieldThreshold::raw_state`](crate::FieldThreshold::raw_state):
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | threshold | `f64` | the exceedance level |
+//! | n | `u64` | samples per cell |
+//! | len | `u64` | must equal `slab.len` |
+//! | exceeded | `u64 × len` | per-cell exceedance counters (exact integers) |
+//!
+//! ## Section 5 — Robbins–Monro quantiles (v3+ only)
+//!
+//! Absent in v2 files: a v2 checkpoint restores with quantiles **cold**
+//! (Robbins–Monro iterates carry no sufficient statistic that could be
+//! rebuilt from the other accumulators).  In v3 the section starts with
+//! the probability count `m` as a `u64`; when `m = 0` (order statistics
+//! disabled) nothing else follows.  Otherwise:
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | gamma | `f64` | step exponent γ ∈ (0.5, 1], shared across timesteps |
+//! | probs | `f64 × m` | target probabilities, in tracked order |
+//! | per timestep: n | `u64` | samples folded in |
+//! | per timestep: flat_len | `u64` | must equal `m · slab.len` |
+//! | per timestep: records | `f64 × flat_len` | the [`FieldQuantiles`](crate::FieldQuantiles) cell-contiguous records verbatim |
+//!
+//! ## Section 6 — bookkeeping
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | n_groups | `u64` | entries in the last-completed map |
+//! | (group, ts) | `(u64, i64) × n_groups` | **sorted by group id** (the determinism rule) |
+//! | n_finished | `u64` | fully integrated groups |
+//! | finished | `u64 × n_finished` | in completion order |
+//!
+//! In-flight assemblies are deliberately **not** serialized: on restore
+//! their groups replay from the beginning and discard-on-replay drops
+//! everything at or below the per-group `last_completed` floor — which is
+//! also why the reduction tree's drain through this codec is safe: at
+//! study end, pending assemblies belong only to abandoned groups whose
+//! partial data was never integrated anywhere.
+//!
+//! ## Version history
+//!
+//! * **v3** (current) — adds Section 5.  Re-writing a restored v3 state
+//!   reproduces the file bit for bit.
+//! * **v2** (read-only) — Sections 1–4 and 6 exactly as above.  The core
+//!   crate keeps a pinned legacy v2 writer in its tests so a format
+//!   regression cannot silently rewrite history.

@@ -32,6 +32,7 @@
 //! | [`field`] | vectorised per-cell statistics over mesh-sized fields |
 //! | [`tile`] | cache-blocked tile storage and disjoint parallel sweeps |
 //! | [`batch`] | two-pass reference implementations used for validation |
+//! | [`checkpoint_format`] | field tables of the v2/v3 checkpoint wire format every accumulator's `raw_state` round-trips through (documentation only) |
 //!
 //! ## Quick example
 //!
@@ -48,6 +49,7 @@
 //! ```
 
 pub mod batch;
+pub mod checkpoint_format;
 pub mod covariance;
 pub mod field;
 pub mod minmax;

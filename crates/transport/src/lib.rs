@@ -28,13 +28,24 @@
 //! | backend | module | data path | name registry | use |
 //! |---|---|---|---|---|
 //! | [`ChannelTransport`] | [`registry`] | bounded in-process channels | in-process map | single-process studies, tests, the reference semantics |
-//! | [`TcpTransport`] | [`tcp`] | real `std::net` loopback sockets, length-prefixed frames, one writer/reader thread per connection | process-local listener | multi-process data path; the stepping stone to multi-node |
+//! | [`TcpTransport`] | [`tcp`] | real `std::net` loopback sockets, length-prefixed frames, one writer/reader thread per connection | single listener, any number of named endpoints | multi-process data path; the stepping stone to multi-node |
 //!
 //! Both backends run every link through the same bounded HWM queues
 //! ([`endpoint::channel`]), so blocking behaviour and its telemetry are
 //! identical; a seeded study produces bit-identical statistics over
 //! either.  [`TransportKind`] + [`make_transport`] select a backend at
 //! configuration time.
+//!
+//! ## Endpoint naming and sharded deployments
+//!
+//! Endpoint names are opaque strings with a canonical scheme in
+//! [`registry::names`].  Single-server deployments use the unscoped
+//! names (`"server/main"`, `"server/<w>"`, `"launcher"`); a sharded
+//! multi-server study prefixes every endpoint of shard `k` with
+//! `"shard<k>/"` ([`registry::names::shard_scope`]), so `N` complete
+//! server instances — handshake endpoint, worker data endpoints and a
+//! per-shard launcher control inbox — coexist on **one** transport of
+//! either backend without collisions.
 //!
 //! ## Wire framing (TCP backend)
 //!

@@ -15,7 +15,7 @@
 //! This backend defines the reference semantics the TCP backend
 //! ([`crate::tcp::TcpTransport`]) reproduces over real sockets: every
 //! sender clone of one endpoint shares one bounded HWM queue and one
-//! [`LinkStats`](crate::endpoint::LinkStats) counter set.
+//! [`LinkStats`] counter set.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -91,7 +91,7 @@ impl Transport for ChannelTransport {
     }
 
     /// One snapshot per endpoint name: all sender clones of an endpoint
-    /// share one [`LinkStats`](crate::endpoint::LinkStats), so the live
+    /// share one [`LinkStats`], so the live
     /// snapshot plus the retired generations (pre-rebind/unbind) is the
     /// complete every-frame-once rollup.
     fn link_stats(&self) -> Vec<(String, LinkStatsSnapshot)> {
@@ -116,25 +116,69 @@ impl Transport for ChannelTransport {
 }
 
 /// Canonical endpoint names of a Melissa deployment.
+///
+/// A single-server deployment uses the unscoped names (`"server/main"`,
+/// `"server/0"`, …).  Sharded multi-server deployments prefix every
+/// endpoint of shard `k` with [`shard_scope`](names::shard_scope)`(k)`, so `N` full server
+/// instances coexist on one transport without name collisions:
+/// `"shard0/server/main"`, `"shard0/server/0"`, `"shard1/server/0"`, ….
+/// The empty scope `""` maps to the unscoped single-server names, which
+/// keeps every pre-sharding deployment (and its wire traffic) unchanged.
 pub mod names {
+    /// The scope prefix of shard `k` in a sharded deployment.
+    pub fn shard_scope(k: usize) -> String {
+        format!("shard{k}")
+    }
+
+    /// Prefixes `name` with `scope` (no-op for the empty scope).
+    pub fn scoped(scope: &str, name: &str) -> String {
+        if scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{scope}/{name}")
+        }
+    }
+
     /// The server's connection/handshake endpoint (rank 0).
     pub fn server_main() -> String {
-        "server/main".to_string()
+        server_main_in("")
+    }
+
+    /// The handshake endpoint of the server instance scoped by `scope`.
+    pub fn server_main_in(scope: &str) -> String {
+        scoped(scope, "server/main")
     }
 
     /// A server worker's data endpoint.
     pub fn server_worker(w: usize) -> String {
-        format!("server/{w}")
+        server_worker_in("", w)
+    }
+
+    /// Worker `w`'s data endpoint of the server instance scoped by `scope`.
+    pub fn server_worker_in(scope: &str, w: usize) -> String {
+        scoped(scope, &format!("server/{w}"))
     }
 
     /// The launcher's control endpoint (server reports, heartbeats).
     pub fn launcher() -> String {
-        "launcher".to_string()
+        launcher_in("")
+    }
+
+    /// The launcher inbox dedicated to the server instance scoped by
+    /// `scope` (per-shard control channels keep shard reports apart).
+    pub fn launcher_in(scope: &str) -> String {
+        scoped(scope, "launcher")
     }
 
     /// A group's reply endpoint for the connection handshake.
     pub fn group_reply(group_id: u64, instance: u32) -> String {
-        format!("group/{group_id}/{instance}/reply")
+        group_reply_in("", group_id, instance)
+    }
+
+    /// A group's handshake reply endpoint toward the server instance
+    /// scoped by `scope`.
+    pub fn group_reply_in(scope: &str, group_id: u64, instance: u32) -> String {
+        scoped(scope, &format!("group/{group_id}/{instance}/reply"))
     }
 }
 
@@ -248,5 +292,41 @@ mod tests {
         assert_eq!(names::server_main(), "server/main");
         assert_eq!(names::server_worker(3), "server/3");
         assert_eq!(names::group_reply(7, 2), "group/7/2/reply");
+    }
+
+    #[test]
+    fn scoped_names_prefix_the_shard_and_empty_scope_is_legacy() {
+        let scope = names::shard_scope(2);
+        assert_eq!(scope, "shard2");
+        assert_eq!(names::server_main_in(&scope), "shard2/server/main");
+        assert_eq!(names::server_worker_in(&scope, 3), "shard2/server/3");
+        assert_eq!(names::launcher_in(&scope), "shard2/launcher");
+        assert_eq!(
+            names::group_reply_in(&scope, 7, 2),
+            "shard2/group/7/2/reply"
+        );
+        // The empty scope resolves to the single-server wire names, so
+        // sharding changes nothing for existing deployments.
+        assert_eq!(names::server_main_in(""), names::server_main());
+        assert_eq!(names::server_worker_in("", 5), names::server_worker(5));
+        assert_eq!(names::launcher_in(""), names::launcher());
+        assert_eq!(names::group_reply_in("", 1, 0), names::group_reply(1, 0));
+    }
+
+    #[test]
+    fn shard_scoped_endpoints_coexist_on_one_transport() {
+        let t = ChannelTransport::new();
+        let rx0 = t.bind(&names::server_worker_in(&names::shard_scope(0), 1), 4);
+        let rx1 = t.bind(&names::server_worker_in(&names::shard_scope(1), 1), 4);
+        let tx0 = t
+            .connect(&names::server_worker_in(&names::shard_scope(0), 1))
+            .unwrap();
+        let tx1 = t
+            .connect(&names::server_worker_in(&names::shard_scope(1), 1))
+            .unwrap();
+        tx0.send(bytes::Bytes::from_static(b"to-shard-0")).unwrap();
+        tx1.send(bytes::Bytes::from_static(b"to-shard-1")).unwrap();
+        assert_eq!(&rx0.recv().unwrap()[..], b"to-shard-0");
+        assert_eq!(&rx1.recv().unwrap()[..], b"to-shard-1");
     }
 }

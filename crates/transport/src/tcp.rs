@@ -32,11 +32,19 @@
 //!   their reader threads close the socket and the remote sender observes
 //!   a clean disconnect error ([`Disconnected`] on the next send).
 //!
-//! The name registry itself is still process-local (the listener answers
-//! for every bound name).  Multi-node deployment needs the registry
-//! lifted out of the process — a seed-address handshake or a launcher-side
-//! directory service — plus per-node listeners; the trait surface already
-//! carries everything those need.
+//! Endpoint names are opaque strings, so one listener serves any number
+//! of *logical* deployments at once: a sharded study binds `N` complete
+//! server instances under shard-scoped names
+//! (`"shard<k>/server/main"`, `"shard<k>/server/<w>"`, … — see
+//! [`registry::names`](crate::registry::names)) on a single transport,
+//! and every shard's data and control links coexist without collisions.
+//!
+//! The name *registry* itself still lives in one process (the listener
+//! answers for every bound name).  Multi-node deployment needs the
+//! registry lifted out of the process — a seed-address handshake or a
+//! launcher-side directory service — plus one listener per node; the
+//! trait surface and the shard-scoped naming scheme already carry
+//! everything those need.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufReader, BufWriter, Read, Write};

@@ -117,22 +117,31 @@ pub struct MappedParIter<T, U, F: Fn(T) -> U> {
 }
 
 impl<T: Send, U: Send, F: Fn(T) -> U + Sync> MappedParIter<T, U, F> {
+    /// Evaluates the mapping in parallel, preserving item order.
+    fn eval(self) -> Vec<U> {
+        let f = &self.f;
+        let mut slots: Vec<Option<U>> = Vec::with_capacity(self.inner.items.len());
+        slots.resize_with(self.inner.items.len(), || None);
+        let slot_refs: Vec<(usize, T)> = self.inner.items.into_iter().enumerate().collect();
+        let cell = SlotWriter(std::cell::UnsafeCell::new(&mut slots));
+        let cell_ref = &cell;
+        run_spans(slot_refs, self.inner.min_len, move |(i, item)| {
+            // SAFETY: each index is written by exactly one task.
+            unsafe { (&mut (*cell_ref.0.get()))[i] = Some(f(item)) };
+        });
+        slots.into_iter().map(|s| s.expect("task ran")).collect()
+    }
+
     /// Sums the mapped values.
     pub fn sum<S: std::iter::Sum<U>>(self) -> S {
-        let f = &self.f;
-        let results: Vec<U> = {
-            let mut slots: Vec<Option<U>> = Vec::with_capacity(self.inner.items.len());
-            slots.resize_with(self.inner.items.len(), || None);
-            let slot_refs: Vec<(usize, T)> = self.inner.items.into_iter().enumerate().collect();
-            let cell = SlotWriter(std::cell::UnsafeCell::new(&mut slots));
-            let cell_ref = &cell;
-            run_spans(slot_refs, self.inner.min_len, move |(i, item)| {
-                // SAFETY: each index is written by exactly one task.
-                unsafe { (&mut (*cell_ref.0.get()))[i] = Some(f(item)) };
-            });
-            slots.into_iter().map(|s| s.expect("task ran")).collect()
-        };
-        results.into_iter().sum()
+        self.eval().into_iter().sum()
+    }
+
+    /// Collects the mapped values in item order (rayon's
+    /// `collect::<Vec<_>>()`; any `FromIterator` target works here since
+    /// the parallel evaluation is already materialised).
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        self.eval().into_iter().collect()
     }
 
     /// Reduces the mapped values with `identity`/`op`.

@@ -13,9 +13,15 @@
 //!
 //! Recorded baselines live in `BENCH_transport.json` at the repo root.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use melissa_transport::{make_transport, TransportKind};
+use melissa_transport::{
+    make_transport, Directory, DirectoryClient, DirectoryServer, TcpTransport, TcpTransportConfig,
+    Transport, TransportKind,
+};
 
 const BURST: usize = 32;
 
@@ -24,7 +30,7 @@ fn bench_roundtrip(c: &mut Criterion) {
     g.sample_size(7);
     for kind in [TransportKind::InProcess, TransportKind::Tcp] {
         for size in [256usize, 4096, 65536] {
-            let t = make_transport(kind);
+            let t = make_transport(kind.clone());
             let rx = t.bind("bench", 64);
             let tx = t.connect("bench").unwrap();
             let frame = Bytes::from(vec![0u8; size]);
@@ -45,7 +51,7 @@ fn bench_stream(c: &mut Criterion) {
     g.sample_size(7);
     for kind in [TransportKind::InProcess, TransportKind::Tcp] {
         for size in [4096usize, 65536] {
-            let t = make_transport(kind);
+            let t = make_transport(kind.clone());
             let rx = t.bind("bench", BURST + 1);
             let tx = t.connect("bench").unwrap();
             let frame = Bytes::from(vec![0u8; size]);
@@ -65,5 +71,76 @@ fn bench_stream(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_roundtrip, bench_stream);
+/// The multi-node name-resolution path: one `resolve` request/reply
+/// round trip against a live directory server (what every `connect`
+/// pays before dialing), and a full directory-resolved node-to-node
+/// frame round trip for comparison with the single-node TCP numbers.
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_directory");
+    g.sample_size(7);
+
+    let server =
+        DirectoryServer::bind("127.0.0.1:0", Duration::from_secs(60)).expect("directory listener");
+    let addr = server.local_addr().to_string();
+    let client = DirectoryClient::connect(&addr).expect("directory client");
+    client
+        .publish("bench/endpoint", "127.0.0.1:9999")
+        .expect("publish");
+    g.bench_function("resolve", |b| {
+        b.iter(|| client.resolve("bench/endpoint").expect("resolve"))
+    });
+
+    let node_a = TcpTransport::with_config(TcpTransportConfig::node(&addr)).expect("node a");
+    let node_b = TcpTransport::with_config(TcpTransportConfig::node(&addr)).expect("node b");
+    let rx = node_a.bind("bench/rt", 64);
+    let tx = node_b
+        .connect_retry("bench/rt", Duration::from_secs(5))
+        .expect("cross-node connect");
+    let frame = Bytes::from(vec![0u8; 4096]);
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("node_roundtrip/4096", |b| {
+        b.iter(|| {
+            tx.send(frame.clone()).unwrap();
+            rx.recv().unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// One full self-healing cycle: sever the established serving-side
+/// connection, then send one frame and wait for it — measuring failure
+/// detection, directory re-resolve, re-dial with backoff, idempotent
+/// re-handshake, and exactly-once resume.
+fn bench_reconnect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_reconnect");
+    g.sample_size(7);
+
+    let directory =
+        DirectoryServer::bind("127.0.0.1:0", Duration::from_secs(60)).expect("directory listener");
+    let addr = directory.local_addr().to_string();
+    let server =
+        Arc::new(TcpTransport::with_config(TcpTransportConfig::node(&addr)).expect("server node"));
+    let client = TcpTransport::with_config(TcpTransportConfig::node(&addr)).expect("client node");
+    let rx = server.bind("bench/heal", 64);
+    let tx = client
+        .connect_retry("bench/heal", Duration::from_secs(5))
+        .expect("connect");
+    let frame = Bytes::from(vec![0u8; 4096]);
+    g.bench_function("sever_resend_recv/4096", |b| {
+        b.iter(|| {
+            server.sever_connections("bench/heal");
+            tx.send(frame.clone()).unwrap();
+            rx.recv().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_roundtrip,
+    bench_stream,
+    bench_directory,
+    bench_reconnect
+);
 criterion_main!(benches);

@@ -20,7 +20,7 @@
 use std::time::Duration;
 
 use melissa_mesh::{CellRange, SlabPartition};
-use melissa_transport::registry::names;
+use melissa_transport::directory::names;
 use melissa_transport::{FaultPolicy, FaultySender, KillSwitch, Sender, Transport};
 
 use crate::protocol::Message;
@@ -38,6 +38,17 @@ pub enum ClientError {
         /// What was wrong with the reply.
         detail: String,
     },
+    /// The deployment directory does not know the endpoint: a mis-scoped
+    /// name (e.g. a group routed to a shard that was never deployed), or
+    /// the owning node's lease lapsed.  Names the looked-up key and the
+    /// directory address, so a configuration error reads as one instead
+    /// of a generic retry-exhausted timeout.
+    NameNotFound {
+        /// The endpoint name that was looked up.
+        name: String,
+        /// The directory it was looked up in.
+        directory: String,
+    },
     /// A data send failed (server worker gone) or timed out on a full
     /// buffer — the group treats this as its own failure and exits; the
     /// launcher will restart it.
@@ -54,6 +65,12 @@ impl std::fmt::Display for ClientError {
             ClientError::BadHandshake { detail } => {
                 write!(f, "malformed connection handshake reply: {detail}")
             }
+            ClientError::NameNotFound { name, directory } => {
+                write!(
+                    f,
+                    "endpoint '{name}' not published in directory {directory}"
+                )
+            }
             ClientError::SendFailed => write!(f, "data send failed"),
             ClientError::Killed => write!(f, "killed"),
         }
@@ -61,6 +78,18 @@ impl std::fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+/// Maps a transport connect failure: a directory miss keeps its identity
+/// (the mis-scoped name and where it was looked up); everything else is
+/// the generic retryable "server unavailable".
+fn connect_failure(e: melissa_transport::ConnectError) -> ClientError {
+    match e {
+        melissa_transport::ConnectError::NameNotFound { name, directory } => {
+            ClientError::NameNotFound { name, directory }
+        }
+        _ => ClientError::ServerUnavailable,
+    }
+}
 
 /// A connected simulation-group client.
 #[derive(Debug)]
@@ -106,7 +135,7 @@ impl GroupClient {
         let reply_rx = transport.bind(&reply_name, reply_hwm.max(1));
         let main_tx = transport
             .connect_retry(&names::server_main_in(scope), timeout)
-            .map_err(|_| ClientError::ServerUnavailable)?;
+            .map_err(connect_failure)?;
         main_tx
             .send(Message::ConnectRequest { group_id, instance }.encode())
             .map_err(|_| ClientError::ServerUnavailable)?;
@@ -136,7 +165,7 @@ impl GroupClient {
         for w in 0..n_workers as usize {
             let tx = transport
                 .connect(&names::server_worker_in(scope, w))
-                .map_err(|_| ClientError::ServerUnavailable)?;
+                .map_err(connect_failure)?;
             senders.push(FaultySender::new(tx, fault.clone(), kill.clone()));
         }
         Ok(GroupClient {

@@ -84,6 +84,15 @@ pub struct StudyConfig {
     /// Ignore Sobol' CIs on cells whose output variance is below this when
     /// evaluating convergence (the paper's "no sense where Var(Y) ≈ 0").
     pub ci_variance_floor: f64,
+    /// Optional order-statistics convergence control, mirroring
+    /// [`target_ci_width`](Self::target_ci_width): cancel remaining
+    /// groups once the widest possible next Robbins–Monro quantile step —
+    /// aggregated worker-wise, shard-wise and over every tracked
+    /// probability, so studies tracking extreme percentiles (1 %/99 %)
+    /// stop on their *slowest* estimate — drops below this.  When both
+    /// targets are set the study stops only once **both** signals have
+    /// converged.  `None` disables quantile-driven stopping.
+    pub target_quantile_step: Option<f64>,
     /// Hard wall limit on the whole study (safety net for tests; a real
     /// deployment would use the batch system's walltime).
     pub wall_limit: Duration,
@@ -120,6 +129,7 @@ impl Default for StudyConfig {
             max_group_retries: 3,
             target_ci_width: None,
             ci_variance_floor: 1e-12,
+            target_quantile_step: None,
             wall_limit: Duration::from_secs(600),
             link_fault: melissa_transport::FaultPolicy::default(),
             thresholds: vec![0.5],
@@ -188,6 +198,16 @@ impl StudyConfig {
                 return Err(format!("quantile probability {q} outside (0, 1)"));
             }
         }
+        if let Some(step) = self.target_quantile_step {
+            if step.is_nan() || step <= 0.0 {
+                return Err(format!("target_quantile_step {step} must be positive"));
+            }
+            if self.quantile_probs.is_empty() {
+                return Err(
+                    "target_quantile_step needs quantile_probs (order statistics disabled)".into(),
+                );
+            }
+        }
         Ok(())
     }
 }
@@ -228,6 +248,15 @@ mod tests {
 
         let mut c = StudyConfig::tiny();
         c.n_shards = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = StudyConfig::tiny();
+        c.target_quantile_step = Some(0.0);
+        assert!(c.validate().is_err());
+
+        let mut c = StudyConfig::tiny();
+        c.target_quantile_step = Some(0.05);
+        c.quantile_probs.clear();
         assert!(c.validate().is_err());
     }
 

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 use melissa_sobol::design::PickFreeze;
 use melissa_solver::injection::InjectionParams;
 use melissa_solver::FrozenFlow;
-use melissa_transport::registry::names;
+use melissa_transport::directory::names;
 use melissa_transport::{
     make_transport, KillSwitch, LivenessTracker, Receiver, RecvTimeoutError, Transport,
 };
@@ -66,6 +66,9 @@ struct ActiveJob {
 pub(crate) struct Coordination {
     /// Per-shard latest max CI width (∞ until the shard reports one).
     ci: Mutex<Vec<f64>>,
+    /// Per-shard latest max Robbins–Monro quantile step (∞ until the
+    /// shard reports one; 0 when order statistics are disabled).
+    qstep: Mutex<Vec<f64>>,
     /// Per-shard finished-group counts.
     finished: Mutex<Vec<usize>>,
     /// Set once the aggregate signal crosses the target: every shard
@@ -77,13 +80,15 @@ impl Coordination {
     pub(crate) fn new(n_shards: usize) -> Self {
         Self {
             ci: Mutex::new(vec![f64::INFINITY; n_shards]),
+            qstep: Mutex::new(vec![f64::INFINITY; n_shards]),
             finished: Mutex::new(vec![0; n_shards]),
             early_stop: AtomicBool::new(false),
         }
     }
 
-    fn publish(&self, shard: usize, ci: f64, finished: usize) {
+    fn publish(&self, shard: usize, ci: f64, qstep: f64, finished: usize) {
         self.ci.lock()[shard] = ci;
+        self.qstep.lock()[shard] = qstep;
         self.finished.lock()[shard] = finished;
     }
 
@@ -91,6 +96,12 @@ impl Coordination {
     /// groups has reported).
     fn max_ci(&self) -> f64 {
         self.ci.lock().iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Aggregate quantile-step signal: the max over shards (∞ until every
+    /// shard with groups has reported one).
+    fn max_qstep(&self) -> f64 {
+        self.qstep.lock().iter().copied().fold(0.0, f64::max)
     }
 
     fn total_finished(&self) -> usize {
@@ -118,7 +129,7 @@ impl StudyContext {
     /// Draws the design, runs the shared pre-run and sets up the runtime
     /// shared by all shard supervisors.
     pub(crate) fn new(config: StudyConfig, faults: FaultPlan) -> Self {
-        let transport = make_transport(config.transport);
+        let transport = make_transport(config.transport.clone());
         let space = InjectionParams::parameter_space();
         let design = PickFreeze::generate(config.n_groups, &space, config.seed);
         let p = space.dim();
@@ -275,7 +286,7 @@ pub(crate) fn supervise_shard(
     // A shard with no groups still answers the convergence coordination
     // (a neutral signal) so the aggregate does not stay pinned at ∞.
     if groups.is_empty() {
-        ctx.coord.publish(shard, 0.0, 0);
+        ctx.coord.publish(shard, 0.0, 0.0, 0);
     }
 
     // Supervision state.
@@ -287,6 +298,7 @@ pub(crate) fn supervise_shard(
     let mut abandoned: HashSet<u64> = HashSet::new();
     let mut last_ci = f64::INFINITY;
     let mut last_quantile_step = f64::INFINITY;
+    let mut last_quantile_steps: Vec<f64> = Vec::new();
     let mut early_stopped = false;
     let mut server_fault_armed = ctx.faults.server_kill_for_shard(shard);
     // Counters carried across server restarts (a crashed server's shared
@@ -316,6 +328,7 @@ pub(crate) fn supervise_shard(
                             running_groups,
                             max_ci_width,
                             max_quantile_step,
+                            quantile_steps,
                             blocked_sends,
                             blocked_nanos,
                         } => {
@@ -324,7 +337,13 @@ pub(crate) fn supervise_shard(
                             known_running = running_groups.into_iter().collect();
                             last_ci = max_ci_width;
                             last_quantile_step = max_quantile_step;
-                            ctx.coord.publish(shard, last_ci, known_finished.len());
+                            last_quantile_steps = quantile_steps;
+                            ctx.coord.publish(
+                                shard,
+                                last_ci,
+                                last_quantile_step,
+                                known_finished.len(),
+                            );
                             // Live backpressure accounting (the Fig. 6
                             // signal): keeps the report current mid-study
                             // and across server crashes; the final stop
@@ -485,19 +504,28 @@ pub(crate) fn supervise_shard(
             );
         }
 
-        // 5. Convergence loopback: stop early once the *aggregate* signal
-        // (max CI over every shard) converged.  Whichever supervisor
-        // observes the crossing flips the shared flag; all shards then
-        // cancel their remaining groups.
-        if let Some(target) = config.target_ci_width {
+        // 5. Convergence loopback: stop early once every configured
+        // *aggregate* signal (max over shards: CI width and/or quantile
+        // step) converged — with both targets set, the study stops on
+        // whichever estimate is slowest.  Whichever supervisor observes
+        // the crossing flips the shared flag; all shards then cancel
+        // their remaining groups.
+        if config.target_ci_width.is_some() || config.target_quantile_step.is_some() {
             let global_ci = ctx.coord.max_ci();
-            if global_ci.is_finite() && global_ci < target && ctx.coord.total_finished() > 0 {
+            let global_qstep = ctx.coord.max_qstep();
+            let ci_ok = config
+                .target_ci_width
+                .is_none_or(|t| global_ci.is_finite() && global_ci < t);
+            let qstep_ok = config
+                .target_quantile_step
+                .is_none_or(|t| global_qstep.is_finite() && global_qstep < t);
+            if ci_ok && qstep_ok && ctx.coord.total_finished() > 0 {
                 ctx.coord.early_stop.store(true, Ordering::Relaxed);
             }
             if ctx.coord.early_stop.load(Ordering::Relaxed) && !early_stopped {
                 early_stopped = true;
                 report.log(format!(
-                    "convergence reached (aggregate max CI width {global_ci:.4} < {target}): cancelling {} remaining groups",
+                    "convergence reached (aggregate max CI width {global_ci:.4}, max quantile step {global_qstep:.4}): cancelling {} remaining groups",
                     active.len()
                 ));
                 for (_, job) in active.iter() {
@@ -526,7 +554,8 @@ pub(crate) fn supervise_shard(
     // never updated from ∞: overwriting its neutral signal would pin the
     // aggregate at infinity and permanently disable early stop.
     if !groups.is_empty() {
-        ctx.coord.publish(shard, last_ci, known_finished.len());
+        ctx.coord
+            .publish(shard, last_ci, last_quantile_step, known_finished.len());
     }
     report.groups_abandoned = {
         let mut v: Vec<u64> = abandoned.into_iter().collect();
@@ -557,8 +586,31 @@ pub(crate) fn supervise_shard(
     report.early_stopped = early_stopped;
     report.final_max_ci = last_ci;
     report.final_max_quantile_step = last_quantile_step;
+    report.quantile_probs = config.quantile_probs.clone();
+    report.final_quantile_steps = last_quantile_steps;
 
     Ok(ShardRun { states, report })
+}
+
+/// Lease timeout of the study directory: nodes renew every couple of
+/// seconds (`TcpTransportConfig::node`), so a name going silent for this
+/// long means its process is gone.
+pub const DIRECTORY_LEASE: Duration = Duration::from_secs(10);
+
+/// Multi-node bootstrap: starts the deployment's directory service on an
+/// ephemeral loopback port and returns it together with its `host:port`.
+///
+/// The launcher owns the directory for the lifetime of the study and
+/// hands the address to every child process — conventionally via the
+/// [`MELISSA_DIRECTORY`](melissa_transport::DIRECTORY_ENV) environment
+/// variable — whose `TcpNode` transports then publish and resolve every
+/// scoped endpoint through it (see `examples/multinode_study.rs` for the
+/// full launch sequence).
+pub fn bootstrap_directory() -> Result<(melissa_transport::DirectoryServer, String), String> {
+    let server = melissa_transport::DirectoryServer::bind("127.0.0.1:0", DIRECTORY_LEASE)
+        .map_err(|e| format!("binding the study directory: {e}"))?;
+    let addr = server.local_addr().to_string();
+    Ok((server, addr))
 }
 
 /// Waits for a `ServerReady` on the launcher inbox.
@@ -636,10 +688,25 @@ mod tests {
     fn empty_shard_neutral_signal_keeps_the_aggregate_usable() {
         let coord = Coordination::new(2);
         assert_eq!(coord.max_ci(), f64::INFINITY, "unreported shards gate");
-        coord.publish(1, 0.0, 0); // empty shard: neutral, published once
-        coord.publish(0, 0.02, 3); // busy shard converged
+        assert_eq!(coord.max_qstep(), f64::INFINITY, "qstep gates too");
+        coord.publish(1, 0.0, 0.0, 0); // empty shard: neutral, published once
+        coord.publish(0, 0.02, 0.004, 3); // busy shard converged
         assert_eq!(coord.max_ci(), 0.02);
+        assert_eq!(coord.max_qstep(), 0.004);
         assert_eq!(coord.total_finished(), 3);
         assert!(!coord.early_stop.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn bootstrap_directory_serves_a_reachable_store() {
+        let (server, addr) = bootstrap_directory().expect("directory bootstrap");
+        let client = melissa_transport::DirectoryClient::connect(&addr).expect("dial directory");
+        use melissa_transport::Directory as _;
+        client.publish("server/0", "127.0.0.1:1234").unwrap();
+        assert_eq!(
+            client.resolve("server/0").unwrap(),
+            Some("127.0.0.1:1234".into())
+        );
+        drop(server);
     }
 }

@@ -84,5 +84,5 @@ pub mod study;
 pub use config::StudyConfig;
 pub use fault::{FaultPlan, GroupFault};
 pub use report::StudyReport;
-pub use shard::GroupRouter;
+pub use shard::{GroupRouter, NodeMap};
 pub use study::{Study, StudyOutput, StudyResults};

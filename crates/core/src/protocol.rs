@@ -73,6 +73,11 @@ pub enum Message {
         /// workers (the order-statistics convergence signal; 0 when
         /// quantiles are disabled).
         max_quantile_step: f64,
+        /// Per-probability quantile steps (same order as the configured
+        /// probabilities), so studies tracking extreme percentiles can
+        /// stop on the slowest estimate.  Empty when quantiles are
+        /// disabled or not every worker has reported yet.
+        quantile_steps: Vec<f64>,
         /// Study-level rollup: sends toward the server's data endpoints
         /// that hit the high-water mark (the Fig. 6 backpressure signal,
         /// live).
@@ -157,6 +162,7 @@ impl Message {
                 running_groups,
                 max_ci_width,
                 max_quantile_step,
+                quantile_steps,
                 blocked_sends,
                 blocked_nanos,
             } => {
@@ -165,6 +171,7 @@ impl Message {
                 put_u64_slice(&mut buf, running_groups);
                 buf.put_f64_le(*max_ci_width);
                 buf.put_f64_le(*max_quantile_step);
+                put_f64_slice(&mut buf, quantile_steps);
                 buf.put_u64_le(*blocked_sends);
                 buf.put_u64_le(*blocked_nanos);
             }
@@ -237,6 +244,7 @@ impl Message {
                     &mut buf,
                     "max_quantile_step",
                 )?,
+                quantile_steps: get_f64_vec(&mut buf, "quantile_steps")?,
                 blocked_sends: get_u64(&mut buf, "blocked_sends")?,
                 blocked_nanos: get_u64(&mut buf, "blocked_nanos")?,
             },
@@ -293,6 +301,7 @@ mod tests {
             running_groups: vec![],
             max_ci_width: 0.25,
             max_quantile_step: 0.125,
+            quantile_steps: vec![0.124, 0.0625, 0.124],
             blocked_sends: 42,
             blocked_nanos: 1_000_000,
         });

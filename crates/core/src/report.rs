@@ -55,6 +55,15 @@ pub struct StudyReport {
     /// Robbins–Monro step over all workers/cells (0 when order statistics
     /// are disabled; ∞ when enabled but no data arrived).
     pub final_max_quantile_step: f64,
+    /// The tracked quantile probabilities, pairing
+    /// [`final_quantile_steps`](Self::final_quantile_steps) (empty when
+    /// order statistics are disabled).
+    pub quantile_probs: Vec<f64>,
+    /// Final per-probability quantile steps (same order as
+    /// [`quantile_probs`](Self::quantile_probs)): the convergence state
+    /// of each tracked percentile, so a 1 %/99 % study can see which
+    /// estimate was slowest.  Empty until every worker reported once.
+    pub final_quantile_steps: Vec<f64>,
     /// Chronological failure/restart log.
     pub events: Vec<String>,
 }
@@ -82,6 +91,8 @@ impl StudyReport {
             early_stopped: false,
             final_max_ci: f64::INFINITY,
             final_max_quantile_step: 0.0,
+            quantile_probs: Vec::new(),
+            final_quantile_steps: Vec::new(),
             events: Vec::new(),
         }
     }
@@ -144,6 +155,15 @@ impl std::fmt::Display for StudyReport {
                 "quantile conv     : max RM step {:.4} (alongside max CI width {:.4})",
                 self.final_max_quantile_step, self.final_max_ci
             )?;
+            if !self.final_quantile_steps.is_empty()
+                && self.final_quantile_steps.len() == self.quantile_probs.len()
+            {
+                write!(f, "per-probability   :")?;
+                for (p, s) in self.quantile_probs.iter().zip(&self.final_quantile_steps) {
+                    write!(f, " q{:02.0}={s:.4}", p * 100.0)?;
+                }
+                writeln!(f)?;
+            }
         }
         if !self.groups_abandoned.is_empty() {
             writeln!(f, "abandoned groups  : {:?}", self.groups_abandoned)?;
@@ -179,6 +199,8 @@ mod tests {
         r.data_bytes = 3 * 1024 * 1024;
         r.final_max_ci = 0.21;
         r.final_max_quantile_step = 0.0375;
+        r.quantile_probs = vec![0.01, 0.5, 0.99];
+        r.final_quantile_steps = vec![0.0371, 0.0188, 0.0371];
         r.log("restarting group 7 as instance 1".into());
         let text = r.to_string();
         assert!(text.contains("9/10 finished"));
@@ -186,6 +208,8 @@ mod tests {
         assert!(text.contains("abandoned groups  : [7]"));
         assert!(text.contains("restarting group 7"));
         assert!(text.contains("max RM step 0.0375"));
+        assert!(text.contains("q01=0.0371"), "text: {text}");
+        assert!(text.contains("q50=0.0188"), "text: {text}");
         assert!(text.contains("transport         : tcp (1234 frames"));
     }
 

@@ -39,7 +39,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use melissa_mesh::SlabPartition;
-use melissa_transport::registry::names;
+use melissa_transport::directory::names;
 use melissa_transport::{
     BoxReceiver, BoxSender, KillSwitch, LinkStatsSnapshot, LivenessTracker, RecvTimeoutError,
     Transport,
@@ -110,6 +110,10 @@ pub struct ServerShared {
     /// step width over the worker's slab; ∞ until known, 0 when order
     /// statistics are disabled).
     worker_quantile_step: Mutex<Vec<f64>>,
+    /// Per-worker latest per-probability quantile steps (`None` until the
+    /// worker reports; the vectors share the configured probability
+    /// order).
+    worker_quantile_steps: Mutex<Vec<Option<Vec<f64>>>>,
     /// Total data payload bytes ingested.
     pub bytes_received: AtomicU64,
     /// Total data messages ingested.
@@ -140,6 +144,7 @@ impl ServerShared {
             finished: Mutex::new(HashSet::new()),
             worker_ci: Mutex::new(vec![f64::INFINITY; n_workers]),
             worker_quantile_step: Mutex::new(vec![initial_step; n_workers]),
+            worker_quantile_steps: Mutex::new(vec![None; n_workers]),
             bytes_received: AtomicU64::new(0),
             messages_received: AtomicU64::new(0),
             replays_discarded: AtomicU64::new(0),
@@ -203,6 +208,35 @@ impl ServerShared {
 
     fn set_worker_quantile_step(&self, worker: usize, width: f64) {
         self.worker_quantile_step.lock()[worker] = width;
+    }
+
+    /// Per-probability aggregate of the quantile-convergence signals:
+    /// element `i` is the widest per-worker step of probability `i`, so a
+    /// study tracking extreme percentiles sees its slowest estimate.
+    /// Empty until every worker has reported once (the scalar
+    /// [`max_quantile_step`](Self::max_quantile_step) stays ∞ over the
+    /// same window, gating any early stop).
+    pub fn max_quantile_steps(&self) -> Vec<f64> {
+        let per_worker = self.worker_quantile_steps.lock();
+        let mut out: Vec<f64> = Vec::new();
+        for steps in per_worker.iter() {
+            match steps {
+                None => return Vec::new(),
+                Some(v) => {
+                    if out.len() < v.len() {
+                        out.resize(v.len(), 0.0);
+                    }
+                    for (o, &w) in out.iter_mut().zip(v) {
+                        *o = o.max(w);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn set_worker_quantile_steps(&self, worker: usize, steps: Vec<f64>) {
+        self.worker_quantile_steps.lock()[worker] = Some(steps);
     }
 }
 
@@ -462,6 +496,10 @@ fn worker_loop(
                                     state.worker_id(),
                                     state.max_quantile_step(),
                                 );
+                                shared.set_worker_quantile_steps(
+                                    state.worker_id(),
+                                    state.quantile_step_widths(),
+                                );
                             }
                         }
                     }
@@ -542,6 +580,7 @@ fn main_loop(
                 running_groups: shared.running_groups(),
                 max_ci_width: shared.max_ci_width(),
                 max_quantile_step: shared.max_quantile_step(),
+                quantile_steps: shared.max_quantile_steps(),
                 blocked_sends: link.blocked_sends,
                 blocked_nanos: link.blocked_nanos,
             };

@@ -442,6 +442,27 @@ impl WorkerState {
             .fold(0.0, f64::max)
     }
 
+    /// Per-probability quantile-convergence signals: element `i` is the
+    /// widest possible next Robbins–Monro step of target probability
+    /// `quantile_probs[i]` over all timesteps/cells (the extreme
+    /// percentiles converge last — see
+    /// [`FieldQuantiles::step_widths`]).  Empty when order statistics are
+    /// disabled; timesteps with no samples yet are skipped like in
+    /// [`max_quantile_step`](Self::max_quantile_step).
+    pub fn quantile_step_widths(&self) -> Vec<f64> {
+        let m = self.quantiles.first().map(|q| q.probs().len()).unwrap_or(0);
+        let mut out = vec![0.0; m];
+        for (q, envelope) in self.quantiles.iter().zip(&self.minmax) {
+            if q.count() == 0 {
+                continue;
+            }
+            for (o, w) in out.iter_mut().zip(q.step_widths(envelope)) {
+                *o = f64::max(*o, w);
+            }
+        }
+        out
+    }
+
     /// Merges another worker's statistics over the **same slab** into this
     /// one: every accumulator family merges pairwise (Pébay formulas for
     /// moments/Sobol', exact for min/max and thresholds, count-weighted

@@ -18,7 +18,7 @@
 //! * each shard's supervisor is the unchanged single-server launcher loop
 //!   ([`crate::launcher`]) under a scoped endpoint namespace
 //!   (`"shard<k>/server/<w>"`, see
-//!   [`melissa_transport::registry::names`]), sharing the global batch
+//!   [`melissa_transport::directory::names`]), sharing the global batch
 //!   runner (node budget), study clock and convergence coordination;
 //! * at study end a **reduction** ([`reduce_worker_states`]) drains every
 //!   shard's worker states through the checkpoint codec
@@ -58,7 +58,7 @@ use crate::report::StudyReport;
 use crate::server::checkpoint::{pack_state, unpack_state};
 use crate::server::state::WorkerState;
 use crate::study::{StudyOutput, StudyResults};
-use melissa_transport::registry::names;
+use melissa_transport::directory::names;
 
 /// Deterministic group-to-shard router: `shard = hash(seed, group) % N`
 /// with a SplitMix64 finaliser, so the assignment is uniform, a pure
@@ -109,6 +109,45 @@ impl GroupRouter {
     pub fn groups_for_shard(&self, shard: usize, n_groups: usize) -> Vec<u64> {
         (0..n_groups as u64)
             .filter(|&g| self.shard_of(g) == shard)
+            .collect()
+    }
+}
+
+/// Placement of server shards onto physical nodes in a multi-node
+/// deployment: shard `k` runs on node `k mod n_nodes` (round-robin).  A
+/// pure function of the configuration — like [`GroupRouter`] — so the
+/// launcher, every server process and every diagnostic tool derive the
+/// same placement without talking to each other, and a restarted shard
+/// comes back on the node that owns its checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeMap {
+    n_nodes: usize,
+}
+
+impl NodeMap {
+    /// Creates a placement over `n_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n_nodes == 0`.
+    pub fn new(n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "placement needs at least one node");
+        Self { n_nodes }
+    }
+
+    /// Number of nodes placed onto.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The node shard `k` runs on.
+    pub fn node_of_shard(&self, shard: usize) -> usize {
+        shard % self.n_nodes
+    }
+
+    /// The (sorted) shards of `node` within a study of `n_shards`.
+    pub fn shards_on_node(&self, node: usize, n_shards: usize) -> Vec<usize> {
+        (0..n_shards)
+            .filter(|&k| self.node_of_shard(k) == node)
             .collect()
     }
 }
@@ -251,6 +290,22 @@ pub(crate) fn run_sharded_study(
         report.final_max_quantile_step = report
             .final_max_quantile_step
             .max(r.final_max_quantile_step);
+        // Per-probability steps: elementwise max over shards (every shard
+        // tracks the same probability vector); a shard whose workers
+        // never all reported contributes nothing.
+        report.quantile_probs = r.quantile_probs;
+        if report.final_quantile_steps.len() < r.final_quantile_steps.len() {
+            report
+                .final_quantile_steps
+                .resize(r.final_quantile_steps.len(), 0.0);
+        }
+        for (acc, &s) in report
+            .final_quantile_steps
+            .iter_mut()
+            .zip(&r.final_quantile_steps)
+        {
+            *acc = acc.max(s);
+        }
         report.transport = r.transport;
         for e in r.events {
             report.events.push(format!("[shard {k}] {e}"));
@@ -299,6 +354,30 @@ mod tests {
             // [150, 350] is a generous 6-sigma band.
             assert!((150..=350).contains(&s), "shard sizes skewed: {sizes:?}");
         }
+    }
+
+    #[test]
+    fn node_map_round_robins_and_partitions() {
+        let map = NodeMap::new(3);
+        assert_eq!(map.n_nodes(), 3);
+        for k in 0..30 {
+            assert_eq!(map.node_of_shard(k), k % 3);
+        }
+        // The per-node lists partition the shard space.
+        let mut seen = [false; 8];
+        for node in 0..3 {
+            for k in map.shards_on_node(node, 8) {
+                assert!(!seen[k], "shard {k} placed twice");
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn node_map_rejects_zero_nodes() {
+        let _ = NodeMap::new(0);
     }
 
     #[test]

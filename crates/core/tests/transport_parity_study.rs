@@ -26,7 +26,7 @@ fn seeded_config(kind: TransportKind, tag: &str) -> StudyConfig {
 }
 
 fn run(kind: TransportKind, tag: &str) -> StudyOutput {
-    Study::new(seeded_config(kind, tag))
+    Study::new(seeded_config(kind.clone(), tag))
         .run()
         .unwrap_or_else(|e| panic!("{kind} study failed: {e}"))
 }

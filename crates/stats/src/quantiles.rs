@@ -576,6 +576,34 @@ impl FieldQuantiles {
             .fold(0.0, f64::max)
     }
 
+    /// Per-probability convergence signals: for target probability `α`
+    /// the widest possible next Robbins–Monro step over all cells is
+    /// `max_cells(range) · (n+1)^{−γ} · max(α, 1−α)` — the indicator
+    /// error `1{Y ≤ θ} − α` has magnitude at most `max(α, 1−α)`, so
+    /// extreme percentiles (1 %/99 %) carry a wider bound and converge
+    /// last.  All-∞ before any sample.  The α-independent envelope of
+    /// these is [`max_step_width`](Self::max_step_width).
+    ///
+    /// # Panics
+    /// Panics on an envelope length mismatch.
+    pub fn step_widths(&self, envelope: &FieldMinMax) -> Vec<f64> {
+        assert_eq!(envelope.len(), self.cells, "envelope length mismatch");
+        if self.n == 0 {
+            return vec![f64::INFINITY; self.probs.len()];
+        }
+        let scale = rm_step_scale(self.n + 1, self.gamma);
+        let max_range = envelope
+            .min()
+            .iter()
+            .zip(envelope.max())
+            .map(|(&lo, &hi)| hi - lo)
+            .fold(0.0, f64::max);
+        self.probs
+            .iter()
+            .map(|&p| max_range * scale * p.max(1.0 - p))
+            .collect()
+    }
+
     /// Raw state `(n, gamma, probs, records)` for checkpointing.  The
     /// record array is the tiled storage verbatim (`cells × m` doubles,
     /// cell-contiguous).
@@ -834,6 +862,33 @@ mod tests {
             at_1000 < 0.1,
             "range ~10 at n ~1000, γ = ¾ ⇒ small step: {at_1000}"
         );
+    }
+
+    #[test]
+    fn step_widths_track_the_indicator_magnitude_per_probability() {
+        let samples = uniform_stream(500, 11);
+        let mut acc = Tracked::new(2, &[0.01, 0.5, 0.99]);
+        assert!(acc
+            .quant
+            .step_widths(&acc.env)
+            .iter()
+            .all(|w| w.is_infinite()));
+        let mut row = vec![0.0; 2];
+        for &y in &samples {
+            row.iter_mut().for_each(|v| *v = y);
+            acc.update(&row);
+        }
+        let widths = acc.quant.step_widths(&acc.env);
+        assert_eq!(widths.len(), 3);
+        // Extreme percentiles carry the widest bound (max(α, 1−α)); the
+        // median the narrowest; 1 % and 99 % are symmetric.
+        assert!(widths[0] > widths[1] && widths[2] > widths[1]);
+        assert_eq!(widths[0], widths[2]);
+        // The α-independent bound envelopes every per-probability width.
+        let envelope = acc.quant.max_step_width(&acc.env);
+        assert!(widths.iter().all(|&w| w <= envelope));
+        // The slowest estimate is exactly max(α, 1−α) of the envelope.
+        assert_eq!(widths[2], envelope * 0.99);
     }
 
     #[test]

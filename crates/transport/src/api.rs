@@ -5,7 +5,7 @@
 //!
 //! * [`Transport`] — a named-endpoint rendezvous: `bind(name, hwm)` yields
 //!   the receiving half of an endpoint, `connect(name)` a sending half.
-//!   Names are plain strings (see [`crate::registry::names`] for the
+//!   Names are plain strings (see [`crate::directory::names`] for the
 //!   canonical Melissa layout); binding again under the same name
 //!   *replaces* the endpoint (the server-restart path).
 //! * [`Sender`] — the client half of one link, carrying the load-bearing
@@ -113,6 +113,17 @@ pub enum ConnectError {
         /// The requested endpoint name.
         name: String,
     },
+    /// The deployment directory does not know the name: nobody published
+    /// it (a mis-scoped endpoint), or the publisher's liveness lease
+    /// lapsed.  Carries the directory that was asked, so the failure
+    /// names the looked-up key and where it was looked up instead of
+    /// surfacing as a generic retry-exhausted timeout.
+    NameNotFound {
+        /// The requested endpoint name.
+        name: String,
+        /// The directory address the name was resolved against.
+        directory: String,
+    },
     /// The transport substrate failed (TCP dial/handshake error).
     Io {
         /// Human-readable description.
@@ -124,6 +135,9 @@ impl std::fmt::Display for ConnectError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConnectError::NotFound { name } => write!(f, "no endpoint bound as '{name}'"),
+            ConnectError::NameNotFound { name, directory } => {
+                write!(f, "name '{name}' not published in directory {directory}")
+            }
             ConnectError::Io { detail } => write!(f, "transport error: {detail}"),
         }
     }
@@ -298,16 +312,46 @@ pub trait Transport: std::fmt::Debug + Send + Sync {
 }
 
 /// Backend selection for a study deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum TransportKind {
     /// In-process bounded channels (single-process deployments; the
     /// fastest path and the reference semantics).
     #[default]
     InProcess,
-    /// Real TCP sockets over loopback via [`crate::tcp::TcpTransport`]
-    /// (the multi-process data path; the name registry is still local —
-    /// see the crate docs for what remains for multi-node).
+    /// Real TCP sockets over a single-node loopback listener via
+    /// [`crate::tcp::TcpTransport`] (the multi-process data path on one
+    /// machine; names resolve in-process).
     Tcp,
+    /// One node of a **multi-node** TCP deployment: a listener bound on
+    /// `host:port`, every bound endpoint published to — and every
+    /// connection resolved through — the deployment's directory service
+    /// ([`crate::directory`]), with self-healing links.
+    TcpNode {
+        /// Listener bind host (e.g. `"127.0.0.1"`, `"0.0.0.0"`).
+        host: String,
+        /// Listener port (0 = ephemeral).
+        port: u16,
+        /// Host advertised to the directory; `None` advertises the bind
+        /// host (set it when binding a wildcard address).
+        advertise: Option<String>,
+        /// Directory address (`host:port`); `None` reads the
+        /// [`MELISSA_DIRECTORY`](crate::directory::DIRECTORY_ENV)
+        /// environment variable seeded by the launcher.
+        directory: Option<String>,
+    },
+}
+
+impl TransportKind {
+    /// A multi-node TCP node with loopback defaults: ephemeral listener
+    /// on `127.0.0.1`, directory from the environment unless given.
+    pub fn tcp_node(directory: Option<String>) -> Self {
+        TransportKind::TcpNode {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            advertise: None,
+            directory,
+        }
+    }
 }
 
 impl std::fmt::Display for TransportKind {
@@ -315,6 +359,7 @@ impl std::fmt::Display for TransportKind {
         match self {
             TransportKind::InProcess => write!(f, "in-process"),
             TransportKind::Tcp => write!(f, "tcp"),
+            TransportKind::TcpNode { .. } => write!(f, "tcp-node"),
         }
     }
 }
@@ -322,14 +367,35 @@ impl std::fmt::Display for TransportKind {
 /// Instantiates the selected backend.
 ///
 /// # Panics
-/// Panics if the TCP backend cannot bind its loopback listener (no
-/// ephemeral ports left — unrecoverable for a study anyway).
+/// Panics if the TCP backend cannot bind its listener (bad host, no
+/// ephemeral ports left) or a multi-node transport cannot reach its
+/// directory — unrecoverable for a study anyway.
 pub fn make_transport(kind: TransportKind) -> Arc<dyn Transport> {
     match kind {
         TransportKind::InProcess => Arc::new(crate::registry::ChannelTransport::new()),
         TransportKind::Tcp => Arc::new(
             crate::tcp::TcpTransport::new().expect("binding the TCP loopback listener failed"),
         ),
+        TransportKind::TcpNode {
+            host,
+            port,
+            advertise,
+            directory,
+        } => {
+            let directory = directory.or_else(crate::directory::directory_from_env);
+            let mut config = match &directory {
+                Some(dir) => crate::tcp::TcpTransportConfig::node(dir),
+                // No directory anywhere: degenerate single-node node
+                // (useful for tests; resolution stays in-process).
+                None => crate::tcp::TcpTransportConfig::local(),
+            };
+            config.bind = format!("{host}:{port}");
+            config.advertise_host = advertise;
+            Arc::new(
+                crate::tcp::TcpTransport::with_config(config)
+                    .expect("binding the node listener / reaching the directory failed"),
+            )
+        }
     }
 }
 
@@ -362,6 +428,7 @@ mod tests {
     fn transport_kind_display_names_are_stable() {
         assert_eq!(TransportKind::InProcess.to_string(), "in-process");
         assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+        assert_eq!(TransportKind::tcp_node(None).to_string(), "tcp-node");
         assert_eq!(TransportKind::default(), TransportKind::InProcess);
     }
 

@@ -112,6 +112,36 @@ pub fn get_str<B: Buf>(buf: &mut B, what: &'static str) -> WireResult<String> {
     String::from_utf8(bytes).map_err(|_| WireError::Invalid { what })
 }
 
+/// Writes one `u32`-length-prefixed frame to a byte stream (the wire
+/// framing of every TCP protocol in this crate: data links and the
+/// directory service alike).
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one `u32`-length-prefixed frame from a byte stream; `None` on a
+/// clean EOF at a frame boundary.  `cap` bounds the accepted length so a
+/// corrupt prefix cannot trigger a huge allocation.
+pub fn read_frame<R: std::io::Read>(r: &mut R, cap: usize) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > cap {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {cap}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
 /// Writes a `u64`-length-prefixed `u64` slice.
 pub fn put_u64_slice<B: BufMut>(buf: &mut B, values: &[u64]) {
     buf.put_u64_le(values.len() as u64);

@@ -1,0 +1,782 @@
+//! The deployment directory service: endpoint names → node addresses.
+//!
+//! A single-process study resolves endpoint names inside the process (the
+//! in-process channel map, or one TCP listener answering for every bound
+//! name).  A *multi-node* deployment — server shards and simulation
+//! groups on different machines, the paper's actual cluster shape —
+//! needs a rendezvous that outlives any one process: this module's
+//! **directory service**, a small TCP key→`host:port` store owned by the
+//! launcher.
+//!
+//! * [`Directory`] is the resolution trait every [`crate::tcp::TcpTransport`]
+//!   consults: `publish(name, addr)` when an endpoint binds,
+//!   `resolve(name)` when a peer connects, `renew()` as the liveness
+//!   lease heartbeat.
+//! * [`LocalDirectory`] is the in-process implementation: a plain map
+//!   with no leases (a process cannot outlive itself), used by
+//!   single-node TCP transports so their behaviour — and the statistics
+//!   of any study run over them — is bit-identically unchanged.
+//! * [`DirectoryServer`] hosts the store over TCP: one length-prefixed
+//!   request/reply protocol, with a [`LivenessTracker`] lease per name —
+//!   an entry whose owner stopped renewing expires and resolves as
+//!   *not found*, so crashed nodes cannot poison the name space.
+//! * [`DirectoryClient`] is the remote handle ([`Directory`] over a
+//!   persistent TCP connection): it remembers everything it published and
+//!   re-publishes on every renewal, so a restarted directory server
+//!   recovers its table from the next heartbeat round without any node
+//!   noticing.
+//!
+//! The directory address is seeded through the environment
+//! ([`DIRECTORY_ENV`], `MELISSA_DIRECTORY=host:port`) or the launcher
+//! handshake: the launcher binds the server, exports the address to every
+//! child process, and each node's transport does the rest.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use crate::codec::{get_str, get_u32, get_u8, put_str, read_frame, write_frame};
+use crate::heartbeat::LivenessTracker;
+
+/// Environment variable seeding the deployment's directory address
+/// (`host:port`), exported by the launcher to every child process.
+pub const DIRECTORY_ENV: &str = "MELISSA_DIRECTORY";
+
+/// Reads the deployment directory address from [`DIRECTORY_ENV`].
+pub fn directory_from_env() -> Option<String> {
+    std::env::var(DIRECTORY_ENV).ok().filter(|s| !s.is_empty())
+}
+
+/// Directory requests/replies are tiny (names and addresses).
+const MAX_DIR_FRAME: usize = 1 << 20;
+/// Dial/request deadline against a wedged directory.
+const DIR_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Request/reply op tags (wire stability).
+mod tag {
+    pub const PUBLISH: u8 = 1;
+    pub const RESOLVE: u8 = 2;
+    pub const UNPUBLISH: u8 = 3;
+    pub const RENEW: u8 = 4;
+    pub const LIST: u8 = 5;
+    pub const OK: u8 = 0;
+    pub const NOT_FOUND: u8 = 1;
+}
+
+/// Directory operation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// The directory could not be reached (or the connection died twice).
+    Io {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The directory answered with something undecodable.
+    Protocol {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectoryError::Io { detail } => write!(f, "directory unreachable: {detail}"),
+            DirectoryError::Protocol { detail } => {
+                write!(f, "directory protocol error: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
+
+/// Name-resolution service of one deployment.
+///
+/// Implementations are shared behind `Arc<dyn Directory>` by every
+/// transport of a node and must be usable from any thread.
+pub trait Directory: std::fmt::Debug + Send + Sync {
+    /// Publishes (or refreshes) `name → addr`, taking (or renewing) its
+    /// liveness lease.
+    fn publish(&self, name: &str, addr: &str) -> Result<(), DirectoryError>;
+
+    /// Resolves a name to the advertised `host:port` of the node that
+    /// published it; `None` when the name is unknown or its lease lapsed.
+    fn resolve(&self, name: &str) -> Result<Option<String>, DirectoryError>;
+
+    /// Withdraws a name (subsequent resolves fail).
+    fn unpublish(&self, name: &str) -> Result<(), DirectoryError>;
+
+    /// Renews the liveness lease of every name published through this
+    /// handle, by **re-publishing** name→address pairs — which is what
+    /// lets a restarted (state-less) directory server rebuild its table
+    /// from the next renewal round.
+    fn renew(&self) -> Result<(), DirectoryError>;
+
+    /// Where names are resolved (for error messages).
+    fn location(&self) -> String;
+
+    /// The remote directory address when resolution crosses the process
+    /// boundary; `None` for in-process resolution.
+    fn remote_addr(&self) -> Option<String> {
+        None
+    }
+}
+
+/// In-process [`Directory`]: a shared map with no leases.  This is the
+/// single-node implementation every `TcpTransport::new()` uses, keeping
+/// single-process deployments bit-identically unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct LocalDirectory {
+    entries: Arc<Mutex<HashMap<String, String>>>,
+}
+
+impl LocalDirectory {
+    /// Creates an empty in-process directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Directory for LocalDirectory {
+    fn publish(&self, name: &str, addr: &str) -> Result<(), DirectoryError> {
+        self.entries
+            .lock()
+            .insert(name.to_string(), addr.to_string());
+        Ok(())
+    }
+
+    fn resolve(&self, name: &str) -> Result<Option<String>, DirectoryError> {
+        Ok(self.entries.lock().get(name).cloned())
+    }
+
+    fn unpublish(&self, name: &str) -> Result<(), DirectoryError> {
+        self.entries.lock().remove(name);
+        Ok(())
+    }
+
+    fn renew(&self) -> Result<(), DirectoryError> {
+        Ok(()) // nothing expires in-process
+    }
+
+    fn location(&self) -> String {
+        "in-process".to_string()
+    }
+}
+
+struct DirState {
+    table: Mutex<HashMap<String, String>>,
+    lease: LivenessTracker<String>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl DirState {
+    // Every operation holds the table lock across its lease bookkeeping
+    // (lock order: table, then the tracker's internal lock), so a
+    // lease-lapse expiry can never interleave with a concurrent
+    // publish/renew — which could otherwise strand a live entry with no
+    // lease (immortal) or wipe a just-renewed one.
+
+    fn publish(&self, name: String, addr: String) {
+        let mut table = self.table.lock();
+        self.lease.record(name.clone());
+        table.insert(name, addr);
+    }
+
+    fn resolve(&self, name: &str) -> Option<String> {
+        let mut table = self.table.lock();
+        if self.lease.is_late(&name.to_string()) {
+            // Lease lapsed: the owning node is gone; expire the entry so
+            // nobody dials a dead address.
+            table.remove(name);
+            self.lease.forget(&name.to_string());
+            return None;
+        }
+        table.get(name).cloned()
+    }
+
+    fn unpublish(&self, name: &str) {
+        let mut table = self.table.lock();
+        table.remove(name);
+        self.lease.forget(&name.to_string());
+    }
+
+    /// Entries whose lease is still live (unsorted).
+    fn live_entries(&self) -> Vec<(String, String)> {
+        let table = self.table.lock();
+        table
+            .iter()
+            .filter(|(name, _)| !self.lease.is_late(name))
+            .map(|(n, a)| (n.clone(), a.clone()))
+            .collect()
+    }
+}
+
+/// The TCP key→`host:port` store of one deployment, typically owned by
+/// the launcher.  Accepts any number of concurrent clients; each name
+/// carries a liveness lease renewed by its publisher's heartbeat.
+pub struct DirectoryServer {
+    state: Arc<DirState>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for DirectoryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectoryServer")
+            .field("addr", &self.state.addr)
+            .finish()
+    }
+}
+
+impl DirectoryServer {
+    /// Binds the directory listener on `bind` (`host:port`, port 0 =
+    /// ephemeral) with the given lease timeout: a published name whose
+    /// owner stays silent longer than `lease` resolves as *not found*.
+    pub fn bind(bind: &str, lease: Duration) -> std::io::Result<DirectoryServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(DirState {
+            table: Mutex::new(HashMap::new()),
+            lease: LivenessTracker::new(lease),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_handle = std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if accept_state.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let conn_state = Arc::clone(&accept_state);
+                    std::thread::spawn(move || serve_directory_client(stream, conn_state));
+                }
+                Err(_) => {
+                    if accept_state.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        });
+        Ok(DirectoryServer {
+            state,
+            accept_handle: Mutex::new(Some(accept_handle)),
+        })
+    }
+
+    /// The listener's socket address (pass as `host:port` to every node).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Live entries (sorted), for launcher diagnostics and tests.
+    pub fn entries(&self) -> Vec<(String, String)> {
+        let mut v = self.state.live_entries();
+        v.sort();
+        v
+    }
+}
+
+impl Drop for DirectoryServer {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept thread so it observes the flag and exits.
+        let _ = TcpStream::connect_timeout(&self.state.addr, DIR_IO_TIMEOUT);
+        if let Some(h) = self.accept_handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One connected directory client: a persistent request/reply loop.
+fn serve_directory_client(mut stream: TcpStream, state: Arc<DirState>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let req = match read_frame(&mut stream, MAX_DIR_FRAME) {
+            Ok(Some(frame)) => frame,
+            _ => return, // clean EOF or broken client
+        };
+        // Re-check after the blocking read: a request that raced the
+        // shutdown must not be answered from the dead server's table
+        // (closing instead makes the client re-dial — and reach whoever
+        // owns the address now).
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let reply = match handle_request(&req, &state) {
+            Some(r) => r,
+            None => return, // undecodable request: drop the client
+        };
+        if write_frame(&mut stream, &reply).is_err() || stream.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Decodes and applies one request, returning the reply frame.
+fn handle_request(req: &[u8], state: &DirState) -> Option<Vec<u8>> {
+    let mut buf = Bytes::copy_from_slice(req);
+    let op = get_u8(&mut buf, "dir op").ok()?;
+    let mut reply = BytesMut::new();
+    match op {
+        tag::PUBLISH => {
+            let name = get_str(&mut buf, "name").ok()?;
+            let addr = get_str(&mut buf, "addr").ok()?;
+            state.publish(name, addr);
+            reply.put_u8(tag::OK);
+        }
+        tag::RESOLVE => {
+            let name = get_str(&mut buf, "name").ok()?;
+            match state.resolve(&name) {
+                Some(addr) => {
+                    reply.put_u8(tag::OK);
+                    put_str(&mut reply, &addr);
+                }
+                None => reply.put_u8(tag::NOT_FOUND),
+            }
+        }
+        tag::UNPUBLISH => {
+            let name = get_str(&mut buf, "name").ok()?;
+            state.unpublish(&name);
+            reply.put_u8(tag::OK);
+        }
+        tag::RENEW => {
+            let n = get_u32(&mut buf, "count").ok()?;
+            for _ in 0..n {
+                let name = get_str(&mut buf, "name").ok()?;
+                let addr = get_str(&mut buf, "addr").ok()?;
+                state.publish(name, addr);
+            }
+            reply.put_u8(tag::OK);
+        }
+        tag::LIST => {
+            let entries = state.live_entries();
+            reply.put_u8(tag::OK);
+            reply.put_u32_le(entries.len() as u32);
+            for (n, a) in entries {
+                put_str(&mut reply, &n);
+                put_str(&mut reply, &a);
+            }
+        }
+        _ => return None,
+    }
+    Some(reply.to_vec())
+}
+
+/// Remote [`Directory`] handle over one persistent TCP connection,
+/// reconnecting once per request on a broken wire (self-healing across
+/// directory restarts).
+#[derive(Debug)]
+pub struct DirectoryClient {
+    addr: String,
+    conn: Mutex<Option<TcpStream>>,
+    /// Everything published through this handle, re-published on every
+    /// [`Directory::renew`].
+    published: Mutex<HashMap<String, String>>,
+}
+
+/// Resolves `host:port` and dials with a deadline.
+fn dial(addr: &str) -> Result<TcpStream, DirectoryError> {
+    let io_err = |detail: String| DirectoryError::Io { detail };
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| io_err(format!("bad directory address '{addr}': {e}")))?
+        .next()
+        .ok_or_else(|| io_err(format!("directory address '{addr}' resolves to nothing")))?;
+    let stream = TcpStream::connect_timeout(&sock, DIR_IO_TIMEOUT)
+        .map_err(|e| io_err(format!("dialing directory {addr}: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| io_err(e.to_string()))?;
+    stream
+        .set_read_timeout(Some(DIR_IO_TIMEOUT))
+        .map_err(|e| io_err(e.to_string()))?;
+    Ok(stream)
+}
+
+impl DirectoryClient {
+    /// Connects to the directory at `addr` (`host:port`), failing fast
+    /// when it is unreachable.
+    pub fn connect(addr: &str) -> Result<DirectoryClient, DirectoryError> {
+        let client = DirectoryClient {
+            addr: addr.to_string(),
+            conn: Mutex::new(None),
+            published: Mutex::new(HashMap::new()),
+        };
+        *client.conn.lock() = Some(dial(addr)?);
+        Ok(client)
+    }
+
+    /// The directory's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One request/reply round, re-dialing once on a broken connection.
+    fn request(&self, req: &[u8]) -> Result<Bytes, DirectoryError> {
+        let mut guard = self.conn.lock();
+        for attempt in 0..2 {
+            if guard.is_none() {
+                *guard = Some(dial(&self.addr)?);
+            }
+            let stream = guard.as_mut().expect("just dialed");
+            let round = write_frame(stream, req)
+                .and_then(|()| stream.flush())
+                .and_then(|()| read_frame(stream, MAX_DIR_FRAME));
+            match round {
+                Ok(Some(reply)) => return Ok(Bytes::from(reply)),
+                Ok(None) | Err(_) if attempt == 0 => {
+                    // Stale connection (directory restarted): re-dial once.
+                    *guard = None;
+                }
+                Ok(None) => {
+                    return Err(DirectoryError::Io {
+                        detail: format!("directory {} closed the connection", self.addr),
+                    })
+                }
+                Err(e) => {
+                    *guard = None;
+                    return Err(DirectoryError::Io {
+                        detail: format!("directory {}: {e}", self.addr),
+                    });
+                }
+            }
+        }
+        unreachable!("two attempts always return")
+    }
+
+    fn expect_ok(&self, reply: Bytes, what: &'static str) -> Result<(), DirectoryError> {
+        let mut buf = reply;
+        match get_u8(&mut buf, what) {
+            Ok(tag::OK) => Ok(()),
+            _ => Err(DirectoryError::Protocol {
+                detail: format!("unexpected {what} reply"),
+            }),
+        }
+    }
+
+    /// Lists every live entry (sorted), for diagnostics.
+    pub fn list(&self) -> Result<Vec<(String, String)>, DirectoryError> {
+        let reply = self.request(&[tag::LIST])?;
+        let mut buf = reply;
+        let proto = |detail: String| DirectoryError::Protocol { detail };
+        if get_u8(&mut buf, "list status").map_err(|e| proto(e.to_string()))? != tag::OK {
+            return Err(proto("list rejected".into()));
+        }
+        let n = get_u32(&mut buf, "list count").map_err(|e| proto(e.to_string()))?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let name = get_str(&mut buf, "name").map_err(|e| proto(e.to_string()))?;
+            let addr = get_str(&mut buf, "addr").map_err(|e| proto(e.to_string()))?;
+            out.push((name, addr));
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+impl Directory for DirectoryClient {
+    fn publish(&self, name: &str, addr: &str) -> Result<(), DirectoryError> {
+        self.published
+            .lock()
+            .insert(name.to_string(), addr.to_string());
+        let mut req = BytesMut::new();
+        req.put_u8(tag::PUBLISH);
+        put_str(&mut req, name);
+        put_str(&mut req, addr);
+        let reply = self.request(&req)?;
+        self.expect_ok(reply, "publish")
+    }
+
+    fn resolve(&self, name: &str) -> Result<Option<String>, DirectoryError> {
+        let mut req = BytesMut::new();
+        req.put_u8(tag::RESOLVE);
+        put_str(&mut req, name);
+        let reply = self.request(&req)?;
+        let mut buf = reply;
+        match get_u8(&mut buf, "resolve status") {
+            Ok(tag::OK) => {
+                let addr = get_str(&mut buf, "addr").map_err(|e| DirectoryError::Protocol {
+                    detail: e.to_string(),
+                })?;
+                Ok(Some(addr))
+            }
+            Ok(tag::NOT_FOUND) => Ok(None),
+            _ => Err(DirectoryError::Protocol {
+                detail: "unexpected resolve reply".into(),
+            }),
+        }
+    }
+
+    fn unpublish(&self, name: &str) -> Result<(), DirectoryError> {
+        self.published.lock().remove(name);
+        let mut req = BytesMut::new();
+        req.put_u8(tag::UNPUBLISH);
+        put_str(&mut req, name);
+        let reply = self.request(&req)?;
+        self.expect_ok(reply, "unpublish")
+    }
+
+    fn renew(&self) -> Result<(), DirectoryError> {
+        let entries: Vec<(String, String)> = self
+            .published
+            .lock()
+            .iter()
+            .map(|(n, a)| (n.clone(), a.clone()))
+            .collect();
+        let mut req = BytesMut::new();
+        req.put_u8(tag::RENEW);
+        req.put_u32_le(entries.len() as u32);
+        for (n, a) in &entries {
+            put_str(&mut req, n);
+            put_str(&mut req, a);
+        }
+        let reply = self.request(&req)?;
+        self.expect_ok(reply, "renew")
+    }
+
+    fn location(&self) -> String {
+        format!("directory {}", self.addr)
+    }
+
+    fn remote_addr(&self) -> Option<String> {
+        Some(self.addr.clone())
+    }
+}
+
+/// Canonical endpoint names of a Melissa deployment.
+///
+/// A single-server deployment uses the unscoped names (`"server/main"`,
+/// `"server/0"`, …).  Sharded multi-server deployments prefix every
+/// endpoint of shard `k` with [`shard_scope`](names::shard_scope)`(k)`, so `N` full server
+/// instances coexist on one name space without collisions:
+/// `"shard0/server/main"`, `"shard0/server/0"`, `"shard1/server/0"`, ….
+/// The empty scope `""` maps to the unscoped single-server names, which
+/// keeps every pre-sharding deployment (and its wire traffic) unchanged.
+/// The same names key every resolution layer — the in-process channel
+/// map, a single node's TCP listener, and the deployment [`Directory`].
+pub mod names {
+    /// The scope prefix of shard `k` in a sharded deployment.
+    pub fn shard_scope(k: usize) -> String {
+        format!("shard{k}")
+    }
+
+    /// Prefixes `name` with `scope` (no-op for the empty scope).
+    pub fn scoped(scope: &str, name: &str) -> String {
+        if scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{scope}/{name}")
+        }
+    }
+
+    /// The server's connection/handshake endpoint (rank 0).
+    pub fn server_main() -> String {
+        server_main_in("")
+    }
+
+    /// The handshake endpoint of the server instance scoped by `scope`.
+    pub fn server_main_in(scope: &str) -> String {
+        scoped(scope, "server/main")
+    }
+
+    /// A server worker's data endpoint.
+    pub fn server_worker(w: usize) -> String {
+        server_worker_in("", w)
+    }
+
+    /// Worker `w`'s data endpoint of the server instance scoped by `scope`.
+    pub fn server_worker_in(scope: &str, w: usize) -> String {
+        scoped(scope, &format!("server/{w}"))
+    }
+
+    /// The launcher's control endpoint (server reports, heartbeats).
+    pub fn launcher() -> String {
+        launcher_in("")
+    }
+
+    /// The launcher inbox dedicated to the server instance scoped by
+    /// `scope` (per-shard control channels keep shard reports apart).
+    pub fn launcher_in(scope: &str) -> String {
+        scoped(scope, "launcher")
+    }
+
+    /// A group's reply endpoint for the connection handshake.
+    pub fn group_reply(group_id: u64, instance: u32) -> String {
+        group_reply_in("", group_id, instance)
+    }
+
+    /// A group's handshake reply endpoint toward the server instance
+    /// scoped by `scope`.
+    pub fn group_reply_in(scope: &str, group_id: u64, instance: u32) -> String {
+        scoped(scope, &format!("group/{group_id}/{instance}/reply"))
+    }
+
+    /// The launcher's collection endpoint draining shard `k`'s packed
+    /// worker states at study end (the multi-node reduction inbox).
+    pub fn collect_in(k: usize) -> String {
+        format!("collect/shard{k}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_directory_publish_resolve_unpublish() {
+        let d = LocalDirectory::new();
+        assert_eq!(d.resolve("a").unwrap(), None);
+        d.publish("a", "127.0.0.1:5000").unwrap();
+        assert_eq!(d.resolve("a").unwrap(), Some("127.0.0.1:5000".into()));
+        d.unpublish("a").unwrap();
+        assert_eq!(d.resolve("a").unwrap(), None);
+        assert_eq!(d.location(), "in-process");
+        assert_eq!(d.remote_addr(), None);
+    }
+
+    #[test]
+    fn server_round_trip_over_tcp() {
+        let server = DirectoryServer::bind("127.0.0.1:0", Duration::from_secs(30)).unwrap();
+        let addr = server.local_addr().to_string();
+        let client = DirectoryClient::connect(&addr).unwrap();
+        client.publish("server/0", "10.0.0.7:9000").unwrap();
+        assert_eq!(
+            client.resolve("server/0").unwrap(),
+            Some("10.0.0.7:9000".into())
+        );
+        assert_eq!(client.resolve("server/1").unwrap(), None);
+        assert_eq!(
+            client.list().unwrap(),
+            vec![("server/0".to_string(), "10.0.0.7:9000".to_string())]
+        );
+        client.unpublish("server/0").unwrap();
+        assert_eq!(client.resolve("server/0").unwrap(), None);
+        assert_eq!(client.remote_addr(), Some(addr));
+    }
+
+    #[test]
+    fn two_clients_share_one_name_space() {
+        let server = DirectoryServer::bind("127.0.0.1:0", Duration::from_secs(30)).unwrap();
+        let addr = server.local_addr().to_string();
+        let publisher = DirectoryClient::connect(&addr).unwrap();
+        let resolver = DirectoryClient::connect(&addr).unwrap();
+        publisher.publish("x", "1.2.3.4:1").unwrap();
+        assert_eq!(resolver.resolve("x").unwrap(), Some("1.2.3.4:1".into()));
+    }
+
+    #[test]
+    fn lapsed_lease_expires_the_entry() {
+        let server = DirectoryServer::bind("127.0.0.1:0", Duration::from_millis(50)).unwrap();
+        let client = DirectoryClient::connect(&server.local_addr().to_string()).unwrap();
+        client.publish("dying", "1.2.3.4:1").unwrap();
+        assert_eq!(client.resolve("dying").unwrap(), Some("1.2.3.4:1".into()));
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(
+            client.resolve("dying").unwrap(),
+            None,
+            "silent publisher kept its name"
+        );
+        assert!(server.entries().is_empty());
+    }
+
+    #[test]
+    fn renew_keeps_the_lease_alive_and_republishes() {
+        let server = DirectoryServer::bind("127.0.0.1:0", Duration::from_millis(80)).unwrap();
+        let client = DirectoryClient::connect(&server.local_addr().to_string()).unwrap();
+        client.publish("kept", "1.2.3.4:1").unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(40));
+            client.renew().unwrap();
+        }
+        assert_eq!(
+            client.resolve("kept").unwrap(),
+            Some("1.2.3.4:1".into()),
+            "renewal did not keep the lease"
+        );
+    }
+
+    #[test]
+    fn client_redials_after_a_directory_restart() {
+        // Bind, connect, kill the server, restart on the SAME port: the
+        // client's next request must transparently re-dial, and renewal
+        // must repopulate the fresh server's table.  Re-binding a
+        // just-freed ephemeral port can race other tests grabbing
+        // ephemeral ports, so the whole scenario retries on bind failure.
+        for attempt in 0..5 {
+            let server = DirectoryServer::bind("127.0.0.1:0", Duration::from_secs(30)).unwrap();
+            let addr = server.local_addr().to_string();
+            let client = DirectoryClient::connect(&addr).unwrap();
+            client.publish("p", "5.6.7.8:2").unwrap();
+            drop(server);
+            let server2 = match DirectoryServer::bind(&addr, Duration::from_secs(30)) {
+                Ok(s) => s,
+                Err(_) if attempt < 4 => continue, // port stolen: retry
+                Err(e) => panic!("could not re-bind the directory port: {e}"),
+            };
+            // The fresh server knows nothing yet.
+            assert_eq!(client.resolve("p").unwrap(), None);
+            // One renewal round restores everything this client published.
+            client.renew().unwrap();
+            assert_eq!(client.resolve("p").unwrap(), Some("5.6.7.8:2".into()));
+            drop(server2);
+            return;
+        }
+    }
+
+    #[test]
+    fn unreachable_directory_fails_fast() {
+        // A port nobody listens on (bind + drop frees it).
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        assert!(matches!(
+            DirectoryClient::connect(&addr),
+            Err(DirectoryError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn directory_env_round_trip() {
+        // Avoid polluting other tests: use a scoped fake via direct parse.
+        assert_eq!(DIRECTORY_ENV, "MELISSA_DIRECTORY");
+    }
+
+    #[test]
+    fn canonical_names_are_stable() {
+        assert_eq!(names::server_main(), "server/main");
+        assert_eq!(names::server_worker(3), "server/3");
+        assert_eq!(names::group_reply(7, 2), "group/7/2/reply");
+        assert_eq!(names::collect_in(2), "collect/shard2");
+    }
+
+    #[test]
+    fn scoped_names_prefix_the_shard_and_empty_scope_is_legacy() {
+        let scope = names::shard_scope(2);
+        assert_eq!(scope, "shard2");
+        assert_eq!(names::server_main_in(&scope), "shard2/server/main");
+        assert_eq!(names::server_worker_in(&scope, 3), "shard2/server/3");
+        assert_eq!(names::launcher_in(&scope), "shard2/launcher");
+        assert_eq!(
+            names::group_reply_in(&scope, 7, 2),
+            "shard2/group/7/2/reply"
+        );
+        assert_eq!(names::server_main_in(""), names::server_main());
+        assert_eq!(names::server_worker_in("", 5), names::server_worker(5));
+        assert_eq!(names::launcher_in(""), names::launcher());
+        assert_eq!(names::group_reply_in("", 1, 0), names::group_reply(1, 0));
+    }
+}

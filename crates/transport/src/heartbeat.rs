@@ -65,6 +65,21 @@ impl<K: Eq + Hash + Clone> LivenessTracker<K> {
         self.expired_at(Instant::now())
     }
 
+    /// Whether one tracked peer is late as of `now` (untracked peers are
+    /// never late).  This is the per-key lease check the directory
+    /// service uses on every resolve.
+    pub fn is_late_at(&self, peer: &K, now: Instant) -> bool {
+        self.last_seen
+            .lock()
+            .get(peer)
+            .is_some_and(|&seen| now.duration_since(seen) > self.timeout)
+    }
+
+    /// Whether one tracked peer is currently late.
+    pub fn is_late(&self, peer: &K) -> bool {
+        self.is_late_at(peer, Instant::now())
+    }
+
     /// Number of tracked peers.
     pub fn tracked(&self) -> usize {
         self.last_seen.lock().len()

@@ -25,51 +25,65 @@
 //!
 //! ## Backend matrix
 //!
-//! | backend | module | data path | name registry | use |
+//! | backend | module | data path | name resolution | use |
 //! |---|---|---|---|---|
 //! | [`ChannelTransport`] | [`registry`] | bounded in-process channels | in-process map | single-process studies, tests, the reference semantics |
-//! | [`TcpTransport`] | [`tcp`] | real `std::net` loopback sockets, length-prefixed frames, one writer/reader thread per connection | single listener, any number of named endpoints | multi-process data path; the stepping stone to multi-node |
+//! | [`TcpTransport`] (single node) | [`tcp`] | real `std::net` loopback sockets, length-prefixed frames, one writer/reader thread per connection | in-process [`LocalDirectory`] | multi-process data path on one machine |
+//! | [`TcpTransport`] (node) | [`tcp`] + [`directory`] | same sockets, one listener **per node**, endpoint demux in the handshake, self-healing links | deployment [`DirectoryServer`] (TCP key→`host:port` store with liveness leases) | multi-node deployments: shards, groups and launcher as separate processes on separate machines |
 //!
-//! Both backends run every link through the same bounded HWM queues
+//! Every backend runs every link through the same bounded HWM queues
 //! ([`endpoint::channel`]), so blocking behaviour and its telemetry are
-//! identical; a seeded study produces bit-identical statistics over
-//! either.  [`TransportKind`] + [`make_transport`] select a backend at
+//! identical; a seeded study produces bit-identical statistics over any
+//! of them.  [`TransportKind`] + [`make_transport`] select a backend at
 //! configuration time.
 //!
-//! ## Endpoint naming and sharded deployments
+//! ## Endpoint naming and name resolution
 //!
 //! Endpoint names are opaque strings with a canonical scheme in
-//! [`registry::names`].  Single-server deployments use the unscoped
+//! [`directory::names`].  Single-server deployments use the unscoped
 //! names (`"server/main"`, `"server/<w>"`, `"launcher"`); a sharded
 //! multi-server study prefixes every endpoint of shard `k` with
-//! `"shard<k>/"` ([`registry::names::shard_scope`]), so `N` complete
+//! `"shard<k>/"` ([`directory::names::shard_scope`]), so `N` complete
 //! server instances — handshake endpoint, worker data endpoints and a
-//! per-shard launcher control inbox — coexist on **one** transport of
-//! either backend without collisions.
+//! per-shard launcher control inbox — coexist in **one** name space
+//! without collisions.
 //!
-//! ## Wire framing (TCP backend)
+//! Resolution is a [`Directory`]: in-process for single-node transports,
+//! or the deployment's [`DirectoryServer`] — seeded through the
+//! launcher handshake or the [`DIRECTORY_ENV`] environment variable
+//! (`MELISSA_DIRECTORY=host:port`) — for multi-node ones, where every
+//! `bind` publishes `scoped-name → advertised host:port` under a
+//! liveness lease and every `connect` resolves before dialing.
+//!
+//! ## Wire framing and self-healing links (TCP backend)
 //!
 //! Frames cross the socket as a little-endian `u32` length prefix plus
 //! payload; the payload is an opaque, already-[`codec`]-encoded message.
-//! The connection handshake reuses the codec helpers: one frame carrying
-//! `put_str(endpoint name)` out, one frame carrying a status byte and the
-//! endpoint's HWM back.  See [`tcp`] for the full contract, including
-//! what remains for multi-node deployment.
+//! The connection handshake carries the endpoint name (the per-node
+//! listener's demux key), the link id, and returns the endpoint's HWM
+//! plus the link's resume cursor.  Established multi-node links survive
+//! real connection loss: reconnect-with-backoff, idempotent
+//! re-handshake, exactly-once resume, with the [`Sender::flush`]
+//! delivery barrier holding across the failure.  See [`tcp`] for the
+//! full contract.
 //!
 //! ## Supporting modules
 //!
 //! * [`codec`] — length-checked little-endian binary encode/decode over
-//!   [`bytes`] (wire messages and checkpoints);
-//! * [`heartbeat`] — timeout-based liveness tracking (fault detection);
+//!   [`bytes`] (wire messages, checkpoints, and the frame stream
+//!   helpers every TCP protocol here shares);
+//! * [`heartbeat`] — timeout-based liveness tracking (fault detection
+//!   and the directory's per-name leases);
 //! * [`faults`] — deterministic fault injection ([`FaultySender`]
 //!   implements [`Sender`], so kills, drops and stragglers compose with
-//!   any backend).
+//!   any backend, including the directory-resolved self-healing path).
 //!
 //! The protocol messages themselves live in the `melissa` core crate; this
 //! crate only moves opaque frames.
 
 pub mod api;
 pub mod codec;
+pub mod directory;
 pub mod endpoint;
 pub mod faults;
 pub mod heartbeat;
@@ -80,8 +94,12 @@ pub use api::{
     make_transport, BoxReceiver, BoxSender, ConnectError, Disconnected, LinkStatsSnapshot,
     Receiver, RecvTimeoutError, SendTimeoutError, Sender, Transport, TransportKind, TryRecvError,
 };
+pub use directory::{
+    directory_from_env, Directory, DirectoryClient, DirectoryError, DirectoryServer,
+    LocalDirectory, DIRECTORY_ENV,
+};
 pub use endpoint::{channel, ChannelReceiver, Frame, HwmSender, LinkStats};
 pub use faults::{FaultPolicy, FaultySender, KillSwitch};
 pub use heartbeat::LivenessTracker;
 pub use registry::ChannelTransport;
-pub use tcp::TcpTransport;
+pub use tcp::{TcpTransport, TcpTransportConfig};

@@ -115,72 +115,11 @@ impl Transport for ChannelTransport {
     }
 }
 
-/// Canonical endpoint names of a Melissa deployment.
-///
-/// A single-server deployment uses the unscoped names (`"server/main"`,
-/// `"server/0"`, …).  Sharded multi-server deployments prefix every
-/// endpoint of shard `k` with [`shard_scope`](names::shard_scope)`(k)`, so `N` full server
-/// instances coexist on one transport without name collisions:
-/// `"shard0/server/main"`, `"shard0/server/0"`, `"shard1/server/0"`, ….
-/// The empty scope `""` maps to the unscoped single-server names, which
-/// keeps every pre-sharding deployment (and its wire traffic) unchanged.
-pub mod names {
-    /// The scope prefix of shard `k` in a sharded deployment.
-    pub fn shard_scope(k: usize) -> String {
-        format!("shard{k}")
-    }
-
-    /// Prefixes `name` with `scope` (no-op for the empty scope).
-    pub fn scoped(scope: &str, name: &str) -> String {
-        if scope.is_empty() {
-            name.to_string()
-        } else {
-            format!("{scope}/{name}")
-        }
-    }
-
-    /// The server's connection/handshake endpoint (rank 0).
-    pub fn server_main() -> String {
-        server_main_in("")
-    }
-
-    /// The handshake endpoint of the server instance scoped by `scope`.
-    pub fn server_main_in(scope: &str) -> String {
-        scoped(scope, "server/main")
-    }
-
-    /// A server worker's data endpoint.
-    pub fn server_worker(w: usize) -> String {
-        server_worker_in("", w)
-    }
-
-    /// Worker `w`'s data endpoint of the server instance scoped by `scope`.
-    pub fn server_worker_in(scope: &str, w: usize) -> String {
-        scoped(scope, &format!("server/{w}"))
-    }
-
-    /// The launcher's control endpoint (server reports, heartbeats).
-    pub fn launcher() -> String {
-        launcher_in("")
-    }
-
-    /// The launcher inbox dedicated to the server instance scoped by
-    /// `scope` (per-shard control channels keep shard reports apart).
-    pub fn launcher_in(scope: &str) -> String {
-        scoped(scope, "launcher")
-    }
-
-    /// A group's reply endpoint for the connection handshake.
-    pub fn group_reply(group_id: u64, instance: u32) -> String {
-        group_reply_in("", group_id, instance)
-    }
-
-    /// A group's handshake reply endpoint toward the server instance
-    /// scoped by `scope`.
-    pub fn group_reply_in(scope: &str, group_id: u64, instance: u32) -> String {
-        scoped(scope, &format!("group/{group_id}/{instance}/reply"))
-    }
-}
+// The canonical endpoint-name scheme lives in `crate::directory::names`
+// (re-exported here for one release as `names` used to live in this
+// module): naming belongs to the resolution layer, which since the
+// multi-node refactor is the directory service, not this backend.
+pub use crate::directory::names;
 
 #[cfg(test)]
 mod tests {
@@ -285,32 +224,6 @@ mod tests {
         t.unbind("data");
         let stats = t.link_stats();
         assert_eq!(stats[0].1.messages, 3, "unbind dropped history");
-    }
-
-    #[test]
-    fn canonical_names_are_stable() {
-        assert_eq!(names::server_main(), "server/main");
-        assert_eq!(names::server_worker(3), "server/3");
-        assert_eq!(names::group_reply(7, 2), "group/7/2/reply");
-    }
-
-    #[test]
-    fn scoped_names_prefix_the_shard_and_empty_scope_is_legacy() {
-        let scope = names::shard_scope(2);
-        assert_eq!(scope, "shard2");
-        assert_eq!(names::server_main_in(&scope), "shard2/server/main");
-        assert_eq!(names::server_worker_in(&scope, 3), "shard2/server/3");
-        assert_eq!(names::launcher_in(&scope), "shard2/launcher");
-        assert_eq!(
-            names::group_reply_in(&scope, 7, 2),
-            "shard2/group/7/2/reply"
-        );
-        // The empty scope resolves to the single-server wire names, so
-        // sharding changes nothing for existing deployments.
-        assert_eq!(names::server_main_in(""), names::server_main());
-        assert_eq!(names::server_worker_in("", 5), names::server_worker(5));
-        assert_eq!(names::launcher_in(""), names::launcher());
-        assert_eq!(names::group_reply_in("", 1, 0), names::group_reply(1, 0));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The TCP backend: real `std::net` sockets behind the [`Transport`]
-//! trait.
+//! trait, from single-process loopback to multi-node deployments.
 //!
 //! This is the paper's actual deployment shape — ZeroMQ over the cluster
 //! interconnect — rebuilt on the standard library (the container is
@@ -10,9 +10,10 @@
 //!   `u32` length prefix followed by the payload bytes (the payload itself
 //!   is already a [`codec`](crate::codec)-encoded protocol message).  The
 //!   connection handshake reuses the codec helpers: the client sends one
-//!   frame containing `put_str(endpoint name)`, the acceptor replies with
-//!   one frame containing a status byte (`0` = bound, `1` = not found)
-//!   followed by the endpoint's high-water mark as a `u32`.
+//!   frame containing `put_str(endpoint name)` plus its 64-bit **link id**,
+//!   the acceptor replies with one frame containing a status byte
+//!   (`0` = bound, `1` = not found), the endpoint's high-water mark as a
+//!   `u32`, and the link's **resume cursor** (see below).
 //! * **HWM backpressure** — each link runs through *two* bounded HWM
 //!   queues, one per side, mirroring ZeroMQ's "communications only become
 //!   blocking when both buffers are full": the sender buffers into a
@@ -22,34 +23,56 @@
 //!   fills, the reader stops reading, TCP flow control fills the socket
 //!   buffers, the writer blocks, the send queue fills — and `send` blocks
 //!   with the same [`LinkStats`] time accounting as in-process.
-//! * **Connect-before-bind** — a connection naming an unbound endpoint is
-//!   answered with *not found* and closed; [`Transport::connect_retry`]
-//!   turns that into a bounded-retry rendezvous, so simulation groups can
-//!   be scheduled before the server finishes binding.
+//! * **Connect-before-bind** — a name that does not resolve (or resolves
+//!   to a node where the endpoint is not bound) fails with a retryable
+//!   error; [`Transport::connect_retry`] turns that into a bounded-retry
+//!   rendezvous, so simulation groups can be scheduled before the server
+//!   finishes binding.
 //! * **Rebind on restart** — binding a name again swaps the registry
 //!   entry: new connections reach the new queue, old connections keep
-//!   feeding the old queue until its receiver is dropped, after which
-//!   their reader threads close the socket and the remote sender observes
-//!   a clean disconnect error ([`Disconnected`] on the next send).
+//!   feeding the old queue until its receiver is dropped.
 //!
-//! Endpoint names are opaque strings, so one listener serves any number
-//! of *logical* deployments at once: a sharded study binds `N` complete
-//! server instances under shard-scoped names
-//! (`"shard<k>/server/main"`, `"shard<k>/server/<w>"`, … — see
-//! [`registry::names`](crate::registry::names)) on a single transport,
-//! and every shard's data and control links coexist without collisions.
+//! ## One listener per node, names resolved through the directory
 //!
-//! The name *registry* itself still lives in one process (the listener
-//! answers for every bound name).  Multi-node deployment needs the
-//! registry lifted out of the process — a seed-address handshake or a
-//! launcher-side directory service — plus one listener per node; the
-//! trait surface and the shard-scoped naming scheme already carry
-//! everything those need.
+//! One [`TcpTransport`] is one **node**: a single listener serving every
+//! endpoint the node binds, with the endpoint *name* demultiplexed in the
+//! connection handshake.  Name → `host:port` resolution goes through the
+//! node's [`Directory`]:
+//!
+//! * [`TcpTransport::new`] (single-node) resolves through an in-process
+//!   [`LocalDirectory`] — every name maps to the node's own loopback
+//!   listener, which is bit-identically the pre-multi-node behaviour;
+//! * a transport built with [`TcpTransportConfig::node`] publishes every
+//!   `bind` as `scoped-name → advertised host:port` to the deployment's
+//!   [`DirectoryServer`](crate::directory::DirectoryServer) under a
+//!   liveness lease (renewed by a background heartbeat), and resolves
+//!   every `connect` through it — so server shards, simulation groups and
+//!   the launcher can live in different processes on different machines.
+//!
+//! ## Self-healing links (exactly-once resume)
+//!
+//! Established links survive real connection loss.  Every link carries a
+//! process-unique **link id**; the receiving node keeps, per
+//! `(endpoint, link id)`, an **ingest cursor** — how many data frames of
+//! that link it has pushed into the endpoint's queue — and acknowledges
+//! the cursor on a back channel (every few frames and on every flush
+//! barrier).  The writer thread keeps every unacknowledged
+//! frame; when the socket dies it re-resolves the name through the
+//! directory, re-dials with **bounded exponential backoff**, re-handshakes
+//! idempotently (the reply carries the receiver's cursor), retransmits
+//! exactly the frames the receiver has not ingested, and re-arms any
+//! outstanding flush barrier.  Result: a killed connection mid-study
+//! delivers **every frame exactly once**, in order, and the
+//! [`Sender::flush`] delivery barrier holds across the failure — which is
+//! what keeps a seeded study's statistics bit-identical with and without
+//! the fault.  Reconnection is disabled (`reconnect_timeout = 0`) for
+//! single-node transports, whose "connection loss" only ever means the
+//! peer endpoint is gone for good.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -61,7 +84,8 @@ use crate::api::{
     BoxReceiver, BoxSender, ConnectError, Disconnected, FlushError, LinkStatsSnapshot,
     SendTimeoutError, Sender, Transport,
 };
-use crate::codec::{get_str, get_u32, get_u8, put_str};
+use crate::codec::{get_str, get_u32, get_u64, get_u8, put_str, read_frame, write_frame};
+use crate::directory::{Directory, DirectoryClient, LocalDirectory};
 use crate::endpoint::{channel, Frame, HwmSender, LinkStats};
 
 /// Handshake frames (endpoint names) are small.
@@ -78,14 +102,22 @@ const STATUS_NOT_FOUND: u8 = 1;
 
 /// Wire-level flush barrier: a length prefix of `u32::MAX` (no payload)
 /// asks the acceptor — who has by then pushed every earlier frame into
-/// the ingest queue — to answer with one [`FLUSH_ACK`] byte.
+/// the ingest queue — to acknowledge its ingest cursor.
 const FLUSH_REQUEST: u32 = u32::MAX;
-/// The acceptor's one-byte flush acknowledgement.
-const FLUSH_ACK: u8 = 0xA5;
-/// How long the writer thread waits for a flush ack before declaring the
-/// link dead (generous: the acceptor may be ingesting a backlog under
-/// backpressure first).
-const FLUSH_ACK_TIMEOUT: Duration = Duration::from_secs(60);
+/// Back-channel cursor acknowledgement: one tag byte plus the cursor as
+/// a little-endian `u64`.
+const ACK_TAG: u8 = 0xA5;
+/// The acceptor volunteers a cursor ack every this many data frames, so
+/// the sender's retransmit buffer stays bounded without per-frame acks.
+const ACK_INTERVAL: u64 = 32;
+/// Reconnect backoff ceiling (the floor is 5 ms, doubling per attempt).
+const RECONNECT_BACKOFF_MAX: Duration = Duration::from_millis(250);
+/// How long a dark link's ingest cursor survives before the resume GC
+/// sweeps it.  Must comfortably exceed any peer's `reconnect_timeout` —
+/// a client that comes back later than this resumes from cursor 0 and
+/// would re-deliver its unacknowledged tail (its own reconnect deadline
+/// kills the link long before that can happen).
+const RESUME_RETENTION: Duration = Duration::from_secs(300);
 
 /// In-band queue marker for a flush request: a process-wide singleton
 /// whose clones share one backing allocation, recognised by *pointer
@@ -103,60 +135,234 @@ fn is_flush_marker(frame: &Frame) -> bool {
     frame.len() == marker.len() && frame.as_ptr() == marker.as_ptr()
 }
 
+/// Configuration of one node's TCP transport.
+#[derive(Debug, Clone)]
+pub struct TcpTransportConfig {
+    /// Listener bind address, `host:port` (port 0 = ephemeral).
+    pub bind: String,
+    /// Host published to the directory (defaults to the bind host — set
+    /// it when the node binds a wildcard or sits behind another address).
+    pub advertise_host: Option<String>,
+    /// Deployment directory address (`host:port`); `None` resolves every
+    /// name in-process (single-node semantics).
+    pub directory: Option<String>,
+    /// Liveness-lease renewal period toward a remote directory.
+    pub lease_renew: Duration,
+    /// How long a broken established link keeps re-resolving, re-dialing
+    /// and resuming before declaring itself dead.  Zero disables
+    /// reconnection (single-node semantics: a broken link *is* a dead
+    /// peer).
+    pub reconnect_timeout: Duration,
+}
+
+impl TcpTransportConfig {
+    /// Single-node loopback configuration (the [`TcpTransport::new`]
+    /// defaults): ephemeral loopback listener, in-process resolution, no
+    /// reconnection.
+    pub fn local() -> Self {
+        Self {
+            bind: "127.0.0.1:0".to_string(),
+            advertise_host: None,
+            directory: None,
+            lease_renew: Duration::from_secs(2),
+            reconnect_timeout: Duration::ZERO,
+        }
+    }
+
+    /// Multi-node configuration: loopback-bound ephemeral listener (set
+    /// [`bind`](Self::bind)/[`advertise_host`](Self::advertise_host) for
+    /// a real interface), names published to and resolved through the
+    /// directory at `directory`, links self-heal for 20 s.
+    pub fn node(directory: &str) -> Self {
+        Self {
+            bind: "127.0.0.1:0".to_string(),
+            advertise_host: None,
+            directory: Some(directory.to_string()),
+            lease_renew: Duration::from_secs(2),
+            reconnect_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        Self::local()
+    }
+}
+
+/// Per-link ingest cursor on the receiving node, shared by every
+/// connection generation of one `(endpoint, link id)`.
+#[derive(Debug, Default)]
+struct ResumeSlot {
+    /// Bumped by each (re-)handshake of the link; a serving thread whose
+    /// generation is stale has been *fenced* by a newer connection and
+    /// must stop without ingesting further frames.
+    generation: AtomicU64,
+    /// Data frames of this link pushed into the ingest queue, guarded so
+    /// a re-handshake reads a cursor no in-flight push can outrun (the
+    /// push happens while the lock is held).
+    ingested: Mutex<u64>,
+    /// When the link went dark (its last serving thread exited with no
+    /// successor); `None` while a connection serves it.  Slots dark for
+    /// longer than [`RESUME_RETENTION`] are swept at the endpoint's next
+    /// handshake, so the resume map cannot grow with every link an
+    /// elastic endpoint ever served.
+    retired_at: Mutex<Option<Instant>>,
+}
+
 struct Endpoint {
     ingest: HwmSender,
     hwm: u32,
+    /// Ingest cursors per link id (exactly-once resume).
+    resume: Mutex<HashMap<u64, Arc<ResumeSlot>>>,
 }
 
 struct TcpInner {
     addr: SocketAddr,
+    /// `host:port` published to the directory for every bound name.
+    advertised: String,
+    directory: Arc<dyn Directory>,
     endpoints: Mutex<HashMap<String, Endpoint>>,
     /// Send-side stats of every link ever connected, for the rollup.
     links: Mutex<Vec<(String, Arc<LinkStats>)>>,
+    /// Live serving-side connections (endpoint name, token, stream) —
+    /// the handle [`TcpTransport::sever_connections`] cuts.
+    serving: Mutex<Vec<(String, u64, TcpStream)>>,
+    /// Links re-established by this node's senders (shared with the
+    /// writer threads, which can outlive the transport handle).
+    reconnects: Arc<AtomicU64>,
+    reconnect_timeout: Duration,
     shutdown: AtomicBool,
 }
 
-/// Real-socket [`Transport`] over a loopback listener.
+/// Real-socket [`Transport`]: one listener per node, endpoint demux in
+/// the handshake, name resolution through the node's directory.
 ///
-/// One instance is one deployment's rendezvous: it owns the listener, the
-/// accept thread, and the name registry.  Shared behind
+/// One instance is one node of a deployment.  Shared behind
 /// `Arc<dyn Transport>`; dropping the last handle shuts the listener down
 /// (established links drain and close as their endpoints drop).
 pub struct TcpTransport {
     inner: Arc<TcpInner>,
     accept_handle: Mutex<Option<JoinHandle<()>>>,
+    /// Dropping this stops the lease-renewal heartbeat.
+    _lease_stop: Option<crossbeam::channel::Sender<()>>,
 }
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
             .field("addr", &self.inner.addr)
+            .field("advertised", &self.inner.advertised)
+            .field("directory", &self.inner.directory.location())
             .finish()
     }
 }
 
 impl TcpTransport {
-    /// Binds the loopback listener and starts the accept thread.
+    /// Binds a single-node loopback listener with in-process name
+    /// resolution and starts the accept thread (the pre-multi-node
+    /// behaviour, bit-identical).
     pub fn new() -> std::io::Result<TcpTransport> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::with_config(TcpTransportConfig::local())
+    }
+
+    /// Builds a node from an explicit configuration: binds the listener,
+    /// connects the directory client (when configured), starts the accept
+    /// thread and the lease-renewal heartbeat.
+    pub fn with_config(config: TcpTransportConfig) -> std::io::Result<TcpTransport> {
+        let listener = TcpListener::bind(&config.bind)?;
         let addr = listener.local_addr()?;
+        let advertise_host = match &config.advertise_host {
+            Some(h) => h.clone(),
+            None => match config.bind.rsplit_once(':') {
+                Some((host, _)) if !host.is_empty() => host.to_string(),
+                _ => addr.ip().to_string(),
+            },
+        };
+        let advertised = format!("{advertise_host}:{}", addr.port());
+        let directory: Arc<dyn Directory> = match &config.directory {
+            Some(dir) => Arc::new(DirectoryClient::connect(dir).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e.to_string())
+            })?),
+            None => Arc::new(LocalDirectory::new()),
+        };
         let inner = Arc::new(TcpInner {
             addr,
+            advertised,
+            directory,
             endpoints: Mutex::new(HashMap::new()),
             links: Mutex::new(Vec::new()),
+            serving: Mutex::new(Vec::new()),
+            reconnects: Arc::new(AtomicU64::new(0)),
+            reconnect_timeout: config.reconnect_timeout,
             shutdown: AtomicBool::new(false),
         });
         let accept_inner = Arc::clone(&inner);
         let accept_handle = std::thread::spawn(move || accept_loop(listener, accept_inner));
+        // The lease heartbeat keeps every published name alive in the
+        // remote directory — and, because renewals re-publish the
+        // name→address pairs, repopulates a restarted directory.
+        let lease_stop = if inner.directory.remote_addr().is_some() {
+            let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+            let dir = Arc::clone(&inner.directory);
+            let period = config.lease_renew;
+            std::thread::spawn(move || loop {
+                match stop_rx.recv_timeout(period) {
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        let _ = dir.renew();
+                    }
+                    _ => return,
+                }
+            });
+            Some(stop_tx)
+        } else {
+            None
+        };
         Ok(TcpTransport {
             inner,
             accept_handle: Mutex::new(Some(accept_handle)),
+            _lease_stop: lease_stop,
         })
     }
 
-    /// The listener's socket address (loopback, ephemeral port).
+    /// The listener's socket address.
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.addr
+    }
+
+    /// The `host:port` this node publishes to the directory.
+    pub fn advertised_addr(&self) -> &str {
+        &self.inner.advertised
+    }
+
+    /// Links this node's senders re-established after a connection loss.
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Severs every established serving-side connection into `name` —
+    /// deterministic link-failure injection (a "network partition" at one
+    /// endpoint) for reconnect tests and the multi-node example.  Returns
+    /// the number of connections cut.
+    pub fn sever_connections(&self, name: &str) -> usize {
+        let serving = self.inner.serving.lock();
+        let mut n = 0;
+        for (ep, _, stream) in serving.iter() {
+            if ep == name {
+                let _ = stream.shutdown(Shutdown::Both);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Severs every established serving-side connection on this node.
+    pub fn sever_all_connections(&self) -> usize {
+        let serving = self.inner.serving.lock();
+        for (_, _, stream) in serving.iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        serving.len()
     }
 }
 
@@ -172,6 +378,28 @@ impl Drop for TcpTransport {
     }
 }
 
+/// Process-unique link id: a time/pid nonce mixed per connection, so
+/// links from different OS processes can never collide on one endpoint's
+/// resume cursors.
+fn next_link_id() -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    static NONCE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nonce = *NONCE.get_or_init(|| {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos() as u64;
+        mix(t ^ ((std::process::id() as u64) << 32))
+    });
+    mix(nonce.wrapping_add(COUNTER.fetch_add(1, Ordering::Relaxed)))
+}
+
 impl Transport for TcpTransport {
     fn bind(&self, name: &str, hwm: usize) -> BoxReceiver {
         let (ingest, rx) = channel(hwm);
@@ -180,8 +408,13 @@ impl Transport for TcpTransport {
             Endpoint {
                 ingest,
                 hwm: hwm as u32,
+                resume: Mutex::new(HashMap::new()),
             },
         );
+        // Publish scoped-name → this node.  Best effort: the lease
+        // heartbeat re-publishes on every renewal, so a transient
+        // directory outage only delays visibility.
+        let _ = self.inner.directory.publish(name, &self.inner.advertised);
         Box::new(rx)
     }
 
@@ -191,41 +424,40 @@ impl Transport for TcpTransport {
                 detail: "transport is shut down".into(),
             });
         }
-        let io_err = |e: std::io::Error| ConnectError::Io {
-            detail: e.to_string(),
-        };
-        let mut stream =
-            TcpStream::connect_timeout(&self.inner.addr, HANDSHAKE_TIMEOUT).map_err(io_err)?;
-        stream.set_nodelay(true).map_err(io_err)?;
-        stream
-            .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
-            .map_err(io_err)?;
-
-        // Handshake: name out, status (+ HWM) back.
-        let mut hello = BytesMut::new();
-        put_str(&mut hello, name);
-        write_frame(&mut stream, &hello).map_err(io_err)?;
-        let reply = match read_frame(&mut stream, MAX_HANDSHAKE_FRAME).map_err(io_err)? {
-            Some(frame) => frame,
-            None => {
+        let addr = match self.inner.directory.resolve(name) {
+            Ok(Some(addr)) => addr,
+            Ok(None) => {
+                return Err(match self.inner.directory.remote_addr() {
+                    // A remote directory that does not know the name: the
+                    // caller dialled a name nobody published (mis-scoped
+                    // endpoint, or the owner's lease lapsed).
+                    Some(directory) => ConnectError::NameNotFound {
+                        name: name.to_string(),
+                        directory,
+                    },
+                    None => ConnectError::NotFound {
+                        name: name.to_string(),
+                    },
+                });
+            }
+            Err(e) => {
                 return Err(ConnectError::Io {
-                    detail: "acceptor closed during handshake".into(),
+                    detail: format!("resolving '{name}': {e}"),
                 })
             }
         };
-        let mut buf = reply;
-        let status = get_u8(&mut buf, "handshake status").map_err(|e| ConnectError::Io {
-            detail: e.to_string(),
-        })?;
-        if status != STATUS_OK {
-            return Err(ConnectError::NotFound {
-                name: name.to_string(),
-            });
-        }
-        let hwm = get_u32(&mut buf, "handshake hwm").map_err(|e| ConnectError::Io {
-            detail: e.to_string(),
-        })? as usize;
-        stream.set_read_timeout(None).map_err(io_err)?;
+        let link_id = next_link_id();
+        let (stream, hwm, _resume) = match dial_handshake(&addr, name, link_id) {
+            Ok(ok) => ok,
+            Err(DialError::NotFound) => {
+                // Stale directory entry (endpoint unbound or node
+                // restarting): retryable, like connect-before-bind.
+                return Err(ConnectError::NotFound {
+                    name: name.to_string(),
+                });
+            }
+            Err(DialError::Io(detail)) => return Err(ConnectError::Io { detail }),
+        };
 
         // The send-side bounded HWM queue, drained by the writer thread.
         let (tx, rx) = channel(hwm.max(1));
@@ -233,14 +465,22 @@ impl Transport for TcpTransport {
             .links
             .lock()
             .push((name.to_string(), Arc::clone(tx.stats())));
-        let coord = Arc::new(FlushCoord::default());
-        let writer_coord = Arc::clone(&coord);
-        std::thread::spawn(move || writer_loop(stream, rx, writer_coord));
-        Ok(Box::new(TcpSender { queue: tx, coord }))
+        let shared = Arc::new(LinkShared::default());
+        let core = Arc::new(LinkCore {
+            name: name.to_string(),
+            link_id,
+            directory: Arc::clone(&self.inner.directory),
+            reconnect_timeout: self.inner.reconnect_timeout,
+            reconnects: Arc::clone(&self.inner.reconnects),
+        });
+        let writer_shared = Arc::clone(&shared);
+        std::thread::spawn(move || writer_loop(stream, rx, writer_shared, core));
+        Ok(Box::new(TcpSender { queue: tx, shared }))
     }
 
     fn unbind(&self, name: &str) {
         self.inner.endpoints.lock().remove(name);
+        let _ = self.inner.directory.unpublish(name);
     }
 
     fn bound_names(&self) -> Vec<String> {
@@ -250,7 +490,9 @@ impl Transport for TcpTransport {
     }
 
     /// Sums the send-side stats of every connection per endpoint name
-    /// (bound-but-never-connected endpoints report zeros).
+    /// (bound-but-never-connected endpoints report zeros).  A node only
+    /// sees the links *it* opened — in a multi-node deployment each node
+    /// reports its own outbound telemetry, summed by the launcher.
     fn link_stats(&self) -> Vec<(String, LinkStatsSnapshot)> {
         let mut rollup: BTreeMap<String, LinkStatsSnapshot> = self
             .inner
@@ -269,37 +511,110 @@ impl Transport for TcpTransport {
     }
 
     fn backend_name(&self) -> &'static str {
-        "tcp"
+        if self.inner.directory.remote_addr().is_some() {
+            "tcp-node"
+        } else {
+            "tcp"
+        }
     }
 }
 
-/// Flush-barrier bookkeeping shared by one link's sender clones and its
-/// writer thread.
+/// Everything a writer thread needs to re-establish its link.
+struct LinkCore {
+    name: String,
+    link_id: u64,
+    directory: Arc<dyn Directory>,
+    reconnect_timeout: Duration,
+    /// The owning transport's reconnect counter.
+    reconnects: Arc<AtomicU64>,
+}
+
+/// Progress state shared by one link's sender clones, its writer thread
+/// and the per-connection ack readers.
 #[derive(Debug, Default)]
-struct FlushCoord {
-    /// Serialises epoch assignment with marker enqueueing, so epoch order
-    /// equals queue order even with concurrent flushers.
+struct LinkShared {
+    /// Serialises flush-epoch assignment with marker enqueueing, so epoch
+    /// order equals queue order even with concurrent flushers.
     enqueue: std::sync::Mutex<u64>,
-    progress: std::sync::Mutex<FlushProgress>,
+    progress: std::sync::Mutex<ProgressState>,
     cv: std::sync::Condvar,
 }
 
 #[derive(Debug, Default)]
-struct FlushProgress {
-    /// Markers the writer has round-tripped through the acceptor.
+struct ProgressState {
+    /// Receiver-acknowledged ingest cursor (monotonic across reconnects).
     acked: u64,
-    /// The writer thread exited (socket dead or link closed).
+    /// Highest flush epoch whose barrier has been confirmed.
+    flush_done: u64,
+    /// Outstanding flush barriers: `(epoch, data-seq target)`, both
+    /// nondecreasing (markers are dequeued in enqueue order).
+    pending_flush: VecDeque<(u64, u64)>,
+    /// Connection generation (bumped per (re)connect; stale ack readers
+    /// cannot mark a newer connection broken).
+    conn_gen: u64,
+    /// The current connection broke; the writer should heal or die.
+    broken: bool,
+    /// The link is permanently dead.
     dead: bool,
 }
 
-impl FlushCoord {
-    /// Writer side: one marker answered.
-    fn ack_one(&self) {
-        self.progress.lock().unwrap().acked += 1;
+impl LinkShared {
+    /// Receiver acked its cursor: prune satisfied flush barriers.
+    fn absorb_ack(&self, count: u64) {
+        let mut p = self.progress.lock().unwrap();
+        p.acked = p.acked.max(count);
+        while let Some(&(epoch, target)) = p.pending_flush.front() {
+            if target <= p.acked {
+                p.pending_flush.pop_front();
+                p.flush_done = p.flush_done.max(epoch);
+            } else {
+                break;
+            }
+        }
         self.cv.notify_all();
     }
 
-    /// Writer side: the link is dead; fail all waiting flushes.
+    /// Writer side: a flush marker with `target` data frames before it.
+    fn push_pending(&self, epoch: u64, target: u64) {
+        let mut p = self.progress.lock().unwrap();
+        if target <= p.acked {
+            p.flush_done = p.flush_done.max(epoch);
+        } else {
+            p.pending_flush.push_back((epoch, target));
+        }
+        self.cv.notify_all();
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.progress.lock().unwrap().pending_flush.is_empty()
+    }
+
+    fn acked(&self) -> u64 {
+        self.progress.lock().unwrap().acked
+    }
+
+    /// Registers a new connection generation and clears the broken flag.
+    fn new_conn(&self) -> u64 {
+        let mut p = self.progress.lock().unwrap();
+        p.conn_gen += 1;
+        p.broken = false;
+        p.conn_gen
+    }
+
+    /// Ack-reader side: connection `gen` died.
+    fn mark_broken(&self, gen: u64) {
+        let mut p = self.progress.lock().unwrap();
+        if p.conn_gen == gen {
+            p.broken = true;
+        }
+        self.cv.notify_all();
+    }
+
+    fn is_broken(&self) -> bool {
+        self.progress.lock().unwrap().broken
+    }
+
+    /// Writer side: the link is dead for good; fail all waiting flushes.
     fn mark_dead(&self) {
         self.progress.lock().unwrap().dead = true;
         self.cv.notify_all();
@@ -307,12 +622,12 @@ impl FlushCoord {
 }
 
 /// Sending half of one TCP link: a bounded HWM queue whose drain side is
-/// the connection's writer thread.  Clones share the queue and its stats,
+/// the link's writer thread.  Clones share the queue and its stats,
 /// exactly like in-process sender clones.
 #[derive(Debug, Clone)]
 struct TcpSender {
     queue: HwmSender,
-    coord: Arc<FlushCoord>,
+    shared: Arc<LinkShared>,
 }
 
 impl Sender for TcpSender {
@@ -325,12 +640,15 @@ impl Sender for TcpSender {
     }
 
     /// Rides an in-band marker through the send queue, the socket and the
-    /// acceptor: when the ack comes back, every frame sent before this
-    /// call sits in the endpoint's ingest queue.
+    /// acceptor: when the receiver's cursor ack covers every data frame
+    /// sent before this call, they all sit in the endpoint's ingest
+    /// queue.  The barrier survives a connection loss — the healed link
+    /// retransmits the unacknowledged tail and re-arms the barrier — so
+    /// the flush ordering contract holds across link failures.
     fn flush(&self, timeout: Duration) -> Result<(), FlushError> {
         let deadline = Instant::now() + timeout;
         let epoch = {
-            let mut next = self.coord.enqueue.lock().unwrap();
+            let mut next = self.shared.enqueue.lock().unwrap();
             // The marker is uncounted (telemetry stays data-only) but
             // HWM-blocking: a flush on a full link waits its turn — up to
             // the same deadline the ack wait honours, so `flush(timeout)`
@@ -344,9 +662,9 @@ impl Sender for TcpSender {
             *next += 1;
             *next
         };
-        let mut progress = self.coord.progress.lock().unwrap();
+        let mut progress = self.shared.progress.lock().unwrap();
         loop {
-            if progress.acked >= epoch {
+            if progress.flush_done >= epoch {
                 return Ok(());
             }
             if progress.dead {
@@ -356,7 +674,7 @@ impl Sender for TcpSender {
             if left.is_zero() {
                 return Err(FlushError::Timeout);
             }
-            let (guard, _) = self.coord.cv.wait_timeout(progress, left).unwrap();
+            let (guard, _) = self.shared.cv.wait_timeout(progress, left).unwrap();
             progress = guard;
         }
     }
@@ -396,9 +714,14 @@ fn accept_loop(listener: TcpListener, inner: Arc<TcpInner>) {
     }
 }
 
-/// Per-connection acceptor: handshake, then pump frames into the bound
-/// endpoint's ingest queue until EOF, I/O error, or endpoint drop.
+/// Per-connection acceptor: handshake (endpoint demux + resume cursor),
+/// then pump frames into the bound endpoint's ingest queue — advancing
+/// and periodically acknowledging the link's cursor — until EOF, I/O
+/// error, endpoint drop, or a newer connection of the same link fences
+/// this one.
 fn serve_connection(mut stream: TcpStream, inner: Arc<TcpInner>) {
+    static SERVE_TOKEN: AtomicU64 = AtomicU64::new(0);
+
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).is_err() {
         return;
@@ -407,143 +730,408 @@ fn serve_connection(mut stream: TcpStream, inner: Arc<TcpInner>) {
         Ok(Some(frame)) => frame,
         _ => return,
     };
-    let mut buf = hello;
+    let mut buf = Bytes::from(hello);
     let name = match get_str(&mut buf, "endpoint name") {
         Ok(n) => n,
         Err(_) => return,
     };
+    let link_id = match get_u64(&mut buf, "link id") {
+        Ok(id) => id,
+        Err(_) => return,
+    };
 
-    let ingest = {
+    let (ingest, hwm, slot) = {
         let endpoints = inner.endpoints.lock();
         match endpoints.get(&name) {
             Some(ep) => {
-                let mut reply = BytesMut::with_capacity(5);
-                reply.put_u8(STATUS_OK);
-                reply.put_u32_le(ep.hwm);
-                let ingest = ep.ingest.clone();
-                drop(endpoints);
-                if write_frame(&mut stream, &reply).is_err() {
-                    return;
-                }
-                ingest
+                let mut resume = ep.resume.lock();
+                // Opportunistic GC: drop cursors of links that have been
+                // dark longer than any sane reconnect window, so an
+                // elastic endpoint's resume map stays proportional to
+                // its *live* links, not to every link it ever served.
+                let now = Instant::now();
+                resume.retain(|_, s| {
+                    s.retired_at
+                        .lock()
+                        .is_none_or(|t| now.duration_since(t) < RESUME_RETENTION)
+                });
+                let slot = Arc::clone(resume.entry(link_id).or_default());
+                *slot.retired_at.lock() = None; // this link is live again
+                (ep.ingest.clone(), ep.hwm, slot)
             }
             None => {
                 drop(endpoints);
-                // Connect-before-bind: report "not yet" and close; the
-                // client's bounded retry loop tries again.
+                // Connect-before-bind (or a stale directory entry):
+                // report "not here" and close; the client's bounded
+                // retry loop tries again.
                 let _ = write_frame(&mut stream, &[STATUS_NOT_FOUND]);
                 return;
             }
         }
     };
-    if stream.set_read_timeout(None).is_err() {
+
+    // Fence any earlier serving thread of this link, then read the
+    // cursor: the lock orders us after any in-flight ingest push, so the
+    // cursor we reply can never under-report what reached the queue.
+    let my_gen = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    // Marks the link dark for the resume GC — only while we still own
+    // the newest generation (a reconnected successor is the live owner).
+    let retire = |slot: &ResumeSlot| {
+        if slot.generation.load(Ordering::SeqCst) == my_gen {
+            *slot.retired_at.lock() = Some(Instant::now());
+        }
+    };
+    let resume = *slot.ingested.lock();
+    let mut reply = BytesMut::with_capacity(13);
+    reply.put_u8(STATUS_OK);
+    reply.put_u32_le(hwm);
+    reply.put_u64_le(resume);
+    if write_frame(&mut stream, &reply).is_err() || stream.set_read_timeout(None).is_err() {
+        retire(&slot);
         return;
     }
 
+    // Register for `sever_connections`, deregister on exit.
+    let token = SERVE_TOKEN.fetch_add(1, Ordering::Relaxed);
+    if let Ok(handle) = stream.try_clone() {
+        inner.serving.lock().push((name.clone(), token, handle));
+    }
+    let ack_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            inner.serving.lock().retain(|(_, t, _)| *t != token);
+            retire(&slot);
+            return;
+        }
+    };
+
     let mut reader = BufReader::with_capacity(64 * 1024, stream);
+    let mut since_ack: u64 = 0;
     loop {
         match read_frame_or_flush(&mut reader, MAX_DATA_FRAME) {
             Ok(Some(WireItem::Frame(frame))) => {
                 // Blocking push into the bounded ingest queue: this stall
-                // is the receiver-side half of the HWM backpressure chain.
-                if ingest.send(frame).is_err() {
-                    // Endpoint receiver gone (stop, crash, or rebind with
-                    // the old receiver dropped): close so the remote
-                    // sender observes a disconnect.
-                    let _ = reader.get_ref().shutdown(Shutdown::Both);
-                    return;
+                // is the receiver-side half of the HWM backpressure
+                // chain.  The cursor lock is held across the push so the
+                // count a re-handshake reads always covers it.
+                let pushed = {
+                    let mut cursor = slot.ingested.lock();
+                    // Stop without counting when fenced by a reconnected
+                    // link's newer connection, or when the endpoint
+                    // receiver is gone (stop/crash/rebind).
+                    if slot.generation.load(Ordering::SeqCst) != my_gen
+                        || ingest.send(frame).is_err()
+                    {
+                        None
+                    } else {
+                        *cursor += 1;
+                        Some(*cursor)
+                    }
+                };
+                match pushed {
+                    Some(count) => {
+                        since_ack += 1;
+                        if since_ack >= ACK_INTERVAL {
+                            since_ack = 0;
+                            if send_ack(&ack_half, count).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    None => break,
                 }
             }
             Ok(Some(WireItem::FlushRequest)) => {
                 // Every earlier frame has been pushed into the ingest
-                // queue by now (the loop above is synchronous), so the
-                // barrier holds: acknowledge on the back channel.
-                let mut back = reader.get_ref();
-                if back.write_all(&[FLUSH_ACK]).is_err() || back.flush().is_err() {
-                    return;
+                // queue by now (the loop above is synchronous), so acking
+                // the cursor is exactly the delivery barrier.
+                since_ack = 0;
+                let count = *slot.ingested.lock();
+                if send_ack(&ack_half, count).is_err() {
+                    break;
                 }
             }
-            Ok(None) | Err(_) => return, // clean EOF or broken link
+            Ok(None) | Err(_) => break, // clean EOF or broken link
         }
     }
+    let _ = reader.get_ref().shutdown(Shutdown::Both);
+    inner.serving.lock().retain(|(_, t, _)| *t != token);
+    retire(&slot);
+}
+
+/// Writes one cursor ack on the connection's back channel.
+fn send_ack(mut stream: &TcpStream, count: u64) -> std::io::Result<()> {
+    let mut buf = [0u8; 9];
+    buf[0] = ACK_TAG;
+    buf[1..9].copy_from_slice(&count.to_le_bytes());
+    stream.write_all(&buf)?;
+    stream.flush()
+}
+
+/// Link dial/handshake failure.
+enum DialError {
+    /// The node answered, but the endpoint is not bound there.
+    NotFound,
+    /// Socket-level failure.
+    Io(String),
+}
+
+/// Dials `addr` and handshakes `(name, link_id)`, returning the stream,
+/// the endpoint's HWM and the receiver's resume cursor for this link.
+/// Idempotent: re-running it for the same link simply fences the earlier
+/// connection and reports how far the receiver got.
+fn dial_handshake(
+    addr: &str,
+    name: &str,
+    link_id: u64,
+) -> Result<(TcpStream, usize, u64), DialError> {
+    let io_err = |detail: String| DialError::Io(detail);
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| io_err(format!("bad address '{addr}': {e}")))?
+        .next()
+        .ok_or_else(|| io_err(format!("address '{addr}' resolves to nothing")))?;
+    let mut stream =
+        TcpStream::connect_timeout(&sock, HANDSHAKE_TIMEOUT).map_err(|e| io_err(e.to_string()))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| io_err(e.to_string()))?;
+    stream
+        .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+        .map_err(|e| io_err(e.to_string()))?;
+
+    let mut hello = BytesMut::new();
+    put_str(&mut hello, name);
+    hello.put_u64_le(link_id);
+    write_frame(&mut stream, &hello).map_err(|e| io_err(e.to_string()))?;
+    let reply =
+        match read_frame(&mut stream, MAX_HANDSHAKE_FRAME).map_err(|e| io_err(e.to_string()))? {
+            Some(frame) => frame,
+            None => return Err(io_err("acceptor closed during handshake".into())),
+        };
+    let mut buf = Bytes::from(reply);
+    let status = get_u8(&mut buf, "handshake status").map_err(|e| io_err(e.to_string()))?;
+    if status != STATUS_OK {
+        return Err(DialError::NotFound);
+    }
+    let hwm = get_u32(&mut buf, "handshake hwm").map_err(|e| io_err(e.to_string()))? as usize;
+    let resume = get_u64(&mut buf, "resume cursor").map_err(|e| io_err(e.to_string()))?;
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| io_err(e.to_string()))?;
+    Ok((stream, hwm, resume))
+}
+
+/// One live socket of a link: the buffered write half plus the raw stream
+/// (for shutdown).  Creating one spawns its ack reader.
+struct Conn {
+    stream: TcpStream,
+    out: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn start(stream: TcpStream, shared: &Arc<LinkShared>) -> Option<Conn> {
+        let gen = shared.new_conn();
+        let read_half = stream.try_clone().ok()?;
+        let write_half = stream.try_clone().ok()?;
+        let reader_shared = Arc::clone(shared);
+        std::thread::spawn(move || ack_reader(read_half, reader_shared, gen));
+        Some(Conn {
+            stream,
+            out: BufWriter::with_capacity(64 * 1024, write_half),
+        })
+    }
+
+    fn kill(&mut self) {
+        let _ = self.out.flush();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Drains cursor acks from the back channel into the link progress;
+/// flags the connection broken when the socket dies.
+fn ack_reader(stream: TcpStream, shared: Arc<LinkShared>, gen: u64) {
+    let mut r = BufReader::with_capacity(256, stream);
+    let mut buf = [0u8; 9];
+    loop {
+        match r.read_exact(&mut buf) {
+            Ok(()) if buf[0] == ACK_TAG => {
+                shared.absorb_ack(u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes")));
+            }
+            _ => break,
+        }
+    }
+    shared.mark_broken(gen);
 }
 
 /// Connection writer thread: drains the send-side HWM queue to the
-/// socket, round-tripping flush markers through the acceptor.
-fn writer_loop(stream: TcpStream, rx: crate::endpoint::ChannelReceiver, coord: Arc<FlushCoord>) {
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => {
-            coord.mark_dead();
+/// socket, keeping every unacknowledged frame for retransmission, and
+/// heals the link (resolve → dial → idempotent re-handshake → resume)
+/// with bounded backoff when the connection breaks.
+fn writer_loop(
+    stream: TcpStream,
+    rx: crate::endpoint::ChannelReceiver,
+    shared: Arc<LinkShared>,
+    core: Arc<LinkCore>,
+) {
+    let mut conn = match Conn::start(stream, &shared) {
+        Some(c) => c,
+        None => {
+            shared.mark_dead();
             return;
         }
     };
-    let mut out = BufWriter::with_capacity(64 * 1024, write_half);
-    loop {
-        // Batch: drain whatever is queued, then flush before blocking.
-        let frame = match rx.try_recv() {
-            Ok(f) => f,
-            Err(crate::api::TryRecvError::Empty) => {
-                if out.flush().is_err() {
-                    break;
-                }
-                match rx.recv() {
-                    Ok(f) => f,
-                    Err(_) => break, // all sender clones dropped: done
-                }
-            }
-            Err(crate::api::TryRecvError::Disconnected) => break,
-        };
-        if is_flush_marker(&frame) {
-            // Barrier: push the wire request out and wait for the
-            // acceptor's ack before touching the queue again.
-            if out.write_all(&FLUSH_REQUEST.to_le_bytes()).is_err() || out.flush().is_err() {
-                break;
-            }
-            let _ = stream.set_read_timeout(Some(FLUSH_ACK_TIMEOUT));
-            let mut ack = [0u8; 1];
-            match (&stream).read_exact(&mut ack) {
-                Ok(()) if ack[0] == FLUSH_ACK => coord.ack_one(),
-                _ => break, // dead or misbehaving peer
+    // Data frames handed to any socket so far (the link's send cursor).
+    let mut seq: u64 = 0;
+    // Flush markers dequeued so far (equals the senders' epoch counter).
+    let mut epoch: u64 = 0;
+    // Sent-but-unacknowledged frames, oldest first.
+    let mut unacked: VecDeque<(u64, Frame)> = VecDeque::new();
+
+    'link: loop {
+        // Drop frames the receiver has acknowledged.
+        let acked = shared.acked();
+        while unacked.front().is_some_and(|&(s, _)| s <= acked) {
+            unacked.pop_front();
+        }
+        // Heal a connection the ack reader (or an earlier write) found
+        // broken — even while the queue is idle, so an outstanding flush
+        // barrier can complete without waiting for new traffic.
+        if shared.is_broken() {
+            if !reconnect(&mut conn, &mut unacked, &shared, &core) {
+                break 'link;
             }
             continue;
         }
-        if write_frame(&mut out, &frame).is_err() {
-            // Broken socket: dropping `rx` makes every queued/future send
-            // on this link fail with `Disconnected`.
-            break;
+        // Batch: drain whatever is queued, then flush before blocking.
+        // On a self-healing link the block is a bounded poll, so a
+        // broken connection interrupts an idle link within one tick;
+        // with reconnection disabled there is nothing to heal and the
+        // writer blocks for free (breakage still surfaces at the next
+        // write or flush, the single-node contract).
+        let frame = match rx.try_recv() {
+            Ok(f) => f,
+            Err(crate::api::TryRecvError::Empty) => {
+                if conn.out.flush().is_err() {
+                    if !reconnect(&mut conn, &mut unacked, &shared, &core) {
+                        break 'link;
+                    }
+                    continue;
+                }
+                if core.reconnect_timeout.is_zero() {
+                    match rx.recv() {
+                        Ok(f) => f,
+                        Err(_) => break 'link,
+                    }
+                } else {
+                    match rx.recv_timeout(Duration::from_millis(25)) {
+                        Ok(f) => f,
+                        Err(crate::api::RecvTimeoutError::Timeout) => continue 'link,
+                        Err(crate::api::RecvTimeoutError::Disconnected) => break 'link,
+                    }
+                }
+            }
+            Err(crate::api::TryRecvError::Disconnected) => break 'link, // senders gone
+        };
+        if is_flush_marker(&frame) {
+            // Barrier: everything up to `seq` must reach the ingest
+            // queue.  Register first so a concurrent ack (or a reconnect
+            // resume) can satisfy it, then request the receiver's cursor.
+            epoch += 1;
+            shared.push_pending(epoch, seq);
+            let sent = conn.out.write_all(&FLUSH_REQUEST.to_le_bytes()).is_ok()
+                && conn.out.flush().is_ok();
+            if !sent && !reconnect(&mut conn, &mut unacked, &shared, &core) {
+                break 'link;
+            }
+            continue;
+        }
+        seq += 1;
+        unacked.push_back((seq, frame.clone()));
+        if write_frame(&mut conn.out, &frame).is_err()
+            && !reconnect(&mut conn, &mut unacked, &shared, &core)
+        {
+            break 'link;
         }
     }
-    let _ = out.flush();
-    let _ = stream.shutdown(Shutdown::Both);
-    coord.mark_dead();
+    conn.kill();
+    shared.mark_dead();
 }
 
-/// Writes one length-prefixed frame.
-fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)
+/// Re-establishes a broken link: resolve the name through the directory,
+/// dial and re-handshake (idempotently — the reply carries the receiver's
+/// cursor), retransmit exactly the unacknowledged tail, re-arm any
+/// outstanding flush barrier.  Exponential backoff from 5 ms up to
+/// [`RECONNECT_BACKOFF_MAX`], bounded overall by the transport's
+/// `reconnect_timeout` (zero = reconnection disabled).
+fn reconnect(
+    conn: &mut Conn,
+    unacked: &mut VecDeque<(u64, Frame)>,
+    shared: &Arc<LinkShared>,
+    core: &Arc<LinkCore>,
+) -> bool {
+    conn.kill();
+    if core.reconnect_timeout.is_zero() {
+        return false;
+    }
+    let deadline = Instant::now() + core.reconnect_timeout;
+    let mut backoff = Duration::from_millis(5);
+    loop {
+        let attempt = core
+            .directory
+            .resolve(&core.name)
+            .ok()
+            .flatten()
+            .and_then(|addr| dial_handshake(&addr, &core.name, core.link_id).ok());
+        if let Some((stream, _hwm, resume)) = attempt {
+            // The receiver's cursor is authoritative: everything at or
+            // below it arrived (possibly via an ack that never reached
+            // us), and satisfies any flush barrier it covers.
+            shared.absorb_ack(resume);
+            let acked = shared.acked();
+            while unacked.front().is_some_and(|&(s, _)| s <= acked) {
+                unacked.pop_front();
+            }
+            if let Some(mut fresh) = Conn::start(stream, shared) {
+                let mut ok = true;
+                for (_, frame) in unacked.iter() {
+                    if write_frame(&mut fresh.out, frame).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                // One re-armed barrier covers every outstanding flush:
+                // after the retransmitted tail, the receiver's cursor
+                // reaches the link's send cursor, past all targets.
+                if ok && shared.has_pending() {
+                    ok = fresh.out.write_all(&FLUSH_REQUEST.to_le_bytes()).is_ok();
+                }
+                if ok {
+                    ok = fresh.out.flush().is_ok();
+                }
+                if ok {
+                    *conn = fresh;
+                    core.reconnects.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                fresh.kill();
+            }
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return false;
+        }
+        std::thread::sleep(backoff.min(left));
+        backoff = (backoff * 2).min(RECONNECT_BACKOFF_MAX);
+    }
 }
 
 /// One decoded wire element on an established connection.
 enum WireItem {
     /// An opaque data frame for the endpoint's ingest queue.
     Frame(Bytes),
-    /// The sender's flush barrier asking for an ack.
+    /// The sender's flush barrier asking for a cursor ack.
     FlushRequest,
-}
-
-/// Reads one length-prefixed frame; `None` on clean EOF at a frame
-/// boundary.
-fn read_frame<R: Read>(r: &mut R, cap: usize) -> std::io::Result<Option<Bytes>> {
-    match read_frame_or_flush(r, cap)? {
-        None => Ok(None),
-        Some(WireItem::Frame(b)) => Ok(Some(b)),
-        Some(WireItem::FlushRequest) => Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "unexpected flush request during handshake",
-        )),
-    }
 }
 
 /// Reads one length-prefixed frame or a flush request; `None` on clean
@@ -673,7 +1261,8 @@ mod tests {
             b"after restart"
         );
         // The old link dies cleanly: its reader saw the dropped receiver
-        // and closed the socket, so sends fail once the writer notices.
+        // and closed the socket, so sends fail once the writer notices
+        // (single-node transports do not reconnect).
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
             match tx1.send(frame(b"zombie")) {
@@ -821,5 +1410,13 @@ mod tests {
             },
             "listener still alive after drop"
         );
+    }
+
+    #[test]
+    fn link_ids_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(next_link_id()), "link id collision");
+        }
     }
 }

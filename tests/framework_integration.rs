@@ -138,3 +138,59 @@ fn adaptive_early_stop_cancels_groups() {
         output.report.groups_finished
     );
 }
+
+#[test]
+fn quantile_step_early_stop_cancels_groups() {
+    let mut config = StudyConfig::tiny();
+    config.n_groups = 24;
+    config.max_concurrent_groups = 2;
+    // A loose quantile-step target: after the first completed groups the
+    // widest possible next Robbins–Monro step (range-scaled) is well
+    // below the field range, so the order-statistics signal converges
+    // quickly — mirroring the CI-width early stop.
+    config.target_quantile_step = Some(5.0);
+    config.checkpoint_dir = std::env::temp_dir().join("melissa-root-qstep-adaptive");
+
+    let output = Study::new(config).run().expect("study failed");
+    assert!(output.report.early_stopped, "expected quantile early stop");
+    assert!(
+        output.report.groups_finished < 24,
+        "early stop should have cancelled pending groups (finished {})",
+        output.report.groups_finished
+    );
+    assert!(
+        output.report.final_max_quantile_step.is_finite(),
+        "final quantile signal must be known at stop time"
+    );
+    // The per-probability steps pair with the tracked probabilities and
+    // the slowest estimate is the scalar signal's source.
+    assert_eq!(
+        output.report.final_quantile_steps.len(),
+        output.report.quantile_probs.len()
+    );
+    let slowest = output
+        .report
+        .final_quantile_steps
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b));
+    assert!(slowest <= output.report.final_max_quantile_step * (1.0 + 1e-12));
+}
+
+#[test]
+fn both_targets_stop_on_the_slower_signal() {
+    // With an unreachable CI target alongside a loose quantile target,
+    // the study must NOT stop early: both configured signals gate.
+    let mut config = StudyConfig::tiny();
+    config.n_groups = 6;
+    config.max_concurrent_groups = 2;
+    config.target_ci_width = Some(1e-12); // unreachable
+    config.target_quantile_step = Some(1e9); // trivially reached
+    config.checkpoint_dir = std::env::temp_dir().join("melissa-root-dual-target");
+
+    let output = Study::new(config).run().expect("study failed");
+    assert!(
+        !output.report.early_stopped,
+        "an unreachable CI target must hold the study to completion"
+    );
+    assert_eq!(output.report.groups_finished, 6);
+}

@@ -18,6 +18,10 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use melissa::server::checkpoint::{read_checkpoint, write_checkpoint};
+use melissa::server::state::WorkerState;
+use melissa::{GroupRouter, RoutingTable};
+use melissa_mesh::SlabPartition;
 use melissa_transport::{
     make_transport, Directory, DirectoryClient, DirectoryServer, TcpTransport, TcpTransportConfig,
     Transport, TransportKind,
@@ -136,11 +140,78 @@ fn bench_reconnect(c: &mut Criterion) {
     g.finish();
 }
 
+/// The live-rebalancing primitives, measured in isolation:
+///
+/// * `fence` — raise a routing epoch (override map + epoch bump), publish
+///   the fenced table through a live directory server, and fetch it back
+///   from a peer: the full epoch-propagation path every migration pays
+///   once per fence.
+/// * `migrate_group` — the per-group drain-and-move state machine: one
+///   in-flight frame lands, the source worker bans the group (flush
+///   barrier: drop partial assemblies, freeze the completion floor), the
+///   target worker adopts the floor.
+/// * `rehome_shard` — the dead-shard adoption codec: serialize a worker
+///   state to its checkpoint and read it back as the adopter does when a
+///   permanently killed shard re-homes.
+fn bench_rebalance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_rebalance");
+    g.sample_size(7);
+
+    let server =
+        DirectoryServer::bind("127.0.0.1:0", Duration::from_secs(60)).expect("directory listener");
+    let client = DirectoryClient::connect(&server.local_addr().to_string()).expect("client");
+    let base = GroupRouter::new(4, 0x6d65_6c69_7373_6121);
+    let routing = RoutingTable::new(base);
+    let moves: Vec<(u64, usize)> = (0..4u64).map(|gid| (gid, 4)).collect();
+    g.bench_function("fence", |b| {
+        b.iter(|| {
+            routing.fence(&moves);
+            routing.publish(&client).expect("publish");
+            RoutingTable::fetch(&client, base)
+                .expect("fetch")
+                .expect("a fence was published")
+        })
+    });
+
+    const N_CELLS: usize = 4096;
+    let partition = SlabPartition::new(N_CELLS, 1);
+    let slab = partition.worker_range(0);
+    let mk = || WorkerState::with_stats(0, slab, 6, 10, &[0.5], &[]);
+    let (mut source, mut target) = (mk(), mk());
+    let frame = vec![0.25f64; slab.len];
+    g.bench_function("migrate_group", |b| {
+        b.iter(|| {
+            source.on_data(7, 0, 0, slab.start as u64, &frame);
+            let floor = source.ban_group(7);
+            target.adopt_floor(7, floor);
+            floor
+        })
+    });
+
+    // A state with one fully integrated timestep, checkpointed to disk and
+    // read back: what a re-homing adopter pays per worker lineage.
+    let mut dead = mk();
+    for role in 0..8u16 {
+        dead.on_data(3, role, 0, slab.start as u64, &frame);
+    }
+    let dir = std::env::temp_dir().join(format!("melissa-bench-rehome-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench checkpoint dir");
+    g.bench_function("rehome_shard", |b| {
+        b.iter(|| {
+            write_checkpoint(&dir, &dead).expect("write");
+            read_checkpoint(&dir, 0).expect("read")
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_roundtrip,
     bench_stream,
     bench_directory,
-    bench_reconnect
+    bench_reconnect,
+    bench_rebalance
 );
 criterion_main!(benches);

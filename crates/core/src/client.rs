@@ -180,6 +180,28 @@ impl GroupClient {
         })
     }
 
+    /// *Initialise* through an epoch-fenced routing table: resolves the
+    /// group's current owner shard as a pure function of `(table, group)`
+    /// and delegates to [`connect`](Self::connect) with that scope.  A
+    /// simulation restarted after a rebalance reconnects to wherever the
+    /// latest fence routed its group.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_routed(
+        transport: &dyn Transport,
+        routing: &crate::shard::RoutingTable,
+        group_id: u64,
+        instance: u32,
+        reply_hwm: usize,
+        timeout: Duration,
+        kill: KillSwitch,
+        fault: FaultPolicy,
+    ) -> Result<GroupClient, ClientError> {
+        let scope = routing.scope_of(group_id);
+        Self::connect(
+            transport, &scope, group_id, instance, reply_hwm, timeout, kill, fault,
+        )
+    }
+
     /// The group id this client serves.
     pub fn group_id(&self) -> u64 {
         self.group_id

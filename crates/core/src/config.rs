@@ -96,6 +96,11 @@ pub struct StudyConfig {
     /// Hard wall limit on the whole study (safety net for tests; a real
     /// deployment would use the batch system's walltime).
     pub wall_limit: Duration,
+    /// Deadline for one live-migration step (epoch fence, flush-barrier
+    /// acknowledgements from every source worker, floor adoption on the
+    /// target) before the supervisor declares the rebalance failed
+    /// ([`crate::shard`]'s routing-epoch protocol).
+    pub migration_timeout: Duration,
     /// Link-level fault policy applied to all group data links (message
     /// drops / delays for fault experiments).
     pub link_fault: melissa_transport::FaultPolicy,
@@ -131,6 +136,7 @@ impl Default for StudyConfig {
             ci_variance_floor: 1e-12,
             target_quantile_step: None,
             wall_limit: Duration::from_secs(600),
+            migration_timeout: Duration::from_secs(30),
             link_fault: melissa_transport::FaultPolicy::default(),
             thresholds: vec![0.5],
             quantile_probs: melissa_stats::quantiles::PAPER_PROBS.to_vec(),

@@ -47,8 +47,12 @@ use crate::fault::FaultPlan;
 use crate::group::{run_group, GroupContext, GroupOutcome};
 use crate::protocol::Message;
 use crate::report::StudyReport;
+use crate::server::checkpoint::read_checkpoint;
+use crate::server::state::WorkerState;
 use crate::server::{Server, ServerConfig};
+use crate::shard::{GroupRouter, RoutingTable};
 use crate::study::{StudyOutput, StudyResults};
+use melissa_mesh::SlabPartition;
 use melissa_scheduler::JobRunner;
 
 /// Tracking entry for one active group job.
@@ -56,6 +60,30 @@ struct ActiveJob {
     handle: melissa_scheduler::JobHandle,
     instance: u32,
     started_at: Instant,
+}
+
+/// One group crossing an epoch fence: everything the adopting shard needs
+/// to resume it — per-worker discard floors (the flush-barrier result) and
+/// the instance number the replayed job will run as.
+pub(crate) struct MigratedGroup {
+    pub id: u64,
+    /// One integration floor per server worker, in worker order: the last
+    /// timestep that worker fully integrated before the fence (`-1` if
+    /// none).  The target adopts these as discard-on-replay floors so the
+    /// migrated instance's replay skips exactly what the source kept.
+    pub floors: Vec<i64>,
+    /// Instance number the target submits the replayed group job as.
+    pub next_instance: u32,
+}
+
+/// One fence's handoff from a source supervisor to a target supervisor,
+/// delivered through the [`Coordination`] mailboxes.  An *empty* handoff
+/// (no groups) still counts toward the target's expected-handoff quota so
+/// scripted targets never wait for groups that finished before the fence.
+pub(crate) struct Handoff {
+    pub from: usize,
+    pub epoch: u64,
+    pub groups: Vec<MigratedGroup>,
 }
 
 /// Cross-shard convergence coordination: every shard supervisor publishes
@@ -74,16 +102,36 @@ pub(crate) struct Coordination {
     /// Set once the aggregate signal crosses the target: every shard
     /// cancels its remaining groups.
     early_stop: AtomicBool,
+    /// The epoch-fenced routing table shared by every supervisor and
+    /// client: base group-hash assignment plus fenced per-group overrides
+    /// ([`crate::shard::RoutingTable`]).
+    pub(crate) routing: RoutingTable,
+    /// Per-slot migration mailboxes: a fencing supervisor pushes its
+    /// [`Handoff`] here and the target drains its own mailbox each
+    /// supervision tick.
+    mailboxes: Vec<Mutex<Vec<Handoff>>>,
 }
 
 impl Coordination {
-    pub(crate) fn new(n_shards: usize) -> Self {
+    pub(crate) fn new(n_slots: usize, routing: RoutingTable) -> Self {
         Self {
-            ci: Mutex::new(vec![f64::INFINITY; n_shards]),
-            qstep: Mutex::new(vec![f64::INFINITY; n_shards]),
-            finished: Mutex::new(vec![0; n_shards]),
+            ci: Mutex::new(vec![f64::INFINITY; n_slots]),
+            qstep: Mutex::new(vec![f64::INFINITY; n_slots]),
+            finished: Mutex::new(vec![0; n_slots]),
             early_stop: AtomicBool::new(false),
+            routing,
+            mailboxes: (0..n_slots).map(|_| Mutex::new(Vec::new())).collect(),
         }
+    }
+
+    /// Delivers a fence's handoff to the target slot's mailbox.
+    pub(crate) fn push_handoff(&self, slot: usize, handoff: Handoff) {
+        self.mailboxes[slot].lock().push(handoff);
+    }
+
+    /// Drains the slot's mailbox (FIFO in push order).
+    pub(crate) fn take_handoffs(&self, slot: usize) -> Vec<Handoff> {
+        std::mem::take(&mut *self.mailboxes[slot].lock())
     }
 
     fn publish(&self, shard: usize, ci: f64, qstep: f64, finished: usize) {
@@ -123,6 +171,10 @@ pub(crate) struct StudyContext {
     pub p: usize,
     pub n_cells: usize,
     pub started: Instant,
+    /// Supervisor slots this study runs: the `n_shards` launch-time
+    /// shards, plus one joiner slot per scripted scale-out target beyond
+    /// them ([`FaultPlan::n_supervisors`]).
+    pub n_slots: usize,
 }
 
 impl StudyContext {
@@ -136,7 +188,10 @@ impl StudyContext {
         let flow = Arc::new(config.solver.prerun());
         let n_cells = config.solver.mesh().n_cells();
         let runner = JobRunner::new(config.max_concurrent_groups);
-        let coord = Coordination::new(config.n_shards);
+        let n_slots = faults.n_supervisors(config.n_shards);
+        let routing =
+            RoutingTable::new(GroupRouter::new(config.n_shards.max(1), config.shard_seed));
+        let coord = Coordination::new(n_slots, routing);
         Self {
             config,
             faults,
@@ -148,6 +203,7 @@ impl StudyContext {
             p,
             n_cells,
             started: Instant::now(),
+            n_slots,
         }
     }
 
@@ -193,6 +249,7 @@ pub(crate) struct ShardRun {
 /// Runs a complete study under the launcher's supervision.
 pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, String> {
     config.validate()?;
+    faults.validate(config.n_shards)?;
     if config.n_shards > 1 {
         return crate::shard::run_sharded_study(config, faults);
     }
@@ -229,6 +286,11 @@ pub(crate) fn supervise_shard(
 
     let mut report = StudyReport::new(config.n_groups);
     report.n_shards = config.n_shards;
+    if shard >= config.n_shards {
+        // A joiner slot: no groups at launch, everything arrives by
+        // handoff (elastic scale-out).
+        report.shards_joined = 1;
+    }
 
     let server_config = ctx.server_config(scope);
 
@@ -247,8 +309,16 @@ pub(crate) fn supervise_shard(
         Arc::new(Mutex::new(HashMap::new()));
 
     let submit = |g: u64, instance: u32, server_kill: KillSwitch| -> melissa_scheduler::JobHandle {
+        // Sharded studies route through the epoch-fenced table *at submit
+        // time*, so a group resubmitted after a fence connects to its new
+        // owner; the single-server study keeps the flat scope.
+        let job_scope = if config.n_shards > 1 {
+            ctx.coord.routing.scope_of(g)
+        } else {
+            scope.to_string()
+        };
         let ctx_job = GroupContext {
-            scope: scope.to_string(),
+            scope: job_scope,
             group_id: g,
             instance,
             rows: ctx.design.group(g as usize).rows().to_vec(),
@@ -300,7 +370,21 @@ pub(crate) fn supervise_shard(
     let mut last_quantile_step = f64::INFINITY;
     let mut last_quantile_steps: Vec<f64> = Vec::new();
     let mut early_stopped = false;
-    let mut server_fault_armed = ctx.faults.server_kill_for_shard(shard);
+    // Live ownership: groups this supervisor currently owns.  Shrinks
+    // when a fence migrates groups away, grows when a handoff arrives.
+    let mut my_groups: HashSet<u64> = groups.iter().copied().collect();
+    // Scripted chaos: server kills (transient and permanent) and
+    // outbound migrations, each a sorted queue consumed by trigger.
+    let kills = ctx.faults.kills_for_shard(shard);
+    let mut kill_idx = 0usize;
+    let migrations = ctx.faults.migrations_from(shard);
+    let mut mig_idx = 0usize;
+    let expected_handoffs = ctx.faults.expected_handoffs(shard);
+    let mut handoffs_received = 0usize;
+    // Floors adopted from inbound handoffs, remembered so a later
+    // permanent death hands off at least these floors even if the local
+    // checkpoint predates the adoption.
+    let mut adopted_floors: HashMap<u64, Vec<i64>> = HashMap::new();
     // Counters carried across server restarts (a crashed server's shared
     // counters would otherwise vanish from the final report).
     let mut carried = [0u64; 4];
@@ -311,7 +395,7 @@ pub(crate) fn supervise_shard(
                 "study exceeded wall limit {:?}: finished {}/{}",
                 wall_limit,
                 known_finished.len(),
-                groups.len()
+                my_groups.len()
             ));
         }
 
@@ -353,7 +437,8 @@ pub(crate) fn supervise_shard(
                             report.blocked_time = Duration::from_nanos(blocked_nanos);
                         }
                         Message::GroupTimeout { group_id }
-                            if !known_finished.contains(&group_id) =>
+                            if !known_finished.contains(&group_id)
+                                && my_groups.contains(&group_id) =>
                         {
                             report.log(format!(
                                 "server reported group {group_id} unresponsive (timeout)"
@@ -377,15 +462,187 @@ pub(crate) fn supervise_shard(
             Err(RecvTimeoutError::Disconnected) => return Err("launcher inbox closed".into()),
         }
 
-        // 2. Scripted server crash.
-        if let Some(after) = server_fault_armed {
-            if known_finished.len() >= after {
+        // 1.5. Inbound handoffs: adopt migrated groups (floors first —
+        // the ban lift + discard floors must be in place before the
+        // replayed instance's first frame — then resubmit).
+        for handoff in ctx.coord.take_handoffs(shard) {
+            handoffs_received += 1;
+            let adopted_any = !handoff.groups.is_empty();
+            if adopted_any {
+                report.log(format!(
+                    "epoch {}: adopting {} groups from slot {}",
+                    handoff.epoch,
+                    handoff.groups.len(),
+                    handoff.from
+                ));
+            }
+            for mg in handoff.groups {
+                server.adopt_floors(mg.id, &mg.floors);
+                await_adopt_acks(&server, mg.id, config.migration_timeout)
+                    .map_err(|e| format!("shard {shard}: {e}"))?;
+                my_groups.insert(mg.id);
+                adopted_floors.insert(mg.id, mg.floors);
+                retries.insert(mg.id, mg.next_instance);
+                report.group_restarts += 1;
+                let handle = submit(mg.id, mg.next_instance, server.kill.clone());
+                active.insert(
+                    mg.id,
+                    ActiveJob {
+                        handle,
+                        instance: mg.next_instance,
+                        started_at: Instant::now(),
+                    },
+                );
+            }
+            if adopted_any {
+                // Persist the adoption: a transient crash right after
+                // this point must restore the adopted floors, not
+                // resurrect pre-fence state.
+                server.checkpoint_now(&server_config.checkpoint_dir);
+            }
+        }
+
+        // 2. Scripted live migrations (drain-and-move under an epoch
+        // fence).
+        while mig_idx < migrations.len()
+            && known_finished.len() >= migrations[mig_idx].after_finished_groups
+        {
+            let m = migrations[mig_idx].clone();
+            mig_idx += 1;
+            let finished_now: HashSet<u64> =
+                server.shared().finished_groups().into_iter().collect();
+            let mut candidates: Vec<u64> = match &m.moves {
+                crate::fault::MigrationMoves::Groups(gs) => gs
+                    .iter()
+                    .copied()
+                    .filter(|g| {
+                        my_groups.contains(g) && !finished_now.contains(g) && !abandoned.contains(g)
+                    })
+                    .collect(),
+                crate::fault::MigrationMoves::AllUnfinished => my_groups
+                    .iter()
+                    .copied()
+                    .filter(|g| !finished_now.contains(g) && !abandoned.contains(g))
+                    .collect(),
+            };
+            candidates.sort_unstable();
+            let mut moves: Vec<(u64, usize)> = Vec::new();
+            let mut handoff_groups: Vec<MigratedGroup> = Vec::new();
+            let last_ts = config.solver.n_timesteps as i64 - 1;
+            for &g in &candidates {
+                // Stop the sender first: after the join no new frames for
+                // the group enter the transport, so the flush barrier
+                // below fences a *final* floor.
+                if let Some(job) = active.remove(&g) {
+                    job.handle.kill.kill();
+                    job.handle.join();
+                }
+                server.migrate_out(g);
+                let floors = await_migrate_floors(&server, g, config.migration_timeout)
+                    .map_err(|e| format!("shard {shard}: {e}"))?;
+                if floors.iter().any(|&f| f >= last_ts) {
+                    // Finishing filter: some worker already integrated the
+                    // group's last timestep — too late to move.  Re-adopt
+                    // locally (lifts the ban) and resubmit if any worker
+                    // still wants data.
+                    server.adopt_floors(g, &floors);
+                    await_adopt_acks(&server, g, config.migration_timeout)
+                        .map_err(|e| format!("shard {shard}: {e}"))?;
+                    report.log(format!(
+                        "group {g} finished during the fence; staying on shard {shard}"
+                    ));
+                    if !server.shared().finished_groups().contains(&g) {
+                        let instance = retries.get(&g).copied().unwrap_or(0) + 1;
+                        retries.insert(g, instance);
+                        report.group_restarts += 1;
+                        let handle = submit(g, instance, server.kill.clone());
+                        active.insert(
+                            g,
+                            ActiveJob {
+                                handle,
+                                instance,
+                                started_at: Instant::now(),
+                            },
+                        );
+                    }
+                    continue;
+                }
+                my_groups.remove(&g);
+                known_running.remove(&g);
+                let next_instance = retries.get(&g).copied().unwrap_or(0) + 1;
+                moves.push((g, m.to));
+                handoff_groups.push(MigratedGroup {
+                    id: g,
+                    floors,
+                    next_instance,
+                });
+            }
+            let epoch = ctx.coord.routing.fence(&moves);
+            report.groups_migrated += handoff_groups.len() as u64;
+            report.log(format!(
+                "epoch {epoch}: migrating {} groups from shard {shard} to slot {}",
+                handoff_groups.len(),
+                m.to
+            ));
+            // Persist the post-fence floors before anything else can
+            // fail: a transient restore must never resurrect a migrated
+            // group's pre-fence state.
+            server.checkpoint_now(&server_config.checkpoint_dir);
+            ctx.coord.push_handoff(
+                m.to,
+                Handoff {
+                    from: shard,
+                    epoch,
+                    groups: handoff_groups,
+                },
+            );
+            if my_groups.is_empty() {
+                // Drained by scale-in: neutralise the convergence signal
+                // so this slot cannot pin the aggregate.
+                ctx.coord.publish(shard, 0.0, 0.0, known_finished.len());
+            }
+        }
+
+        // 2.5. Scripted server kills: transient (crash-restore in place)
+        // or permanent (the shard is gone; re-home to a peer).
+        // At most one kill fires per supervision pass: a transient kill
+        // must crash-restore (step 3) before the next script entry, and a
+        // permanent one never comes back at all.
+        if kill_idx < kills.len() && known_finished.len() >= kills[kill_idx].after_finished_groups {
+            let k = kills[kill_idx].clone();
+            kill_idx += 1;
+            if !k.permanent {
                 report.log(format!(
                     "FAULT INJECTION: killing server after {} finished groups",
                     known_finished.len()
                 ));
                 server.kill.kill();
-                server_fault_armed = None;
+            } else {
+                let to = k
+                    .rehome_to
+                    .expect("validated: permanent kills name a re-home target");
+                report.log(format!(
+                    "FAULT INJECTION: permanent shard death after {} finished groups; re-homing to slot {to}",
+                    known_finished.len()
+                ));
+                return rehome_dead_shard(
+                    ctx,
+                    shard,
+                    to,
+                    server,
+                    &server_config,
+                    active,
+                    report,
+                    my_groups,
+                    abandoned,
+                    retries,
+                    adopted_floors,
+                    &migrations[mig_idx..],
+                    &kills[kill_idx..],
+                    carried,
+                    (last_ci, last_quantile_step, last_quantile_steps),
+                    early_stopped,
+                );
             }
         }
 
@@ -428,8 +685,12 @@ pub(crate) fn supervise_shard(
             known_finished = server.shared().finished_groups().into_iter().collect();
             known_running.clear();
             // Resubmit everything not finished; discard-on-replay absorbs
-            // any duplicated timesteps.
-            for &g in groups {
+            // any duplicated timesteps.  Iterates current ownership (not
+            // the launch-time list) in sorted order so restarts after a
+            // fence stay deterministic.
+            let mut mine: Vec<u64> = my_groups.iter().copied().collect();
+            mine.sort_unstable();
+            for g in mine {
                 if known_finished.contains(&g) || abandoned.contains(&g) {
                     continue;
                 }
@@ -537,10 +798,47 @@ pub(crate) fn supervise_shard(
             }
         }
 
-        // 6. Completion.
-        let done = known_finished.len() + abandoned.len() >= groups.len() || early_stopped;
+        // 6. Completion: every owned group settled *and* the chaos script
+        // fully played out (unfired fences would leave their targets
+        // waiting on the handoff quota forever).
+        let script_done = mig_idx >= migrations.len()
+            && kill_idx >= kills.len()
+            && handoffs_received >= expected_handoffs;
+        let settled = known_finished
+            .iter()
+            .filter(|g| my_groups.contains(g))
+            .count()
+            + abandoned.len()
+            >= my_groups.len();
+        let done = early_stopped || (script_done && settled);
         if done && active.is_empty() {
             break;
+        }
+    }
+
+    // An early-stopped supervisor still owes its script's targets their
+    // handoff envelopes — deliver them empty so no peer blocks on the
+    // quota.
+    for m in migrations.iter().skip(mig_idx) {
+        ctx.coord.push_handoff(
+            m.to,
+            Handoff {
+                from: shard,
+                epoch: ctx.coord.routing.epoch(),
+                groups: Vec::new(),
+            },
+        );
+    }
+    for k in kills.iter().skip(kill_idx) {
+        if let (true, Some(t)) = (k.permanent, k.rehome_to) {
+            ctx.coord.push_handoff(
+                t,
+                Handoff {
+                    from: shard,
+                    epoch: ctx.coord.routing.epoch(),
+                    groups: Vec::new(),
+                },
+            );
         }
     }
 
@@ -552,8 +850,11 @@ pub(crate) fn supervise_shard(
     report.groups_finished = known_finished.len();
     // Final publish — but never for an empty shard, whose `last_ci` was
     // never updated from ∞: overwriting its neutral signal would pin the
-    // aggregate at infinity and permanently disable early stop.
-    if !groups.is_empty() {
+    // aggregate at infinity and permanently disable early stop.  (Judged
+    // on *current* ownership: a shard drained by scale-in published its
+    // neutral signal at the fence, a joiner that adopted groups has real
+    // signals to publish.)
+    if !my_groups.is_empty() {
         ctx.coord
             .publish(shard, last_ci, last_quantile_step, known_finished.len());
     }
@@ -590,6 +891,208 @@ pub(crate) fn supervise_shard(
     report.final_quantile_steps = last_quantile_steps;
 
     Ok(ShardRun { states, report })
+}
+
+/// The permanent-death exit of a shard supervisor: the server is gone for
+/// good, so its last checkpoint *is* its statistics lineage.  Every group
+/// not finished by every worker of that lineage is fenced to `to` with
+/// per-worker floors (checkpointed floor, raised to any floor this shard
+/// itself adopted earlier), and the checkpointed states are returned as
+/// this slot's contribution to the study-end reduction.
+#[allow(clippy::too_many_arguments)]
+fn rehome_dead_shard(
+    ctx: &StudyContext,
+    shard: usize,
+    to: usize,
+    server: Server,
+    server_config: &ServerConfig,
+    mut active: HashMap<u64, ActiveJob>,
+    mut report: StudyReport,
+    my_groups: HashSet<u64>,
+    abandoned: HashSet<u64>,
+    retries: HashMap<u64, u32>,
+    adopted_floors: HashMap<u64, Vec<i64>>,
+    pending_migrations: &[crate::fault::Migration],
+    pending_kills: &[crate::fault::ShardKill],
+    carried: [u64; 4],
+    signals: (f64, f64, Vec<f64>),
+    early_stopped: bool,
+) -> Result<ShardRun, String> {
+    let config = &ctx.config;
+    for (_, job) in active.iter() {
+        job.handle.kill.kill();
+    }
+    for (_, job) in active.drain() {
+        job.handle.join();
+    }
+    let link = server.data_link_stats();
+    let shared = Arc::clone(server.shared());
+    server.abandon();
+
+    // The lineage is whatever the last checkpoint holds; an unreadable
+    // worker hands off cold (floor −1 ⇒ full replay at the target).
+    let n_workers = config.server_workers;
+    let partition = SlabPartition::new(ctx.n_cells, n_workers);
+    let mut lineage: Vec<WorkerState> = Vec::with_capacity(n_workers);
+    for w in 0..n_workers {
+        match read_checkpoint(&server_config.checkpoint_dir, w) {
+            Ok(mut st) => {
+                st.ensure_quantiles(&config.quantile_probs);
+                lineage.push(st);
+            }
+            Err(e) => {
+                report.log(format!(
+                    "worker {w} checkpoint unreadable on permanent death ({e}); cold hand-off"
+                ));
+                lineage.push(WorkerState::with_stats(
+                    w,
+                    partition.worker_range(w),
+                    ctx.p,
+                    config.solver.n_timesteps,
+                    &config.thresholds,
+                    &config.quantile_probs,
+                ));
+            }
+        }
+    }
+
+    // Only groups finished by *every* worker of the lineage stay; the
+    // rest re-home (a partially finished group replays its tail on the
+    // target, discard floors preventing any double integration).
+    let finished_everywhere: HashSet<u64> = lineage[0]
+        .finished_groups()
+        .iter()
+        .copied()
+        .filter(|g| lineage.iter().all(|s| s.finished_groups().contains(g)))
+        .collect();
+    let mut moved: Vec<u64> = my_groups
+        .iter()
+        .copied()
+        .filter(|g| !abandoned.contains(g) && !finished_everywhere.contains(g))
+        .collect();
+    moved.sort_unstable();
+    let mut handoff_groups: Vec<MigratedGroup> = Vec::with_capacity(moved.len());
+    for &g in &moved {
+        let floors: Vec<i64> = (0..n_workers)
+            .map(|w| {
+                let remembered = adopted_floors.get(&g).map(|f| f[w]).unwrap_or(-1);
+                lineage[w].completed_floor(g).max(remembered)
+            })
+            .collect();
+        handoff_groups.push(MigratedGroup {
+            id: g,
+            floors,
+            next_instance: retries.get(&g).copied().unwrap_or(0) + 1,
+        });
+    }
+    let fence: Vec<(u64, usize)> = moved.iter().map(|&g| (g, to)).collect();
+    let epoch = ctx.coord.routing.fence(&fence);
+    report.groups_migrated += handoff_groups.len() as u64;
+    report.shards_rehomed = 1;
+    report.log(format!(
+        "epoch {epoch}: re-homing {} groups from dead shard {shard} to slot {to}",
+        handoff_groups.len()
+    ));
+    ctx.coord.push_handoff(
+        to,
+        Handoff {
+            from: shard,
+            epoch,
+            groups: handoff_groups,
+        },
+    );
+    // The rest of this shard's script will never fire; its targets still
+    // count the handoffs, so deliver empty envelopes.
+    for m in pending_migrations {
+        ctx.coord.push_handoff(
+            m.to,
+            Handoff {
+                from: shard,
+                epoch,
+                groups: Vec::new(),
+            },
+        );
+    }
+    for k in pending_kills {
+        if let (true, Some(t)) = (k.permanent, k.rehome_to) {
+            ctx.coord.push_handoff(
+                t,
+                Handoff {
+                    from: shard,
+                    epoch,
+                    groups: Vec::new(),
+                },
+            );
+        }
+    }
+
+    report.groups_finished = my_groups
+        .iter()
+        .filter(|g| finished_everywhere.contains(g))
+        .count();
+    // Neutralise the convergence signal: a dead slot must not pin the
+    // aggregate at its last (stale) value or at ∞.
+    ctx.coord.publish(shard, 0.0, 0.0, report.groups_finished);
+    report.groups_abandoned = {
+        let mut v: Vec<u64> = abandoned.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    report.data_messages = carried[0] + shared.messages_received.load(Ordering::Relaxed);
+    report.data_bytes = carried[1] + shared.bytes_received.load(Ordering::Relaxed);
+    report.replays_discarded = carried[2] + shared.replays_discarded.load(Ordering::Relaxed);
+    report.checkpoints_written = carried[3] + shared.checkpoints_written.load(Ordering::Relaxed);
+    report.transport = ctx.transport.backend_name().to_string();
+    report.blocked_sends = link.blocked_sends;
+    report.blocked_time = link.blocked_time();
+    report.link_messages = link.messages;
+    report.link_bytes = link.bytes;
+    report.early_stopped = early_stopped;
+    report.final_max_ci = signals.0;
+    report.final_max_quantile_step = signals.1;
+    report.quantile_probs = config.quantile_probs.clone();
+    report.final_quantile_steps = signals.2;
+    Ok(ShardRun {
+        states: lineage,
+        report,
+    })
+}
+
+/// Polls the migration flush barrier: every worker has drained the Data
+/// frames queued ahead of the group's `MigrateOut` and reported its final
+/// integration floor.
+fn await_migrate_floors(
+    server: &Server,
+    group: u64,
+    timeout: Duration,
+) -> Result<Vec<i64>, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(floors) = server.take_migrate_floors(group) {
+            return Ok(floors);
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "migration flush barrier for group {group} timed out"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Polls until every worker has acknowledged the group's adopted floors
+/// (the replayed instance must not start before the floors are in place).
+fn await_adopt_acks(server: &Server, group: u64, timeout: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if server.take_adopt_acks(group) {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(format!("floor adoption for group {group} timed out"));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 /// Lease timeout of the study directory: nodes renew every couple of
@@ -686,7 +1189,7 @@ mod tests {
     /// would pin the aggregate and permanently disable early stop.
     #[test]
     fn empty_shard_neutral_signal_keeps_the_aggregate_usable() {
-        let coord = Coordination::new(2);
+        let coord = Coordination::new(2, RoutingTable::new(GroupRouter::new(2, 7)));
         assert_eq!(coord.max_ci(), f64::INFINITY, "unreported shards gate");
         assert_eq!(coord.max_qstep(), f64::INFINITY, "qstep gates too");
         coord.publish(1, 0.0, 0.0, 0); // empty shard: neutral, published once

@@ -82,7 +82,7 @@ pub mod shard;
 pub mod study;
 
 pub use config::StudyConfig;
-pub use fault::{FaultPlan, GroupFault};
+pub use fault::{FaultPlan, GroupFault, Migration, MigrationMoves, ShardKill};
 pub use report::StudyReport;
-pub use shard::{GroupRouter, NodeMap};
+pub use shard::{GroupRouter, NodeMap, RoutingTable};
 pub use study::{Study, StudyOutput, StudyResults};

@@ -99,6 +99,27 @@ pub enum Message {
     },
     /// Launcher → server: finish cleanly (final checkpoint + stop).
     Stop,
+    /// Launcher → server workers: fence a group away under a new routing
+    /// epoch.  The message is FIFO-ordered behind every in-flight `Data`
+    /// frame on the launcher connection, so by the time a worker handles
+    /// it the worker's discard floor for the group is final — the flush
+    /// barrier of the migration protocol.  The worker bans the group
+    /// (subsequent straggler frames are discarded) and publishes its
+    /// floor through shared memory for the supervisor to hand off.
+    MigrateOut {
+        /// The group leaving this shard.
+        group_id: u64,
+    },
+    /// Launcher → server workers: adopt a migrated group.  Lifts any ban
+    /// and raises the discard-on-replay floor to the source worker's last
+    /// integrated timestep, so the migrated instance's replay from
+    /// timestep 0 resumes integration exactly where the source stopped.
+    AdoptFloor {
+        /// The group arriving on this shard.
+        group_id: u64,
+        /// The source worker's last integrated timestep (`-1` if none).
+        floor: i64,
+    },
 }
 
 /// Tag bytes (wire stability).
@@ -112,6 +133,8 @@ mod tag {
     pub const GROUP_TIMEOUT: u8 = 7;
     pub const CHECKPOINT: u8 = 8;
     pub const STOP: u8 = 9;
+    pub const MIGRATE_OUT: u8 = 10;
+    pub const ADOPT_FLOOR: u8 = 11;
 }
 
 impl Message {
@@ -184,6 +207,15 @@ impl Message {
                 put_str(&mut buf, dir);
             }
             Message::Stop => buf.put_u8(tag::STOP),
+            Message::MigrateOut { group_id } => {
+                buf.put_u8(tag::MIGRATE_OUT);
+                buf.put_u64_le(*group_id);
+            }
+            Message::AdoptFloor { group_id, floor } => {
+                buf.put_u8(tag::ADOPT_FLOOR);
+                buf.put_u64_le(*group_id);
+                buf.put_i64_le(*floor);
+            }
         }
         buf.freeze()
     }
@@ -255,6 +287,13 @@ impl Message {
                 dir: get_str(&mut buf, "dir")?,
             },
             tag::STOP => Message::Stop,
+            tag::MIGRATE_OUT => Message::MigrateOut {
+                group_id: get_u64(&mut buf, "group_id")?,
+            },
+            tag::ADOPT_FLOOR => Message::AdoptFloor {
+                group_id: get_u64(&mut buf, "group_id")?,
+                floor: get_u64(&mut buf, "floor")? as i64,
+            },
             _ => {
                 return Err(WireError::Invalid {
                     what: "unknown message tag",
@@ -310,6 +349,15 @@ mod tests {
             dir: "/tmp/ckpt".into(),
         });
         roundtrip(Message::Stop);
+        roundtrip(Message::MigrateOut { group_id: 17 });
+        roundtrip(Message::AdoptFloor {
+            group_id: 17,
+            floor: 41,
+        });
+        roundtrip(Message::AdoptFloor {
+            group_id: 18,
+            floor: -1,
+        });
     }
 
     #[test]

@@ -22,12 +22,19 @@
 //!
 //! ## Format versions
 //!
-//! * **v3** (current) — adds the quantile section.
+//! * **v4** (current) — adds the integrated-interval section: per group,
+//!   the exact timestep segments this worker integrated.  Migration-era
+//!   checkpoints need it so the study-end reduction can prove
+//!   exactly-once integration across state lineages.
+//! * **v3** (legacy, read-only) — quantile section, no interval section.
+//!   Restores synthesize the single segment `(-1, last_completed]` per
+//!   group, which is exact for any state that never received a migrated
+//!   group.
 //! * **v2** (legacy, read-only) — no quantile section.  v2 files restore
-//!   into a v3 server with quantiles **cold**: order statistics restart
-//!   from scratch while every other statistic resumes where it left off
-//!   (Robbins–Monro iterates carry no sufficient statistic that could be
-//!   reconstructed from the other accumulators).
+//!   into a current server with quantiles **cold**: order statistics
+//!   restart from scratch while every other statistic resumes where it
+//!   left off (Robbins–Monro iterates carry no sufficient statistic that
+//!   could be reconstructed from the other accumulators).
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -41,8 +48,9 @@ use melissa_stats::{FieldMinMax, FieldMoments, FieldQuantiles, FieldThreshold};
 use super::state::WorkerState;
 
 const MAGIC: u32 = 0x4d4c5341; // "MLSA"
-/// Current checkpoint format version (quantile section present).
-const VERSION: u32 = 3;
+/// Current checkpoint format version (integrated-interval section
+/// present).
+const VERSION: u32 = 4;
 /// Oldest format version still restorable (pre-quantile layout).
 const MIN_VERSION: u32 = 2;
 
@@ -88,16 +96,17 @@ pub fn checkpoint_file(dir: &Path, worker_id: usize) -> std::path::PathBuf {
     dir.join(format!("melissa_worker_{worker_id}.ckpt"))
 }
 
-/// Packs `state` into the v3 checkpoint byte layout.
+/// Packs `state` into the v4 checkpoint byte layout.
 ///
-/// This is the serialisation shared by the on-disk checkpoint files and
-/// the sharded-study reduction tree, which drains every shard's worker
-/// states through this codec exactly as a remote shard would ship them.
-/// The output is a deterministic function of the state (bookkeeping maps
-/// are written in sorted order), and `pack_state ∘ unpack_state` is
-/// bit-identical (asserted by `v3_roundtrip_is_bit_identical`).
+/// This is the serialisation shared by the on-disk checkpoint files, the
+/// sharded-study reduction tree and dead-shard re-homing, which all drain
+/// worker states through this codec exactly as a remote shard would ship
+/// them.  The output is a deterministic function of the state
+/// (bookkeeping maps are written in sorted order), and
+/// `pack_state ∘ unpack_state` is bit-identical (asserted by
+/// `v4_roundtrip_is_bit_identical`).
 pub fn pack_state(state: &WorkerState) -> Vec<u8> {
-    let (sobol, moments, minmax, thresholds, quantiles, last_completed, finished) =
+    let (sobol, moments, minmax, thresholds, quantiles, last_completed, finished, integrated) =
         state.checkpoint_parts();
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
@@ -182,6 +191,21 @@ pub fn pack_state(state: &WorkerState) -> Vec<u8> {
     buf.put_u64_le(finished.len() as u64);
     for g in finished {
         buf.put_u64_le(*g);
+    }
+    // Integrated-interval section (format v4+), sorted by group id for
+    // determinism: per group the `(lower_exclusive, last]` timestep
+    // segments this worker integrated.
+    let mut intervals: Vec<(u64, &Vec<(i64, i64)>)> =
+        integrated.iter().map(|(g, segs)| (*g, segs)).collect();
+    intervals.sort_unstable_by_key(|&(g, _)| g);
+    buf.put_u64_le(intervals.len() as u64);
+    for (g, segs) in intervals {
+        buf.put_u64_le(g);
+        buf.put_u64_le(segs.len() as u64);
+        for &(lo, hi) in segs {
+            buf.put_i64_le(lo);
+            buf.put_i64_le(hi);
+        }
     }
     buf.to_vec()
 }
@@ -384,6 +408,35 @@ pub fn unpack_state(bytes: &[u8], worker_id: usize) -> Result<WorkerState, Check
         finished.push(buf.get_u64_le());
     }
 
+    // Integrated-interval section: absent before v4.  Legacy states were
+    // written before migration existed, so each group's integration is
+    // exactly the contiguous range `(-1, last_completed]`.
+    let mut integrated: HashMap<u64, Vec<(i64, i64)>> = HashMap::new();
+    if version >= 4 {
+        need!(8, "interval group count");
+        let n_interval_groups = buf.get_u64_le() as usize;
+        for _ in 0..n_interval_groups {
+            need!(16, "interval group header");
+            let g = buf.get_u64_le();
+            let n_segs = buf.get_u64_le() as usize;
+            need!(n_segs * 16, "interval segments");
+            let mut segs = Vec::with_capacity(n_segs);
+            for _ in 0..n_segs {
+                let lo = buf.get_i64_le();
+                let hi = buf.get_i64_le();
+                if lo >= hi {
+                    return Err(CheckpointError::Corrupt("empty interval segment"));
+                }
+                segs.push((lo, hi));
+            }
+            integrated.insert(g, segs);
+        }
+    } else {
+        for (&g, &ts) in &last_completed {
+            integrated.insert(g, vec![(-1, ts)]);
+        }
+    }
+
     Ok(WorkerState::from_checkpoint_parts(
         worker_id,
         slab,
@@ -396,6 +449,7 @@ pub fn unpack_state(bytes: &[u8], worker_id: usize) -> Result<WorkerState, Check
         quantiles,
         last_completed,
         finished,
+        integrated,
     ))
 }
 
@@ -440,17 +494,23 @@ mod tests {
         st
     }
 
-    /// Pinned legacy **v2** checkpoint writer: the exact pre-quantile
-    /// byte layout (no quantile section), used by the cross-version
-    /// restore tests.  Deliberately *not* derived from the live writer so
-    /// a format regression cannot silently rewrite history.
-    fn write_legacy_v2_checkpoint(dir: &Path, state: &WorkerState) -> std::path::PathBuf {
+    /// Pinned legacy checkpoint writer for format **v2** (no quantile
+    /// section) and **v3** (quantile section, no interval section), used
+    /// by the cross-version restore tests.  Deliberately *not* derived
+    /// from the live writer so a format regression cannot silently
+    /// rewrite history.
+    fn write_legacy_checkpoint(
+        dir: &Path,
+        state: &WorkerState,
+        version: u32,
+    ) -> std::path::PathBuf {
+        assert!(version == 2 || version == 3);
         std::fs::create_dir_all(dir).unwrap();
-        let (sobol, moments, minmax, thresholds, _, last_completed, finished) =
+        let (sobol, moments, minmax, thresholds, quantiles, last_completed, finished, _) =
             state.checkpoint_parts();
         let mut buf = BytesMut::new();
         buf.put_u32_le(MAGIC);
-        buf.put_u32_le(2);
+        buf.put_u32_le(version);
         buf.put_u64_le(state.worker_id() as u64);
         buf.put_u64_le(state.slab().start as u64);
         buf.put_u64_le(state.slab().len as u64);
@@ -498,6 +558,24 @@ mod tests {
                 }
             }
         }
+        if version >= 3 {
+            let n_probs = quantiles.first().map_or(0, |q| q.probs().len());
+            buf.put_u64_le(n_probs as u64);
+            if let Some(first) = quantiles.first() {
+                buf.put_f64_le(first.gamma());
+                for p in first.probs() {
+                    buf.put_f64_le(*p);
+                }
+                for q in quantiles {
+                    let (n, _, _, records) = q.raw_state();
+                    buf.put_u64_le(n);
+                    buf.put_u64_le(records.len() as u64);
+                    for v in records {
+                        buf.put_f64_le(*v);
+                    }
+                }
+            }
+        }
         buf.put_u64_le(last_completed.len() as u64);
         for (g, ts) in last_completed {
             buf.put_u64_le(*g);
@@ -538,7 +616,7 @@ mod tests {
     fn legacy_v2_restores_with_quantiles_cold() {
         let dir = tmpdir("v2");
         let st = populated_state();
-        write_legacy_v2_checkpoint(&dir, &st);
+        write_legacy_checkpoint(&dir, &st, 2);
         let mut back = read_checkpoint(&dir, 2).unwrap();
         assert!(!back.tracks_quantiles(), "v2 carries no quantile state");
         for ts in 0..2 {
@@ -573,12 +651,12 @@ mod tests {
         assert_eq!(pack_state(&back), bytes);
     }
 
-    /// The current (v3) format round-trips bit-identically: writing the
+    /// The current (v4) format round-trips bit-identically: writing the
     /// restored state again produces the same bytes.
     #[test]
-    fn v3_roundtrip_is_bit_identical() {
-        let dir_a = tmpdir("v3a");
-        let dir_b = tmpdir("v3b");
+    fn v4_roundtrip_is_bit_identical() {
+        let dir_a = tmpdir("v4a");
+        let dir_b = tmpdir("v4b");
         let st = populated_state();
         write_checkpoint(&dir_a, &st).unwrap();
         let back = read_checkpoint(&dir_a, 2).unwrap();
@@ -626,6 +704,60 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// A v3 file (pinned legacy writer) restores with quantiles intact
+    /// and the integrated intervals synthesized as `(-1, last_completed]`
+    /// per group — exact for pre-migration checkpoints.
+    #[test]
+    fn legacy_v3_restores_with_synthesized_intervals() {
+        let dir = tmpdir("v3");
+        let st = populated_state();
+        write_legacy_checkpoint(&dir, &st, 3);
+        let back = read_checkpoint(&dir, 2).unwrap();
+        for ts in 0..2 {
+            assert_eq!(back.sobol(ts), st.sobol(ts));
+            assert_eq!(back.quantiles(ts), st.quantiles(ts));
+        }
+        assert_eq!(back.integrated_intervals(11), &[(-1, 1)]);
+        assert_eq!(back.integrated_intervals(12), &[(-1, 0)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Multi-segment interval ledgers (a group that migrated away and
+    /// back) survive the v4 round trip bit-identically.
+    #[test]
+    fn v4_roundtrip_preserves_migration_intervals() {
+        let mut st = populated_state();
+        // Group 12 integrated ts 0, migrates out, comes back with the
+        // peer having covered nothing in between at floor 0... emulate a
+        // gap by adopting a higher floor and integrating the final ts.
+        st.ban_group(12);
+        st.adopt_floor(12, 0);
+        for role in 0..4u16 {
+            st.on_data(12, role, 1, 5, &[4.0, 5.0, 6.0]);
+        }
+        assert_eq!(st.integrated_intervals(12), &[(-1, 1)]);
+        let bytes = pack_state(&st);
+        let back = unpack_state(&bytes, 2).unwrap();
+        assert_eq!(back.integrated_intervals(11), st.integrated_intervals(11));
+        assert_eq!(back.integrated_intervals(12), st.integrated_intervals(12));
+        assert_eq!(pack_state(&back), bytes);
+        // A genuinely gapped ledger also round-trips: craft one by
+        // merging two disjoint lineages with a hole between them.
+        let mut a = WorkerState::new(0, CellRange { start: 0, len: 2 }, 2, 4);
+        for role in 0..4u16 {
+            a.on_data(7, role, 0, 0, &[1.0, 2.0]);
+        }
+        a.adopt_floor(7, 2);
+        for role in 0..4u16 {
+            a.on_data(7, role, 3, 0, &[1.0, 2.0]);
+        }
+        assert_eq!(a.integrated_intervals(7), &[(-1, 0), (2, 3)]);
+        let bytes_a = pack_state(&a);
+        let back_a = unpack_state(&bytes_a, 0).unwrap();
+        assert_eq!(back_a.integrated_intervals(7), &[(-1, 0), (2, 3)]);
+        assert_eq!(pack_state(&back_a), bytes_a);
+    }
+
     #[test]
     fn unsupported_version_reports_found_and_supported_range() {
         let dir = tmpdir("ver");
@@ -644,7 +776,7 @@ mod tests {
         ));
         let msg = err.to_string();
         assert!(
-            msg.contains("99") && msg.contains("2..=3"),
+            msg.contains("99") && msg.contains("2..=4"),
             "error must name found and supported versions: {msg}"
         );
         std::fs::remove_dir_all(&dir).ok();

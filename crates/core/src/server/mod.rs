@@ -125,6 +125,14 @@ pub struct ServerShared {
     /// Workers that fell back to cold statistics because their checkpoint
     /// was missing or unreadable (restore diagnostics).
     pub restores_failed: AtomicU64,
+    /// Flush-barrier acknowledgements of a migrate-out fence: per group,
+    /// the `(worker, replay floor)` pairs reported by workers that banned
+    /// the group.  Complete once every worker answered — the floors are
+    /// then final (a banned worker discards all later frames).
+    migrate_acks: Mutex<HashMap<u64, Vec<(usize, i64)>>>,
+    /// Workers that installed an adopted replay floor per migrated-in
+    /// group.
+    adopt_acks: Mutex<HashMap<u64, HashSet<usize>>>,
     n_workers: usize,
 }
 
@@ -150,8 +158,26 @@ impl ServerShared {
             replays_discarded: AtomicU64::new(0),
             checkpoints_written: AtomicU64::new(0),
             restores_failed: AtomicU64::new(0),
+            migrate_acks: Mutex::new(HashMap::new()),
+            adopt_acks: Mutex::new(HashMap::new()),
             n_workers,
         }
+    }
+
+    fn ack_migrate(&self, group: u64, worker: usize, floor: i64) {
+        self.migrate_acks
+            .lock()
+            .entry(group)
+            .or_default()
+            .push((worker, floor));
+    }
+
+    fn ack_adopt(&self, group: u64, worker: usize) {
+        self.adopt_acks
+            .lock()
+            .entry(group)
+            .or_default()
+            .insert(worker);
     }
 
     fn record_group_finished_on_worker(&self, group: u64) {
@@ -347,6 +373,14 @@ impl Server {
                             shared.started.lock().insert(g);
                             shared.record_group_finished_on_worker(g);
                         }
+                        // Adopted groups whose migration floor covers this
+                        // worker's whole share count as finished here even
+                        // though the worker never integrated their last
+                        // timestep itself.
+                        for g in state.adopted_full_floor_groups() {
+                            shared.started.lock().insert(g);
+                            shared.record_group_finished_on_worker(g);
+                        }
                         for g in state.running_groups() {
                             shared.started.lock().insert(g);
                         }
@@ -396,6 +430,66 @@ impl Server {
     pub fn link_stats(&self) -> (u64, Duration) {
         let s = self.data_link_stats();
         (s.blocked_sends, s.blocked_time())
+    }
+
+    /// Fences `group_id` out of this instance: every worker bans the
+    /// group (dropping its in-flight assemblies), reports its replay
+    /// floor and stops counting the group toward liveness.  The fence
+    /// message queues FIFO behind every Data frame already in a worker's
+    /// inbox, so queued frames integrate first; frames arriving *after*
+    /// the ban are discarded — the acknowledged floors are final either
+    /// way.  Poll [`take_migrate_floors`](Self::take_migrate_floors) for
+    /// completion.
+    pub fn migrate_out(&self, group_id: u64) {
+        let msg = Message::MigrateOut { group_id }.encode();
+        for s in &self.worker_senders {
+            let _ = s.send(msg.clone());
+        }
+    }
+
+    /// The per-worker replay floors acknowledged after
+    /// [`migrate_out`](Self::migrate_out): `None` until every worker
+    /// processed the fence; consumes the acknowledgement slot (a later
+    /// migrate-back fences cleanly).
+    pub fn take_migrate_floors(&self, group_id: u64) -> Option<Vec<i64>> {
+        let mut acks = self.shared.migrate_acks.lock();
+        if acks
+            .get(&group_id)
+            .is_some_and(|v| v.len() >= self.n_workers)
+        {
+            let mut v = acks.remove(&group_id).expect("just checked");
+            v.sort_unstable_by_key(|&(w, _)| w);
+            Some(v.into_iter().map(|(_, f)| f).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Installs the per-worker replay floors of a migrated-in group:
+    /// worker `w` adopts `floors[w]`, lifts any ban, and will discard
+    /// replayed frames up to the floor.  Poll
+    /// [`take_adopt_acks`](Self::take_adopt_acks) for completion before
+    /// submitting the group's replay job.
+    pub fn adopt_floors(&self, group_id: u64, floors: &[i64]) {
+        assert_eq!(floors.len(), self.n_workers, "one floor per worker");
+        for (s, &floor) in self.worker_senders.iter().zip(floors) {
+            let _ = s.send(Message::AdoptFloor { group_id, floor }.encode());
+        }
+    }
+
+    /// Whether every worker acknowledged the adopted floors of
+    /// `group_id`; consumes the acknowledgement slot on success.
+    pub fn take_adopt_acks(&self, group_id: u64) -> bool {
+        let mut acks = self.shared.adopt_acks.lock();
+        if acks
+            .get(&group_id)
+            .is_some_and(|s| s.len() >= self.n_workers)
+        {
+            acks.remove(&group_id);
+            true
+        } else {
+            false
+        }
     }
 
     /// Requests an immediate checkpoint of all workers.
@@ -474,8 +568,13 @@ fn worker_loop(
                         values,
                         ..
                     } => {
-                        shared.liveness.record(group_id);
-                        shared.started.lock().insert(group_id);
+                        // A banned (fenced-out) group's straggler frames
+                        // must not resurrect liveness/started bookkeeping
+                        // — `on_data` discards them below.
+                        if !state.is_banned(group_id) {
+                            shared.liveness.record(group_id);
+                            shared.started.lock().insert(group_id);
+                        }
                         shared.messages_received.fetch_add(1, Ordering::Relaxed);
                         shared
                             .bytes_received
@@ -502,6 +601,33 @@ fn worker_loop(
                                 );
                             }
                         }
+                    }
+                    Message::MigrateOut { group_id } => {
+                        // Flush barrier: every Data frame queued ahead of
+                        // this message has been integrated; the ban makes
+                        // the reported floor final against stragglers on
+                        // any connection.
+                        let floor = state.ban_group(group_id);
+                        shared.liveness.forget(&group_id);
+                        shared.started.lock().remove(&group_id);
+                        shared.ack_migrate(group_id, state.worker_id(), floor);
+                    }
+                    Message::AdoptFloor { group_id, floor } => {
+                        state.adopt_floor(group_id, floor);
+                        if floor >= 0
+                            && floor as usize + 1 >= state.n_timesteps()
+                            && !state.finished_groups().contains(&group_id)
+                        {
+                            // The adopted lineage already integrated this
+                            // worker's whole share of the group: count it
+                            // finished here so completion bookkeeping does
+                            // not wait for frames the replay will discard.
+                            // (Skipped when this worker finished the group
+                            // itself — it already counted.)
+                            shared.started.lock().insert(group_id);
+                            shared.record_group_finished_on_worker(group_id);
+                        }
+                        shared.ack_adopt(group_id, state.worker_id());
                     }
                     Message::Checkpoint { dir }
                         if write_checkpoint(std::path::Path::new(&dir), &state).is_ok() =>

@@ -51,6 +51,8 @@
 //! reordering of the same arithmetic) — `examples/sharded_study.rs`
 //! asserts all of this.
 
+use std::collections::HashMap;
+
 use crate::config::StudyConfig;
 use crate::fault::FaultPlan;
 use crate::launcher::{supervise_shard, StudyContext};
@@ -59,6 +61,8 @@ use crate::server::checkpoint::{pack_state, unpack_state};
 use crate::server::state::WorkerState;
 use crate::study::{StudyOutput, StudyResults};
 use melissa_transport::directory::names;
+use melissa_transport::{Directory, DirectoryError};
+use parking_lot::Mutex;
 
 /// Deterministic group-to-shard router: `shard = hash(seed, group) % N`
 /// with a SplitMix64 finaliser, so the assignment is uniform, a pure
@@ -110,6 +114,149 @@ impl GroupRouter {
         (0..n_groups as u64)
             .filter(|&g| self.shard_of(g) == shard)
             .collect()
+    }
+}
+
+/// The versioned routing state behind a [`RoutingTable`] fence.
+#[derive(Debug, Clone, Default)]
+struct RoutingState {
+    epoch: u64,
+    overrides: HashMap<u64, usize>,
+}
+
+/// Epoch-fenced group-to-shard routing: the seeded [`GroupRouter`] hash
+/// is the epoch-0 base assignment, overlaid by a versioned per-group
+/// override map installed by migration fences.
+///
+/// Routing stays a pure function of `(configuration, epoch)`: two
+/// resolvers holding the same base router and the same epoch's override
+/// map answer identically, so supervisors, [`crate::client::GroupClient`]s
+/// and the launcher can never disagree about a group's owner.  A *fence*
+/// ([`RoutingTable::fence`]) atomically installs a batch of overrides and
+/// bumps the epoch; override targets may exceed the base shard count
+/// (elastic scale-out — the slot joins the study as a fresh shard).
+///
+/// The table serialises to a one-line string ([`RoutingTable::encode`])
+/// published in the deployment [`Directory`] under
+/// [`names::routing_table`], which is how out-of-process resolvers learn
+/// post-fence routing.
+#[derive(Debug)]
+pub struct RoutingTable {
+    base: GroupRouter,
+    inner: Mutex<RoutingState>,
+}
+
+impl RoutingTable {
+    /// An epoch-0 table: pure base-hash routing, no overrides.
+    pub fn new(base: GroupRouter) -> Self {
+        Self {
+            base,
+            inner: Mutex::new(RoutingState::default()),
+        }
+    }
+
+    /// The epoch-0 base router.
+    pub fn base(&self) -> GroupRouter {
+        self.base
+    }
+
+    /// The current routing epoch (0 = static base assignment).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// The shard slot that currently owns `group_id`: the override if a
+    /// fence installed one, the base hash otherwise.
+    pub fn shard_of(&self, group_id: u64) -> usize {
+        self.inner
+            .lock()
+            .overrides
+            .get(&group_id)
+            .copied()
+            .unwrap_or_else(|| self.base.shard_of(group_id))
+    }
+
+    /// The endpoint scope of `group_id`'s current owner
+    /// ([`names::shard_scope`]).
+    pub fn scope_of(&self, group_id: u64) -> String {
+        names::shard_scope(self.shard_of(group_id))
+    }
+
+    /// Fences a new epoch: atomically re-routes every `(group, slot)`
+    /// pair and returns the new epoch.  A group fenced back to its base
+    /// shard keeps an explicit override — routing history is monotone in
+    /// the epoch, never inferred from hash equality.
+    pub fn fence(&self, moves: &[(u64, usize)]) -> u64 {
+        let mut inner = self.inner.lock();
+        for &(g, slot) in moves {
+            inner.overrides.insert(g, slot);
+        }
+        inner.epoch += 1;
+        inner.epoch
+    }
+
+    /// The `(epoch, sorted overrides)` snapshot backing
+    /// [`encode`](Self::encode).
+    pub fn snapshot(&self) -> (u64, Vec<(u64, usize)>) {
+        let inner = self.inner.lock();
+        let mut overrides: Vec<(u64, usize)> =
+            inner.overrides.iter().map(|(&g, &s)| (g, s)).collect();
+        overrides.sort_unstable();
+        (inner.epoch, overrides)
+    }
+
+    /// One-line wire form: `"<epoch>;<group>:<slot>,…"` with overrides in
+    /// group order (deterministic, so republished tables compare equal).
+    pub fn encode(&self) -> String {
+        let (epoch, overrides) = self.snapshot();
+        let body: Vec<String> = overrides.iter().map(|(g, s)| format!("{g}:{s}")).collect();
+        format!("{epoch};{}", body.join(","))
+    }
+
+    /// Rebuilds a table from [`encode`](Self::encode)'s wire form over
+    /// the given base router.
+    pub fn decode(base: GroupRouter, text: &str) -> Result<Self, String> {
+        let (epoch_part, body) = text
+            .split_once(';')
+            .ok_or_else(|| format!("routing table missing epoch separator: {text:?}"))?;
+        let epoch: u64 = epoch_part
+            .parse()
+            .map_err(|_| format!("bad routing epoch: {epoch_part:?}"))?;
+        let mut overrides = HashMap::new();
+        for pair in body.split(',').filter(|p| !p.is_empty()) {
+            let (g, s) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad routing override: {pair:?}"))?;
+            let g: u64 = g.parse().map_err(|_| format!("bad group id: {g:?}"))?;
+            let s: usize = s.parse().map_err(|_| format!("bad shard slot: {s:?}"))?;
+            overrides.insert(g, s);
+        }
+        Ok(Self {
+            base,
+            inner: Mutex::new(RoutingState { epoch, overrides }),
+        })
+    }
+
+    /// Publishes the current table in the deployment directory under
+    /// [`names::routing_table`] (called after every fence so
+    /// out-of-process resolvers see post-fence routing).
+    pub fn publish(&self, dir: &dyn Directory) -> Result<(), DirectoryError> {
+        dir.publish(&names::routing_table(), &self.encode())
+    }
+
+    /// Fetches the table published under [`names::routing_table`], if
+    /// any (`None` means no fence has been published: epoch-0 base
+    /// routing applies).
+    pub fn fetch(
+        dir: &dyn Directory,
+        base: GroupRouter,
+    ) -> Result<Option<RoutingTable>, DirectoryError> {
+        match dir.resolve(&names::routing_table())? {
+            None => Ok(None),
+            Some(text) => Self::decode(base, &text)
+                .map(Some)
+                .map_err(|detail| DirectoryError::Protocol { detail }),
+        }
     }
 }
 
@@ -178,6 +325,26 @@ pub fn reduce_worker_states(shards: &[Vec<WorkerState>]) -> Vec<WorkerState> {
         assert_eq!(s.len(), n_workers, "shard {k} has a different worker count");
     }
 
+    // Safety net of the epoch-fenced migration layer: a group whose last
+    // timestep was integrated by the *same worker* in two different
+    // lineages means a fence failed and every estimator the group feeds
+    // would be double-counted.  Keyed per worker — a re-homed group may
+    // legitimately appear finished on worker 0 of the dead lineage and on
+    // worker 1 of the adopter (each integrated a disjoint share).  (The
+    // per-worker interval ledgers inside `WorkerState::merge` catch
+    // partial overlaps; this check catches whole groups before any merge
+    // runs.)
+    let mut owner: HashMap<(usize, u64), usize> = HashMap::new();
+    for (k, shard) in shards.iter().enumerate() {
+        for state in shard {
+            for &g in state.finished_groups() {
+                if let Some(prev) = owner.insert((state.worker_id(), g), k) {
+                    panic!("group {g} was integrated by two shards ({prev} and {k})");
+                }
+            }
+        }
+    }
+
     // Drain: every shard state crosses the checkpoint codec exactly as it
     // would cross the wire from a remote shard (the input is only read —
     // the reduction works on the unpacked copies).
@@ -216,23 +383,31 @@ pub(crate) fn run_sharded_study(
     config: StudyConfig,
     faults: FaultPlan,
 ) -> Result<StudyOutput, String> {
+    faults.validate(config.n_shards)?;
     let router = GroupRouter::from_config(&config);
     let n_shards = config.n_shards;
     let n_groups = config.n_groups;
     let solver_timesteps = config.solver.n_timesteps;
     let ctx = StudyContext::new(config, faults);
+    let n_slots = ctx.n_slots;
 
-    // One supervisor thread per shard; they share the batch runner (the
-    // global node budget), the study clock, the transport and the
+    // One supervisor thread per shard *slot*; they share the batch runner
+    // (the global node budget), the study clock, the transport and the
     // convergence coordination, and are otherwise fully independent —
-    // a shard failover never stalls the other shards.
+    // a shard failover never stalls the other shards.  Slots beyond the
+    // configured shard count join the study fresh (elastic scale-out):
+    // they own no groups until an epoch fence hands them some.
     let mut runs: Vec<Option<crate::launcher::ShardRun>> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_shards)
+        let handles: Vec<_> = (0..n_slots)
             .map(|k| {
                 let ctx = &ctx;
-                let groups = router.groups_for_shard(k, n_groups);
+                let groups = if k < n_shards {
+                    router.groups_for_shard(k, n_groups)
+                } else {
+                    Vec::new()
+                };
                 scope.spawn(move || {
                     let scope_name = names::shard_scope(k);
                     supervise_shard(ctx, k, &scope_name, &groups)
@@ -270,13 +445,16 @@ pub(crate) fn run_sharded_study(
     report.n_shards = n_shards;
     report.final_max_ci = 0.0;
     report.final_max_quantile_step = 0.0;
-    let mut states: Vec<Vec<WorkerState>> = Vec::with_capacity(n_shards);
+    let mut states: Vec<Vec<WorkerState>> = Vec::with_capacity(n_slots);
     for (k, run) in runs.into_iter().enumerate() {
         let r = run.report;
         report.groups_finished += r.groups_finished;
         report.groups_abandoned.extend(&r.groups_abandoned);
         report.group_restarts += r.group_restarts;
         report.server_restarts += r.server_restarts;
+        report.groups_migrated += r.groups_migrated;
+        report.shards_rehomed += r.shards_rehomed;
+        report.shards_joined += r.shards_joined;
         report.data_messages += r.data_messages;
         report.data_bytes += r.data_bytes;
         report.replays_discarded += r.replays_discarded;
@@ -293,7 +471,6 @@ pub(crate) fn run_sharded_study(
         // Per-probability steps: elementwise max over shards (every shard
         // tracks the same probability vector); a shard whose workers
         // never all reported contributes nothing.
-        report.quantile_probs = r.quantile_probs;
         if report.final_quantile_steps.len() < r.final_quantile_steps.len() {
             report
                 .final_quantile_steps
@@ -306,15 +483,41 @@ pub(crate) fn run_sharded_study(
         {
             *acc = acc.max(s);
         }
-        report.transport = r.transport;
+        // First non-empty wins; shards reporting a value must agree —
+        // last-shard-wins would let a trailing shard wipe the study-wide
+        // probability vector or the backend name.
+        if report.quantile_probs.is_empty() {
+            report.quantile_probs = r.quantile_probs;
+        } else if !r.quantile_probs.is_empty() {
+            assert_eq!(
+                report.quantile_probs, r.quantile_probs,
+                "shards disagree on the tracked quantile probabilities"
+            );
+        }
+        if report.transport.is_empty() {
+            report.transport = r.transport;
+        } else if !r.transport.is_empty() {
+            assert_eq!(
+                report.transport, r.transport,
+                "shards disagree on the transport backend"
+            );
+        }
         for e in r.events {
             report.events.push(format!("[shard {k}] {e}"));
         }
         states.push(run.states);
     }
     report.groups_abandoned.sort_unstable();
+    report.routing_epoch = ctx.coord.routing.epoch();
     report.wall_time = ctx.started.elapsed();
 
+    // Reduce over the state *lineages* in slot order: each slot's final
+    // states are one lineage (a permanently dead shard's lineage is its
+    // adopted checkpoint snapshot, returned at the dead slot so the fold
+    // order is stable under any migration schedule); slots that never
+    // integrated anything drop out without disturbing the canonical
+    // order.
+    let states: Vec<Vec<WorkerState>> = states.into_iter().filter(|s| !s.is_empty()).collect();
     let reduced = reduce_worker_states(&states);
     let results = StudyResults::from_worker_states(ctx.p, solver_timesteps, ctx.n_cells, reduced);
     Ok(StudyOutput { results, report })
@@ -449,6 +652,70 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn routing_table_fences_overrides_on_top_of_the_base_hash() {
+        let base = GroupRouter::new(4, 2017);
+        let table = RoutingTable::new(base);
+        assert_eq!(table.epoch(), 0);
+        for g in 0..64u64 {
+            assert_eq!(table.shard_of(g), base.shard_of(g), "epoch 0 is the base");
+        }
+        let g = 7u64;
+        let away = (base.shard_of(g) + 1) % 4;
+        assert_eq!(table.fence(&[(g, away)]), 1);
+        assert_eq!(table.shard_of(g), away);
+        assert_eq!(table.scope_of(g), names::shard_scope(away));
+        // Scale-out: overrides may exceed the base shard count.
+        assert_eq!(table.fence(&[(g, 6)]), 2);
+        assert_eq!(table.shard_of(g), 6);
+        // Migrate-back keeps an explicit override and a new epoch.
+        let home = base.shard_of(g);
+        assert_eq!(table.fence(&[(g, home)]), 3);
+        assert_eq!(table.shard_of(g), home);
+        let (epoch, overrides) = table.snapshot();
+        assert_eq!(epoch, 3);
+        assert_eq!(overrides, vec![(g, home)]);
+    }
+
+    #[test]
+    fn routing_table_round_trips_through_the_directory() {
+        use melissa_transport::{Directory as _, LocalDirectory};
+        let base = GroupRouter::new(3, 99);
+        let table = RoutingTable::new(base);
+        table.fence(&[(2, 1), (5, 4)]);
+        table.fence(&[(2, 0)]);
+
+        let dir = LocalDirectory::new();
+        assert!(RoutingTable::fetch(&dir, base).unwrap().is_none());
+        table.publish(&dir).unwrap();
+        assert_eq!(
+            dir.resolve(&names::routing_table()).unwrap().as_deref(),
+            Some(table.encode().as_str())
+        );
+        let fetched = RoutingTable::fetch(&dir, base).unwrap().expect("published");
+        assert_eq!(fetched.epoch(), 2);
+        for g in 0..16u64 {
+            assert_eq!(
+                fetched.shard_of(g),
+                table.shard_of(g),
+                "resolvers must agree as a pure function of (config, epoch)"
+            );
+        }
+        assert!(RoutingTable::decode(base, "not-a-table").is_err());
+        assert!(RoutingTable::decode(base, "3;5:x").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "integrated by two shards")]
+    fn reduce_rejects_a_group_finished_by_two_shards() {
+        let slab = CellRange { start: 0, len: 4 };
+        // Group 1 fully integrated by both lineages: the fence safety net
+        // must refuse to merge.
+        let a = vec![state_with_groups(0, slab, &[0, 1])];
+        let b = vec![state_with_groups(0, slab, &[1, 2])];
+        reduce_worker_states(&[a, b]);
     }
 
     #[test]

@@ -629,6 +629,14 @@ pub mod names {
     pub fn collect_in(k: usize) -> String {
         format!("collect/shard{k}")
     }
+
+    /// The study-wide routing-table key: the launcher publishes the
+    /// encoded epoch-fenced group-to-shard override map under this name
+    /// after every fence, so out-of-process clients resolve a group's
+    /// current shard from the directory instead of a stale base hash.
+    pub fn routing_table() -> String {
+        "routing/table".to_string()
+    }
 }
 
 #[cfg(test)]

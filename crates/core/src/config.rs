@@ -112,6 +112,12 @@ pub struct StudyConfig {
     /// seven probabilities of its EDF-scale study; empty disables order
     /// statistics.
     pub quantile_probs: Vec<f64>,
+    /// Live telemetry: when `true` (default) every shard runs a
+    /// lock-free metrics registry, a typed event journal, and a
+    /// `telemetry/shard<k>` scrape endpoint (see `melissa-telemetry`).
+    /// Disabling removes even the residual ingest-path cost (a clock
+    /// read and two relaxed atomic adds per sweep).
+    pub telemetry: bool,
 }
 
 impl Default for StudyConfig {
@@ -140,6 +146,7 @@ impl Default for StudyConfig {
             link_fault: melissa_transport::FaultPolicy::default(),
             thresholds: vec![0.5],
             quantile_probs: melissa_stats::quantiles::PAPER_PROBS.to_vec(),
+            telemetry: true,
         }
     }
 }

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use melissa_sobol::design::PickFreeze;
 use melissa_solver::injection::InjectionParams;
 use melissa_solver::FrozenFlow;
+use melissa_telemetry::{EventKind, Telemetry};
 use melissa_transport::directory::names;
 use melissa_transport::{
     make_transport, KillSwitch, LivenessTracker, Receiver, RecvTimeoutError, Transport,
@@ -175,13 +176,24 @@ pub(crate) struct StudyContext {
     /// shards, plus one joiner slot per scripted scale-out target beyond
     /// them ([`FaultPlan::n_supervisors`]).
     pub n_slots: usize,
+    /// Per-slot live telemetry (empty when
+    /// [`StudyConfig::telemetry`] is off): shared registry, event ring
+    /// and routing-epoch gauge, all stamped against the study clock.
+    pub telemetry: Vec<Arc<Telemetry>>,
 }
 
 impl StudyContext {
     /// Draws the design, runs the shared pre-run and sets up the runtime
-    /// shared by all shard supervisors.
-    pub(crate) fn new(config: StudyConfig, faults: FaultPlan) -> Self {
-        let transport = make_transport(config.transport.clone());
+    /// shared by all shard supervisors, optionally over a caller-provided
+    /// transport (live scrapers share it to reach the study's
+    /// `telemetry/shard<k>` endpoints); `None` builds one from the
+    /// configured kind.
+    pub(crate) fn new_on(
+        config: StudyConfig,
+        faults: FaultPlan,
+        transport: Option<Arc<dyn Transport>>,
+    ) -> Self {
+        let transport = transport.unwrap_or_else(|| make_transport(config.transport.clone()));
         let space = InjectionParams::parameter_space();
         let design = PickFreeze::generate(config.n_groups, &space, config.seed);
         let p = space.dim();
@@ -192,6 +204,16 @@ impl StudyContext {
         let routing =
             RoutingTable::new(GroupRouter::new(config.n_shards.max(1), config.shard_seed));
         let coord = Coordination::new(n_slots, routing);
+        let started = Instant::now();
+        // One telemetry hub per supervisor slot, all on the shared study
+        // clock so cross-shard event timestamps are comparable.
+        let telemetry = if config.telemetry {
+            (0..n_slots)
+                .map(|k| Telemetry::with_origin(k as u32, started))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             config,
             faults,
@@ -202,16 +224,22 @@ impl StudyContext {
             coord,
             p,
             n_cells,
-            started: Instant::now(),
+            started,
             n_slots,
+            telemetry,
         }
     }
 
-    /// The server configuration of the shard scoped by `scope` (the empty
-    /// scope is the single-server deployment and keeps the flat
-    /// checkpoint directory; shards checkpoint into per-shard
+    /// Slot `slot`'s telemetry hub (`None` when telemetry is disabled).
+    pub(crate) fn telemetry(&self, slot: usize) -> Option<&Arc<Telemetry>> {
+        self.telemetry.get(slot)
+    }
+
+    /// The server configuration of the shard in slot `slot` scoped by
+    /// `scope` (the empty scope is the single-server deployment and keeps
+    /// the flat checkpoint directory; shards checkpoint into per-shard
     /// subdirectories so worker files never collide).
-    pub(crate) fn server_config(&self, scope: &str) -> ServerConfig {
+    pub(crate) fn server_config(&self, slot: usize, scope: &str) -> ServerConfig {
         let checkpoint_dir = if scope.is_empty() {
             self.config.checkpoint_dir.clone()
         } else {
@@ -233,6 +261,7 @@ impl StudyContext {
             restore: false,
             thresholds: self.config.thresholds.clone(),
             quantile_probs: self.config.quantile_probs.clone(),
+            telemetry: self.telemetry(slot).cloned(),
         }
     }
 }
@@ -248,12 +277,24 @@ pub(crate) struct ShardRun {
 
 /// Runs a complete study under the launcher's supervision.
 pub fn run_study(config: StudyConfig, faults: FaultPlan) -> Result<StudyOutput, String> {
+    run_study_on(config, faults, None)
+}
+
+/// [`run_study`] over a caller-provided transport.  Passing the transport
+/// in lets a live scraper (e.g. `examples/melissa_top.rs`) connect to the
+/// study's `telemetry/shard<k>` endpoints while it runs; `None` builds
+/// one from [`StudyConfig::transport`].
+pub fn run_study_on(
+    config: StudyConfig,
+    faults: FaultPlan,
+    transport: Option<Arc<dyn Transport>>,
+) -> Result<StudyOutput, String> {
     config.validate()?;
     faults.validate(config.n_shards)?;
     if config.n_shards > 1 {
-        return crate::shard::run_sharded_study(config, faults);
+        return crate::shard::run_sharded_study(config, faults, transport);
     }
-    let ctx = StudyContext::new(config, faults);
+    let ctx = StudyContext::new_on(config, faults, transport);
     let groups: Vec<u64> = (0..ctx.config.n_groups as u64).collect();
     let run = supervise_shard(&ctx, 0, "", &groups)?;
 
@@ -286,13 +327,26 @@ pub(crate) fn supervise_shard(
 
     let mut report = StudyReport::new(config.n_groups);
     report.n_shards = config.n_shards;
+    // Stamp journal events against the shared study clock, tagged with
+    // this supervisor's slot, so per-shard journals merge on one axis.
+    report.origin = ctx.started;
+    report.shard = shard as u32;
     if shard >= config.n_shards {
         // A joiner slot: no groups at launch, everything arrives by
         // handoff (elastic scale-out).
         report.shards_joined = 1;
     }
 
-    let server_config = ctx.server_config(scope);
+    // Live telemetry handles (all no-ops when disabled): control-path
+    // gauges each supervision tick, histograms on completion/migration.
+    let tele = ctx.telemetry(shard);
+    let queue_gauge = tele.map(|t| t.registry().gauge("runner_queue_depth"));
+    let free_gauge = tele.map(|t| t.registry().gauge("runner_free_units"));
+    let turnaround_hist = tele.map(|t| t.registry().histogram("group_turnaround_nanos"));
+    let drain_hist = tele.map(|t| t.registry().histogram("migrate_drain_nanos"));
+    let adopt_hist = tele.map(|t| t.registry().histogram("migrate_adopt_nanos"));
+
+    let server_config = ctx.server_config(shard, scope);
 
     // Start the server and wait for readiness.
     let launcher_tx = transport
@@ -399,6 +453,15 @@ pub(crate) fn supervise_shard(
             ));
         }
 
+        // Control-path gauges, refreshed every supervision tick: how deep
+        // the FCFS queue is and how much of the node budget is free.
+        if let Some(g) = &queue_gauge {
+            g.set(ctx.runner.queued_jobs());
+        }
+        if let Some(g) = &free_gauge {
+            g.set(ctx.runner.free_units() as u64);
+        }
+
         // 1. Drain launcher inbox.
         match launcher_rx.recv_timeout(Duration::from_millis(10)) {
             Ok(frame) => {
@@ -440,15 +503,18 @@ pub(crate) fn supervise_shard(
                             if !known_finished.contains(&group_id)
                                 && my_groups.contains(&group_id) =>
                         {
-                            report.log(format!(
-                                "server reported group {group_id} unresponsive (timeout)"
-                            ));
+                            log_ev(
+                                &mut report,
+                                tele,
+                                EventKind::GroupTimeout { group: group_id },
+                            );
                             handle_group_failure(
                                 group_id,
                                 &mut active,
                                 &mut retries,
                                 &mut abandoned,
                                 &mut report,
+                                tele,
                                 config.max_group_retries,
                                 &submit,
                                 &server.kill,
@@ -468,13 +534,17 @@ pub(crate) fn supervise_shard(
         for handoff in ctx.coord.take_handoffs(shard) {
             handoffs_received += 1;
             let adopted_any = !handoff.groups.is_empty();
+            let adopt_started = Instant::now();
             if adopted_any {
-                report.log(format!(
-                    "epoch {}: adopting {} groups from slot {}",
-                    handoff.epoch,
-                    handoff.groups.len(),
-                    handoff.from
-                ));
+                log_ev(
+                    &mut report,
+                    tele,
+                    EventKind::GroupsAdopted {
+                        epoch: handoff.epoch,
+                        n_groups: handoff.groups.len() as u64,
+                        from: handoff.from as u32,
+                    },
+                );
             }
             for mg in handoff.groups {
                 server.adopt_floors(mg.id, &mg.floors);
@@ -499,6 +569,9 @@ pub(crate) fn supervise_shard(
                 // this point must restore the adopted floors, not
                 // resurrect pre-fence state.
                 server.checkpoint_now(&server_config.checkpoint_dir);
+                if let Some(h) = &adopt_hist {
+                    h.record(adopt_started.elapsed().as_nanos() as u64);
+                }
             }
         }
 
@@ -511,6 +584,7 @@ pub(crate) fn supervise_shard(
             mig_idx += 1;
             let finished_now: HashSet<u64> =
                 server.shared().finished_groups().into_iter().collect();
+            let drain_started = Instant::now();
             let mut candidates: Vec<u64> = match &m.moves {
                 crate::fault::MigrationMoves::Groups(gs) => gs
                     .iter()
@@ -548,9 +622,14 @@ pub(crate) fn supervise_shard(
                     server.adopt_floors(g, &floors);
                     await_adopt_acks(&server, g, config.migration_timeout)
                         .map_err(|e| format!("shard {shard}: {e}"))?;
-                    report.log(format!(
-                        "group {g} finished during the fence; staying on shard {shard}"
-                    ));
+                    log_ev(
+                        &mut report,
+                        tele,
+                        EventKind::FinishedDuringFence {
+                            group: g,
+                            shard: shard as u32,
+                        },
+                    );
                     if !server.shared().finished_groups().contains(&g) {
                         let instance = retries.get(&g).copied().unwrap_or(0) + 1;
                         retries.insert(g, instance);
@@ -578,12 +657,23 @@ pub(crate) fn supervise_shard(
                 });
             }
             let epoch = ctx.coord.routing.fence(&moves);
+            if let Some(t) = tele {
+                t.set_routing_epoch(epoch);
+            }
+            if let Some(h) = &drain_hist {
+                h.record(drain_started.elapsed().as_nanos() as u64);
+            }
             report.groups_migrated += handoff_groups.len() as u64;
-            report.log(format!(
-                "epoch {epoch}: migrating {} groups from shard {shard} to slot {}",
-                handoff_groups.len(),
-                m.to
-            ));
+            log_ev(
+                &mut report,
+                tele,
+                EventKind::MigrationFence {
+                    epoch,
+                    n_groups: handoff_groups.len() as u64,
+                    from: shard as u32,
+                    to: m.to as u32,
+                },
+            );
             // Persist the post-fence floors before anything else can
             // fail: a transient restore must never resurrect a migrated
             // group's pre-fence state.
@@ -612,19 +702,26 @@ pub(crate) fn supervise_shard(
             let k = kills[kill_idx].clone();
             kill_idx += 1;
             if !k.permanent {
-                report.log(format!(
-                    "FAULT INJECTION: killing server after {} finished groups",
-                    known_finished.len()
-                ));
+                log_ev(
+                    &mut report,
+                    tele,
+                    EventKind::ServerKillInjected {
+                        finished: known_finished.len() as u64,
+                    },
+                );
                 server.kill.kill();
             } else {
                 let to = k
                     .rehome_to
                     .expect("validated: permanent kills name a re-home target");
-                report.log(format!(
-                    "FAULT INJECTION: permanent shard death after {} finished groups; re-homing to slot {to}",
-                    known_finished.len()
-                ));
+                log_ev(
+                    &mut report,
+                    tele,
+                    EventKind::ShardDeathInjected {
+                        finished: known_finished.len() as u64,
+                        rehome_to: to as u32,
+                    },
+                );
                 return rehome_dead_shard(
                     ctx,
                     shard,
@@ -652,7 +749,7 @@ pub(crate) fn supervise_shard(
         // groups back to it).
         if server.kill.is_killed() || !server_liveness.expired().is_empty() {
             report.server_restarts += 1;
-            report.log("server failure detected: restarting from checkpoint".into());
+            log_ev(&mut report, tele, EventKind::ServerRestarted);
             // Kill all running jobs (their sends would hang on dead
             // endpoints), then restart the server from its checkpoint.
             for (_, job) in active.iter() {
@@ -696,9 +793,11 @@ pub(crate) fn supervise_shard(
                 }
                 let instance = retries.get(&g).copied().unwrap_or(0) + 1;
                 retries.insert(g, instance);
-                report.log(format!(
-                    "resubmitting group {g} as instance {instance} after server restart"
-                ));
+                log_ev(
+                    &mut report,
+                    tele,
+                    EventKind::GroupResubmitted { group: g, instance },
+                );
                 report.group_restarts += 1;
                 let handle = submit(g, instance, server.kill.clone());
                 active.insert(
@@ -721,13 +820,21 @@ pub(crate) fn supervise_shard(
                 let outcome = outcomes.lock().get(&(g, job.instance)).cloned();
                 match outcome {
                     Some(GroupOutcome::Completed { .. }) => {
+                        if let Some(h) = &turnaround_hist {
+                            h.record(job.started_at.elapsed().as_nanos() as u64);
+                        }
                         to_remove.push(g);
                     }
                     Some(GroupOutcome::Died { .. }) | Some(GroupOutcome::Aborted { .. }) => {
-                        report.log(format!(
-                            "group {g} instance {} ended abnormally: {:?}",
-                            job.instance, outcome
-                        ));
+                        log_ev(
+                            &mut report,
+                            tele,
+                            EventKind::GroupDied {
+                                group: g,
+                                instance: job.instance,
+                                detail: format!("{outcome:?}"),
+                            },
+                        );
                         to_fail.push(g);
                     }
                     None => to_remove.push(g), // killed before recording
@@ -737,10 +844,14 @@ pub(crate) fn supervise_shard(
                 // the timeout but the server has never heard from it.
                 let silent = !known_running.contains(&g) && !known_finished.contains(&g);
                 if silent && job.started_at.elapsed() > config.group_timeout * 2 {
-                    report.log(format!(
-                        "group {g} instance {} is a zombie (running, never reported)",
-                        job.instance
-                    ));
+                    log_ev(
+                        &mut report,
+                        tele,
+                        EventKind::GroupZombie {
+                            group: g,
+                            instance: job.instance,
+                        },
+                    );
                     to_fail.push(g);
                 }
             }
@@ -759,6 +870,7 @@ pub(crate) fn supervise_shard(
                 &mut retries,
                 &mut abandoned,
                 &mut report,
+                tele,
                 config.max_group_retries,
                 &submit,
                 &server.kill,
@@ -785,10 +897,15 @@ pub(crate) fn supervise_shard(
             }
             if ctx.coord.early_stop.load(Ordering::Relaxed) && !early_stopped {
                 early_stopped = true;
-                report.log(format!(
-                    "convergence reached (aggregate max CI width {global_ci:.4}, max quantile step {global_qstep:.4}): cancelling {} remaining groups",
-                    active.len()
-                ));
+                log_ev(
+                    &mut report,
+                    tele,
+                    EventKind::EarlyStop {
+                        max_ci: global_ci,
+                        max_qstep: global_qstep,
+                        cancelled: active.len() as u64,
+                    },
+                );
                 for (_, job) in active.iter() {
                     job.handle.kill.kill();
                 }
@@ -889,6 +1006,8 @@ pub(crate) fn supervise_shard(
     report.final_max_quantile_step = last_quantile_step;
     report.quantile_probs = config.quantile_probs.clone();
     report.final_quantile_steps = last_quantile_steps;
+    report.transport_reconnects = transport.reconnects();
+    report.routing_epoch = ctx.coord.routing.epoch();
 
     Ok(ShardRun { states, report })
 }
@@ -919,6 +1038,7 @@ fn rehome_dead_shard(
     early_stopped: bool,
 ) -> Result<ShardRun, String> {
     let config = &ctx.config;
+    let tele = ctx.telemetry(shard);
     for (_, job) in active.iter() {
         job.handle.kill.kill();
     }
@@ -941,9 +1061,14 @@ fn rehome_dead_shard(
                 lineage.push(st);
             }
             Err(e) => {
-                report.log(format!(
-                    "worker {w} checkpoint unreadable on permanent death ({e}); cold hand-off"
-                ));
+                log_ev(
+                    &mut report,
+                    tele,
+                    EventKind::CheckpointUnreadable {
+                        worker: w as u32,
+                        detail: e.to_string(),
+                    },
+                );
                 lineage.push(WorkerState::with_stats(
                     w,
                     partition.worker_range(w),
@@ -987,12 +1112,21 @@ fn rehome_dead_shard(
     }
     let fence: Vec<(u64, usize)> = moved.iter().map(|&g| (g, to)).collect();
     let epoch = ctx.coord.routing.fence(&fence);
+    if let Some(t) = tele {
+        t.set_routing_epoch(epoch);
+    }
     report.groups_migrated += handoff_groups.len() as u64;
     report.shards_rehomed = 1;
-    report.log(format!(
-        "epoch {epoch}: re-homing {} groups from dead shard {shard} to slot {to}",
-        handoff_groups.len()
-    ));
+    log_ev(
+        &mut report,
+        tele,
+        EventKind::ShardRehomed {
+            epoch,
+            n_groups: handoff_groups.len() as u64,
+            from: shard as u32,
+            to: to as u32,
+        },
+    );
     ctx.coord.push_handoff(
         to,
         Handoff {
@@ -1052,6 +1186,8 @@ fn rehome_dead_shard(
     report.final_max_quantile_step = signals.1;
     report.quantile_probs = config.quantile_probs.clone();
     report.final_quantile_steps = signals.2;
+    report.transport_reconnects = ctx.transport.reconnects();
+    report.routing_epoch = epoch;
     Ok(ShardRun {
         states: lineage,
         report,
@@ -1138,6 +1274,15 @@ fn wait_for_ready(rx: &dyn Receiver, timeout: Duration) -> Result<(), String> {
     }
 }
 
+/// Journals an event through the report and mirrors the stamped copy into
+/// the shard's live telemetry ring (a no-op when telemetry is off).
+fn log_ev(report: &mut StudyReport, tele: Option<&Arc<Telemetry>>, kind: impl Into<EventKind>) {
+    let event = report.log(kind);
+    if let Some(t) = tele {
+        t.record_event(event);
+    }
+}
+
 /// Kills (if needed) and resubmits a failed group, honouring the retry cap.
 #[allow(clippy::too_many_arguments)]
 fn handle_group_failure<F>(
@@ -1146,6 +1291,7 @@ fn handle_group_failure<F>(
     retries: &mut HashMap<u64, u32>,
     abandoned: &mut HashSet<u64>,
     report: &mut StudyReport,
+    tele: Option<&Arc<Telemetry>>,
     max_retries: u32,
     submit: &F,
     server_kill: &KillSwitch,
@@ -1163,12 +1309,23 @@ fn handle_group_failure<F>(
     *n += 1;
     if *n > max_retries {
         abandoned.insert(g);
-        report.log(format!("group {g} abandoned after {max_retries} retries"));
+        log_ev(
+            report,
+            tele,
+            EventKind::GroupAbandoned {
+                group: g,
+                retries: max_retries,
+            },
+        );
         return;
     }
     let instance = *n;
     report.group_restarts += 1;
-    report.log(format!("restarting group {g} as instance {instance}"));
+    log_ev(
+        report,
+        tele,
+        EventKind::GroupRestarted { group: g, instance },
+    );
     let handle = submit(g, instance, server_kill.clone());
     active.insert(
         g,

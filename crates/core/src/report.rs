@@ -4,7 +4,9 @@
 //! data that were accumulated to compute the results through the detailed
 //! report of failures and restarts the Melissa Server provides."
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use melissa_telemetry::{EventKind, StudyEvent};
 
 /// Accounting of one complete study run.
 #[derive(Debug, Clone)]
@@ -76,8 +78,21 @@ pub struct StudyReport {
     /// of each tracked percentile, so a 1 %/99 % study can see which
     /// estimate was slowest.  Empty until every worker reported once.
     pub final_quantile_steps: Vec<f64>,
-    /// Chronological failure/restart log.
-    pub events: Vec<String>,
+    /// Transport links re-established after a connection loss (the
+    /// multi-node self-healing counter; 0 on backends without
+    /// reconnection).
+    pub transport_reconnects: u64,
+    /// The study clock origin: every event's `at_nanos` is elapsed time
+    /// from here.  Shards of one study share it, so their journals merge
+    /// on a common time axis.
+    pub origin: Instant,
+    /// The shard slot this report describes (0 for single-server studies;
+    /// aggregated sharded reports keep 0 and carry per-shard identity on
+    /// each event).
+    pub shard: u32,
+    /// Chronological failure/restart journal (typed; see
+    /// [`event_lines`](Self::event_lines) for the legacy text render).
+    pub events: Vec<StudyEvent>,
 }
 
 impl StudyReport {
@@ -109,13 +124,30 @@ impl StudyReport {
             final_max_quantile_step: 0.0,
             quantile_probs: Vec::new(),
             final_quantile_steps: Vec::new(),
+            transport_reconnects: 0,
+            origin: Instant::now(),
+            shard: 0,
             events: Vec::new(),
         }
     }
 
-    /// Appends an event to the failure/restart log.
-    pub fn log(&mut self, event: String) {
-        self.events.push(event);
+    /// Appends an event to the failure/restart journal, stamped with the
+    /// study clock and this report's shard.  Returns a copy so callers
+    /// can mirror the stamped event into a live telemetry ring.
+    pub fn log(&mut self, kind: impl Into<EventKind>) -> StudyEvent {
+        let event = StudyEvent {
+            seq: self.events.len() as u64,
+            at_nanos: self.origin.elapsed().as_nanos() as u64,
+            shard: self.shard,
+            kind: kind.into(),
+        };
+        self.events.push(event.clone());
+        event
+    }
+
+    /// The legacy free-text view of the journal, in journal order.
+    pub fn event_lines(&self) -> Vec<String> {
+        self.events.iter().map(|e| e.render()).collect()
     }
 
     /// Data volume in mebibytes.
@@ -198,10 +230,18 @@ impl std::fmt::Display for StudyReport {
                 self.final_max_ci
             )?;
         }
+        if self.transport_reconnects > 0 {
+            writeln!(f, "link reconnects   : {}", self.transport_reconnects)?;
+        }
         if !self.events.is_empty() {
             writeln!(f, "--- failure/restart log ---")?;
             for e in &self.events {
-                writeln!(f, "  {e}")?;
+                let text = if self.n_shards > 1 {
+                    e.render()
+                } else {
+                    e.kind.render()
+                };
+                writeln!(f, "  [+{:.3}s] {text}", e.at_nanos as f64 / 1e9)?;
             }
         }
         Ok(())
@@ -224,7 +264,10 @@ mod tests {
         r.final_max_quantile_step = 0.0375;
         r.quantile_probs = vec![0.01, 0.5, 0.99];
         r.final_quantile_steps = vec![0.0371, 0.0188, 0.0371];
-        r.log("restarting group 7 as instance 1".into());
+        r.log(EventKind::GroupRestarted {
+            group: 7,
+            instance: 1,
+        });
         let text = r.to_string();
         assert!(text.contains("9/10 finished"));
         assert!(text.contains("3.0 MiB"));
@@ -234,6 +277,23 @@ mod tests {
         assert!(text.contains("q01=0.0371"), "text: {text}");
         assert!(text.contains("q50=0.0188"), "text: {text}");
         assert!(text.contains("transport         : tcp (1234 frames"));
+    }
+
+    #[test]
+    fn log_stamps_sequence_shard_and_clock() {
+        let mut r = StudyReport::new(4);
+        r.shard = 2;
+        let first = r.log("free text");
+        let second = r.log(EventKind::ServerRestarted);
+        assert_eq!(first.seq, 0);
+        assert_eq!(second.seq, 1);
+        assert_eq!(second.shard, 2);
+        assert!(
+            second.at_nanos >= first.at_nanos,
+            "study clock is monotonic"
+        );
+        assert_eq!(r.event_lines()[0], "[shard 2] free text");
+        assert!(r.event_lines()[1].contains("restarting from checkpoint"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use melissa_mesh::SlabPartition;
+use melissa_telemetry::{LinkScrape, ScrapeRequest, ScrapeSnapshot, Telemetry};
 use melissa_transport::directory::names;
 use melissa_transport::{
     BoxReceiver, BoxSender, KillSwitch, LinkStatsSnapshot, LivenessTracker, RecvTimeoutError,
@@ -91,6 +92,12 @@ pub struct ServerConfig {
     /// (the follow-up paper arXiv:1905.04180; empty disables order
     /// statistics).
     pub quantile_probs: Vec<f64>,
+    /// Live telemetry hub of this shard (`None` disables instrumentation
+    /// and the scrape endpoint entirely).  When set, the server times
+    /// ingest sweeps and checkpoint writes/restores into the shared
+    /// registry and serves [`ScrapeRequest`]s on
+    /// [`names::telemetry`]`(shard)`.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 /// State shared between server threads and readable by the launcher.
@@ -301,6 +308,13 @@ impl Server {
         // Bind everything *before* any thread runs so clients can connect
         // as soon as ServerReady is out.
         let main_rx = transport.bind(&names::server_main_in(&config.scope), config.hwm);
+        // The scrape endpoint binds alongside the data endpoints (and,
+        // like them, rebinds on a checkpoint-restore restart), so a live
+        // scraper can reach the shard for the study's whole lifetime.
+        let scrape_rx = config
+            .telemetry
+            .as_ref()
+            .map(|t| transport.bind(&names::telemetry(t.shard() as usize), 64));
         let worker_rxs: Vec<BoxReceiver> = (0..config.n_workers)
             .map(|w| transport.bind(&names::server_worker_in(&config.scope, w), config.hwm))
             .collect();
@@ -324,6 +338,7 @@ impl Server {
                 let kill = kill.clone();
                 let slab = partition.worker_range(w);
                 std::thread::spawn(move || {
+                    let restore_started = Instant::now();
                     let state = if cfg.restore {
                         match read_checkpoint(&cfg.checkpoint_dir, w) {
                             Ok(mut st) => {
@@ -367,6 +382,13 @@ impl Server {
                             &cfg.quantile_probs,
                         )
                     };
+                    if cfg.restore {
+                        if let Some(t) = &cfg.telemetry {
+                            t.registry()
+                                .histogram("checkpoint_restore_nanos")
+                                .record(restore_started.elapsed().as_nanos() as u64);
+                        }
+                    }
                     // Checkpointed bookkeeping seeds the shared lists.
                     if cfg.restore {
                         for &g in state.finished_groups() {
@@ -397,7 +419,16 @@ impl Server {
             let transport = Arc::clone(&transport);
             let senders = worker_senders.clone();
             std::thread::spawn(move || {
-                main_loop(cfg, transport, shared, kill, launcher_tx, senders, main_rx)
+                main_loop(
+                    cfg,
+                    transport,
+                    shared,
+                    kill,
+                    launcher_tx,
+                    senders,
+                    main_rx,
+                    scrape_rx,
+                )
             })
         };
 
@@ -525,6 +556,50 @@ impl Server {
     }
 }
 
+/// Builds one shard's point-in-time scrape snapshot: study progress and
+/// convergence from the shared server state, link counters from the
+/// transport rollup (scoped to this instance's endpoints), and the
+/// registry + recent-event window from the telemetry hub.
+fn scrape_snapshot(
+    cfg: &ServerConfig,
+    transport: &dyn Transport,
+    shared: &ServerShared,
+    tele: &Arc<Telemetry>,
+) -> ScrapeSnapshot {
+    let scope_prefix = format!("{}/", cfg.scope);
+    let links: Vec<LinkScrape> = transport
+        .link_stats()
+        .into_iter()
+        .filter(|(name, _)| cfg.scope.is_empty() || name.starts_with(&scope_prefix))
+        .map(|(name, s)| LinkScrape::of(&name, &s))
+        .collect();
+    // Each lock is taken in its own statement so the guard drops before
+    // the next acquisition.  Folding these into the struct literal below
+    // would keep every temporary guard alive until the end of the whole
+    // expression — and `running_groups()` re-locks `finished`, which
+    // self-deadlocks on the non-reentrant mutex.
+    let groups_finished = shared.finished.lock().len() as u64;
+    let groups_running = shared.running_groups().len() as u64;
+    let max_ci_width = shared.max_ci_width();
+    let max_quantile_step = shared.max_quantile_step();
+    let metrics = tele.registry().snapshot();
+    let events = tele.recent_events(64);
+    ScrapeSnapshot {
+        shard: tele.shard(),
+        backend: transport.backend_name().to_string(),
+        uptime_nanos: tele.uptime_nanos(),
+        groups_finished,
+        groups_running,
+        max_ci_width,
+        max_quantile_step,
+        routing_epoch: tele.routing_epoch(),
+        reconnects: transport.reconnects(),
+        links,
+        metrics,
+        events,
+    }
+}
+
 /// Sums the per-endpoint link rollup over this instance's `server/<w>`
 /// data endpoints (scoped, so each shard's rollup counts only its own
 /// links).
@@ -540,6 +615,16 @@ fn data_link_rollup(transport: &dyn Transport, scope: &str, n_workers: usize) ->
     total
 }
 
+/// One in this many Data frames is wall-clock-timed into the
+/// `ingest_sweep_nanos` histogram.  Sampling keeps the instrumented
+/// ingest path within its <2 % overhead budget even on hosts where the
+/// monotonic clock is a full syscall (containers without a vDSO fast
+/// path, where a clock read costs microseconds) — the sampled
+/// distribution remains representative because frame kinds arrive
+/// round-robin (measured by `melissa-bench`'s `telemetry_ab` into
+/// `BENCH_telemetry.json`).
+pub const INGEST_SAMPLE_STRIDE: u64 = 64;
+
 /// Worker thread: pump the inbox, update local statistics, obey control
 /// messages.  Returns the final state on clean stop.
 fn worker_loop(
@@ -549,6 +634,18 @@ fn worker_loop(
     kill: KillSwitch,
     cfg: ServerConfig,
 ) -> WorkerState {
+    // Handles resolved once, outside the pump: per-frame cost with
+    // telemetry on is two relaxed atomic adds plus a counter increment,
+    // and a clock-read pair on one in [`INGEST_SAMPLE_STRIDE`] frames.
+    let ingest_hist = cfg
+        .telemetry
+        .as_ref()
+        .map(|t| t.registry().histogram("ingest_sweep_nanos"));
+    let mut ingest_tick = 0u64;
+    let ckpt_hist = cfg
+        .telemetry
+        .as_ref()
+        .map(|t| t.registry().histogram("checkpoint_write_nanos"));
     loop {
         if kill.is_killed() {
             return state; // crash: caller discards the state
@@ -580,7 +677,14 @@ fn worker_loop(
                             .bytes_received
                             .fetch_add((values.len() * 8) as u64, Ordering::Relaxed);
                         let before = state.replays_discarded;
+                        ingest_tick = ingest_tick.wrapping_add(1);
+                        let sweep_started = (ingest_hist.is_some()
+                            && ingest_tick.is_multiple_of(INGEST_SAMPLE_STRIDE))
+                        .then(Instant::now);
                         let completed = state.on_data(group_id, role, timestep, start, &values);
+                        if let (Some(h), Some(t0)) = (&ingest_hist, sweep_started) {
+                            h.record(t0.elapsed().as_nanos() as u64);
+                        }
                         shared
                             .replays_discarded
                             .fetch_add(state.replays_discarded - before, Ordering::Relaxed);
@@ -629,10 +733,14 @@ fn worker_loop(
                         }
                         shared.ack_adopt(group_id, state.worker_id());
                     }
-                    Message::Checkpoint { dir }
-                        if write_checkpoint(std::path::Path::new(&dir), &state).is_ok() =>
-                    {
-                        shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                    Message::Checkpoint { dir } => {
+                        let write_started = Instant::now();
+                        if write_checkpoint(std::path::Path::new(&dir), &state).is_ok() {
+                            shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                            if let Some(h) = &ckpt_hist {
+                                h.record(write_started.elapsed().as_nanos() as u64);
+                            }
+                        }
                     }
                     Message::Stop => return state,
                     _ => {}
@@ -655,6 +763,7 @@ fn main_loop(
     launcher_tx: BoxSender,
     worker_senders: Vec<BoxSender>,
     main_rx: BoxReceiver,
+    scrape_rx: Option<BoxReceiver>,
 ) {
     let mut last_report = Instant::now();
     let mut last_checkpoint = Instant::now();
@@ -695,6 +804,22 @@ fn main_loop(
             },
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
+        }
+
+        // Serve pending telemetry scrapes.  Strictly read-only against
+        // atomic snapshots on the *main* thread — the ingest path never
+        // sees a scraper, so scraping cannot perturb any statistic.
+        if let (Some(rx), Some(tele)) = (&scrape_rx, &cfg.telemetry) {
+            while let Ok(frame) = rx.try_recv() {
+                let mut slice: &[u8] = &frame;
+                let Ok(req) = ScrapeRequest::decode_from(&mut slice) else {
+                    continue; // corrupt request: drop
+                };
+                let snap = scrape_snapshot(&cfg, transport.as_ref(), &shared, tele);
+                if let Ok(tx) = transport.connect(&req.reply_to) {
+                    let _ = tx.send(snap.encode_reply(req.format));
+                }
+            }
         }
 
         if last_report.elapsed() >= cfg.report_interval {

@@ -382,13 +382,14 @@ pub fn reduce_worker_states(shards: &[Vec<WorkerState>]) -> Vec<WorkerState> {
 pub(crate) fn run_sharded_study(
     config: StudyConfig,
     faults: FaultPlan,
+    transport: Option<std::sync::Arc<dyn melissa_transport::Transport>>,
 ) -> Result<StudyOutput, String> {
     faults.validate(config.n_shards)?;
     let router = GroupRouter::from_config(&config);
     let n_shards = config.n_shards;
     let n_groups = config.n_groups;
     let solver_timesteps = config.solver.n_timesteps;
-    let ctx = StudyContext::new(config, faults);
+    let ctx = StudyContext::new_on(config, faults, transport);
     let n_slots = ctx.n_slots;
 
     // One supervisor thread per shard *slot*; they share the batch runner
@@ -446,7 +447,7 @@ pub(crate) fn run_sharded_study(
     report.final_max_ci = 0.0;
     report.final_max_quantile_step = 0.0;
     let mut states: Vec<Vec<WorkerState>> = Vec::with_capacity(n_slots);
-    for (k, run) in runs.into_iter().enumerate() {
+    for run in runs.into_iter() {
         let r = run.report;
         report.groups_finished += r.groups_finished;
         report.groups_abandoned.extend(&r.groups_abandoned);
@@ -502,12 +503,22 @@ pub(crate) fn run_sharded_study(
                 "shards disagree on the transport backend"
             );
         }
-        for e in r.events {
-            report.events.push(format!("[shard {k}] {e}"));
-        }
+        // Every shard stamps events against the shared study clock and
+        // carries its slot on each event, so the journals concatenate and
+        // sort into one chronological study log below.
+        report.events.extend(r.events);
+        // All shards share one transport, whose reconnect counter is
+        // study-global: take the max, not the sum (summing would count
+        // each reconnect once per shard).
+        report.transport_reconnects = report.transport_reconnects.max(r.transport_reconnects);
         states.push(run.states);
     }
     report.groups_abandoned.sort_unstable();
+    // Stable total merge order: study clock first, ties broken by
+    // (shard, per-shard sequence) — deterministic however supervisor
+    // threads interleaved.
+    report.events.sort_by_key(|e| e.order_key());
+    report.origin = ctx.started;
     report.routing_epoch = ctx.coord.routing.epoch();
     report.wall_time = ctx.started.elapsed();
 

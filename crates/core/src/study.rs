@@ -49,6 +49,22 @@ impl Study {
     pub fn run(self) -> Result<StudyOutput, String> {
         crate::launcher::run_study(self.config, self.faults)
     }
+
+    /// Runs the study on a caller-supplied transport instead of building
+    /// one from [`StudyConfig::transport`].
+    ///
+    /// This is how an external observer shares the study's messaging
+    /// fabric: bind a reply endpoint on the same transport and scrape the
+    /// per-shard `telemetry/shard<k>` endpoints mid-run (see
+    /// `melissa_telemetry::scrape`).  The run itself is identical to
+    /// [`run`](Self::run) — scraping reads atomic snapshots off the
+    /// ingest path, so statistics stay bit-identical.
+    pub fn run_on(
+        self,
+        transport: std::sync::Arc<dyn melissa_transport::Transport>,
+    ) -> Result<StudyOutput, String> {
+        crate::launcher::run_study_on(self.config, self.faults, Some(transport))
+    }
 }
 
 /// Everything a finished study produces.

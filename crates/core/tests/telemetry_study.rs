@@ -1,0 +1,212 @@
+//! Live-scrape non-perturbation: a seeded sequential study that is
+//! scraped continuously over its own transport while it runs must
+//! produce statistics **bit-identical** to the same study left alone —
+//! over both messaging backends.
+//!
+//! The scrape path serves read-only snapshots of lock-free atomics off
+//! the ingest path, so polling it cannot reorder, delay or duplicate a
+//! single data frame.  These tests are the executable form of that
+//! guarantee.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use melissa::{Study, StudyConfig, StudyOutput};
+use melissa_telemetry::{scrape, scrape_text, ScrapeFormat};
+use melissa_transport::{make_transport, TransportKind};
+
+fn seeded_config(kind: TransportKind, tag: &str) -> StudyConfig {
+    let mut config = StudyConfig::tiny();
+    config.transport = kind;
+    config.n_groups = 3;
+    config.max_concurrent_groups = 1; // deterministic integration order
+    config.checkpoint_dir =
+        std::env::temp_dir().join(format!("melissa-it-tele-{tag}-{}", std::process::id()));
+    config.wall_limit = Duration::from_secs(300);
+    config
+}
+
+/// Runs the study on a shared transport while a sibling thread polls the
+/// shard's scrape endpoint as fast as it can; returns the output and the
+/// number of successful mid-run scrapes.
+fn run_scraped(kind: TransportKind, tag: &str) -> (StudyOutput, usize) {
+    let transport = make_transport(kind.clone());
+    let scraper_transport = Arc::clone(&transport);
+    let done = Arc::new(AtomicBool::new(false));
+    let done_scraper = Arc::clone(&done);
+    let ok = Arc::new(AtomicUsize::new(0));
+    let ok_scraper = Arc::clone(&ok);
+
+    let scraper = std::thread::spawn(move || {
+        let mut checked_text = false;
+        while !done_scraper.load(Ordering::Relaxed) {
+            if let Ok(snap) = scrape(&scraper_transport, 0, Duration::from_millis(500)) {
+                assert_eq!(snap.shard, 0, "scrape answered by the wrong shard");
+                assert!(!snap.backend.is_empty(), "snapshot misses backend name");
+                assert!(snap.uptime_nanos > 0, "snapshot misses study uptime");
+                ok_scraper.fetch_add(1, Ordering::Relaxed);
+                if !checked_text {
+                    // Exercise both rendered formats once mid-run.
+                    let json = scrape_text(
+                        &scraper_transport,
+                        0,
+                        ScrapeFormat::Json,
+                        Duration::from_millis(500),
+                    );
+                    if let Ok(json) = json {
+                        assert!(
+                            json.contains("\"shard\""),
+                            "JSON scrape misses shard: {json}"
+                        );
+                    }
+                    let prom = scrape_text(
+                        &scraper_transport,
+                        0,
+                        ScrapeFormat::Prometheus,
+                        Duration::from_millis(500),
+                    );
+                    if let Ok(prom) = prom {
+                        assert!(
+                            prom.contains("melissa_groups_finished"),
+                            "Prometheus scrape misses gauges: {prom}"
+                        );
+                        checked_text = true;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+
+    let output = Study::new(seeded_config(kind, tag))
+        .run_on(transport)
+        .expect("scraped study failed");
+    done.store(true, Ordering::Relaxed);
+    scraper.join().expect("scraper thread panicked");
+    (output, ok.load(Ordering::Relaxed))
+}
+
+fn assert_bits_equal(what: &str, ts: usize, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{what} ts {ts}: length");
+    for (c, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what} ts {ts} cell {c}: {x} (unscraped) vs {y} (scraped)"
+        );
+    }
+}
+
+fn assert_outputs_match(reference: &StudyOutput, scraped: &StudyOutput) {
+    assert_eq!(
+        reference.report.data_messages, scraped.report.data_messages,
+        "scraping changed the ingested traffic"
+    );
+    assert_eq!(reference.report.data_bytes, scraped.report.data_bytes);
+    assert_eq!(
+        reference.report.groups_finished,
+        scraped.report.groups_finished
+    );
+    assert_eq!(reference.report.routing_epoch, scraped.report.routing_epoch);
+
+    let n_ts = reference.results.n_timesteps();
+    let p = reference.results.dim();
+    let n_probs = reference.results.quantile_probs().len();
+    for ts in [0, n_ts / 2, n_ts - 1] {
+        assert_eq!(
+            reference.results.groups_integrated(ts),
+            scraped.results.groups_integrated(ts)
+        );
+        for k in 0..p {
+            assert_bits_equal(
+                &format!("S_{k}"),
+                ts,
+                &reference.results.first_order_field(ts, k),
+                &scraped.results.first_order_field(ts, k),
+            );
+            assert_bits_equal(
+                &format!("ST_{k}"),
+                ts,
+                &reference.results.total_order_field(ts, k),
+                &scraped.results.total_order_field(ts, k),
+            );
+        }
+        assert_bits_equal(
+            "mean",
+            ts,
+            &reference.results.mean_field(ts),
+            &scraped.results.mean_field(ts),
+        );
+        assert_bits_equal(
+            "variance",
+            ts,
+            &reference.results.variance_field(ts),
+            &scraped.results.variance_field(ts),
+        );
+        assert_bits_equal(
+            "min",
+            ts,
+            &reference.results.min_field(ts),
+            &scraped.results.min_field(ts),
+        );
+        assert_bits_equal(
+            "max",
+            ts,
+            &reference.results.max_field(ts),
+            &scraped.results.max_field(ts),
+        );
+        assert_bits_equal(
+            "P(Y>thr)",
+            ts,
+            &reference.results.threshold_probability_field(ts, 0),
+            &scraped.results.threshold_probability_field(ts, 0),
+        );
+        for q in 0..n_probs {
+            assert_bits_equal(
+                &format!("quantile[{q}]"),
+                ts,
+                &reference.results.quantile_field(ts, q),
+                &scraped.results.quantile_field(ts, q),
+            );
+        }
+    }
+}
+
+#[test]
+fn scraped_study_is_bit_identical_in_process() {
+    let reference = Study::new(seeded_config(TransportKind::InProcess, "ref-ip"))
+        .run()
+        .expect("reference study failed");
+    let (scraped, n_scrapes) = run_scraped(TransportKind::InProcess, "scr-ip");
+    assert!(n_scrapes >= 1, "no scrape ever landed mid-run");
+    assert_eq!(scraped.report.transport_reconnects, 0);
+    assert_outputs_match(&reference, &scraped);
+}
+
+#[test]
+fn scraped_study_is_bit_identical_over_tcp() {
+    let reference = Study::new(seeded_config(TransportKind::Tcp, "ref-tcp"))
+        .run()
+        .expect("reference study failed");
+    let (scraped, n_scrapes) = run_scraped(TransportKind::Tcp, "scr-tcp");
+    assert!(n_scrapes >= 1, "no scrape ever landed mid-run");
+    assert_outputs_match(&reference, &scraped);
+}
+
+#[test]
+fn report_carries_the_typed_journal_and_epoch() {
+    let output = Study::new(seeded_config(TransportKind::InProcess, "journal"))
+        .run()
+        .expect("study failed");
+    // Typed journal: a clean run may be event-free, but the rendered view
+    // and the Display path must agree with the typed entries.
+    let lines = output.report.event_lines();
+    assert_eq!(lines.len(), output.report.events.len());
+    for (line, event) in lines.iter().zip(&output.report.events) {
+        assert!(line.contains(&event.kind.render()));
+    }
+    // Satellite surface: epoch and reconnect counters are first-class.
+    assert_eq!(output.report.routing_epoch, 0, "clean run never fences");
+    assert_eq!(output.report.transport_reconnects, 0);
+}

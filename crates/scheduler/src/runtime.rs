@@ -105,6 +105,18 @@ impl JobRunner {
         self.capacity.state.lock().free
     }
 
+    /// Jobs submitted but not yet granted capacity (the FCFS queue depth),
+    /// net of queued jobs that were killed while waiting.  An
+    /// observability signal — momentarily stale by design, never used for
+    /// scheduling decisions.
+    pub fn queued_jobs(&self) -> u64 {
+        let issued = self.next_ticket.load(Ordering::Relaxed);
+        let s = self.capacity.state.lock();
+        issued
+            .saturating_sub(s.next_serving)
+            .saturating_sub(s.abandoned.len() as u64)
+    }
+
     /// Submits a job needing `units` units.  The job takes a ticket at
     /// submission; its thread blocks until the ticket reaches the head of
     /// the queue *and* capacity is available (FCFS batch-queue
@@ -354,5 +366,29 @@ mod tests {
     fn oversized_job_panics() {
         let runner = JobRunner::new(1);
         runner.submit(2, |_| {});
+    }
+
+    #[test]
+    fn queued_jobs_tracks_the_fcfs_queue() {
+        let runner = JobRunner::new(1);
+        assert_eq!(runner.queued_jobs(), 0);
+        let release = KillSwitch::new();
+        let gate = release.clone();
+        let blocker = runner.submit(1, move |_| {
+            while !gate.is_killed() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        // Wait until the blocker actually holds the unit.
+        while runner.free_units() != 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(runner.queued_jobs(), 0, "running jobs are not queued");
+        let queued = runner.submit(1, |_| {});
+        assert_eq!(runner.queued_jobs(), 1);
+        release.kill();
+        blocker.join();
+        queued.join();
+        assert_eq!(runner.queued_jobs(), 0);
     }
 }

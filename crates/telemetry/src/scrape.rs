@@ -1,0 +1,687 @@
+//! The live scrape protocol: point-in-time observability snapshots served
+//! over the study's own transport.
+//!
+//! Each shard's server binds `telemetry/shard<k>`
+//! ([`melissa_transport::directory::names::telemetry`]) next to its data
+//! endpoints and answers [`ScrapeRequest`]s with a [`ScrapeSnapshot`] in
+//! one of three formats: the fixed binary codec (machine consumers), JSON,
+//! or a Prometheus-style text exposition.  Scrapers are ordinary transport
+//! clients — they bind a throwaway reply endpoint, send a request naming
+//! it, and wait — so scraping works over every backend (in-process, TCP,
+//! multi-node TCP via the directory) with no extra listener or HTTP stack.
+//!
+//! Serving is strictly read-only over atomic snapshots taken *outside* the
+//! ingest path, so a scraped study computes bit-identical statistics to an
+//! unscraped one (asserted by the `telemetry_study` integration test).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{BufMut, BytesMut};
+use melissa_transport::codec::{
+    get_f64, get_str, get_u32, get_u64, get_u8, put_str, WireError, WireResult,
+};
+use melissa_transport::directory::names;
+use melissa_transport::{Frame, LinkStatsSnapshot, Transport};
+
+use crate::events::{decode_events, encode_events, StudyEvent};
+use crate::metrics::MetricsSnapshot;
+
+/// Snapshot wire format a scraper can ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScrapeFormat {
+    /// The fixed little-endian codec ([`ScrapeSnapshot::decode_from`]).
+    #[default]
+    Binary,
+    /// JSON text ([`ScrapeSnapshot::to_json`]).
+    Json,
+    /// Prometheus-style text exposition ([`ScrapeSnapshot::to_prometheus`]).
+    Prometheus,
+}
+
+impl ScrapeFormat {
+    fn as_byte(self) -> u8 {
+        match self {
+            ScrapeFormat::Binary => 0,
+            ScrapeFormat::Json => 1,
+            ScrapeFormat::Prometheus => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> WireResult<Self> {
+        match b {
+            0 => Ok(ScrapeFormat::Binary),
+            1 => Ok(ScrapeFormat::Json),
+            2 => Ok(ScrapeFormat::Prometheus),
+            _ => Err(WireError::Invalid {
+                what: "unknown scrape format",
+            }),
+        }
+    }
+}
+
+/// A scraper's request: where to send the reply, and in which format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrapeRequest {
+    /// Endpoint the scraper bound for the reply.
+    pub reply_to: String,
+    /// Requested snapshot format.
+    pub format: ScrapeFormat,
+}
+
+impl ScrapeRequest {
+    /// Serialises the request.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u8(1);
+        put_str(buf, &self.reply_to);
+        buf.put_u8(self.format.as_byte());
+    }
+
+    /// Decodes a request frame.
+    pub fn decode_from(buf: &mut &[u8]) -> WireResult<Self> {
+        let tag = get_u8(buf, "scrape request tag")?;
+        if tag != 1 {
+            return Err(WireError::Invalid {
+                what: "not a scrape request",
+            });
+        }
+        let reply_to = get_str(buf, "scrape reply endpoint")?;
+        let format = ScrapeFormat::from_byte(get_u8(buf, "scrape format")?)?;
+        Ok(Self { reply_to, format })
+    }
+}
+
+/// One data link's counters inside a snapshot (endpoint-keyed rollup of
+/// [`LinkStatsSnapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkScrape {
+    /// Endpoint name the frames were sent toward.
+    pub endpoint: String,
+    /// Frames sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Sends that blocked on the high-water mark.
+    pub blocked_sends: u64,
+    /// Nanoseconds spent blocked.
+    pub blocked_nanos: u64,
+}
+
+impl LinkScrape {
+    /// Wraps a transport rollup entry.
+    pub fn of(endpoint: &str, s: &LinkStatsSnapshot) -> Self {
+        Self {
+            endpoint: endpoint.to_string(),
+            messages: s.messages,
+            bytes: s.bytes,
+            blocked_sends: s.blocked_sends,
+            blocked_nanos: s.blocked_nanos,
+        }
+    }
+}
+
+/// A point-in-time view of one shard's study progress, transport load,
+/// metrics registry and recent events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapeSnapshot {
+    /// The serving shard slot.
+    pub shard: u32,
+    /// Transport backend identifier.
+    pub backend: String,
+    /// Nanoseconds since the shard's study clock origin.
+    pub uptime_nanos: u64,
+    /// Groups fully finished on this shard.
+    pub groups_finished: u64,
+    /// Groups currently streaming.
+    pub groups_running: u64,
+    /// Aggregate max Sobol' CI half-width (NaN until defined).
+    pub max_ci_width: f64,
+    /// Aggregate max quantile step (NaN until defined).
+    pub max_quantile_step: f64,
+    /// Current routing epoch observed by this shard's supervisor.
+    pub routing_epoch: u64,
+    /// Transport link re-establishments (multi-node self-healing).
+    pub reconnects: u64,
+    /// Per-endpoint link counters (backpressure view).
+    pub links: Vec<LinkScrape>,
+    /// The metrics registry snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Most recent journal events (bounded window).
+    pub events: Vec<StudyEvent>,
+}
+
+impl ScrapeSnapshot {
+    /// Serialises the snapshot with the fixed codec.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.shard);
+        put_str(buf, &self.backend);
+        buf.put_u64_le(self.uptime_nanos);
+        buf.put_u64_le(self.groups_finished);
+        buf.put_u64_le(self.groups_running);
+        buf.put_f64_le(self.max_ci_width);
+        buf.put_f64_le(self.max_quantile_step);
+        buf.put_u64_le(self.routing_epoch);
+        buf.put_u64_le(self.reconnects);
+        buf.put_u32_le(self.links.len() as u32);
+        for l in &self.links {
+            put_str(buf, &l.endpoint);
+            buf.put_u64_le(l.messages);
+            buf.put_u64_le(l.bytes);
+            buf.put_u64_le(l.blocked_sends);
+            buf.put_u64_le(l.blocked_nanos);
+        }
+        self.metrics.encode_into(buf);
+        encode_events(&self.events, buf);
+    }
+
+    /// Decodes a snapshot produced by [`encode_into`](Self::encode_into).
+    pub fn decode_from(buf: &mut &[u8]) -> WireResult<Self> {
+        let shard = get_u32(buf, "snapshot shard")?;
+        let backend = get_str(buf, "snapshot backend")?;
+        let uptime_nanos = get_u64(buf, "snapshot uptime")?;
+        let groups_finished = get_u64(buf, "groups finished")?;
+        let groups_running = get_u64(buf, "groups running")?;
+        let max_ci_width = get_f64(buf, "max ci width")?;
+        let max_quantile_step = get_f64(buf, "max quantile step")?;
+        let routing_epoch = get_u64(buf, "routing epoch")?;
+        let reconnects = get_u64(buf, "reconnects")?;
+        let n_links = get_u32(buf, "link count")?;
+        let mut links = Vec::with_capacity(n_links as usize);
+        for _ in 0..n_links {
+            links.push(LinkScrape {
+                endpoint: get_str(buf, "link endpoint")?,
+                messages: get_u64(buf, "link messages")?,
+                bytes: get_u64(buf, "link bytes")?,
+                blocked_sends: get_u64(buf, "link blocked sends")?,
+                blocked_nanos: get_u64(buf, "link blocked nanos")?,
+            });
+        }
+        let metrics = MetricsSnapshot::decode_from(buf)?;
+        let events = decode_events(buf)?;
+        Ok(Self {
+            shard,
+            backend,
+            uptime_nanos,
+            groups_finished,
+            groups_running,
+            max_ci_width,
+            max_quantile_step,
+            routing_epoch,
+            reconnects,
+            links,
+            metrics,
+            events,
+        })
+    }
+
+    /// Renders the snapshot as a JSON object (hand-rolled: no serde in
+    /// this reproduction).  Non-finite floats render as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_kv_u64(&mut out, "shard", self.shard as u64);
+        push_kv_str(&mut out, "backend", &self.backend);
+        push_kv_u64(&mut out, "uptime_nanos", self.uptime_nanos);
+        push_kv_u64(&mut out, "groups_finished", self.groups_finished);
+        push_kv_u64(&mut out, "groups_running", self.groups_running);
+        push_kv_f64(&mut out, "max_ci_width", self.max_ci_width);
+        push_kv_f64(&mut out, "max_quantile_step", self.max_quantile_step);
+        push_kv_u64(&mut out, "routing_epoch", self.routing_epoch);
+        push_kv_u64(&mut out, "reconnects", self.reconnects);
+
+        out.push_str("\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_kv_str(&mut out, "endpoint", &l.endpoint);
+            push_kv_u64(&mut out, "messages", l.messages);
+            push_kv_u64(&mut out, "bytes", l.bytes);
+            push_kv_u64(&mut out, "blocked_sends", l.blocked_sends);
+            out.push_str(&format!("\"blocked_nanos\":{}", l.blocked_nanos));
+            out.push('}');
+        }
+        out.push_str("],");
+
+        out.push_str("\"counters\":{");
+        for (i, (name, v)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{}}}",
+                json_string(name),
+                h.count(),
+                h.sum,
+                json_f64(h.mean())
+            ));
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_nanos\":{},\"shard\":{},\"text\":{}}}",
+                e.seq,
+                e.at_nanos,
+                e.shard,
+                json_string(&e.kind.render())
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the snapshot as a Prometheus-style text exposition
+    /// (`melissa_`-prefixed families, `shard` label, cumulative `le`
+    /// histogram buckets).
+    pub fn to_prometheus(&self) -> String {
+        let shard = self.shard;
+        let mut out = String::with_capacity(2048);
+        let gauge = |out: &mut String, name: &str, value: String| {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name}{{shard=\"{shard}\"}} {value}\n"));
+        };
+        gauge(
+            &mut out,
+            "melissa_uptime_seconds",
+            format!("{:.3}", self.uptime_nanos as f64 / 1e9),
+        );
+        gauge(
+            &mut out,
+            "melissa_groups_finished",
+            self.groups_finished.to_string(),
+        );
+        gauge(
+            &mut out,
+            "melissa_groups_running",
+            self.groups_running.to_string(),
+        );
+        gauge(
+            &mut out,
+            "melissa_max_ci_width",
+            prom_f64(self.max_ci_width),
+        );
+        gauge(
+            &mut out,
+            "melissa_max_quantile_step",
+            prom_f64(self.max_quantile_step),
+        );
+        gauge(
+            &mut out,
+            "melissa_routing_epoch",
+            self.routing_epoch.to_string(),
+        );
+        out.push_str("# TYPE melissa_transport_reconnects_total counter\n");
+        out.push_str(&format!(
+            "melissa_transport_reconnects_total{{shard=\"{shard}\"}} {}\n",
+            self.reconnects
+        ));
+
+        for family in [
+            ("melissa_link_messages_total", "messages"),
+            ("melissa_link_bytes_total", "bytes"),
+            ("melissa_link_blocked_sends_total", "blocked_sends"),
+            ("melissa_link_blocked_nanos_total", "blocked_nanos"),
+        ] {
+            out.push_str(&format!("# TYPE {} counter\n", family.0));
+            for l in &self.links {
+                let v = match family.1 {
+                    "messages" => l.messages,
+                    "bytes" => l.bytes,
+                    "blocked_sends" => l.blocked_sends,
+                    _ => l.blocked_nanos,
+                };
+                out.push_str(&format!(
+                    "{}{{shard=\"{shard}\",endpoint=\"{}\"}} {v}\n",
+                    family.0,
+                    prom_label(&l.endpoint)
+                ));
+            }
+        }
+
+        for (name, v) in &self.metrics.counters {
+            let m = format!("melissa_{}", prom_name(name));
+            out.push_str(&format!("# TYPE {m} counter\n"));
+            out.push_str(&format!("{m}{{shard=\"{shard}\"}} {v}\n"));
+        }
+        for (name, v) in &self.metrics.gauges {
+            let m = format!("melissa_{}", prom_name(name));
+            out.push_str(&format!("# TYPE {m} gauge\n"));
+            out.push_str(&format!("{m}{{shard=\"{shard}\"}} {v}\n"));
+        }
+        for (name, h) in &self.metrics.histograms {
+            let m = format!("melissa_{}", prom_name(name));
+            out.push_str(&format!("# TYPE {m} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                if *b == 0 && i + 1 < h.buckets.len() {
+                    continue; // keep the exposition sparse; +Inf always prints
+                }
+                cumulative = cumulative.wrapping_add(*b);
+                let le = if i + 1 == h.buckets.len() {
+                    "+Inf".to_string()
+                } else {
+                    crate::metrics::HistogramSnapshot::bucket_upper_bound(i).to_string()
+                };
+                out.push_str(&format!(
+                    "{m}_bucket{{shard=\"{shard}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!("{m}_sum{{shard=\"{shard}\"}} {}\n", h.sum));
+            out.push_str(&format!("{m}_count{{shard=\"{shard}\"}} {}\n", h.count()));
+        }
+        out
+    }
+
+    /// Renders the snapshot in the requested format as reply-frame bytes
+    /// (one format byte, then the body).
+    pub fn encode_reply(&self, format: ScrapeFormat) -> Frame {
+        let mut buf = BytesMut::new();
+        buf.put_u8(format.as_byte());
+        match format {
+            ScrapeFormat::Binary => self.encode_into(&mut buf),
+            ScrapeFormat::Json => buf.put_slice(self.to_json().as_bytes()),
+            ScrapeFormat::Prometheus => buf.put_slice(self.to_prometheus().as_bytes()),
+        }
+        buf.freeze()
+    }
+}
+
+/// A decoded scrape reply: binary snapshots parse, text formats pass
+/// through verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScrapeReply {
+    /// A structured snapshot (from [`ScrapeFormat::Binary`]).
+    Snapshot(Box<ScrapeSnapshot>),
+    /// Rendered text (JSON or Prometheus exposition).
+    Text(String),
+}
+
+impl ScrapeReply {
+    /// Decodes a reply frame produced by [`ScrapeSnapshot::encode_reply`].
+    pub fn decode_from(buf: &mut &[u8]) -> WireResult<Self> {
+        let format = ScrapeFormat::from_byte(get_u8(buf, "scrape reply format")?)?;
+        match format {
+            ScrapeFormat::Binary => Ok(ScrapeReply::Snapshot(Box::new(
+                ScrapeSnapshot::decode_from(buf)?,
+            ))),
+            ScrapeFormat::Json | ScrapeFormat::Prometheus => {
+                let text = String::from_utf8(buf.to_vec()).map_err(|_| WireError::Invalid {
+                    what: "scrape reply text",
+                })?;
+                *buf = &buf[buf.len()..];
+                Ok(ScrapeReply::Text(text))
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_kv_u64(out: &mut String, key: &str, v: u64) {
+    out.push_str(&format!("\"{key}\":{v},"));
+}
+
+fn push_kv_str(out: &mut String, key: &str, v: &str) {
+    out.push_str(&format!("\"{key}\":{},", json_string(v)));
+}
+
+fn push_kv_f64(out: &mut String, key: &str, v: f64) {
+    out.push_str(&format!("\"{key}\":{},", json_f64(v)));
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn prom_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+static REPLY_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Scrapes shard `shard`'s telemetry endpoint and returns the reply.
+///
+/// Binds a throwaway reply endpoint, sends a [`ScrapeRequest`], waits up
+/// to `timeout` for the reply, and unbinds.  Works over every backend;
+/// fails with a human-readable error when the shard is not serving (not
+/// bound yet, study finished, or telemetry disabled).
+pub fn scrape_reply(
+    transport: &Arc<dyn Transport>,
+    shard: usize,
+    format: ScrapeFormat,
+    timeout: Duration,
+) -> Result<ScrapeReply, String> {
+    let reply_to = format!(
+        "telemetry/reply/{}/{}",
+        std::process::id(),
+        REPLY_NONCE.fetch_add(1, Ordering::Relaxed)
+    );
+    let rx = transport.bind(&reply_to, 8);
+    let result = (|| {
+        let tx = transport
+            .connect_retry(&names::telemetry(shard), timeout)
+            .map_err(|e| format!("shard {shard} telemetry endpoint: {e}"))?;
+        let mut buf = BytesMut::new();
+        ScrapeRequest {
+            reply_to: reply_to.clone(),
+            format,
+        }
+        .encode_into(&mut buf);
+        tx.send(buf.freeze())
+            .map_err(|e| format!("scrape request to shard {shard}: {e}"))?;
+        let frame = rx
+            .recv_timeout(timeout)
+            .map_err(|e| format!("scrape reply from shard {shard}: {e:?}"))?;
+        let mut slice: &[u8] = &frame;
+        ScrapeReply::decode_from(&mut slice).map_err(|e| format!("scrape reply decode: {e}"))
+    })();
+    transport.unbind(&reply_to);
+    result
+}
+
+/// Scrapes a structured snapshot (binary format).
+pub fn scrape(
+    transport: &Arc<dyn Transport>,
+    shard: usize,
+    timeout: Duration,
+) -> Result<ScrapeSnapshot, String> {
+    match scrape_reply(transport, shard, ScrapeFormat::Binary, timeout)? {
+        ScrapeReply::Snapshot(s) => Ok(*s),
+        ScrapeReply::Text(_) => Err("expected a binary snapshot, got text".to_string()),
+    }
+}
+
+/// Scrapes a rendered text snapshot (JSON or Prometheus).
+pub fn scrape_text(
+    transport: &Arc<dyn Transport>,
+    shard: usize,
+    format: ScrapeFormat,
+    timeout: Duration,
+) -> Result<String, String> {
+    match scrape_reply(transport, shard, format, timeout)? {
+        ScrapeReply::Text(t) => Ok(t),
+        ScrapeReply::Snapshot(_) => Err("expected text, got a binary snapshot".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+    use crate::metrics::Registry;
+
+    fn sample() -> ScrapeSnapshot {
+        let reg = Registry::new();
+        reg.counter("reconnects").add(2);
+        reg.gauge("runner_queue_depth").set(5);
+        let h = reg.histogram("ingest_sweep_nanos");
+        h.record(0);
+        h.record(3);
+        h.record(1024);
+        ScrapeSnapshot {
+            shard: 1,
+            backend: "in-process".into(),
+            uptime_nanos: 123_456_789,
+            groups_finished: 4,
+            groups_running: 2,
+            max_ci_width: 0.25,
+            max_quantile_step: f64::NAN,
+            routing_epoch: 3,
+            reconnects: 2,
+            links: vec![LinkScrape {
+                endpoint: "shard1/server/0".into(),
+                messages: 10,
+                bytes: 4096,
+                blocked_sends: 1,
+                blocked_nanos: 999,
+            }],
+            metrics: reg.snapshot(),
+            events: vec![StudyEvent {
+                seq: 0,
+                at_nanos: 42,
+                shard: 1,
+                kind: EventKind::Info {
+                    text: "quote \" and \\ back".into(),
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn binary_snapshot_round_trips() {
+        let snap = sample();
+        let mut buf = BytesMut::new();
+        snap.encode_into(&mut buf);
+        let mut slice: &[u8] = &buf;
+        let back = ScrapeSnapshot::decode_from(&mut slice).unwrap();
+        assert_eq!(back.shard, snap.shard);
+        assert_eq!(back.links, snap.links);
+        assert_eq!(back.metrics, snap.metrics);
+        assert_eq!(back.events, snap.events);
+        assert!(back.max_quantile_step.is_nan());
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn reply_frame_round_trips_every_format() {
+        let snap = sample();
+        for format in [
+            ScrapeFormat::Binary,
+            ScrapeFormat::Json,
+            ScrapeFormat::Prometheus,
+        ] {
+            let frame = snap.encode_reply(format);
+            let mut slice: &[u8] = &frame;
+            let reply = ScrapeReply::decode_from(&mut slice).unwrap();
+            match (format, reply) {
+                (ScrapeFormat::Binary, ScrapeReply::Snapshot(s)) => assert_eq!(s.shard, 1),
+                (_, ScrapeReply::Text(t)) => assert!(!t.is_empty()),
+                _ => panic!("format/reply mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn json_handles_non_finite_and_escapes() {
+        let json = sample().to_json();
+        assert!(json.contains("\"max_quantile_step\":null"));
+        assert!(json.contains("\"max_ci_width\":0.25"));
+        assert!(json.contains("quote \\\" and \\\\ back"));
+        assert!(json.contains("\"routing_epoch\":3"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_inf() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE melissa_ingest_sweep_nanos histogram"));
+        // 0 → bucket le="0"; 3 → le="3" (2^2-1=3); 1024 → le="2047".
+        assert!(text.contains("melissa_ingest_sweep_nanos_bucket{shard=\"1\",le=\"0\"} 1"));
+        assert!(text.contains("melissa_ingest_sweep_nanos_bucket{shard=\"1\",le=\"3\"} 2"));
+        assert!(text.contains("melissa_ingest_sweep_nanos_bucket{shard=\"1\",le=\"2047\"} 3"));
+        assert!(text.contains("melissa_ingest_sweep_nanos_bucket{shard=\"1\",le=\"+Inf\"} 3"));
+        assert!(text.contains("melissa_ingest_sweep_nanos_count{shard=\"1\"} 3"));
+        assert!(text.contains("melissa_max_quantile_step{shard=\"1\"} NaN"));
+        assert!(text.contains("melissa_transport_reconnects_total{shard=\"1\"} 2"));
+    }
+
+    #[test]
+    fn scrape_round_trips_over_the_in_process_transport() {
+        use melissa_transport::{make_transport, TransportKind};
+        let transport = make_transport(TransportKind::InProcess);
+        let server_rx = transport.bind(&names::telemetry(0), 8);
+        let snap = sample();
+        let t2 = Arc::clone(&transport);
+        let serve = std::thread::spawn(move || {
+            let frame = server_rx.recv().expect("request");
+            let mut slice: &[u8] = &frame;
+            let req = ScrapeRequest::decode_from(&mut slice).expect("decode request");
+            let tx = t2.connect(&req.reply_to).expect("reply connect");
+            tx.send(snap.encode_reply(req.format)).expect("reply send");
+        });
+        let got = scrape(&transport, 0, Duration::from_secs(5)).expect("scrape");
+        serve.join().unwrap();
+        assert_eq!(got.shard, 1);
+        assert_eq!(got.groups_finished, 4);
+        assert_eq!(got.metrics.counters.len(), 1);
+    }
+}

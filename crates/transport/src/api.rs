@@ -287,6 +287,13 @@ pub trait Transport: std::fmt::Debug + Send + Sync {
     /// `"tcp"`).
     fn backend_name(&self) -> &'static str;
 
+    /// Links this transport's senders re-established after a connection
+    /// loss (the multi-node self-healing counter).  Backends without
+    /// reconnection report `0`.
+    fn reconnects(&self) -> u64 {
+        0
+    }
+
     /// Connect-before-bind rendezvous: polls [`Transport::connect`] with a
     /// bounded retry loop until the endpoint appears or `timeout` elapses.
     /// This is what makes simulation groups independent jobs — they can be

@@ -637,6 +637,13 @@ pub mod names {
     pub fn routing_table() -> String {
         "routing/table".to_string()
     }
+
+    /// Shard `k`'s live telemetry scrape endpoint: the server binds it
+    /// next to its data endpoints and answers snapshot requests on it
+    /// (see the `melissa-telemetry` crate's scrape protocol).
+    pub fn telemetry(k: usize) -> String {
+        format!("telemetry/shard{k}")
+    }
 }
 
 #[cfg(test)]

@@ -517,6 +517,10 @@ impl Transport for TcpTransport {
             "tcp"
         }
     }
+
+    fn reconnects(&self) -> u64 {
+        TcpTransport::reconnects(self)
+    }
 }
 
 /// Everything a writer thread needs to re-establish its link.

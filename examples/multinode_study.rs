@@ -27,6 +27,12 @@
 //! re-resolve through the directory, reconnect with backoff and resume
 //! exactly-once — and the study result is **still bit-identical**.
 //!
+//! Mid-study the orchestrator also **scrapes** every shard's
+//! `telemetry/shard<k>` endpoint through the directory (the
+//! `melissa-telemetry` live-observability path) and prints the snapshot —
+//! proving the scrape works across OS processes and real sockets without
+//! perturbing the bit-parity assertions that follow.
+//!
 //! Run with: `cargo run --release --example multinode_study`
 
 use std::process::Command;
@@ -46,6 +52,7 @@ use melissa_repro::melissa::study::StudyResults;
 use melissa_repro::melissa::{Study, StudyConfig};
 use melissa_repro::sobol::design::PickFreeze;
 use melissa_repro::solver::injection::InjectionParams;
+use melissa_repro::telemetry::{scrape, Telemetry};
 use melissa_repro::transport::directory::names;
 use melissa_repro::transport::{
     KillSwitch, Receiver, TcpTransport, TcpTransportConfig, Transport, TransportKind, DIRECTORY_ENV,
@@ -119,6 +126,7 @@ fn server_process() {
         restore: false,
         thresholds: config.thresholds.clone(),
         quantile_probs: config.quantile_probs.clone(),
+        telemetry: Some(Telemetry::new(shard as u32)),
     };
 
     // Control endpoint (the orchestrator's stop signal) must exist before
@@ -308,6 +316,25 @@ fn run_multinode(sever_after: Option<u64>) -> StudyResults {
         // Keep the per-shard control inboxes drained (reports/heartbeats).
         for rx in &launcher_rxs {
             while rx.try_recv().is_ok() {}
+        }
+        // Live scrape smoke: mid-study, pull every shard's telemetry
+        // snapshot through the directory — the same path `melissa_top`
+        // uses, here across OS processes and real sockets.
+        if g == 0 {
+            for k in 0..N_SHARDS {
+                let snap = scrape(&transport, k, Duration::from_secs(30))
+                    .unwrap_or_else(|e| panic!("scrape shard {k}: {e}"));
+                assert_eq!(snap.shard, k as u32, "scrape routed to the wrong shard");
+                println!(
+                    "scrape[shard {k}]: {} finished, {} running, {} links, {} events, \
+                     {} reconnects",
+                    snap.groups_finished,
+                    snap.groups_running,
+                    snap.links.len(),
+                    snap.events.len(),
+                    snap.reconnects
+                );
+            }
         }
     }
 

@@ -10,4 +10,5 @@ pub use melissa_scheduler as scheduler;
 pub use melissa_sobol as sobol;
 pub use melissa_solver as solver;
 pub use melissa_stats as stats;
+pub use melissa_telemetry as telemetry;
 pub use melissa_transport as transport;

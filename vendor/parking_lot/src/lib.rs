@@ -1,7 +1,8 @@
 //! Offline stand-in for [parking_lot](https://crates.io/crates/parking_lot)
-//! covering the subset this workspace uses: a poison-free [`Mutex`] whose
-//! `lock` returns the guard directly, and a [`Condvar`] with
-//! `wait`/`wait_for`/`notify_*` taking the guard by `&mut`.
+//! covering the subset this workspace uses: poison-free [`Mutex`] and
+//! [`RwLock`] whose `lock`/`read`/`write` return the guard directly, and
+//! a [`Condvar`] with `wait`/`wait_for`/`notify_*` taking the guard by
+//! `&mut`.
 //!
 //! Implemented over `std::sync`; poisoning is swallowed (`parking_lot`
 //! has no poisoning), which matches how the workspace treats panicking
@@ -48,6 +49,55 @@ impl<T> std::ops::Deref for MutexGuard<'_, T> {
 }
 
 impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Poison-free reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+/// Shared read guard of an [`RwLock`].
+pub struct RwLockReadGuard<'a, T>(sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive write guard of an [`RwLock`].
+pub struct RwLockWriteGuard<'a, T>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock owning `value`.
+    pub const fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read lock (ignores poisoning, as upstream does).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquires the exclusive write lock (ignores poisoning).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.0
     }
@@ -137,6 +187,18 @@ mod tests {
         let m = Mutex::new(5);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn rwlock_read_write_guards() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() += 4;
+        assert_eq!(*l.read(), 5);
     }
 
     #[test]

@@ -55,6 +55,17 @@ pub enum ClientError {
     SendFailed,
     /// The group's kill switch flipped mid-send.
     Killed,
+    /// A multi-tenant service refused the connection because the tenant
+    /// is over one of its admission quotas.  Unlike
+    /// [`ServerUnavailable`](Self::ServerUnavailable) this is *not*
+    /// retryable-by-waiting at the same pressure: the tenant must finish
+    /// (or cancel) existing work first.
+    QuotaExceeded {
+        /// The tenant whose quota was exhausted.
+        tenant: String,
+        /// Which quota: `"queue"`, `"studies"`, `"groups"` or `"units"`.
+        resource: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -73,6 +84,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::SendFailed => write!(f, "data send failed"),
             ClientError::Killed => write!(f, "killed"),
+            ClientError::QuotaExceeded { tenant, resource } => {
+                write!(f, "tenant '{tenant}' exceeded its {resource} quota")
+            }
         }
     }
 }
@@ -80,12 +94,16 @@ impl std::fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 /// Maps a transport connect failure: a directory miss keeps its identity
-/// (the mis-scoped name and where it was looked up); everything else is
-/// the generic retryable "server unavailable".
+/// (the mis-scoped name and where it was looked up), an admission
+/// rejection keeps the tenant and the exhausted resource; everything
+/// else is the generic retryable "server unavailable".
 fn connect_failure(e: melissa_transport::ConnectError) -> ClientError {
     match e {
         melissa_transport::ConnectError::NameNotFound { name, directory } => {
             ClientError::NameNotFound { name, directory }
+        }
+        melissa_transport::ConnectError::QuotaExceeded { tenant, resource } => {
+            ClientError::QuotaExceeded { tenant, resource }
         }
         _ => ClientError::ServerUnavailable,
     }

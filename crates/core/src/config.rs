@@ -31,7 +31,7 @@ use melissa_solver::UseCaseConfig;
 /// exactly one shard and a reduction tree merges the shard statistics at
 /// study end — see [`crate::shard`] for the routing and reduction
 /// guarantees.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyConfig {
     /// Number of simulation groups `n` (design rows).  The paper's study
     /// uses 1000 groups of `p + 2 = 8` simulations.

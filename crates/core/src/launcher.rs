@@ -39,7 +39,7 @@ use melissa_solver::FrozenFlow;
 use melissa_telemetry::{EventKind, Telemetry};
 use melissa_transport::directory::names;
 use melissa_transport::{
-    make_transport, KillSwitch, LivenessTracker, Receiver, RecvTimeoutError, Transport,
+    make_transport, KillSwitch, LivenessTracker, LoadMonitor, Receiver, RecvTimeoutError, Transport,
 };
 use parking_lot::Mutex;
 
@@ -54,7 +54,35 @@ use crate::server::{Server, ServerConfig};
 use crate::shard::{GroupRouter, RoutingTable};
 use crate::study::{StudyOutput, StudyResults};
 use melissa_mesh::SlabPartition;
-use melissa_scheduler::JobRunner;
+use melissa_scheduler::{Dispatcher, JobRunner};
+
+/// The execution environment a study runs in.
+///
+/// The defaults reproduce the standalone launcher exactly: a fresh
+/// transport built from [`StudyConfig::transport`], a private
+/// ticket-FIFO [`JobRunner`] sized to
+/// [`StudyConfig::max_concurrent_groups`], the flat endpoint namespace
+/// and no external cancellation.  A multi-tenant service overrides all
+/// four — the shared transport, a per-study [`Dispatcher`] slice of the
+/// shared node pool, a `study<id>` scope isolating every endpoint name
+/// and checkpoint path, and a cancel switch wired to its `cancel` RPC —
+/// and the supervision machinery in between runs unchanged.
+#[derive(Default)]
+pub struct StudyRuntime {
+    /// Transport override (`None` builds one from the configuration).
+    pub transport: Option<Arc<dyn Transport>>,
+    /// Group-job dispatcher override (`None` builds a private
+    /// [`JobRunner`] with `max_concurrent_groups` units).
+    pub runner: Option<Arc<dyn Dispatcher>>,
+    /// Outer endpoint scope: every endpoint the study binds — servers,
+    /// launcher inboxes, telemetry — nests under it (empty keeps the
+    /// classic flat namespace).
+    pub scope: String,
+    /// Cooperative cancellation: once killed, every shard supervisor
+    /// stops its jobs and server and the study returns a "cancelled"
+    /// error.
+    pub cancel: KillSwitch,
+}
 
 /// Tracking entry for one active group job.
 struct ActiveJob {
@@ -167,7 +195,12 @@ pub(crate) struct StudyContext {
     pub transport: Arc<dyn Transport>,
     pub design: PickFreeze,
     pub flow: Arc<FrozenFlow>,
-    pub runner: JobRunner,
+    pub runner: Arc<dyn Dispatcher>,
+    /// Outer endpoint scope every shard scope nests under (empty for a
+    /// standalone study, `study<id>` under the daemon).
+    pub outer: String,
+    /// External cancellation (never killed for a standalone study).
+    pub cancel: KillSwitch,
     pub coord: Coordination,
     pub p: usize,
     pub n_cells: usize,
@@ -184,22 +217,22 @@ pub(crate) struct StudyContext {
 
 impl StudyContext {
     /// Draws the design, runs the shared pre-run and sets up the runtime
-    /// shared by all shard supervisors, optionally over a caller-provided
-    /// transport (live scrapers share it to reach the study's
-    /// `telemetry/shard<k>` endpoints); `None` builds one from the
-    /// configured kind.
-    pub(crate) fn new_on(
-        config: StudyConfig,
-        faults: FaultPlan,
-        transport: Option<Arc<dyn Transport>>,
-    ) -> Self {
-        let transport = transport.unwrap_or_else(|| make_transport(config.transport.clone()));
+    /// shared by all shard supervisors, inside the given [`StudyRuntime`]
+    /// (the default runtime reproduces the standalone launcher; the
+    /// daemon injects its shared transport and dispatcher, the study
+    /// scope and the cancel switch here).
+    pub(crate) fn new_in(config: StudyConfig, faults: FaultPlan, rt: StudyRuntime) -> Self {
+        let transport = rt
+            .transport
+            .unwrap_or_else(|| make_transport(config.transport.clone()));
         let space = InjectionParams::parameter_space();
         let design = PickFreeze::generate(config.n_groups, &space, config.seed);
         let p = space.dim();
         let flow = Arc::new(config.solver.prerun());
         let n_cells = config.solver.mesh().n_cells();
-        let runner = JobRunner::new(config.max_concurrent_groups);
+        let runner: Arc<dyn Dispatcher> = rt
+            .runner
+            .unwrap_or_else(|| Arc::new(JobRunner::new(config.max_concurrent_groups)));
         let n_slots = faults.n_supervisors(config.n_shards);
         let routing =
             RoutingTable::new(GroupRouter::new(config.n_shards.max(1), config.shard_seed));
@@ -221,6 +254,8 @@ impl StudyContext {
             design,
             flow,
             runner,
+            outer: rt.scope,
+            cancel: rt.cancel,
             coord,
             p,
             n_cells,
@@ -289,14 +324,35 @@ pub fn run_study_on(
     faults: FaultPlan,
     transport: Option<Arc<dyn Transport>>,
 ) -> Result<StudyOutput, String> {
+    run_study_in(
+        config,
+        faults,
+        StudyRuntime {
+            transport,
+            ..StudyRuntime::default()
+        },
+    )
+}
+
+/// [`run_study`] inside a caller-built [`StudyRuntime`]: shared
+/// transport, injected dispatcher, outer endpoint scope and external
+/// cancellation.  This is the entry point the multi-tenant daemon uses
+/// to run many isolated studies over one node pool; with the default
+/// runtime it is exactly [`run_study`].
+pub fn run_study_in(
+    config: StudyConfig,
+    faults: FaultPlan,
+    rt: StudyRuntime,
+) -> Result<StudyOutput, String> {
     config.validate()?;
     faults.validate(config.n_shards)?;
     if config.n_shards > 1 {
-        return crate::shard::run_sharded_study(config, faults, transport);
+        return crate::shard::run_sharded_study(config, faults, rt);
     }
-    let ctx = StudyContext::new_on(config, faults, transport);
+    let ctx = StudyContext::new_in(config, faults, rt);
     let groups: Vec<u64> = (0..ctx.config.n_groups as u64).collect();
-    let run = supervise_shard(&ctx, 0, "", &groups)?;
+    let scope = ctx.outer.clone();
+    let run = supervise_shard(&ctx, 0, &scope, &groups)?;
 
     let mut report = run.report;
     report.wall_time = ctx.started.elapsed();
@@ -365,9 +421,12 @@ pub(crate) fn supervise_shard(
     let submit = |g: u64, instance: u32, server_kill: KillSwitch| -> melissa_scheduler::JobHandle {
         // Sharded studies route through the epoch-fenced table *at submit
         // time*, so a group resubmitted after a fence connects to its new
-        // owner; the single-server study keeps the flat scope.
+        // owner; the single-server study keeps its (possibly
+        // study-scoped) flat scope.  The routing table speaks bare shard
+        // scopes, so a daemon-hosted sharded study nests them under its
+        // outer study scope here.
         let job_scope = if config.n_shards > 1 {
-            ctx.coord.routing.scope_of(g)
+            names::scoped(&ctx.outer, &ctx.coord.routing.scope_of(g))
         } else {
             scope.to_string()
         };
@@ -386,10 +445,13 @@ pub(crate) fn supervise_shard(
         };
         let outcomes = Arc::clone(&outcomes);
         let _ = server_kill;
-        ctx.runner.submit(1, move |kill| {
-            let outcome = run_group(ctx_job, kill);
-            outcomes.lock().insert((g, instance), outcome);
-        })
+        ctx.runner.submit_boxed(
+            1,
+            Box::new(move |kill| {
+                let outcome = run_group(ctx_job, kill);
+                outcomes.lock().insert((g, instance), outcome);
+            }),
+        )
     };
 
     // Submit every group of this shard once, in increasing id order (the
@@ -416,6 +478,14 @@ pub(crate) fn supervise_shard(
     // Supervision state.
     let server_liveness = LivenessTracker::new(config.server_timeout);
     server_liveness.record(0u32);
+    // Load-aware supervision (the congestion-collapse fix): the loop's
+    // own timed waits measure how starved this process is, and both
+    // failure detectors — the server heartbeat and the zombie check —
+    // stretch by the observed factor instead of shipping inflated
+    // wall-clock limits that would slow detection on a healthy host.
+    let load = LoadMonitor::new();
+    let poll = Duration::from_millis(10);
+    let load_gauge = tele.map(|t| t.registry().gauge("load_factor_milli"));
     let mut known_finished: HashSet<u64> = HashSet::new();
     let mut known_running: HashSet<u64> = HashSet::new();
     let mut retries: HashMap<u64, u32> = HashMap::new();
@@ -444,6 +514,22 @@ pub(crate) fn supervise_shard(
     let mut carried = [0u64; 4];
 
     loop {
+        // External cancellation (the daemon's `cancel` RPC): stop every
+        // job and the server cleanly, then report the study cancelled.
+        if ctx.cancel.is_killed() {
+            for (_, job) in active.iter() {
+                job.handle.kill.kill();
+            }
+            for (_, job) in active.drain() {
+                job.handle.join();
+            }
+            server.abandon();
+            return Err(format!(
+                "study cancelled: finished {}/{}",
+                known_finished.len(),
+                my_groups.len()
+            ));
+        }
         if ctx.started.elapsed() > wall_limit {
             return Err(format!(
                 "study exceeded wall limit {:?}: finished {}/{}",
@@ -461,9 +547,16 @@ pub(crate) fn supervise_shard(
         if let Some(g) = &free_gauge {
             g.set(ctx.runner.free_units() as u64);
         }
+        if let Some(g) = &load_gauge {
+            g.set((load.factor() * 1000.0) as u64);
+        }
+        // The heartbeat detector follows the measured scheduling delay
+        // (one relaxed store; factor 1 on a healthy host).
+        server_liveness.set_timeout(load.scale(config.server_timeout));
 
         // 1. Drain launcher inbox.
-        match launcher_rx.recv_timeout(Duration::from_millis(10)) {
+        let wait_started = Instant::now();
+        match launcher_rx.recv_timeout(poll) {
             Ok(frame) => {
                 if let Ok(msg) = Message::decode(&frame) {
                     match msg {
@@ -524,7 +617,9 @@ pub(crate) fn supervise_shard(
                     }
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Timeout) => {
+                load.observe(poll, wait_started.elapsed());
+            }
             Err(RecvTimeoutError::Disconnected) => return Err("launcher inbox closed".into()),
         }
 
@@ -815,7 +910,13 @@ pub(crate) fn supervise_shard(
         // 4. Reconcile job states (completed / died / zombie).
         let mut to_fail: Vec<u64> = Vec::new();
         let mut to_remove: Vec<u64> = Vec::new();
-        for (&g, job) in active.iter() {
+        for (&g, job) in active.iter_mut() {
+            // A job still waiting its turn on a busy shared pool is not
+            // silent — keep its zombie clock at zero until the
+            // dispatcher actually grants it capacity.
+            if !job.handle.has_started() && !job.handle.is_finished() {
+                job.started_at = Instant::now();
+            }
             if job.handle.is_finished() {
                 let outcome = outcomes.lock().get(&(g, job.instance)).cloned();
                 match outcome {
@@ -842,8 +943,11 @@ pub(crate) fn supervise_shard(
             } else {
                 // Zombie detection: the job has been "running" longer than
                 // the timeout but the server has never heard from it.
+                // Scaled by the observed scheduling delay: a slow host
+                // or a queue-starved tenant stretches the bound, a
+                // healthy host keeps 2× the nominal timeout.
                 let silent = !known_running.contains(&g) && !known_finished.contains(&g);
-                if silent && job.started_at.elapsed() > config.group_timeout * 2 {
+                if silent && job.started_at.elapsed() > load.scale(config.group_timeout * 2) {
                     log_ev(
                         &mut report,
                         tele,

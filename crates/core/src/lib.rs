@@ -83,6 +83,7 @@ pub mod study;
 
 pub use config::StudyConfig;
 pub use fault::{FaultPlan, GroupFault, Migration, MigrationMoves, ShardKill};
+pub use launcher::StudyRuntime;
 pub use report::StudyReport;
 pub use shard::{GroupRouter, NodeMap, RoutingTable};
 pub use study::{Study, StudyOutput, StudyResults};

@@ -311,10 +311,13 @@ impl Server {
         // The scrape endpoint binds alongside the data endpoints (and,
         // like them, rebinds on a checkpoint-restore restart), so a live
         // scraper can reach the shard for the study's whole lifetime.
+        // `telemetry_in` keeps the legacy flat names for standalone
+        // studies and prefixes the study scope under a multi-tenant
+        // daemon, so concurrent studies' scrape endpoints never collide.
         let scrape_rx = config
             .telemetry
             .as_ref()
-            .map(|t| transport.bind(&names::telemetry(t.shard() as usize), 64));
+            .map(|t| transport.bind(&names::telemetry_in(&config.scope, t.shard() as usize), 64));
         let worker_rxs: Vec<BoxReceiver> = (0..config.n_workers)
             .map(|w| transport.bind(&names::server_worker_in(&config.scope, w), config.hwm))
             .collect();
@@ -767,12 +770,21 @@ fn main_loop(
 ) {
     let mut last_report = Instant::now();
     let mut last_checkpoint = Instant::now();
+    // Load-aware unfinished-group detection: the loop's own timed waits
+    // probe how starved this process is, and the group-liveness timeout
+    // stretches by the observed factor.  On a healthy host the factor is
+    // 1 and detection latency is exactly `group_timeout`; on an
+    // oversubscribed one a slow group is no longer declared unfinished
+    // just because the whole study is being scheduled late.
+    let load = melissa_transport::LoadMonitor::new();
+    let poll = Duration::from_millis(10);
     let _ = launcher_tx.send(Message::ServerReady.encode());
     loop {
         if kill.is_killed() {
             return;
         }
-        match main_rx.recv_timeout(Duration::from_millis(10)) {
+        let wait_started = Instant::now();
+        match main_rx.recv_timeout(poll) {
             Ok(frame) => match Message::decode(&frame) {
                 Ok(Message::ConnectRequest { group_id, instance }) => {
                     let reply = Message::ConnectReply {
@@ -802,7 +814,9 @@ fn main_loop(
                 }
                 _ => {}
             },
-            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Timeout) => {
+                load.observe(poll, wait_started.elapsed());
+            }
             Err(RecvTimeoutError::Disconnected) => return,
         }
 
@@ -824,6 +838,7 @@ fn main_loop(
 
         if last_report.elapsed() >= cfg.report_interval {
             last_report = Instant::now();
+            shared.liveness.set_timeout(load.scale(cfg.group_timeout));
             let _ = launcher_tx.send(Message::Heartbeat { sender: 0 }.encode());
             let link = data_link_rollup(transport.as_ref(), &cfg.scope, cfg.n_workers);
             let report = Message::ServerReport {

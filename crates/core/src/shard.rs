@@ -55,7 +55,7 @@ use std::collections::HashMap;
 
 use crate::config::StudyConfig;
 use crate::fault::FaultPlan;
-use crate::launcher::{supervise_shard, StudyContext};
+use crate::launcher::{supervise_shard, StudyContext, StudyRuntime};
 use crate::report::StudyReport;
 use crate::server::checkpoint::{pack_state, unpack_state};
 use crate::server::state::WorkerState;
@@ -382,14 +382,14 @@ pub fn reduce_worker_states(shards: &[Vec<WorkerState>]) -> Vec<WorkerState> {
 pub(crate) fn run_sharded_study(
     config: StudyConfig,
     faults: FaultPlan,
-    transport: Option<std::sync::Arc<dyn melissa_transport::Transport>>,
+    rt: StudyRuntime,
 ) -> Result<StudyOutput, String> {
     faults.validate(config.n_shards)?;
     let router = GroupRouter::from_config(&config);
     let n_shards = config.n_shards;
     let n_groups = config.n_groups;
     let solver_timesteps = config.solver.n_timesteps;
-    let ctx = StudyContext::new_on(config, faults, transport);
+    let ctx = StudyContext::new_in(config, faults, rt);
     let n_slots = ctx.n_slots;
 
     // One supervisor thread per shard *slot*; they share the batch runner
@@ -410,7 +410,9 @@ pub(crate) fn run_sharded_study(
                     Vec::new()
                 };
                 scope.spawn(move || {
-                    let scope_name = names::shard_scope(k);
+                    // Shard scopes nest under the study's outer scope
+                    // (empty outer keeps the legacy `shard<k>` names).
+                    let scope_name = names::scoped(&ctx.outer, &names::shard_scope(k));
                     supervise_shard(ctx, k, &scope_name, &groups)
                 })
             })

@@ -65,6 +65,17 @@ impl Study {
     ) -> Result<StudyOutput, String> {
         crate::launcher::run_study_on(self.config, self.faults, Some(transport))
     }
+
+    /// Runs the study inside a caller-built
+    /// [`StudyRuntime`](crate::launcher::StudyRuntime): shared transport,
+    /// injected dispatcher, outer endpoint scope and external
+    /// cancellation.  This is how the multi-tenant daemon hosts many
+    /// concurrent studies on one node pool — each in its own scope, each
+    /// cancellable — while the supervision machinery runs unchanged.
+    /// With the default runtime this is exactly [`run`](Self::run).
+    pub fn run_in(self, runtime: crate::launcher::StudyRuntime) -> Result<StudyOutput, String> {
+        crate::launcher::run_study_in(self.config, self.faults, runtime)
+    }
 }
 
 /// Everything a finished study produces.

@@ -1,0 +1,273 @@
+//! Admission control: per-tenant quotas and the bounded submission
+//! queue, with explicit reject-over-block semantics.
+//!
+//! Every decision is taken synchronously at submission time — the daemon
+//! never parks a client waiting for quota.  A submission that would
+//! exceed the tenant's concurrent-study, group or node-unit quota, or
+//! that arrives while the daemon-wide wait queue is full, is rejected
+//! with the name of the exhausted resource; the client surfaces it as a
+//! typed `QuotaExceeded` error.  Admitted studies count against their
+//! tenant's quotas from admission until they reach a terminal state, so
+//! a queued study reserves its resources — a tenant cannot oversubscribe
+//! the pool by stuffing the queue.
+
+use std::collections::HashMap;
+
+/// Per-tenant admission quotas.  A zero-valued field would admit
+/// nothing; the defaults are deliberately generous so single-tenant
+/// deployments behave like the standalone launcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Studies in flight (queued + running) at once.
+    pub max_studies: usize,
+    /// Total groups across the tenant's in-flight studies.
+    pub max_groups: usize,
+    /// Total node units (per-study concurrent-group caps) across the
+    /// tenant's in-flight studies.
+    pub max_units: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self {
+            max_studies: 8,
+            max_groups: 4096,
+            max_units: 256,
+        }
+    }
+}
+
+/// A tenant's current in-flight reservation (queued + running studies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantLoad {
+    /// In-flight studies.
+    pub studies: usize,
+    /// Groups reserved by in-flight studies.
+    pub groups: usize,
+    /// Node units reserved by in-flight studies.
+    pub units: usize,
+}
+
+/// Counters over every admission decision taken, for the daemon-level
+/// telemetry snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Rejections because the wait queue was full.
+    pub rejected_queue: u64,
+    /// Rejections on the concurrent-studies quota.
+    pub rejected_studies: u64,
+    /// Rejections on the groups quota.
+    pub rejected_groups: u64,
+    /// Rejections on the node-units quota.
+    pub rejected_units: u64,
+}
+
+impl AdmissionStats {
+    /// Total rejections across every resource.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue + self.rejected_studies + self.rejected_groups + self.rejected_units
+    }
+}
+
+/// The daemon's admission controller.
+#[derive(Debug)]
+pub struct AdmissionController {
+    default_quota: TenantQuota,
+    quotas: HashMap<String, TenantQuota>,
+    loads: HashMap<String, TenantLoad>,
+    queue_depth: usize,
+    queue_cap: usize,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// Builds a controller with a daemon-wide wait-queue bound and a
+    /// default quota for tenants without an explicit entry.
+    pub fn new(queue_cap: usize, default_quota: TenantQuota) -> Self {
+        Self {
+            default_quota,
+            quotas: HashMap::new(),
+            loads: HashMap::new(),
+            queue_depth: 0,
+            queue_cap,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Installs a per-tenant quota override.
+    pub fn set_quota(&mut self, tenant: &str, quota: TenantQuota) {
+        self.quotas.insert(tenant.to_string(), quota);
+    }
+
+    /// The quota that applies to `tenant`.
+    pub fn quota(&self, tenant: &str) -> TenantQuota {
+        self.quotas
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_quota)
+    }
+
+    /// The tenant's current reservation.
+    pub fn load(&self, tenant: &str) -> TenantLoad {
+        self.loads.get(tenant).copied().unwrap_or_default()
+    }
+
+    /// Studies admitted but not yet promoted to an active slot.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// The wait-queue bound.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Decision counters so far.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Decides a submission of `n_groups` groups needing `units` node
+    /// units.  `would_queue` says the daemon is out of active-study
+    /// slots, so admission also needs a wait-queue slot.  On rejection
+    /// the exhausted resource name (`"queue"`, `"studies"`, `"groups"`,
+    /// `"units"`) is returned and nothing is reserved.
+    pub fn admit(
+        &mut self,
+        tenant: &str,
+        n_groups: usize,
+        units: usize,
+        would_queue: bool,
+    ) -> Result<(), &'static str> {
+        let quota = self.quota(tenant);
+        let load = self.load(tenant);
+        let resource = if load.studies + 1 > quota.max_studies {
+            Some("studies")
+        } else if load.groups + n_groups > quota.max_groups {
+            Some("groups")
+        } else if load.units + units > quota.max_units {
+            Some("units")
+        } else if would_queue && self.queue_depth >= self.queue_cap {
+            Some("queue")
+        } else {
+            None
+        };
+        if let Some(resource) = resource {
+            match resource {
+                "studies" => self.stats.rejected_studies += 1,
+                "groups" => self.stats.rejected_groups += 1,
+                "units" => self.stats.rejected_units += 1,
+                _ => self.stats.rejected_queue += 1,
+            }
+            return Err(resource);
+        }
+        let entry = self.loads.entry(tenant.to_string()).or_default();
+        entry.studies += 1;
+        entry.groups += n_groups;
+        entry.units += units;
+        if would_queue {
+            self.queue_depth += 1;
+        }
+        self.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// A queued study was promoted to an active slot.
+    pub fn promoted(&mut self) {
+        self.queue_depth = self.queue_depth.saturating_sub(1);
+    }
+
+    /// An in-flight study reached a terminal state (or was cancelled out
+    /// of the queue with `from_queue`); its reservation is returned.
+    pub fn release(&mut self, tenant: &str, n_groups: usize, units: usize, from_queue: bool) {
+        if let Some(load) = self.loads.get_mut(tenant) {
+            load.studies = load.studies.saturating_sub(1);
+            load.groups = load.groups.saturating_sub(n_groups);
+            load.units = load.units.saturating_sub(units);
+        }
+        if from_queue {
+            self.queue_depth = self.queue_depth.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_quota() -> TenantQuota {
+        TenantQuota {
+            max_studies: 2,
+            max_groups: 10,
+            max_units: 4,
+        }
+    }
+
+    #[test]
+    fn admits_until_the_study_quota_then_rejects() {
+        let mut ac = AdmissionController::new(16, small_quota());
+        assert!(ac.admit("acme", 2, 1, false).is_ok());
+        assert!(ac.admit("acme", 2, 1, false).is_ok());
+        assert_eq!(ac.admit("acme", 2, 1, false), Err("studies"));
+        // Another tenant is unaffected.
+        assert!(ac.admit("globex", 2, 1, false).is_ok());
+        assert_eq!(ac.stats().admitted, 3);
+        assert_eq!(ac.stats().rejected_studies, 1);
+    }
+
+    #[test]
+    fn group_and_unit_quotas_reject_with_their_own_resource() {
+        let mut ac = AdmissionController::new(16, small_quota());
+        assert_eq!(ac.admit("acme", 11, 1, false), Err("groups"));
+        assert_eq!(ac.admit("acme", 2, 5, false), Err("units"));
+        assert!(ac.admit("acme", 10, 4, false).is_ok());
+        // Quota fully reserved: the next study of any size hits the
+        // group quota (checked before units).
+        assert_eq!(ac.admit("acme", 1, 1, false), Err("groups"));
+        assert_eq!(ac.stats().rejected_groups, 2);
+        assert_eq!(ac.stats().rejected_units, 1);
+    }
+
+    #[test]
+    fn full_wait_queue_rejects_instead_of_blocking() {
+        let mut ac = AdmissionController::new(1, small_quota());
+        assert!(ac.admit("acme", 1, 1, true).is_ok());
+        assert_eq!(ac.admit("globex", 1, 1, true), Err("queue"));
+        // A free active slot bypasses the queue bound entirely.
+        assert!(ac.admit("globex", 1, 1, false).is_ok());
+        assert_eq!(ac.stats().rejected_queue, 1);
+    }
+
+    #[test]
+    fn release_returns_the_reservation() {
+        let mut ac = AdmissionController::new(4, small_quota());
+        assert!(ac.admit("acme", 5, 2, false).is_ok());
+        assert!(ac.admit("acme", 5, 2, false).is_ok());
+        assert_eq!(ac.admit("acme", 1, 1, false), Err("studies"));
+        ac.release("acme", 5, 2, false);
+        assert!(ac.admit("acme", 5, 2, false).is_ok());
+        assert_eq!(
+            ac.load("acme"),
+            TenantLoad {
+                studies: 2,
+                groups: 10,
+                units: 4
+            }
+        );
+    }
+
+    #[test]
+    fn promotion_and_queue_cancel_free_queue_slots() {
+        let mut ac = AdmissionController::new(1, small_quota());
+        assert!(ac.admit("acme", 1, 1, true).is_ok());
+        assert_eq!(ac.queue_depth(), 1);
+        ac.promoted();
+        assert_eq!(ac.queue_depth(), 0);
+        assert!(ac.admit("acme", 1, 1, true).is_ok());
+        ac.release("acme", 1, 1, true);
+        assert_eq!(ac.queue_depth(), 0);
+        assert_eq!(ac.load("acme").studies, 1);
+    }
+}

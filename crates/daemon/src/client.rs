@@ -1,0 +1,254 @@
+//! The tenant-side client for the daemon control plane.
+//!
+//! [`DaemonClient`] drives the four lifecycle RPCs — `submit`, `status`,
+//! `cancel`, `results` — over the study transport itself: each call
+//! binds a throwaway reply endpoint, sends one [`DaemonRequest`] frame
+//! to [`names::daemon_ctl`], and waits for the single reply.  Errors are
+//! the typed [`ClientError`] the rest of the framework uses; an
+//! admission rejection surfaces as
+//! [`ClientError::QuotaExceeded`] with the exhausted resource name, end
+//! to end from the daemon's admission controller.
+//!
+//! Live progress never flows through the control plane: scrape the
+//! per-study endpoints ([`scrape_study`](DaemonClient::scrape_study))
+//! or the daemon aggregate
+//! ([`scrape_daemon`](DaemonClient::scrape_daemon)) instead.
+//!
+//! [`names::daemon_ctl`]: melissa_transport::directory::names::daemon_ctl
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use melissa::client::ClientError;
+use melissa::server::checkpoint::unpack_state;
+use melissa::{StudyConfig, StudyResults};
+use melissa_telemetry::{scrape_endpoint_reply, ScrapeFormat, ScrapeReply};
+use melissa_transport::directory::names;
+use melissa_transport::{ConnectError, Transport};
+
+use crate::protocol::{DaemonOp, DaemonReply, DaemonRequest, StudyState};
+
+static REPLY_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A study's lifecycle view, as returned by
+/// [`status`](DaemonClient::status).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyStatus {
+    /// The study id.
+    pub study: u64,
+    /// Current lifecycle state.
+    pub state: StudyState,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Groups fully integrated (filled once the study finishes).
+    pub groups_finished: u64,
+    /// Groups in the design.
+    pub n_groups: u64,
+}
+
+/// A client handle onto one daemon's control plane.
+pub struct DaemonClient {
+    transport: Arc<dyn Transport>,
+    timeout: Duration,
+}
+
+fn connect_failure(e: ConnectError) -> ClientError {
+    match e {
+        ConnectError::NameNotFound { name, directory } => {
+            ClientError::NameNotFound { name, directory }
+        }
+        ConnectError::QuotaExceeded { tenant, resource } => {
+            ClientError::QuotaExceeded { tenant, resource }
+        }
+        ConnectError::NotFound { .. } | ConnectError::Io { .. } => ClientError::ServerUnavailable,
+    }
+}
+
+impl DaemonClient {
+    /// Creates a client speaking to the daemon bound on `transport`.
+    /// `timeout` bounds every request round trip.
+    pub fn new(transport: Arc<dyn Transport>, timeout: Duration) -> Self {
+        Self { transport, timeout }
+    }
+
+    /// One request/reply round trip against the control endpoint.
+    fn request(&self, op: DaemonOp) -> Result<DaemonReply, ClientError> {
+        let reply_to = format!(
+            "ctl/reply/{}/{}",
+            std::process::id(),
+            REPLY_NONCE.fetch_add(1, Ordering::Relaxed)
+        );
+        let rx = self.transport.bind(&reply_to, 8);
+        let result = (|| {
+            let tx = self
+                .transport
+                .connect_retry(&names::daemon_ctl(), self.timeout)
+                .map_err(connect_failure)?;
+            let mut buf = BytesMut::new();
+            DaemonRequest {
+                reply_to: reply_to.clone(),
+                op,
+            }
+            .encode_into(&mut buf);
+            tx.send(buf.freeze()).map_err(|_| ClientError::SendFailed)?;
+            let frame = rx
+                .recv_timeout(self.timeout)
+                .map_err(|_| ClientError::HandshakeTimeout)?;
+            let mut slice: &[u8] = &frame;
+            DaemonReply::decode_from(&mut slice).map_err(|e| ClientError::BadHandshake {
+                detail: format!("daemon reply: {e}"),
+            })
+        })();
+        self.transport.unbind(&reply_to);
+        result
+    }
+
+    /// Submits a study under `tenant` at intra-tenant `priority`
+    /// (0 = highest) and returns the daemon-assigned study id.  An
+    /// admission rejection returns [`ClientError::QuotaExceeded`].
+    pub fn submit(
+        &self,
+        tenant: &str,
+        priority: u8,
+        config: StudyConfig,
+    ) -> Result<u64, ClientError> {
+        match self.request(DaemonOp::Submit {
+            tenant: tenant.to_string(),
+            priority,
+            config: Box::new(config),
+        })? {
+            DaemonReply::Submitted { study } => Ok(study),
+            DaemonReply::Rejected { tenant, resource } => {
+                Err(ClientError::QuotaExceeded { tenant, resource })
+            }
+            other => Err(unexpected("submit", &other)),
+        }
+    }
+
+    /// Fetches a study's lifecycle state.
+    pub fn status(&self, study: u64) -> Result<StudyStatus, ClientError> {
+        match self.request(DaemonOp::Status { study })? {
+            DaemonReply::Status {
+                study,
+                state,
+                tenant,
+                groups_finished,
+                n_groups,
+            } => Ok(StudyStatus {
+                study,
+                state,
+                tenant,
+                groups_finished,
+                n_groups,
+            }),
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// Cancels a queued or running study (idempotent on finished ones).
+    pub fn cancel(&self, study: u64) -> Result<(), ClientError> {
+        match self.request(DaemonOp::Cancel { study })? {
+            DaemonReply::Cancelled { .. } => Ok(()),
+            other => Err(unexpected("cancel", &other)),
+        }
+    }
+
+    /// Fetches a finished study's statistics, reassembled into the same
+    /// [`StudyResults`] the standalone launcher returns — worker states
+    /// travel in the bit-exact checkpoint codec, so every statistics
+    /// field matches a same-seed standalone run to the last bit.
+    pub fn results(&self, study: u64) -> Result<StudyResults, ClientError> {
+        match self.request(DaemonOp::Results { study })? {
+            DaemonReply::Results {
+                p,
+                n_timesteps,
+                n_cells,
+                workers,
+                ..
+            } => {
+                let states = workers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, blob)| {
+                        unpack_state(blob, i).map_err(|e| ClientError::BadHandshake {
+                            detail: format!("worker state {i}: {e}"),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(StudyResults::from_worker_states(
+                    p as usize,
+                    n_timesteps as usize,
+                    n_cells as usize,
+                    states,
+                ))
+            }
+            other => Err(unexpected("results", &other)),
+        }
+    }
+
+    /// Polls `status` until the study reaches a terminal state or the
+    /// deadline passes (then [`ClientError::HandshakeTimeout`]).
+    pub fn wait(&self, study: u64, deadline: Duration) -> Result<StudyStatus, ClientError> {
+        let start = Instant::now();
+        loop {
+            let status = self.status(study)?;
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            if start.elapsed() > deadline {
+                return Err(ClientError::HandshakeTimeout);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Asks the daemon to cancel everything and exit.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.request(DaemonOp::Shutdown)? {
+            DaemonReply::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+
+    /// Scrapes the daemon-level aggregate snapshot (queue depths,
+    /// per-tenant usage, admission decisions) as rendered text.
+    pub fn scrape_daemon(&self, format: ScrapeFormat) -> Result<String, String> {
+        match scrape_endpoint_reply(
+            &self.transport,
+            &names::daemon_telemetry(),
+            format,
+            self.timeout,
+        )? {
+            ScrapeReply::Text(t) => Ok(t),
+            ScrapeReply::Snapshot(_) => Err("daemon snapshot should render as text".to_string()),
+        }
+    }
+
+    /// Scrapes live progress from a hosted study's shard `shard` — the
+    /// study's own per-shard telemetry endpoint inside its
+    /// `study<id>/…` scope.
+    pub fn scrape_study(
+        &self,
+        study: u64,
+        shard: usize,
+        format: ScrapeFormat,
+    ) -> Result<ScrapeReply, String> {
+        melissa_telemetry::scrape_reply_in(
+            &self.transport,
+            &names::study_scope(study),
+            shard,
+            format,
+            self.timeout,
+        )
+    }
+}
+
+fn unexpected(rpc: &str, reply: &DaemonReply) -> ClientError {
+    let detail = match reply {
+        DaemonReply::Error { detail } => format!("{rpc}: {detail}"),
+        other => format!("{rpc}: unexpected reply {other:?}"),
+    };
+    ClientError::BadHandshake { detail }
+}

@@ -1,0 +1,310 @@
+//! End-to-end daemon service tests: the multi-tenant acceptance
+//! criterion (a daemon-submitted study is bit-identical to the same-seed
+//! standalone run, even with two tenants' studies interleaved on one
+//! shared pool), the typed quota-rejection path, and the cancel path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use melissa::client::ClientError;
+use melissa::{Study, StudyConfig, StudyResults};
+use melissa_daemon::{Daemon, DaemonClient, DaemonConfig, StudyState, TenantQuota};
+use melissa_telemetry::ScrapeFormat;
+use melissa_transport::{make_transport, TransportKind};
+
+fn seeded_config(seed: u64, tag: &str) -> StudyConfig {
+    let mut config = StudyConfig::tiny();
+    config.n_groups = 3;
+    config.max_concurrent_groups = 1; // deterministic integration order
+    config.seed = seed;
+    config.thresholds = vec![0.1, 0.5];
+    config.checkpoint_dir =
+        std::env::temp_dir().join(format!("melissa-daemon-it-{tag}-{}", std::process::id()));
+    config.wall_limit = Duration::from_secs(300);
+    config
+}
+
+fn assert_bits_equal(what: &str, ts: usize, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{what} ts {ts}: length");
+    for (c, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what} ts {ts} cell {c}: {x} (daemon) vs {y} (standalone)"
+        );
+    }
+}
+
+fn assert_results_bit_identical(daemon: &StudyResults, standalone: &StudyResults) {
+    assert_eq!(daemon.dim(), standalone.dim());
+    assert_eq!(daemon.n_timesteps(), standalone.n_timesteps());
+    assert_eq!(daemon.n_cells(), standalone.n_cells());
+    let n_ts = standalone.n_timesteps();
+    let n_probs = standalone.quantile_probs().len();
+    for ts in [0, n_ts / 2, n_ts - 1] {
+        assert_eq!(
+            daemon.groups_integrated(ts),
+            standalone.groups_integrated(ts)
+        );
+        for k in 0..standalone.dim() {
+            assert_bits_equal(
+                &format!("S_{k}"),
+                ts,
+                &daemon.first_order_field(ts, k),
+                &standalone.first_order_field(ts, k),
+            );
+            assert_bits_equal(
+                &format!("ST_{k}"),
+                ts,
+                &daemon.total_order_field(ts, k),
+                &standalone.total_order_field(ts, k),
+            );
+        }
+        assert_bits_equal(
+            "mean",
+            ts,
+            &daemon.mean_field(ts),
+            &standalone.mean_field(ts),
+        );
+        assert_bits_equal(
+            "variance",
+            ts,
+            &daemon.variance_field(ts),
+            &standalone.variance_field(ts),
+        );
+        assert_bits_equal("min", ts, &daemon.min_field(ts), &standalone.min_field(ts));
+        assert_bits_equal("max", ts, &daemon.max_field(ts), &standalone.max_field(ts));
+        for q in 0..n_probs {
+            assert_bits_equal(
+                &format!("quantile[{q}]"),
+                ts,
+                &daemon.quantile_field(ts, q),
+                &standalone.quantile_field(ts, q),
+            );
+        }
+    }
+}
+
+/// The tentpole acceptance test: two tenants, two concurrent studies on
+/// one shared pool, each bit-identical to its same-seed standalone run.
+#[test]
+fn interleaved_tenant_studies_match_standalone_bit_for_bit() {
+    let transport = make_transport(TransportKind::InProcess);
+    let daemon = Daemon::start(
+        Arc::clone(&transport),
+        DaemonConfig {
+            pool_units: 4,
+            max_active_studies: 4,
+            ..DaemonConfig::default()
+        },
+    );
+    let client = DaemonClient::new(Arc::clone(&transport), Duration::from_secs(10));
+
+    let acme_cfg = seeded_config(2017, "acme");
+    let globex_cfg = seeded_config(4242, "globex");
+
+    let acme = client
+        .submit("acme", 0, acme_cfg.clone())
+        .expect("acme admitted");
+    let globex = client
+        .submit("globex", 0, globex_cfg.clone())
+        .expect("globex admitted");
+    assert_ne!(acme, globex);
+
+    let acme_status = client.wait(acme, Duration::from_secs(240)).expect("acme");
+    let globex_status = client
+        .wait(globex, Duration::from_secs(240))
+        .expect("globex");
+    assert_eq!(acme_status.state, StudyState::Done);
+    assert_eq!(globex_status.state, StudyState::Done);
+    assert_eq!(acme_status.groups_finished, 3);
+    assert_eq!(globex_status.tenant, "globex");
+
+    let acme_results = client.results(acme).expect("acme results");
+    let globex_results = client.results(globex).expect("globex results");
+
+    let mut acme_ref_cfg = acme_cfg;
+    acme_ref_cfg.checkpoint_dir = acme_ref_cfg.checkpoint_dir.join("standalone");
+    let acme_ref = Study::new(acme_ref_cfg).run().expect("standalone acme");
+    let mut globex_ref_cfg = globex_cfg;
+    globex_ref_cfg.checkpoint_dir = globex_ref_cfg.checkpoint_dir.join("standalone");
+    let globex_ref = Study::new(globex_ref_cfg).run().expect("standalone globex");
+
+    assert_results_bit_identical(&acme_results, &acme_ref.results);
+    assert_results_bit_identical(&globex_results, &globex_ref.results);
+
+    daemon.stop();
+}
+
+/// A daemon on real TCP loopback sockets serves the same bits as the
+/// standalone in-process run.
+#[test]
+fn daemon_study_over_tcp_matches_standalone() {
+    let transport = make_transport(TransportKind::Tcp);
+    let daemon = Daemon::start(Arc::clone(&transport), DaemonConfig::default());
+    let client = DaemonClient::new(Arc::clone(&transport), Duration::from_secs(10));
+
+    let mut config = seeded_config(99, "tcp");
+    config.n_groups = 2;
+    let id = client.submit("acme", 0, config.clone()).expect("admitted");
+    let status = client.wait(id, Duration::from_secs(240)).expect("finish");
+    assert_eq!(status.state, StudyState::Done);
+    let results = client.results(id).expect("results");
+
+    config.checkpoint_dir = config.checkpoint_dir.join("standalone");
+    let reference = Study::new(config).run().expect("standalone");
+    assert_results_bit_identical(&results, &reference.results);
+
+    daemon.stop();
+}
+
+/// Admission rejections surface as typed `ClientError::QuotaExceeded`
+/// end to end, and releasing the quota readmits the tenant.
+#[test]
+fn quota_rejections_are_typed_and_released_on_completion() {
+    let transport = make_transport(TransportKind::InProcess);
+    let daemon = Daemon::start(
+        Arc::clone(&transport),
+        DaemonConfig {
+            default_quota: TenantQuota {
+                max_studies: 1,
+                max_groups: 16,
+                max_units: 4,
+            },
+            ..DaemonConfig::default()
+        },
+    );
+    let client = DaemonClient::new(Arc::clone(&transport), Duration::from_secs(10));
+
+    // A study that can never run: its design alone exceeds the quota.
+    let mut oversized = seeded_config(7, "oversized");
+    oversized.n_groups = 17;
+    match client.submit("acme", 0, oversized) {
+        Err(ClientError::QuotaExceeded { tenant, resource }) => {
+            assert_eq!(tenant, "acme");
+            assert_eq!(resource, "groups");
+        }
+        other => panic!("expected a groups quota rejection, got {other:?}"),
+    }
+
+    // Concurrency quota: a second in-flight study is rejected while the
+    // first is live, and another tenant is unaffected.
+    let first = client
+        .submit("acme", 0, seeded_config(8, "first"))
+        .expect("first study admitted");
+    match client.submit("acme", 0, seeded_config(9, "second")) {
+        Err(ClientError::QuotaExceeded { tenant, resource }) => {
+            assert_eq!(tenant, "acme");
+            assert_eq!(resource, "studies");
+        }
+        other => panic!("expected a studies quota rejection, got {other:?}"),
+    }
+    client
+        .submit("globex", 0, seeded_config(10, "other-tenant"))
+        .expect("other tenants keep their own quota");
+
+    // Once the first study finishes its reservation is returned.
+    let status = client.wait(first, Duration::from_secs(240)).expect("first");
+    assert_eq!(status.state, StudyState::Done);
+    let mut readmitted = Err(ClientError::ServerUnavailable);
+    for _ in 0..100 {
+        readmitted = client.submit("acme", 0, seeded_config(11, "readmitted"));
+        if readmitted.is_ok() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    readmitted.expect("quota released after completion");
+
+    daemon.stop();
+}
+
+/// Cancelling a running study stops it, reports `Cancelled`, and makes
+/// `results` fail loud.
+#[test]
+fn cancel_stops_a_running_study() {
+    let transport = make_transport(TransportKind::InProcess);
+    let daemon = Daemon::start(Arc::clone(&transport), DaemonConfig::default());
+    let client = DaemonClient::new(Arc::clone(&transport), Duration::from_secs(10));
+
+    let mut config = seeded_config(13, "cancel");
+    config.n_groups = 64; // long enough to still be running when cancelled
+    let id = client.submit("acme", 0, config).expect("admitted");
+
+    // Wait until the study is actually running, then cancel it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = client.status(id).expect("status");
+        if status.state == StudyState::Running {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "study never started running (state {})",
+            status.state
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    client.cancel(id).expect("cancel acknowledged");
+
+    let status = client.wait(id, Duration::from_secs(60)).expect("terminal");
+    assert_eq!(status.state, StudyState::Cancelled);
+    match client.results(id) {
+        Err(ClientError::BadHandshake { detail }) => {
+            assert!(detail.contains("cancelled"), "detail: {detail}")
+        }
+        Err(other) => panic!("expected a cancelled-results error, got {other:?}"),
+        Ok(_) => panic!("cancelled study must not return results"),
+    }
+
+    // Cancel is idempotent; unknown studies fail loud.
+    client.cancel(id).expect("idempotent cancel");
+    assert!(client.status(9999).is_err());
+
+    daemon.stop();
+}
+
+/// The daemon-level telemetry endpoint aggregates queue depths,
+/// per-tenant usage and admission decisions over the scrape protocol.
+#[test]
+fn daemon_telemetry_snapshot_aggregates_tenants_and_admissions() {
+    let transport = make_transport(TransportKind::InProcess);
+    let daemon = Daemon::start(
+        Arc::clone(&transport),
+        DaemonConfig {
+            default_quota: TenantQuota {
+                max_studies: 1,
+                max_groups: 16,
+                max_units: 4,
+            },
+            ..DaemonConfig::default()
+        },
+    );
+    let client = DaemonClient::new(Arc::clone(&transport), Duration::from_secs(10));
+
+    let id = client
+        .submit("acme", 0, seeded_config(21, "tele"))
+        .expect("admitted");
+    // Force one typed rejection so the counters move.
+    assert!(client
+        .submit("acme", 0, seeded_config(22, "tele2"))
+        .is_err());
+
+    let json = client.scrape_daemon(ScrapeFormat::Json).expect("json");
+    assert!(json.contains("\"tenant\":\"acme\""), "json: {json}");
+    assert!(json.contains("\"admitted\":1"), "json: {json}");
+    assert!(json.contains("\"rejected_studies\":1"), "json: {json}");
+
+    let prom = client
+        .scrape_daemon(ScrapeFormat::Prometheus)
+        .expect("prometheus");
+    assert!(prom.contains("melissad_pool_units"), "prom: {prom}");
+    assert!(
+        prom.contains("melissad_admissions_total{decision=\"rejected\",resource=\"studies\"} 1"),
+        "prom: {prom}"
+    );
+
+    let status = client.wait(id, Duration::from_secs(240)).expect("finish");
+    assert_eq!(status.state, StudyState::Done);
+    daemon.stop();
+}

@@ -13,18 +13,24 @@
 //!   performance model behind Figures 6a–6d;
 //! * [`runtime`] — a **real concurrent job runner** (capacity-limited
 //!   thread jobs with cooperative kill switches and walltime watchdogs)
-//!   that executes live small-scale studies end to end.
+//!   that executes live small-scale studies end to end;
+//! * [`fair`] — a **weighted multi-queue fair scheduler** over the same
+//!   capacity model (deficit round robin across tenants, priority within
+//!   a tenant, per-stream concurrency caps) that lets many studies share
+//!   one node pool under the multi-tenant daemon.
 //!
 //! [`trace`] provides the time-series recorder used by both.
 
 pub mod batch;
 pub mod cluster;
 pub mod des;
+pub mod fair;
 pub mod runtime;
 pub mod trace;
 
 pub use batch::{Availability, BatchSim, JobRecord, JobRequest, JobState};
 pub use cluster::Cluster;
 pub use des::EventQueue;
-pub use runtime::{JobHandle, JobRunner, Watchdog};
+pub use fair::{FairRunner, StreamHandle, TenantUsage};
+pub use runtime::{Dispatcher, JobHandle, JobRunner, Watchdog};
 pub use trace::TimeSeries;

@@ -14,7 +14,7 @@
 //! statistics across transport backends.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -59,10 +59,28 @@ pub struct JobRunner {
 pub struct JobHandle {
     /// The job's kill switch (flipping it asks the job to stop).
     pub kill: KillSwitch,
+    /// Set the moment the job is granted capacity and begins running
+    /// (stays `false` for the whole queued wait).
+    started: Arc<AtomicBool>,
     handle: JoinHandle<()>,
 }
 
 impl JobHandle {
+    /// Assembles a handle from a kill switch, the started flag and the
+    /// job thread (used by the fair runner, which manages its own grant
+    /// protocol).
+    pub(crate) fn from_parts(
+        kill: KillSwitch,
+        started: Arc<AtomicBool>,
+        handle: JoinHandle<()>,
+    ) -> Self {
+        Self {
+            kill,
+            started,
+            handle,
+        }
+    }
+
     /// Waits for the job thread to end.
     pub fn join(self) {
         let _ = self.handle.join();
@@ -71,6 +89,55 @@ impl JobHandle {
     /// Whether the job thread has ended.
     pub fn is_finished(&self) -> bool {
         self.handle.is_finished()
+    }
+
+    /// Whether the job has been granted capacity and begun running.
+    /// Supervisors use this to tell a queued job (waiting its turn on a
+    /// busy shared pool — not a fault) from a started-but-silent one
+    /// (a zombie candidate).
+    pub fn has_started(&self) -> bool {
+        self.started.load(Ordering::Relaxed)
+    }
+}
+
+/// A capacity pool that group supervisors can submit jobs into.
+///
+/// Two implementations exist: [`JobRunner`] (one study owns the whole
+/// pool, ticket-FIFO start order) and the fair runner's
+/// [`StreamHandle`](crate::fair::StreamHandle) (many studies share one
+/// pool under deficit-round-robin arbitration).  The launcher only needs
+/// this surface, which is what lets a study run unchanged inside the
+/// multi-tenant daemon.
+pub trait Dispatcher: Send + Sync {
+    /// Submits a job needing `units` units; the work closure must poll
+    /// its [`KillSwitch`].
+    fn submit_boxed(&self, units: usize, work: Box<dyn FnOnce(&KillSwitch) + Send>) -> JobHandle;
+
+    /// Jobs submitted through *this* dispatcher not yet granted capacity.
+    fn queued_jobs(&self) -> u64;
+
+    /// Units currently free in the underlying pool.
+    fn free_units(&self) -> usize;
+
+    /// Total units in the underlying pool.
+    fn total_units(&self) -> usize;
+}
+
+impl Dispatcher for JobRunner {
+    fn submit_boxed(&self, units: usize, work: Box<dyn FnOnce(&KillSwitch) + Send>) -> JobHandle {
+        self.submit(units, work)
+    }
+
+    fn queued_jobs(&self) -> u64 {
+        JobRunner::queued_jobs(self)
+    }
+
+    fn free_units(&self) -> usize {
+        JobRunner::free_units(self)
+    }
+
+    fn total_units(&self) -> usize {
+        JobRunner::total_units(self)
     }
 }
 
@@ -140,6 +207,8 @@ impl JobRunner {
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let kill = KillSwitch::new();
         let kill_in_job = kill.clone();
+        let started = Arc::new(AtomicBool::new(false));
+        let started_in_job = Arc::clone(&started);
         let cap = Arc::clone(&self.capacity);
         let handle = std::thread::spawn(move || {
             // Acquire in ticket order (or bow out if killed while queued,
@@ -168,12 +237,17 @@ impl JobRunner {
                     cap.cv.wait_for(&mut s, Duration::from_millis(10));
                 }
             }
+            started_in_job.store(true, Ordering::Relaxed);
             work(&kill_in_job);
             let mut s = cap.state.lock();
             s.free += units;
             cap.cv.notify_all();
         });
-        JobHandle { kill, handle }
+        JobHandle {
+            kill,
+            started,
+            handle,
+        }
     }
 }
 

@@ -37,8 +37,8 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, N_BUCKETS,
 };
 pub use scrape::{
-    scrape, scrape_reply, scrape_text, LinkScrape, ScrapeFormat, ScrapeReply, ScrapeRequest,
-    ScrapeSnapshot,
+    scrape, scrape_endpoint_reply, scrape_in, scrape_reply, scrape_reply_in, scrape_text,
+    scrape_text_in, LinkScrape, ScrapeFormat, ScrapeReply, ScrapeRequest, ScrapeSnapshot,
 };
 
 use std::collections::VecDeque;

@@ -498,15 +498,19 @@ fn prom_label(value: &str) -> String {
 
 static REPLY_NONCE: AtomicU64 = AtomicU64::new(0);
 
-/// Scrapes shard `shard`'s telemetry endpoint and returns the reply.
+/// Scrapes an arbitrary endpoint speaking the scrape protocol and
+/// returns the raw reply.
 ///
 /// Binds a throwaway reply endpoint, sends a [`ScrapeRequest`], waits up
 /// to `timeout` for the reply, and unbinds.  Works over every backend;
-/// fails with a human-readable error when the shard is not serving (not
-/// bound yet, study finished, or telemetry disabled).
-pub fn scrape_reply(
+/// fails with a human-readable error when nothing is serving (not bound
+/// yet, study finished, or telemetry disabled).  This is the primitive
+/// under every convenience scraper: per-shard endpoints, per-study
+/// scoped ones, and the daemon-level aggregate all answer the same
+/// request frame.
+pub fn scrape_endpoint_reply(
     transport: &Arc<dyn Transport>,
-    shard: usize,
+    endpoint: &str,
     format: ScrapeFormat,
     timeout: Duration,
 ) -> Result<ScrapeReply, String> {
@@ -518,8 +522,8 @@ pub fn scrape_reply(
     let rx = transport.bind(&reply_to, 8);
     let result = (|| {
         let tx = transport
-            .connect_retry(&names::telemetry(shard), timeout)
-            .map_err(|e| format!("shard {shard} telemetry endpoint: {e}"))?;
+            .connect_retry(endpoint, timeout)
+            .map_err(|e| format!("telemetry endpoint '{endpoint}': {e}"))?;
         let mut buf = BytesMut::new();
         ScrapeRequest {
             reply_to: reply_to.clone(),
@@ -527,15 +531,56 @@ pub fn scrape_reply(
         }
         .encode_into(&mut buf);
         tx.send(buf.freeze())
-            .map_err(|e| format!("scrape request to shard {shard}: {e}"))?;
+            .map_err(|e| format!("scrape request to '{endpoint}': {e}"))?;
         let frame = rx
             .recv_timeout(timeout)
-            .map_err(|e| format!("scrape reply from shard {shard}: {e:?}"))?;
+            .map_err(|e| format!("scrape reply from '{endpoint}': {e:?}"))?;
         let mut slice: &[u8] = &frame;
         ScrapeReply::decode_from(&mut slice).map_err(|e| format!("scrape reply decode: {e}"))
     })();
     transport.unbind(&reply_to);
     result
+}
+
+/// Scrapes shard `shard`'s telemetry endpoint inside server scope
+/// `scope` (`""` for a standalone study, `"study<id>"` under the
+/// multi-tenant daemon) and returns the reply.
+pub fn scrape_reply_in(
+    transport: &Arc<dyn Transport>,
+    scope: &str,
+    shard: usize,
+    format: ScrapeFormat,
+    timeout: Duration,
+) -> Result<ScrapeReply, String> {
+    scrape_endpoint_reply(
+        transport,
+        &names::telemetry_in(scope, shard),
+        format,
+        timeout,
+    )
+}
+
+/// Scrapes an unscoped (standalone-study) shard endpoint.
+pub fn scrape_reply(
+    transport: &Arc<dyn Transport>,
+    shard: usize,
+    format: ScrapeFormat,
+    timeout: Duration,
+) -> Result<ScrapeReply, String> {
+    scrape_reply_in(transport, "", shard, format, timeout)
+}
+
+/// Scrapes a structured snapshot (binary format) from a scoped shard.
+pub fn scrape_in(
+    transport: &Arc<dyn Transport>,
+    scope: &str,
+    shard: usize,
+    timeout: Duration,
+) -> Result<ScrapeSnapshot, String> {
+    match scrape_reply_in(transport, scope, shard, ScrapeFormat::Binary, timeout)? {
+        ScrapeReply::Snapshot(s) => Ok(*s),
+        ScrapeReply::Text(_) => Err("expected a binary snapshot, got text".to_string()),
+    }
 }
 
 /// Scrapes a structured snapshot (binary format).
@@ -544,9 +589,21 @@ pub fn scrape(
     shard: usize,
     timeout: Duration,
 ) -> Result<ScrapeSnapshot, String> {
-    match scrape_reply(transport, shard, ScrapeFormat::Binary, timeout)? {
-        ScrapeReply::Snapshot(s) => Ok(*s),
-        ScrapeReply::Text(_) => Err("expected a binary snapshot, got text".to_string()),
+    scrape_in(transport, "", shard, timeout)
+}
+
+/// Scrapes a rendered text snapshot (JSON or Prometheus) from a scoped
+/// shard.
+pub fn scrape_text_in(
+    transport: &Arc<dyn Transport>,
+    scope: &str,
+    shard: usize,
+    format: ScrapeFormat,
+    timeout: Duration,
+) -> Result<String, String> {
+    match scrape_reply_in(transport, scope, shard, format, timeout)? {
+        ScrapeReply::Text(t) => Ok(t),
+        ScrapeReply::Snapshot(_) => Err("expected text, got a binary snapshot".to_string()),
     }
 }
 
@@ -557,10 +614,7 @@ pub fn scrape_text(
     format: ScrapeFormat,
     timeout: Duration,
 ) -> Result<String, String> {
-    match scrape_reply(transport, shard, format, timeout)? {
-        ScrapeReply::Text(t) => Ok(t),
-        ScrapeReply::Snapshot(_) => Err("expected text, got a binary snapshot".to_string()),
-    }
+    scrape_text_in(transport, "", shard, format, timeout)
 }
 
 #[cfg(test)]

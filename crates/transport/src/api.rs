@@ -129,6 +129,16 @@ pub enum ConnectError {
         /// Human-readable description.
         detail: String,
     },
+    /// A service refused the connection or submission because a tenant
+    /// quota is exhausted (the multi-tenant daemon's admission controller
+    /// rejecting over blocking).  Not retryable until the tenant's usage
+    /// drops.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
+        /// Which quota: `"queue"`, `"studies"`, `"groups"` or `"units"`.
+        resource: String,
+    },
 }
 
 impl std::fmt::Display for ConnectError {
@@ -139,6 +149,9 @@ impl std::fmt::Display for ConnectError {
                 write!(f, "name '{name}' not published in directory {directory}")
             }
             ConnectError::Io { detail } => write!(f, "transport error: {detail}"),
+            ConnectError::QuotaExceeded { tenant, resource } => {
+                write!(f, "tenant '{tenant}' exceeded its {resource} quota")
+            }
         }
     }
 }

@@ -644,6 +644,51 @@ pub mod names {
     pub fn telemetry(k: usize) -> String {
         format!("telemetry/shard{k}")
     }
+
+    /// The scope prefix of study `id` under the multi-tenant daemon.
+    /// Composes with shard scopes: study 3's shard 1 lives under
+    /// `"study3/shard1"`, its endpoints under `"study3/shard1/…"`.
+    pub fn study_scope(id: u64) -> String {
+        format!("study{id}")
+    }
+
+    /// The study part of a server scope: strips a trailing
+    /// `shard<k>` segment, if any.  `""` and `"shard1"` map to the
+    /// unscoped study `""`; `"study3"` and `"study3/shard1"` map to
+    /// `"study3"` — the key under which that study's non-shard endpoints
+    /// (telemetry) are grouped.
+    pub fn study_part(scope: &str) -> &str {
+        let last = scope.rsplit('/').next().unwrap_or(scope);
+        let is_shard = last
+            .strip_prefix("shard")
+            .is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()));
+        if is_shard {
+            scope[..scope.len() - last.len()].trim_end_matches('/')
+        } else {
+            scope
+        }
+    }
+
+    /// Shard `k`'s telemetry scrape endpoint inside the server scope
+    /// `scope` (which may carry a study prefix, a shard suffix, both or
+    /// neither).  Unscoped and shard-only deployments keep the legacy
+    /// [`telemetry`] names; daemon studies get per-study endpoints like
+    /// `"study3/telemetry/shard1"` so concurrent studies on one shared
+    /// transport never collide.
+    pub fn telemetry_in(scope: &str, k: usize) -> String {
+        scoped(study_part(scope), &telemetry(k))
+    }
+
+    /// The multi-tenant daemon's study-submission control endpoint.
+    pub fn daemon_ctl() -> String {
+        "ctl/daemon".to_string()
+    }
+
+    /// The daemon-level telemetry endpoint: queue depths, per-tenant
+    /// usage and admission counters, aggregated across all studies.
+    pub fn daemon_telemetry() -> String {
+        "telemetry/daemon".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -793,5 +838,37 @@ mod tests {
         assert_eq!(names::server_worker_in("", 5), names::server_worker(5));
         assert_eq!(names::launcher_in(""), names::launcher());
         assert_eq!(names::group_reply_in("", 1, 0), names::group_reply(1, 0));
+    }
+
+    #[test]
+    fn study_scopes_compose_and_keep_legacy_telemetry_names() {
+        assert_eq!(names::study_scope(3), "study3");
+        assert_eq!(
+            names::scoped("study3", &names::shard_scope(1)),
+            "study3/shard1"
+        );
+
+        // The study part of a server scope strips only a shard suffix.
+        assert_eq!(names::study_part(""), "");
+        assert_eq!(names::study_part("shard1"), "");
+        assert_eq!(names::study_part("study3"), "study3");
+        assert_eq!(names::study_part("study3/shard1"), "study3");
+        assert_eq!(names::study_part("shardy"), "shardy");
+
+        // Telemetry endpoints: legacy names outside the daemon, per-study
+        // names under it — no collision between two studies' shard 0.
+        assert_eq!(names::telemetry_in("", 0), names::telemetry(0));
+        assert_eq!(names::telemetry_in("shard1", 1), names::telemetry(1));
+        assert_eq!(
+            names::telemetry_in("study3/shard1", 1),
+            "study3/telemetry/shard1"
+        );
+        assert_eq!(names::telemetry_in("study3", 0), "study3/telemetry/shard0");
+        assert_ne!(
+            names::telemetry_in(&names::study_scope(1), 0),
+            names::telemetry_in(&names::study_scope(2), 0)
+        );
+        assert_eq!(names::daemon_ctl(), "ctl/daemon");
+        assert_eq!(names::daemon_telemetry(), "telemetry/daemon");
     }
 }

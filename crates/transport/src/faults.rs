@@ -43,7 +43,7 @@ impl KillSwitch {
 }
 
 /// Link-level fault policy.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPolicy {
     /// Probability in `[0, 1]` of silently dropping a frame.
     pub drop_probability: f64,

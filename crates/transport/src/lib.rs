@@ -100,6 +100,6 @@ pub use directory::{
 };
 pub use endpoint::{channel, ChannelReceiver, Frame, HwmSender, LinkStats};
 pub use faults::{FaultPolicy, FaultySender, KillSwitch};
-pub use heartbeat::LivenessTracker;
+pub use heartbeat::{LivenessTracker, LoadMonitor};
 pub use registry::ChannelTransport;
 pub use tcp::{TcpTransport, TcpTransportConfig};

@@ -14,12 +14,20 @@
 //! the other two wire formats a scraper can ask for.
 //!
 //! Run with: `cargo run --release --example melissa_top`
+//!
+//! With `-- --daemon` the top view points at a multi-tenant daemon
+//! instead: the study is submitted over the control plane, the per-shard
+//! rows come from the study's scoped `study<id>/telemetry/shard<k>`
+//! endpoints, and each render is followed by the daemon-level aggregate
+//! (queue depth, per-tenant usage, admission counters) from
+//! `telemetry/daemon`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use melissa_repro::daemon::{Daemon, DaemonClient, DaemonConfig, StudyState};
 use melissa_repro::melissa::{Study, StudyConfig, StudyOutput};
-use melissa_repro::telemetry::{scrape, scrape_text, ScrapeFormat, ScrapeSnapshot};
+use melissa_repro::telemetry::{scrape, scrape_text, ScrapeFormat, ScrapeReply, ScrapeSnapshot};
 use melissa_repro::transport::{make_transport, TransportKind};
 
 const N_SHARDS: usize = 2;
@@ -205,7 +213,77 @@ fn run_reference(kind: TransportKind, tag: &str) -> StudyOutput {
     out
 }
 
+/// The `--daemon` variant: same live table, but the study runs inside a
+/// multi-tenant daemon and the scraper uses the study's scoped shard
+/// endpoints plus the daemon-level aggregate.
+fn run_daemon_top() {
+    let transport = make_transport(TransportKind::InProcess);
+    let daemon = Daemon::start(Arc::clone(&transport), DaemonConfig::default());
+    let client = DaemonClient::new(Arc::clone(&transport), Duration::from_secs(10));
+
+    let cfg = config(TransportKind::InProcess, "daemon-top");
+    std::fs::remove_dir_all(&cfg.checkpoint_dir).ok();
+    let dir = cfg.checkpoint_dir.clone();
+    let id = client.submit("acme", 0, cfg).expect("study admitted");
+    println!("submitted as tenant acme → study {id}");
+
+    let mut last_render = Instant::now() - RENDER_EVERY;
+    let (mut polls, mut hits, mut aggregate_hits) = (0usize, 0usize, 0usize);
+    let deadline = Instant::now() + Duration::from_secs(240);
+    loop {
+        let status = client.status(id).expect("status");
+        if status.state.is_terminal() {
+            assert_eq!(status.state, StudyState::Done, "hosted study failed");
+            assert_eq!(status.groups_finished as usize, N_GROUPS);
+            break;
+        }
+        assert!(Instant::now() < deadline, "hosted study never finished");
+        std::thread::sleep(POLL_EVERY);
+
+        let mut rows = Vec::new();
+        for k in 0..N_SHARDS {
+            polls += 1;
+            // Same lifecycle races as the standalone view: the scoped
+            // endpoints exist only while the study's servers are up.
+            if let Ok(ScrapeReply::Snapshot(snap)) =
+                client.scrape_study(id, k, ScrapeFormat::Binary)
+            {
+                assert_eq!(snap.shard, k as u32, "scrape answered by the wrong shard");
+                hits += 1;
+                rows.push(*snap);
+            }
+        }
+        if !rows.is_empty() && last_render.elapsed() >= RENDER_EVERY {
+            last_render = Instant::now();
+            render(&rows);
+            if let Ok(json) = client.scrape_daemon(ScrapeFormat::Json) {
+                aggregate_hits += 1;
+                let cut = json.char_indices().nth(160).map_or(json.len(), |(i, _)| i);
+                println!("daemon aggregate:  {}…", &json[..cut]);
+            }
+        }
+    }
+    println!("live scrape: {hits}/{polls} shard polls answered, {aggregate_hits} aggregates");
+    assert!(hits > 0, "no per-study scrape ever landed");
+    assert!(
+        aggregate_hits > 0,
+        "the daemon telemetry endpoint never answered"
+    );
+    let results = client.results(id).expect("results");
+    assert_eq!(
+        results.n_timesteps(),
+        StudyConfig::tiny().solver.n_timesteps
+    );
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("TOP PASS (daemon): hosted study observed live through scoped + aggregate endpoints");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--daemon") {
+        run_daemon_top();
+        return;
+    }
     let mut total = 0usize;
     for (kind, name) in [
         (TransportKind::InProcess, "in-process"),

@@ -5,6 +5,7 @@
 //! depend on the individual crates (`melissa`, `melissa-sobol`, ...) instead.
 
 pub use melissa;
+pub use melissa_daemon as daemon;
 pub use melissa_mesh as mesh;
 pub use melissa_scheduler as scheduler;
 pub use melissa_sobol as sobol;

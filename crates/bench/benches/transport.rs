@@ -11,6 +11,10 @@
 //! * `stream32` — send a 32-frame burst, then drain it: amortises the
 //!   hand-off latency, closer to a simulation group emitting a timestep.
 //!
+//! plus `transport_compress`: the in-frame f64 wire codec in isolation
+//! and the streamed shape with compression off vs on (payload-byte
+//! throughput, i.e. effective application bandwidth).
+//!
 //! Recorded baselines live in `BENCH_transport.json` at the repo root.
 
 use std::sync::Arc;
@@ -23,11 +27,25 @@ use melissa::server::state::WorkerState;
 use melissa::{GroupRouter, RoutingTable};
 use melissa_mesh::SlabPartition;
 use melissa_transport::{
-    make_transport, Directory, DirectoryClient, DirectoryServer, TcpTransport, TcpTransportConfig,
-    Transport, TransportKind,
+    compress_payload, decompress_payload, make_transport, make_transport_with, Directory,
+    DirectoryClient, DirectoryServer, TcpTransport, TcpTransportConfig, Transport, TransportKind,
+    WireCompression,
 };
 
 const BURST: usize = 32;
+
+/// A smooth solver-like field payload (3 header-tail bytes + f64 grid):
+/// the fixture the wire codec's acceptance ratio is measured on.
+fn smooth_payload(n_doubles: usize) -> Bytes {
+    let mut payload = vec![0xAB, 0xCD, 0xEF];
+    for i in 0..n_doubles {
+        let x = i as f64 / n_doubles as f64;
+        let tau = std::f64::consts::TAU;
+        let v = 300.0 + 40.0 * (tau * x).sin() + 5.0 * (5.0 * tau * x).cos();
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(payload)
+}
 
 fn bench_roundtrip(c: &mut Criterion) {
     let mut g = c.benchmark_group("transport_roundtrip");
@@ -71,6 +89,48 @@ fn bench_stream(c: &mut Criterion) {
                 })
             });
         }
+    }
+    g.finish();
+}
+
+/// The bandwidth-lean wire path: the in-frame f64 codec in isolation
+/// (compress/decompress throughput and ratio on the smooth-field
+/// fixture), and the streamed TCP shape with compression off vs on —
+/// throughput is accounted in *payload* bytes, so the compressed row
+/// reads as effective application bandwidth.
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_compress");
+    g.sample_size(7);
+
+    let payload = smooth_payload(8192); // one 64 KiB data frame
+    let compressed = compress_payload(&payload).expect("smooth field compresses");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("codec_compress/65536", |b| {
+        b.iter(|| compress_payload(&payload).unwrap())
+    });
+    g.bench_function("codec_decompress/65536", |b| {
+        b.iter(|| decompress_payload(&compressed).unwrap())
+    });
+
+    for compression in [WireCompression::Off, WireCompression::Transpose] {
+        let t = make_transport_with(TransportKind::Tcp, compression);
+        let rx = t.bind("bench", BURST + 1);
+        let tx = t.connect("bench").unwrap();
+        g.throughput(Throughput::Bytes((payload.len() * BURST) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("stream32_field", compression.label()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    for _ in 0..BURST {
+                        tx.send(payload.clone()).unwrap();
+                    }
+                    for _ in 0..BURST {
+                        rx.recv().unwrap();
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -210,6 +270,7 @@ criterion_group!(
     benches,
     bench_roundtrip,
     bench_stream,
+    bench_compress,
     bench_directory,
     bench_reconnect,
     bench_rebalance

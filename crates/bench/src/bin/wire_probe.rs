@@ -1,0 +1,109 @@
+//! Diagnostic probe for the TCP wire path: runs ONE shape per process
+//! (`SHAPE=rt` lock-step roundtrips, `SHAPE=st` streamed bursts) so CPU
+//! time and context switches can be attributed per shape rather than
+//! averaged across both.  This is the tool that separated per-frame
+//! writer overhead (syscalls + wakeups, fixed by burst batching) from
+//! cache-capacity effects (deep pipelines cycling more buffer than the
+//! cache holds) during the `transport_stream32/tcp/65536` investigation.
+//!
+//! Knobs (env): `SHAPE=rt|st`, `BURST` (frames per burst, default 32),
+//! `ROUNDS` (bursts, default 40), `HWM` (link high-water mark, default
+//! `BURST + 1` so a streamed burst never blocks on backpressure).
+//!
+//! Not part of the acceptance suite — `wire_smoke` asserts; this prints.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use melissa_transport::{make_transport_with, TransportKind, WireCompression};
+
+const BURST_DEF: usize = 32;
+const FRAME: usize = 65536;
+
+fn burst() -> usize {
+    std::env::var("BURST")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(BURST_DEF)
+}
+
+fn main() {
+    let shape = std::env::var("SHAPE").unwrap_or_else(|_| "st".into());
+    let rounds: usize = std::env::var("ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let t = make_transport_with(TransportKind::Tcp, WireCompression::Off);
+    let hwm = std::env::var("HWM")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(burst() + 1);
+    let rx = t.bind("probe", hwm);
+    let tx = t.connect("probe").unwrap();
+    let frame = Bytes::from(vec![0u8; FRAME]);
+    for _ in 0..8 {
+        tx.send(frame.clone()).unwrap();
+        rx.recv().unwrap();
+    }
+    let cpu0 = cpu_ticks();
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        match shape.as_str() {
+            "rt" => {
+                for _ in 0..burst() {
+                    tx.send(frame.clone()).unwrap();
+                    rx.recv().unwrap();
+                }
+            }
+            _ => {
+                for _ in 0..burst() {
+                    tx.send(frame.clone()).unwrap();
+                }
+                for _ in 0..burst() {
+                    rx.recv().unwrap();
+                }
+            }
+        }
+    }
+    let el = t0.elapsed();
+    let cpu = cpu_ticks() - cpu0;
+    let n_frames = (rounds * burst()) as f64;
+    let mib = (rounds * burst() * FRAME) as f64 / (1024.0 * 1024.0) / el.as_secs_f64();
+    let (v, nv) = switches();
+    println!(
+        "{shape}: {mib:.1} MiB/s, {:.1} us cpu/frame, {:.1}v+{:.1}iv switches/frame",
+        cpu as f64 * 10_000.0 / n_frames,
+        v as f64 / n_frames,
+        nv as f64 / n_frames
+    );
+}
+
+/// Process CPU time (utime+stime over all threads), in clock ticks
+/// (100 Hz ⇒ 10 000 µs per tick).
+fn cpu_ticks() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap();
+    let after = stat.rsplit(')').next().unwrap();
+    let f: Vec<&str> = after.split_whitespace().collect();
+    f[11].parse::<u64>().unwrap() + f[12].parse::<u64>().unwrap()
+}
+
+/// Total (voluntary, involuntary) context switches across every thread
+/// of this process.
+fn switches() -> (u64, u64) {
+    let (mut v, mut nv) = (0u64, 0u64);
+    for entry in std::fs::read_dir("/proc/self/task").unwrap() {
+        let status = entry.unwrap().path().join("status");
+        let Ok(text) = std::fs::read_to_string(status) else {
+            continue;
+        };
+        for line in text.lines() {
+            let grab = |l: &str| l.split_whitespace().nth(1).and_then(|n| n.parse().ok());
+            if line.starts_with("voluntary_ctxt_switches") {
+                v += grab(line).unwrap_or(0u64);
+            } else if line.starts_with("nonvoluntary_ctxt_switches") {
+                nv += grab(line).unwrap_or(0u64);
+            }
+        }
+    }
+    (v, nv)
+}

@@ -118,6 +118,7 @@ pub struct GroupClient {
     senders: Vec<FaultySender>,
     send_timeout: Duration,
     kill: KillSwitch,
+    truncate_bits: Option<u8>,
     /// Messages sent so far.
     pub messages_sent: u64,
     /// Payload bytes sent so far.
@@ -193,6 +194,7 @@ impl GroupClient {
             senders,
             send_timeout: timeout,
             kill,
+            truncate_bits: None,
             messages_sent: 0,
             bytes_sent: 0,
         })
@@ -218,6 +220,20 @@ impl GroupClient {
         Self::connect(
             transport, &scope, group_id, instance, reply_hwm, timeout, kill, fault,
         )
+    }
+
+    /// Applies the study's wire-compression mode to this client:
+    /// [`Truncate`](melissa_transport::WireCompression::Truncate) rounds
+    /// every outgoing field value to its top `mantissa_bits` mantissa
+    /// bits *before* encoding (the reduced-precision transfer with the
+    /// documented `2^-(mantissa_bits+1)` relative error bound — see
+    /// `melissa_transport::compress`); the lossless modes are handled
+    /// entirely inside the transport and are a no-op here.
+    pub fn set_wire_compression(&mut self, compression: melissa_transport::WireCompression) {
+        self.truncate_bits = match compression {
+            melissa_transport::WireCompression::Truncate { mantissa_bits } => Some(mantissa_bits),
+            _ => None,
+        };
     }
 
     /// The group id this client serves.
@@ -247,13 +263,17 @@ impl GroupClient {
                     return Err(ClientError::Killed);
                 }
                 let offset = sub.start - range.start;
+                let mut sub_values = values[offset..offset + sub.len].to_vec();
+                if let Some(bits) = self.truncate_bits {
+                    melissa_transport::truncate_values(&mut sub_values, bits);
+                }
                 let msg = Message::Data {
                     group_id: self.group_id,
                     instance: self.instance,
                     role,
                     timestep,
                     start: sub.start as u64,
-                    values: values[offset..offset + sub.len].to_vec(),
+                    values: sub_values,
                 };
                 let frame = msg.encode();
                 let bytes = (sub.len * 8) as u64;

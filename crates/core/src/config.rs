@@ -101,6 +101,15 @@ pub struct StudyConfig {
     /// target) before the supervisor declares the rebalance failed
     /// ([`crate::shard`]'s routing-epoch protocol).
     pub migration_timeout: Duration,
+    /// Wire compression of the data links (TCP backends only; the
+    /// in-process backend moves frames by reference and ignores it).
+    /// [`Transpose`](melissa_transport::WireCompression::Transpose) is
+    /// lossless — a compressed seeded study is bit-identical to an
+    /// uncompressed one — while
+    /// [`Truncate`](melissa_transport::WireCompression::Truncate) is the
+    /// opt-in reduced-precision transfer and is rejected for order-exact
+    /// acceptance runs (`max_concurrent_groups == 1`).
+    pub wire_compression: melissa_transport::WireCompression,
     /// Link-level fault policy applied to all group data links (message
     /// drops / delays for fault experiments).
     pub link_fault: melissa_transport::FaultPolicy,
@@ -143,6 +152,7 @@ impl Default for StudyConfig {
             target_quantile_step: None,
             wall_limit: Duration::from_secs(600),
             migration_timeout: Duration::from_secs(30),
+            wire_compression: melissa_transport::WireCompression::Off,
             link_fault: melissa_transport::FaultPolicy::default(),
             thresholds: vec![0.5],
             quantile_probs: melissa_stats::quantiles::PAPER_PROBS.to_vec(),
@@ -211,6 +221,23 @@ impl StudyConfig {
                 return Err(format!("quantile probability {q} outside (0, 1)"));
             }
         }
+        if let melissa_transport::WireCompression::Truncate { mantissa_bits } =
+            self.wire_compression
+        {
+            if !(1..=52).contains(&mantissa_bits) {
+                return Err(format!(
+                    "truncate mantissa_bits {mantissa_bits} outside 1..=52"
+                ));
+            }
+            if self.max_concurrent_groups == 1 {
+                return Err(
+                    "reduced-precision transfer (Truncate) is rejected for order-exact \
+                     acceptance runs (max_concurrent_groups == 1): their contract is \
+                     bit-identical statistics across transports"
+                        .into(),
+                );
+            }
+        }
         if let Some(step) = self.target_quantile_step {
             if step.is_nan() || step <= 0.0 {
                 return Err(format!("target_quantile_step {step} must be positive"));
@@ -265,6 +292,22 @@ mod tests {
 
         let mut c = StudyConfig::tiny();
         c.target_quantile_step = Some(0.0);
+        assert!(c.validate().is_err());
+
+        // Lossy transfer is incompatible with order-exact runs; lossless
+        // compression is fine there.
+        let mut c = StudyConfig::tiny();
+        c.max_concurrent_groups = 1;
+        c.wire_compression = melissa_transport::WireCompression::Truncate { mantissa_bits: 20 };
+        assert!(c.validate().is_err());
+        c.wire_compression = melissa_transport::WireCompression::Transpose;
+        c.validate().unwrap();
+        c.max_concurrent_groups = 2;
+        c.wire_compression = melissa_transport::WireCompression::Truncate { mantissa_bits: 20 };
+        c.validate().unwrap();
+        c.wire_compression = melissa_transport::WireCompression::Truncate { mantissa_bits: 0 };
+        assert!(c.validate().is_err());
+        c.wire_compression = melissa_transport::WireCompression::Truncate { mantissa_bits: 53 };
         assert!(c.validate().is_err());
 
         let mut c = StudyConfig::tiny();

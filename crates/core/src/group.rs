@@ -49,6 +49,11 @@ pub struct GroupContext {
     pub fault: Option<GroupFault>,
     /// Link-level fault policy (message drops/delays).
     pub link_fault: FaultPolicy,
+    /// Study wire-compression mode: `Truncate` makes this group round
+    /// outgoing field values before encoding (the client-side half of
+    /// the reduced-precision transfer); the lossless modes live entirely
+    /// inside the transport.
+    pub wire_compression: melissa_transport::WireCompression,
 }
 
 /// Outcome of one group job run.
@@ -104,6 +109,7 @@ pub fn run_group(ctx: GroupContext, kill: &KillSwitch) -> GroupOutcome {
             }
         }
     };
+    client.set_wire_compression(ctx.wire_compression);
 
     // The p + 2 simulations of the group, run in lockstep.
     let mut sims: Vec<DecomposedSimulation> = ctx
@@ -215,6 +221,7 @@ mod tests {
             timeout: Duration::from_millis(100),
             fault: Some(GroupFault::Zombie),
             link_fault: FaultPolicy::default(),
+            wire_compression: melissa_transport::WireCompression::Off,
         };
         let kill = KillSwitch::new();
         let k2 = kill.clone();
@@ -247,6 +254,7 @@ mod tests {
             timeout: Duration::from_millis(50),
             fault: None,
             link_fault: FaultPolicy::default(),
+            wire_compression: melissa_transport::WireCompression::Off,
         };
         let kill = KillSwitch::new();
         assert!(matches!(

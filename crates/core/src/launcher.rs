@@ -39,7 +39,8 @@ use melissa_solver::FrozenFlow;
 use melissa_telemetry::{EventKind, Telemetry};
 use melissa_transport::directory::names;
 use melissa_transport::{
-    make_transport, KillSwitch, LivenessTracker, LoadMonitor, Receiver, RecvTimeoutError, Transport,
+    make_transport_with, KillSwitch, LivenessTracker, LoadMonitor, Receiver, RecvTimeoutError,
+    Transport,
 };
 use parking_lot::Mutex;
 
@@ -222,9 +223,9 @@ impl StudyContext {
     /// daemon injects its shared transport and dispatcher, the study
     /// scope and the cancel switch here).
     pub(crate) fn new_in(config: StudyConfig, faults: FaultPlan, rt: StudyRuntime) -> Self {
-        let transport = rt
-            .transport
-            .unwrap_or_else(|| make_transport(config.transport.clone()));
+        let transport = rt.transport.unwrap_or_else(|| {
+            make_transport_with(config.transport.clone(), config.wire_compression)
+        });
         let space = InjectionParams::parameter_space();
         let design = PickFreeze::generate(config.n_groups, &space, config.seed);
         let p = space.dim();
@@ -442,6 +443,7 @@ pub(crate) fn supervise_shard(
             timeout: config.group_timeout,
             fault: ctx.faults.group_fault(g, instance),
             link_fault: config.link_fault.clone(),
+            wire_compression: config.wire_compression,
         };
         let outcomes = Arc::clone(&outcomes);
         let _ = server_kill;
@@ -1105,6 +1107,7 @@ pub(crate) fn supervise_shard(
     report.blocked_time = link.blocked_time();
     report.link_messages = link.messages;
     report.link_bytes = link.bytes;
+    report.link_wire_bytes = link.wire_bytes;
     report.early_stopped = early_stopped;
     report.final_max_ci = last_ci;
     report.final_max_quantile_step = last_quantile_step;
@@ -1285,6 +1288,7 @@ fn rehome_dead_shard(
     report.blocked_time = link.blocked_time();
     report.link_messages = link.messages;
     report.link_bytes = link.bytes;
+    report.link_wire_bytes = link.wire_bytes;
     report.early_stopped = early_stopped;
     report.final_max_ci = signals.0;
     report.final_max_quantile_step = signals.1;

@@ -55,6 +55,12 @@ pub struct StudyReport {
     /// Study-level link rollup: frame bytes sent toward the server's data
     /// endpoints.
     pub link_bytes: u64,
+    /// Study-level link rollup: bytes that actually crossed the wire
+    /// (after in-frame compression, including framing and retransmits).
+    /// Equals [`link_bytes`](Self::link_bytes) on links with no wire
+    /// (in-process) or with compression off, so
+    /// `link_bytes / link_wire_bytes` is always the compression ratio.
+    pub link_wire_bytes: u64,
     /// Sends that hit a full buffer (backpressure events).
     pub blocked_sends: u64,
     /// Total time clients spent blocked on full buffers.
@@ -116,6 +122,7 @@ impl StudyReport {
             transport: String::new(),
             link_messages: 0,
             link_bytes: 0,
+            link_wire_bytes: 0,
             blocked_sends: 0,
             blocked_time: Duration::ZERO,
             checkpoints_written: 0,
@@ -187,6 +194,14 @@ impl std::fmt::Display for StudyReport {
                 self.link_messages,
                 self.link_bytes as f64 / (1024.0 * 1024.0)
             )?;
+            if self.link_wire_bytes != 0 && self.link_wire_bytes != self.link_bytes {
+                writeln!(
+                    f,
+                    "wire              : {:.1} MiB after compression ({:.2}x ratio)",
+                    self.link_wire_bytes as f64 / (1024.0 * 1024.0),
+                    self.link_bytes as f64 / self.link_wire_bytes as f64
+                )?;
+            }
         }
         writeln!(
             f,

@@ -464,6 +464,7 @@ pub(crate) fn run_sharded_study(
         report.checkpoints_written += r.checkpoints_written;
         report.link_messages += r.link_messages;
         report.link_bytes += r.link_bytes;
+        report.link_wire_bytes += r.link_wire_bytes;
         report.blocked_sends += r.blocked_sends;
         report.blocked_time += r.blocked_time;
         report.early_stopped |= r.early_stopped;

@@ -150,6 +150,9 @@ pub fn encode_study_config(buf: &mut BytesMut, c: &StudyConfig) {
     put_opt_f64(buf, c.target_quantile_step);
     put_duration(buf, c.wall_limit);
     put_duration(buf, c.migration_timeout);
+    let (wire_mode, wire_bits) = c.wire_compression.to_wire();
+    buf.put_u8(wire_mode);
+    buf.put_u8(wire_bits);
     buf.put_f64_le(c.link_fault.drop_probability);
     put_duration(buf, c.link_fault.delay);
     put_f64_slice(buf, &c.thresholds);
@@ -192,6 +195,10 @@ pub fn decode_study_config(buf: &mut &[u8]) -> WireResult<StudyConfig> {
         target_quantile_step: get_opt_f64(buf, "target_quantile_step")?,
         wall_limit: get_duration(buf, "wall_limit")?,
         migration_timeout: get_duration(buf, "migration_timeout")?,
+        wire_compression: melissa_transport::WireCompression::from_wire(
+            get_u8(buf, "wire compression mode")?,
+            get_u8(buf, "wire compression bits")?,
+        ),
         link_fault: FaultPolicy {
             drop_probability: get_f64(buf, "link fault drop probability")?,
             delay: get_duration(buf, "link fault delay")?,
@@ -554,6 +561,7 @@ mod tests {
         c.thresholds = vec![0.25, 0.75];
         c.checkpoint_dir = PathBuf::from("/tmp/melissa-daemon-test");
         c.telemetry = false;
+        c.wire_compression = melissa_transport::WireCompression::Truncate { mantissa_bits: 24 };
         c
     }
 
@@ -598,6 +606,7 @@ mod tests {
         assert_eq!(back.thresholds, c.thresholds);
         assert_eq!(back.quantile_probs, c.quantile_probs);
         assert_eq!(back.telemetry, c.telemetry);
+        assert_eq!(back.wire_compression, c.wire_compression);
     }
 
     #[test]

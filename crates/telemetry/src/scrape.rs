@@ -102,6 +102,11 @@ pub struct LinkScrape {
     pub messages: u64,
     /// Payload bytes sent.
     pub bytes: u64,
+    /// Bytes that actually crossed the wire (after in-frame compression,
+    /// including framing and retransmits); equals `bytes` on wireless or
+    /// uncompressed links, so `bytes / wire_bytes` is always the
+    /// compression ratio.
+    pub wire_bytes: u64,
     /// Sends that blocked on the high-water mark.
     pub blocked_sends: u64,
     /// Nanoseconds spent blocked.
@@ -115,6 +120,7 @@ impl LinkScrape {
             endpoint: endpoint.to_string(),
             messages: s.messages,
             bytes: s.bytes,
+            wire_bytes: s.wire_bytes,
             blocked_sends: s.blocked_sends,
             blocked_nanos: s.blocked_nanos,
         }
@@ -168,6 +174,7 @@ impl ScrapeSnapshot {
             put_str(buf, &l.endpoint);
             buf.put_u64_le(l.messages);
             buf.put_u64_le(l.bytes);
+            buf.put_u64_le(l.wire_bytes);
             buf.put_u64_le(l.blocked_sends);
             buf.put_u64_le(l.blocked_nanos);
         }
@@ -193,6 +200,7 @@ impl ScrapeSnapshot {
                 endpoint: get_str(buf, "link endpoint")?,
                 messages: get_u64(buf, "link messages")?,
                 bytes: get_u64(buf, "link bytes")?,
+                wire_bytes: get_u64(buf, "link wire bytes")?,
                 blocked_sends: get_u64(buf, "link blocked sends")?,
                 blocked_nanos: get_u64(buf, "link blocked nanos")?,
             });
@@ -239,6 +247,7 @@ impl ScrapeSnapshot {
             push_kv_str(&mut out, "endpoint", &l.endpoint);
             push_kv_u64(&mut out, "messages", l.messages);
             push_kv_u64(&mut out, "bytes", l.bytes);
+            push_kv_u64(&mut out, "wire_bytes", l.wire_bytes);
             push_kv_u64(&mut out, "blocked_sends", l.blocked_sends);
             out.push_str(&format!("\"blocked_nanos\":{}", l.blocked_nanos));
             out.push('}');
@@ -338,6 +347,7 @@ impl ScrapeSnapshot {
         for family in [
             ("melissa_link_messages_total", "messages"),
             ("melissa_link_bytes_total", "bytes"),
+            ("melissa_link_wire_bytes_total", "wire_bytes"),
             ("melissa_link_blocked_sends_total", "blocked_sends"),
             ("melissa_link_blocked_nanos_total", "blocked_nanos"),
         ] {
@@ -346,6 +356,7 @@ impl ScrapeSnapshot {
                 let v = match family.1 {
                     "messages" => l.messages,
                     "bytes" => l.bytes,
+                    "wire_bytes" => l.wire_bytes,
                     "blocked_sends" => l.blocked_sends,
                     _ => l.blocked_nanos,
                 };
@@ -645,6 +656,7 @@ mod tests {
                 endpoint: "shard1/server/0".into(),
                 messages: 10,
                 bytes: 4096,
+                wire_bytes: 2048,
                 blocked_sends: 1,
                 blocked_nanos: 999,
             }],
@@ -701,7 +713,17 @@ mod tests {
         assert!(json.contains("\"max_ci_width\":0.25"));
         assert!(json.contains("quote \\\" and \\\\ back"));
         assert!(json.contains("\"routing_epoch\":3"));
+        assert!(json.contains("\"wire_bytes\":2048"));
         assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn prometheus_exposes_wire_bytes_per_link() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE melissa_link_wire_bytes_total counter"));
+        assert!(text.contains(
+            "melissa_link_wire_bytes_total{shard=\"1\",endpoint=\"shard1/server/0\"} 2048"
+        ));
     }
 
     #[test]

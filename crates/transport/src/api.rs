@@ -166,6 +166,12 @@ pub struct LinkStatsSnapshot {
     pub messages: u64,
     /// Payload bytes sent.
     pub bytes: u64,
+    /// Bytes put on the wire for those frames (framing overhead and
+    /// retransmissions included, compression applied).  Equals
+    /// [`bytes`](Self::bytes) on links without a wire stage (in-process
+    /// channels), so `bytes / wire_bytes` is always the link's effective
+    /// compression ratio.
+    pub wire_bytes: u64,
     /// Sends that found the buffer at the high-water mark and blocked.
     pub blocked_sends: u64,
     /// Total nanoseconds spent blocked in sends.
@@ -178,6 +184,7 @@ impl LinkStatsSnapshot {
         Self {
             messages: stats.messages_sent(),
             bytes: stats.bytes_sent(),
+            wire_bytes: stats.wire_bytes_sent(),
             blocked_sends: stats.sends_blocked(),
             blocked_nanos: stats.blocked_time().as_nanos() as u64,
         }
@@ -192,6 +199,7 @@ impl LinkStatsSnapshot {
     pub fn absorb(&mut self, other: &LinkStatsSnapshot) {
         self.messages += other.messages;
         self.bytes += other.bytes;
+        self.wire_bytes += other.wire_bytes;
         self.blocked_sends += other.blocked_sends;
         self.blocked_nanos += other.blocked_nanos;
     }
@@ -391,11 +399,31 @@ impl std::fmt::Display for TransportKind {
 /// ephemeral ports left) or a multi-node transport cannot reach its
 /// directory — unrecoverable for a study anyway.
 pub fn make_transport(kind: TransportKind) -> Arc<dyn Transport> {
+    make_transport_with(kind, crate::compress::WireCompression::Off)
+}
+
+/// Instantiates the selected backend with a wire-compression mode for
+/// its outbound links (the study launcher's entry point: it forwards
+/// `StudyConfig::wire_compression` here).  The in-process backend has no
+/// wire, so `compression` is a no-op there — which is exactly what makes
+/// a compressed study comparable bit-for-bit against an in-process run.
+///
+/// # Panics
+/// Same conditions as [`make_transport`].
+pub fn make_transport_with(
+    kind: TransportKind,
+    compression: crate::compress::WireCompression,
+) -> Arc<dyn Transport> {
     match kind {
         TransportKind::InProcess => Arc::new(crate::registry::ChannelTransport::new()),
-        TransportKind::Tcp => Arc::new(
-            crate::tcp::TcpTransport::new().expect("binding the TCP loopback listener failed"),
-        ),
+        TransportKind::Tcp => {
+            let mut config = crate::tcp::TcpTransportConfig::local();
+            config.compression = compression;
+            Arc::new(
+                crate::tcp::TcpTransport::with_config(config)
+                    .expect("binding the TCP loopback listener failed"),
+            )
+        }
         TransportKind::TcpNode {
             host,
             port,
@@ -411,6 +439,7 @@ pub fn make_transport(kind: TransportKind) -> Arc<dyn Transport> {
             };
             config.bind = format!("{host}:{port}");
             config.advertise_host = advertise;
+            config.compression = compression;
             Arc::new(
                 crate::tcp::TcpTransport::with_config(config)
                     .expect("binding the node listener / reaching the directory failed"),
@@ -428,20 +457,34 @@ mod tests {
         let mut a = LinkStatsSnapshot {
             messages: 1,
             bytes: 10,
+            wire_bytes: 6,
             blocked_sends: 2,
             blocked_nanos: 500,
         };
         let b = LinkStatsSnapshot {
             messages: 3,
             bytes: 30,
+            wire_bytes: 14,
             blocked_sends: 1,
             blocked_nanos: 1500,
         };
         a.absorb(&b);
         assert_eq!(a.messages, 4);
         assert_eq!(a.bytes, 40);
+        assert_eq!(a.wire_bytes, 20);
         assert_eq!(a.blocked_sends, 3);
         assert_eq!(a.blocked_time(), Duration::from_nanos(2000));
+    }
+
+    #[test]
+    fn untracked_links_report_wire_bytes_equal_to_payload_bytes() {
+        // In-process links have no wire: the snapshot must fall back to
+        // payload bytes so the compression ratio reads 1.0, not ∞.
+        let (tx, _rx) = crate::endpoint::channel(4);
+        tx.send(bytes::Bytes::from_static(b"abcde")).unwrap();
+        let snap = LinkStatsSnapshot::of(tx.stats());
+        assert_eq!(snap.bytes, 5);
+        assert_eq!(snap.wire_bytes, 5);
     }
 
     #[test]

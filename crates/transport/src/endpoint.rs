@@ -17,7 +17,7 @@
 //! backend feeds from its writer/reader threads, which is what keeps the
 //! HWM contract and its telemetry identical across backends.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +42,14 @@ pub struct LinkStats {
     pub blocked_sends: AtomicU64,
     /// Total nanoseconds spent blocked in sends.
     pub blocked_nanos: AtomicU64,
+    /// Bytes actually put on the wire for this link's data frames
+    /// (length prefixes included, compression applied) — meaningful only
+    /// when a wire stage tracks it; see [`LinkStats::wire_bytes_sent`].
+    pub wire_bytes: AtomicU64,
+    /// Set once by a wire stage (the TCP writer thread) the first time it
+    /// accounts wire bytes.  Links without a wire (in-process) leave it
+    /// unset and report `wire_bytes == bytes`.
+    wire_tracked: AtomicBool,
 }
 
 impl LinkStats {
@@ -63,6 +71,35 @@ impl LinkStats {
     /// Sends that hit the high-water mark.
     pub fn sends_blocked(&self) -> u64 {
         self.blocked_sends.load(Ordering::Relaxed)
+    }
+
+    /// Bytes this link put on the wire.  A link with a wire stage (TCP)
+    /// reports the actual socket bytes of its data frames — length
+    /// prefixes and retransmissions included, compression applied — so
+    /// `bytes_sent / wire_bytes_sent` is the live compression ratio.  A
+    /// link without a wire (in-process channels) reports its payload
+    /// bytes: nothing was framed or compressed, the "wire" carried
+    /// exactly the payload.
+    pub fn wire_bytes_sent(&self) -> u64 {
+        if self.wire_tracked.load(Ordering::Relaxed) {
+            self.wire_bytes.load(Ordering::Relaxed)
+        } else {
+            self.bytes_sent()
+        }
+    }
+
+    /// Wire-stage hook: accounts `n` socket bytes and marks the link
+    /// wire-tracked (transport-internal).
+    pub(crate) fn add_wire_bytes(&self, n: u64) {
+        self.wire_tracked.store(true, Ordering::Relaxed);
+        self.wire_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks the link wire-tracked before any byte flows, so a snapshot
+    /// taken between connect and first write reports 0 wire bytes, not
+    /// the payload fallback (transport-internal).
+    pub(crate) fn mark_wire_tracked(&self) {
+        self.wire_tracked.store(true, Ordering::Relaxed);
     }
 }
 

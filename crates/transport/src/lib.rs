@@ -72,6 +72,12 @@
 //! * [`codec`] — length-checked little-endian binary encode/decode over
 //!   [`bytes`] (wire messages, checkpoints, and the frame stream
 //!   helpers every TCP protocol here shares);
+//! * [`compress`] — the bandwidth-lean wire codec: lossless in-frame
+//!   f64 compression (order-2 prediction + byte-plane transpose +
+//!   zero-run coding) applied by the TCP writer and undone on ingest,
+//!   plus the opt-in [`WireCompression::Truncate`] reduced-precision
+//!   transfer with a documented `2^−(mantissa_bits+1)` relative error
+//!   bound;
 //! * [`heartbeat`] — timeout-based liveness tracking (fault detection
 //!   and the directory's per-name leases);
 //! * [`faults`] — deterministic fault injection ([`FaultySender`]
@@ -83,6 +89,7 @@
 
 pub mod api;
 pub mod codec;
+pub mod compress;
 pub mod directory;
 pub mod endpoint;
 pub mod faults;
@@ -91,8 +98,12 @@ pub mod registry;
 pub mod tcp;
 
 pub use api::{
-    make_transport, BoxReceiver, BoxSender, ConnectError, Disconnected, LinkStatsSnapshot,
-    Receiver, RecvTimeoutError, SendTimeoutError, Sender, Transport, TransportKind, TryRecvError,
+    make_transport, make_transport_with, BoxReceiver, BoxSender, ConnectError, Disconnected,
+    LinkStatsSnapshot, Receiver, RecvTimeoutError, SendTimeoutError, Sender, Transport,
+    TransportKind, TryRecvError,
+};
+pub use compress::{
+    compress_payload, decompress_payload, truncate_f64, truncate_values, WireCompression,
 };
 pub use directory::{
     directory_from_env, Directory, DirectoryClient, DirectoryError, DirectoryServer,

@@ -10,10 +10,28 @@
 //!   `u32` length prefix followed by the payload bytes (the payload itself
 //!   is already a [`codec`](crate::codec)-encoded protocol message).  The
 //!   connection handshake reuses the codec helpers: the client sends one
-//!   frame containing `put_str(endpoint name)` plus its 64-bit **link id**,
-//!   the acceptor replies with one frame containing a status byte
-//!   (`0` = bound, `1` = not found), the endpoint's high-water mark as a
-//!   `u32`, and the link's **resume cursor** (see below).
+//!   frame containing `put_str(endpoint name)`, its 64-bit **link id**
+//!   and its **wire-compression proposal** (two bytes); the acceptor
+//!   replies with one frame containing a status byte (`0` = bound,
+//!   `1` = not found), the endpoint's high-water mark as a `u32`, the
+//!   link's **resume cursor** (see below) and the compression mode it
+//!   accepted.
+//! * **Burst-batched writes** — the writer thread gathers every frame
+//!   queued at a wakeup into one **vectored** write (`writev` over the
+//!   encoded frames in place, bounded by a 1 MiB budget), instead of one
+//!   write-plus-flush per frame: streamed traffic amortises syscalls
+//!   across the whole burst *without re-copying payload bytes into a
+//!   staging buffer*, which is what makes the streamed path faster than
+//!   lone roundtrips rather than slower.
+//! * **In-frame payload compression** — when negotiated
+//!   ([`TcpTransportConfig::compression`]), the writer runs each data
+//!   frame payload through the lossless [`compress`](crate::compress)
+//!   codec and marks compressed frames with the top length-prefix bit;
+//!   the acceptor restores the original bytes **before** ingest.
+//!   Framing, flush barriers, cursor acks and exactly-once resume are
+//!   oblivious to compression (it lives strictly inside the payload),
+//!   and the retransmit buffer stores wire encodings, so a healed link
+//!   re-sends compressed frames byte-identical, exactly once.
 //! * **HWM backpressure** — each link runs through *two* bounded HWM
 //!   queues, one per side, mirroring ZeroMQ's "communications only become
 //!   blocking when both buffers are full": the sender buffers into a
@@ -70,7 +88,7 @@
 //! peer endpoint is gone for good.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -85,6 +103,7 @@ use crate::api::{
     SendTimeoutError, Sender, Transport,
 };
 use crate::codec::{get_str, get_u32, get_u64, get_u8, put_str, read_frame, write_frame};
+use crate::compress::{compress_payload, decompress_payload, WireCompression};
 use crate::directory::{Directory, DirectoryClient, LocalDirectory};
 use crate::endpoint::{channel, Frame, HwmSender, LinkStats};
 
@@ -104,6 +123,25 @@ const STATUS_NOT_FOUND: u8 = 1;
 /// asks the acceptor — who has by then pushed every earlier frame into
 /// the ingest queue — to acknowledge its ingest cursor.
 const FLUSH_REQUEST: u32 = u32::MAX;
+/// Length-prefix flag bit marking a compressed frame payload (safe:
+/// data-frame lengths are capped at [`MAX_DATA_FRAME`] `= 2^30`, and
+/// [`FLUSH_REQUEST`] — the only other prefix with this bit — is checked
+/// first).  The payload is then a [`crate::compress`] image, undone by
+/// the acceptor before the frame enters the ingest queue.
+const COMPRESSED_FLAG: u32 = 0x8000_0000;
+/// Don't even attempt compression below this payload size: the codec's
+/// 36-byte header cannot amortise and the attempt is wasted work.
+const MIN_COMPRESS_LEN: usize = 64;
+/// Burst budget of the writer thread: it gathers queued frames into a
+/// single **vectored** write per wakeup (one `writev` over the encoded
+/// frames in place, instead of one `write` per frame), cutting per-frame
+/// syscall and flush overhead on streamed traffic without an extra copy
+/// into a staging buffer.  The budget bounds how many bytes one burst
+/// may reference; a frame larger than the budget still forms its own
+/// one-frame burst.
+const BURST_BUDGET: usize = 1 << 20;
+/// Wire image of a flush barrier (see [`FLUSH_REQUEST`]).
+const FLUSH_WIRE: [u8; 4] = FLUSH_REQUEST.to_le_bytes();
 /// Back-channel cursor acknowledgement: one tag byte plus the cursor as
 /// a little-endian `u64`.
 const ACK_TAG: u8 = 0xA5;
@@ -153,6 +191,13 @@ pub struct TcpTransportConfig {
     /// reconnection (single-node semantics: a broken link *is* a dead
     /// peer).
     pub reconnect_timeout: Duration,
+    /// Wire compression this node proposes for its outbound links,
+    /// negotiated per link at handshake (the acceptor echoes the mode it
+    /// accepts).  Compression happens strictly inside the frame payload:
+    /// length framing, flush barriers, cursor acks and exactly-once
+    /// resume are oblivious to it, and the acceptor decompresses before
+    /// ingest so receivers always see the original payload bytes.
+    pub compression: WireCompression,
 }
 
 impl TcpTransportConfig {
@@ -166,6 +211,7 @@ impl TcpTransportConfig {
             directory: None,
             lease_renew: Duration::from_secs(2),
             reconnect_timeout: Duration::ZERO,
+            compression: WireCompression::Off,
         }
     }
 
@@ -180,6 +226,7 @@ impl TcpTransportConfig {
             directory: Some(directory.to_string()),
             lease_renew: Duration::from_secs(2),
             reconnect_timeout: Duration::from_secs(20),
+            compression: WireCompression::Off,
         }
     }
 }
@@ -232,6 +279,8 @@ struct TcpInner {
     /// writer threads, which can outlive the transport handle).
     reconnects: Arc<AtomicU64>,
     reconnect_timeout: Duration,
+    /// Wire compression proposed for every outbound link of this node.
+    compression: WireCompression,
     shutdown: AtomicBool,
 }
 
@@ -295,6 +344,7 @@ impl TcpTransport {
             serving: Mutex::new(Vec::new()),
             reconnects: Arc::new(AtomicU64::new(0)),
             reconnect_timeout: config.reconnect_timeout,
+            compression: config.compression,
             shutdown: AtomicBool::new(false),
         });
         let accept_inner = Arc::clone(&inner);
@@ -447,7 +497,9 @@ impl Transport for TcpTransport {
             }
         };
         let link_id = next_link_id();
-        let (stream, hwm, _resume) = match dial_handshake(&addr, name, link_id) {
+        let proposed = self.inner.compression;
+        let (stream, hwm, _resume, accepted) = match dial_handshake(&addr, name, link_id, proposed)
+        {
             Ok(ok) => ok,
             Err(DialError::NotFound) => {
                 // Stale directory entry (endpoint unbound or node
@@ -461,6 +513,9 @@ impl Transport for TcpTransport {
 
         // The send-side bounded HWM queue, drained by the writer thread.
         let (tx, rx) = channel(hwm.max(1));
+        // This link has a wire: from here on its snapshots report actual
+        // socket bytes, not the payload fallback.
+        tx.stats().mark_wire_tracked();
         self.inner
             .links
             .lock()
@@ -472,9 +527,13 @@ impl Transport for TcpTransport {
             directory: Arc::clone(&self.inner.directory),
             reconnect_timeout: self.inner.reconnect_timeout,
             reconnects: Arc::clone(&self.inner.reconnects),
+            compression: proposed,
         });
         let writer_shared = Arc::clone(&shared);
-        std::thread::spawn(move || writer_loop(stream, rx, writer_shared, core));
+        let writer_stats = Arc::clone(tx.stats());
+        std::thread::spawn(move || {
+            writer_loop(stream, rx, writer_shared, core, writer_stats, accepted)
+        });
         Ok(Box::new(TcpSender { queue: tx, shared }))
     }
 
@@ -531,6 +590,8 @@ struct LinkCore {
     reconnect_timeout: Duration,
     /// The owning transport's reconnect counter.
     reconnects: Arc<AtomicU64>,
+    /// Compression this link proposes on every (re-)handshake.
+    compression: WireCompression,
 }
 
 /// Progress state shared by one link's sender clones, its writer thread
@@ -743,6 +804,15 @@ fn serve_connection(mut stream: TcpStream, inner: Arc<TcpInner>) {
         Ok(id) => id,
         Err(_) => return,
     };
+    // Wire-compression negotiation: the client's proposal rides two
+    // trailing hello bytes (absent in pre-compression hellos, which thus
+    // negotiate `Off`).  This build understands every mode — compressed
+    // frames are self-describing via the length-prefix flag bit — so the
+    // acceptor accepts whatever was proposed and echoes it back.
+    let accepted = match (get_u8(&mut buf, "mode"), get_u8(&mut buf, "bits")) {
+        (Ok(mode), Ok(bits)) => WireCompression::from_wire(mode, bits),
+        _ => WireCompression::Off,
+    };
 
     let (ingest, hwm, slot) = {
         let endpoints = inner.endpoints.lock();
@@ -786,10 +856,13 @@ fn serve_connection(mut stream: TcpStream, inner: Arc<TcpInner>) {
         }
     };
     let resume = *slot.ingested.lock();
-    let mut reply = BytesMut::with_capacity(13);
+    let (mode, bits) = accepted.to_wire();
+    let mut reply = BytesMut::with_capacity(15);
     reply.put_u8(STATUS_OK);
     reply.put_u32_le(hwm);
     reply.put_u64_le(resume);
+    reply.put_u8(mode);
+    reply.put_u8(bits);
     if write_frame(&mut stream, &reply).is_err() || stream.set_read_timeout(None).is_err() {
         retire(&slot);
         return;
@@ -809,7 +882,11 @@ fn serve_connection(mut stream: TcpStream, inner: Arc<TcpInner>) {
         }
     };
 
-    let mut reader = BufReader::with_capacity(64 * 1024, stream);
+    // Deliberately smaller than a typical field frame: the buffer only
+    // amortises syscalls for length prefixes and small frames; payload
+    // bulk bypasses it (see `read_frame_or_flush`), so a large capacity
+    // would just route more of each big frame through an extra memcpy.
+    let mut reader = BufReader::with_capacity(8 * 1024, stream);
     let mut since_ack: u64 = 0;
     loop {
         match read_frame_or_flush(&mut reader, MAX_DATA_FRAME) {
@@ -880,15 +957,17 @@ enum DialError {
     Io(String),
 }
 
-/// Dials `addr` and handshakes `(name, link_id)`, returning the stream,
-/// the endpoint's HWM and the receiver's resume cursor for this link.
-/// Idempotent: re-running it for the same link simply fences the earlier
-/// connection and reports how far the receiver got.
+/// Dials `addr` and handshakes `(name, link_id)` with a wire-compression
+/// proposal, returning the stream, the endpoint's HWM, the receiver's
+/// resume cursor for this link and the compression mode the acceptor
+/// accepted.  Idempotent: re-running it for the same link simply fences
+/// the earlier connection and reports how far the receiver got.
 fn dial_handshake(
     addr: &str,
     name: &str,
     link_id: u64,
-) -> Result<(TcpStream, usize, u64), DialError> {
+    proposed: WireCompression,
+) -> Result<(TcpStream, usize, u64, WireCompression), DialError> {
     let io_err = |detail: String| DialError::Io(detail);
     let sock = addr
         .to_socket_addrs()
@@ -907,6 +986,9 @@ fn dial_handshake(
     let mut hello = BytesMut::new();
     put_str(&mut hello, name);
     hello.put_u64_le(link_id);
+    let (mode, bits) = proposed.to_wire();
+    hello.put_u8(mode);
+    hello.put_u8(bits);
     write_frame(&mut stream, &hello).map_err(|e| io_err(e.to_string()))?;
     let reply =
         match read_frame(&mut stream, MAX_HANDSHAKE_FRAME).map_err(|e| io_err(e.to_string()))? {
@@ -920,17 +1002,27 @@ fn dial_handshake(
     }
     let hwm = get_u32(&mut buf, "handshake hwm").map_err(|e| io_err(e.to_string()))? as usize;
     let resume = get_u64(&mut buf, "resume cursor").map_err(|e| io_err(e.to_string()))?;
+    // An acceptor that does not echo a mode (pre-compression reply)
+    // declined the proposal: the link runs uncompressed.
+    let accepted = match (get_u8(&mut buf, "mode"), get_u8(&mut buf, "bits")) {
+        (Ok(mode), Ok(bits)) => WireCompression::from_wire(mode, bits),
+        _ => WireCompression::Off,
+    };
     stream
         .set_read_timeout(None)
         .map_err(|e| io_err(e.to_string()))?;
-    Ok((stream, hwm, resume))
+    Ok((stream, hwm, resume, accepted))
 }
 
-/// One live socket of a link: the buffered write half plus the raw stream
-/// (for shutdown).  Creating one spawns its ack reader.
+/// One live socket of a link: the write half plus the raw stream (for
+/// shutdown).  Creating one spawns its ack reader.  There is no
+/// `BufWriter` here by design: the writer thread gathers queued frames
+/// into vectored bursts itself and hands each burst to the socket whole,
+/// so a stream-level buffer would only add a copy and a flush state
+/// machine.
 struct Conn {
     stream: TcpStream,
-    out: BufWriter<TcpStream>,
+    out: TcpStream,
 }
 
 impl Conn {
@@ -942,13 +1034,117 @@ impl Conn {
         std::thread::spawn(move || ack_reader(read_half, reader_shared, gen));
         Some(Conn {
             stream,
-            out: BufWriter::with_capacity(64 * 1024, write_half),
+            out: write_half,
         })
     }
 
+    /// Writes one burst of wire frames with gathered (vectored) writes:
+    /// one `writev` over the encoded frames in place per socket
+    /// round — no staging copy, so frame bytes are touched exactly once
+    /// on the send side (by `encode_wire_frame`) and the kernel reads
+    /// them straight from the encoding, still cache-warm.  Partial
+    /// writes (socket buffer full mid-burst) resume from the exact byte
+    /// offset; the OS caps each `writev` at `IOV_MAX` slices, which the
+    /// loop absorbs the same way.
+    fn write_burst(&mut self, parts: &[Bytes]) -> std::io::Result<()> {
+        let total: usize = parts.iter().map(Bytes::len).sum();
+        if total == 0 {
+            return Ok(());
+        }
+        if parts.len() == 1 {
+            return self.out.write_all(&parts[0]);
+        }
+        let mut slices: Vec<std::io::IoSlice<'_>> = Vec::with_capacity(parts.len());
+        let mut written = 0usize;
+        while written < total {
+            slices.clear();
+            let mut skip = written;
+            for p in parts {
+                if skip >= p.len() {
+                    skip -= p.len();
+                    continue;
+                }
+                slices.push(std::io::IoSlice::new(&p[skip..]));
+                skip = 0;
+            }
+            match self.out.write_vectored(&slices) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted no bytes",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     fn kill(&mut self) {
-        let _ = self.out.flush();
         let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// One queued frame's exact wire image, held as **gathered slices**: the
+/// 4-byte length prefix and the payload body as shared [`Bytes`]
+/// handles.  An uncompressed frame's body is the sender's payload
+/// itself — zero-copy; the vectored burst write puts it on the wire
+/// straight from the caller's allocation.  A compressed frame's body is
+/// the codec image (compression necessarily produces new bytes).  The
+/// retransmit buffer stores these handles verbatim, so a healed link
+/// re-sends byte-identical frames without re-encoding.
+struct WireImage {
+    prefix: Bytes,
+    body: Bytes,
+}
+
+impl WireImage {
+    fn len(&self) -> usize {
+        self.prefix.len() + self.body.len()
+    }
+
+    /// Appends this image's slices to a gathered burst (cheap handle
+    /// clones, no byte copies).
+    fn push_to(&self, burst: &mut Vec<Bytes>) {
+        burst.push(self.prefix.clone());
+        if !self.body.is_empty() {
+            burst.push(self.body.clone());
+        }
+    }
+
+    /// The contiguous wire bytes — test-only; the data path never
+    /// materialises them.
+    #[cfg(test)]
+    fn concat(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(&self.prefix);
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Encodes one queued frame for the wire: tries the lossless payload
+/// codec when the link negotiated it (marking the length prefix with
+/// [`COMPRESSED_FLAG`]), falls back to the raw length-prefixed layout —
+/// sharing the payload bytes zero-copy — whenever the payload is small
+/// or does not shrink.
+fn encode_wire_frame(frame: &Frame, compression: WireCompression) -> WireImage {
+    let mut prefix = BytesMut::with_capacity(4);
+    if compression.wire_codec_enabled() && frame.len() >= MIN_COMPRESS_LEN {
+        if let Some(image) = compress_payload(frame) {
+            prefix.put_u32_le(image.len() as u32 | COMPRESSED_FLAG);
+            return WireImage {
+                prefix: prefix.freeze(),
+                body: Bytes::from(image),
+            };
+        }
+    }
+    prefix.put_u32_le(frame.len() as u32);
+    WireImage {
+        prefix: prefix.freeze(),
+        body: frame.clone(),
     }
 }
 
@@ -968,8 +1164,13 @@ fn ack_reader(stream: TcpStream, shared: Arc<LinkShared>, gen: u64) {
     shared.mark_broken(gen);
 }
 
-/// Connection writer thread: drains the send-side HWM queue to the
-/// socket, keeping every unacknowledged frame for retransmission, and
+/// Connection writer thread: drains the send-side HWM queue in
+/// **bursts** — every wakeup gathers all queued frames (wire-encoding
+/// and compressing each in order) and hands the socket one vectored
+/// write over the encodings in place, so a stream of frames costs one
+/// syscall per burst instead of one write-plus-flush per frame, with no
+/// staging copy of the payload bytes.  Keeps every
+/// unacknowledged frame *in its wire encoding* for retransmission, and
 /// heals the link (resolve → dial → idempotent re-handshake → resume)
 /// with bounded backoff when the connection breaks.
 fn writer_loop(
@@ -977,6 +1178,8 @@ fn writer_loop(
     rx: crate::endpoint::ChannelReceiver,
     shared: Arc<LinkShared>,
     core: Arc<LinkCore>,
+    stats: Arc<LinkStats>,
+    negotiated: WireCompression,
 ) {
     let mut conn = match Conn::start(stream, &shared) {
         Some(c) => c,
@@ -985,12 +1188,18 @@ fn writer_loop(
             return;
         }
     };
+    // The mode the *current* connection's acceptor accepted (re-read on
+    // every reconnect handshake; already-encoded frames retransmit
+    // verbatim either way).
+    let mut compression = negotiated;
     // Data frames handed to any socket so far (the link's send cursor).
     let mut seq: u64 = 0;
     // Flush markers dequeued so far (equals the senders' epoch counter).
     let mut epoch: u64 = 0;
-    // Sent-but-unacknowledged frames, oldest first.
-    let mut unacked: VecDeque<(u64, Frame)> = VecDeque::new();
+    // Sent-but-unacknowledged frames in wire encoding, oldest first.
+    let mut unacked: VecDeque<(u64, WireImage)> = VecDeque::new();
+    // Reused burst slice list (cheap `Bytes` handles, not frame copies).
+    let mut burst: Vec<Bytes> = Vec::with_capacity(64);
 
     'link: loop {
         // Drop frames the receiver has acknowledged.
@@ -1002,26 +1211,27 @@ fn writer_loop(
         // broken — even while the queue is idle, so an outstanding flush
         // barrier can complete without waiting for new traffic.
         if shared.is_broken() {
-            if !reconnect(&mut conn, &mut unacked, &shared, &core) {
+            if !reconnect(
+                &mut conn,
+                &mut unacked,
+                &shared,
+                &core,
+                &stats,
+                &mut compression,
+            ) {
                 break 'link;
             }
             continue;
         }
-        // Batch: drain whatever is queued, then flush before blocking.
-        // On a self-healing link the block is a bounded poll, so a
-        // broken connection interrupts an idle link within one tick;
-        // with reconnection disabled there is nothing to heal and the
-        // writer blocks for free (breakage still surfaces at the next
-        // write or flush, the single-node contract).
-        let frame = match rx.try_recv() {
+        // Wait for the first frame of the next burst.  On a self-healing
+        // link the block is a bounded poll, so a broken connection
+        // interrupts an idle link within one tick; with reconnection
+        // disabled there is nothing to heal and the writer blocks for
+        // free (breakage still surfaces at the next write or flush, the
+        // single-node contract).
+        let first = match rx.try_recv() {
             Ok(f) => f,
             Err(crate::api::TryRecvError::Empty) => {
-                if conn.out.flush().is_err() {
-                    if !reconnect(&mut conn, &mut unacked, &shared, &core) {
-                        break 'link;
-                    }
-                    continue;
-                }
                 if core.reconnect_timeout.is_zero() {
                     match rx.recv() {
                         Ok(f) => f,
@@ -1037,23 +1247,53 @@ fn writer_loop(
             }
             Err(crate::api::TryRecvError::Disconnected) => break 'link, // senders gone
         };
-        if is_flush_marker(&frame) {
-            // Barrier: everything up to `seq` must reach the ingest
-            // queue.  Register first so a concurrent ack (or a reconnect
-            // resume) can satisfy it, then request the receiver's cursor.
-            epoch += 1;
-            shared.push_pending(epoch, seq);
-            let sent = conn.out.write_all(&FLUSH_REQUEST.to_le_bytes()).is_ok()
-                && conn.out.flush().is_ok();
-            if !sent && !reconnect(&mut conn, &mut unacked, &shared, &core) {
-                break 'link;
+        // Gather the burst: the first frame plus everything already
+        // queued behind it, in order, up to the burst budget.  The burst
+        // holds `Bytes` handles onto each frame's wire encoding — no
+        // staging copy.  A disconnect discovered mid-drain still writes
+        // the collected burst (the queue's tail) and resurfaces on the
+        // next wakeup.
+        burst.clear();
+        let mut burst_len = 0usize;
+        let mut next = Some(first);
+        loop {
+            let frame = match next.take() {
+                Some(f) => f,
+                None => match rx.try_recv() {
+                    Ok(f) => f,
+                    Err(_) => break,
+                },
+            };
+            if is_flush_marker(&frame) {
+                // Barrier: everything up to `seq` must reach the ingest
+                // queue.  Register first so a concurrent ack (or a
+                // reconnect resume) can satisfy it, then the in-burst
+                // request asks for the receiver's cursor.
+                epoch += 1;
+                shared.push_pending(epoch, seq);
+                burst.push(Bytes::from_static(&FLUSH_WIRE));
+                burst_len += FLUSH_WIRE.len();
+            } else {
+                seq += 1;
+                let wire = encode_wire_frame(&frame, compression);
+                stats.add_wire_bytes(wire.len() as u64);
+                burst_len += wire.len();
+                wire.push_to(&mut burst);
+                unacked.push_back((seq, wire));
             }
-            continue;
+            if burst_len >= BURST_BUDGET {
+                break;
+            }
         }
-        seq += 1;
-        unacked.push_back((seq, frame.clone()));
-        if write_frame(&mut conn.out, &frame).is_err()
-            && !reconnect(&mut conn, &mut unacked, &shared, &core)
+        if conn.write_burst(&burst).is_err()
+            && !reconnect(
+                &mut conn,
+                &mut unacked,
+                &shared,
+                &core,
+                &stats,
+                &mut compression,
+            )
         {
             break 'link;
         }
@@ -1064,15 +1304,18 @@ fn writer_loop(
 
 /// Re-establishes a broken link: resolve the name through the directory,
 /// dial and re-handshake (idempotently — the reply carries the receiver's
-/// cursor), retransmit exactly the unacknowledged tail, re-arm any
-/// outstanding flush barrier.  Exponential backoff from 5 ms up to
-/// [`RECONNECT_BACKOFF_MAX`], bounded overall by the transport's
+/// cursor), retransmit exactly the unacknowledged tail **in its original
+/// wire encoding** (a compressed frame is re-sent byte-identical, once),
+/// re-arm any outstanding flush barrier.  Exponential backoff from 5 ms
+/// up to [`RECONNECT_BACKOFF_MAX`], bounded overall by the transport's
 /// `reconnect_timeout` (zero = reconnection disabled).
 fn reconnect(
     conn: &mut Conn,
-    unacked: &mut VecDeque<(u64, Frame)>,
+    unacked: &mut VecDeque<(u64, WireImage)>,
     shared: &Arc<LinkShared>,
     core: &Arc<LinkCore>,
+    stats: &Arc<LinkStats>,
+    compression: &mut WireCompression,
 ) -> bool {
     conn.kill();
     if core.reconnect_timeout.is_zero() {
@@ -1086,8 +1329,10 @@ fn reconnect(
             .resolve(&core.name)
             .ok()
             .flatten()
-            .and_then(|addr| dial_handshake(&addr, &core.name, core.link_id).ok());
-        if let Some((stream, _hwm, resume)) = attempt {
+            .and_then(|addr| {
+                dial_handshake(&addr, &core.name, core.link_id, core.compression).ok()
+            });
+        if let Some((stream, _hwm, resume, accepted)) = attempt {
             // The receiver's cursor is authoritative: everything at or
             // below it arrived (possibly via an ack that never reached
             // us), and satisfies any flush barrier it covers.
@@ -1097,24 +1342,26 @@ fn reconnect(
                 unacked.pop_front();
             }
             if let Some(mut fresh) = Conn::start(stream, shared) {
-                let mut ok = true;
-                for (_, frame) in unacked.iter() {
-                    if write_frame(&mut fresh.out, frame).is_err() {
-                        ok = false;
-                        break;
-                    }
+                // One gathered retransmit burst: the unacknowledged wire
+                // frames verbatim, plus one re-armed barrier covering
+                // every outstanding flush (after the retransmitted tail,
+                // the receiver's cursor reaches the link's send cursor,
+                // past all targets).
+                let mut burst: Vec<Bytes> = Vec::with_capacity(2 * unacked.len() + 1);
+                for (_, wire) in unacked.iter() {
+                    wire.push_to(&mut burst);
                 }
-                // One re-armed barrier covers every outstanding flush:
-                // after the retransmitted tail, the receiver's cursor
-                // reaches the link's send cursor, past all targets.
-                if ok && shared.has_pending() {
-                    ok = fresh.out.write_all(&FLUSH_REQUEST.to_le_bytes()).is_ok();
+                // Retransmitted data bytes are wire traffic too (the
+                // re-armed barrier's 4 bytes stay uncounted, like every
+                // flush request).
+                let data_len: usize = burst.iter().map(Bytes::len).sum();
+                if shared.has_pending() {
+                    burst.push(Bytes::from_static(&FLUSH_WIRE));
                 }
-                if ok {
-                    ok = fresh.out.flush().is_ok();
-                }
-                if ok {
+                if fresh.write_burst(&burst).is_ok() {
+                    stats.add_wire_bytes(data_len as u64);
                     *conn = fresh;
+                    *compression = accepted;
                     core.reconnects.fetch_add(1, Ordering::Relaxed);
                     return true;
                 }
@@ -1139,8 +1386,21 @@ enum WireItem {
 }
 
 /// Reads one length-prefixed frame or a flush request; `None` on clean
-/// EOF at a frame boundary.
-fn read_frame_or_flush<R: Read>(r: &mut R, cap: usize) -> std::io::Result<Option<WireItem>> {
+/// EOF at a frame boundary.  A prefix carrying [`COMPRESSED_FLAG`] is
+/// decompressed here — **before** the frame enters the ingest queue — so
+/// receivers, protocol decode and the ingest cursor only ever see
+/// original payload bytes; compression never leaks past the wire.
+///
+/// Takes the connection's `BufReader` by name (not a plain `Read`) so
+/// the payload **bulk can bypass the buffer**: whatever the buffer
+/// already holds is drained into the payload, the rest is read straight
+/// from the socket into the frame's own allocation.  Large frames thus
+/// skip the buffer's extra memcpy pass, while the buffer keeps
+/// amortising syscalls for length prefixes and small frames.
+fn read_frame_or_flush<R: Read>(
+    r: &mut BufReader<R>,
+    cap: usize,
+) -> std::io::Result<Option<WireItem>> {
     let mut len_bytes = [0u8; 4];
     match r.read_exact(&mut len_bytes) {
         Ok(()) => {}
@@ -1151,15 +1411,55 @@ fn read_frame_or_flush<R: Read>(r: &mut R, cap: usize) -> std::io::Result<Option
     if raw == FLUSH_REQUEST {
         return Ok(Some(WireItem::FlushRequest));
     }
-    let len = raw as usize;
+    let compressed = raw & COMPRESSED_FLAG != 0;
+    let len = (raw & !COMPRESSED_FLAG) as usize;
     if len > cap {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("frame length {len} exceeds cap {cap}"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    // Exact-capacity allocation filled via `take(..).read_to_end(..)`:
+    // reads land directly in the uninitialised spare capacity, skipping
+    // the full zeroing pass `vec![0; len]` would pay — measurable when a
+    // deep ingest queue keeps tens of frames (and thus tens of cold
+    // payload buffers) in flight.
+    let mut payload = Vec::with_capacity(len);
+    let buffered = r.buffer().len().min(len);
+    payload.extend_from_slice(&r.buffer()[..buffered]);
+    r.consume(buffered);
+    let rest = len - buffered;
+    let got = r
+        .get_mut()
+        .by_ref()
+        .take(rest as u64)
+        .read_to_end(&mut payload)?;
+    if got != rest {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        ));
+    }
+    if compressed {
+        // The decoded length rides the image header; bound it by the
+        // same cap before the decoder allocates for it.
+        let claimed = payload
+            .get(..4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize);
+        if claimed.is_none_or(|n| n > cap) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "compressed frame with invalid decoded length",
+            ));
+        }
+        let restored = decompress_payload(&payload).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corrupt compressed frame: {e}"),
+            )
+        })?;
+        return Ok(Some(WireItem::Frame(Bytes::from(restored))));
+    }
     Ok(Some(WireItem::Frame(Bytes::from(payload))))
 }
 
@@ -1414,6 +1714,124 @@ mod tests {
             },
             "listener still alive after drop"
         );
+    }
+
+    /// A data-frame-shaped payload: 3 header-tail bytes + a smooth f64
+    /// field, the shape the wire codec is tuned for.
+    fn field_frame(n: usize, phase: f64) -> Frame {
+        // Each frame is a contiguous slab of a fine global grid — the
+        // way data frames carve up a large solver field — so
+        // neighbouring samples differ only in the low mantissa bytes.
+        let mut payload = vec![7u8, 8, 9];
+        for i in 0..n {
+            let x = (i as f64 / n as f64 + phase) / 64.0;
+            let v = 300.0 + 40.0 * (std::f64::consts::TAU * x).sin();
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        Bytes::from(payload)
+    }
+
+    #[test]
+    fn compressed_link_delivers_bit_identical_payloads() {
+        let mut config = TcpTransportConfig::local();
+        config.compression = WireCompression::Transpose;
+        let t = TcpTransport::with_config(config).unwrap();
+        let rx = t.bind("zipped", 16);
+        let tx = t.connect("zipped").unwrap();
+        let frames: Vec<Frame> = (0..40).map(|i| field_frame(512, i as f64 * 0.1)).collect();
+        for f in &frames {
+            tx.send(f.clone()).unwrap();
+        }
+        for f in &frames {
+            assert_eq!(
+                &rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+                f,
+                "decode-on-ingest must restore the exact payload bytes"
+            );
+        }
+        // The whole point: fewer wire bytes than payload bytes.
+        let stats = t.link_stats();
+        let snap = &stats[0].1;
+        assert_eq!(
+            snap.bytes,
+            frames.iter().map(|f| f.len() as u64).sum::<u64>()
+        );
+        assert!(
+            snap.wire_bytes < snap.bytes / 2,
+            "smooth fields must compress ≥ 2×: {} wire vs {} payload",
+            snap.wire_bytes,
+            snap.bytes
+        );
+    }
+
+    #[test]
+    fn incompressible_frames_ride_raw_even_when_compression_is_on() {
+        let mut config = TcpTransportConfig::local();
+        config.compression = WireCompression::Transpose;
+        let t = TcpTransport::with_config(config).unwrap();
+        let rx = t.bind("entropy", 8);
+        let tx = t.connect("entropy").unwrap();
+        // Keyed xorshift noise: the codec must fall back to raw framing.
+        let mut x = 0x9E37_79B9u64;
+        let mut payload = Vec::with_capacity(4096);
+        for _ in 0..512 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            payload.extend_from_slice(&x.to_le_bytes());
+        }
+        let f = Bytes::from(payload);
+        tx.send(f.clone()).unwrap();
+        assert_eq!(&rx.recv_timeout(Duration::from_secs(5)).unwrap(), &f);
+        let stats = t.link_stats();
+        // Raw fallback: exactly payload + 4-byte prefix on the wire.
+        assert_eq!(stats[0].1.wire_bytes, f.len() as u64 + 4);
+    }
+
+    #[test]
+    fn uncompressed_links_account_wire_framing_overhead() {
+        let t = TcpTransport::new().unwrap();
+        let rx = t.bind("plain", 8);
+        let tx = t.connect("plain").unwrap();
+        tx.send(frame(b"abc")).unwrap();
+        tx.send(frame(b"de")).unwrap();
+        for _ in 0..2 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let stats = t.link_stats();
+        assert_eq!(stats[0].1.bytes, 5);
+        // 2 frames × 4-byte prefix + 5 payload bytes.
+        assert_eq!(stats[0].1.wire_bytes, 13);
+    }
+
+    #[test]
+    fn compressed_wire_container_roundtrips_through_the_reader() {
+        let f = field_frame(256, 0.0);
+        let wire = encode_wire_frame(&f, WireCompression::Transpose).concat();
+        assert!(wire.len() < f.len(), "field frame must shrink on the wire");
+        let raw_prefix = u32::from_le_bytes(wire[..4].try_into().unwrap());
+        assert!(raw_prefix & COMPRESSED_FLAG != 0);
+        let mut cursor = BufReader::new(std::io::Cursor::new(wire.clone()));
+        match read_frame_or_flush(&mut cursor, MAX_DATA_FRAME).unwrap() {
+            Some(WireItem::Frame(restored)) => assert_eq!(restored, f),
+            other => panic!("expected a frame, got {:?}", other.is_some()),
+        }
+    }
+
+    #[test]
+    fn corrupt_compressed_frames_are_io_errors_not_panics() {
+        let f = field_frame(256, 0.0);
+        let wire = encode_wire_frame(&f, WireCompression::Transpose).concat();
+        // Flip a byte in the image body and lie about the decoded size.
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let mut cursor = BufReader::new(std::io::Cursor::new(bad));
+        assert!(read_frame_or_flush(&mut cursor, MAX_DATA_FRAME).is_err());
+        let mut huge = wire.to_vec();
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes()); // decoded-length header
+        let mut cursor = BufReader::new(std::io::Cursor::new(huge));
+        assert!(read_frame_or_flush(&mut cursor, MAX_DATA_FRAME).is_err());
     }
 
     #[test]

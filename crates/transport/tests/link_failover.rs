@@ -11,7 +11,7 @@ use std::time::Duration;
 use bytes::{BufMut, Bytes, BytesMut};
 use melissa_transport::{
     ConnectError, DirectoryServer, FaultPolicy, FaultySender, KillSwitch, Sender, TcpTransport,
-    TcpTransportConfig, Transport,
+    TcpTransportConfig, Transport, WireCompression,
 };
 
 const RECV_DEADLINE: Duration = Duration::from_secs(20);
@@ -120,6 +120,92 @@ fn killed_connection_mid_stream_delivers_every_frame_exactly_once() {
     );
     // Nothing extra after the final frame: exactly once, not at-least-once.
     assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+}
+
+#[test]
+fn compressed_link_survives_mid_stream_sever_with_exactly_once_delivery() {
+    // Same exactly-once contract as above, but with the in-frame wire
+    // codec negotiated on the link and frames that actually compress: a
+    // healed connection must retransmit the *compressed* unacked tail
+    // byte-identically, and the resume cursor must keep counting frames
+    // (not wire bytes) so nothing is lost or doubled.
+    let directory =
+        DirectoryServer::bind("127.0.0.1:0", Duration::from_secs(30)).expect("directory listener");
+    let addr = directory.local_addr().to_string();
+    let server =
+        Arc::new(TcpTransport::with_config(TcpTransportConfig::node(&addr)).expect("server node"));
+    let mut client_cfg = TcpTransportConfig::node(&addr);
+    client_cfg.compression = WireCompression::Transpose;
+    let client = Arc::new(TcpTransport::with_config(client_cfg).expect("client node"));
+
+    let rx = server.bind("zipped-data", 16);
+    let tx = client
+        .connect_retry("zipped-data", Duration::from_secs(5))
+        .expect("connect");
+
+    // Compressible indexed frames: a smooth f64 ramp keyed by the index.
+    let field_frame = |i: u64| -> Bytes {
+        let mut b = BytesMut::with_capacity(8 + 64 * 8);
+        b.put_u64_le(i);
+        for k in 0..64 {
+            let x = (i as f64) + k as f64 / 64.0;
+            b.put_f64_le(300.0 + 0.25 * x);
+        }
+        b.freeze()
+    };
+
+    const N: u64 = 600;
+    let sender = {
+        let tx = tx.clone_box();
+        std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(field_frame(i)).expect("send through failover");
+                if i % 100 == 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            tx.flush(Duration::from_secs(30)).expect("final barrier");
+        })
+    };
+    let killer = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let mut cut = 0usize;
+            for _ in 0..3 {
+                std::thread::sleep(Duration::from_millis(30));
+                cut += server.sever_connections("zipped-data");
+            }
+            cut
+        })
+    };
+
+    for expect in 0..N {
+        let f = rx
+            .recv_timeout(RECV_DEADLINE)
+            .unwrap_or_else(|e| panic!("frame {expect} never arrived after reconnects: {e:?}"));
+        assert_eq!(
+            f,
+            field_frame(expect),
+            "frame {expect} must arrive bit-identical, gap-free and duplicate-free"
+        );
+    }
+    sender.join().expect("sender thread");
+    let cut = killer.join().expect("killer thread");
+    assert!(cut > 0, "the fault injection never cut a live connection");
+    assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+
+    // The codec was really on: fewer wire bytes than payload bytes.
+    let stats = client.link_stats();
+    let link = stats
+        .iter()
+        .find_map(|(name, s)| (name == "zipped-data").then_some(s))
+        .expect("link rollup");
+    assert!(
+        link.wire_bytes < link.bytes,
+        "compressed link moved {} wire bytes for {} payload bytes",
+        link.wire_bytes,
+        link.bytes
+    );
 }
 
 #[test]

@@ -51,14 +51,22 @@ fn config(kind: TransportKind, tag: &str) -> StudyConfig {
 
 /// One rendered frame of the live view.
 fn render(rows: &[ScrapeSnapshot]) {
-    println!("shard  backend      up(s)   fin  run     frames       bytes  epoch  rcon  events");
+    println!(
+        "shard  backend      up(s)   fin  run     frames       bytes        wire  zip  epoch  rcon  events"
+    );
     for s in rows {
-        let (frames, bytes) = s
-            .links
-            .iter()
-            .fold((0u64, 0u64), |acc, l| (acc.0 + l.messages, acc.1 + l.bytes));
+        let (frames, bytes, wire) = s.links.iter().fold((0u64, 0u64, 0u64), |acc, l| {
+            (acc.0 + l.messages, acc.1 + l.bytes, acc.2 + l.wire_bytes)
+        });
+        // Live payload/wire ratio: 1.00x on uncompressed or in-process
+        // links (whose wire rollup falls back to the payload bytes).
+        let zip = if wire > 0 {
+            format!("{:.2}x", bytes as f64 / wire as f64)
+        } else {
+            "-".into()
+        };
         println!(
-            "{:>5}  {:<11} {:>6.1} {:>5} {:>4} {:>10} {:>11} {:>6} {:>5} {:>7}",
+            "{:>5}  {:<11} {:>6.1} {:>5} {:>4} {:>10} {:>11} {:>11} {:>4} {:>6} {:>5} {:>7}",
             s.shard,
             s.backend,
             s.uptime_nanos as f64 / 1e9,
@@ -66,6 +74,8 @@ fn render(rows: &[ScrapeSnapshot]) {
             s.groups_running,
             frames,
             bytes,
+            wire,
+            zip,
             s.routing_epoch,
             s.reconnects,
             s.events.len(),

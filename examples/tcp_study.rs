@@ -8,16 +8,22 @@
 //! resulting Sobol' maps are compared **bit for bit**: the transport is a
 //! pluggable backend, not a source of numerical noise.
 //!
+//! A third leg re-runs the TCP study with **lossless in-frame wire
+//! compression** (`WireCompression::Transpose`): still bit-identical —
+//! the codec lives strictly inside the frame payload — while the link
+//! moves measurably fewer bytes than the payload it carries.
+//!
 //! Run with: `cargo run --release --example tcp_study`
 
 use std::time::Duration;
 
 use melissa_repro::melissa::{Study, StudyConfig};
-use melissa_repro::transport::TransportKind;
+use melissa_repro::transport::{TransportKind, WireCompression};
 
-fn config(kind: TransportKind, tag: &str) -> StudyConfig {
+fn config(kind: TransportKind, compression: WireCompression, tag: &str) -> StudyConfig {
     let mut config = StudyConfig::tiny();
     config.transport = kind;
+    config.wire_compression = compression;
     config.n_groups = 6;
     config.max_concurrent_groups = 1; // sequential ⇒ bit-reproducible
     config.checkpoint_dir =
@@ -28,37 +34,64 @@ fn config(kind: TransportKind, tag: &str) -> StudyConfig {
 
 fn main() {
     println!("== study over TCP loopback ==");
-    let tcp = Study::new(config(TransportKind::Tcp, "tcp"))
+    let tcp = Study::new(config(TransportKind::Tcp, WireCompression::Off, "tcp"))
         .run()
         .expect("TCP study failed");
     println!("{}", tcp.report);
 
     println!("== same seeded study, in-process ==");
-    let inproc = Study::new(config(TransportKind::InProcess, "inproc"))
-        .run()
-        .expect("in-process study failed");
+    let inproc = Study::new(config(
+        TransportKind::InProcess,
+        WireCompression::Off,
+        "inproc",
+    ))
+    .run()
+    .expect("in-process study failed");
     println!("{}", inproc.report);
 
-    // The whole point of the trait surface: identical statistics.
+    println!("== same seeded study, TCP with wire compression ==");
+    let zipped = Study::new(config(
+        TransportKind::Tcp,
+        WireCompression::Transpose,
+        "zip",
+    ))
+    .run()
+    .expect("compressed TCP study failed");
+    println!("{}", zipped.report);
+
+    // The whole point of the trait surface: identical statistics —
+    // across backends AND with the wire codec on.
     let last = tcp.results.n_timesteps() - 1;
     let mut checked = 0usize;
     for k in 0..tcp.results.dim() {
         let a = tcp.results.first_order_field(last, k);
         let b = inproc.results.first_order_field(last, k);
-        for (c, (x, y)) in a.iter().zip(&b).enumerate() {
+        let z = zipped.results.first_order_field(last, k);
+        for (c, ((x, y), w)) in a.iter().zip(&b).zip(&z).enumerate() {
             assert_eq!(
                 x.to_bits(),
                 y.to_bits(),
                 "S_{k} diverged at cell {c}: {x} vs {y}"
             );
-            checked += 1;
+            assert_eq!(
+                x.to_bits(),
+                w.to_bits(),
+                "S_{k} diverged under compression at cell {c}: {x} vs {w}"
+            );
+            checked += 2;
         }
     }
     let var_tcp = tcp.results.variance_field(last);
     let var_inp = inproc.results.variance_field(last);
-    for (x, y) in var_tcp.iter().zip(&var_inp) {
+    let var_zip = zipped.results.variance_field(last);
+    for ((x, y), w) in var_tcp.iter().zip(&var_inp).zip(&var_zip) {
         assert_eq!(x.to_bits(), y.to_bits(), "variance diverged");
-        checked += 1;
+        assert_eq!(
+            x.to_bits(),
+            w.to_bits(),
+            "variance diverged under compression"
+        );
+        checked += 2;
     }
     println!(
         "parity: {checked} statistic values bit-identical across backends \
@@ -66,5 +99,18 @@ fn main() {
         tcp.report.data_messages,
         tcp.report.data_mib(),
         tcp.report.blocked_sends,
+    );
+    assert!(
+        zipped.report.link_wire_bytes < zipped.report.link_bytes,
+        "compressed study moved {} wire bytes for {} payload bytes",
+        zipped.report.link_wire_bytes,
+        zipped.report.link_bytes
+    );
+    println!(
+        "wire: {:.1} MiB payload went over the socket as {:.1} MiB \
+         ({:.2}x compression), statistics untouched",
+        zipped.report.link_bytes as f64 / (1024.0 * 1024.0),
+        zipped.report.link_wire_bytes as f64 / (1024.0 * 1024.0),
+        zipped.report.link_bytes as f64 / zipped.report.link_wire_bytes as f64,
     );
 }
